@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks of the PHY primitives.
+//!
+//! Not a paper figure — these quantify the software cost of the blocks
+//! Carpool adds (A-HDR generation/check, phase offset encode/decode)
+//! against the standard pipeline stages, echoing the Section 8
+//! "processing latency" discussion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use carpool_bench::pattern_bits;
+use carpool_bloom::AggregationHeader;
+use carpool_phy::convolutional::{decode, encode, CodeRate};
+use carpool_phy::fft::{fft_in_place, ifft_in_place};
+use carpool_phy::interleaver::Interleaver;
+use carpool_phy::math::Complex64;
+use carpool_phy::mcs::Mcs;
+use carpool_phy::modulation::Modulation;
+use carpool_phy::rx::{receive, Estimation, SectionLayout};
+use carpool_phy::sidechannel::{PhaseOffsetDecoder, PhaseOffsetEncoder, PhaseOffsetMod};
+use carpool_phy::tx::{transmit, SectionSpec};
+
+fn bench_fft(c: &mut Criterion) {
+    let input: Vec<Complex64> = (0..64)
+        .map(|k| Complex64::cis(k as f64 * 0.11))
+        .collect();
+    c.bench_function("fft64_forward", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut buf| fft_in_place(black_box(&mut buf)).expect("64 is a power of two"),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("fft64_inverse", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut buf| ifft_in_place(black_box(&mut buf)).expect("64 is a power of two"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_coding(c: &mut Criterion) {
+    let bits = pattern_bits(1000, 3);
+    let coded = encode(&bits, CodeRate::Half);
+    c.bench_function("convolutional_encode_1kbit", |b| {
+        b.iter(|| encode(black_box(&bits), CodeRate::Half))
+    });
+    c.bench_function("viterbi_decode_1kbit", |b| {
+        b.iter(|| decode(black_box(&coded), bits.len(), CodeRate::Half))
+    });
+}
+
+fn bench_interleaver_and_mapping(c: &mut Criterion) {
+    let il = Interleaver::new(Modulation::Qam64, 48);
+    let bits = pattern_bits(il.block_size(), 5);
+    c.bench_function("interleave_qam64_block", |b| {
+        b.iter(|| il.interleave(black_box(&bits)))
+    });
+    let points = Modulation::Qam64.map_all(&bits);
+    c.bench_function("qam64_map_symbol", |b| {
+        b.iter(|| Modulation::Qam64.map_all(black_box(&bits)))
+    });
+    c.bench_function("qam64_demap_symbol", |b| {
+        b.iter(|| Modulation::Qam64.demap_all(black_box(&points)))
+    });
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let receivers: Vec<[u8; 6]> = (0..8u8).map(|k| [2, 0, 0, 0, 0, k]).collect();
+    c.bench_function("ahdr_build_8_receivers", |b| {
+        b.iter(|| AggregationHeader::for_receivers(black_box(&receivers), 4))
+    });
+    let hdr = AggregationHeader::for_receivers(&receivers, 4).expect("8 receivers fit");
+    c.bench_function("ahdr_check_membership", |b| {
+        b.iter(|| hdr.matched_indices(black_box(&receivers[3]), 8))
+    });
+}
+
+fn bench_side_channel(c: &mut Criterion) {
+    c.bench_function("phase_offset_encode_decode_100sym", |b| {
+        b.iter(|| {
+            let mut enc = PhaseOffsetEncoder::new(PhaseOffsetMod::TwoBit);
+            let mut dec = PhaseOffsetDecoder::new(PhaseOffsetMod::TwoBit);
+            dec.set_reference(0.0);
+            let mut acc = 0u32;
+            for k in 0..100u8 {
+                let inj = enc.next_offset(k % 4);
+                acc += dec.decode(inj).unwrap_or(0) as u32;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_full_chain(c: &mut Criterion) {
+    let spec = SectionSpec::payload(pattern_bits(1500 * 8, 9), Mcs::QAM64_3_4);
+    c.bench_function("tx_1500B_qam64", |b| {
+        b.iter(|| transmit(black_box(std::slice::from_ref(&spec))))
+    });
+    let frame = transmit(std::slice::from_ref(&spec)).expect("valid spec");
+    let layouts = [SectionLayout::of(&spec)];
+    c.bench_function("rx_1500B_qam64_standard", |b| {
+        b.iter(|| receive(black_box(&frame.samples), &layouts, Estimation::Standard))
+    });
+}
+
+criterion_group!(
+    name = phy_micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fft,
+        bench_coding,
+        bench_interleaver_and_mapping,
+        bench_bloom,
+        bench_side_channel,
+        bench_full_chain
+);
+criterion_main!(phy_micro);

@@ -1,0 +1,267 @@
+//! Shared measurement harness for the figure/table benches.
+//!
+//! Every table and figure of the paper's evaluation has a bench target
+//! (`harness = false`) that prints the same rows/series the paper
+//! reports. This library holds the common machinery: deterministic bit
+//! patterns, PHY Monte-Carlo loops (raw BER per symbol position, side
+//! channel vs data channel) and MAC sweep drivers.
+
+use carpool_channel::link::LinkChannel;
+use carpool_mac::error_model::{BerBiasModel, PerfectChannel};
+use carpool_mac::protocol::Protocol;
+use carpool_mac::sim::{SimConfig, Simulator};
+use carpool_mac::SimReport;
+use carpool_phy::bits::hamming_distance;
+use carpool_phy::mcs::Mcs;
+use carpool_phy::rx::{receive, Estimation, SectionLayout};
+use carpool_phy::tx::{transmit, SectionSpec, SideChannelConfig};
+
+/// Deterministic pseudo-random bits (xorshift), so every bench run
+/// measures the same payloads.
+pub fn pattern_bits(n: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x & 1) as u8
+        })
+        .collect()
+}
+
+/// Outcome of a PHY Monte-Carlo run.
+#[derive(Debug, Clone, Default)]
+pub struct PhyBerResult {
+    /// Raw (pre-FEC) data bit error rate.
+    pub data_ber: f64,
+    /// Side-channel bit error rate (0 when the side channel is off).
+    pub side_ber: f64,
+    /// Raw BER per OFDM symbol position.
+    pub ber_by_symbol: Vec<f64>,
+}
+
+/// Channel fading selector for PHY runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fading {
+    /// AWGN + CFO only — the paper's controlled static experiments
+    /// (Fig. 11/12).
+    None,
+    /// Time-varying Rician fading — the paper's office environment for
+    /// the long-frame experiments (Fig. 3/13/14). `rician_k = 0` gives
+    /// Rayleigh.
+    TimeVarying {
+        /// Coherence time in seconds.
+        coherence_s: f64,
+        /// Rician K-factor of the direct path.
+        rician_k: f64,
+    },
+}
+
+/// The office-link fading used by the long-frame experiments.
+pub const OFFICE_FADING: Fading = Fading::TimeVarying {
+    coherence_s: 4e-3,
+    rician_k: 15.0,
+};
+
+/// Configuration of a PHY Monte-Carlo run.
+#[derive(Debug, Clone, Copy)]
+pub struct PhyRunConfig {
+    /// Modulation and coding scheme of the payload.
+    pub mcs: Mcs,
+    /// Payload bits per frame.
+    pub payload_bits: usize,
+    /// Side channel on the payload section?
+    pub side_channel: Option<SideChannelConfig>,
+    /// Receiver estimation mode.
+    pub estimation: Estimation,
+    /// Receive SNR in dB.
+    pub snr_db: f64,
+    /// Fading model.
+    pub fading: Fading,
+    /// Residual CFO in Hz.
+    pub cfo_hz: f64,
+    /// Frames to average over.
+    pub frames: usize,
+    /// Base seed; frame `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for PhyRunConfig {
+    fn default() -> Self {
+        PhyRunConfig {
+            mcs: Mcs::QAM64_3_4,
+            payload_bits: 8 * 1024 * 8, // 8 KB
+            side_channel: Some(SideChannelConfig::default()),
+            estimation: Estimation::Standard,
+            snr_db: 28.0,
+            fading: OFFICE_FADING,
+            cfo_hz: 100.0,
+            frames: 20,
+            seed: 1000,
+        }
+    }
+}
+
+/// Runs the full PHY chain through the channel `frames` times and
+/// aggregates raw-BER statistics.
+pub fn run_phy(config: &PhyRunConfig) -> PhyBerResult {
+    let spec = SectionSpec {
+        bits: pattern_bits(config.payload_bits, 77),
+        mcs: config.mcs,
+        scramble: true,
+        side_channel: config.side_channel,
+        qbpsk: false,
+    };
+    let tx = transmit(std::slice::from_ref(&spec)).expect("valid spec");
+    let layouts = [SectionLayout::of(&spec)];
+    let n_sym = tx.sections[0].num_symbols;
+
+    let mut bit_errors = 0usize;
+    let mut bits_total = 0usize;
+    let mut side_errors = 0usize;
+    let mut side_total = 0usize;
+    let mut sym_errors = vec![0usize; n_sym];
+    let sym_bits = config.mcs.coded_bits_per_symbol();
+
+    for f in 0..config.frames {
+        let mut builder = LinkChannel::builder();
+        builder
+            .snr_db(config.snr_db)
+            .cfo_hz(config.cfo_hz)
+            .seed(config.seed + f as u64);
+        if let Fading::TimeVarying {
+            coherence_s,
+            rician_k,
+        } = config.fading
+        {
+            builder.coherence_time(coherence_s).rician_k(rician_k);
+        }
+        let mut link = builder.build();
+        let rx_samples = link.transmit(&tx.samples);
+        let rx = receive(&rx_samples, &layouts, config.estimation).expect("lengths match");
+        for (k, (t, r)) in tx.sections[0]
+            .symbol_bits
+            .iter()
+            .zip(&rx.sections[0].raw_symbol_bits)
+            .enumerate()
+        {
+            let d = hamming_distance(t, r);
+            sym_errors[k] += d;
+            bit_errors += d;
+            bits_total += t.len();
+        }
+        if let Some(sc) = config.side_channel {
+            let bits_per = sc.modulation.bits_per_symbol();
+            for (t, r) in tx.sections[0]
+                .side_values
+                .iter()
+                .zip(&rx.sections[0].side_values)
+            {
+                side_errors += ((t ^ r) & 1) as usize;
+                if bits_per == 2 {
+                    side_errors += (((t ^ r) >> 1) & 1) as usize;
+                }
+                side_total += bits_per;
+            }
+        }
+    }
+
+    PhyBerResult {
+        data_ber: bit_errors as f64 / bits_total.max(1) as f64,
+        side_ber: side_errors as f64 / side_total.max(1) as f64,
+        ber_by_symbol: sym_errors
+            .into_iter()
+            .map(|e| e as f64 / (config.frames * sym_bits) as f64)
+            .collect(),
+    }
+}
+
+/// Runs the MAC simulator with the calibrated error model.
+pub fn run_mac(config: SimConfig) -> SimReport {
+    Simulator::new(config, Box::new(BerBiasModel::calibrated())).run()
+}
+
+/// Runs the MAC simulator with an error-free channel — the paper's
+/// Fig. 17 assumption that "frame retransmission is only caused by
+/// collision".
+pub fn run_mac_perfect(config: SimConfig) -> SimReport {
+    Simulator::new(config, Box::new(PerfectChannel)).run()
+}
+
+/// Standard VoIP-scenario config for the Fig. 15/16 sweeps.
+pub fn voip_config(protocol: Protocol, num_stas: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        protocol,
+        num_stas,
+        duration_s: 8.0,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// Formats bit/s as Mbit/s with two decimals.
+pub fn mbps(bps: f64) -> String {
+    format!("{:.2}", bps / 1e6)
+}
+
+/// Prints a bench banner so `cargo bench` output is navigable.
+pub fn banner(id: &str, caption: &str) {
+    println!();
+    println!("=== {id} — {caption} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_bits_deterministic_and_binary() {
+        let a = pattern_bits(1000, 7);
+        let b = pattern_bits(1000, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| x <= 1));
+        assert_ne!(a, pattern_bits(1000, 8));
+    }
+
+    #[test]
+    fn phy_run_on_clean_channel_has_zero_ber() {
+        let config = PhyRunConfig {
+            payload_bits: 4000,
+            frames: 2,
+            snr_db: 60.0,
+            fading: Fading::None,
+            cfo_hz: 0.0,
+            ..PhyRunConfig::default()
+        };
+        let r = run_phy(&config);
+        assert_eq!(r.data_ber, 0.0);
+        assert_eq!(r.side_ber, 0.0);
+        assert!(r.ber_by_symbol.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn phy_run_at_low_snr_has_errors() {
+        let config = PhyRunConfig {
+            payload_bits: 4000,
+            frames: 2,
+            snr_db: 10.0,
+            ..PhyRunConfig::default()
+        };
+        let r = run_phy(&config);
+        assert!(r.data_ber > 0.0);
+    }
+
+    #[test]
+    fn mac_runner_smoke() {
+        let mut cfg = voip_config(Protocol::Carpool, 10, 1);
+        cfg.duration_s = 1.0;
+        let r = run_mac(cfg);
+        assert!(r.downlink.delivered_frames > 0);
+    }
+
+    #[test]
+    fn mbps_formatting() {
+        assert_eq!(mbps(2_500_000.0), "2.50");
+    }
+}

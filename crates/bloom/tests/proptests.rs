@@ -1,0 +1,74 @@
+//! Property-based tests for the coded Bloom filter A-HDR.
+
+use carpool_bloom::{AggregationHeader, BLOOM_BITS, MAX_RECEIVERS};
+use proptest::prelude::*;
+
+fn addresses(max: usize) -> impl Strategy<Value = Vec<[u8; 6]>> {
+    prop::collection::vec(any::<[u8; 6]>(), 1..=max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn never_a_false_negative(addrs in addresses(MAX_RECEIVERS), hashes in 1usize..=8) {
+        let hdr = AggregationHeader::for_receivers(&addrs, hashes).expect("receiver count ok");
+        for (i, a) in addrs.iter().enumerate() {
+            prop_assert!(hdr.query(a, i), "receiver {} missed", i);
+            prop_assert!(hdr.matched_indices(a, addrs.len()).contains(&i));
+        }
+    }
+
+    #[test]
+    fn bits_round_trip(addrs in addresses(MAX_RECEIVERS), hashes in 1usize..=8) {
+        let hdr = AggregationHeader::for_receivers(&addrs, hashes).expect("receiver count ok");
+        let bits = hdr.to_bits();
+        prop_assert_eq!(bits.len(), BLOOM_BITS);
+        let parsed = AggregationHeader::from_bits(&bits, hashes).expect("valid bits");
+        prop_assert_eq!(parsed, hdr);
+    }
+
+    #[test]
+    fn insertion_is_monotone(addrs in addresses(MAX_RECEIVERS)) {
+        // Adding receivers never clears bits.
+        let mut hdr = AggregationHeader::new(4);
+        let mut prev = hdr.raw();
+        for (i, a) in addrs.iter().enumerate() {
+            hdr.insert(a, i);
+            prop_assert_eq!(hdr.raw() & prev, prev, "bits cleared at step {}", i);
+            prev = hdr.raw();
+        }
+    }
+
+    #[test]
+    fn insertion_order_of_distinct_indices_is_irrelevant(
+        a in any::<[u8; 6]>(),
+        b in any::<[u8; 6]>(),
+    ) {
+        let mut h1 = AggregationHeader::new(4);
+        h1.insert(&a, 0);
+        h1.insert(&b, 1);
+        let mut h2 = AggregationHeader::new(4);
+        h2.insert(&b, 1);
+        h2.insert(&a, 0);
+        prop_assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn popcount_bounded_by_insertions(addrs in addresses(MAX_RECEIVERS), hashes in 1usize..=6) {
+        let hdr = AggregationHeader::for_receivers(&addrs, hashes).expect("receiver count ok");
+        prop_assert!(hdr.popcount() as usize <= hashes * addrs.len());
+        prop_assert!(hdr.popcount() >= 1);
+    }
+
+    #[test]
+    fn matched_indices_subset_of_queries(
+        addrs in addresses(MAX_RECEIVERS),
+        probe in any::<[u8; 6]>(),
+    ) {
+        let hdr = AggregationHeader::for_receivers(&addrs, 4).expect("receiver count ok");
+        for i in hdr.matched_indices(&probe, addrs.len()) {
+            prop_assert!(hdr.query(&probe, i));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Named simulation scenarios matching the paper's evaluation setups.
+//!
+//! The benches, CLI and downstream users all need the same handful of
+//! configurations; these constructors are the single source of truth
+//! for the Fig. 15/16/17 operating points.
+
+use carpool_mac::protocol::Protocol;
+use carpool_mac::sim::{AggregationWait, DownlinkTraffic, SimConfig, UplinkTraffic};
+
+/// Fig. 15: two-way VoIP per station, two APs, no background traffic.
+pub fn voip_cell(protocol: Protocol, num_stas: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        protocol,
+        num_stas,
+        duration_s: 8.0,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// Fig. 16: the VoIP cell plus SIGCOMM'08-style uplink background.
+pub fn busy_cell(protocol: Protocol, num_stas: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        uplink: Some(UplinkTraffic::default()),
+        ..voip_cell(protocol, num_stas, seed)
+    }
+}
+
+/// Fig. 17: deadline-bounded CBR downlink at the VoIP packet rate with
+/// expired-frame dropping and a deadline-driven aggregation trigger.
+pub fn deadline_cell(
+    protocol: Protocol,
+    frame_bytes: usize,
+    deadline_s: f64,
+    uplink_scale: f64,
+    seed: u64,
+) -> SimConfig {
+    SimConfig {
+        protocol,
+        num_stas: 30,
+        duration_s: 6.0,
+        seed,
+        downlink: DownlinkTraffic::Cbr {
+            interval_s: 0.010,
+            bytes: frame_bytes,
+        },
+        uplink: Some(UplinkTraffic {
+            tcp_fraction: 0.5,
+            rate_scale: uplink_scale,
+        }),
+        deadline: Some(deadline_s),
+        drop_expired_s: Some(deadline_s),
+        aggregation_wait: Some(AggregationWait {
+            max_latency_s: deadline_s * 0.5,
+            max_bytes: 65_535,
+        }),
+        bidirectional_voip: false,
+        ..SimConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carpool_mac::error_model::BerBiasModel;
+    use carpool_mac::sim::Simulator;
+
+    #[test]
+    fn scenarios_have_paper_parameters() {
+        let v = voip_cell(Protocol::Carpool, 30, 1);
+        assert_eq!(v.num_aps, 2);
+        assert!(v.bidirectional_voip);
+        assert!(v.uplink.is_none());
+
+        let b = busy_cell(Protocol::Ampdu, 20, 1);
+        assert!(b.uplink.is_some());
+
+        let d = deadline_cell(Protocol::Carpool, 120, 0.05, 2.0, 1);
+        assert_eq!(d.deadline, Some(0.05));
+        assert_eq!(d.drop_expired_s, Some(0.05));
+        assert!(d.aggregation_wait.is_some());
+        assert!(!d.bidirectional_voip);
+    }
+
+    #[test]
+    fn scenarios_run() {
+        for cfg in [
+            SimConfig {
+                duration_s: 1.0,
+                ..voip_cell(Protocol::Carpool, 8, 3)
+            },
+            SimConfig {
+                duration_s: 1.0,
+                ..busy_cell(Protocol::Dot11, 8, 3)
+            },
+            SimConfig {
+                duration_s: 1.0,
+                ..deadline_cell(Protocol::Ampdu, 200, 0.05, 1.0, 3)
+            },
+        ] {
+            let report = Simulator::new(cfg, Box::new(BerBiasModel::calibrated())).run();
+            assert!(report.downlink.delivered_frames > 0);
+        }
+    }
+}

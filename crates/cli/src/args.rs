@@ -1,0 +1,147 @@
+//! A small `--key value` argument parser (the workspace avoids external
+//! CLI crates).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: one subcommand plus `--key value`
+/// options (`--flag` without a value is stored as `"true"`).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    command: Option<String>,
+    options: HashMap<String, String>,
+}
+
+/// Errors from argument parsing and lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A positional argument appeared where an option was expected.
+    UnexpectedPositional(String),
+    /// An option's value failed to parse.
+    BadValue {
+        /// Option name (without dashes).
+        key: String,
+        /// Offending raw value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::UnexpectedPositional(v) => write!(f, "unexpected argument '{v}'"),
+            ArgError::BadValue { key, value } => {
+                write!(f, "invalid value '{value}' for --{key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::UnexpectedPositional`] for stray positionals
+    /// after the subcommand.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        if let Some(first) = iter.peek() {
+            if !first.starts_with("--") {
+                args.command = iter.next();
+            }
+        }
+        while let Some(token) = iter.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedPositional(token));
+            };
+            let value = match iter.peek() {
+                Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
+            args.options.insert(key.to_string(), value);
+        }
+        Ok(args)
+    }
+
+    /// The subcommand, if any.
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// Raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Boolean flag (present without value, or an explicit true/false).
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+
+    /// Typed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] if the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: v.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).expect("parses")
+    }
+
+    #[test]
+    fn command_and_options() {
+        let a = parse(&["mac-sim", "--stas", "30", "--rts-cts", "--seed", "7"]);
+        assert_eq!(a.command(), Some("mac-sim"));
+        assert_eq!(a.get_or("stas", 0usize).unwrap(), 30);
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        assert!(a.flag("rts-cts"));
+        assert!(!a.flag("background"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["phy-ber"]);
+        assert_eq!(a.get_or("frames", 20usize).unwrap(), 20);
+        assert_eq!(a.get_or("snr", 28.0f64).unwrap(), 28.0);
+    }
+
+    #[test]
+    fn bad_value_reported() {
+        let a = parse(&["x", "--stas", "many"]);
+        assert!(matches!(
+            a.get_or("stas", 0usize),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn stray_positional_rejected() {
+        let err =
+            Args::parse(["cmd".to_string(), "oops".to_string()]).expect_err("must fail");
+        assert!(matches!(err, ArgError::UnexpectedPositional(_)));
+    }
+
+    #[test]
+    fn no_command_only_flags() {
+        let a = parse(&["--help"]);
+        assert_eq!(a.command(), None);
+        assert!(a.flag("help"));
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end tests of the `carpool` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_carpool"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    for cmd in ["phy-ber", "mac-sim", "sweep", "frame", "bloom", "gen-trace"] {
+        assert!(stdout.contains(cmd), "missing {cmd} in help");
+    }
+}
+
+#[test]
+fn no_arguments_shows_help() {
+    let (ok, stdout, _) = run(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let (ok, _, stderr) = run(&["warp-drive"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn bad_option_value_fails_cleanly() {
+    let (ok, _, stderr) = run(&["mac-sim", "--stas", "lots"]);
+    assert!(!ok);
+    assert!(stderr.contains("invalid value"));
+}
+
+#[test]
+fn bloom_analysis_prints_expected_fields() {
+    let (ok, stdout, _) = run(&["bloom", "--receivers", "8", "--trials", "2000"]);
+    assert!(ok);
+    assert!(stdout.contains("optimal h"));
+    assert!(stdout.contains("analytic r_FP"));
+    assert!(stdout.contains("measured r_FP"));
+}
+
+#[test]
+fn frame_delivery_reports_intact_payloads() {
+    let (ok, stdout, _) = run(&["frame", "--receivers", "2", "--bytes", "120"]);
+    assert!(ok, "{stdout}");
+    assert_eq!(stdout.matches("payload intact").count(), 2, "{stdout}");
+}
+
+#[test]
+fn gen_trace_emits_parseable_trace() {
+    let (ok, stdout, _) = run(&["gen-trace", "--stas", "2", "--duration", "1"]);
+    assert!(ok);
+    let trace = carpool_traffic::trace::Trace::from_text(&stdout).expect("valid trace");
+    assert!(!trace.is_empty());
+}
+
+#[test]
+fn mac_sim_smoke() {
+    let (ok, stdout, _) = run(&["mac-sim", "--stas", "6", "--duration", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("downlink:"));
+    assert!(stdout.contains("channel :"));
+}

@@ -1,0 +1,443 @@
+//! Carpool PPDU assembly and station-side parsing (paper Fig. 4).
+//!
+//! A Carpool frame is `[preamble][A-HDR][SIG_1][payload_1]...[SIG_N]
+//! [payload_N]`. The A-HDR Bloom filter names each subframe's receiver;
+//! every SIG gives the following payload's MCS and byte length so that a
+//! station can hop over foreign subframes decoding only SIG symbols.
+//!
+//! The station-side flow implemented by [`receive_carpool`]:
+//!
+//! 1. decode the A-HDR and compute the matched subframe indices — if
+//!    none match, drop the frame immediately (only 2 symbols decoded);
+//! 2. walk the subframes in order, decoding every SIG; decode the
+//!    payloads of matched subframes and *skip* the rest;
+//! 3. report per-subframe payloads plus decode/skip symbol counts for
+//!    energy accounting (paper Section 8).
+
+use crate::addr::MacAddress;
+use crate::sig::{Sig, SIG_BITS};
+use crate::FrameError;
+use carpool_bloom::{AggregationHeader, BLOOM_BITS, DEFAULT_HASHES, MAX_RECEIVERS};
+use carpool_phy::bits::{bits_to_bytes, bytes_to_bits};
+use carpool_phy::math::Complex64;
+use carpool_phy::mcs::Mcs;
+use carpool_phy::rx::{Estimation, FrameDecoder, SectionLayout};
+use carpool_phy::tx::{transmit, SectionSpec, SideChannelConfig, TxFrame};
+
+/// One subframe: the MAC data for exactly one receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subframe {
+    /// Destination station.
+    pub receiver: MacAddress,
+    /// MCS for this receiver (subframes may differ, paper Section 4.1).
+    pub mcs: Mcs,
+    /// MAC payload bytes (a single MPDU or an A-MPDU bundle).
+    pub payload: Vec<u8>,
+}
+
+impl Subframe {
+    /// Creates a subframe.
+    pub fn new(receiver: MacAddress, mcs: Mcs, payload: Vec<u8>) -> Subframe {
+        Subframe {
+            receiver,
+            mcs,
+            payload,
+        }
+    }
+}
+
+/// A Carpool aggregate frame ready for transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarpoolFrame {
+    subframes: Vec<Subframe>,
+    hashes: usize,
+    side_channel: Option<SideChannelConfig>,
+}
+
+impl CarpoolFrame {
+    /// Builds a frame from subframes with the paper's default hash count
+    /// and side-channel configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`FrameError::Empty`] if `subframes` is empty or any payload is
+    ///   empty or longer than 65535 bytes (the SIG length field).
+    /// * [`FrameError::TooManyReceivers`] beyond [`MAX_RECEIVERS`].
+    pub fn new(subframes: Vec<Subframe>) -> Result<CarpoolFrame, FrameError> {
+        CarpoolFrame::with_options(
+            subframes,
+            DEFAULT_HASHES,
+            Some(SideChannelConfig::default()),
+        )
+    }
+
+    /// Builds a frame with explicit hash count and side channel.
+    ///
+    /// # Errors
+    ///
+    /// See [`CarpoolFrame::new`].
+    pub fn with_options(
+        subframes: Vec<Subframe>,
+        hashes: usize,
+        side_channel: Option<SideChannelConfig>,
+    ) -> Result<CarpoolFrame, FrameError> {
+        if subframes.is_empty() {
+            return Err(FrameError::Empty);
+        }
+        if subframes.len() > MAX_RECEIVERS {
+            return Err(FrameError::TooManyReceivers {
+                count: subframes.len(),
+            });
+        }
+        for sf in &subframes {
+            if sf.payload.is_empty() || sf.payload.len() > u16::MAX as usize {
+                return Err(FrameError::Malformed {
+                    reason: format!("payload of {} bytes unsupported", sf.payload.len()),
+                });
+            }
+        }
+        Ok(CarpoolFrame {
+            subframes,
+            hashes,
+            side_channel,
+        })
+    }
+
+    /// The subframes in transmission order.
+    pub fn subframes(&self) -> &[Subframe] {
+        &self.subframes
+    }
+
+    /// The computed aggregation header.
+    pub fn header(&self) -> AggregationHeader {
+        let receivers: Vec<&[u8]> = self
+            .subframes
+            .iter()
+            .map(|s| s.receiver.as_bytes())
+            .collect();
+        AggregationHeader::for_receivers(&receivers, self.hashes)
+            .expect("receiver count validated at construction")
+    }
+
+    /// PHY section specs: `[A-HDR][SIG_1][payload_1]...`.
+    pub fn to_specs(&self) -> Vec<SectionSpec> {
+        let mut specs = Vec::with_capacity(1 + 2 * self.subframes.len());
+        // The A-HDR is QBPSK-marked so any receiver can classify the
+        // PPDU as Carpool at the first post-preamble symbol (Sec. 4.3).
+        specs.push(SectionSpec::header_qbpsk(self.header().to_bits()));
+        for sf in &self.subframes {
+            let sig = Sig::new(sf.mcs, sf.payload.len() as u16);
+            specs.push(SectionSpec::header(sig.to_bits()));
+            let bits = bytes_to_bits(&sf.payload);
+            specs.push(match self.side_channel {
+                Some(sc) => SectionSpec {
+                    bits,
+                    mcs: sf.mcs,
+                    scramble: true,
+                    side_channel: Some(sc),
+                    qbpsk: false,
+                },
+                None => SectionSpec::payload_legacy(bits, sf.mcs),
+            });
+        }
+        specs
+    }
+
+    /// Modulates the frame to baseband samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PHY configuration errors as [`FrameError::Phy`].
+    pub fn transmit(&self) -> Result<TxFrame, FrameError> {
+        transmit(&self.to_specs()).map_err(FrameError::Phy)
+    }
+
+    /// Total payload bytes across subframes.
+    pub fn payload_bytes(&self) -> usize {
+        self.subframes.iter().map(|s| s.payload.len()).sum()
+    }
+}
+
+/// A subframe as seen by a receiving station.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReceivedSubframe {
+    /// Position in the frame.
+    pub index: usize,
+    /// The decoded SIG field.
+    pub sig: Sig,
+    /// Decoded payload bytes — `Some` only for matched subframes.
+    pub payload: Option<Vec<u8>>,
+}
+
+/// Outcome of a station processing a Carpool frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarpoolReception {
+    /// Subframe indices the A-HDR matched for this station.
+    pub matched_indices: Vec<usize>,
+    /// Every subframe's SIG, with payloads for matched ones.
+    pub subframes: Vec<ReceivedSubframe>,
+    /// OFDM symbols this station actually demodulated.
+    pub symbols_decoded: usize,
+    /// OFDM symbols skipped (energy saved, paper Section 8).
+    pub symbols_skipped: usize,
+}
+
+impl CarpoolReception {
+    /// Payload bytes decoded for this station at `index`, if any.
+    pub fn payload_at(&self, index: usize) -> Option<&[u8]> {
+        self.subframes
+            .iter()
+            .find(|s| s.index == index)
+            .and_then(|s| s.payload.as_deref())
+    }
+}
+
+/// Station-side processing of a received Carpool frame.
+///
+/// `side_channel` must mirror the transmitter's configuration (it is a
+/// capability negotiated at association, paper Section 4.3).
+///
+/// # Errors
+///
+/// * [`FrameError::Phy`] for malformed sample buffers.
+/// * [`FrameError::BadSig`] if a SIG fails its parity — the station
+///   cannot navigate past an unreadable SIG, so parsing stops there.
+pub fn receive_carpool(
+    samples: &[Complex64],
+    station: MacAddress,
+    estimation: Estimation,
+    hashes: usize,
+    side_channel: Option<SideChannelConfig>,
+) -> Result<CarpoolReception, FrameError> {
+    let mut decoder = FrameDecoder::new(samples, estimation).map_err(FrameError::Phy)?;
+
+    // 1. A-HDR.
+    let ahdr_layout = SectionLayout {
+        message_bits: BLOOM_BITS,
+        mcs: Mcs::BPSK_1_2,
+        scramble: false,
+        side_channel: None,
+        qbpsk: true,
+    };
+    let ahdr_section = decoder.decode_section(&ahdr_layout).map_err(FrameError::Phy)?;
+    let header = AggregationHeader::from_bits(&ahdr_section.bits, hashes)
+        .map_err(FrameError::Bloom)?;
+    let matched_indices = header.matched_indices(station.as_bytes(), MAX_RECEIVERS);
+    let mut symbols_decoded = ahdr_layout.symbol_count();
+    let mut symbols_skipped = 0usize;
+
+    // If nothing matches, the station drops the frame now.
+    if matched_indices.is_empty() {
+        return Ok(CarpoolReception {
+            matched_indices,
+            subframes: Vec::new(),
+            symbols_decoded,
+            symbols_skipped: decoder.remaining_symbols(),
+        });
+    }
+
+    // 2. Walk subframes: decode every SIG, decode or skip each payload.
+    let sig_layout = SectionLayout {
+        message_bits: SIG_BITS,
+        mcs: Mcs::BPSK_1_2,
+        scramble: false,
+        side_channel: None,
+        qbpsk: false,
+    };
+    let mut subframes = Vec::new();
+    let mut index = 0usize;
+    let last_matched = *matched_indices.last().expect("non-empty checked above");
+    while index < MAX_RECEIVERS && decoder.remaining_symbols() >= sig_layout.symbol_count() {
+        let sig_section = decoder.decode_section(&sig_layout).map_err(FrameError::Phy)?;
+        symbols_decoded += sig_layout.symbol_count();
+        let sig = Sig::from_bits(&sig_section.bits)?;
+        let payload_layout = SectionLayout {
+            message_bits: sig.length_bytes as usize * 8,
+            mcs: sig.mcs,
+            scramble: true,
+            side_channel,
+            qbpsk: false,
+        };
+        let matched = matched_indices.contains(&index);
+        let payload = if matched {
+            let section = decoder.decode_section(&payload_layout).map_err(FrameError::Phy)?;
+            symbols_decoded += payload_layout.symbol_count();
+            Some(bits_to_bytes(&section.bits))
+        } else {
+            decoder.skip_section(&payload_layout).map_err(FrameError::Phy)?;
+            symbols_skipped += payload_layout.symbol_count();
+            None
+        };
+        subframes.push(ReceivedSubframe {
+            index,
+            sig,
+            payload,
+        });
+        // Paper: "After decoding its subframe, the receiver drops all
+        // rear subframes."
+        if index >= last_matched {
+            symbols_skipped += decoder.remaining_symbols();
+            break;
+        }
+        index += 1;
+    }
+
+    Ok(CarpoolReception {
+        matched_indices,
+        subframes,
+        symbols_decoded,
+        symbols_skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sta(k: u16) -> MacAddress {
+        MacAddress::station(k)
+    }
+
+    fn build_frame(n: usize) -> CarpoolFrame {
+        let subframes: Vec<Subframe> = (0..n)
+            .map(|k| {
+                Subframe::new(
+                    sta(k as u16),
+                    if k % 2 == 0 { Mcs::QPSK_1_2 } else { Mcs::QAM16_3_4 },
+                    vec![(k as u8) ^ 0x5A; 120 + 40 * k],
+                )
+            })
+            .collect();
+        CarpoolFrame::new(subframes).unwrap()
+    }
+
+    #[test]
+    fn every_receiver_gets_its_payload() {
+        let frame = build_frame(4);
+        let tx = frame.transmit().unwrap();
+        for k in 0..4u16 {
+            let rx = receive_carpool(
+                &tx.samples,
+                sta(k),
+                Estimation::Standard,
+                DEFAULT_HASHES,
+                Some(SideChannelConfig::default()),
+            )
+            .unwrap();
+            assert!(rx.matched_indices.contains(&(k as usize)), "sta {k}");
+            let payload = rx.payload_at(k as usize).unwrap();
+            assert_eq!(payload, &frame.subframes()[k as usize].payload[..], "sta {k}");
+        }
+    }
+
+    #[test]
+    fn outsider_mostly_drops_without_payload_decoding() {
+        let frame = build_frame(3);
+        let tx = frame.transmit().unwrap();
+        let rx = receive_carpool(
+            &tx.samples,
+            sta(999),
+            Estimation::Standard,
+            DEFAULT_HASHES,
+            Some(SideChannelConfig::default()),
+        )
+        .unwrap();
+        // With 3 receivers the FP chance is small; an outsider usually
+        // matches nothing. Whatever happens, its own payload never
+        // appears (no false negatives only applies to inserted items).
+        for s in &rx.subframes {
+            if let Some(p) = &s.payload {
+                // False positive decode: payload belongs to someone else.
+                assert_ne!(p.len(), 0);
+            }
+        }
+        if rx.matched_indices.is_empty() {
+            assert!(rx.subframes.is_empty());
+            assert!(rx.symbols_skipped > 0);
+        }
+    }
+
+    #[test]
+    fn middle_receiver_skips_foreign_payloads() {
+        let frame = build_frame(5);
+        let tx = frame.transmit().unwrap();
+        let rx = receive_carpool(
+            &tx.samples,
+            sta(2),
+            Estimation::Standard,
+            DEFAULT_HASHES,
+            Some(SideChannelConfig::default()),
+        )
+        .unwrap();
+        assert!(rx.payload_at(2).is_some());
+        // It should have skipped symbols (subframes 0, 1 bodies at least,
+        // minus any false-positive decodes) and dropped the tail.
+        assert!(rx.symbols_skipped > 0, "no symbols skipped");
+        // Symbols decoded strictly less than the whole frame.
+        assert!(rx.symbols_decoded < tx.payload_symbols());
+    }
+
+    #[test]
+    fn rte_estimation_also_decodes() {
+        use carpool_phy::rte::CalibrationRule;
+        let frame = build_frame(2);
+        let tx = frame.transmit().unwrap();
+        let rx = receive_carpool(
+            &tx.samples,
+            sta(1),
+            Estimation::Rte(CalibrationRule::Average),
+            DEFAULT_HASHES,
+            Some(SideChannelConfig::default()),
+        )
+        .unwrap();
+        assert_eq!(
+            rx.payload_at(1).unwrap(),
+            &frame.subframes()[1].payload[..]
+        );
+    }
+
+    #[test]
+    fn construction_validations() {
+        assert!(matches!(
+            CarpoolFrame::new(vec![]),
+            Err(FrameError::Empty)
+        ));
+        let too_many: Vec<Subframe> = (0..9)
+            .map(|k| Subframe::new(sta(k), Mcs::BPSK_1_2, vec![1]))
+            .collect();
+        assert!(matches!(
+            CarpoolFrame::new(too_many),
+            Err(FrameError::TooManyReceivers { count: 9 })
+        ));
+        let empty_payload = vec![Subframe::new(sta(0), Mcs::BPSK_1_2, vec![])];
+        assert!(CarpoolFrame::new(empty_payload).is_err());
+    }
+
+    #[test]
+    fn specs_have_expected_structure() {
+        let frame = build_frame(3);
+        let specs = frame.to_specs();
+        assert_eq!(specs.len(), 1 + 2 * 3);
+        assert_eq!(specs[0].bits.len(), BLOOM_BITS);
+        for k in 0..3 {
+            assert_eq!(specs[1 + 2 * k].bits.len(), SIG_BITS);
+            assert!(specs[2 + 2 * k].scramble);
+        }
+    }
+
+    #[test]
+    fn payload_bytes_sums_subframes() {
+        let frame = build_frame(2);
+        assert_eq!(frame.payload_bytes(), 120 + 160);
+    }
+
+    #[test]
+    fn without_side_channel_still_works() {
+        let subframes = vec![Subframe::new(sta(0), Mcs::QPSK_1_2, vec![9; 200])];
+        let frame = CarpoolFrame::with_options(subframes, DEFAULT_HASHES, None).unwrap();
+        let tx = frame.transmit().unwrap();
+        let rx = receive_carpool(&tx.samples, sta(0), Estimation::Standard, DEFAULT_HASHES, None)
+            .unwrap();
+        assert_eq!(rx.payload_at(0).unwrap(), &frame.subframes()[0].payload[..]);
+    }
+}

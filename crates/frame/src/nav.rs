@@ -1,0 +1,157 @@
+//! NAV arithmetic for Carpool's sequential ACK (paper Section 4.2).
+//!
+//! Multiple receivers of a Carpool frame would all ACK after one SIFS and
+//! collide; instead they ACK one by one, coordinated purely through the
+//! Network Allocation Vector:
+//!
+//! * the data frame reserves the medium for the whole sequence
+//!   (Eq. 1): `NAV_data = t_payload + N (t_ACK + t_SIFS)`;
+//! * the receiver of subframe `i` defers its ACK by
+//!   (Eq. 2): `NAV_i = (i - 1)(t_ACK + t_SIFS)`;
+//! * the `j`-th ACK advertises the time left to the end of the sequence,
+//!   `NAV_{N-j+1}`, so the last ACK carries `NAV_1 = 0` like a legacy ACK.
+//!
+//! Subframe indices here are 1-based, following the paper's notation.
+
+use crate::airtime::{ack_airtime, cts_airtime, SIFS};
+
+/// NAV carried by an aggregated data frame for `receivers` receivers
+/// whose payload lasts `payload_airtime` seconds (paper Eq. 1).
+///
+/// # Panics
+///
+/// Panics if `receivers == 0`.
+pub fn nav_data(receivers: usize, payload_airtime: f64) -> f64 {
+    assert!(receivers > 0, "need at least one receiver");
+    payload_airtime + receivers as f64 * (ack_airtime() + SIFS)
+}
+
+/// Deferral of the receiver of the `i`-th subframe, 1-based (paper Eq. 2).
+///
+/// # Panics
+///
+/// Panics if `i == 0`.
+pub fn nav_receiver(i: usize) -> f64 {
+    assert!(i >= 1, "subframe indices are 1-based");
+    (i - 1) as f64 * (ack_airtime() + SIFS)
+}
+
+/// NAV advertised by the `j`-th ACK of `n` total (1-based): the residual
+/// reservation `NAV_{n-j+1}`, hence zero for the last ACK.
+///
+/// # Panics
+///
+/// Panics if `j == 0` or `j > n`.
+pub fn nav_ack(j: usize, n: usize) -> f64 {
+    assert!(j >= 1 && j <= n, "ACK index {j} outside 1..={n}");
+    nav_receiver(n - j + 1)
+}
+
+/// Start time of the `i`-th ACK (1-based) relative to the end of the
+/// data frame: `i x SIFS + (i-1) x t_ACK`.
+pub fn ack_start_offset(i: usize) -> f64 {
+    assert!(i >= 1, "subframe indices are 1-based");
+    SIFS + nav_receiver(i)
+}
+
+/// NAV carried by a Carpool multicast RTS covering `receivers` CTSs, the
+/// data frame of `payload_airtime`, and the sequential ACKs (Fig. 7).
+pub fn nav_rts(receivers: usize, payload_airtime: f64) -> f64 {
+    assert!(receivers > 0, "need at least one receiver");
+    let n = receivers as f64;
+    n * (SIFS + cts_airtime()) + SIFS + nav_data(receivers, payload_airtime)
+}
+
+/// NAV advertised by the `j`-th CTS of `n`: everything that remains of
+/// the sequence after this CTS ends.
+pub fn nav_cts(j: usize, n: usize, payload_airtime: f64) -> f64 {
+    assert!(j >= 1 && j <= n, "CTS index {j} outside 1..={n}");
+    let remaining_cts = (n - j) as f64;
+    remaining_cts * (SIFS + cts_airtime()) + SIFS + nav_data(n, payload_airtime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_matches_definition() {
+        let t_payload = 500e-6;
+        for n in 1..=8 {
+            let expect = t_payload + n as f64 * (ack_airtime() + SIFS);
+            assert!((nav_data(n, t_payload) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eq2_first_receiver_does_not_defer() {
+        assert_eq!(nav_receiver(1), 0.0);
+        assert!((nav_receiver(2) - (ack_airtime() + SIFS)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_ack_nav_is_zero_like_legacy() {
+        for n in 1..=8 {
+            assert_eq!(nav_ack(n, n), 0.0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn first_ack_reserves_rest_of_sequence() {
+        let n = 5;
+        assert!((nav_ack(1, n) - nav_receiver(n)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ack_sequence_back_to_back() {
+        // ACK i ends exactly one SIFS before ACK i+1 starts.
+        for i in 1..8 {
+            let end_i = ack_start_offset(i) + ack_airtime();
+            let start_next = ack_start_offset(i + 1);
+            assert!((start_next - end_i - SIFS).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn whole_sequence_fits_nav_data() {
+        let t_payload = 300e-6;
+        for n in 1..=8usize {
+            let last_ack_end = ack_start_offset(n) + ack_airtime();
+            let reserved = nav_data(n, t_payload) - t_payload;
+            assert!(
+                (last_ack_end - reserved).abs() < 1e-12,
+                "n={n}: {last_ack_end} vs {reserved}"
+            );
+        }
+    }
+
+    #[test]
+    fn rts_nav_covers_everything() {
+        let n = 3;
+        let t_payload = 200e-6;
+        // RTS NAV >= all CTSs + data + all ACKs.
+        let floor = n as f64 * (SIFS + cts_airtime())
+            + SIFS
+            + t_payload
+            + n as f64 * (SIFS + ack_airtime());
+        assert!(nav_rts(n, t_payload) >= floor - 1e-12);
+    }
+
+    #[test]
+    fn cts_nav_decreases_with_index() {
+        let n = 4;
+        let t = 100e-6;
+        let mut prev = f64::INFINITY;
+        for j in 1..=n {
+            let nav = nav_cts(j, n, t);
+            assert!(nav < prev);
+            prev = nav;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_index_panics() {
+        nav_receiver(0);
+    }
+}

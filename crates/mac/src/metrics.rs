@@ -1,0 +1,273 @@
+//! Simulation metrics: goodput, delay, retransmissions, airtime shares.
+
+/// Per-direction delivery metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FlowMetrics {
+    /// MAC payload bytes delivered.
+    pub delivered_bytes: u64,
+    /// Frames delivered.
+    pub delivered_frames: u64,
+    /// Frames dropped after exhausting the retry limit.
+    pub dropped_frames: u64,
+    /// Sum of queueing+service delays of delivered frames, seconds.
+    pub total_delay: f64,
+    /// Worst delay observed, seconds.
+    pub max_delay: f64,
+    /// Retransmission attempts (failed subframe deliveries).
+    pub retransmissions: u64,
+    /// Frames delivered within the deadline (when one is configured).
+    pub in_deadline_frames: u64,
+    /// Bytes delivered within the deadline.
+    pub in_deadline_bytes: u64,
+}
+
+impl FlowMetrics {
+    /// Records a delivery.
+    pub fn record_delivery(&mut self, bytes: usize, delay: f64, deadline: Option<f64>) {
+        self.delivered_bytes += bytes as u64;
+        self.delivered_frames += 1;
+        self.total_delay += delay;
+        if delay > self.max_delay {
+            self.max_delay = delay;
+        }
+        if deadline.map(|d| delay <= d).unwrap_or(true) {
+            self.in_deadline_frames += 1;
+            self.in_deadline_bytes += bytes as u64;
+        }
+    }
+
+    /// Mean delivery delay in seconds (0 when nothing delivered).
+    pub fn mean_delay(&self) -> f64 {
+        if self.delivered_frames == 0 {
+            0.0
+        } else {
+            self.total_delay / self.delivered_frames as f64
+        }
+    }
+
+    /// Goodput in bit/s over `duration` seconds.
+    pub fn goodput_bps(&self, duration: f64) -> f64 {
+        if duration <= 0.0 {
+            return 0.0;
+        }
+        self.delivered_bytes as f64 * 8.0 / duration
+    }
+
+    /// Deadline-bounded goodput in bit/s (equals [`FlowMetrics::goodput_bps`]
+    /// when no deadline was configured).
+    pub fn in_deadline_goodput_bps(&self, duration: f64) -> f64 {
+        if duration <= 0.0 {
+            return 0.0;
+        }
+        self.in_deadline_bytes as f64 * 8.0 / duration
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &FlowMetrics) {
+        self.delivered_bytes += other.delivered_bytes;
+        self.delivered_frames += other.delivered_frames;
+        self.dropped_frames += other.dropped_frames;
+        self.total_delay += other.total_delay;
+        self.max_delay = self.max_delay.max(other.max_delay);
+        self.retransmissions += other.retransmissions;
+        self.in_deadline_frames += other.in_deadline_frames;
+        self.in_deadline_bytes += other.in_deadline_bytes;
+    }
+}
+
+/// Per-node airtime occupancy, for the Section 8 energy analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AirtimeShare {
+    /// Seconds spent transmitting.
+    pub tx_s: f64,
+    /// Seconds spent receiving frames addressed to this node.
+    pub rx_s: f64,
+    /// Seconds spent overhearing frames for others (legacy nodes decode
+    /// them; Carpool nodes can drop after the A-HDR).
+    pub overhear_s: f64,
+    /// Seconds idle (including backoff and silence).
+    pub idle_s: f64,
+}
+
+impl AirtimeShare {
+    /// Total accounted time.
+    pub fn total(&self) -> f64 {
+        self.tx_s + self.rx_s + self.overhear_s + self.idle_s
+    }
+}
+
+/// Channel-level counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Successful (collision-free) channel acquisitions.
+    pub transmissions: u64,
+    /// Collision events (two or more simultaneous winners).
+    pub collisions: u64,
+    /// Losses caused by hidden terminals firing into a transmission.
+    pub hidden_collisions: u64,
+    /// Aggregate frames carried in successful transmissions.
+    pub aggregated_frames: u64,
+    /// Aggregate receivers addressed in successful transmissions.
+    pub aggregated_receivers: u64,
+}
+
+impl ChannelStats {
+    /// Mean number of MAC frames per channel acquisition.
+    pub fn mean_aggregation(&self) -> f64 {
+        if self.transmissions == 0 {
+            0.0
+        } else {
+            self.aggregated_frames as f64 / self.transmissions as f64
+        }
+    }
+
+    /// Collision probability per contention round.
+    pub fn collision_ratio(&self) -> f64 {
+        let rounds = self.transmissions + self.collisions;
+        if rounds == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / rounds as f64
+        }
+    }
+}
+
+/// Jain's fairness index over nonnegative allocations:
+/// `(sum x)^2 / (n * sum x^2)`, 1.0 = perfectly fair, 1/n = maximally
+/// unfair. Returns 1.0 for empty or all-zero inputs.
+pub fn jain_fairness(allocations: &[f64]) -> f64 {
+    let n = allocations.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n as f64 * sum_sq)
+}
+
+/// Complete output of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Simulated seconds.
+    pub duration_s: f64,
+    /// Downlink (AP to STA) delivery metrics.
+    pub downlink: FlowMetrics,
+    /// Uplink (STA to AP) delivery metrics.
+    pub uplink: FlowMetrics,
+    /// Channel counters.
+    pub channel: ChannelStats,
+    /// Per-STA airtime occupancy (index = STA id).
+    pub sta_airtime: Vec<AirtimeShare>,
+    /// Per-STA downlink delivery metrics (index = STA id).
+    pub per_sta_downlink: Vec<FlowMetrics>,
+}
+
+impl SimReport {
+    /// Downlink goodput in Mbit/s — the paper's headline metric.
+    pub fn downlink_goodput_mbps(&self) -> f64 {
+        self.downlink.goodput_bps(self.duration_s) / 1e6
+    }
+
+    /// Mean downlink delay in seconds.
+    pub fn downlink_delay_s(&self) -> f64 {
+        self.downlink.mean_delay()
+    }
+
+    /// Jain's fairness index over per-STA delivered downlink bytes
+    /// (Section 8, Fairness).
+    pub fn downlink_fairness(&self) -> f64 {
+        let alloc: Vec<f64> = self
+            .per_sta_downlink
+            .iter()
+            .map(|m| m.delivered_bytes as f64)
+            .collect();
+        jain_fairness(&alloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_accounting() {
+        let mut m = FlowMetrics::default();
+        m.record_delivery(1000, 0.010, None);
+        m.record_delivery(500, 0.030, None);
+        assert_eq!(m.delivered_bytes, 1500);
+        assert_eq!(m.delivered_frames, 2);
+        assert!((m.mean_delay() - 0.020).abs() < 1e-12);
+        assert_eq!(m.max_delay, 0.030);
+        assert!((m.goodput_bps(1.0) - 12_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_bounded_goodput() {
+        let mut m = FlowMetrics::default();
+        m.record_delivery(1000, 0.005, Some(0.010));
+        m.record_delivery(1000, 0.050, Some(0.010));
+        assert_eq!(m.in_deadline_bytes, 1000);
+        assert_eq!(m.delivered_bytes, 2000);
+        assert!(m.in_deadline_goodput_bps(1.0) < m.goodput_bps(1.0));
+    }
+
+    #[test]
+    fn empty_metrics_are_neutral() {
+        let m = FlowMetrics::default();
+        assert_eq!(m.mean_delay(), 0.0);
+        assert_eq!(m.goodput_bps(10.0), 0.0);
+        assert_eq!(m.goodput_bps(0.0), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = FlowMetrics::default();
+        a.record_delivery(100, 0.1, None);
+        let mut b = FlowMetrics::default();
+        b.record_delivery(200, 0.3, None);
+        b.dropped_frames = 2;
+        a.merge(&b);
+        assert_eq!(a.delivered_bytes, 300);
+        assert_eq!(a.dropped_frames, 2);
+        assert_eq!(a.max_delay, 0.3);
+    }
+
+    #[test]
+    fn channel_stats_ratios() {
+        let c = ChannelStats {
+            transmissions: 80,
+            collisions: 20,
+            hidden_collisions: 0,
+            aggregated_frames: 400,
+            aggregated_receivers: 240,
+        };
+        assert!((c.mean_aggregation() - 5.0).abs() < 1e-12);
+        assert!((c.collision_ratio() - 0.2).abs() < 1e-12);
+        assert_eq!(ChannelStats::default().collision_ratio(), 0.0);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        assert!((jain_fairness(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One user takes everything: 1/n.
+        assert!((jain_fairness(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        let mid = jain_fairness(&[3.0, 1.0]);
+        assert!(mid > 0.5 && mid < 1.0);
+    }
+
+    #[test]
+    fn airtime_total() {
+        let a = AirtimeShare {
+            tx_s: 1.0,
+            rx_s: 2.0,
+            overhear_s: 3.0,
+            idle_s: 4.0,
+        };
+        assert_eq!(a.total(), 10.0);
+    }
+}

@@ -1,0 +1,1279 @@
+//! Event-driven DCF simulator for a single collision domain.
+//!
+//! Follows the paper's methodology (Section 7.2.1): all nodes — two APs
+//! and 10–30 STAs — are within carrier-sense range and contend with the
+//! IEEE 802.11n parameters of Table 2 (slot 9 µs, SIFS 10 µs, DIFS
+//! 28 µs, CW 15–1023, exponential backoff). Frame decoding is driven by
+//! a [`FrameErrorModel`]-driven model calibrated
+//! from `carpool-phy` runs, the software analogue of the paper's
+//! USRP-trace-driven emulation.
+//!
+//! The engine uses the *virtual slot* technique, exact for a single
+//! collision domain: whenever the medium goes idle, all backlogged
+//! nodes count down together; the minimum-backoff node(s) transmit, and
+//! simultaneous expiry is a collision.
+
+use crate::error_model::FrameErrorModel;
+use crate::metrics::{AirtimeShare, ChannelStats, FlowMetrics, SimReport};
+use crate::protocol::Protocol;
+use carpool_frame::aggregation::{select, AggregationLimits, QueuedFrame};
+use carpool_frame::airtime::{
+    ack_airtime, ahdr_airtime, cts_airtime, data_frame_airtime, rts_airtime, CW_MAX, DIFS,
+    PLCP_OVERHEAD, SIFS, SLOT_TIME,
+};
+use carpool_frame::addr::MacAddress;
+use carpool_frame::mac_frame::{FCS_BYTES, MAC_HEADER_BYTES};
+use carpool_phy::mcs::{Mcs, SYMBOL_DURATION};
+use carpool_traffic::background::{BackgroundSource, Transport};
+use carpool_traffic::voip::VoipSource;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Per-MPDU wire overhead: MAC header + FCS + A-MPDU delimiter.
+pub const WIRE_OVERHEAD_BYTES: usize = MAC_HEADER_BYTES + FCS_BYTES + 2;
+
+/// Extended interframe space after a collision (no ACK arrives).
+fn eifs() -> f64 {
+    SIFS + ack_airtime() + DIFS
+}
+
+/// Downlink traffic offered to each STA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DownlinkTraffic {
+    /// Brady ON/OFF VoIP (96 kbit/s peak, 120 B frames).
+    Voip,
+    /// Constant bit rate: one frame of `bytes` every `interval_s`.
+    Cbr {
+        /// Inter-frame interval in seconds.
+        interval_s: f64,
+        /// Frame size in bytes.
+        bytes: usize,
+    },
+    /// No downlink traffic.
+    None,
+}
+
+/// Uplink background traffic configuration (SIGCOMM'08 style).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UplinkTraffic {
+    /// Fraction of STAs running a TCP-like source (rest are UDP-like).
+    pub tcp_fraction: f64,
+    /// Rate multiplier applied to every source (1.0 = trace level).
+    pub rate_scale: f64,
+}
+
+impl Default for UplinkTraffic {
+    fn default() -> Self {
+        UplinkTraffic {
+            tcp_fraction: 0.5,
+            rate_scale: 1.0,
+        }
+    }
+}
+
+/// Downlink scheduling discipline at the AP (paper Section 8,
+/// Fairness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// First in, first out — the paper's default for delay-insensitive
+    /// traffic.
+    #[default]
+    Fifo,
+    /// Time fairness: the AP keeps a time-occupancy table and serves the
+    /// stations with the smallest cumulative airtime first.
+    TimeFair,
+}
+
+/// Hidden-terminal topology: each unordered STA pair is mutually
+/// hidden with probability `fraction` (drawn deterministically from the
+/// simulation seed). Hidden stations cannot carrier-sense each other's
+/// uplink transmissions and may fire into them — the situation the
+/// multicast RTS/CTS of paper Fig. 7 mitigates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HiddenTerminals {
+    /// Probability that a given STA pair is mutually hidden.
+    pub fraction: f64,
+}
+
+/// Aggregation trigger (paper Section 7.2.2): the AP holds off until
+/// the buffered bytes reach `max_bytes` or the oldest frame has waited
+/// `max_latency_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregationWait {
+    /// Maximum waiting time of the oldest frame.
+    pub max_latency_s: f64,
+    /// Byte threshold that releases the aggregate early.
+    pub max_bytes: usize,
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Downlink MAC protocol under test.
+    pub protocol: Protocol,
+    /// Number of stations.
+    pub num_stas: usize,
+    /// Number of access points (the paper uses 2).
+    pub num_aps: usize,
+    /// Simulated seconds.
+    pub duration_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Data MCS (the paper's 65 Mbit/s 802.11n rate maps to the closest
+    /// 802.11a/g rate, 54 Mbit/s QAM64-3/4, in this PHY).
+    pub data_mcs: Mcs,
+    /// Downlink workload per STA.
+    pub downlink: DownlinkTraffic,
+    /// Optional uplink background workload.
+    pub uplink: Option<UplinkTraffic>,
+    /// Aggregation limits (size, receivers, frames per receiver).
+    pub limits: AggregationLimits,
+    /// Optional aggregation trigger.
+    pub aggregation_wait: Option<AggregationWait>,
+    /// Optional delivery deadline for deadline-bounded goodput.
+    pub deadline: Option<f64>,
+    /// Drop downlink frames older than this at the AP (delay-sensitive
+    /// traffic discards expired frames instead of queueing them forever,
+    /// as in the paper's Fig. 17 experiments).
+    pub drop_expired_s: Option<f64>,
+    /// Retry limit before a frame is dropped.
+    pub retry_limit: u32,
+    /// Whether VoIP calls are two-way (each STA also sends an uplink
+    /// VoIP stream). Two-way calls create the uplink contention that
+    /// starves the AP — the downlink/uplink asymmetry of Section 2.
+    pub bidirectional_voip: bool,
+    /// Per-STA link SNR in dB (index = STA id). When set, every
+    /// station is served at the MCS its link supports
+    /// ([`crate::rate::mcs_for_snr`]) — "different subframes can adopt
+    /// different MCSs" (paper Section 4.1). `None` serves everyone at
+    /// [`SimConfig::data_mcs`].
+    pub per_sta_snr_db: Option<Vec<f64>>,
+    /// Downlink scheduling discipline.
+    pub scheduler: SchedulerPolicy,
+    /// Fraction of STAs that support Carpool (Section 4.3, AP
+    /// association): the AP aggregates across Carpool-capable clients
+    /// and falls back to single-frame transmissions for legacy ones.
+    /// Station ids `< fraction * num_stas` are capable.
+    pub carpool_fraction: f64,
+    /// Precede every data exchange with RTS/CTS signalling — Carpool
+    /// uses one multicast RTS carrying the A-HDR followed by sequential
+    /// CTSs (paper Fig. 7).
+    pub use_rts_cts: bool,
+    /// Optional hidden-terminal topology among STAs.
+    pub hidden_terminals: Option<HiddenTerminals>,
+    /// Fixed extra cost per contention round, seconds. Calibrates the
+    /// engine's (optimistic) concurrent-countdown DCF to the per-access
+    /// contention cost of the paper's MATLAB simulator, where deferral
+    /// and backoff slots do not overlap with other nodes' countdowns.
+    pub extra_round_overhead_s: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            protocol: Protocol::Carpool,
+            num_stas: 20,
+            num_aps: 2,
+            duration_s: 10.0,
+            seed: 1,
+            data_mcs: Mcs::QAM64_3_4,
+            downlink: DownlinkTraffic::Voip,
+            uplink: None,
+            // Per-receiver MPDU budget bounded by the block-ACK window
+            // actually serviceable per TXOP with short VoIP frames.
+            limits: AggregationLimits {
+                max_frames_per_receiver: 4,
+                ..AggregationLimits::default()
+            },
+            aggregation_wait: None,
+            deadline: None,
+            drop_expired_s: None,
+            retry_limit: 7,
+            bidirectional_voip: true,
+            per_sta_snr_db: None,
+            scheduler: SchedulerPolicy::Fifo,
+            carpool_fraction: 1.0,
+            use_rts_cts: false,
+            hidden_terminals: None,
+            extra_round_overhead_s: 80e-6,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ArrivalEvent {
+    time: f64,
+    node: usize,
+    dest: usize,
+    bytes: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingFrame {
+    bytes: usize,
+    enqueue: f64,
+    attempts: u32,
+    dest: usize,
+}
+
+#[derive(Debug)]
+struct Node {
+    queue: VecDeque<PendingFrame>,
+    backoff: u32,
+    cw: u32,
+    cw_min: u32,
+    is_ap: bool,
+}
+
+impl Node {
+    fn new(is_ap: bool, cw_min: u32) -> Node {
+        Node {
+            queue: VecDeque::new(),
+            backoff: 0,
+            cw: cw_min,
+            cw_min,
+            is_ap,
+        }
+    }
+
+    fn draw_backoff(&mut self, rng: &mut StdRng) {
+        self.backoff = rng.gen_range(0..=self.cw);
+    }
+
+    fn on_success(&mut self, rng: &mut StdRng) {
+        self.cw = self.cw_min;
+        if !self.queue.is_empty() {
+            self.draw_backoff(rng);
+        }
+    }
+
+    fn on_collision(&mut self, rng: &mut StdRng) {
+        self.cw = (self.cw * 2 + 1).min(CW_MAX);
+        self.draw_backoff(rng);
+    }
+
+    fn queued_bytes(&self) -> usize {
+        self.queue.iter().map(|f| f.bytes).sum()
+    }
+}
+
+/// A planned transmission: receivers with their frame batches.
+struct TxopPlan {
+    /// Queue indices selected, ascending (for removal).
+    selected: Vec<usize>,
+    /// Per-receiver groups: (destination node id, queue indices, MCS).
+    groups: Vec<(usize, Vec<usize>, Mcs)>,
+    /// Airtime of the data PPDU (PLCP + headers + payload).
+    data_airtime: f64,
+    /// Trailing ACK sequence time.
+    ack_airtime_total: f64,
+    /// Header length in OFDM symbols (payload error positions start here).
+    header_symbols: usize,
+}
+
+impl TxopPlan {
+    fn total_airtime(&self) -> f64 {
+        self.data_airtime + self.ack_airtime_total
+    }
+}
+
+/// The simulator.
+pub struct Simulator {
+    config: SimConfig,
+    error_model: Box<dyn FrameErrorModel>,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given config and error model.
+    pub fn new(config: SimConfig, error_model: Box<dyn FrameErrorModel>) -> Simulator {
+        Simulator {
+            config,
+            error_model,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    fn generate_arrivals(&self, rng: &mut StdRng) -> Vec<ArrivalEvent> {
+        let cfg = &self.config;
+        let mut arrivals = Vec::new();
+        for sta in 0..cfg.num_stas {
+            let node_id = cfg.num_aps + sta;
+            let ap_id = sta % cfg.num_aps;
+            match cfg.downlink {
+                DownlinkTraffic::Voip => {
+                    // ON/OFF means calibrated so the per-STA offered load
+                    // matches the operating points of the paper's Fig. 15
+                    // (~0.9 x 96 kbit/s per STA): talkspurts dominate.
+                    let voip = VoipSource::with_means(5.0, 0.05);
+                    for a in voip.generate(cfg.duration_s, rng) {
+                        arrivals.push(ArrivalEvent {
+                            time: a.time,
+                            node: ap_id,
+                            dest: node_id,
+                            bytes: a.bytes,
+                        });
+                    }
+                    if cfg.bidirectional_voip {
+                        for a in voip.generate(cfg.duration_s, rng) {
+                            arrivals.push(ArrivalEvent {
+                                time: a.time,
+                                node: node_id,
+                                dest: ap_id,
+                                bytes: a.bytes,
+                            });
+                        }
+                    }
+                }
+                DownlinkTraffic::Cbr { interval_s, bytes } => {
+                    // Random phase to avoid synchronised arrivals.
+                    let mut t = rng.gen::<f64>() * interval_s;
+                    while t < cfg.duration_s {
+                        arrivals.push(ArrivalEvent {
+                            time: t,
+                            node: ap_id,
+                            dest: node_id,
+                            bytes,
+                        });
+                        t += interval_s;
+                    }
+                }
+                DownlinkTraffic::None => {}
+            }
+            if let Some(up) = cfg.uplink {
+                let transport = if (sta as f64 + 0.5) / cfg.num_stas as f64 <= up.tcp_fraction {
+                    Transport::Tcp
+                } else {
+                    Transport::Udp
+                };
+                let source = BackgroundSource::new(transport).with_rate_scale(up.rate_scale);
+                for a in source.generate(cfg.duration_s, rng) {
+                    arrivals.push(ArrivalEvent {
+                        time: a.time,
+                        node: node_id,
+                        dest: ap_id,
+                        bytes: a.bytes,
+                    });
+                }
+            }
+        }
+        arrivals.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        arrivals
+    }
+
+    /// Whether station node id `sta_id` negotiated Carpool at
+    /// association (Section 4.3).
+    fn is_carpool_capable(&self, sta_id: usize) -> bool {
+        let idx = sta_id.saturating_sub(self.config.num_aps);
+        (idx as f64) < self.config.carpool_fraction * self.config.num_stas as f64
+    }
+
+    /// MCS used when transmitting to (or from) station node `sta_id`.
+    fn mcs_for(&self, sta_id: usize) -> Mcs {
+        match &self.config.per_sta_snr_db {
+            Some(snrs) => {
+                let idx = sta_id.saturating_sub(self.config.num_aps);
+                snrs.get(idx)
+                    .map(|&snr| crate::rate::mcs_for_snr(snr))
+                    .unwrap_or(self.config.data_mcs)
+            }
+            None => self.config.data_mcs,
+        }
+    }
+
+    fn ap_eligible(&self, node: &Node, now: f64) -> bool {
+        let Some(head) = node.queue.front() else {
+            return false;
+        };
+        match self.config.aggregation_wait {
+            None => true,
+            Some(w) => {
+                now - head.enqueue >= w.max_latency_s || node.queued_bytes() >= w.max_bytes
+            }
+        }
+    }
+
+    fn plan_txop(&self, node: &Node, node_id: usize, occupancy: &[f64]) -> TxopPlan {
+        let cfg = &self.config;
+        if node.is_ap {
+            // Mixed deployments (Section 4.3): a multi-receiver AP
+            // serves a legacy head-of-line client with a plain
+            // single-frame transmission, and never aggregates legacy
+            // clients into a Carpool frame.
+            let multi_user = matches!(
+                cfg.protocol,
+                Protocol::Carpool | Protocol::MuAggregation
+            );
+            let head_dest = node.queue.front().expect("caller checked non-empty").dest;
+            if multi_user && !self.is_carpool_capable(head_dest) {
+                let head = node.queue.front().expect("non-empty");
+                let mcs = self.mcs_for(head.dest);
+                let wire_bits = (head.bytes + WIRE_OVERHEAD_BYTES) * 8;
+                return TxopPlan {
+                    selected: vec![0],
+                    groups: vec![(head.dest, vec![0], mcs)],
+                    data_airtime: PLCP_OVERHEAD
+                        + mcs.symbols_for_bits(wire_bits) as f64 * SYMBOL_DURATION,
+                    ack_airtime_total: SIFS + ack_airtime(),
+                    header_symbols: 0,
+                };
+            }
+
+            // Under time fairness the AP presents its queue to the
+            // selector ordered by the destinations' cumulative airtime,
+            // so underserved stations aggregate (and transmit) first.
+            let mut order: Vec<usize> = (0..node.queue.len()).collect();
+            if multi_user && cfg.carpool_fraction < 1.0 {
+                // Only Carpool-capable destinations may ride this
+                // aggregate; legacy frames wait for their own TXOPs.
+                order.retain(|&k| self.is_carpool_capable(node.queue[k].dest));
+            }
+            if cfg.scheduler == SchedulerPolicy::TimeFair {
+                order.sort_by(|&a, &b| {
+                    let occ = |k: usize| {
+                        let dest = node.queue[k].dest;
+                        occupancy
+                            .get(dest.saturating_sub(cfg.num_aps))
+                            .copied()
+                            .unwrap_or(0.0)
+                    };
+                    occ(a)
+                        .partial_cmp(&occ(b))
+                        .expect("occupancy is finite")
+                        .then(a.cmp(&b))
+                });
+            }
+            let queue: Vec<QueuedFrame> = order
+                .iter()
+                .map(|&k| {
+                    let f = node.queue[k];
+                    QueuedFrame {
+                        dest: MacAddress::station(f.dest as u16),
+                        bytes: f.bytes,
+                        enqueue_time: f.enqueue,
+                    }
+                })
+                .collect();
+            let selection = select(cfg.protocol.aggregation_policy(), &queue, &cfg.limits);
+            let receivers = selection.receiver_count().max(1);
+            let header_airtime = cfg.protocol.aggregation_header_airtime(receivers);
+            let header_symbols =
+                (header_airtime / SYMBOL_DURATION).round() as usize;
+            let mut groups = Vec::with_capacity(selection.groups.len());
+            let mut selected = Vec::new();
+            let mut payload_symbols = 0usize;
+            for (_, view_indices) in &selection.groups {
+                let indices: Vec<usize> = view_indices.iter().map(|&k| order[k]).collect();
+                let dest = node.queue[indices[0]].dest;
+                let mcs = self.mcs_for(dest);
+                for &k in &indices {
+                    let wire_bits = (node.queue[k].bytes + WIRE_OVERHEAD_BYTES) * 8;
+                    payload_symbols += mcs.symbols_for_bits(wire_bits);
+                }
+                selected.extend_from_slice(&indices);
+                groups.push((dest, indices, mcs));
+            }
+            selected.sort_unstable();
+            let data_airtime = PLCP_OVERHEAD
+                + header_airtime
+                + payload_symbols as f64 * SYMBOL_DURATION;
+            let acks = cfg.protocol.acks_per_exchange(receivers);
+            TxopPlan {
+                selected,
+                groups,
+                data_airtime,
+                ack_airtime_total: acks as f64 * (SIFS + ack_airtime()),
+                header_symbols,
+            }
+        } else {
+            // STA: single head frame to its AP at the STA's own rate.
+            let head = node.queue.front().expect("caller checked non-empty");
+            let mcs = self.mcs_for(node_id);
+            let wire = head.bytes + WIRE_OVERHEAD_BYTES - 2; // no delimiter
+            TxopPlan {
+                selected: vec![0],
+                groups: vec![(head.dest, vec![0], mcs)],
+                data_airtime: data_frame_airtime(wire, mcs),
+                ack_airtime_total: SIFS + ack_airtime(),
+                header_symbols: 0,
+            }
+        }
+    }
+
+    /// Deterministically decides whether two STA node ids are mutually
+    /// hidden under the configured topology.
+    fn is_hidden(&self, a: usize, b: usize) -> bool {
+        let Some(h) = self.config.hidden_terminals else {
+            return false;
+        };
+        if a == b {
+            return false;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        // splitmix-style hash of (pair, seed) -> uniform in [0, 1).
+        let mut x = (lo as u64) << 32 | hi as u64;
+        x ^= self.config.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x as f64 / u64::MAX as f64) < h.fraction
+    }
+
+    /// RTS/CTS signalling time preceding a data PPDU addressed to
+    /// `receivers` receivers (multicast RTS + sequential CTSs, Fig. 7).
+    fn control_airtime(&self, receivers: usize) -> f64 {
+        if !self.config.use_rts_cts {
+            return 0.0;
+        }
+        let carpool_like = matches!(
+            self.config.protocol,
+            Protocol::Carpool | Protocol::MuAggregation
+        );
+        rts_airtime(carpool_like) + receivers as f64 * (SIFS + cts_airtime()) + SIFS
+    }
+
+    /// Runs the simulation to completion.
+    pub fn run(&self) -> SimReport {
+        let cfg = &self.config;
+        assert!(cfg.num_aps >= 1, "need at least one AP");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let arrivals = self.generate_arrivals(&mut rng);
+
+        let total_nodes = cfg.num_aps + cfg.num_stas;
+        let mut nodes: Vec<Node> = (0..total_nodes)
+            .map(|k| {
+                let is_ap = k < cfg.num_aps;
+                let cw_min = if is_ap {
+                    cfg.protocol.ap_cw_min()
+                } else {
+                    carpool_frame::airtime::CW_MIN
+                };
+                Node::new(is_ap, cw_min)
+            })
+            .collect();
+
+        let mut downlink = FlowMetrics::default();
+        let mut uplink = FlowMetrics::default();
+        let mut channel = ChannelStats::default();
+        let mut sta_airtime = vec![AirtimeShare::default(); cfg.num_stas];
+        // Time-occupancy table for the fairness scheduler (Section 8).
+        let mut occupancy = vec![0.0f64; cfg.num_stas];
+        let mut per_sta_downlink = vec![FlowMetrics::default(); cfg.num_stas];
+
+        let mut now = 0.0f64;
+        let mut arr_idx = 0usize;
+        let scheme = cfg.protocol.estimation();
+
+        loop {
+            // Ingest arrivals up to `now`.
+            while arr_idx < arrivals.len() && arrivals[arr_idx].time <= now {
+                let a = arrivals[arr_idx];
+                let node = &mut nodes[a.node];
+                let was_empty = node.queue.is_empty();
+                node.queue.push_back(PendingFrame {
+                    bytes: a.bytes,
+                    enqueue: a.time,
+                    attempts: 0,
+                    dest: a.dest,
+                });
+                if was_empty {
+                    node.draw_backoff(&mut rng);
+                }
+                arr_idx += 1;
+            }
+            if now >= cfg.duration_s {
+                break;
+            }
+
+            // Expired delay-sensitive downlink frames are discarded.
+            if let Some(limit) = cfg.drop_expired_s {
+                for node in nodes.iter_mut().filter(|n| n.is_ap) {
+                    while node
+                        .queue
+                        .front()
+                        .map(|f| now - f.enqueue > limit)
+                        .unwrap_or(false)
+                    {
+                        node.queue.pop_front();
+                        downlink.dropped_frames += 1;
+                    }
+                }
+            }
+
+            // Who is contending?
+            let eligible: Vec<usize> = (0..total_nodes)
+                .filter(|&k| {
+                    let n = &nodes[k];
+                    if n.queue.is_empty() {
+                        false
+                    } else if n.is_ap {
+                        self.ap_eligible(n, now)
+                    } else {
+                        true
+                    }
+                })
+                .collect();
+
+            // WiFox: a backlogged AP preempts STA contention with
+            // PIFS-like priority in about half of the rounds (adaptive
+            // downlink prioritisation).
+            let eligible = if cfg.protocol.has_downlink_priority() {
+                let priority: Vec<usize> = eligible
+                    .iter()
+                    .copied()
+                    .filter(|&k| nodes[k].is_ap && nodes[k].queue.len() >= 10)
+                    .collect();
+                if !priority.is_empty() && rng.gen_bool(0.35) {
+                    priority
+                } else {
+                    eligible
+                }
+            } else {
+                eligible
+            };
+
+            if eligible.is_empty() {
+                // Advance to the next event: arrival or AP release time.
+                let mut next = cfg.duration_s;
+                if arr_idx < arrivals.len() {
+                    next = next.min(arrivals[arr_idx].time);
+                }
+                if let Some(w) = cfg.aggregation_wait {
+                    for node in nodes.iter().filter(|n| n.is_ap) {
+                        if let Some(head) = node.queue.front() {
+                            next = next.min(head.enqueue + w.max_latency_s);
+                        }
+                    }
+                }
+                if next <= now {
+                    next = now + SLOT_TIME;
+                }
+                now = next;
+                continue;
+            }
+
+            // Joint countdown.
+            let d = eligible
+                .iter()
+                .map(|&k| nodes[k].backoff)
+                .min()
+                .expect("eligible non-empty");
+            now += DIFS + d as f64 * SLOT_TIME + cfg.extra_round_overhead_s;
+            for &k in &eligible {
+                nodes[k].backoff -= d;
+            }
+            let winners: Vec<usize> = eligible
+                .iter()
+                .copied()
+                .filter(|&k| nodes[k].backoff == 0)
+                .collect();
+
+            if winners.len() > 1 {
+                // Collision: channel busy for the longest attempt. With
+                // RTS/CTS the clash is detected after the short RTS.
+                channel.collisions += 1;
+                let busy = if cfg.use_rts_cts {
+                    rts_airtime(matches!(
+                        cfg.protocol,
+                        Protocol::Carpool | Protocol::MuAggregation
+                    ))
+                } else {
+                    winners
+                        .iter()
+                        .map(|&k| self.plan_txop(&nodes[k], k, &occupancy).data_airtime)
+                        .fold(0.0f64, f64::max)
+                };
+                now += busy + eifs();
+                for &k in &winners {
+                    // Head-frame retry accounting.
+                    let drop = {
+                        let node = &mut nodes[k];
+                        if let Some(head) = node.queue.front_mut() {
+                            head.attempts += 1;
+                            head.attempts > cfg.retry_limit
+                        } else {
+                            false
+                        }
+                    };
+                    if drop {
+                        let node = &mut nodes[k];
+                        node.queue.pop_front();
+                        if node.is_ap {
+                            downlink.dropped_frames += 1;
+                        } else {
+                            uplink.dropped_frames += 1;
+                        }
+                    }
+                    nodes[k].on_collision(&mut rng);
+                }
+                // Everyone else overhears the garbled burst.
+                for sta in 0..cfg.num_stas {
+                    let id = cfg.num_aps + sta;
+                    if winners.contains(&id) {
+                        sta_airtime[sta].tx_s += busy;
+                    } else {
+                        sta_airtime[sta].overhear_s += busy;
+                    }
+                }
+                continue;
+            }
+
+            // Single winner transmits.
+            let winner = winners[0];
+            let plan = self.plan_txop(&nodes[winner], winner, &occupancy);
+            let control = self.control_airtime(plan.groups.len());
+
+            // Hidden-terminal interference: an uplink transmission is
+            // vulnerable to hidden peers that cannot sense it. With
+            // RTS/CTS, the AP's CTS silences them after the short RTS —
+            // a hidden hit then costs only the aborted signalling;
+            // without it, the whole data PPDU is exposed and lost.
+            let mut hidden_loss = false;
+            if cfg.hidden_terminals.is_some() && !nodes[winner].is_ap {
+                let vulnerable = if cfg.use_rts_cts {
+                    rts_airtime(false)
+                } else {
+                    plan.data_airtime
+                };
+                for j in cfg.num_aps..total_nodes {
+                    if j == winner
+                        || nodes[j].queue.is_empty()
+                        || !self.is_hidden(winner, j)
+                    {
+                        continue;
+                    }
+                    // The hidden peer keeps counting down into the
+                    // exposed window and fires if it expires inside it.
+                    let expiry = nodes[j].backoff as f64 * SLOT_TIME + DIFS;
+                    if expiry < vulnerable {
+                        hidden_loss = true;
+                        let drop = {
+                            let peer = &mut nodes[j];
+                            if let Some(head) = peer.queue.front_mut() {
+                                head.attempts += 1;
+                                head.attempts > cfg.retry_limit
+                            } else {
+                                false
+                            }
+                        };
+                        if drop {
+                            nodes[j].queue.pop_front();
+                            uplink.dropped_frames += 1;
+                        }
+                        nodes[j].on_collision(&mut rng);
+                    }
+                }
+                if hidden_loss {
+                    channel.hidden_collisions += 1;
+                }
+            }
+
+            if hidden_loss && cfg.use_rts_cts {
+                // The missing CTS aborts the exchange after the RTS:
+                // data frames stay queued and are retried cheaply.
+                let busy = rts_airtime(true) + eifs();
+                now += busy;
+                {
+                    let node = &mut nodes[winner];
+                    if let Some(head) = node.queue.front_mut() {
+                        head.attempts += 1;
+                    }
+                    node.on_collision(&mut rng);
+                }
+                for sta in 0..cfg.num_stas {
+                    let id = cfg.num_aps + sta;
+                    if id == winner {
+                        sta_airtime[sta].tx_s += busy;
+                    } else {
+                        sta_airtime[sta].overhear_s += busy;
+                    }
+                }
+                continue;
+            }
+
+            let busy = plan.total_airtime() + control;
+            now += busy;
+            channel.transmissions += 1;
+            channel.aggregated_frames += plan.selected.len() as u64;
+            channel.aggregated_receivers += plan.groups.len() as u64;
+
+            // Evaluate per-frame success at its symbol position, and
+            // charge each destination's time-occupancy account.
+            let mut start_sym = plan.header_symbols;
+            let mut outcomes: Vec<(usize, bool)> = Vec::with_capacity(plan.selected.len());
+            for (dest, indices, group_mcs) in &plan.groups {
+                // The station whose link decides this subframe's fate:
+                // the destination for downlink, the sender for uplink.
+                let link_sta = if nodes[winner].is_ap {
+                    dest.saturating_sub(cfg.num_aps)
+                } else {
+                    winner.saturating_sub(cfg.num_aps)
+                };
+                for &k in indices {
+                    let frame = nodes[winner].queue[k];
+                    let wire_bits = (frame.bytes + WIRE_OVERHEAD_BYTES) * 8;
+                    let n_sym = group_mcs.symbols_for_bits(wire_bits);
+                    let p = self.error_model.subframe_success_prob_for(
+                        link_sta,
+                        scheme,
+                        *group_mcs,
+                        start_sym,
+                        n_sym,
+                    );
+                    outcomes.push((k, !hidden_loss && rng.gen::<f64>() < p));
+                    start_sym += n_sym;
+                    if nodes[winner].is_ap {
+                        if let Some(slot) = occupancy.get_mut(dest.saturating_sub(cfg.num_aps)) {
+                            *slot += n_sym as f64 * SYMBOL_DURATION;
+                        }
+                    }
+                }
+            }
+
+            // Airtime accounting for STAs.
+            let is_downlink = nodes[winner].is_ap;
+            let carpool_like = matches!(
+                cfg.protocol,
+                Protocol::Carpool | Protocol::MuAggregation
+            );
+            for sta in 0..cfg.num_stas {
+                let id = cfg.num_aps + sta;
+                if id == winner {
+                    sta_airtime[sta].tx_s += plan.data_airtime;
+                    sta_airtime[sta].rx_s += plan.ack_airtime_total;
+                    continue;
+                }
+                let addressed =
+                    is_downlink && plan.groups.iter().any(|(dest, _, _)| *dest == id);
+                if addressed {
+                    if carpool_like {
+                        // A-HDR plus (approximately) its own share.
+                        let own: f64 = plan
+                            .groups
+                            .iter()
+                            .filter(|(dest, _, _)| *dest == id)
+                            .map(|(_, g, group_mcs)| {
+                                g.iter()
+                                    .map(|&k| {
+                                        let bits = (nodes[winner].queue[k].bytes
+                                            + WIRE_OVERHEAD_BYTES)
+                                            * 8;
+                                        group_mcs.airtime_for_bits(bits)
+                                    })
+                                    .sum::<f64>()
+                            })
+                            .sum();
+                        sta_airtime[sta].rx_s += ahdr_airtime() + own;
+                        sta_airtime[sta].idle_s += (busy - ahdr_airtime() - own).max(0.0);
+                    } else {
+                        sta_airtime[sta].rx_s += busy;
+                    }
+                } else if carpool_like && is_downlink {
+                    // Checks the A-HDR, then idles.
+                    sta_airtime[sta].overhear_s += PLCP_OVERHEAD + ahdr_airtime();
+                    sta_airtime[sta].idle_s +=
+                        (busy - PLCP_OVERHEAD - ahdr_airtime()).max(0.0);
+                } else {
+                    sta_airtime[sta].overhear_s += busy;
+                }
+            }
+
+            // Deliver or requeue, removing selected entries.
+            let node = &mut nodes[winner];
+            let mut requeue: Vec<PendingFrame> = Vec::new();
+            // Remove in descending index order to keep indices valid.
+            let mut by_index: Vec<(usize, bool)> = outcomes;
+            by_index.sort_by_key(|&(k, _)| std::cmp::Reverse(k));
+            for (k, ok) in by_index {
+                let mut frame = node.queue.remove(k).expect("index from selection");
+                let metrics = if node.is_ap {
+                    &mut downlink
+                } else {
+                    &mut uplink
+                };
+                if ok {
+                    metrics.record_delivery(frame.bytes, now - frame.enqueue, cfg.deadline);
+                    if node.is_ap {
+                        if let Some(sta) = per_sta_downlink.get_mut(frame.dest.saturating_sub(cfg.num_aps))
+                        {
+                            sta.record_delivery(frame.bytes, now - frame.enqueue, cfg.deadline);
+                        }
+                    }
+                } else {
+                    metrics.retransmissions += 1;
+                    frame.attempts += 1;
+                    if frame.attempts > cfg.retry_limit {
+                        metrics.dropped_frames += 1;
+                    } else {
+                        requeue.push(frame);
+                    }
+                }
+            }
+            // Failed frames return to the head, oldest first.
+            requeue.sort_by(|a, b| b.enqueue.partial_cmp(&a.enqueue).expect("finite"));
+            for f in requeue {
+                node.queue.push_front(f);
+            }
+            node.on_success(&mut rng);
+        }
+
+        // Idle fill-up.
+        for share in &mut sta_airtime {
+            let accounted = share.tx_s + share.rx_s + share.overhear_s + share.idle_s;
+            share.idle_s += (cfg.duration_s - accounted).max(0.0);
+        }
+
+        SimReport {
+            duration_s: cfg.duration_s,
+            downlink,
+            uplink,
+            channel,
+            sta_airtime,
+            per_sta_downlink,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_model::{BerBiasModel, PerfectChannel};
+
+    fn base_config(protocol: Protocol, stas: usize) -> SimConfig {
+        SimConfig {
+            protocol,
+            num_stas: stas,
+            duration_s: 5.0,
+            ..SimConfig::default()
+        }
+    }
+
+    fn run(cfg: SimConfig) -> SimReport {
+        Simulator::new(cfg, Box::new(BerBiasModel::calibrated())).run()
+    }
+
+    #[test]
+    fn light_load_delivers_everything() {
+        let report = run(SimConfig {
+            num_stas: 4,
+            ..base_config(Protocol::Dot11, 4)
+        });
+        assert!(report.downlink.delivered_frames > 0);
+        // Paper: "when the number of STAs is less than 10, delays of all
+        // approaches are almost zero".
+        assert!(report.downlink_delay_s() < 0.01, "{}", report.downlink_delay_s());
+    }
+
+    #[test]
+    fn carpool_beats_dot11_under_congestion() {
+        let carpool = run(base_config(Protocol::Carpool, 30));
+        let dot11 = run(base_config(Protocol::Dot11, 30));
+        assert!(
+            carpool.downlink_goodput_mbps() > dot11.downlink_goodput_mbps(),
+            "carpool {} vs 802.11 {}",
+            carpool.downlink_goodput_mbps(),
+            dot11.downlink_goodput_mbps()
+        );
+    }
+
+    #[test]
+    fn carpool_beats_mu_aggregation_via_rte() {
+        let mut carpool_cfg = base_config(Protocol::Carpool, 30);
+        carpool_cfg.uplink = Some(UplinkTraffic::default());
+        let mut mu_cfg = base_config(Protocol::MuAggregation, 30);
+        mu_cfg.uplink = Some(UplinkTraffic::default());
+        let carpool = run(carpool_cfg);
+        let mu = run(mu_cfg);
+        assert!(
+            carpool.downlink.delivered_bytes >= mu.downlink.delivered_bytes,
+            "carpool {} vs MU {}",
+            carpool.downlink.delivered_bytes,
+            mu.downlink.delivered_bytes
+        );
+    }
+
+    #[test]
+    fn aggregation_reduces_channel_acquisitions() {
+        let carpool = run(base_config(Protocol::Carpool, 30));
+        let dot11 = run(base_config(Protocol::Dot11, 30));
+        assert!(carpool.channel.mean_aggregation() > dot11.channel.mean_aggregation());
+        assert!((dot11.channel.mean_aggregation() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_channel_never_retransmits_without_collisions() {
+        let cfg = SimConfig {
+            num_stas: 1,
+            num_aps: 1,
+            ..base_config(Protocol::Dot11, 1)
+        };
+        let report = Simulator::new(cfg, Box::new(PerfectChannel)).run();
+        // Channel-error retransmissions are impossible; collisions can
+        // still happen between the AP and the STA's uplink VoIP.
+        assert_eq!(report.downlink.retransmissions, 0);
+        assert_eq!(report.uplink.retransmissions, 0);
+    }
+
+    #[test]
+    fn collisions_occur_with_many_contenders() {
+        let mut cfg = base_config(Protocol::Dot11, 30);
+        cfg.uplink = Some(UplinkTraffic::default());
+        let report = run(cfg);
+        assert!(report.channel.collisions > 0);
+    }
+
+    #[test]
+    fn deadline_bounds_goodput() {
+        let mut cfg = base_config(Protocol::Dot11, 30);
+        cfg.deadline = Some(0.01);
+        let report = run(cfg);
+        assert!(report.downlink.in_deadline_bytes <= report.downlink.delivered_bytes);
+    }
+
+    #[test]
+    fn airtime_shares_sum_to_duration() {
+        let report = run(base_config(Protocol::Carpool, 10));
+        for (k, share) in report.sta_airtime.iter().enumerate() {
+            assert!(
+                (share.total() - report.duration_s).abs() < 1e-6,
+                "sta {k}: {}",
+                share.total()
+            );
+        }
+    }
+
+    #[test]
+    fn carpool_receivers_idle_more_than_legacy() {
+        let carpool = run(base_config(Protocol::Carpool, 20));
+        let dot11 = run(base_config(Protocol::Dot11, 20));
+        let carpool_idle: f64 = carpool.sta_airtime.iter().map(|s| s.idle_s).sum();
+        let dot11_idle: f64 = dot11.sta_airtime.iter().map(|s| s.idle_s).sum();
+        assert!(carpool_idle > dot11_idle);
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let a = run(base_config(Protocol::Carpool, 15));
+        let b = run(base_config(Protocol::Carpool, 15));
+        assert_eq!(a.downlink.delivered_bytes, b.downlink.delivered_bytes);
+        assert_eq!(a.channel.collisions, b.channel.collisions);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(base_config(Protocol::Carpool, 15));
+        let mut cfg = base_config(Protocol::Carpool, 15);
+        cfg.seed = 2;
+        let b = run(cfg);
+        assert_ne!(a.downlink.delivered_bytes, b.downlink.delivered_bytes);
+    }
+
+    #[test]
+    fn aggregation_wait_increases_batch_size() {
+        let mut waiting = base_config(Protocol::Carpool, 20);
+        waiting.aggregation_wait = Some(AggregationWait {
+            max_latency_s: 0.05,
+            max_bytes: 8000,
+        });
+        let eager = run(base_config(Protocol::Carpool, 20));
+        let waited = run(waiting);
+        assert!(
+            waited.channel.mean_aggregation() >= eager.channel.mean_aggregation(),
+            "waited {} vs eager {}",
+            waited.channel.mean_aggregation(),
+            eager.channel.mean_aggregation()
+        );
+    }
+
+    #[test]
+    fn hidden_terminals_cause_uplink_losses() {
+        let mut cfg = base_config(Protocol::Dot11, 20);
+        cfg.uplink = Some(UplinkTraffic::default());
+        cfg.hidden_terminals = Some(HiddenTerminals { fraction: 0.5 });
+        let with_hidden = run(cfg.clone());
+        cfg.hidden_terminals = None;
+        let without = run(cfg);
+        assert!(with_hidden.channel.hidden_collisions > 0);
+        assert!(
+            with_hidden.uplink.delivered_bytes < without.uplink.delivered_bytes,
+            "hidden {} vs clear {}",
+            with_hidden.uplink.delivered_bytes,
+            without.uplink.delivered_bytes
+        );
+    }
+
+    #[test]
+    fn rts_cts_mitigates_hidden_terminals() {
+        let mut cfg = base_config(Protocol::Carpool, 20);
+        cfg.uplink = Some(UplinkTraffic::default());
+        cfg.hidden_terminals = Some(HiddenTerminals { fraction: 0.5 });
+        let exposed = run(cfg.clone());
+        cfg.use_rts_cts = true;
+        let protected = run(cfg);
+        assert!(
+            protected.channel.hidden_collisions < exposed.channel.hidden_collisions,
+            "protected {} vs exposed {}",
+            protected.channel.hidden_collisions,
+            exposed.channel.hidden_collisions
+        );
+    }
+
+    #[test]
+    fn rts_cts_costs_airtime_without_hidden_terminals() {
+        let plain = run(base_config(Protocol::Carpool, 26));
+        let mut cfg = base_config(Protocol::Carpool, 26);
+        cfg.use_rts_cts = true;
+        let with_rts = run(cfg);
+        // Signalling overhead can only slow a clean, saturated cell.
+        assert!(
+            with_rts.downlink.delivered_bytes <= plain.downlink.delivered_bytes,
+            "rts {} vs plain {}",
+            with_rts.downlink.delivered_bytes,
+            plain.downlink.delivered_bytes
+        );
+    }
+
+    #[test]
+    fn hidden_matrix_is_symmetric_and_seeded() {
+        let cfg = SimConfig {
+            hidden_terminals: Some(HiddenTerminals { fraction: 0.3 }),
+            ..base_config(Protocol::Dot11, 10)
+        };
+        let sim = Simulator::new(cfg, Box::new(PerfectChannel));
+        let mut hidden_pairs = 0;
+        for a in 2..12 {
+            for b in 2..12 {
+                assert_eq!(sim.is_hidden(a, b), sim.is_hidden(b, a));
+                if a < b && sim.is_hidden(a, b) {
+                    hidden_pairs += 1;
+                }
+            }
+        }
+        // ~30% of 45 pairs, loosely.
+        assert!((4..=25).contains(&hidden_pairs), "{hidden_pairs} hidden pairs");
+        for a in 2..12 {
+            assert!(!sim.is_hidden(a, a));
+        }
+    }
+
+    #[test]
+    fn rate_adaptation_serves_far_stations_slower() {
+        // Half the stations are near (54 Mbit/s), half far (6 Mbit/s):
+        // total goodput sits between the two uniform-rate extremes.
+        let mut mixed = base_config(Protocol::Carpool, 20);
+        mixed.per_sta_snr_db = Some(
+            (0..20).map(|k| if k % 2 == 0 { 30.0 } else { 6.0 }).collect(),
+        );
+        let mut all_fast = base_config(Protocol::Carpool, 20);
+        all_fast.per_sta_snr_db = Some(vec![30.0; 20]);
+        let mut all_slow = base_config(Protocol::Carpool, 20);
+        all_slow.per_sta_snr_db = Some(vec![6.0; 20]);
+        let fast = run(all_fast).downlink.delivered_bytes;
+        let slow = run(all_slow).downlink.delivered_bytes;
+        let mid = run(mixed).downlink.delivered_bytes;
+        assert!(fast >= mid, "fast {fast} mid {mid}");
+        assert!(mid >= slow, "mid {mid} slow {slow}");
+        assert!(fast > slow, "rates must matter: fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn per_sta_metrics_sum_to_aggregate() {
+        let report = run(base_config(Protocol::Carpool, 12));
+        let total: u64 = report
+            .per_sta_downlink
+            .iter()
+            .map(|m| m.delivered_bytes)
+            .sum();
+        assert_eq!(total, report.downlink.delivered_bytes);
+        let frames: u64 = report
+            .per_sta_downlink
+            .iter()
+            .map(|m| m.delivered_frames)
+            .sum();
+        assert_eq!(frames, report.downlink.delivered_frames);
+    }
+
+    #[test]
+    fn fairness_index_is_high_for_symmetric_load() {
+        let report = run(base_config(Protocol::Carpool, 12));
+        let f = report.downlink_fairness();
+        assert!(f > 0.9, "fairness {f}");
+    }
+
+    #[test]
+    fn time_fairness_narrows_service_spread() {
+        // With one slow station, FIFO lets whoever queues first hog the
+        // air; time fairness should not *increase* the spread of
+        // per-station delivery and must still deliver traffic.
+        let mut fifo_cfg = base_config(Protocol::Carpool, 16);
+        fifo_cfg.uplink = Some(UplinkTraffic::default());
+        let mut fair_cfg = fifo_cfg.clone();
+        fair_cfg.scheduler = SchedulerPolicy::TimeFair;
+        let fifo = run(fifo_cfg);
+        let fair = run(fair_cfg);
+        assert!(fair.downlink.delivered_frames > 0);
+        // Both disciplines carry comparable totals.
+        let ratio = fair.downlink.delivered_bytes as f64
+            / fifo.downlink.delivered_bytes.max(1) as f64;
+        assert!((0.7..=1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn mixed_population_still_serves_everyone() {
+        let mut cfg = base_config(Protocol::Carpool, 20);
+        cfg.carpool_fraction = 0.5;
+        let report = run(cfg);
+        // Legacy stations (ids >= 10) still receive traffic.
+        let legacy_rx: f64 = report.sta_airtime[10..].iter().map(|s| s.rx_s).sum();
+        assert!(legacy_rx > 0.0, "legacy stations starved");
+        assert!(report.downlink.delivered_frames > 0);
+    }
+
+    #[test]
+    fn goodput_grows_with_carpool_adoption() {
+        let mut results = Vec::new();
+        for fraction in [0.0, 0.5, 1.0] {
+            let mut cfg = base_config(Protocol::Carpool, 30);
+            cfg.carpool_fraction = fraction;
+            results.push(run(cfg).downlink.delivered_bytes);
+        }
+        assert!(
+            results[2] > results[0],
+            "full adoption {} vs none {}",
+            results[2],
+            results[0]
+        );
+        assert!(results[1] >= results[0], "partial adoption should not hurt");
+    }
+
+    #[test]
+    fn zero_adoption_equals_dot11_behaviour() {
+        // With no capable stations, Carpool degenerates to single-frame
+        // service — same goodput magnitude as 802.11.
+        let mut cfg = base_config(Protocol::Carpool, 30);
+        cfg.carpool_fraction = 0.0;
+        let carpool0 = run(cfg);
+        let dot11 = run(base_config(Protocol::Dot11, 30));
+        let ratio = carpool0.downlink.delivered_bytes as f64
+            / dot11.downlink.delivered_bytes.max(1) as f64;
+        assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn no_traffic_produces_empty_report() {
+        let cfg = SimConfig {
+            downlink: DownlinkTraffic::None,
+            uplink: None,
+            ..base_config(Protocol::Dot11, 5)
+        };
+        let report = run(cfg);
+        assert_eq!(report.downlink.delivered_frames, 0);
+        assert_eq!(report.channel.transmissions, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based invariants of the MAC simulator over random
+//! configurations.
+
+use carpool_mac::error_model::BerBiasModel;
+use carpool_mac::protocol::Protocol;
+use carpool_mac::sim::{HiddenTerminals, SimConfig, Simulator, UplinkTraffic};
+use proptest::prelude::*;
+
+fn any_protocol() -> impl Strategy<Value = Protocol> {
+    prop::sample::select(Protocol::ALL.to_vec())
+}
+
+fn any_config() -> impl Strategy<Value = SimConfig> {
+    (
+        any_protocol(),
+        4usize..20,
+        1usize..=2,
+        1u64..1000,
+        any::<bool>(),
+        any::<bool>(),
+        prop::option::of(0.0f64..0.6),
+    )
+        .prop_map(
+            |(protocol, num_stas, num_aps, seed, background, rts, hidden)| SimConfig {
+                protocol,
+                num_stas,
+                num_aps,
+                duration_s: 1.5,
+                seed,
+                uplink: background.then(UplinkTraffic::default),
+                use_rts_cts: rts,
+                hidden_terminals: hidden.map(|fraction| HiddenTerminals { fraction }),
+                ..SimConfig::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulator_invariants(cfg in any_config()) {
+        let report = Simulator::new(cfg.clone(), Box::new(BerBiasModel::calibrated())).run();
+
+        // Time accounting: every station's airtime sums to the duration.
+        prop_assert_eq!(report.sta_airtime.len(), cfg.num_stas);
+        for (k, share) in report.sta_airtime.iter().enumerate() {
+            prop_assert!(
+                (share.total() - cfg.duration_s).abs() < 1e-6,
+                "sta {}: {}",
+                k,
+                share.total()
+            );
+            prop_assert!(share.tx_s >= 0.0 && share.rx_s >= 0.0);
+            prop_assert!(share.overhear_s >= 0.0 && share.idle_s >= 0.0);
+        }
+
+        // Delays are sane.
+        prop_assert!(report.downlink.mean_delay() >= 0.0);
+        prop_assert!(report.downlink.max_delay >= report.downlink.mean_delay() - 1e-9);
+        prop_assert!(report.uplink.max_delay >= 0.0);
+
+        // Deadline accounting never exceeds total delivery.
+        prop_assert!(report.downlink.in_deadline_bytes <= report.downlink.delivered_bytes);
+        prop_assert!(report.downlink.in_deadline_frames <= report.downlink.delivered_frames);
+
+        // Channel counters are consistent.
+        let ratio = report.channel.collision_ratio();
+        prop_assert!((0.0..=1.0).contains(&ratio));
+        if report.channel.transmissions > 0 {
+            prop_assert!(report.channel.aggregated_frames >= report.channel.transmissions
+                || report.channel.aggregated_frames == 0);
+            prop_assert!(report.channel.aggregated_receivers <= report.channel.aggregated_frames);
+        }
+        if cfg.hidden_terminals.is_none() {
+            prop_assert_eq!(report.channel.hidden_collisions, 0);
+        }
+
+        // Per-STA downlink metrics decompose the aggregate exactly.
+        let sta_bytes: u64 = report
+            .per_sta_downlink
+            .iter()
+            .map(|m| m.delivered_bytes)
+            .sum();
+        prop_assert_eq!(sta_bytes, report.downlink.delivered_bytes);
+        let fairness = report.downlink_fairness();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&fairness));
+    }
+
+    #[test]
+    fn same_seed_is_deterministic(cfg in any_config()) {
+        let a = Simulator::new(cfg.clone(), Box::new(BerBiasModel::calibrated())).run();
+        let b = Simulator::new(cfg, Box::new(BerBiasModel::calibrated())).run();
+        prop_assert_eq!(a.downlink.delivered_bytes, b.downlink.delivered_bytes);
+        prop_assert_eq!(a.uplink.delivered_frames, b.uplink.delivered_frames);
+        prop_assert_eq!(a.channel.collisions, b.channel.collisions);
+        prop_assert_eq!(a.channel.hidden_collisions, b.channel.hidden_collisions);
+    }
+
+    #[test]
+    fn delivered_never_exceeds_offered(cfg in any_config()) {
+        // Two-way VoIP at ~95 kbit/s peak per STA per direction bounds
+        // the offered load; delivered bytes cannot exceed it (with a
+        // generous margin for packetisation).
+        let report = Simulator::new(cfg.clone(), Box::new(BerBiasModel::calibrated())).run();
+        let per_sta_bound = 100e3 / 8.0 * cfg.duration_s * 1.2;
+        let bound = (cfg.num_stas as f64 * per_sta_bound) as u64;
+        prop_assert!(
+            report.downlink.delivered_bytes <= bound,
+            "downlink {} > bound {}",
+            report.downlink.delivered_bytes,
+            bound
+        );
+    }
+}

@@ -1,0 +1,506 @@
+//! Rate-1/2, constraint-length-7 convolutional code with Viterbi decoding.
+//!
+//! This is the mandatory code of the IEEE 802.11 OFDM PHY: generator
+//! polynomials `g0 = 133 (octal)` and `g1 = 171 (octal)`. Higher rates
+//! (2/3 and 3/4) are derived by puncturing, exactly as in the standard.
+//! The decoder is a hard-decision Viterbi with full traceback and
+//! erasure support for punctured positions.
+//!
+//! The Carpool A-HDR is "coded using the lowest coding rate" (BPSK, rate
+//! 1/2), so two OFDM symbols — 96 coded bits — carry the 48-bit Bloom
+//! filter (Section 4.1).
+
+/// Constraint length of the 802.11 code.
+pub const CONSTRAINT_LENGTH: usize = 7;
+/// Number of trellis states (`2^(K-1)`).
+pub const NUM_STATES: usize = 1 << (CONSTRAINT_LENGTH - 1);
+/// Generator polynomial g0 = 133 octal.
+pub const G0: u32 = 0o133;
+/// Generator polynomial g1 = 171 octal.
+pub const G1: u32 = 0o171;
+
+/// Coding rate of the convolutional code after (optional) puncturing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CodeRate {
+    /// Rate 1/2: no puncturing.
+    #[default]
+    Half,
+    /// Rate 2/3: puncture pattern keeps 4 of 6 output bits.
+    TwoThirds,
+    /// Rate 3/4: puncture pattern keeps 4 of 6 output bits per 3 inputs.
+    ThreeQuarters,
+}
+
+impl CodeRate {
+    /// Numerator of the rate fraction.
+    pub fn numerator(&self) -> usize {
+        match self {
+            CodeRate::Half => 1,
+            CodeRate::TwoThirds => 2,
+            CodeRate::ThreeQuarters => 3,
+        }
+    }
+
+    /// Denominator of the rate fraction.
+    pub fn denominator(&self) -> usize {
+        match self {
+            CodeRate::Half => 2,
+            CodeRate::TwoThirds => 3,
+            CodeRate::ThreeQuarters => 4,
+        }
+    }
+
+    /// The rate as a float (e.g. 0.75 for [`CodeRate::ThreeQuarters`]).
+    pub fn as_f64(&self) -> f64 {
+        self.numerator() as f64 / self.denominator() as f64
+    }
+
+    /// Puncturing pattern applied to the rate-1/2 mother code output.
+    ///
+    /// The pattern is given per input-bit period as `(keep_a, keep_b)`
+    /// pairs, matching IEEE 802.11-2012 Figure 18-9.
+    fn puncture_pattern(&self) -> &'static [(bool, bool)] {
+        match self {
+            CodeRate::Half => &[(true, true)],
+            CodeRate::TwoThirds => &[(true, true), (true, false)],
+            CodeRate::ThreeQuarters => &[(true, true), (true, false), (false, true)],
+        }
+    }
+}
+
+impl std::fmt::Display for CodeRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.numerator(), self.denominator())
+    }
+}
+
+#[inline]
+fn parity(x: u32) -> u8 {
+    (x.count_ones() & 1) as u8
+}
+
+/// Encodes with the rate-1/2 mother code (no puncturing, no tail).
+///
+/// Each input bit produces two output bits `(a, b)` from g0 and g1.
+fn encode_mother(bits: &[u8]) -> Vec<(u8, u8)> {
+    let mut shift: u32 = 0;
+    let mut out = Vec::with_capacity(bits.len());
+    for &bit in bits {
+        assert!(bit <= 1, "bit value {bit} out of range");
+        shift = ((shift << 1) | bit as u32) & ((1 << CONSTRAINT_LENGTH) - 1);
+        out.push((parity(shift & G0), parity(shift & G1)));
+    }
+    out
+}
+
+/// Convolutionally encodes `bits` at the given rate.
+///
+/// The encoder appends `K-1 = 6` zero tail bits so the trellis terminates
+/// in the zero state, then punctures per the 802.11 patterns. Use
+/// [`decode`] with the same rate to recover the input.
+///
+/// # Examples
+///
+/// ```
+/// use carpool_phy::convolutional::{encode, decode, CodeRate};
+///
+/// let data = vec![1u8, 0, 1, 1, 0, 0, 1, 1, 1, 0, 1, 0];
+/// let coded = encode(&data, CodeRate::Half);
+/// assert_eq!(decode(&coded, data.len(), CodeRate::Half), data);
+/// ```
+pub fn encode(bits: &[u8], rate: CodeRate) -> Vec<u8> {
+    let mut tailed = bits.to_vec();
+    tailed.extend_from_slice(&[0; CONSTRAINT_LENGTH - 1]);
+    let pairs = encode_mother(&tailed);
+    let pattern = rate.puncture_pattern();
+    let mut out = Vec::with_capacity(pairs.len() * 2);
+    for (k, (a, b)) in pairs.into_iter().enumerate() {
+        let (keep_a, keep_b) = pattern[k % pattern.len()];
+        if keep_a {
+            out.push(a);
+        }
+        if keep_b {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Number of coded bits produced by [`encode`] for `message_len` input bits.
+pub fn coded_len(message_len: usize, rate: CodeRate) -> usize {
+    let total_in = message_len + CONSTRAINT_LENGTH - 1;
+    let pattern = rate.puncture_pattern();
+    let per_period: usize = pattern
+        .iter()
+        .map(|(a, b)| *a as usize + *b as usize)
+        .sum();
+    let full = total_in / pattern.len();
+    let mut n = full * per_period;
+    for k in 0..(total_in % pattern.len()) {
+        let (a, b) = pattern[k];
+        n += a as usize + b as usize;
+    }
+    n
+}
+
+/// A received coded bit, possibly erased by puncturing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Soft {
+    Bit(u8),
+    Erased,
+}
+
+/// Depunctures a soft (LLR) stream; punctured/missing positions become
+/// zero-information LLRs.
+fn depuncture_soft(llrs: &[f64], total_in: usize, rate: CodeRate) -> Vec<(f64, f64)> {
+    let pattern = rate.puncture_pattern();
+    let mut it = llrs.iter();
+    let mut out = Vec::with_capacity(total_in);
+    for k in 0..total_in {
+        let (keep_a, keep_b) = pattern[k % pattern.len()];
+        let a = if keep_a { it.next().copied().unwrap_or(0.0) } else { 0.0 };
+        let b = if keep_b { it.next().copied().unwrap_or(0.0) } else { 0.0 };
+        out.push((a, b));
+    }
+    out
+}
+
+/// Depunctures a received stream back to the mother-code lattice.
+fn depuncture(coded: &[u8], total_in: usize, rate: CodeRate) -> Vec<(Soft, Soft)> {
+    let pattern = rate.puncture_pattern();
+    let mut it = coded.iter();
+    let mut out = Vec::with_capacity(total_in);
+    for k in 0..total_in {
+        let (keep_a, keep_b) = pattern[k % pattern.len()];
+        let a = if keep_a {
+            it.next().map(|&b| Soft::Bit(b)).unwrap_or(Soft::Erased)
+        } else {
+            Soft::Erased
+        };
+        let b = if keep_b {
+            it.next().map(|&b| Soft::Bit(b)).unwrap_or(Soft::Erased)
+        } else {
+            Soft::Erased
+        };
+        out.push((a, b));
+    }
+    out
+}
+
+#[inline]
+fn branch_metric(observed: (Soft, Soft), expected: (u8, u8)) -> u32 {
+    let mut m = 0;
+    if let Soft::Bit(b) = observed.0 {
+        m += (b != expected.0) as u32;
+    }
+    if let Soft::Bit(b) = observed.1 {
+        m += (b != expected.1) as u32;
+    }
+    m
+}
+
+/// Hard-decision Viterbi decoder for streams produced by [`encode`].
+///
+/// `message_len` is the number of *information* bits expected (the tail is
+/// handled internally). Extra or missing coded bits degrade gracefully:
+/// missing tail positions are treated as erasures.
+///
+/// # Panics
+///
+/// Panics if any element of `coded` is not 0 or 1.
+pub fn decode(coded: &[u8], message_len: usize, rate: CodeRate) -> Vec<u8> {
+    if message_len == 0 {
+        return Vec::new();
+    }
+    let total_in = message_len + CONSTRAINT_LENGTH - 1;
+    let lattice = depuncture(coded, total_in, rate);
+
+    // Precompute expected outputs for (state, input) transitions.
+    // State = previous K-1 input bits; next state = ((state<<1)|input).
+    let mut expected = [[(0u8, 0u8); 2]; NUM_STATES];
+    for (state, exp) in expected.iter_mut().enumerate() {
+        for (input, e) in exp.iter_mut().enumerate() {
+            let shift = ((state as u32) << 1) | input as u32;
+            *e = (parity(shift & G0), parity(shift & G1));
+        }
+    }
+
+    const INF: u32 = u32::MAX / 2;
+    let mut metrics = vec![INF; NUM_STATES];
+    metrics[0] = 0; // Encoder starts in the zero state.
+    let mut history: Vec<[u8; NUM_STATES]> = Vec::with_capacity(total_in);
+
+    for &obs in &lattice {
+        let mut next = vec![INF; NUM_STATES];
+        let mut prev_choice = [0u8; NUM_STATES];
+        for state in 0..NUM_STATES {
+            let m = metrics[state];
+            if m >= INF {
+                continue;
+            }
+            for input in 0..2usize {
+                let ns = ((state << 1) | input) & (NUM_STATES - 1);
+                let bm = branch_metric(obs, expected[state][input]);
+                let cand = m + bm;
+                if cand < next[ns] {
+                    next[ns] = cand;
+                    // The evicted (oldest) bit of `state` identifies which
+                    // predecessor we came from; store the high bit of state.
+                    prev_choice[ns] = (state >> (CONSTRAINT_LENGTH - 2)) as u8;
+                }
+            }
+        }
+        metrics = next;
+        history.push(prev_choice);
+    }
+
+    // Traceback from the zero state (tail forces termination there).
+    let mut state = 0usize;
+    if metrics[0] >= INF {
+        // Degenerate input: fall back to the best surviving state.
+        state = metrics
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| **m)
+            .map(|(s, _)| s)
+            .unwrap_or(0);
+    }
+    let mut decoded = vec![0u8; total_in];
+    for t in (0..total_in).rev() {
+        decoded[t] = (state & 1) as u8; // newest bit in the state register
+        let old_bit = history[t][state] as usize;
+        state = (state >> 1) | (old_bit << (CONSTRAINT_LENGTH - 2));
+    }
+    decoded.truncate(message_len);
+    decoded
+}
+
+/// Soft-decision Viterbi decoder.
+///
+/// `llrs` are per-coded-bit log-likelihood ratios in transmission order
+/// (positive favours bit 1), e.g. from
+/// [`crate::modulation::Modulation::demap_soft_into`]. Soft decoding
+/// gains ~2 dB over hard decisions on an AWGN channel.
+///
+/// # Examples
+///
+/// ```
+/// use carpool_phy::convolutional::{decode_soft, encode, CodeRate};
+///
+/// let data = vec![1u8, 0, 1, 1, 0, 0, 1, 0];
+/// let coded = encode(&data, CodeRate::Half);
+/// // Perfectly confident LLRs: +4 for 1, -4 for 0.
+/// let llrs: Vec<f64> = coded.iter().map(|&b| if b == 1 { 4.0 } else { -4.0 }).collect();
+/// assert_eq!(decode_soft(&llrs, data.len(), CodeRate::Half), data);
+/// ```
+pub fn decode_soft(llrs: &[f64], message_len: usize, rate: CodeRate) -> Vec<u8> {
+    if message_len == 0 {
+        return Vec::new();
+    }
+    let total_in = message_len + CONSTRAINT_LENGTH - 1;
+    let lattice = depuncture_soft(llrs, total_in, rate);
+
+    let mut expected = [[(0u8, 0u8); 2]; NUM_STATES];
+    for (state, exp) in expected.iter_mut().enumerate() {
+        for (input, e) in exp.iter_mut().enumerate() {
+            let shift = ((state as u32) << 1) | input as u32;
+            *e = (parity(shift & G0), parity(shift & G1));
+        }
+    }
+
+    // Linear branch cost: hypothesising bit 1 costs -llr, bit 0 costs
+    // +llr (constant offsets cancel along paths).
+    let bit_cost = |bit: u8, llr: f64| if bit == 1 { -llr } else { llr };
+
+    const INF: f64 = f64::INFINITY;
+    let mut metrics = vec![INF; NUM_STATES];
+    metrics[0] = 0.0;
+    let mut history: Vec<[u8; NUM_STATES]> = Vec::with_capacity(total_in);
+
+    for &(la, lb) in &lattice {
+        let mut next = vec![INF; NUM_STATES];
+        let mut prev_choice = [0u8; NUM_STATES];
+        for state in 0..NUM_STATES {
+            let m = metrics[state];
+            if !m.is_finite() {
+                continue;
+            }
+            for input in 0..2usize {
+                let ns = ((state << 1) | input) & (NUM_STATES - 1);
+                let (ea, eb) = expected[state][input];
+                let cand = m + bit_cost(ea, la) + bit_cost(eb, lb);
+                if cand < next[ns] {
+                    next[ns] = cand;
+                    prev_choice[ns] = (state >> (CONSTRAINT_LENGTH - 2)) as u8;
+                }
+            }
+        }
+        metrics = next;
+        history.push(prev_choice);
+    }
+
+    let mut state = 0usize;
+    if !metrics[0].is_finite() {
+        state = metrics
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite metrics exist"))
+            .map(|(s, _)| s)
+            .unwrap_or(0);
+    }
+    let mut decoded = vec![0u8; total_in];
+    for t in (0..total_in).rev() {
+        decoded[t] = (state & 1) as u8;
+        let old_bit = history[t][state] as usize;
+        state = (state >> 1) | (old_bit << (CONSTRAINT_LENGTH - 2));
+    }
+    decoded.truncate(message_len);
+    decoded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random_bits(n: usize, seed: u64) -> Vec<u8> {
+        // xorshift so the tests don't need an RNG dependency here.
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 1) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn known_encoder_output() {
+        // First input bit 1 from zero state: shift = 0000001.
+        // g0 = 1011011 -> parity(0000001 & 1011011) = 1
+        // g1 = 1111001 -> parity(0000001 & 1111001) = 1
+        let coded = encode(&[1], CodeRate::Half);
+        assert_eq!(coded.len(), coded_len(1, CodeRate::Half));
+        assert_eq!(&coded[..2], &[1, 1]);
+    }
+
+    #[test]
+    fn coded_len_matches_encode() {
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            for n in [1usize, 2, 3, 17, 48, 100] {
+                let bits = pseudo_random_bits(n, 7);
+                assert_eq!(
+                    encode(&bits, rate).len(),
+                    coded_len(n, rate),
+                    "rate {rate} n {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_clean_channel_all_rates() {
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            for n in [1usize, 5, 48, 96, 333] {
+                let bits = pseudo_random_bits(n, n as u64 + 1);
+                let coded = encode(&bits, rate);
+                let decoded = decode(&coded, n, rate);
+                assert_eq!(decoded, bits, "rate {rate} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_errors_at_half_rate() {
+        let bits = pseudo_random_bits(200, 42);
+        let mut coded = encode(&bits, CodeRate::Half);
+        // Flip well-separated bits; free distance 10 handles these easily.
+        for pos in (0..coded.len()).step_by(45) {
+            coded[pos] ^= 1;
+        }
+        assert_eq!(decode(&coded, 200, CodeRate::Half), bits);
+    }
+
+    #[test]
+    fn corrects_isolated_error_at_three_quarters() {
+        let bits = pseudo_random_bits(120, 9);
+        let mut coded = encode(&bits, CodeRate::ThreeQuarters);
+        coded[30] ^= 1;
+        assert_eq!(decode(&coded, 120, CodeRate::ThreeQuarters), bits);
+    }
+
+    #[test]
+    fn heavy_corruption_fails_gracefully() {
+        let bits = pseudo_random_bits(100, 3);
+        let coded = encode(&bits, CodeRate::Half);
+        let garbage: Vec<u8> = coded.iter().map(|b| b ^ 1).collect();
+        let decoded = decode(&garbage, 100, CodeRate::Half);
+        // No panic and correct length; content may differ.
+        assert_eq!(decoded.len(), 100);
+    }
+
+    #[test]
+    fn truncated_input_is_tolerated() {
+        let bits = pseudo_random_bits(64, 11);
+        let coded = encode(&bits, CodeRate::Half);
+        let decoded = decode(&coded[..coded.len() - 8], 64, CodeRate::Half);
+        assert_eq!(decoded.len(), 64);
+        // The head should still be correct; only tail positions were erased.
+        assert_eq!(&decoded[..50], &bits[..50]);
+    }
+
+    #[test]
+    fn empty_message() {
+        assert!(decode(&[], 0, CodeRate::Half).is_empty());
+    }
+
+    #[test]
+    fn soft_round_trip_all_rates() {
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let bits = pseudo_random_bits(200, 5);
+            let coded = encode(&bits, rate);
+            let llrs: Vec<f64> = coded.iter().map(|&b| if b == 1 { 3.0 } else { -3.0 }).collect();
+            assert_eq!(decode_soft(&llrs, 200, rate), bits, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn soft_decoder_uses_confidence() {
+        // Flip three adjacent bits but mark them low-confidence: the
+        // soft decoder recovers where a hard decoder may not.
+        let bits = pseudo_random_bits(120, 21);
+        let coded = encode(&bits, CodeRate::Half);
+        let mut llrs: Vec<f64> = coded.iter().map(|&b| if b == 1 { 4.0 } else { -4.0 }).collect();
+        for k in 40..43 {
+            // Wrong sign, tiny magnitude.
+            llrs[k] = if coded[k] == 1 { -0.1 } else { 0.1 };
+        }
+        assert_eq!(decode_soft(&llrs, 120, CodeRate::Half), bits);
+    }
+
+    #[test]
+    fn soft_handles_truncated_input() {
+        let bits = pseudo_random_bits(64, 3);
+        let coded = encode(&bits, CodeRate::Half);
+        let llrs: Vec<f64> = coded[..coded.len() - 8]
+            .iter()
+            .map(|&b| if b == 1 { 2.0 } else { -2.0 })
+            .collect();
+        let decoded = decode_soft(&llrs, 64, CodeRate::Half);
+        assert_eq!(decoded.len(), 64);
+        assert_eq!(&decoded[..50], &bits[..50]);
+    }
+
+    #[test]
+    fn soft_empty_message() {
+        assert!(decode_soft(&[], 0, CodeRate::Half).is_empty());
+    }
+
+    #[test]
+    fn rate_arithmetic() {
+        assert_eq!(CodeRate::Half.as_f64(), 0.5);
+        assert_eq!(CodeRate::TwoThirds.to_string(), "2/3");
+        assert!((CodeRate::ThreeQuarters.as_f64() - 0.75).abs() < 1e-12);
+    }
+}

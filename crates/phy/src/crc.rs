@@ -1,0 +1,263 @@
+//! Cyclic redundancy checks at several widths.
+//!
+//! The PHY uses CRCs at three granularities:
+//!
+//! * **CRC-32** (the IEEE 802.3 polynomial) for whole-frame FCS, exactly
+//!   as in IEEE 802.11.
+//! * **Small CRCs (1–8 bits)** for the *symbol-level* checksums carried
+//!   on the phase offset side channel (Section 5 of the paper). A 2-bit
+//!   CRC per OFDM symbol is the configuration the paper found optimal
+//!   ("CRC-2 for each symbol offers a good tradeoff between reliability
+//!   and granularity").
+//!
+//! The small CRCs are implemented as generic bitwise polynomial division
+//! over bit slices, because the covered payload (one OFDM symbol's coded
+//! bits) is itself handled as a bit vector in the pipeline.
+
+/// A CRC over bit sequences with width 1..=8.
+///
+/// The polynomial is given without the leading `x^width` term, e.g. the
+/// CRC-2 polynomial `x^2 + x + 1` is `0b11`.
+///
+/// # Examples
+///
+/// ```
+/// use carpool_phy::crc::SmallCrc;
+///
+/// let crc = SmallCrc::CRC2;
+/// let data = [1u8, 0, 1, 1, 0, 0, 1];
+/// let check = crc.compute(&data);
+/// assert!(crc.verify(&data, check));
+/// assert!(!crc.verify(&data, check ^ 0b01));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SmallCrc {
+    width: u8,
+    poly: u8,
+}
+
+impl SmallCrc {
+    /// CRC-1: plain parity bit.
+    pub const CRC1: SmallCrc = SmallCrc { width: 1, poly: 0b1 };
+    /// CRC-2 with polynomial `x^2 + x + 1` — the paper's per-symbol check.
+    pub const CRC2: SmallCrc = SmallCrc { width: 2, poly: 0b11 };
+    /// CRC-3 with polynomial `x^3 + x + 1` (CRC-3/GSM style).
+    pub const CRC3: SmallCrc = SmallCrc { width: 3, poly: 0b011 };
+    /// CRC-4 with the ITU polynomial `x^4 + x + 1`.
+    pub const CRC4: SmallCrc = SmallCrc { width: 4, poly: 0b0011 };
+    /// CRC-6 with polynomial `x^6 + x + 1` (CRC-6/ITU).
+    pub const CRC6: SmallCrc = SmallCrc { width: 6, poly: 0b000011 };
+    /// CRC-8 with the ATM HEC polynomial `x^8 + x^2 + x + 1`.
+    pub const CRC8: SmallCrc = SmallCrc { width: 8, poly: 0b0000_0111 };
+
+    /// Returns the standard polynomial for a given width (1..=8).
+    ///
+    /// Used by the side channel when a partial CRC group at the end of a
+    /// section needs a narrower checksum than configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 8.
+    pub fn standard(width: u8) -> SmallCrc {
+        match width {
+            1 => SmallCrc::CRC1,
+            2 => SmallCrc::CRC2,
+            3 => SmallCrc::CRC3,
+            4 => SmallCrc::CRC4,
+            5 => SmallCrc::new(5, 0b00101), // x^5 + x^2 + 1 (CRC-5/USB)
+            6 => SmallCrc::CRC6,
+            7 => SmallCrc::new(7, 0b0001001), // x^7 + x^3 + 1 (CRC-7/MMC)
+            8 => SmallCrc::CRC8,
+            _ => panic!("width {width} out of 1..=8"),
+        }
+    }
+
+    /// Creates a custom small CRC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 8, or if `poly` has bits
+    /// above `width`.
+    pub fn new(width: u8, poly: u8) -> SmallCrc {
+        assert!((1..=8).contains(&width), "width {width} out of 1..=8");
+        assert!(
+            width == 8 || poly < (1 << width),
+            "polynomial 0x{poly:x} wider than {width} bits"
+        );
+        SmallCrc { width, poly }
+    }
+
+    /// Checksum width in bits.
+    #[inline]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Generator polynomial (without the implicit leading term).
+    #[inline]
+    pub fn poly(&self) -> u8 {
+        self.poly
+    }
+
+    /// Computes the checksum of a bit slice (each element 0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element of `bits` is not 0 or 1.
+    pub fn compute(&self, bits: &[u8]) -> u8 {
+        let top = 1u16 << (self.width - 1);
+        let mask = (1u16 << self.width) - 1;
+        let mut reg: u16 = 0;
+        for &bit in bits {
+            assert!(bit <= 1, "bit value {bit} out of range");
+            let fb = ((reg & top) != 0) as u16 ^ bit as u16;
+            reg = (reg << 1) & mask;
+            if fb != 0 {
+                reg ^= self.poly as u16;
+            }
+        }
+        reg as u8
+    }
+
+    /// Verifies the checksum of a bit slice.
+    pub fn verify(&self, bits: &[u8], checksum: u8) -> bool {
+        self.compute(bits) == checksum
+    }
+}
+
+/// IEEE 802.3 CRC-32, as used for the 802.11 frame check sequence.
+///
+/// Input is a byte slice; output is the standard reflected CRC-32 with
+/// final inversion (matching `crc32` in zlib and the FCS in Wi-Fi frames).
+///
+/// # Examples
+///
+/// ```
+/// // The canonical test vector "123456789" -> 0xCBF43926.
+/// assert_eq!(carpool_phy::crc::crc32(b"123456789"), 0xCBF43926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+/// Appends the CRC-32 FCS to a payload, as the MAC layer would.
+pub fn append_fcs(payload: &[u8]) -> Vec<u8> {
+    let mut out = payload.to_vec();
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Checks and strips a trailing CRC-32 FCS.
+///
+/// Returns the payload without the FCS if the check passes, `None` if the
+/// frame is shorter than 4 bytes or the FCS does not match.
+pub fn check_fcs(frame: &[u8]) -> Option<&[u8]> {
+    if frame.len() < 4 {
+        return None;
+    }
+    let (payload, fcs) = frame.split_at(frame.len() - 4);
+    let expect = u32::from_le_bytes([fcs[0], fcs[1], fcs[2], fcs[3]]);
+    if crc32(payload) == expect {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_test_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn fcs_round_trip() {
+        let payload = b"carpool frame payload";
+        let framed = append_fcs(payload);
+        assert_eq!(check_fcs(&framed).unwrap(), payload);
+    }
+
+    #[test]
+    fn fcs_detects_corruption() {
+        let mut framed = append_fcs(b"payload");
+        framed[2] ^= 0x10;
+        assert!(check_fcs(&framed).is_none());
+        assert!(check_fcs(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn small_crc_detects_single_bit_errors() {
+        // Every CRC with poly ending in 1 detects all single-bit errors.
+        for crc in [SmallCrc::CRC1, SmallCrc::CRC2, SmallCrc::CRC4, SmallCrc::CRC8] {
+            let data = [1u8, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0];
+            let good = crc.compute(&data);
+            for flip in 0..data.len() {
+                let mut bad = data;
+                bad[flip] ^= 1;
+                assert!(
+                    !crc.verify(&bad, good),
+                    "{crc:?} missed single-bit error at {flip}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crc2_detects_adjacent_double_errors() {
+        // x^2+x+1 is primitive; it detects all double-bit errors within
+        // its period (3), in particular adjacent flips.
+        let crc = SmallCrc::CRC2;
+        let data = [0u8, 1, 1, 0, 1, 0, 1, 1];
+        let good = crc.compute(&data);
+        for flip in 0..data.len() - 1 {
+            let mut bad = data;
+            bad[flip] ^= 1;
+            bad[flip + 1] ^= 1;
+            assert!(!crc.verify(&bad, good));
+        }
+    }
+
+    #[test]
+    fn compute_is_deterministic_and_width_bounded() {
+        let crc = SmallCrc::CRC4;
+        let data = [1u8, 1, 1, 1, 0, 0, 0, 0, 1];
+        let a = crc.compute(&data);
+        let b = crc.compute(&data);
+        assert_eq!(a, b);
+        assert!(a < 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=8")]
+    fn rejects_zero_width() {
+        SmallCrc::new(0, 0b1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn rejects_oversized_polynomial() {
+        SmallCrc::new(2, 0b100);
+    }
+
+    #[test]
+    fn empty_input_checksums_to_zero() {
+        assert_eq!(SmallCrc::CRC2.compute(&[]), 0);
+        assert_eq!(SmallCrc::CRC8.compute(&[]), 0);
+    }
+}

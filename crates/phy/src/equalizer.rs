@@ -1,0 +1,339 @@
+//! Channel estimation and equalisation.
+//!
+//! The standard 802.11 receiver estimates the per-subcarrier channel once
+//! from the LTF preamble (least squares: `Ĥ = R / X` averaged over the
+//! two LTF repetitions) and equalises every payload symbol with that one
+//! estimate. Residual phase (from CFO or channel drift) is tracked per
+//! symbol with the four pilot subcarriers and removed before demapping.
+//!
+//! Because the injected phase offsets of the side channel rotate *all*
+//! subcarriers of a symbol coherently, this pilot-tracking step also
+//! transparently removes the injected rotation — exactly the property the
+//! paper exploits (Section 5.2): data decoding is unaffected while the
+//! tracked total phase exposes the side-channel bits.
+
+use crate::fft::fft;
+use crate::math::{wrap_angle, Complex64};
+use crate::ofdm::{
+    carrier_to_bin, data_carriers, pilot_polarity, FreqSymbol, CP_LEN, FFT_SIZE, NUM_PILOTS,
+    PILOT_BASE, PILOT_CARRIERS, SYMBOL_LEN,
+};
+use crate::preamble::ltf_value;
+
+/// Per-subcarrier complex channel estimate over the 64 FFT bins.
+///
+/// Unused bins hold `1 + 0i` so that equalising a null carrier is a
+/// harmless no-op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelEstimate {
+    bins: Vec<Complex64>,
+}
+
+impl ChannelEstimate {
+    /// An identity (flat, unit-gain) estimate.
+    pub fn identity() -> ChannelEstimate {
+        ChannelEstimate {
+            bins: vec![Complex64::ONE; FFT_SIZE],
+        }
+    }
+
+    /// Builds an estimate from explicit per-bin values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins.len() != 64`.
+    pub fn from_bins(bins: Vec<Complex64>) -> ChannelEstimate {
+        assert_eq!(bins.len(), FFT_SIZE, "need {FFT_SIZE} bins");
+        ChannelEstimate { bins }
+    }
+
+    /// Least-squares estimate from the two received LTF symbols.
+    ///
+    /// Each LTF symbol is `SYMBOL_LEN` time samples (CP included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice has the wrong length.
+    pub fn from_ltf(ltf1: &[Complex64], ltf2: &[Complex64]) -> ChannelEstimate {
+        assert_eq!(ltf1.len(), SYMBOL_LEN, "LTF symbol length");
+        assert_eq!(ltf2.len(), SYMBOL_LEN, "LTF symbol length");
+        let b1 = fft(&ltf1[CP_LEN..]).expect("64-point FFT");
+        let b2 = fft(&ltf2[CP_LEN..]).expect("64-point FFT");
+        let mut bins = vec![Complex64::ONE; FFT_SIZE];
+        for c in -26..=26i32 {
+            if c == 0 {
+                continue;
+            }
+            let x = ltf_value(c);
+            let bin = carrier_to_bin(c);
+            let avg = (b1[bin] + b2[bin]).scale(0.5);
+            bins[bin] = avg / x;
+        }
+        ChannelEstimate { bins }
+    }
+
+    /// Channel value on a logical carrier.
+    pub fn at(&self, carrier: i32) -> Complex64 {
+        self.bins[carrier_to_bin(carrier)]
+    }
+
+    /// Mutable access for calibration (used by the RTE estimator).
+    pub(crate) fn at_mut(&mut self, carrier: i32) -> &mut Complex64 {
+        &mut self.bins[carrier_to_bin(carrier)]
+    }
+
+    /// Zero-forcing equalisation of a received frequency symbol.
+    pub fn equalize(&self, sym: &FreqSymbol) -> FreqSymbol {
+        let data = sym
+            .data
+            .iter()
+            .zip(data_carriers())
+            .map(|(v, c)| *v / self.at(c))
+            .collect();
+        let mut pilots = [Complex64::ZERO; NUM_PILOTS];
+        for (k, (v, c)) in sym.pilots.iter().zip(PILOT_CARRIERS).enumerate() {
+            pilots[k] = *v / self.at(c);
+        }
+        FreqSymbol { data, pilots }
+    }
+
+    /// Frequency-domain smoothing: replaces each used carrier's value
+    /// with the average of used carriers within `window` logical
+    /// indices. The channel's frequency response is continuous, so for
+    /// delay spreads well inside the cyclic prefix this suppresses
+    /// estimation noise (variance shrinks by ~the averaging width) at
+    /// the cost of bias on strongly frequency-selective channels.
+    ///
+    /// `window = 0` returns the estimate unchanged.
+    pub fn smoothed(&self, window: usize) -> ChannelEstimate {
+        if window == 0 {
+            return self.clone();
+        }
+        let used: Vec<i32> = (-26..=26).filter(|&c| c != 0).collect();
+        let mut bins = self.bins.clone();
+        for &c in &used {
+            let mut acc = Complex64::ZERO;
+            let mut n = 0usize;
+            for &other in &used {
+                if (other - c).unsigned_abs() as usize <= window {
+                    acc += self.at(other);
+                    n += 1;
+                }
+            }
+            bins[carrier_to_bin(c)] = acc / n as f64;
+        }
+        ChannelEstimate { bins }
+    }
+
+    /// Mean squared error against another estimate over used carriers.
+    pub fn mse(&self, other: &ChannelEstimate) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in -26..=26i32 {
+            if c == 0 {
+                continue;
+            }
+            sum += (self.at(c) - other.at(c)).norm_sqr();
+            n += 1;
+        }
+        sum / n as f64
+    }
+}
+
+/// Estimates the complex noise variance per sample from the difference
+/// of the two (identical) received LTF symbols: `var = E|l1 - l2|^2 / 2`.
+///
+/// # Panics
+///
+/// Panics if the slices have different or zero lengths.
+pub fn estimate_noise_from_ltf(ltf1: &[Complex64], ltf2: &[Complex64]) -> f64 {
+    assert_eq!(ltf1.len(), ltf2.len(), "LTF lengths differ");
+    assert!(!ltf1.is_empty(), "empty LTF");
+    let diff_power: f64 = ltf1
+        .iter()
+        .zip(ltf2)
+        .map(|(a, b)| (*a - *b).norm_sqr())
+        .sum::<f64>()
+        / ltf1.len() as f64;
+    diff_power / 2.0
+}
+
+/// Result of pilot-based phase tracking for one symbol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTrack {
+    /// Total measured common phase offset of the symbol, radians in
+    /// `(-pi, pi]`. Includes both inherent (CFO/channel drift) and any
+    /// injected side-channel rotation.
+    pub offset: f64,
+    /// Magnitude-weighted confidence of the measurement (sum of pilot
+    /// correlation magnitudes).
+    pub confidence: f64,
+}
+
+/// Estimates the common phase rotation of an equalised symbol from its
+/// four pilots, given the symbol index (for pilot polarity).
+pub fn track_phase(equalized: &FreqSymbol, symbol_index: usize) -> PhaseTrack {
+    let p = pilot_polarity(symbol_index);
+    let mut acc = Complex64::ZERO;
+    for (rx, base) in equalized.pilots.iter().zip(PILOT_BASE) {
+        let expected = Complex64::new(base * p, 0.0);
+        acc += *rx * expected.conj();
+    }
+    PhaseTrack {
+        offset: wrap_angle(acc.arg()),
+        confidence: acc.abs(),
+    }
+}
+
+/// Removes a common phase rotation from all subcarriers of a symbol.
+pub fn compensate_phase(sym: &mut FreqSymbol, offset: f64) {
+    let r = Complex64::cis(-offset);
+    for d in &mut sym.data {
+        *d *= r;
+    }
+    for p in &mut sym.pilots {
+        *p *= r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulation::Modulation;
+    use crate::ofdm::modulate_symbol;
+    use crate::preamble::{generate_preamble, ltf_offsets};
+
+    fn apply_flat_channel(samples: &[Complex64], h: Complex64) -> Vec<Complex64> {
+        samples.iter().map(|s| *s * h).collect()
+    }
+
+    #[test]
+    fn identity_estimate_is_transparent() {
+        let est = ChannelEstimate::identity();
+        let data = Modulation::Qpsk.map_all(&[1u8, 0, 1, 1].repeat(24));
+        let sym = FreqSymbol::with_standard_pilots(data.clone(), 0);
+        let eq = est.equalize(&sym);
+        for (a, b) in eq.data.iter().zip(&data) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ltf_estimation_recovers_flat_channel() {
+        let h = Complex64::from_polar(0.8, 0.6);
+        let pre = apply_flat_channel(&generate_preamble(), h);
+        let [a, b] = ltf_offsets();
+        let est = ChannelEstimate::from_ltf(&pre[a..a + SYMBOL_LEN], &pre[b..b + SYMBOL_LEN]);
+        for c in [-26, -7, 1, 21, 26] {
+            assert!((est.at(c) - h).abs() < 1e-9, "carrier {c}");
+        }
+    }
+
+    #[test]
+    fn equalization_inverts_channel() {
+        let h = Complex64::from_polar(0.5, -1.2);
+        let bits: Vec<u8> = (0..96).map(|k| (k % 5 < 2) as u8).collect();
+        let data = Modulation::Qpsk.map_all(&bits);
+        let sym = FreqSymbol::with_standard_pilots(data, 7);
+        let time = apply_flat_channel(&modulate_symbol(&sym).unwrap(), h);
+
+        let pre = apply_flat_channel(&generate_preamble(), h);
+        let [a, b] = ltf_offsets();
+        let est = ChannelEstimate::from_ltf(&pre[a..a + SYMBOL_LEN], &pre[b..b + SYMBOL_LEN]);
+
+        let rx = crate::ofdm::demodulate_symbol(&time).unwrap();
+        let eq = est.equalize(&rx);
+        assert_eq!(Modulation::Qpsk.demap_all(&eq.data), bits);
+    }
+
+    #[test]
+    fn phase_tracking_measures_injected_rotation() {
+        let data = Modulation::Bpsk.map_all(&[1u8; 48]);
+        for &angle in &[0.1, 0.7, -1.4, std::f64::consts::FRAC_PI_2] {
+            let mut sym = FreqSymbol::with_standard_pilots(data.clone(), 5);
+            sym.rotate(angle);
+            let track = track_phase(&sym, 5);
+            assert!(
+                (track.offset - angle).abs() < 1e-9,
+                "angle {angle}: measured {}",
+                track.offset
+            );
+            assert!(track.confidence > 3.9);
+        }
+    }
+
+    #[test]
+    fn phase_compensation_restores_data() {
+        let bits: Vec<u8> = (0..48).map(|k| (k % 2) as u8).collect();
+        let data = Modulation::Bpsk.map_all(&bits);
+        let mut sym = FreqSymbol::with_standard_pilots(data, 2);
+        sym.rotate(1.0);
+        let track = track_phase(&sym, 2);
+        compensate_phase(&mut sym, track.offset);
+        assert_eq!(Modulation::Bpsk.demap_all(&sym.data), bits);
+    }
+
+    #[test]
+    fn tracking_uses_polarity_correctly() {
+        // At a symbol index with negative polarity, uncompensated pilots
+        // would read as a pi rotation; polarity handling must yield ~0.
+        let data = Modulation::Bpsk.map_all(&[0u8; 48]);
+        let idx = 4; // polarity -1 in the standard sequence
+        assert_eq!(pilot_polarity(idx), -1.0);
+        let sym = FreqSymbol::with_standard_pilots(data, idx);
+        let track = track_phase(&sym, idx);
+        assert!(track.offset.abs() < 1e-9);
+    }
+
+    #[test]
+    fn mse_zero_against_self() {
+        let est = ChannelEstimate::identity();
+        assert_eq!(est.mse(&est), 0.0);
+    }
+
+    #[test]
+    fn smoothing_reduces_noise_on_flat_channels() {
+        // A flat channel observed through noisy per-carrier estimates:
+        // averaging across carriers must approach the truth.
+        let h = Complex64::from_polar(0.9, 0.4);
+        let mut bins = vec![Complex64::ONE; FFT_SIZE];
+        for (k, c) in (-26..=26i32).filter(|&c| c != 0).enumerate() {
+            // Deterministic pseudo-noise per carrier.
+            let n = Complex64::new(
+                ((k * 37 % 17) as f64 / 17.0 - 0.5) * 0.3,
+                ((k * 53 % 19) as f64 / 19.0 - 0.5) * 0.3,
+            );
+            bins[carrier_to_bin(c)] = h + n;
+        }
+        let noisy = ChannelEstimate::from_bins(bins);
+        let truth = {
+            let mut b = vec![Complex64::ONE; FFT_SIZE];
+            for c in (-26..=26i32).filter(|&c| c != 0) {
+                b[carrier_to_bin(c)] = h;
+            }
+            ChannelEstimate::from_bins(b)
+        };
+        let before = noisy.mse(&truth);
+        let after = noisy.smoothed(4).mse(&truth);
+        assert!(after < before / 2.0, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn smoothing_biases_selective_channels() {
+        // A rapidly varying frequency response: wide smoothing must
+        // introduce bias (the classic variance/bias tradeoff).
+        let mut bins = vec![Complex64::ONE; FFT_SIZE];
+        for c in (-26..=26i32).filter(|&c| c != 0) {
+            bins[carrier_to_bin(c)] = Complex64::cis(c as f64 * 1.2);
+        }
+        let selective = ChannelEstimate::from_bins(bins);
+        let smoothed = selective.smoothed(6);
+        assert!(smoothed.mse(&selective) > 0.1);
+    }
+
+    #[test]
+    fn zero_window_is_identity() {
+        let est = ChannelEstimate::identity();
+        assert_eq!(est.smoothed(0), est);
+    }
+}

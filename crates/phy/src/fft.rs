@@ -1,0 +1,222 @@
+//! Radix-2 decimation-in-time FFT used for OFDM (de)modulation.
+//!
+//! The OFDM symbol size in IEEE 802.11a/g/n (20 MHz) is 64 subcarriers, so
+//! a simple iterative radix-2 implementation is entirely sufficient. Both
+//! directions use the engineering convention: the *inverse* transform
+//! carries the `1/N` normalisation, so `ifft(fft(x)) == x`.
+
+use crate::math::Complex64;
+
+/// Errors returned by FFT routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftError {
+    /// The input length is not a power of two.
+    NotPowerOfTwo {
+        /// Offending length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo { len } => {
+                write!(f, "fft length {len} is not a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+fn bit_reverse_permute(data: &mut [Complex64]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+fn transform(data: &mut [Complex64], inverse: bool) -> Result<(), FftError> {
+    let n = data.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(FftError::NotPowerOfTwo { len: n });
+    }
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(angle);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex64::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            *x = x.scale(scale);
+        }
+    }
+    Ok(())
+}
+
+/// In-place forward FFT.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] if `data.len()` is zero or not a
+/// power of two.
+///
+/// # Examples
+///
+/// ```
+/// use carpool_phy::fft::fft_in_place;
+/// use carpool_phy::math::Complex64;
+///
+/// # fn main() -> Result<(), carpool_phy::fft::FftError> {
+/// let mut x = vec![Complex64::ONE; 8];
+/// fft_in_place(&mut x)?;
+/// // A constant signal concentrates all energy in bin 0.
+/// assert!((x[0].re - 8.0).abs() < 1e-12);
+/// assert!(x[1].abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fft_in_place(data: &mut [Complex64]) -> Result<(), FftError> {
+    transform(data, false)
+}
+
+/// In-place inverse FFT with `1/N` normalisation.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] if `data.len()` is zero or not a
+/// power of two.
+pub fn ifft_in_place(data: &mut [Complex64]) -> Result<(), FftError> {
+    transform(data, true)
+}
+
+/// Out-of-place forward FFT.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] if the input length is invalid.
+pub fn fft(input: &[Complex64]) -> Result<Vec<Complex64>, FftError> {
+    let mut out = input.to_vec();
+    fft_in_place(&mut out)?;
+    Ok(out)
+}
+
+/// Out-of-place inverse FFT with `1/N` normalisation.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] if the input length is invalid.
+pub fn ifft(input: &[Complex64]) -> Result<Vec<Complex64>, FftError> {
+    let mut out = input.to_vec();
+    ifft_in_place(&mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex64, b: Complex64) {
+        assert!(
+            (a - b).abs() < 1e-9,
+            "expected {b}, got {a} (delta {})",
+            (a - b).abs()
+        );
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Complex64::ZERO; 12];
+        assert_eq!(
+            fft_in_place(&mut x).unwrap_err(),
+            FftError::NotPowerOfTwo { len: 12 }
+        );
+        assert!(ifft(&[]).is_err());
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 16];
+        x[0] = Complex64::ONE;
+        fft_in_place(&mut x).unwrap();
+        for bin in x {
+            assert_close(bin, Complex64::ONE);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let tone = 5;
+        let x: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::cis(2.0 * std::f64::consts::PI * tone as f64 * t as f64 / n as f64))
+            .collect();
+        let spec = fft(&x).unwrap();
+        for (k, bin) in spec.iter().enumerate() {
+            if k == tone {
+                assert!((bin.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(bin.abs() < 1e-9, "leakage at bin {k}: {bin}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let x: Vec<Complex64> = (0..64)
+            .map(|k| Complex64::new((k as f64 * 0.37).sin(), (k as f64 * 0.91).cos()))
+            .collect();
+        let y = ifft(&fft(&x).unwrap()).unwrap();
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert_close(*a, *b);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex64> = (0..32).map(|k| Complex64::new(k as f64, -1.0)).collect();
+        let b: Vec<Complex64> = (0..32).map(|k| Complex64::new(0.5, k as f64)).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft(&a).unwrap();
+        let fb = fft(&b).unwrap();
+        let fsum = fft(&sum).unwrap();
+        for k in 0..32 {
+            assert_close(fsum[k], fa[k] + fb[k]);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x: Vec<Complex64> = (0..128)
+            .map(|k| Complex64::new((k as f64).sin(), (k as f64 * 2.0).cos()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|s| s.norm_sqr()).sum();
+        let spec = fft(&x).unwrap();
+        let freq_energy: f64 = spec.iter().map(|s| s.norm_sqr()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+}

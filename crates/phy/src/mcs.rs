@@ -1,0 +1,195 @@
+//! Modulation and coding schemes (MCS) of the OFDM PHY.
+//!
+//! An [`Mcs`] pairs a constellation with a convolutional code rate and
+//! derives the standard quantities: coded/data bits per OFDM symbol and
+//! the nominal data rate at 20 MHz (4 µs symbols). Each Carpool subframe
+//! carries its own MCS in its SIG field, so different receivers can be
+//! served at different rates within one aggregated frame (Section 4.1).
+
+use crate::convolutional::CodeRate;
+use crate::modulation::Modulation;
+use crate::ofdm::NUM_DATA;
+
+/// OFDM symbol duration at 20 MHz including guard interval, in seconds.
+pub const SYMBOL_DURATION: f64 = 4e-6;
+
+/// A modulation-and-coding scheme.
+///
+/// # Examples
+///
+/// ```
+/// use carpool_phy::mcs::Mcs;
+///
+/// let mcs = Mcs::QAM64_3_4;
+/// assert_eq!(mcs.data_bits_per_symbol(), 216);
+/// assert!((mcs.data_rate_bps() - 54e6).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mcs {
+    /// Subcarrier constellation.
+    pub modulation: Modulation,
+    /// Convolutional code rate.
+    pub code_rate: CodeRate,
+}
+
+impl Mcs {
+    /// BPSK, rate 1/2 — 6 Mbit/s. The mandatory base rate; used for the
+    /// A-HDR and SIG fields.
+    pub const BPSK_1_2: Mcs = Mcs {
+        modulation: Modulation::Bpsk,
+        code_rate: CodeRate::Half,
+    };
+    /// BPSK, rate 3/4 — 9 Mbit/s.
+    pub const BPSK_3_4: Mcs = Mcs {
+        modulation: Modulation::Bpsk,
+        code_rate: CodeRate::ThreeQuarters,
+    };
+    /// QPSK, rate 1/2 — 12 Mbit/s.
+    pub const QPSK_1_2: Mcs = Mcs {
+        modulation: Modulation::Qpsk,
+        code_rate: CodeRate::Half,
+    };
+    /// QPSK, rate 3/4 — 18 Mbit/s.
+    pub const QPSK_3_4: Mcs = Mcs {
+        modulation: Modulation::Qpsk,
+        code_rate: CodeRate::ThreeQuarters,
+    };
+    /// 16-QAM, rate 1/2 — 24 Mbit/s.
+    pub const QAM16_1_2: Mcs = Mcs {
+        modulation: Modulation::Qam16,
+        code_rate: CodeRate::Half,
+    };
+    /// 16-QAM, rate 3/4 — 36 Mbit/s.
+    pub const QAM16_3_4: Mcs = Mcs {
+        modulation: Modulation::Qam16,
+        code_rate: CodeRate::ThreeQuarters,
+    };
+    /// 64-QAM, rate 2/3 — 48 Mbit/s.
+    pub const QAM64_2_3: Mcs = Mcs {
+        modulation: Modulation::Qam64,
+        code_rate: CodeRate::TwoThirds,
+    };
+    /// 64-QAM, rate 3/4 — 54 Mbit/s.
+    pub const QAM64_3_4: Mcs = Mcs {
+        modulation: Modulation::Qam64,
+        code_rate: CodeRate::ThreeQuarters,
+    };
+
+    /// The eight standard 802.11a/g rates in increasing order.
+    pub const ALL: [Mcs; 8] = [
+        Mcs::BPSK_1_2,
+        Mcs::BPSK_3_4,
+        Mcs::QPSK_1_2,
+        Mcs::QPSK_3_4,
+        Mcs::QAM16_1_2,
+        Mcs::QAM16_3_4,
+        Mcs::QAM64_2_3,
+        Mcs::QAM64_3_4,
+    ];
+
+    /// Creates an MCS from its components.
+    pub const fn new(modulation: Modulation, code_rate: CodeRate) -> Mcs {
+        Mcs {
+            modulation,
+            code_rate,
+        }
+    }
+
+    /// Coded bits per OFDM symbol (`N_CBPS`).
+    pub fn coded_bits_per_symbol(&self) -> usize {
+        NUM_DATA * self.modulation.bits_per_symbol()
+    }
+
+    /// Data (information) bits per OFDM symbol (`N_DBPS`).
+    pub fn data_bits_per_symbol(&self) -> usize {
+        self.coded_bits_per_symbol() * self.code_rate.numerator() / self.code_rate.denominator()
+    }
+
+    /// Nominal PHY data rate in bit/s at 20 MHz.
+    pub fn data_rate_bps(&self) -> f64 {
+        self.data_bits_per_symbol() as f64 / SYMBOL_DURATION
+    }
+
+    /// Number of OFDM symbols needed to carry `payload_bits` information
+    /// bits, including the convolutional tail.
+    pub fn symbols_for_bits(&self, payload_bits: usize) -> usize {
+        use crate::convolutional::CONSTRAINT_LENGTH;
+        let total = payload_bits + (CONSTRAINT_LENGTH - 1);
+        let dbps_coded = self.coded_bits_per_symbol();
+        // Coded bits produced for `total` inputs (worst case: no puncture
+        // savings for partial periods — use the exact helper).
+        let coded = crate::convolutional::coded_len(payload_bits, self.code_rate);
+        debug_assert!(coded >= total);
+        coded.div_ceil(dbps_coded)
+    }
+
+    /// Airtime of `payload_bits` at this MCS, in seconds (payload symbols
+    /// only; preamble and headers are accounted by the frame layer).
+    pub fn airtime_for_bits(&self, payload_bits: usize) -> f64 {
+        self.symbols_for_bits(payload_bits) as f64 * SYMBOL_DURATION
+    }
+}
+
+impl std::fmt::Display for Mcs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.modulation, self.code_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_rates() {
+        let expect = [6e6, 9e6, 12e6, 18e6, 24e6, 36e6, 48e6, 54e6];
+        for (mcs, rate) in Mcs::ALL.iter().zip(expect) {
+            assert!(
+                (mcs.data_rate_bps() - rate).abs() < 1.0,
+                "{mcs}: {} != {rate}",
+                mcs.data_rate_bps()
+            );
+        }
+    }
+
+    #[test]
+    fn coded_bits_per_symbol_standard_values() {
+        assert_eq!(Mcs::BPSK_1_2.coded_bits_per_symbol(), 48);
+        assert_eq!(Mcs::QPSK_1_2.coded_bits_per_symbol(), 96);
+        assert_eq!(Mcs::QAM16_1_2.coded_bits_per_symbol(), 192);
+        assert_eq!(Mcs::QAM64_3_4.coded_bits_per_symbol(), 288);
+    }
+
+    #[test]
+    fn data_bits_per_symbol_standard_values() {
+        assert_eq!(Mcs::BPSK_1_2.data_bits_per_symbol(), 24);
+        assert_eq!(Mcs::QPSK_3_4.data_bits_per_symbol(), 72);
+        assert_eq!(Mcs::QAM64_2_3.data_bits_per_symbol(), 192);
+        assert_eq!(Mcs::QAM64_3_4.data_bits_per_symbol(), 216);
+    }
+
+    #[test]
+    fn symbols_for_bits_is_monotone_and_positive() {
+        for mcs in Mcs::ALL {
+            let mut prev = 0;
+            for bits in [1usize, 100, 1000, 10000] {
+                let n = mcs.symbols_for_bits(bits);
+                assert!(n >= 1);
+                assert!(n >= prev);
+                prev = n;
+            }
+        }
+    }
+
+    #[test]
+    fn airtime_example_1500_bytes_at_54mbps() {
+        // ~222 us for 1500 B at 54 Mbit/s, as quoted in the paper (Sec 3).
+        let t = Mcs::QAM64_3_4.airtime_for_bits(1500 * 8);
+        assert!((200e-6..240e-6).contains(&t), "airtime {t}");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Mcs::QAM64_3_4.to_string(), "QAM64 3/4");
+    }
+}

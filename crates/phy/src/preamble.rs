@@ -1,0 +1,177 @@
+//! PLCP preamble: short and long training fields.
+//!
+//! Following the paper's implementation (Section 6), the preamble is two
+//! OFDM symbols of STF followed by two OFDM symbols of LTF. The STF is
+//! used by real hardware for detection and AGC; in this simulator it is
+//! generated faithfully but the receiver relies on the LTF, which carries
+//! the known ±1 training sequence on all 52 used subcarriers and yields
+//! the least-squares channel estimate Ĥo that standard decoding uses for
+//! the whole frame (and that RTE then calibrates).
+
+use crate::fft::ifft;
+use crate::math::Complex64;
+use crate::ofdm::{carrier_to_bin, CP_LEN, FFT_SIZE, SYMBOL_LEN};
+
+/// L-LTF training values on logical subcarriers -26..=26 (DC included as 0),
+/// per IEEE 802.11-2012 Eq. 18-11.
+pub const LTF_SEQUENCE: [i8; 53] = [
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, // -26..-1
+    0, // DC
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1, // 1..26
+];
+
+/// Known LTF value on a logical carrier index (`-26..=26`).
+///
+/// # Panics
+///
+/// Panics if `carrier` is outside `-26..=26`.
+pub fn ltf_value(carrier: i32) -> Complex64 {
+    assert!((-26..=26).contains(&carrier), "carrier {carrier} out of range");
+    Complex64::new(LTF_SEQUENCE[(carrier + 26) as usize] as f64, 0.0)
+}
+
+/// STF frequency-domain values: nonzero on every 4th subcarrier,
+/// normalised per IEEE 802.11-2012 Eq. 18-8.
+fn stf_bins() -> Vec<Complex64> {
+    let s = (13.0f64 / 6.0).sqrt();
+    let p = Complex64::new(s, s);
+    let n = Complex64::new(-s, -s);
+    // (carrier, value) pairs from the standard.
+    let entries: [(i32, Complex64); 12] = [
+        (-24, p),
+        (-20, n),
+        (-16, p),
+        (-12, n),
+        (-8, n),
+        (-4, p),
+        (4, n),
+        (8, n),
+        (12, p),
+        (16, p),
+        (20, p),
+        (24, p),
+    ];
+    let mut bins = vec![Complex64::ZERO; FFT_SIZE];
+    for (c, v) in entries {
+        bins[carrier_to_bin(c)] = v;
+    }
+    bins
+}
+
+/// LTF frequency-domain values over the 64 FFT bins.
+pub fn ltf_bins() -> Vec<Complex64> {
+    let mut bins = vec![Complex64::ZERO; FFT_SIZE];
+    for c in -26..=26i32 {
+        if c == 0 {
+            continue;
+        }
+        bins[carrier_to_bin(c)] = ltf_value(c);
+    }
+    bins
+}
+
+/// Number of OFDM symbols in the preamble (2 STF + 2 LTF).
+pub const PREAMBLE_SYMBOLS: usize = 4;
+/// Total preamble length in samples.
+pub const PREAMBLE_LEN: usize = PREAMBLE_SYMBOLS * SYMBOL_LEN;
+
+fn symbol_with_cp(bins: &[Complex64]) -> Vec<Complex64> {
+    let time = ifft(bins).expect("64-bin IFFT cannot fail");
+    let mut out = Vec::with_capacity(SYMBOL_LEN);
+    out.extend_from_slice(&time[FFT_SIZE - CP_LEN..]);
+    out.extend_from_slice(&time);
+    out
+}
+
+/// Generates the 4-symbol preamble waveform (2 STF + 2 LTF symbols).
+pub fn generate_preamble() -> Vec<Complex64> {
+    let stf = symbol_with_cp(&stf_bins());
+    let ltf = symbol_with_cp(&ltf_bins());
+    let mut out = Vec::with_capacity(PREAMBLE_LEN);
+    out.extend_from_slice(&stf);
+    out.extend_from_slice(&stf);
+    out.extend_from_slice(&ltf);
+    out.extend_from_slice(&ltf);
+    out
+}
+
+/// Byte offsets of the two LTF symbols inside the preamble, in samples.
+pub fn ltf_offsets() -> [usize; 2] {
+    [2 * SYMBOL_LEN, 3 * SYMBOL_LEN]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft;
+
+    #[test]
+    fn preamble_has_expected_length() {
+        assert_eq!(generate_preamble().len(), PREAMBLE_LEN);
+        assert_eq!(PREAMBLE_LEN, 4 * 80);
+    }
+
+    #[test]
+    fn ltf_sequence_is_pm_one_with_dc_null() {
+        assert_eq!(LTF_SEQUENCE.len(), 53);
+        assert_eq!(LTF_SEQUENCE[26], 0);
+        for (k, &v) in LTF_SEQUENCE.iter().enumerate() {
+            if k != 26 {
+                assert!(v == 1 || v == -1);
+            }
+        }
+    }
+
+    #[test]
+    fn ltf_symbols_are_identical_repetitions() {
+        let pre = generate_preamble();
+        let [a, b] = ltf_offsets();
+        for k in 0..SYMBOL_LEN {
+            assert_eq!(pre[a + k], pre[b + k]);
+        }
+    }
+
+    #[test]
+    fn ltf_round_trips_through_fft() {
+        let pre = generate_preamble();
+        let [a, _] = ltf_offsets();
+        let bins = fft(&pre[a + CP_LEN..a + SYMBOL_LEN]).unwrap();
+        for c in -26..=26i32 {
+            if c == 0 {
+                continue;
+            }
+            let got = bins[carrier_to_bin(c)];
+            let want = ltf_value(c);
+            assert!((got - want).abs() < 1e-9, "carrier {c}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn stf_has_period_16_structure() {
+        // Energy only on every 4th carrier makes the STF time signal
+        // periodic with period 16 samples.
+        let stf = symbol_with_cp(&stf_bins());
+        let body = &stf[CP_LEN..];
+        for k in 0..FFT_SIZE - 16 {
+            assert!(
+                (body[k] - body[k + 16]).abs() < 1e-9,
+                "sample {k} not periodic"
+            );
+        }
+    }
+
+    #[test]
+    fn preamble_symbols_have_energy() {
+        let pre = generate_preamble();
+        // 52 used carriers of unit-ish magnitude, 1/64 IFFT normalisation:
+        // mean time-domain power ~ 52/64^2 ~ 0.0127.
+        let power = crate::math::mean_power(&pre);
+        assert!((0.005..0.05).contains(&power), "preamble power {power}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ltf_value_range_check() {
+        ltf_value(27);
+    }
+}

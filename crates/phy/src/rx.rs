@@ -1,0 +1,752 @@
+//! Receiver chain: baseband samples to section bits.
+//!
+//! The receiver is *layout driven*: it is told the section structure
+//! (lengths, MCS, scrambling, side channel) it should expect. The layer
+//! above (`carpool-frame`) discovers that structure incrementally the way
+//! a Carpool STA does — decode the fixed-format A-HDR, then each
+//! subframe's SIG, then decode or *skip* the subframe body — which is why
+//! the core API is the stepwise [`FrameDecoder`]; [`receive`] is a
+//! convenience wrapper that decodes a fully known layout in one call.
+//!
+//! Two estimation modes are provided:
+//!
+//! * [`Estimation::Standard`] — the 802.11 baseline: one LTF estimate for
+//!   the whole frame (exhibits the paper's BER bias on long frames).
+//! * [`Estimation::Rte`] — Carpool's real-time estimation: per-symbol
+//!   CRCs from the phase offset side channel gate data-pilot updates of
+//!   the channel estimate (paper Section 5).
+
+use crate::convolutional::{coded_len, decode, decode_soft};
+use crate::equalizer::{compensate_phase, estimate_noise_from_ltf, track_phase, ChannelEstimate};
+use crate::interleaver::Interleaver;
+use crate::math::Complex64;
+use crate::mcs::Mcs;
+use crate::ofdm::{demodulate_symbol, FreqSymbol, NUM_DATA, SYMBOL_LEN};
+use crate::preamble::{ltf_offsets, PREAMBLE_LEN};
+use crate::rte::{CalibrationRule, RteEstimator};
+use crate::scrambler::Scrambler;
+use crate::tx::{SectionSpec, SideChannelConfig};
+use crate::PhyError;
+
+/// Channel estimation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Estimation {
+    /// Preamble-only estimation (IEEE 802.11 baseline).
+    #[default]
+    Standard,
+    /// Real-time estimation calibrated by data pilots (Carpool).
+    Rte(CalibrationRule),
+}
+
+/// Expected layout of one received section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionLayout {
+    /// Information bits to recover.
+    pub message_bits: usize,
+    /// Modulation and coding scheme.
+    pub mcs: Mcs,
+    /// Whether the section was scrambled.
+    pub scramble: bool,
+    /// Side-channel configuration, if the transmitter injected one.
+    pub side_channel: Option<SideChannelConfig>,
+    /// Whether the section's data subcarriers are QBPSK-rotated (the
+    /// Carpool A-HDR format mark).
+    pub qbpsk: bool,
+}
+
+impl SectionLayout {
+    /// Layout corresponding to a transmit [`SectionSpec`].
+    pub fn of(spec: &SectionSpec) -> SectionLayout {
+        SectionLayout {
+            message_bits: spec.bits.len(),
+            mcs: spec.mcs,
+            scramble: spec.scramble,
+            side_channel: spec.side_channel,
+            qbpsk: spec.qbpsk,
+        }
+    }
+
+    /// OFDM symbols this section occupies.
+    pub fn symbol_count(&self) -> usize {
+        self.mcs.symbols_for_bits(self.message_bits)
+    }
+}
+
+/// Decoded contents and diagnostics of one section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RxSection {
+    /// Recovered information bits (post-Viterbi, descrambled).
+    pub bits: Vec<u8>,
+    /// Hard-decision interleaved-domain bits per symbol — comparable to
+    /// [`crate::tx::SectionInfo::symbol_bits`] for raw BER measurement.
+    pub raw_symbol_bits: Vec<Vec<u8>>,
+    /// Per-symbol verdict of the side-channel CRC (all symbols in a
+    /// group share the verdict). Empty when the side channel is off.
+    pub crc_ok: Vec<bool>,
+    /// Side-channel values decoded per symbol. Empty when off.
+    pub side_values: Vec<u8>,
+    /// Tracked total common phase offset per symbol, radians.
+    pub phase_offsets: Vec<f64>,
+}
+
+/// A fully decoded PPDU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RxFrame {
+    /// Per-section results, in layout order.
+    pub sections: Vec<RxSection>,
+    /// The initial LTF-derived channel estimate.
+    pub initial_estimate: ChannelEstimate,
+}
+
+enum Estimator {
+    Fixed(ChannelEstimate),
+    Rte(RteEstimator),
+}
+
+impl Estimator {
+    fn current(&self) -> &ChannelEstimate {
+        match self {
+            Estimator::Fixed(e) => e,
+            Estimator::Rte(r) => r.estimate(),
+        }
+    }
+
+    fn update(&mut self, received: &FreqSymbol, decided: &[Complex64], idx: usize) {
+        if let Estimator::Rte(r) = self {
+            r.update(received, decided, idx);
+        }
+    }
+}
+
+/// Buffered state for one side-channel CRC group.
+struct GroupBuffer {
+    bits: Vec<u8>,
+    side_values: Vec<u8>,
+    compensated: Vec<FreqSymbol>,
+    decided: Vec<Vec<Complex64>>,
+    indices: Vec<usize>,
+}
+
+impl GroupBuffer {
+    fn new() -> GroupBuffer {
+        GroupBuffer {
+            bits: Vec::new(),
+            side_values: Vec::new(),
+            compensated: Vec::new(),
+            decided: Vec::new(),
+            indices: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.bits.clear();
+        self.side_values.clear();
+        self.compensated.clear();
+        self.decided.clear();
+        self.indices.clear();
+    }
+}
+
+/// Stepwise PPDU decoder.
+///
+/// Mirrors a Carpool station's receive flow: construct it on the sample
+/// buffer (this consumes the preamble and derives the initial channel
+/// estimate), then alternate [`FrameDecoder::decode_section`] and
+/// [`FrameDecoder::skip_section`] as the frame structure reveals itself.
+///
+/// # Examples
+///
+/// ```
+/// use carpool_phy::mcs::Mcs;
+/// use carpool_phy::rx::{Estimation, FrameDecoder, SectionLayout};
+/// use carpool_phy::tx::{transmit, SectionSpec};
+///
+/// # fn main() -> Result<(), carpool_phy::PhyError> {
+/// let specs = vec![
+///     SectionSpec::header(vec![1; 48]),
+///     SectionSpec::payload(vec![0, 1, 1, 0], Mcs::QPSK_1_2),
+/// ];
+/// let tx = transmit(&specs)?;
+/// let mut dec = FrameDecoder::new(&tx.samples, Estimation::Standard)?;
+/// let hdr = dec.decode_section(&SectionLayout::of(&specs[0]))?;
+/// assert_eq!(hdr.bits, specs[0].bits);
+/// dec.skip_section(&SectionLayout::of(&specs[1]))?; // not our subframe
+/// # Ok(())
+/// # }
+/// ```
+pub struct FrameDecoder<'a> {
+    samples: &'a [Complex64],
+    estimator: Estimator,
+    initial: ChannelEstimate,
+    symbol_index: usize,
+    sample_pos: usize,
+    prev_phase: f64,
+    noise_var: f64,
+    soft_decoding: bool,
+}
+
+impl<'a> FrameDecoder<'a> {
+    /// Consumes the preamble of `samples` and prepares for decoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::LengthMismatch`] if the buffer cannot even
+    /// hold a preamble.
+    pub fn new(samples: &'a [Complex64], estimation: Estimation) -> Result<Self, PhyError> {
+        if samples.len() < PREAMBLE_LEN {
+            return Err(PhyError::LengthMismatch {
+                expected: PREAMBLE_LEN,
+                actual: samples.len(),
+            });
+        }
+        let [l1, l2] = ltf_offsets();
+        let initial = ChannelEstimate::from_ltf(
+            &samples[l1..l1 + SYMBOL_LEN],
+            &samples[l2..l2 + SYMBOL_LEN],
+        );
+        let noise_var = estimate_noise_from_ltf(
+            &samples[l1..l1 + SYMBOL_LEN],
+            &samples[l2..l2 + SYMBOL_LEN],
+        );
+        let estimator = match estimation {
+            Estimation::Standard => Estimator::Fixed(initial.clone()),
+            Estimation::Rte(rule) => Estimator::Rte(RteEstimator::new(initial.clone(), rule)),
+        };
+        Ok(FrameDecoder {
+            samples,
+            estimator,
+            initial,
+            symbol_index: 0,
+            sample_pos: PREAMBLE_LEN,
+            prev_phase: 0.0,
+            noise_var,
+            soft_decoding: false,
+        })
+    }
+
+    /// Enables soft-decision (LLR) Viterbi decoding of payload bits,
+    /// using the noise variance estimated from the LTF pair and the
+    /// per-carrier noise amplification of zero-forcing equalisation.
+    /// Per-symbol CRC checking and RTE gating still use hard decisions.
+    pub fn with_soft_decoding(mut self, enabled: bool) -> Self {
+        self.soft_decoding = enabled;
+        self
+    }
+
+    /// The noise variance estimated from the two LTF repetitions.
+    pub fn noise_variance(&self) -> f64 {
+        self.noise_var
+    }
+
+    /// The LTF-derived estimate captured at construction.
+    pub fn initial_estimate(&self) -> &ChannelEstimate {
+        &self.initial
+    }
+
+    /// Index of the next payload OFDM symbol to be processed.
+    pub fn position(&self) -> usize {
+        self.symbol_index
+    }
+
+    /// Remaining OFDM symbols available in the buffer.
+    pub fn remaining_symbols(&self) -> usize {
+        (self.samples.len() - self.sample_pos) / SYMBOL_LEN
+    }
+
+    fn ensure_available(&self, symbols: usize) -> Result<(), PhyError> {
+        let needed = self.sample_pos + symbols * SYMBOL_LEN;
+        if self.samples.len() < needed {
+            return Err(PhyError::LengthMismatch {
+                expected: needed,
+                actual: self.samples.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Classifies the next symbol's format without consuming it:
+    /// `true` if its data constellation sits on the imaginary axis
+    /// (QBPSK — a Carpool A-HDR), `false` for a legacy real-axis SIG.
+    /// This is how a Carpool node tells Carpool PPDUs from legacy ones
+    /// (paper Section 4.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::LengthMismatch`] if no symbol remains.
+    pub fn peek_is_qbpsk(&self) -> Result<bool, PhyError> {
+        self.ensure_available(1)?;
+        let raw = demodulate_symbol(&self.samples[self.sample_pos..self.sample_pos + SYMBOL_LEN])
+            .map_err(PhyError::Fft)?;
+        let mut eq = self.estimator.current().equalize(&raw);
+        let track = track_phase(&eq, self.symbol_index);
+        compensate_phase(&mut eq, track.offset);
+        let (mut re, mut im) = (0.0f64, 0.0f64);
+        for p in &eq.data {
+            re += p.re * p.re;
+            im += p.im * p.im;
+        }
+        Ok(im > re)
+    }
+
+    /// Skips a section without demodulating its payload — what a Carpool
+    /// station does with subframes destined to other receivers. Only the
+    /// symbol/sample cursors advance; the channel estimator and the
+    /// side-channel phase reference are *not* updated (the station can
+    /// power down its decode path, paper Section 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::LengthMismatch`] if the buffer is too short.
+    pub fn skip_section(&mut self, layout: &SectionLayout) -> Result<(), PhyError> {
+        let n = layout.symbol_count();
+        self.ensure_available(n)?;
+        self.symbol_index += n;
+        self.sample_pos += n * SYMBOL_LEN;
+        // Re-anchor the differential phase reference on the next decoded
+        // symbol rather than across the gap.
+        self.prev_phase = f64::NAN;
+        Ok(())
+    }
+
+    /// Decodes the next section according to `layout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::LengthMismatch`] if the buffer is too short.
+    pub fn decode_section(&mut self, layout: &SectionLayout) -> Result<RxSection, PhyError> {
+        let num_symbols = layout.symbol_count();
+        self.ensure_available(num_symbols)?;
+        let interleaver = Interleaver::new(layout.mcs.modulation, NUM_DATA);
+        let n_cbps = layout.mcs.coded_bits_per_symbol();
+
+        let mut raw_symbol_bits = Vec::with_capacity(num_symbols);
+        let mut phase_offsets = Vec::with_capacity(num_symbols);
+        let mut crc_ok = Vec::new();
+        let mut side_values = Vec::new();
+        let mut coded_stream = Vec::with_capacity(num_symbols * n_cbps);
+        let mut soft_stream: Vec<f64> = if self.soft_decoding {
+            Vec::with_capacity(num_symbols * n_cbps)
+        } else {
+            Vec::new()
+        };
+
+        let mut group = GroupBuffer::new();
+        let bits_per = layout
+            .side_channel
+            .map(|sc| sc.modulation.bits_per_symbol())
+            .unwrap_or(0);
+
+        for k in 0..num_symbols {
+            let raw = demodulate_symbol(&self.samples[self.sample_pos..self.sample_pos + SYMBOL_LEN])
+                .map_err(PhyError::Fft)?;
+            self.sample_pos += SYMBOL_LEN;
+            let idx = self.symbol_index + k;
+
+            let mut eq = self.estimator.current().equalize(&raw);
+            let track = track_phase(&eq, idx);
+            compensate_phase(&mut eq, track.offset);
+            phase_offsets.push(track.offset);
+            if layout.qbpsk {
+                // Undo the format mark on the data subcarriers.
+                for p in &mut eq.data {
+                    *p *= -Complex64::I;
+                }
+            }
+
+            let hard = layout.mcs.modulation.demap_all(&eq.data);
+            debug_assert_eq!(hard.len(), n_cbps);
+
+            // Soft path: per-carrier LLRs with ZF noise amplification
+            // (noise variance on carrier c grows by 1/|H_c|^2).
+            let symbol_llrs: Vec<f64> = if self.soft_decoding {
+                let estimate = self.estimator.current();
+                let mut llrs = Vec::with_capacity(n_cbps);
+                for (point, carrier) in eq.data.iter().zip(crate::ofdm::data_carriers()) {
+                    let gain = estimate.at(carrier).norm_sqr().max(1e-9);
+                    layout.mcs.modulation.demap_soft_into(
+                        *point,
+                        self.noise_var / gain,
+                        &mut llrs,
+                    );
+                }
+                llrs
+            } else {
+                Vec::new()
+            };
+
+            if let Some(sc) = &layout.side_channel {
+                // Differential decode relative to the previous symbol.
+                // After a skip the reference is re-anchored, so the first
+                // symbol only establishes it (its value is best-effort 0).
+                let value = if self.prev_phase.is_nan() {
+                    0
+                } else {
+                    sc.modulation.demodulate(track.offset - self.prev_phase)
+                };
+                side_values.push(value);
+
+                // Buffer the group for CRC check and RTE update. The RTE
+                // update uses the *raw* symbol with the tracked common
+                // phase removed, keeping the preamble phase convention.
+                let mut compensated_raw = raw.clone();
+                compensate_phase(&mut compensated_raw, track.offset);
+                let decided = layout.mcs.modulation.map_all(&hard);
+                group.bits.extend_from_slice(&hard);
+                group.side_values.push(value);
+                group.compensated.push(compensated_raw);
+                group.decided.push(decided);
+                group.indices.push(idx);
+
+                let group_full = group.indices.len() == sc.group_symbols;
+                let last_symbol = k == num_symbols - 1;
+                if group_full || last_symbol {
+                    let crc = sc.crc_for_group(group.indices.len());
+                    let mut checksum = 0u64;
+                    for (j, &v) in group.side_values.iter().enumerate() {
+                        checksum |= (v as u64) << (j * bits_per);
+                    }
+                    // Mask to CRC width (a partial tail group carries a
+                    // narrower checksum).
+                    let width = crc.width() as usize;
+                    let checksum = (checksum & ((1u64 << width) - 1)) as u8;
+                    let ok = crc.verify(&group.bits, checksum);
+                    for _ in 0..group.indices.len() {
+                        crc_ok.push(ok);
+                    }
+                    if ok {
+                        for ((rx_sym, decided), idx) in group
+                            .compensated
+                            .iter()
+                            .zip(&group.decided)
+                            .zip(&group.indices)
+                        {
+                            self.estimator.update(rx_sym, decided, *idx);
+                        }
+                    }
+                    group.clear();
+                }
+            }
+
+            self.prev_phase = track.offset;
+            coded_stream.extend(interleaver.deinterleave(&hard));
+            if self.soft_decoding {
+                soft_stream.extend(interleaver.deinterleave_soft(&symbol_llrs));
+            }
+            raw_symbol_bits.push(hard);
+        }
+        self.symbol_index += num_symbols;
+
+        // FEC decode and descramble.
+        let usable = coded_len(layout.message_bits, layout.mcs.code_rate);
+        coded_stream.truncate(usable);
+        let mut bits = if self.soft_decoding {
+            soft_stream.truncate(usable);
+            decode_soft(&soft_stream, layout.message_bits, layout.mcs.code_rate)
+        } else {
+            decode(&coded_stream, layout.message_bits, layout.mcs.code_rate)
+        };
+        if layout.scramble {
+            Scrambler::default().scramble_in_place(&mut bits);
+        }
+
+        Ok(RxSection {
+            bits,
+            raw_symbol_bits,
+            crc_ok,
+            side_values,
+            phase_offsets,
+        })
+    }
+}
+
+/// Receives and decodes a PPDU whose full section layout is known.
+///
+/// # Errors
+///
+/// * [`PhyError::LengthMismatch`] if `samples` is shorter than the
+///   preamble plus the symbols implied by `layouts`.
+/// * [`PhyError::EmptyFrame`] if `layouts` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use carpool_phy::mcs::Mcs;
+/// use carpool_phy::rx::{receive, Estimation, SectionLayout};
+/// use carpool_phy::tx::{transmit, SectionSpec};
+///
+/// # fn main() -> Result<(), carpool_phy::PhyError> {
+/// let spec = SectionSpec::payload(vec![1, 0, 1, 1, 0, 0, 1, 0], Mcs::QPSK_1_2);
+/// let frame = transmit(std::slice::from_ref(&spec))?;
+/// let rx = receive(&frame.samples, &[SectionLayout::of(&spec)], Estimation::Standard)?;
+/// assert_eq!(rx.sections[0].bits, spec.bits);
+/// # Ok(())
+/// # }
+/// ```
+pub fn receive(
+    samples: &[Complex64],
+    layouts: &[SectionLayout],
+    estimation: Estimation,
+) -> Result<RxFrame, PhyError> {
+    receive_with(samples, layouts, estimation, false)
+}
+
+/// [`receive`] with soft-decision Viterbi decoding of the payloads.
+///
+/// # Errors
+///
+/// Same as [`receive`].
+pub fn receive_soft(
+    samples: &[Complex64],
+    layouts: &[SectionLayout],
+    estimation: Estimation,
+) -> Result<RxFrame, PhyError> {
+    receive_with(samples, layouts, estimation, true)
+}
+
+fn receive_with(
+    samples: &[Complex64],
+    layouts: &[SectionLayout],
+    estimation: Estimation,
+    soft: bool,
+) -> Result<RxFrame, PhyError> {
+    if layouts.is_empty() {
+        return Err(PhyError::EmptyFrame);
+    }
+    let total_symbols: usize = layouts.iter().map(|l| l.symbol_count()).sum();
+    let needed = PREAMBLE_LEN + total_symbols * SYMBOL_LEN;
+    if samples.len() < needed {
+        return Err(PhyError::LengthMismatch {
+            expected: needed,
+            actual: samples.len(),
+        });
+    }
+    let mut decoder = FrameDecoder::new(samples, estimation)?.with_soft_decoding(soft);
+    let mut sections = Vec::with_capacity(layouts.len());
+    for layout in layouts {
+        sections.push(decoder.decode_section(layout)?);
+    }
+    let initial_estimate = decoder.initial.clone();
+    Ok(RxFrame {
+        sections,
+        initial_estimate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bit_error_rate;
+    use crate::tx::transmit;
+
+    fn round_trip(spec: SectionSpec, estimation: Estimation) -> RxFrame {
+        let frame = transmit(std::slice::from_ref(&spec)).unwrap();
+        receive(&frame.samples, &[SectionLayout::of(&spec)], estimation).unwrap()
+    }
+
+    fn pattern_bits(n: usize) -> Vec<u8> {
+        (0..n).map(|k| ((k * 7 + k / 3) % 5 < 2) as u8).collect()
+    }
+
+    #[test]
+    fn clean_channel_round_trip_all_mcs() {
+        for mcs in Mcs::ALL {
+            let spec = SectionSpec::payload(pattern_bits(600), mcs);
+            let rx = round_trip(spec.clone(), Estimation::Standard);
+            assert_eq!(rx.sections[0].bits, spec.bits, "{mcs}");
+        }
+    }
+
+    #[test]
+    fn clean_channel_round_trip_with_rte() {
+        let spec = SectionSpec::payload(pattern_bits(800), Mcs::QAM64_3_4);
+        let rx = round_trip(spec.clone(), Estimation::Rte(CalibrationRule::Average));
+        assert_eq!(rx.sections[0].bits, spec.bits);
+        // All symbol CRCs pass on a clean channel.
+        assert!(rx.sections[0].crc_ok.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn side_channel_values_match_transmitter() {
+        let spec = SectionSpec::payload(pattern_bits(1000), Mcs::QPSK_1_2);
+        let frame = transmit(std::slice::from_ref(&spec)).unwrap();
+        let rx = receive(
+            &frame.samples,
+            &[SectionLayout::of(&spec)],
+            Estimation::Standard,
+        )
+        .unwrap();
+        assert_eq!(rx.sections[0].side_values, frame.sections[0].side_values);
+    }
+
+    #[test]
+    fn raw_symbol_bits_match_on_clean_channel() {
+        let spec = SectionSpec::payload(pattern_bits(500), Mcs::QAM16_3_4);
+        let frame = transmit(std::slice::from_ref(&spec)).unwrap();
+        let rx = receive(
+            &frame.samples,
+            &[SectionLayout::of(&spec)],
+            Estimation::Standard,
+        )
+        .unwrap();
+        for (tx_bits, rx_bits) in frame.sections[0]
+            .symbol_bits
+            .iter()
+            .zip(&rx.sections[0].raw_symbol_bits)
+        {
+            assert_eq!(bit_error_rate(tx_bits, rx_bits), 0.0);
+        }
+    }
+
+    #[test]
+    fn multi_section_frames_decode() {
+        let specs = vec![
+            SectionSpec::header(pattern_bits(48)),
+            SectionSpec::payload(pattern_bits(400), Mcs::QPSK_3_4),
+            SectionSpec::header(pattern_bits(24)),
+            SectionSpec::payload(pattern_bits(700), Mcs::QAM64_2_3),
+        ];
+        let frame = transmit(&specs).unwrap();
+        let layouts: Vec<SectionLayout> = specs.iter().map(SectionLayout::of).collect();
+        let rx = receive(&frame.samples, &layouts, Estimation::Standard).unwrap();
+        for (spec, sec) in specs.iter().zip(&rx.sections) {
+            assert_eq!(sec.bits, spec.bits);
+        }
+    }
+
+    #[test]
+    fn skipping_sections_still_decodes_later_ones() {
+        let specs = vec![
+            SectionSpec::header(pattern_bits(48)),
+            SectionSpec::payload(pattern_bits(900), Mcs::QAM16_1_2),
+            SectionSpec::payload(pattern_bits(300), Mcs::QPSK_1_2),
+        ];
+        let frame = transmit(&specs).unwrap();
+        let mut dec = FrameDecoder::new(&frame.samples, Estimation::Standard).unwrap();
+        let hdr = dec.decode_section(&SectionLayout::of(&specs[0])).unwrap();
+        assert_eq!(hdr.bits, specs[0].bits);
+        dec.skip_section(&SectionLayout::of(&specs[1])).unwrap();
+        let last = dec.decode_section(&SectionLayout::of(&specs[2])).unwrap();
+        assert_eq!(last.bits, specs[2].bits);
+    }
+
+    #[test]
+    fn decoder_position_tracks_symbols() {
+        let specs = vec![
+            SectionSpec::header(pattern_bits(48)),
+            SectionSpec::payload(pattern_bits(300), Mcs::QPSK_1_2),
+        ];
+        let frame = transmit(&specs).unwrap();
+        let mut dec = FrameDecoder::new(&frame.samples, Estimation::Standard).unwrap();
+        assert_eq!(dec.position(), 0);
+        dec.decode_section(&SectionLayout::of(&specs[0])).unwrap();
+        assert_eq!(dec.position(), SectionLayout::of(&specs[0]).symbol_count());
+        assert_eq!(dec.remaining_symbols(), SectionLayout::of(&specs[1]).symbol_count());
+    }
+
+    #[test]
+    fn legacy_sections_have_no_side_diagnostics() {
+        let spec = SectionSpec::payload_legacy(pattern_bits(200), Mcs::QPSK_1_2);
+        let rx = round_trip(spec, Estimation::Standard);
+        assert!(rx.sections[0].side_values.is_empty());
+        assert!(rx.sections[0].crc_ok.is_empty());
+    }
+
+    #[test]
+    fn truncated_samples_error() {
+        let spec = SectionSpec::payload(pattern_bits(300), Mcs::QPSK_1_2);
+        let frame = transmit(std::slice::from_ref(&spec)).unwrap();
+        let err = receive(
+            &frame.samples[..frame.samples.len() - 10],
+            &[SectionLayout::of(&spec)],
+            Estimation::Standard,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PhyError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_layout_error() {
+        assert!(matches!(
+            receive(&[], &[], Estimation::Standard),
+            Err(PhyError::EmptyFrame)
+        ));
+    }
+
+    #[test]
+    fn short_buffer_rejected_by_decoder() {
+        let err = FrameDecoder::new(&[Complex64::ZERO; 100], Estimation::Standard)
+            .err()
+            .unwrap();
+        assert!(matches!(err, PhyError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn qbpsk_header_round_trips_and_classifies() {
+        let specs = vec![
+            SectionSpec::header_qbpsk(pattern_bits(48)),
+            SectionSpec::header(pattern_bits(24)), // a SIG-like BPSK field
+            SectionSpec::payload(pattern_bits(300), Mcs::QPSK_1_2),
+        ];
+        let frame = transmit(&specs).unwrap();
+        let mut dec = FrameDecoder::new(&frame.samples, Estimation::Standard).unwrap();
+        assert!(dec.peek_is_qbpsk().unwrap(), "A-HDR must look like QBPSK");
+        let hdr = dec.decode_section(&SectionLayout::of(&specs[0])).unwrap();
+        assert_eq!(hdr.bits, specs[0].bits);
+        // The next BPSK field reads as real-axis (the axis test is only
+        // meaningful on BPSK symbols — SIG vs A-HDR, as in 802.11n).
+        assert!(!dec.peek_is_qbpsk().unwrap());
+        for spec in &specs[1..] {
+            let section = dec.decode_section(&SectionLayout::of(spec)).unwrap();
+            assert_eq!(section.bits, spec.bits);
+        }
+    }
+
+    #[test]
+    fn legacy_frame_classifies_as_legacy() {
+        let specs = vec![SectionSpec::header(pattern_bits(24))];
+        let frame = transmit(&specs).unwrap();
+        let dec = FrameDecoder::new(&frame.samples, Estimation::Standard).unwrap();
+        assert!(!dec.peek_is_qbpsk().unwrap());
+    }
+
+    #[test]
+    fn soft_decoding_round_trips_on_clean_channel() {
+        for mcs in [Mcs::BPSK_1_2, Mcs::QAM16_3_4, Mcs::QAM64_2_3] {
+            let spec = SectionSpec::payload(pattern_bits(500), mcs);
+            let frame = transmit(std::slice::from_ref(&spec)).unwrap();
+            let rx = receive_soft(
+                &frame.samples,
+                &[SectionLayout::of(&spec)],
+                Estimation::Standard,
+            )
+            .unwrap();
+            assert_eq!(rx.sections[0].bits, spec.bits, "{mcs}");
+        }
+    }
+
+    #[test]
+    fn noise_variance_is_near_zero_on_clean_channel() {
+        let spec = SectionSpec::payload(pattern_bits(100), Mcs::QPSK_1_2);
+        let frame = transmit(std::slice::from_ref(&spec)).unwrap();
+        let dec = FrameDecoder::new(&frame.samples, Estimation::Standard).unwrap();
+        assert!(dec.noise_variance() < 1e-12, "{}", dec.noise_variance());
+    }
+
+    #[test]
+    fn group_of_two_symbols_checks_out() {
+        let sc = SideChannelConfig {
+            modulation: crate::sidechannel::PhaseOffsetMod::TwoBit,
+            group_symbols: 2,
+        };
+        let spec = SectionSpec {
+            bits: pattern_bits(700),
+            mcs: Mcs::QPSK_1_2,
+            scramble: true,
+            side_channel: Some(sc),
+            qbpsk: false,
+        };
+        let rx = round_trip(spec.clone(), Estimation::Rte(CalibrationRule::Average));
+        assert_eq!(rx.sections[0].bits, spec.bits);
+        assert!(rx.sections[0].crc_ok.iter().all(|&ok| ok));
+    }
+}

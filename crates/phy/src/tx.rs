@@ -1,0 +1,404 @@
+//! Transmitter chain: section bits to baseband samples.
+//!
+//! A PHY frame (PPDU) is a preamble followed by a list of *sections*.
+//! Each section has its own MCS, optional scrambling and optional phase
+//! offset side channel — which is exactly the flexibility the Carpool
+//! frame format needs: the A-HDR and SIG fields are unscrambled BPSK-1/2
+//! sections without injection, while each subframe's MAC data is a
+//! scrambled section at its receiver's MCS with the side channel active.
+//!
+//! Per section, the chain is: scramble → convolutional encode →
+//! pad to a whole number of OFDM symbols → per-symbol interleave →
+//! constellation map → pilot insertion → side-channel rotation → IFFT+CP.
+
+use crate::bits::pad_to_multiple;
+use crate::convolutional::encode;
+use crate::crc::SmallCrc;
+use crate::interleaver::Interleaver;
+use crate::math::{wrap_angle, Complex64};
+use crate::mcs::Mcs;
+use crate::ofdm::{modulate_symbol, FreqSymbol};
+use crate::preamble::generate_preamble;
+use crate::scrambler::Scrambler;
+use crate::sidechannel::PhaseOffsetMod;
+use crate::PhyError;
+
+/// Configuration of the per-symbol CRC side channel for a section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SideChannelConfig {
+    /// Phase-offset alphabet (1 or 2 bits per symbol).
+    pub modulation: PhaseOffsetMod,
+    /// OFDM symbols per CRC group. The paper's measurement study found
+    /// one symbol per group with the 2-bit alphabet optimal (Section 5.2).
+    pub group_symbols: usize,
+}
+
+impl Default for SideChannelConfig {
+    fn default() -> Self {
+        SideChannelConfig {
+            modulation: PhaseOffsetMod::TwoBit,
+            group_symbols: 1,
+        }
+    }
+}
+
+impl SideChannelConfig {
+    /// CRC width (bits) carried by a group of `symbols` symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting width is not within 1..=8 (the paper's
+    /// schemes use 1–6 bits).
+    pub fn crc_for_group(&self, symbols: usize) -> SmallCrc {
+        let width = symbols * self.modulation.bits_per_symbol();
+        assert!(
+            (1..=8).contains(&width),
+            "CRC width {width} unsupported; reduce group_symbols"
+        );
+        SmallCrc::standard(width as u8)
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), PhyError> {
+        let width = self.group_symbols * self.modulation.bits_per_symbol();
+        if self.group_symbols == 0 || width > 8 {
+            return Err(PhyError::InvalidConfig {
+                reason: format!(
+                    "side channel group of {} symbols x {} bits unsupported",
+                    self.group_symbols,
+                    self.modulation.bits_per_symbol()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Specification of one PPDU section to transmit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionSpec {
+    /// Information bits (pre-coding).
+    pub bits: Vec<u8>,
+    /// Modulation and coding scheme.
+    pub mcs: Mcs,
+    /// Whether the 802.11 scrambler whitens this section. Header fields
+    /// (A-HDR, SIG) are unscrambled so any receiver can parse them.
+    pub scramble: bool,
+    /// Phase offset side channel carrying per-symbol CRCs, if enabled.
+    pub side_channel: Option<SideChannelConfig>,
+    /// Transmit this section's *data* subcarriers rotated by 90°
+    /// (QBPSK) — the classic 802.11 format-detection trick. Carpool
+    /// marks its A-HDR this way so receivers can distinguish Carpool
+    /// PPDUs from legacy ones at the first post-preamble symbol (paper
+    /// Section 4.3). Pilots stay unrotated, so pilot phase tracking is
+    /// unaffected while the data constellation moves to the imaginary
+    /// axis.
+    pub qbpsk: bool,
+}
+
+impl SectionSpec {
+    /// An unscrambled BPSK-1/2 header section without side channel
+    /// (used for SIG fields and legacy headers).
+    pub fn header(bits: Vec<u8>) -> SectionSpec {
+        SectionSpec {
+            bits,
+            mcs: Mcs::BPSK_1_2,
+            scramble: false,
+            side_channel: None,
+            qbpsk: false,
+        }
+    }
+
+    /// A QBPSK-marked header section — the Carpool A-HDR (Section 4.3
+    /// format detection).
+    pub fn header_qbpsk(bits: Vec<u8>) -> SectionSpec {
+        SectionSpec {
+            qbpsk: true,
+            ..SectionSpec::header(bits)
+        }
+    }
+
+    /// A scrambled payload section with the default side channel.
+    pub fn payload(bits: Vec<u8>, mcs: Mcs) -> SectionSpec {
+        SectionSpec {
+            bits,
+            mcs,
+            scramble: true,
+            side_channel: Some(SideChannelConfig::default()),
+            qbpsk: false,
+        }
+    }
+
+    /// A scrambled payload section without side channel (legacy PHY).
+    pub fn payload_legacy(bits: Vec<u8>, mcs: Mcs) -> SectionSpec {
+        SectionSpec {
+            bits,
+            mcs,
+            scramble: true,
+            side_channel: None,
+            qbpsk: false,
+        }
+    }
+
+    /// Number of OFDM symbols this section occupies.
+    pub fn symbol_count(&self) -> usize {
+        self.mcs.symbols_for_bits(self.bits.len())
+    }
+}
+
+/// Per-section transmit metadata, kept for receivers and evaluations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionInfo {
+    /// Index of the section's first payload OFDM symbol in the frame.
+    pub first_symbol: usize,
+    /// Number of OFDM symbols.
+    pub num_symbols: usize,
+    /// The spec this section was built from.
+    pub spec: SectionSpec,
+    /// Interleaved coded bits actually placed on each symbol
+    /// (reference for raw-BER measurements).
+    pub symbol_bits: Vec<Vec<u8>>,
+    /// Side-channel values injected per symbol (empty if disabled).
+    pub side_values: Vec<u8>,
+}
+
+/// A fully modulated PPDU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxFrame {
+    /// Baseband samples: preamble followed by payload symbols.
+    pub samples: Vec<Complex64>,
+    /// Metadata per section.
+    pub sections: Vec<SectionInfo>,
+}
+
+impl TxFrame {
+    /// Total number of payload OFDM symbols (preamble excluded).
+    pub fn payload_symbols(&self) -> usize {
+        self.sections.iter().map(|s| s.num_symbols).sum()
+    }
+}
+
+/// Splits a CRC value of `width` bits into per-symbol side-channel
+/// values, `bits_per` bits each, first symbol carries the least
+/// significant bits.
+fn split_crc(value: u8, width: usize, bits_per: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(width.div_ceil(bits_per));
+    let mut v = value;
+    let mut remaining = width;
+    while remaining > 0 {
+        let take = bits_per.min(remaining);
+        out.push(v & ((1 << take) - 1));
+        v >>= take;
+        remaining -= take;
+    }
+    out
+}
+
+/// Transmits a list of sections as one PPDU.
+///
+/// # Errors
+///
+/// Returns [`PhyError::InvalidConfig`] if a section's side-channel
+/// configuration is unusable or [`PhyError::EmptyFrame`] if `sections`
+/// is empty or contains a section without bits.
+///
+/// # Examples
+///
+/// ```
+/// use carpool_phy::mcs::Mcs;
+/// use carpool_phy::tx::{transmit, SectionSpec};
+///
+/// # fn main() -> Result<(), carpool_phy::PhyError> {
+/// let frame = transmit(&[SectionSpec::payload(vec![1, 0, 1, 1], Mcs::QPSK_1_2)])?;
+/// assert!(frame.payload_symbols() >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn transmit(sections: &[SectionSpec]) -> Result<TxFrame, PhyError> {
+    if sections.is_empty() {
+        return Err(PhyError::EmptyFrame);
+    }
+    let mut samples = generate_preamble();
+    let mut infos = Vec::with_capacity(sections.len());
+    let mut symbol_index = 0usize;
+    // Injected rotation of the previous symbol; resets after any
+    // non-injected symbol so differential decoding always references the
+    // physically previous symbol.
+    let mut last_injected = 0.0f64;
+
+    for spec in sections {
+        if spec.bits.is_empty() {
+            return Err(PhyError::EmptyFrame);
+        }
+        if let Some(sc) = &spec.side_channel {
+            sc.validate()?;
+        }
+        let mut bits = spec.bits.clone();
+        if spec.scramble {
+            Scrambler::default().scramble_in_place(&mut bits);
+        }
+        let mut coded = encode(&bits, spec.mcs.code_rate);
+        let n_cbps = spec.mcs.coded_bits_per_symbol();
+        pad_to_multiple(&mut coded, n_cbps);
+        let num_symbols = coded.len() / n_cbps;
+        let interleaver = Interleaver::new(spec.mcs.modulation, crate::ofdm::NUM_DATA);
+
+        // Interleave per symbol and build frequency symbols.
+        let mut symbol_bits = Vec::with_capacity(num_symbols);
+        let mut freq_symbols = Vec::with_capacity(num_symbols);
+        for (k, chunk) in coded.chunks(n_cbps).enumerate() {
+            let interleaved = interleaver.interleave(chunk);
+            let mut points = spec.mcs.modulation.map_all(&interleaved);
+            if spec.qbpsk {
+                // Rotate only the data subcarriers; pilots stay put so
+                // phase tracking cannot silently undo the mark.
+                for p in &mut points {
+                    *p *= Complex64::I;
+                }
+            }
+            let sym = FreqSymbol::with_standard_pilots(points, symbol_index + k);
+            symbol_bits.push(interleaved);
+            freq_symbols.push(sym);
+        }
+
+        // Side-channel injection.
+        let mut side_values = Vec::new();
+        if let Some(sc) = &spec.side_channel {
+            let bits_per = sc.modulation.bits_per_symbol();
+            let mut sym_pos = 0usize;
+            while sym_pos < num_symbols {
+                let group = sc.group_symbols.min(num_symbols - sym_pos);
+                let crc = sc.crc_for_group(group);
+                let group_bits: Vec<u8> = symbol_bits[sym_pos..sym_pos + group]
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .collect();
+                let checksum = crc.compute(&group_bits);
+                for v in split_crc(checksum, crc.width() as usize, bits_per) {
+                    side_values.push(v);
+                }
+                sym_pos += group;
+            }
+            debug_assert_eq!(side_values.len(), num_symbols);
+            for (sym, &v) in freq_symbols.iter_mut().zip(&side_values) {
+                let delta = sc.modulation.modulate(v);
+                last_injected = wrap_angle(last_injected + delta);
+                sym.rotate(last_injected);
+            }
+        } else {
+            last_injected = 0.0;
+        }
+
+        for sym in &freq_symbols {
+            samples.extend(modulate_symbol(sym).map_err(PhyError::Fft)?);
+        }
+
+        infos.push(SectionInfo {
+            first_symbol: symbol_index,
+            num_symbols,
+            spec: spec.clone(),
+            symbol_bits,
+            side_values,
+        });
+        symbol_index += num_symbols;
+    }
+
+    Ok(TxFrame {
+        samples,
+        sections: infos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ofdm::SYMBOL_LEN;
+    use crate::preamble::PREAMBLE_LEN;
+
+    #[test]
+    fn frame_length_matches_symbol_count() {
+        let frame = transmit(&[
+            SectionSpec::header(vec![1; 48]),
+            SectionSpec::payload([0, 1, 1, 0].repeat(100), Mcs::QAM16_1_2),
+        ])
+        .unwrap();
+        let expected = PREAMBLE_LEN + frame.payload_symbols() * SYMBOL_LEN;
+        assert_eq!(frame.samples.len(), expected);
+    }
+
+    #[test]
+    fn header_sections_have_no_side_values() {
+        let frame = transmit(&[SectionSpec::header(vec![1; 48])]).unwrap();
+        assert!(frame.sections[0].side_values.is_empty());
+    }
+
+    #[test]
+    fn side_values_cover_every_symbol() {
+        let frame =
+            transmit(&[SectionSpec::payload(vec![1; 500], Mcs::QPSK_1_2)]).unwrap();
+        let s = &frame.sections[0];
+        assert_eq!(s.side_values.len(), s.num_symbols);
+        for &v in &s.side_values {
+            assert!(v < 4);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert!(matches!(transmit(&[]), Err(PhyError::EmptyFrame)));
+        assert!(matches!(
+            transmit(&[SectionSpec::header(vec![])]),
+            Err(PhyError::EmptyFrame)
+        ));
+    }
+
+    #[test]
+    fn split_crc_orders_lsb_first() {
+        assert_eq!(split_crc(0b1101, 4, 2), vec![0b01, 0b11]);
+        assert_eq!(split_crc(0b1, 1, 2), vec![0b1]);
+        assert_eq!(split_crc(0b101101, 6, 2), vec![0b01, 0b11, 0b10]);
+    }
+
+    #[test]
+    fn sections_start_at_consecutive_symbols() {
+        let frame = transmit(&[
+            SectionSpec::header(vec![1; 24]),
+            SectionSpec::payload(vec![1; 100], Mcs::QPSK_1_2),
+            SectionSpec::payload(vec![0; 100], Mcs::QAM64_3_4),
+        ])
+        .unwrap();
+        let mut next = 0;
+        for s in &frame.sections {
+            assert_eq!(s.first_symbol, next);
+            next += s.num_symbols;
+        }
+    }
+
+    #[test]
+    fn symbol_bits_have_block_size() {
+        let frame =
+            transmit(&[SectionSpec::payload(vec![1; 300], Mcs::QAM64_3_4)]).unwrap();
+        for bits in &frame.sections[0].symbol_bits {
+            assert_eq!(bits.len(), Mcs::QAM64_3_4.coded_bits_per_symbol());
+        }
+    }
+
+    #[test]
+    fn invalid_side_channel_rejected() {
+        let spec = SectionSpec {
+            bits: vec![1; 10],
+            mcs: Mcs::QPSK_1_2,
+            scramble: true,
+            side_channel: Some(SideChannelConfig {
+                modulation: PhaseOffsetMod::TwoBit,
+                group_symbols: 5, // 10-bit CRC: unsupported
+            }),
+            qbpsk: false,
+        };
+        assert!(matches!(
+            transmit(&[spec]),
+            Err(PhyError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # carpool-traffic — synthetic public-WLAN traffic
+//!
+//! The paper's MAC evaluation is trace-driven, using the SIGCOMM'04/'08
+//! public traces and the authors' own campus-library sniffing campaign.
+//! Those captures are not redistributable, so this crate regenerates
+//! statistically equivalent workloads from their *published* properties
+//! (paper Section 2 and Section 7.2):
+//!
+//! * [`framesize`] — the frame-size CDFs of Fig. 1(b);
+//! * [`voip`] — Brady ON/OFF VoIP at 96 kbit/s peak with 120 B frames;
+//! * [`background`] — Poisson TCP/UDP background at the SIGCOMM'08
+//!   inter-arrival means (47 ms / 88 ms);
+//! * [`activity`] — the active-station process of Fig. 1(a), mean 7.63;
+//! * [`stats`] — downlink-dominance ratios of Fig. 1(c) and empirical
+//!   CDF helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use carpool_traffic::voip::VoipSource;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let arrivals = VoipSource::new().generate(10.0, &mut rng);
+//! assert!(arrivals.iter().all(|a| a.bytes == 120));
+//! ```
+
+pub mod activity;
+pub mod background;
+pub mod framesize;
+pub mod stats;
+pub mod trace;
+pub mod voip;
+
+pub use background::{BackgroundSource, Transport};
+pub use framesize::FrameSizeDistribution;
+pub use stats::{Direction, Trace as TraceKind, VolumeStats};
+pub use trace::{Trace, TraceRecord};
+pub use voip::{Arrival, VoipSource};

@@ -1,0 +1,93 @@
+//! Property-based tests for the traffic generators.
+
+use carpool_traffic::background::{BackgroundSource, Transport};
+use carpool_traffic::framesize::FrameSizeDistribution;
+use carpool_traffic::stats::{empirical_cdf, VolumeStats};
+use carpool_traffic::voip::{exponential, VoipSource};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cdf_is_monotone_and_quantile_inverts(p in 0.001f64..0.999) {
+        for dist in [FrameSizeDistribution::sigcomm(), FrameSizeDistribution::library()] {
+            let x = dist.quantile(p);
+            prop_assert!((dist.cdf(x) - p).abs() < 1e-9, "{}: p={p}", dist.name());
+        }
+    }
+
+    #[test]
+    fn samples_fall_in_support(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for dist in [FrameSizeDistribution::sigcomm(), FrameSizeDistribution::library()] {
+            for _ in 0..50 {
+                let s = dist.sample(&mut rng);
+                prop_assert!((40..=1500).contains(&s), "{}: {s}", dist.name());
+            }
+        }
+    }
+
+    #[test]
+    fn voip_arrivals_ordered_and_within_duration(seed in any::<u64>(), dur in 0.5f64..20.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arrivals = VoipSource::new().generate(dur, &mut rng);
+        for w in arrivals.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        prop_assert!(arrivals.iter().all(|a| a.time >= 0.0 && a.time < dur));
+        prop_assert!(arrivals.iter().all(|a| a.bytes == 120));
+    }
+
+    #[test]
+    fn background_arrivals_ordered(seed in any::<u64>(), dur in 0.5f64..20.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in [Transport::Tcp, Transport::Udp] {
+            let arrivals = BackgroundSource::new(t).generate(dur, &mut rng);
+            for w in arrivals.windows(2) {
+                prop_assert!(w[0].time <= w[1].time);
+            }
+            prop_assert!(arrivals.iter().all(|a| a.time < dur));
+        }
+    }
+
+    #[test]
+    fn exponential_is_positive(seed in any::<u64>(), mean in 0.001f64..10.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(exponential(mean, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn volume_ratio_in_unit_interval(
+        down in prop::collection::vec(1usize..2000, 0..30),
+        up in prop::collection::vec(1usize..2000, 0..30),
+    ) {
+        let mut v = VolumeStats::new();
+        for b in &down {
+            v.record(carpool_traffic::Direction::Downlink, *b);
+        }
+        for b in &up {
+            v.record(carpool_traffic::Direction::Uplink, *b);
+        }
+        let r = v.downlink_ratio();
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn empirical_cdf_is_monotone(
+        samples in prop::collection::vec(0usize..5000, 1..100),
+        thresholds in prop::collection::vec(0usize..5000, 1..20),
+    ) {
+        let mut sorted_thresholds = thresholds;
+        sorted_thresholds.sort_unstable();
+        let cdf = empirical_cdf(&samples, &sorted_thresholds);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(cdf.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+}

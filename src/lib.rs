@@ -1,0 +1,13 @@
+//! Workspace umbrella for the Carpool reproduction.
+//!
+//! This crate exists so that repository-level `tests/` and `examples/`
+//! can span every crate in the workspace. The real functionality lives in
+//! the member crates; see [`carpool`] for the public facade.
+
+pub use carpool;
+pub use carpool_bloom;
+pub use carpool_channel;
+pub use carpool_frame;
+pub use carpool_mac;
+pub use carpool_phy;
+pub use carpool_traffic;
