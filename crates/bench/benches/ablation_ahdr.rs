@@ -11,11 +11,17 @@ use carpool_frame::airtime::{ahdr_airtime, CONTROL_MCS};
 use carpool_mac::protocol::Protocol;
 
 fn main() {
-    banner("Ablation", "aggregation header encoding: Bloom A-HDR vs explicit addresses");
+    banner(
+        "Ablation",
+        "aggregation header encoding: Bloom A-HDR vs explicit addresses",
+    );
 
     // Airtime arithmetic (paper Section 3 example, adapted to this PHY).
     println!("header airtime for N receivers at the base rate:");
-    println!("{:>4} {:>14} {:>14} {:>8}", "N", "explicit", "A-HDR", "saving");
+    println!(
+        "{:>4} {:>14} {:>14} {:>8}",
+        "N", "explicit", "A-HDR", "saving"
+    );
     for n in [2usize, 4, 8] {
         let explicit = CONTROL_MCS.airtime_for_bits(n * 48);
         let ahdr = ahdr_airtime();

@@ -18,7 +18,9 @@ fn main() {
     );
     // Half the stations near (54 Mbit/s), half far (6 Mbit/s): slow
     // stations eat airtime under FIFO.
-    let snrs: Vec<f64> = (0..20).map(|k| if k % 2 == 0 { 30.0 } else { 6.0 }).collect();
+    let snrs: Vec<f64> = (0..20)
+        .map(|k| if k % 2 == 0 { 30.0 } else { 6.0 })
+        .collect();
     println!(
         "{:>10} {:>12} {:>10} {:>10} {:>10} {:>8}",
         "scheduler", "goodput", "delay", "fast STAs", "slow STAs", "Jain"

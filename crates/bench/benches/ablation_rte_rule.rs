@@ -39,5 +39,8 @@ fn main() {
         average < standard,
         "Eq.3 averaging must beat preamble-only estimation"
     );
-    println!("Eq.3 average reduces BER by {:.0}% vs standard", (1.0 - average / standard) * 100.0);
+    println!(
+        "Eq.3 average reduces BER by {:.0}% vs standard",
+        (1.0 - average / standard) * 100.0
+    );
 }

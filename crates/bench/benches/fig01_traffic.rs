@@ -15,7 +15,10 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(1);
 
-    banner("Fig 1(a)", "concurrent downlink requests (active STAs per AP)");
+    banner(
+        "Fig 1(a)",
+        "concurrent downlink requests (active STAs per AP)",
+    );
     let series = ActivityProcess::library().sample_series(300, &mut rng);
     let mean = series.iter().sum::<usize>() as f64 / series.len() as f64;
     println!("paper: fluctuates ~2..14, mean 7.63 over 300 s");

@@ -10,7 +10,10 @@ use carpool_phy::mcs::Mcs;
 use carpool_phy::rx::Estimation;
 
 fn main() {
-    banner("Fig 3", "BER bias vs symbol index (4 KB QAM64, standard estimation)");
+    banner(
+        "Fig 3",
+        "BER bias vs symbol index (4 KB QAM64, standard estimation)",
+    );
     let config = PhyRunConfig {
         mcs: Mcs::QAM64_3_4,
         payload_bits: 4 * 1024 * 8,
@@ -22,16 +25,20 @@ fn main() {
     };
     let result = run_phy(&config);
     let n = result.ber_by_symbol.len();
-    println!("frames: {} x {} symbols, SNR {} dB", config.frames, n, config.snr_db);
+    println!(
+        "frames: {} x {} symbols, SNR {} dB",
+        config.frames, n, config.snr_db
+    );
     println!("{:>12} {:>12}", "symbol idx", "BER");
     for k in (0..n).step_by((n / 12).max(1)) {
         println!("{k:>12} {:>12.6}", result.ber_by_symbol[k]);
     }
-    let head: f64 =
-        result.ber_by_symbol[..n / 10].iter().sum::<f64>() / (n / 10) as f64;
-    let tail: f64 =
-        result.ber_by_symbol[n - n / 10..].iter().sum::<f64>() / (n / 10) as f64;
-    println!("head BER {head:.6}  tail BER {tail:.6}  bias x{:.1}", tail / head.max(1e-12));
+    let head: f64 = result.ber_by_symbol[..n / 10].iter().sum::<f64>() / (n / 10) as f64;
+    let tail: f64 = result.ber_by_symbol[n - n / 10..].iter().sum::<f64>() / (n / 10) as f64;
+    println!(
+        "head BER {head:.6}  tail BER {tail:.6}  bias x{:.1}",
+        tail / head.max(1e-12)
+    );
     println!("paper: BER rises with symbol index (~2e-4 -> ~1.6e-3 over 110 symbols)");
     assert!(tail > head, "BER bias must be visible");
 }

@@ -44,9 +44,7 @@ fn main() {
     for p in POWERS {
         let (one_bit, bpsk) = run(p, Mcs::BPSK_1_2, PhaseOffsetMod::OneBit);
         let (two_bit, qpsk) = run(p, Mcs::QPSK_1_2, PhaseOffsetMod::TwoBit);
-        println!(
-            "{p:>9} {one_bit:>14.2e} {bpsk:>12.2e} {two_bit:>14.2e} {qpsk:>12.2e}"
-        );
+        println!("{p:>9} {one_bit:>14.2e} {bpsk:>12.2e} {two_bit:>14.2e} {qpsk:>12.2e}");
     }
     println!("paper: offsets decode more reliably than same-order data bits");
 }

@@ -35,7 +35,10 @@ fn curves(mcs: Mcs, snr_db: f64) -> (Vec<f64>, Vec<f64>, f64, f64) {
 }
 
 fn main() {
-    banner("Fig 13", "BER bias: RTE vs standard (4 KB frames, power 0.2 regime)");
+    banner(
+        "Fig 13",
+        "BER bias: RTE vs standard (4 KB frames, power 0.2 regime)",
+    );
     // Operating SNRs differ per modulation, standing in for the varied
     // receiver locations of the paper's measurement campaign.
     for (mcs, snr_db) in [(Mcs::QAM64_3_4, 27.0), (Mcs::QAM16_1_2, 19.0)] {

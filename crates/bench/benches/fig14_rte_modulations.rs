@@ -16,7 +16,10 @@ fn main() {
     banner("Fig 14", "BER of RTE vs standard per modulation");
     for power in [0.05, 0.2] {
         println!("--- power magnitude {power} ---");
-        println!("{:>8} {:>13} {:>13} {:>8}", "modul.", "Standard", "RTE", "gain");
+        println!(
+            "{:>8} {:>13} {:>13} {:>8}",
+            "modul.", "Standard", "RTE", "gain"
+        );
         for m in Modulation::ALL {
             let base = PhyRunConfig {
                 mcs: Mcs::new(m, CodeRate::Half),

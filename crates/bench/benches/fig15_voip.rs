@@ -4,49 +4,33 @@
 //! growing linearly while A-MPDU tapers and 802.11 collapses
 //! (0.55 → 0.18 Mbit/s from 22 to 30 STAs); WiFox sits in between.
 
-use carpool_bench::{banner, run_mac, voip_config};
-use carpool_mac::protocol::Protocol;
+use carpool_bench::{banner, run_mac, voip_config, ResultsTable, SWEEP_PROTOCOLS};
 
 fn main() {
-    banner("Fig 15(a)", "downlink goodput (Mbit/s) for VoIP vs number of STAs");
-    let protocols = [
-        Protocol::Carpool,
-        Protocol::MuAggregation,
-        Protocol::Ampdu,
-        Protocol::Dot11,
-        Protocol::Wifox,
-    ];
-    print!("{:>6}", "STAs");
-    for p in protocols {
-        print!(" {:>14}", p.name());
-    }
-    println!();
-    let mut delays: Vec<(usize, Vec<f64>)> = Vec::new();
+    banner(
+        "Fig 15(a)",
+        "downlink goodput (Mbit/s) for VoIP vs number of STAs",
+    );
+    let mut goodput = ResultsTable::for_protocols("STAs");
+    let mut latency = ResultsTable::for_protocols("STAs");
     for n in (10..=30).step_by(2) {
-        print!("{n:>6}");
-        let mut row_delays = Vec::new();
-        for p in protocols {
+        let mut goodput_row = vec![n.to_string()];
+        let mut latency_row = vec![n.to_string()];
+        for p in SWEEP_PROTOCOLS {
             let report = run_mac(voip_config(p, n, 1));
-            print!(" {:>14.2}", report.downlink_goodput_mbps());
-            row_delays.push(report.downlink_delay_s());
+            goodput_row.push(format!("{:.2}", report.downlink_goodput_mbps()));
+            latency_row.push(format!("{:.3}", report.downlink_delay_s()));
         }
-        println!();
-        delays.push((n, row_delays));
+        goodput.row(goodput_row);
+        latency.row(latency_row);
     }
+    goodput.print();
 
-    banner("Fig 15(b)", "downlink latency (s) for VoIP vs number of STAs");
-    print!("{:>6}", "STAs");
-    for p in protocols {
-        print!(" {:>14}", p.name());
-    }
-    println!();
-    for (n, row) in delays {
-        print!("{n:>6}");
-        for d in row {
-            print!(" {d:>14.3}");
-        }
-        println!();
-    }
+    banner(
+        "Fig 15(b)",
+        "downlink latency (s) for VoIP vs number of STAs",
+    );
+    latency.print();
     println!("paper: Carpool grows ~linearly with low delay; A-MPDU tapers after ~22;");
     println!("       802.11 collapses to ~0.18 Mbit/s at 30 STAs; WiFox in between");
 }

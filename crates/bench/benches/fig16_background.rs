@@ -6,60 +6,37 @@
 //! the goodput of A-MPDU from 20 to 30 STAs, keeps delay below ~0.2 s
 //! while A-MPDU and 802.11 suffer ~0.8 s and ~1.5 s.
 
-use carpool_bench::{banner, run_mac, voip_config};
-use carpool_mac::protocol::Protocol;
+use carpool_bench::{banner, run_mac, voip_config, ResultsTable, SWEEP_PROTOCOLS};
 use carpool_mac::sim::UplinkTraffic;
 
 fn main() {
-    let protocols = [
-        Protocol::Carpool,
-        Protocol::MuAggregation,
-        Protocol::Ampdu,
-        Protocol::Dot11,
-        Protocol::Wifox,
-    ];
-
     banner(
         "Fig 16(a)",
         "downlink goodput (Mbit/s) with UDP/TCP background traffic",
     );
-    print!("{:>6}", "STAs");
-    for p in protocols {
-        print!(" {:>14}", p.name());
-    }
-    println!();
-    let mut delays: Vec<(usize, Vec<f64>)> = Vec::new();
+    let mut goodput = ResultsTable::for_protocols("STAs");
+    let mut latency = ResultsTable::for_protocols("STAs");
     let mut carpool_vs_ampdu: Vec<(usize, f64)> = Vec::new();
     for n in (10..=30).step_by(2) {
-        print!("{n:>6}");
-        let mut row_delays = Vec::new();
+        let mut goodput_row = vec![n.to_string()];
+        let mut latency_row = vec![n.to_string()];
         let mut goodputs = Vec::new();
-        for p in protocols {
+        for p in SWEEP_PROTOCOLS {
             let mut cfg = voip_config(p, n, 3);
             cfg.uplink = Some(UplinkTraffic::default());
             let report = run_mac(cfg);
-            print!(" {:>14.2}", report.downlink_goodput_mbps());
-            row_delays.push(report.downlink_delay_s());
+            goodput_row.push(format!("{:.2}", report.downlink_goodput_mbps()));
+            latency_row.push(format!("{:.3}", report.downlink_delay_s()));
             goodputs.push(report.downlink_goodput_mbps());
         }
-        println!();
-        delays.push((n, row_delays));
+        goodput.row(goodput_row);
+        latency.row(latency_row);
         carpool_vs_ampdu.push((n, goodputs[0] / goodputs[2].max(1e-9)));
     }
+    goodput.print();
 
     banner("Fig 16(b)", "downlink latency (s) with background traffic");
-    print!("{:>6}", "STAs");
-    for p in protocols {
-        print!(" {:>14}", p.name());
-    }
-    println!();
-    for (n, row) in delays {
-        print!("{n:>6}");
-        for d in row {
-            print!(" {d:>14.3}");
-        }
-        println!();
-    }
+    latency.print();
 
     println!();
     println!("Carpool / A-MPDU goodput ratio (paper: 1.12x at 20 STAs up to 3.2x at 30):");

@@ -6,7 +6,7 @@
 //! (b) goodput vs fixed downlink frame size (100–1500 B) at a 10 ms
 //!     bound — paper: 2.8–3.6x over A-MPDU, 5–6.4x over 802.11.
 
-use carpool_bench::{banner, run_mac};
+use carpool_bench::{banner, run_mac, ResultsTable};
 use carpool_mac::protocol::Protocol;
 use carpool_mac::sim::{AggregationWait, DownlinkTraffic, SimConfig, UplinkTraffic};
 
@@ -60,38 +60,49 @@ fn main() {
         "Fig 17(a)",
         "deadline-bounded goodput vs latency requirement (120 B VoIP-size frames, 30 STAs)",
     );
-    println!("{:>12} {:>10} {:>10} {:>8}", "deadline ms", "Carpool", "A-MPDU", "gain");
+    let mut table = ResultsTable::new(["deadline ms", "Carpool", "A-MPDU", "gain"]);
     for deadline_ms in [10.0, 50.0, 100.0, 150.0, 200.0] {
         let d = deadline_ms / 1e3;
         // Heavier uplink (the STAs' own VoIP + background streams) keeps
         // the cell saturated as in the paper's Fig. 16 operating point.
         let carpool = in_deadline_mbps(cbr_config(Protocol::Carpool, 120, d, 4.0, 5));
         let ampdu = in_deadline_mbps(cbr_config(Protocol::Ampdu, 120, d, 4.0, 5));
-        println!(
-            "{deadline_ms:>12} {carpool:>10.2} {ampdu:>10.2} {:>7.1}x",
-            carpool / ampdu.max(1e-9)
-        );
+        table.row([
+            format!("{deadline_ms}"),
+            format!("{carpool:.2}"),
+            format!("{ampdu:.2}"),
+            format!("{:.1}x", carpool / ampdu.max(1e-9)),
+        ]);
     }
+    table.print();
     println!("paper: Carpool 1.9-9.8x A-MPDU; gain shrinks as the bound loosens");
 
     banner(
         "Fig 17(b)",
         "goodput vs downlink frame size at a 10 ms latency requirement",
     );
-    println!(
-        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "bytes", "Carpool", "A-MPDU", "802.11", "vs A-MPDU", "vs 802.11"
-    );
+    let mut table = ResultsTable::new([
+        "bytes",
+        "Carpool",
+        "A-MPDU",
+        "802.11",
+        "vs A-MPDU",
+        "vs 802.11",
+    ]);
     for bytes in [100usize, 200, 400, 800, 1500] {
         let d = 0.010;
         let carpool = in_deadline_mbps(cbr_config(Protocol::Carpool, bytes, d, 2.0, 9));
         let ampdu = in_deadline_mbps(cbr_config(Protocol::Ampdu, bytes, d, 2.0, 9));
         let dot11 = in_deadline_mbps(cbr_config(Protocol::Dot11, bytes, d, 2.0, 9));
-        println!(
-            "{bytes:>12} {carpool:>10.2} {ampdu:>10.2} {dot11:>10.2} {:>9.1}x {:>9.1}x",
-            carpool / ampdu.max(1e-9),
-            carpool / dot11.max(1e-9)
-        );
+        table.row([
+            bytes.to_string(),
+            format!("{carpool:.2}"),
+            format!("{ampdu:.2}"),
+            format!("{dot11:.2}"),
+            format!("{:.1}x", carpool / ampdu.max(1e-9)),
+            format!("{:.1}x", carpool / dot11.max(1e-9)),
+        ]);
     }
+    table.print();
     println!("paper: 2.8-3.6x over A-MPDU and 5-6.4x over 802.11 across frame sizes");
 }

@@ -1,118 +1,201 @@
-//! Criterion micro-benchmarks of the PHY primitives.
+//! Micro-benchmarks of the PHY primitives, with machine-readable output.
 //!
 //! Not a paper figure — these quantify the software cost of the blocks
 //! Carpool adds (A-HDR generation/check, phase offset encode/decode)
 //! against the standard pipeline stages, echoing the Section 8
 //! "processing latency" discussion.
+//!
+//! Unlike the figure benches this one runs on the `carpool-obs` span
+//! machinery ([`SpanStats`]) instead of criterion, and writes its results
+//! to `BENCH_phy_micro.json` so regressions are diffable run to run. The
+//! last entries time the full RX chain with the default (no-op) handle
+//! and with a live recorder attached, bounding the observability
+//! overhead on the hot path.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use carpool_bench::pattern_bits;
 use carpool_bloom::AggregationHeader;
+use carpool_obs::json::ObjectWriter;
+use carpool_obs::{MemoryRecorder, Obs, SpanStats};
 use carpool_phy::convolutional::{decode, encode, CodeRate};
 use carpool_phy::fft::{fft_in_place, ifft_in_place};
 use carpool_phy::interleaver::Interleaver;
 use carpool_phy::math::Complex64;
 use carpool_phy::mcs::Mcs;
 use carpool_phy::modulation::Modulation;
-use carpool_phy::rx::{receive, Estimation, SectionLayout};
+use carpool_phy::rx::{receive, Estimation, FrameDecoder, SectionLayout};
 use carpool_phy::sidechannel::{PhaseOffsetDecoder, PhaseOffsetEncoder, PhaseOffsetMod};
 use carpool_phy::tx::{transmit, SectionSpec};
+use std::sync::Arc;
 
-fn bench_fft(c: &mut Criterion) {
-    let input: Vec<Complex64> = (0..64)
-        .map(|k| Complex64::cis(k as f64 * 0.11))
-        .collect();
-    c.bench_function("fft64_forward", |b| {
-        b.iter_batched(
-            || input.clone(),
-            |mut buf| fft_in_place(black_box(&mut buf)).expect("64 is a power of two"),
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("fft64_inverse", |b| {
-        b.iter_batched(
-            || input.clone(),
-            |mut buf| ifft_in_place(black_box(&mut buf)).expect("64 is a power of two"),
-            BatchSize::SmallInput,
-        )
-    });
+const SAMPLES: usize = 20;
+const WARMUP: usize = 3;
+
+/// Times `f` WARMUP+SAMPLES times and keeps the timed samples.
+fn measure(name: &'static str, mut f: impl FnMut()) -> SpanStats {
+    let mut stats = SpanStats::new(name);
+    for i in 0..WARMUP + SAMPLES {
+        if i < WARMUP {
+            f();
+        } else {
+            stats.time(&mut f);
+        }
+    }
+    stats
 }
 
-fn bench_coding(c: &mut Criterion) {
+fn json_entry(stats: &SpanStats) -> String {
+    let mut w = ObjectWriter::new();
+    w.str("name", stats.name)
+        .u64("samples", stats.count() as u64)
+        .f64("mean_us", stats.mean_secs() * 1e6)
+        .f64("median_us", stats.median_secs() * 1e6)
+        .f64("min_us", stats.min_secs() * 1e6)
+        .f64("max_us", stats.max_secs() * 1e6);
+    w.finish()
+}
+
+fn bench_fft(results: &mut Vec<SpanStats>) {
+    let input: Vec<Complex64> = (0..64).map(|k| Complex64::cis(k as f64 * 0.11)).collect();
+    results.push(measure("fft64_forward", || {
+        let mut buf = input.clone();
+        fft_in_place(black_box(&mut buf)).expect("64 is a power of two");
+    }));
+    results.push(measure("fft64_inverse", || {
+        let mut buf = input.clone();
+        ifft_in_place(black_box(&mut buf)).expect("64 is a power of two");
+    }));
+}
+
+fn bench_coding(results: &mut Vec<SpanStats>) {
     let bits = pattern_bits(1000, 3);
     let coded = encode(&bits, CodeRate::Half);
-    c.bench_function("convolutional_encode_1kbit", |b| {
-        b.iter(|| encode(black_box(&bits), CodeRate::Half))
-    });
-    c.bench_function("viterbi_decode_1kbit", |b| {
-        b.iter(|| decode(black_box(&coded), bits.len(), CodeRate::Half))
-    });
+    results.push(measure("convolutional_encode_1kbit", || {
+        black_box(encode(black_box(&bits), CodeRate::Half));
+    }));
+    results.push(measure("viterbi_decode_1kbit", || {
+        black_box(decode(black_box(&coded), bits.len(), CodeRate::Half));
+    }));
 }
 
-fn bench_interleaver_and_mapping(c: &mut Criterion) {
+fn bench_interleaver_and_mapping(results: &mut Vec<SpanStats>) {
     let il = Interleaver::new(Modulation::Qam64, 48);
     let bits = pattern_bits(il.block_size(), 5);
-    c.bench_function("interleave_qam64_block", |b| {
-        b.iter(|| il.interleave(black_box(&bits)))
-    });
+    results.push(measure("interleave_qam64_block", || {
+        black_box(il.interleave(black_box(&bits)));
+    }));
     let points = Modulation::Qam64.map_all(&bits);
-    c.bench_function("qam64_map_symbol", |b| {
-        b.iter(|| Modulation::Qam64.map_all(black_box(&bits)))
-    });
-    c.bench_function("qam64_demap_symbol", |b| {
-        b.iter(|| Modulation::Qam64.demap_all(black_box(&points)))
-    });
+    results.push(measure("qam64_map_symbol", || {
+        black_box(Modulation::Qam64.map_all(black_box(&bits)));
+    }));
+    results.push(measure("qam64_demap_symbol", || {
+        black_box(Modulation::Qam64.demap_all(black_box(&points)));
+    }));
 }
 
-fn bench_bloom(c: &mut Criterion) {
+fn bench_bloom(results: &mut Vec<SpanStats>) {
     let receivers: Vec<[u8; 6]> = (0..8u8).map(|k| [2, 0, 0, 0, 0, k]).collect();
-    c.bench_function("ahdr_build_8_receivers", |b| {
-        b.iter(|| AggregationHeader::for_receivers(black_box(&receivers), 4))
-    });
+    results.push(measure("ahdr_build_8_receivers", || {
+        black_box(AggregationHeader::for_receivers(black_box(&receivers), 4)).ok();
+    }));
     let hdr = AggregationHeader::for_receivers(&receivers, 4).expect("8 receivers fit");
-    c.bench_function("ahdr_check_membership", |b| {
-        b.iter(|| hdr.matched_indices(black_box(&receivers[3]), 8))
-    });
+    results.push(measure("ahdr_check_membership", || {
+        black_box(hdr.matched_indices(black_box(&receivers[3]), 8));
+    }));
 }
 
-fn bench_side_channel(c: &mut Criterion) {
-    c.bench_function("phase_offset_encode_decode_100sym", |b| {
-        b.iter(|| {
-            let mut enc = PhaseOffsetEncoder::new(PhaseOffsetMod::TwoBit);
-            let mut dec = PhaseOffsetDecoder::new(PhaseOffsetMod::TwoBit);
-            dec.set_reference(0.0);
-            let mut acc = 0u32;
-            for k in 0..100u8 {
-                let inj = enc.next_offset(k % 4);
-                acc += dec.decode(inj).unwrap_or(0) as u32;
-            }
-            acc
-        })
-    });
+fn bench_side_channel(results: &mut Vec<SpanStats>) {
+    results.push(measure("phase_offset_encode_decode_100sym", || {
+        let mut enc = PhaseOffsetEncoder::new(PhaseOffsetMod::TwoBit);
+        let mut dec = PhaseOffsetDecoder::new(PhaseOffsetMod::TwoBit);
+        dec.set_reference(0.0);
+        let mut acc = 0u32;
+        for k in 0..100u8 {
+            let inj = enc.next_offset(k % 4);
+            acc += dec.decode(inj).unwrap_or(0) as u32;
+        }
+        black_box(acc);
+    }));
 }
 
-fn bench_full_chain(c: &mut Criterion) {
+fn bench_full_chain(results: &mut Vec<SpanStats>) {
+    // Per-MCS encode/decode of a 1500 B frame — the headline numbers.
+    for (name_tx, name_rx, mcs) in [
+        ("tx_1500B_qpsk12", "rx_1500B_qpsk12", Mcs::QPSK_1_2),
+        ("tx_1500B_qam16", "rx_1500B_qam16", Mcs::QAM16_1_2),
+        ("tx_1500B_qam64", "rx_1500B_qam64", Mcs::QAM64_3_4),
+    ] {
+        let spec = SectionSpec::payload(pattern_bits(1500 * 8, 9), mcs);
+        results.push(measure(name_tx, || {
+            black_box(transmit(black_box(std::slice::from_ref(&spec)))).ok();
+        }));
+        let frame = transmit(std::slice::from_ref(&spec)).expect("valid spec");
+        let layouts = [SectionLayout::of(&spec)];
+        results.push(measure(name_rx, || {
+            black_box(receive(
+                black_box(&frame.samples),
+                &layouts,
+                Estimation::Standard,
+            ))
+            .ok();
+        }));
+    }
+}
+
+/// Decodes the same frame with the default no-op handle and with a live
+/// recorder, so the observability overhead shows up as two adjacent rows.
+fn bench_obs_overhead(results: &mut Vec<SpanStats>) {
     let spec = SectionSpec::payload(pattern_bits(1500 * 8, 9), Mcs::QAM64_3_4);
-    c.bench_function("tx_1500B_qam64", |b| {
-        b.iter(|| transmit(black_box(std::slice::from_ref(&spec))))
-    });
     let frame = transmit(std::slice::from_ref(&spec)).expect("valid spec");
     let layouts = [SectionLayout::of(&spec)];
-    c.bench_function("rx_1500B_qam64_standard", |b| {
-        b.iter(|| receive(black_box(&frame.samples), &layouts, Estimation::Standard))
-    });
+    results.push(measure("rx_1500B_qam64_obs_noop", || {
+        let mut dec =
+            FrameDecoder::new(&frame.samples, Estimation::Standard).expect("lengths match");
+        black_box(dec.decode_section(&layouts[0])).ok();
+    }));
+    let obs = Obs::with_recorder(Arc::new(MemoryRecorder::new()));
+    results.push(measure("rx_1500B_qam64_obs_recording", || {
+        let mut dec = FrameDecoder::new(&frame.samples, Estimation::Standard)
+            .expect("lengths match")
+            .with_obs(obs.clone());
+        black_box(dec.decode_section(&layouts[0])).ok();
+    }));
 }
 
-criterion_group!(
-    name = phy_micro;
-    config = Criterion::default().sample_size(20);
-    targets = bench_fft,
-        bench_coding,
-        bench_interleaver_and_mapping,
-        bench_bloom,
-        bench_side_channel,
-        bench_full_chain
-);
-criterion_main!(phy_micro);
+fn main() {
+    let mut results: Vec<SpanStats> = Vec::new();
+    bench_fft(&mut results);
+    bench_coding(&mut results);
+    bench_interleaver_and_mapping(&mut results);
+    bench_bloom(&mut results);
+    bench_side_channel(&mut results);
+    bench_full_chain(&mut results);
+    bench_obs_overhead(&mut results);
+
+    println!(
+        "{:<36} {:>8} {:>12} {:>12} {:>12}",
+        "benchmark", "samples", "median us", "min us", "max us"
+    );
+    for s in &results {
+        println!(
+            "{:<36} {:>8} {:>12.2} {:>12.2} {:>12.2}",
+            s.name,
+            s.count(),
+            s.median_secs() * 1e6,
+            s.min_secs() * 1e6,
+            s.max_secs() * 1e6
+        );
+    }
+
+    let body: Vec<String> = results.iter().map(json_entry).collect();
+    let json = format!(
+        "{{\"bench\":\"phy_micro\",\"samples_per_entry\":{SAMPLES},\"results\":[{}]}}\n",
+        body.join(",")
+    );
+    let path = "BENCH_phy_micro.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncannot write {path}: {e}"),
+    }
+}

@@ -2,8 +2,8 @@
 
 use carpool_bench::banner;
 use carpool_frame::airtime::{
-    ack_airtime, ahdr_airtime, sig_airtime, CW_MAX, CW_MIN, DIFS, PLCP_OVERHEAD,
-    PROPAGATION_DELAY, SIFS, SLOT_TIME,
+    ack_airtime, ahdr_airtime, sig_airtime, CW_MAX, CW_MIN, DIFS, PLCP_OVERHEAD, PROPAGATION_DELAY,
+    SIFS, SLOT_TIME,
 };
 
 fn us(seconds: f64) -> String {
@@ -11,12 +11,23 @@ fn us(seconds: f64) -> String {
 }
 
 fn main() {
-    banner("Table 2", "PHY/MAC parameters (paper values reproduced exactly)");
+    banner(
+        "Table 2",
+        "PHY/MAC parameters (paper values reproduced exactly)",
+    );
     println!("{:<28} {:>12}", "Slot time", us(SLOT_TIME));
     println!("{:<28} {:>12}", "SIFS", us(SIFS));
     println!("{:<28} {:>12}", "DIFS", us(DIFS));
-    println!("{:<28} {:>12}", "Minimal contention window", format!("{CW_MIN} slots"));
-    println!("{:<28} {:>12}", "Maximal contention window", format!("{CW_MAX} slots"));
+    println!(
+        "{:<28} {:>12}",
+        "Minimal contention window",
+        format!("{CW_MIN} slots")
+    );
+    println!(
+        "{:<28} {:>12}",
+        "Maximal contention window",
+        format!("{CW_MAX} slots")
+    );
     println!("{:<28} {:>12}", "PLCP header", us(PLCP_OVERHEAD));
     println!("{:<28} {:>12}", "Propagation delay", us(PROPAGATION_DELAY));
     println!();

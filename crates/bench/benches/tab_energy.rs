@@ -15,7 +15,10 @@ use carpool_mac::protocol::Protocol;
 
 fn main() {
     banner("§8 (analysis)", "A-HDR false-positive energy bounds");
-    println!("{:>4} {:>16} {:>22}", "N", "extra RX time", "extra node energy");
+    println!(
+        "{:>4} {:>16} {:>22}",
+        "N", "extra RX time", "extra node energy"
+    );
     for n in [4usize, 6, 8] {
         println!(
             "{n:>4} {:>15.2}% {:>21.3}%",
@@ -41,11 +44,7 @@ fn main() {
     let p_dot11 = avg(&legacy);
     println!("mean client power, 802.11 : {p_dot11:.3} W");
     println!("mean client power, Carpool: {p_carpool:.3} W");
-    let (b, c, change) = compare_energy(
-        &model,
-        &legacy.sta_airtime[0],
-        &carpool.sta_airtime[0],
-    );
+    let (b, c, change) = compare_energy(&model, &legacy.sta_airtime[0], &carpool.sta_airtime[0]);
     println!(
         "client 0 energy over {:.0} s: 802.11 {b:.1} J vs Carpool {c:.1} J ({:+.1}%)",
         carpool.duration_s,
@@ -65,6 +64,9 @@ fn main() {
         psm(&carpool) * 100.0
     );
     println!("paper: Carpool nodes idle more (A-HDR early drop) and can enter PSM sooner");
-    assert!(p_carpool <= p_dot11 * 1.01, "Carpool should not cost more power");
+    assert!(
+        p_carpool <= p_dot11 * 1.01,
+        "Carpool should not cost more power"
+    );
     assert!(psm(&carpool) >= psm(&legacy) - 0.01, "Carpool PSM upside");
 }

@@ -8,7 +8,7 @@
 //! granularity means more data-pilot updates, a wider CRC means more
 //! reliable gating; the two pull in opposite directions.
 
-use carpool_bench::{banner, run_phy, PhyRunConfig, OFFICE_FADING};
+use carpool_bench::{banner, run_phy, PhyRunConfig, ResultsTable, OFFICE_FADING};
 use carpool_phy::mcs::Mcs;
 use carpool_phy::rte::CalibrationRule;
 use carpool_phy::rx::Estimation;
@@ -37,15 +37,16 @@ fn main() {
         "§5.2",
         "CRC granularity study: raw BER under RTE decoding (lower is better)",
     );
-    println!(
-        "{:>16} {:>14} {:>14}",
-        "symbols/group", "1-bit offset", "2-bit offset"
-    );
+    let mut table = ResultsTable::new(["symbols/group", "1-bit offset", "2-bit offset"]);
     let mut best = (f64::INFINITY, PhaseOffsetMod::OneBit, 0usize);
     for group in 1..=3usize {
         let one = run_scheme(PhaseOffsetMod::OneBit, group);
         let two = run_scheme(PhaseOffsetMod::TwoBit, group);
-        println!("{group:>16} {one:>14.2e} {two:>14.2e}");
+        table.row([
+            group.to_string(),
+            format!("{one:.2e}"),
+            format!("{two:.2e}"),
+        ]);
         if one < best.0 {
             best = (one, PhaseOffsetMod::OneBit, group);
         }
@@ -53,6 +54,7 @@ fn main() {
             best = (two, PhaseOffsetMod::TwoBit, group);
         }
     }
+    table.print();
     println!(
         "best scheme: {} with {} symbol(s) per CRC group (raw BER {:.2e})",
         best.1, best.2, best.0

@@ -5,7 +5,7 @@
 //! both groups into a single transmission that shares one legacy
 //! preamble and one A-HDR, with per-group VHT preambles mid-frame.
 
-use carpool_bench::banner;
+use carpool_bench::{banner, ResultsTable};
 use carpool_frame::addr::MacAddress;
 use carpool_frame::mimo::{MimoCarpoolFrame, MimoSubframe};
 use carpool_phy::mcs::Mcs;
@@ -15,11 +15,18 @@ fn sta(k: u16) -> MacAddress {
 }
 
 fn main() {
-    banner("Fig 18", "Carpool MU-MIMO vs plain 802.11ac MU-MIMO (airtime)");
-    println!(
-        "{:>8} {:>10} {:>8} {:>14} {:>14} {:>8}",
-        "streams", "receivers", "groups", "Carpool µs", "plain µs", "saving"
+    banner(
+        "Fig 18",
+        "Carpool MU-MIMO vs plain 802.11ac MU-MIMO (airtime)",
     );
+    let mut table = ResultsTable::new([
+        "streams",
+        "receivers",
+        "groups",
+        "Carpool µs",
+        "plain µs",
+        "saving",
+    ]);
     for (streams, receivers) in [(2usize, 4u16), (2, 8), (4, 8), (1, 6)] {
         let subframes: Vec<MimoSubframe> = (0..receivers)
             .map(|k| MimoSubframe::new(sta(k), 800, Mcs::QAM16_1_2))
@@ -28,15 +35,17 @@ fn main() {
         let carpool = frame.exchange_airtime();
         let plain = frame.plain_mu_mimo_airtime()
             + frame.groups().len() as f64 * carpool_frame::airtime::DIFS;
-        println!(
-            "{streams:>8} {receivers:>10} {:>8} {:>14.1} {:>14.1} {:>7.0}%",
-            frame.groups().len(),
-            carpool * 1e6,
-            plain * 1e6,
-            (1.0 - carpool / plain) * 100.0
-        );
+        table.row([
+            streams.to_string(),
+            receivers.to_string(),
+            frame.groups().len().to_string(),
+            format!("{:.1}", carpool * 1e6),
+            format!("{:.1}", plain * 1e6),
+            format!("{:.0}%", (1.0 - carpool / plain) * 100.0),
+        ]);
         assert!(carpool < plain);
     }
+    table.print();
     println!("(plain MU-MIMO pays preamble + ACKs + DIFS per group; contention extra)");
     println!("paper Fig 18: four streams for four STAs ride one transmission instead of two");
 }

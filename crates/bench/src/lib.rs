@@ -205,6 +205,88 @@ pub fn mbps(bps: f64) -> String {
     format!("{:.2}", bps / 1e6)
 }
 
+/// The five protocols every MAC sweep compares, in paper order.
+pub const SWEEP_PROTOCOLS: [Protocol; 5] = [
+    Protocol::Carpool,
+    Protocol::MuAggregation,
+    Protocol::Ampdu,
+    Protocol::Dot11,
+    Protocol::Wifox,
+];
+
+/// A right-aligned results table: one header row plus value rows, every
+/// column padded to its widest cell. The figure/table benches all print
+/// this same shape (a key column and a few numeric columns), so the
+/// formatting lives here instead of being copy-pasted per bench.
+#[derive(Debug, Clone, Default)]
+pub struct ResultsTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultsTable {
+    /// A table with the given header cells.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> ResultsTable {
+        ResultsTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// A `key` column followed by one column per sweep protocol.
+    pub fn for_protocols(key: &str) -> ResultsTable {
+        let mut headers = vec![key.to_string()];
+        headers.extend(SWEEP_PROTOCOLS.iter().map(|p| p.name().to_string()));
+        ResultsTable::new(headers)
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table, each column right-aligned to its widest cell.
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+            .max(self.headers.len());
+        let mut widths = vec![0usize; columns];
+        for row in std::iter::once(&self.headers).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        for row in std::iter::once(&self.headers).chain(&self.rows) {
+            for (i, width) in widths.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                for _ in cell.chars().count()..*width {
+                    out.push(' ');
+                }
+                out.push_str(cell);
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
 /// Prints a bench banner so `cargo bench` output is navigable.
 pub fn banner(id: &str, caption: &str) {
     println!();
@@ -263,5 +345,32 @@ mod tests {
     #[test]
     fn mbps_formatting() {
         assert_eq!(mbps(2_500_000.0), "2.50");
+    }
+
+    #[test]
+    fn results_table_right_aligns_columns() {
+        let mut t = ResultsTable::new(["STAs", "Carpool"]);
+        t.row(["10", "1.23"]).row(["30", "12.30"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[0], "STAs Carpool");
+        assert_eq!(lines[1], "  10    1.23");
+        assert_eq!(lines[2], "  30   12.30");
+    }
+
+    #[test]
+    fn results_table_pads_short_rows() {
+        let mut t = ResultsTable::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.render().lines().count(), 2);
+    }
+
+    #[test]
+    fn protocol_table_has_all_five_columns() {
+        let t = ResultsTable::for_protocols("STAs");
+        let header = t.render();
+        for p in SWEEP_PROTOCOLS {
+            assert!(header.contains(p.name()), "missing {}", p.name());
+        }
     }
 }

@@ -60,19 +60,51 @@ pub fn measure_false_positive_ratio<R: Rng + ?Sized>(
     trials: usize,
     rng: &mut R,
 ) -> f64 {
+    measure_false_positive_ratio_obs(hashes, receivers, trials, rng, &carpool_obs::Obs::noop())
+}
+
+/// Like [`measure_false_positive_ratio`], but reports each probe to the
+/// observability handle: `bloom.probes` / `bloom.false_hits` counters and
+/// one [`carpool_obs::Event::AhdrCheck`] per probe (the outsider is never
+/// aboard, so `expected` is always `Some(false)`), wrapped in a
+/// `bloom.fp_measure` timing span.
+pub fn measure_false_positive_ratio_obs<R: Rng + ?Sized>(
+    hashes: usize,
+    receivers: usize,
+    trials: usize,
+    rng: &mut R,
+    obs: &carpool_obs::Obs,
+) -> f64 {
+    let _span = obs.span("bloom.fp_measure");
     let mut false_hits = 0usize;
     let mut probes = 0usize;
-    for _ in 0..trials {
+    for trial in 0..trials {
         let addrs: Vec<[u8; 6]> = (0..receivers).map(|_| rng.gen()).collect();
         let hdr =
             AggregationHeader::for_receivers(&addrs, hashes).expect("receiver count validated");
         let outsider: [u8; 6] = rng.gen();
+        let station = outsider.iter().fold(0u64, |acc, &b| (acc << 8) | b as u64);
         for i in 0..receivers {
             probes += 1;
-            if hdr.query(&outsider, i) {
+            let hit = hdr.query(&outsider, i);
+            if hit {
                 false_hits += 1;
             }
+            if obs.enabled() {
+                obs.emit(
+                    trial as f64,
+                    carpool_obs::Event::AhdrCheck {
+                        station,
+                        matched: hit,
+                        expected: Some(false),
+                    },
+                );
+            }
         }
+    }
+    if obs.enabled() {
+        obs.counter("bloom.probes", probes as u64);
+        obs.counter("bloom.false_hits", false_hits as u64);
     }
     false_hits as f64 / probes as f64
 }
@@ -82,6 +114,24 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn obs_variant_matches_plain_and_counts_probes() {
+        use carpool_obs::{MemoryRecorder, Obs};
+        use std::sync::Arc;
+
+        let recorder = Arc::new(MemoryRecorder::new());
+        let obs = Obs::with_recorder(recorder.clone());
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let plain = measure_false_positive_ratio(4, 6, 500, &mut a);
+        let traced = measure_false_positive_ratio_obs(4, 6, 500, &mut b, &obs);
+        assert_eq!(plain, traced);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("bloom.probes"), 500 * 6);
+        let hits = snap.counter("bloom.false_hits");
+        assert_eq!(hits as f64 / (500.0 * 6.0), traced);
+    }
 
     #[test]
     fn paper_quoted_range_for_4_to_8_receivers() {

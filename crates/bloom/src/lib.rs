@@ -206,7 +206,9 @@ impl AggregationHeader {
     /// Serialises to [`BLOOM_BITS`] bits (LSB of the raw value first),
     /// ready for a BPSK-1/2 header section.
     pub fn to_bits(&self) -> Vec<u8> {
-        (0..BLOOM_BITS).map(|k| ((self.bits >> k) & 1) as u8).collect()
+        (0..BLOOM_BITS)
+            .map(|k| ((self.bits >> k) & 1) as u8)
+            .collect()
     }
 
     /// Parses a header from [`BLOOM_BITS`] bits.
@@ -265,9 +267,7 @@ mod tests {
         let hdr = AggregationHeader::for_receivers(&receivers, 4).unwrap();
         // A receiver inserted at index 0 should (almost surely) not match
         // at a far index with these few insertions.
-        let misses = (4..8)
-            .filter(|&i| !hdr.query(&mac(0), i))
-            .count();
+        let misses = (4..8).filter(|&i| !hdr.query(&mac(0), i)).count();
         assert!(misses >= 3, "only {misses} rejections");
     }
 
@@ -386,6 +386,8 @@ mod tests {
         assert!(BloomError::IndexOutOfRange { index: 9 }
             .to_string()
             .contains('9'));
-        assert!(BloomError::WrongLength { actual: 3 }.to_string().contains("48"));
+        assert!(BloomError::WrongLength { actual: 3 }
+            .to_string()
+            .contains("48"));
     }
 }

@@ -67,9 +67,7 @@ pub const PSM_SLEEP_W: f64 = 0.05;
 /// instead of idle-listening — the upside the paper points to: "Carpool
 /// nodes have more time left to enter power save mode" (Section 8).
 pub fn psm_energy_j(model: &DevicePowerModel, share: &AirtimeShare, sleep_w: f64) -> f64 {
-    model.tx_w * share.tx_s
-        + model.rx_w * (share.rx_s + share.overhear_s)
-        + sleep_w * share.idle_s
+    model.tx_w * share.tx_s + model.rx_w * (share.rx_s + share.overhear_s) + sleep_w * share.idle_s
 }
 
 /// Fraction of a node's energy that PSM would save, given its airtime
@@ -214,7 +212,11 @@ mod tests {
     #[test]
     fn psm_savings_zero_for_empty_share() {
         assert_eq!(
-            psm_savings(&DevicePowerModel::E_MILI, &AirtimeShare::default(), PSM_SLEEP_W),
+            psm_savings(
+                &DevicePowerModel::E_MILI,
+                &AirtimeShare::default(),
+                PSM_SLEEP_W
+            ),
             0.0
         );
     }

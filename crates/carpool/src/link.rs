@@ -8,8 +8,9 @@
 use carpool_channel::link::{LinkChannel, LinkChannelBuilder};
 use carpool_channel::DelayProfile;
 use carpool_frame::addr::MacAddress;
-use carpool_frame::carpool::{receive_carpool, CarpoolFrame, CarpoolReception};
+use carpool_frame::carpool::{receive_carpool_obs, CarpoolFrame, CarpoolReception};
 use carpool_frame::FrameError;
+use carpool_obs::{Event, Obs};
 use carpool_phy::rte::CalibrationRule;
 use carpool_phy::rx::Estimation;
 use carpool_phy::tx::SideChannelConfig;
@@ -42,6 +43,7 @@ pub struct CarpoolLink {
     estimation: Estimation,
     hashes: usize,
     side_channel: Option<SideChannelConfig>,
+    obs: Obs,
 }
 
 impl CarpoolLink {
@@ -53,6 +55,48 @@ impl CarpoolLink {
     /// The estimation mode stations on this link use.
     pub fn estimation(&self) -> Estimation {
         self.estimation
+    }
+
+    /// Attaches an observability handle used by subsequent deliveries.
+    /// The facade knows which stations a frame was *really* addressed to,
+    /// so on top of the frame/PHY events it emits
+    /// [`Event::AhdrCheck`] records carrying ground truth — the basis for
+    /// exact Bloom false-positive accounting in `carpool report`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        let channel = self.channel;
+        self.channel = channel.with_obs(obs.clone());
+        self.obs = obs;
+        self
+    }
+
+    /// Ground-truth membership check: whether `frame` carries a subframe
+    /// addressed to `station`, independent of what the A-HDR says.
+    fn emit_ahdr_truth(&self, frame: &CarpoolFrame, station: MacAddress, matched: bool) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let aboard = frame.subframes().iter().any(|s| s.receiver == station);
+        let name = match (matched, aboard) {
+            (true, true) => "carpool.ahdr_true_positive",
+            (true, false) => "carpool.ahdr_false_positive",
+            (false, false) => "carpool.ahdr_true_negative",
+            // Bloom filters admit no false negatives; seeing one means
+            // the header itself was corrupted in flight.
+            (false, true) => "carpool.ahdr_false_negative",
+        };
+        self.obs.counter(name, 1);
+        let station_id = station
+            .as_bytes()
+            .iter()
+            .fold(0u64, |acc, &b| (acc << 8) | b as u64);
+        self.obs.emit(
+            0.0,
+            Event::AhdrCheck {
+                station: station_id,
+                matched,
+                expected: Some(aboard),
+            },
+        );
     }
 
     /// Transmits `frame` over the channel and parses it at `station`.
@@ -67,13 +111,16 @@ impl CarpoolLink {
     ) -> Result<CarpoolReception, FrameError> {
         let tx = frame.transmit()?;
         let rx_samples = self.channel.transmit(&tx.samples);
-        receive_carpool(
+        let rx = receive_carpool_obs(
             &rx_samples,
             station,
             self.estimation,
             self.hashes,
             self.side_channel,
-        )
+            &self.obs,
+        )?;
+        self.emit_ahdr_truth(frame, station, !rx.matched_indices.is_empty());
+        Ok(rx)
     }
 
     /// Transmits once and parses the *same* waveform at several stations
@@ -94,13 +141,16 @@ impl CarpoolLink {
         stations
             .iter()
             .map(|&sta| {
-                receive_carpool(
+                let rx = receive_carpool_obs(
                     &rx_samples,
                     sta,
                     self.estimation,
                     self.hashes,
                     self.side_channel,
-                )
+                    &self.obs,
+                )?;
+                self.emit_ahdr_truth(frame, sta, !rx.matched_indices.is_empty());
+                Ok(rx)
             })
             .collect()
     }
@@ -204,6 +254,7 @@ impl CarpoolLinkBuilder {
             estimation: self.estimation,
             hashes: self.hashes,
             side_channel: self.side_channel,
+            obs: Obs::noop(),
         }
     }
 }
@@ -256,6 +307,41 @@ mod tests {
         let frame = two_sta_frame();
         let rx = link.deliver(&frame, MacAddress::station(2)).unwrap();
         assert_eq!(rx.payload_at(1).unwrap(), &[0xBB; 250][..]);
+    }
+
+    #[test]
+    fn obs_records_ahdr_ground_truth() {
+        use carpool_obs::{MemoryRecorder, Obs};
+        use std::sync::Arc;
+
+        let recorder = Arc::new(MemoryRecorder::new());
+        let mut link = CarpoolLink::builder()
+            .seed(1)
+            .build()
+            .with_obs(Obs::with_recorder(recorder.clone()));
+        let frame = two_sta_frame();
+        link.deliver_all(
+            &frame,
+            &[
+                MacAddress::station(1),
+                MacAddress::station(2),
+                MacAddress::station(700),
+            ],
+        )
+        .unwrap();
+        let snap = recorder.snapshot();
+        // Both addressed stations must match (no false negatives).
+        assert_eq!(snap.counter("carpool.ahdr_true_positive"), 2);
+        assert_eq!(snap.counter("carpool.ahdr_false_negative"), 0);
+        // The outsider is either a clean miss or a counted false positive.
+        assert_eq!(
+            snap.counter("carpool.ahdr_true_negative")
+                + snap.counter("carpool.ahdr_false_positive"),
+            1
+        );
+        // Frame- and PHY-layer metrics flow through the same handle.
+        assert!(snap.counter("frame.subframe_decoded") >= 2);
+        assert!(snap.counter("phy.sections_decoded") > 0);
     }
 
     #[test]

@@ -82,7 +82,10 @@ mod tests {
         // Quarter period: 90 degrees.
         let q = n / 4;
         let angle = buf[q].arg();
-        assert!((angle - std::f64::consts::FRAC_PI_2).abs() < 1e-6, "angle {angle}");
+        assert!(
+            (angle - std::f64::consts::FRAC_PI_2).abs() < 1e-6,
+            "angle {angle}"
+        );
     }
 
     #[test]
@@ -102,8 +105,7 @@ mod tests {
     #[test]
     fn magnitude_is_preserved() {
         let mut cfo = ResidualCfo::new(123.0, 20e6);
-        let mut buf: Vec<Complex64> =
-            (0..50).map(|k| Complex64::new(k as f64, -2.0)).collect();
+        let mut buf: Vec<Complex64> = (0..50).map(|k| Complex64::new(k as f64, -2.0)).collect();
         let mags: Vec<f64> = buf.iter().map(|s| s.abs()).collect();
         cfo.apply(&mut buf);
         for (s, m) in buf.iter().zip(mags) {

@@ -154,11 +154,7 @@ impl FadingChannel {
             .iter()
             .map(|&p| complex_gaussian(rng, p))
             .collect();
-        let taps: Vec<Complex64> = los
-            .iter()
-            .zip(&scattered)
-            .map(|(l, sc)| *l + *sc)
-            .collect();
+        let taps: Vec<Complex64> = los.iter().zip(&scattered).map(|(l, sc)| *l + *sc).collect();
         let rho = if coherence_time_s.is_infinite() {
             1.0
         } else {
@@ -211,11 +207,7 @@ impl FadingChannel {
     /// beyond the input length is truncated (the cyclic prefix of OFDM
     /// symbols absorbs inter-symbol leakage as long as the profile is
     /// shorter than the CP).
-    pub fn process<R: Rng + ?Sized>(
-        &mut self,
-        input: &[Complex64],
-        rng: &mut R,
-    ) -> Vec<Complex64> {
+    pub fn process<R: Rng + ?Sized>(&mut self, input: &[Complex64], rng: &mut R) -> Vec<Complex64> {
         let l = self.taps.len();
         let mut out = vec![Complex64::ZERO; input.len()];
         for (n, slot) in out.iter_mut().enumerate() {
@@ -277,8 +269,12 @@ mod tests {
     #[test]
     fn infinite_coherence_freezes_taps() {
         let mut rng = StdRng::seed_from_u64(9);
-        let mut ch =
-            FadingChannel::new(DelayProfile::exponential(4, 0.5), f64::INFINITY, 10, &mut rng);
+        let mut ch = FadingChannel::new(
+            DelayProfile::exponential(4, 0.5),
+            f64::INFINITY,
+            10,
+            &mut rng,
+        );
         let before = ch.taps().to_vec();
         let input = vec![Complex64::ONE; 1000];
         ch.process(&input, &mut rng);

@@ -53,6 +53,7 @@ pub struct LinkChannel {
     cfo: Option<ResidualCfo>,
     awgn: Option<Awgn>,
     rng: StdRng,
+    obs: carpool_obs::Obs,
 }
 
 impl LinkChannel {
@@ -61,8 +62,16 @@ impl LinkChannel {
         LinkChannelBuilder::default()
     }
 
+    /// Attaches an observability handle; `transmit` then reports frame
+    /// and sample counts plus a `channel.transmit` timing span.
+    pub fn with_obs(mut self, obs: carpool_obs::Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Passes a frame of baseband samples through the link.
     pub fn transmit(&mut self, samples: &[Complex64]) -> Vec<Complex64> {
+        let _span = self.obs.span("channel.transmit");
         let mut buf = match &mut self.fading {
             Some(f) => f.process(samples, &mut self.rng),
             None => samples.to_vec(),
@@ -72,6 +81,10 @@ impl LinkChannel {
         }
         if let Some(awgn) = &self.awgn {
             awgn.apply(&mut buf, &mut self.rng);
+        }
+        if self.obs.enabled() {
+            self.obs.counter("channel.frames", 1);
+            self.obs.counter("channel.samples", samples.len() as u64);
         }
         buf
     }
@@ -187,6 +200,7 @@ impl LinkChannelBuilder {
             cfo,
             awgn,
             rng,
+            obs: carpool_obs::Obs::noop(),
         }
     }
 }
@@ -262,6 +276,28 @@ mod tests {
         assert_eq!(out.len(), input.len());
         assert!(mean_power(&out).is_finite());
         assert!(out.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn obs_counts_frames_and_samples() {
+        use carpool_obs::{MemoryRecorder, Obs};
+        use std::sync::Arc;
+
+        let recorder = Arc::new(MemoryRecorder::new());
+        let mut link = LinkChannel::builder()
+            .snr_db(20.0)
+            .seed(3)
+            .build()
+            .with_obs(Obs::with_recorder(recorder.clone()));
+        link.transmit(&tone(400));
+        link.transmit(&tone(100));
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("channel.frames"), 2);
+        assert_eq!(snap.counter("channel.samples"), 500);
+        let span = snap
+            .histogram("span.channel.transmit")
+            .expect("span histogram");
+        assert_eq!(span.count(), 2);
     }
 
     #[test]

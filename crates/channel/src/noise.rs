@@ -102,7 +102,10 @@ mod tests {
                 .sum::<f64>()
                 / clean.len() as f64;
             let measured = 10.0 * (mean_power(&clean) / noise_power).log10();
-            assert!((measured - snr).abs() < 0.3, "snr {snr}: measured {measured}");
+            assert!(
+                (measured - snr).abs() < 0.3,
+                "snr {snr}: measured {measured}"
+            );
         }
     }
 

@@ -3,19 +3,19 @@
 
 use std::collections::HashMap;
 
-/// Parsed command-line arguments: one subcommand plus `--key value`
+/// Parsed command-line arguments: one subcommand, bare positionals
+/// (e.g. the trace path in `carpool report run.jsonl`) and `--key value`
 /// options (`--flag` without a value is stored as `"true"`).
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     command: Option<String>,
+    positionals: Vec<String>,
     options: HashMap<String, String>,
 }
 
 /// Errors from argument parsing and lookup.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArgError {
-    /// A positional argument appeared where an option was expected.
-    UnexpectedPositional(String),
     /// An option's value failed to parse.
     BadValue {
         /// Option name (without dashes).
@@ -28,7 +28,6 @@ pub enum ArgError {
 impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ArgError::UnexpectedPositional(v) => write!(f, "unexpected argument '{v}'"),
             ArgError::BadValue { key, value } => {
                 write!(f, "invalid value '{value}' for --{key}")
             }
@@ -40,11 +39,13 @@ impl std::error::Error for ArgError {}
 
 impl Args {
     /// Parses an iterator of raw arguments (without the program name).
+    /// The first bare token becomes the subcommand; later bare tokens are
+    /// collected as positionals in order.
     ///
     /// # Errors
     ///
-    /// Returns [`ArgError::UnexpectedPositional`] for stray positionals
-    /// after the subcommand.
+    /// Infallible today (the `Result` is kept for option-value errors
+    /// surfaced later by [`Args::get_or`]).
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
         let mut args = Args::default();
         let mut iter = raw.into_iter().peekable();
@@ -55,7 +56,8 @@ impl Args {
         }
         while let Some(token) = iter.next() {
             let Some(key) = token.strip_prefix("--") else {
-                return Err(ArgError::UnexpectedPositional(token));
+                args.positionals.push(token);
+                continue;
             };
             let value = match iter.peek() {
                 Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
@@ -69,6 +71,16 @@ impl Args {
     /// The subcommand, if any.
     pub fn command(&self) -> Option<&str> {
         self.command.as_deref()
+    }
+
+    /// Bare positional arguments after the subcommand, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The `idx`-th positional argument.
+    pub fn positional(&self, idx: usize) -> Option<&str> {
+        self.positionals.get(idx).map(String::as_str)
     }
 
     /// Raw string option.
@@ -132,10 +144,13 @@ mod tests {
     }
 
     #[test]
-    fn stray_positional_rejected() {
-        let err =
-            Args::parse(["cmd".to_string(), "oops".to_string()]).expect_err("must fail");
-        assert!(matches!(err, ArgError::UnexpectedPositional(_)));
+    fn positionals_collected_in_order() {
+        let a = parse(&["report", "run.jsonl", "--top", "5", "other.jsonl"]);
+        assert_eq!(a.command(), Some("report"));
+        assert_eq!(a.positionals(), ["run.jsonl", "other.jsonl"]);
+        assert_eq!(a.positional(0), Some("run.jsonl"));
+        assert_eq!(a.positional(2), None);
+        assert_eq!(a.get_or("top", 0usize).unwrap(), 5);
     }
 
     #[test]

@@ -9,11 +9,13 @@
 //! ```
 
 mod args;
+mod obs_session;
+mod report;
 
 use args::Args;
 use carpool::link::CarpoolLink;
 use carpool_bloom::analysis::{
-    false_positive_ratio, measure_false_positive_ratio, optimal_hash_count,
+    false_positive_ratio, measure_false_positive_ratio_obs, optimal_hash_count,
 };
 use carpool_channel::link::LinkChannel;
 use carpool_frame::addr::MacAddress;
@@ -57,7 +59,16 @@ COMMANDS:
                --receivers <8> --hashes <4> --trials <20000>
     gen-trace  Emit a synthetic public-WLAN packet trace (stdout)
                --stas <10> --duration <30> --seed <1> [--background]
+    report     Render an --obs JSONL stream as per-layer summary tables
+               carpool report <path.jsonl>
     help       Show this message
+
+OBSERVABILITY (accepted by every command):
+    --obs <path.jsonl>   Stream structured events (PHY/frame/MAC/traffic
+                         plus timing spans) to a JSONL file; inspect with
+                         `carpool report <path.jsonl>`.
+    --obs-summary        Print the metrics registry (counters, gauges,
+                         histogram quantiles) to stderr when done.
 ";
 
 fn parse_mcs(spec: &str) -> Result<Mcs, String> {
@@ -94,10 +105,12 @@ fn parse_protocol(spec: &str) -> Result<Protocol, String> {
     }
 }
 
-fn cmd_phy_ber(args: &Args) -> Result<(), String> {
+fn cmd_phy_ber(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
     let mcs = parse_mcs(args.get("mcs").unwrap_or("qam64-3/4"))?;
     let snr: f64 = args.get_or("snr", 28.0).map_err(|e| e.to_string())?;
-    let coherence_ms: f64 = args.get_or("coherence-ms", 4.0).map_err(|e| e.to_string())?;
+    let coherence_ms: f64 = args
+        .get_or("coherence-ms", 4.0)
+        .map_err(|e| e.to_string())?;
     let rician_k: f64 = args.get_or("rician-k", 15.0).map_err(|e| e.to_string())?;
     let cfo: f64 = args.get_or("cfo", 100.0).map_err(|e| e.to_string())?;
     let frames: usize = args.get_or("frames", 20).map_err(|e| e.to_string())?;
@@ -109,7 +122,9 @@ fn cmd_phy_ber(args: &Args) -> Result<(), String> {
         Estimation::Standard
     };
 
-    let payload: Vec<u8> = (0..kbytes * 1024 * 8).map(|k| ((k * 31 + 7) % 5 < 2) as u8).collect();
+    let payload: Vec<u8> = (0..kbytes * 1024 * 8)
+        .map(|k| ((k * 31 + 7) % 5 < 2) as u8)
+        .collect();
     let spec = SectionSpec::payload(payload.clone(), mcs);
     let tx = transmit(std::slice::from_ref(&spec)).map_err(|e| e.to_string())?;
     let layouts = [SectionLayout::of(&spec)];
@@ -125,7 +140,8 @@ fn cmd_phy_ber(args: &Args) -> Result<(), String> {
             .rician_k(rician_k)
             .cfo_hz(cfo)
             .seed(seed + f as u64)
-            .build();
+            .build()
+            .with_obs(obs.clone());
         let rx_samples = link.transmit(&tx.samples);
         let rx = if args.flag("soft") {
             receive_soft(&rx_samples, &layouts, estimation)
@@ -144,23 +160,38 @@ fn cmd_phy_ber(args: &Args) -> Result<(), String> {
         let errs = hamming_distance(&payload, &rx.sections[0].bits);
         payload_errors += errs;
         frame_errors += (errs > 0) as usize;
+        if obs.enabled() {
+            obs.counter("phy.ber_frames", 1);
+            obs.counter("phy.payload_bit_errors", errs as u64);
+            obs.counter("phy.frame_errors", (errs > 0) as u64);
+        }
     }
     println!("mcs {mcs}, {frames} frames x {kbytes} KiB, SNR {snr} dB, coherence {coherence_ms} ms, K {rician_k}, CFO {cfo} Hz");
     println!(
         "  estimation: {}{}",
         if args.flag("rte") { "RTE" } else { "standard" },
-        if args.flag("soft") { " + soft Viterbi" } else { "" }
+        if args.flag("soft") {
+            " + soft Viterbi"
+        } else {
+            ""
+        }
     );
-    println!("  raw (pre-FEC) BER : {:.3e}", raw_errors as f64 / raw_total as f64);
+    println!(
+        "  raw (pre-FEC) BER : {:.3e}",
+        raw_errors as f64 / raw_total as f64
+    );
     println!(
         "  payload BER       : {:.3e}",
         payload_errors as f64 / (frames * payload.len()) as f64
     );
-    println!("  frame error rate  : {:.3}", frame_errors as f64 / frames as f64);
+    println!(
+        "  frame error rate  : {:.3}",
+        frame_errors as f64 / frames as f64
+    );
     Ok(())
 }
 
-fn cmd_mac_sim(args: &Args) -> Result<(), String> {
+fn cmd_mac_sim(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
     let protocol = parse_protocol(args.get("protocol").unwrap_or("carpool"))?;
     let mut config = SimConfig {
         protocol,
@@ -182,8 +213,14 @@ fn cmd_mac_sim(args: &Args) -> Result<(), String> {
         config.scheduler = carpool_mac::sim::SchedulerPolicy::TimeFair;
     }
 
-    let report = Simulator::new(config, Box::new(BerBiasModel::calibrated())).run();
-    println!("{protocol} — {} STAs, {:.0} s simulated", report.sta_airtime.len(), report.duration_s);
+    let report = Simulator::new(config, Box::new(BerBiasModel::calibrated()))
+        .with_obs(obs.clone())
+        .run();
+    println!(
+        "{protocol} — {} STAs, {:.0} s simulated",
+        report.sta_airtime.len(),
+        report.duration_s
+    );
     println!(
         "  downlink: {:.2} Mbit/s, mean delay {:.3} s, {} delivered / {} dropped",
         report.downlink_goodput_mbps(),
@@ -207,7 +244,7 @@ fn cmd_mac_sim(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(args: &Args) -> Result<(), String> {
+fn cmd_sweep(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
     let from: usize = args.get_or("from", 10).map_err(|e| e.to_string())?;
     let to: usize = args.get_or("to", 30).map_err(|e| e.to_string())?;
     let step: usize = args.get_or("step", 4).map_err(|e| e.to_string())?;
@@ -234,7 +271,9 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             if args.flag("background") {
                 cfg.uplink = Some(UplinkTraffic::default());
             }
-            let r = Simulator::new(cfg, Box::new(BerBiasModel::calibrated())).run();
+            let r = Simulator::new(cfg, Box::new(BerBiasModel::calibrated()))
+                .with_obs(obs.clone())
+                .run();
             print!(
                 " {:>7.2}/{:<7.3}",
                 r.downlink_goodput_mbps(),
@@ -246,7 +285,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_frame(args: &Args) -> Result<(), String> {
+fn cmd_frame(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
     let receivers: usize = args.get_or("receivers", 3).map_err(|e| e.to_string())?;
     let bytes: usize = args.get_or("bytes", 400).map_err(|e| e.to_string())?;
     let snr: f64 = args.get_or("snr", 32.0).map_err(|e| e.to_string())?;
@@ -262,11 +301,17 @@ fn cmd_frame(args: &Args) -> Result<(), String> {
         "frame: {receivers} subframes x {bytes} B, A-HDR {}",
         frame.header()
     );
-    let mut link = CarpoolLink::builder().snr_db(snr).seed(seed).build();
+    let mut link = CarpoolLink::builder()
+        .snr_db(snr)
+        .seed(seed)
+        .build()
+        .with_obs(obs.clone());
     for k in 0..receivers as u16 {
         let sta = MacAddress::station(k);
         let rx = link.deliver(&frame, sta).map_err(|e| e.to_string())?;
-        let ok = rx.payload_at(k as usize).map(|p| p == &frame.subframes()[k as usize].payload[..])
+        let ok = rx
+            .payload_at(k as usize)
+            .map(|p| p == &frame.subframes()[k as usize].payload[..])
             == Some(true);
         println!(
             "  {sta}: matched {:?}, payload {}, decoded/skipped {}/{} symbols",
@@ -279,7 +324,7 @@ fn cmd_frame(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bloom(args: &Args) -> Result<(), String> {
+fn cmd_bloom(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
     let receivers: usize = args.get_or("receivers", 8).map_err(|e| e.to_string())?;
     let hashes: usize = args.get_or("hashes", 4).map_err(|e| e.to_string())?;
     let trials: usize = args.get_or("trials", 20_000).map_err(|e| e.to_string())?;
@@ -288,14 +333,17 @@ fn cmd_bloom(args: &Args) -> Result<(), String> {
     }
     let mut rng = StdRng::seed_from_u64(11);
     println!("A-HDR with {receivers} receivers, h = {hashes}:");
-    println!("  optimal h          : {:.2}", optimal_hash_count(receivers));
+    println!(
+        "  optimal h          : {:.2}",
+        optimal_hash_count(receivers)
+    );
     println!(
         "  analytic r_FP      : {:.3}%",
         false_positive_ratio(hashes, receivers) * 100.0
     );
     println!(
         "  measured r_FP      : {:.3}%  ({trials} trials)",
-        measure_false_positive_ratio(hashes, receivers, trials, &mut rng) * 100.0
+        measure_false_positive_ratio_obs(hashes, receivers, trials, &mut rng, obs) * 100.0
     );
     println!(
         "  vs explicit headers: {:.1}% of the bits",
@@ -304,7 +352,7 @@ fn cmd_bloom(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen_trace(args: &Args) -> Result<(), String> {
+fn cmd_gen_trace(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
     let stas: u16 = args.get_or("stas", 10).map_err(|e| e.to_string())?;
     let duration: f64 = args.get_or("duration", 30.0).map_err(|e| e.to_string())?;
     let seed: u64 = args.get_or("seed", 1).map_err(|e| e.to_string())?;
@@ -317,7 +365,11 @@ fn cmd_gen_trace(args: &Args) -> Result<(), String> {
         if args.flag("background") {
             // Downlink-dominant data on top of the calls, reproducing
             // the ~4:1 volume asymmetry of Fig. 1(c).
-            let transport = if sta % 2 == 0 { Transport::Tcp } else { Transport::Udp };
+            let transport = if sta % 2 == 0 {
+                Transport::Tcp
+            } else {
+                Transport::Udp
+            };
             down.extend(
                 BackgroundSource::new(transport)
                     .with_rate_scale(4.0)
@@ -329,6 +381,7 @@ fn cmd_gen_trace(args: &Args) -> Result<(), String> {
         uplink.push((sta, up));
     }
     let trace = Trace::from_arrivals(&downlink, &uplink);
+    trace.emit_obs(obs);
     let stats = trace.volume_stats();
     print!("{}", trace.to_text());
     eprintln!(
@@ -348,19 +401,29 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let session = match obs_session::ObsSession::from_args(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let obs = session.obs();
     let result = match args.command() {
-        Some("phy-ber") => cmd_phy_ber(&args),
-        Some("mac-sim") => cmd_mac_sim(&args),
-        Some("sweep") => cmd_sweep(&args),
-        Some("frame") => cmd_frame(&args),
-        Some("bloom") => cmd_bloom(&args),
-        Some("gen-trace") => cmd_gen_trace(&args),
+        Some("phy-ber") => cmd_phy_ber(&args, &obs),
+        Some("mac-sim") => cmd_mac_sim(&args, &obs),
+        Some("sweep") => cmd_sweep(&args, &obs),
+        Some("frame") => cmd_frame(&args, &obs),
+        Some("bloom") => cmd_bloom(&args, &obs),
+        Some("gen-trace") => cmd_gen_trace(&args, &obs),
+        Some("report") => report::cmd_report(&args),
         Some("help") | None => {
             println!("{HELP}");
             Ok(())
         }
         Some(other) => Err(format!("unknown command '{other}'")),
     };
+    session.finish();
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);

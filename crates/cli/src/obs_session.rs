@@ -1,0 +1,147 @@
+//! Shared `--obs` / `--obs-summary` wiring for every subcommand.
+//!
+//! `--obs <path.jsonl>` streams structured events to a JSONL file while
+//! the command runs; `--obs-summary` prints the metrics registry
+//! (counters, gauges, histogram quantiles) to stderr afterwards. Both
+//! may be combined; with neither, the returned handle is the no-op one
+//! and the instrumented code paths cost a single branch.
+
+use crate::args::Args;
+use carpool_obs::{EventSink, JsonlSink, MemoryRecorder, MetricsSnapshot, NoopSink, Obs};
+use std::sync::Arc;
+
+/// Observability wiring for one CLI invocation.
+pub struct ObsSession {
+    obs: Obs,
+    recorder: Option<Arc<MemoryRecorder>>,
+    summary: bool,
+    path: Option<String>,
+}
+
+impl ObsSession {
+    /// Builds the session from `--obs` / `--obs-summary`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the `--obs` file cannot be created.
+    pub fn from_args(args: &Args) -> Result<ObsSession, String> {
+        let path = args.get("obs").filter(|v| *v != "true").map(str::to_string);
+        if args.get("obs") == Some("true") {
+            return Err("--obs needs a file path, e.g. --obs run.jsonl".to_string());
+        }
+        let summary = args.flag("obs-summary");
+        if path.is_none() && !summary {
+            return Ok(ObsSession {
+                obs: Obs::noop(),
+                recorder: None,
+                summary: false,
+                path: None,
+            });
+        }
+        let recorder = Arc::new(MemoryRecorder::new());
+        let sink: Arc<dyn EventSink + Send + Sync> = match &path {
+            Some(p) => Arc::new(
+                JsonlSink::create(p).map_err(|e| format!("cannot create --obs file '{p}': {e}"))?,
+            ),
+            None => Arc::new(NoopSink),
+        };
+        Ok(ObsSession {
+            obs: Obs::new(recorder.clone(), sink),
+            recorder: Some(recorder),
+            summary,
+            path,
+        })
+    }
+
+    /// The handle to thread through instrumented code.
+    pub fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+
+    /// Flushes the JSONL sink and prints the `--obs-summary` tables.
+    pub fn finish(&self) {
+        self.obs.flush();
+        if let Some(p) = &self.path {
+            eprintln!("# obs events written to {p}");
+        }
+        if self.summary {
+            if let Some(recorder) = &self.recorder {
+                eprint!("{}", render_summary(&recorder.snapshot()));
+            }
+        }
+    }
+}
+
+/// Renders a metrics snapshot as the `--obs-summary` block.
+pub fn render_summary(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("# obs counters\n");
+        for (name, value) in &snap.counters {
+            out.push_str(&format!("#   {name:<34} {value}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("# obs gauges\n");
+        for (name, value) in &snap.gauges {
+            out.push_str(&format!("#   {name:<34} {value:.6}\n"));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("# obs histograms                        count       mean        p50        p95        max\n");
+        for (name, h) in &snap.histograms {
+            out.push_str(&format!(
+                "#   {name:<34} {:>7} {:>10.3e} {:>10.3e} {:>10.3e} {:>10.3e}\n",
+                h.count(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.max()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).expect("parses")
+    }
+
+    #[test]
+    fn no_flags_yields_noop_handle() {
+        let s = ObsSession::from_args(&parse(&["mac-sim"])).expect("builds");
+        assert!(!s.obs().enabled());
+    }
+
+    #[test]
+    fn summary_flag_enables_recorder() {
+        let s = ObsSession::from_args(&parse(&["mac-sim", "--obs-summary"])).expect("builds");
+        assert!(s.obs().enabled());
+        s.obs().counter("x.y", 3);
+        let snap = s.recorder.as_ref().expect("recorder").snapshot();
+        assert_eq!(snap.counter("x.y"), 3);
+    }
+
+    #[test]
+    fn obs_without_path_is_an_error() {
+        assert!(ObsSession::from_args(&parse(&["mac-sim", "--obs"])).is_err());
+    }
+
+    #[test]
+    fn summary_renders_all_metric_kinds() {
+        let recorder = MemoryRecorder::new();
+        use carpool_obs::Recorder;
+        recorder.counter("mac.transmissions", 42);
+        recorder.gauge("mac.queue", 3.0);
+        recorder.record("mac.delay", 0.25);
+        let text = render_summary(&recorder.snapshot());
+        assert!(text.contains("mac.transmissions"));
+        assert!(text.contains("42"));
+        assert!(text.contains("mac.queue"));
+        assert!(text.contains("mac.delay"));
+    }
+}

@@ -1,0 +1,450 @@
+//! `carpool report` — render an `--obs` JSONL event stream as per-layer
+//! summary tables.
+//!
+//! The stream is self-describing (every record carries `kind` and
+//! `layer`), so the report works on any mix of subcommand outputs: a
+//! `mac-sim` run yields the MAC table, a `frame` run the PHY and frame
+//! tables, and so on. Unknown kinds are counted but never fatal —
+//! forward compatibility matters more than strictness here.
+
+use carpool_obs::{LogHistogram, ParsedEvent};
+
+/// Aggregates accumulated from one event stream.
+#[derive(Debug, Default)]
+pub struct ReportAggregates {
+    // Stream-wide.
+    pub events: u64,
+    pub malformed: u64,
+    pub unknown_kinds: u64,
+    pub t_max: f64,
+    // PHY.
+    pub rte_applied: u64,
+    pub rte_rejected: u64,
+    pub side_crc_ok: u64,
+    pub side_crc_fail: u64,
+    pub equalizer_resets: u64,
+    // Frame / A-HDR.
+    pub ahdr_matched: u64,
+    pub ahdr_missed: u64,
+    pub ahdr_false_positives: u64,
+    pub ahdr_true_negatives: u64,
+    pub subframe_accepted: u64,
+    pub subframe_rejected: u64,
+    pub subframe_bytes: u64,
+    // MAC.
+    pub delivered_frames: u64,
+    pub delivered_bytes: u64,
+    pub dropped_frames: u64,
+    pub retransmissions: u64,
+    pub transmissions: u64,
+    pub collisions: u64,
+    pub aggregated_stas: u64,
+    pub airtime_s: f64,
+    pub delay: LogHistogram,
+    pub drop_delay: LogHistogram,
+    // Traffic.
+    pub arrivals: u64,
+    pub arrival_bytes: u64,
+    // Spans, keyed by name.
+    pub spans: Vec<(String, SpanAgg)>,
+}
+
+/// Wall-clock span aggregate (microseconds).
+#[derive(Debug, Default, Clone)]
+pub struct SpanAgg {
+    pub count: u64,
+    pub total_us: u64,
+    pub max_us: u64,
+}
+
+impl ReportAggregates {
+    /// Folds one parsed event into the aggregates.
+    pub fn ingest(&mut self, e: &ParsedEvent) {
+        self.events += 1;
+        if e.t > self.t_max {
+            self.t_max = e.t;
+        }
+        match e.kind.as_str() {
+            "rte_update" => {
+                if e.bool_field("applied") == Some(true) {
+                    self.rte_applied += 1;
+                } else {
+                    self.rte_rejected += 1;
+                }
+            }
+            "side_crc" => {
+                if e.bool_field("ok") == Some(true) {
+                    self.side_crc_ok += 1;
+                } else {
+                    self.side_crc_fail += 1;
+                }
+            }
+            "eq_reset" => self.equalizer_resets += 1,
+            "ahdr_check" => {
+                let matched = e.bool_field("matched") == Some(true);
+                if matched {
+                    self.ahdr_matched += 1;
+                } else {
+                    self.ahdr_missed += 1;
+                }
+                // Ground truth is only present when the emitter knew the
+                // real receiver set (facade deliveries, bloom probes).
+                match (matched, e.bool_field("expected")) {
+                    (true, Some(false)) => self.ahdr_false_positives += 1,
+                    (false, Some(false)) => self.ahdr_true_negatives += 1,
+                    _ => {}
+                }
+            }
+            "subframe_accept" => {
+                self.subframe_accepted += 1;
+                self.subframe_bytes += e.u64_field("bytes").unwrap_or(0);
+            }
+            "subframe_reject" => self.subframe_rejected += 1,
+            "mac_delivery" => {
+                self.delivered_frames += 1;
+                self.delivered_bytes += e.u64_field("bytes").unwrap_or(0);
+                if let Some(d) = e.f64_field("delay") {
+                    self.delay.record(d);
+                }
+            }
+            "mac_drop" => {
+                self.dropped_frames += 1;
+                if let Some(d) = e.f64_field("delay") {
+                    self.drop_delay.record(d);
+                }
+            }
+            "mac_retx" => self.retransmissions += 1,
+            "mac_tx" => {
+                self.transmissions += 1;
+                self.aggregated_stas += e.u64_field("stas").unwrap_or(0);
+                self.airtime_s += e.f64_field("airtime").unwrap_or(0.0);
+            }
+            "mac_collision" => self.collisions += 1,
+            "queue_depth" | "backoff" => {}
+            "traffic_arrival" => {
+                self.arrivals += 1;
+                self.arrival_bytes += e.u64_field("bytes").unwrap_or(0);
+            }
+            "span_end" => {
+                let name = e.str_field("name").unwrap_or("?").to_string();
+                let us = e.u64_field("micros").unwrap_or(0);
+                let agg = match self.spans.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, a)) => a,
+                    None => {
+                        self.spans.push((name, SpanAgg::default()));
+                        &mut self.spans.last_mut().expect("just pushed").1
+                    }
+                };
+                agg.count += 1;
+                agg.total_us += us;
+                agg.max_us = agg.max_us.max(us);
+            }
+            _ => self.unknown_kinds += 1,
+        }
+    }
+
+    /// Parses a whole JSONL document, tolerating blank lines.
+    pub fn from_jsonl(text: &str) -> ReportAggregates {
+        let mut agg = ReportAggregates::default();
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            match ParsedEvent::from_json_line(trimmed) {
+                Ok(e) => agg.ingest(&e),
+                Err(_) => agg.malformed += 1,
+            }
+        }
+        agg
+    }
+
+    /// A-HDR false-positive ratio over probes with known ground truth.
+    pub fn ahdr_fp_ratio(&self) -> Option<f64> {
+        let with_truth = self.ahdr_false_positives + self.ahdr_true_negatives;
+        (with_truth > 0).then(|| self.ahdr_false_positives as f64 / with_truth as f64)
+    }
+
+    /// Downlink+uplink goodput over the stream's time extent, Mbit/s.
+    pub fn goodput_mbps(&self) -> Option<f64> {
+        (self.t_max > 0.0 && self.delivered_bytes > 0)
+            .then(|| self.delivered_bytes as f64 * 8.0 / self.t_max / 1e6)
+    }
+
+    /// Renders the per-layer report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "events: {} ({} malformed, {} unknown kinds), time extent {:.3} s\n",
+            self.events, self.malformed, self.unknown_kinds, self.t_max
+        ));
+
+        if self.rte_applied
+            + self.rte_rejected
+            + self.side_crc_ok
+            + self.side_crc_fail
+            + self.equalizer_resets
+            > 0
+        {
+            out.push_str("\nPHY\n");
+            let rte_total = self.rte_applied + self.rte_rejected;
+            if rte_total > 0 {
+                out.push_str(&format!(
+                    "  RTE updates        : {} applied / {} rejected ({:.1}% applied)\n",
+                    self.rte_applied,
+                    self.rte_rejected,
+                    self.rte_applied as f64 / rte_total as f64 * 100.0
+                ));
+            }
+            let crc_total = self.side_crc_ok + self.side_crc_fail;
+            if crc_total > 0 {
+                out.push_str(&format!(
+                    "  side-channel CRC   : {} ok / {} failed ({:.2}% failure)\n",
+                    self.side_crc_ok,
+                    self.side_crc_fail,
+                    self.side_crc_fail as f64 / crc_total as f64 * 100.0
+                ));
+            }
+            out.push_str(&format!(
+                "  equalizer resets   : {}\n",
+                self.equalizer_resets
+            ));
+        }
+
+        if self.ahdr_matched + self.ahdr_missed + self.subframe_accepted + self.subframe_rejected
+            > 0
+        {
+            out.push_str("\nFRAME / A-HDR\n");
+            out.push_str(&format!(
+                "  membership checks  : {} matched / {} missed\n",
+                self.ahdr_matched, self.ahdr_missed
+            ));
+            if let Some(fp) = self.ahdr_fp_ratio() {
+                out.push_str(&format!(
+                    "  false positives    : {} of {} outsider probes ({:.3}%)\n",
+                    self.ahdr_false_positives,
+                    self.ahdr_false_positives + self.ahdr_true_negatives,
+                    fp * 100.0
+                ));
+            }
+            out.push_str(&format!(
+                "  subframes          : {} accepted ({} B) / {} rejected\n",
+                self.subframe_accepted, self.subframe_bytes, self.subframe_rejected
+            ));
+        }
+
+        if self.delivered_frames + self.dropped_frames + self.transmissions > 0 {
+            out.push_str("\nMAC\n");
+            out.push_str(&format!(
+                "  delivered          : {} frames, {} B",
+                self.delivered_frames, self.delivered_bytes
+            ));
+            if let Some(g) = self.goodput_mbps() {
+                out.push_str(&format!(" ({g:.2} Mbit/s over the stream)"));
+            }
+            out.push('\n');
+            if self.delay.count() > 0 {
+                out.push_str(&format!(
+                    "  delivery delay     : p50 {:.4} s, p95 {:.4} s, max {:.4} s\n",
+                    self.delay.quantile(0.5),
+                    self.delay.quantile(0.95),
+                    self.delay.max()
+                ));
+            }
+            out.push_str(&format!(
+                "  dropped            : {} frames",
+                self.dropped_frames
+            ));
+            if self.drop_delay.count() > 0 {
+                out.push_str(&format!(" (max queued {:.4} s)", self.drop_delay.max()));
+            }
+            out.push('\n');
+            out.push_str(&format!(
+                "  retransmissions    : {}\n",
+                self.retransmissions
+            ));
+            if self.transmissions > 0 {
+                out.push_str(&format!(
+                    "  channel            : {} TXOPs, {} collisions, {:.2} STAs/TXOP, {:.3} s airtime\n",
+                    self.transmissions,
+                    self.collisions,
+                    self.aggregated_stas as f64 / self.transmissions as f64,
+                    self.airtime_s
+                ));
+            }
+        }
+
+        if self.arrivals > 0 {
+            out.push_str("\nTRAFFIC\n");
+            out.push_str(&format!(
+                "  arrivals           : {} frames, {} B\n",
+                self.arrivals, self.arrival_bytes
+            ));
+        }
+
+        if !self.spans.is_empty() {
+            out.push_str("\nSPANS (wall clock)        count   total ms    mean us     max us\n");
+            for (name, a) in &self.spans {
+                out.push_str(&format!(
+                    "  {name:<22} {:>7} {:>10.2} {:>10.1} {:>10}\n",
+                    a.count,
+                    a.total_us as f64 / 1e3,
+                    a.total_us as f64 / a.count.max(1) as f64,
+                    a.max_us
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The `carpool report <path.jsonl>` subcommand.
+pub fn cmd_report(args: &crate::args::Args) -> Result<(), String> {
+    if args.positionals().len() > 1 {
+        return Err("usage: carpool report <path.jsonl> (one file at a time)".to_string());
+    }
+    let path = args
+        .positional(0)
+        .or_else(|| args.get("path"))
+        .ok_or("usage: carpool report <path.jsonl>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let agg = ReportAggregates::from_jsonl(&text);
+    if agg.events == 0 {
+        return Err(format!("'{path}' contains no parseable obs events"));
+    }
+    print!("{}", agg.render());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carpool_obs::{Event, Stamped};
+
+    fn line(t: f64, seq: u64, event: Event) -> String {
+        Stamped { t, seq, event }.to_json_line()
+    }
+
+    #[test]
+    fn aggregates_match_a_small_synthetic_stream() {
+        let mut text = String::new();
+        text.push_str(&line(
+            0.1,
+            0,
+            Event::MacDelivery {
+                dest: 1,
+                bytes: 1000,
+                delay: 0.01,
+            },
+        ));
+        text.push('\n');
+        text.push_str(&line(
+            0.2,
+            1,
+            Event::MacDelivery {
+                dest: 2,
+                bytes: 500,
+                delay: 0.04,
+            },
+        ));
+        text.push('\n');
+        text.push_str(&line(
+            0.3,
+            2,
+            Event::MacDrop {
+                dest: 1,
+                delay: 0.2,
+            },
+        ));
+        text.push('\n');
+        text.push_str(&line(
+            0.3,
+            3,
+            Event::MacTx {
+                stas: 4,
+                airtime: 0.002,
+            },
+        ));
+        text.push('\n');
+        text.push_str(&line(
+            0.4,
+            4,
+            Event::AhdrCheck {
+                station: 9,
+                matched: true,
+                expected: Some(false),
+            },
+        ));
+        text.push('\n');
+        text.push_str(&line(
+            0.4,
+            5,
+            Event::AhdrCheck {
+                station: 9,
+                matched: false,
+                expected: Some(false),
+            },
+        ));
+        text.push('\n');
+        text.push_str("not json\n");
+
+        let agg = ReportAggregates::from_jsonl(&text);
+        assert_eq!(agg.events, 6);
+        assert_eq!(agg.malformed, 1);
+        assert_eq!(agg.delivered_frames, 2);
+        assert_eq!(agg.delivered_bytes, 1500);
+        assert_eq!(agg.dropped_frames, 1);
+        assert_eq!(agg.transmissions, 1);
+        assert_eq!(agg.ahdr_false_positives, 1);
+        assert_eq!(agg.ahdr_fp_ratio(), Some(0.5));
+        assert!((agg.t_max - 0.4).abs() < 1e-12);
+        assert!((agg.delay.max() - 0.04).abs() < 1e-3);
+        let report = agg.render();
+        assert!(report.contains("MAC"));
+        assert!(report.contains("FRAME / A-HDR"));
+    }
+
+    #[test]
+    fn span_ends_aggregate_by_name() {
+        let mut text = String::new();
+        text.push_str(&line(
+            0.0,
+            0,
+            Event::SpanEnd {
+                name: "phy.decode",
+                micros: 100,
+            },
+        ));
+        text.push('\n');
+        text.push_str(&line(
+            0.0,
+            1,
+            Event::SpanEnd {
+                name: "phy.decode",
+                micros: 300,
+            },
+        ));
+        text.push('\n');
+        text.push_str(&line(
+            0.0,
+            2,
+            Event::SpanEnd {
+                name: "mac.sim_loop",
+                micros: 50,
+            },
+        ));
+        let agg = ReportAggregates::from_jsonl(&text);
+        assert_eq!(agg.spans.len(), 2);
+        let decode = &agg.spans.iter().find(|(n, _)| n == "phy.decode").unwrap().1;
+        assert_eq!(decode.count, 2);
+        assert_eq!(decode.total_us, 400);
+        assert_eq!(decode.max_us, 300);
+        assert!(agg.render().contains("mac.sim_loop"));
+    }
+
+    #[test]
+    fn empty_stream_reports_zero_events() {
+        let agg = ReportAggregates::from_jsonl("\n\n");
+        assert_eq!(agg.events, 0);
+    }
+}

@@ -85,7 +85,11 @@ impl Selection {
 
     /// All selected queue indices in ascending order.
     pub fn indices(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.groups.iter().flat_map(|(_, g)| g.iter().copied()).collect();
+        let mut v: Vec<usize> = self
+            .groups
+            .iter()
+            .flat_map(|(_, g)| g.iter().copied())
+            .collect();
         v.sort_unstable();
         v
     }
@@ -200,7 +204,11 @@ mod tests {
     #[test]
     fn legacy_takes_only_head() {
         let queue = [q(1, 100, 0.0), q(1, 100, 0.1), q(2, 100, 0.2)];
-        let sel = select(AggregationPolicy::None, &queue, &AggregationLimits::default());
+        let sel = select(
+            AggregationPolicy::None,
+            &queue,
+            &AggregationLimits::default(),
+        );
         assert_eq!(sel.frame_count(), 1);
         assert_eq!(sel.indices(), vec![0]);
     }
@@ -214,7 +222,11 @@ mod tests {
             q(3, 100, 0.3),
             q(1, 100, 0.4),
         ];
-        let sel = select(AggregationPolicy::Ampdu, &queue, &AggregationLimits::default());
+        let sel = select(
+            AggregationPolicy::Ampdu,
+            &queue,
+            &AggregationLimits::default(),
+        );
         assert_eq!(sel.receiver_count(), 1);
         assert_eq!(sel.indices(), vec![0, 2, 4]);
     }

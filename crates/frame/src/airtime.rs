@@ -106,7 +106,10 @@ mod tests {
         use carpool_phy::mcs::SYMBOL_DURATION;
         // Two information symbols (+1 tail symbol in this PHY).
         let t = ahdr_airtime();
-        assert!((2.0 * SYMBOL_DURATION..=3.0 * SYMBOL_DURATION).contains(&t), "{t}");
+        assert!(
+            (2.0 * SYMBOL_DURATION..=3.0 * SYMBOL_DURATION).contains(&t),
+            "{t}"
+        );
     }
 
     #[test]

@@ -209,7 +209,47 @@ pub fn receive_carpool(
     hashes: usize,
     side_channel: Option<SideChannelConfig>,
 ) -> Result<CarpoolReception, FrameError> {
-    let mut decoder = FrameDecoder::new(samples, estimation).map_err(FrameError::Phy)?;
+    receive_carpool_obs(
+        samples,
+        station,
+        estimation,
+        hashes,
+        side_channel,
+        &carpool_obs::Obs::noop(),
+    )
+}
+
+/// Numeric station identity for event streams (address as a big-endian
+/// integer over its six bytes).
+fn station_id(addr: MacAddress) -> u64 {
+    addr.as_bytes()
+        .iter()
+        .fold(0u64, |acc, &b| (acc << 8) | b as u64)
+}
+
+/// [`receive_carpool`] with observability. Emits an
+/// [`carpool_obs::Event::AhdrCheck`] for the A-HDR membership test
+/// (ground truth unknown at this layer — callers who know whether the
+/// station was really aboard emit their own check events), per-subframe
+/// accept/skip events, and a `frame.receive` timing span. The attached
+/// PHY decoder inherits `obs`, so side-CRC and RTE events interleave in
+/// the same stream. Event timestamps are OFDM symbol positions.
+///
+/// # Errors
+///
+/// Same as [`receive_carpool`].
+pub fn receive_carpool_obs(
+    samples: &[Complex64],
+    station: MacAddress,
+    estimation: Estimation,
+    hashes: usize,
+    side_channel: Option<SideChannelConfig>,
+    obs: &carpool_obs::Obs,
+) -> Result<CarpoolReception, FrameError> {
+    let _receive_span = obs.span("frame.receive");
+    let mut decoder = FrameDecoder::new(samples, estimation)
+        .map_err(FrameError::Phy)?
+        .with_obs(obs.clone());
 
     // 1. A-HDR.
     let ahdr_layout = SectionLayout {
@@ -219,20 +259,44 @@ pub fn receive_carpool(
         side_channel: None,
         qbpsk: true,
     };
-    let ahdr_section = decoder.decode_section(&ahdr_layout).map_err(FrameError::Phy)?;
-    let header = AggregationHeader::from_bits(&ahdr_section.bits, hashes)
-        .map_err(FrameError::Bloom)?;
+    let ahdr_section = decoder
+        .decode_section(&ahdr_layout)
+        .map_err(FrameError::Phy)?;
+    let header =
+        AggregationHeader::from_bits(&ahdr_section.bits, hashes).map_err(FrameError::Bloom)?;
     let matched_indices = header.matched_indices(station.as_bytes(), MAX_RECEIVERS);
     let mut symbols_decoded = ahdr_layout.symbol_count();
     let mut symbols_skipped = 0usize;
 
+    if obs.enabled() {
+        let matched = !matched_indices.is_empty();
+        obs.counter(
+            if matched {
+                "frame.ahdr_match"
+            } else {
+                "frame.ahdr_miss"
+            },
+            1,
+        );
+        obs.emit(
+            decoder.position() as f64,
+            carpool_obs::Event::AhdrCheck {
+                station: station_id(station),
+                matched,
+                expected: None,
+            },
+        );
+    }
+
     // If nothing matches, the station drops the frame now.
     if matched_indices.is_empty() {
+        let skipped = decoder.remaining_symbols();
+        obs.counter("frame.symbols_skipped", skipped as u64);
         return Ok(CarpoolReception {
             matched_indices,
             subframes: Vec::new(),
             symbols_decoded,
-            symbols_skipped: decoder.remaining_symbols(),
+            symbols_skipped: skipped,
         });
     }
 
@@ -248,7 +312,9 @@ pub fn receive_carpool(
     let mut index = 0usize;
     let last_matched = *matched_indices.last().expect("non-empty checked above");
     while index < MAX_RECEIVERS && decoder.remaining_symbols() >= sig_layout.symbol_count() {
-        let sig_section = decoder.decode_section(&sig_layout).map_err(FrameError::Phy)?;
+        let sig_section = decoder
+            .decode_section(&sig_layout)
+            .map_err(FrameError::Phy)?;
         symbols_decoded += sig_layout.symbol_count();
         let sig = Sig::from_bits(&sig_section.bits)?;
         let payload_layout = SectionLayout {
@@ -260,12 +326,28 @@ pub fn receive_carpool(
         };
         let matched = matched_indices.contains(&index);
         let payload = if matched {
-            let section = decoder.decode_section(&payload_layout).map_err(FrameError::Phy)?;
+            let section = decoder
+                .decode_section(&payload_layout)
+                .map_err(FrameError::Phy)?;
             symbols_decoded += payload_layout.symbol_count();
-            Some(bits_to_bytes(&section.bits))
+            let bytes = bits_to_bytes(&section.bits);
+            if obs.enabled() {
+                obs.counter("frame.subframe_decoded", 1);
+                obs.emit(
+                    decoder.position() as f64,
+                    carpool_obs::Event::SubframeAccept {
+                        station: station_id(station),
+                        bytes: bytes.len() as u64,
+                    },
+                );
+            }
+            Some(bytes)
         } else {
-            decoder.skip_section(&payload_layout).map_err(FrameError::Phy)?;
+            decoder
+                .skip_section(&payload_layout)
+                .map_err(FrameError::Phy)?;
             symbols_skipped += payload_layout.symbol_count();
+            obs.counter("frame.subframe_skipped", 1);
             None
         };
         subframes.push(ReceivedSubframe {
@@ -282,6 +364,8 @@ pub fn receive_carpool(
         index += 1;
     }
 
+    obs.counter("frame.symbols_decoded", symbols_decoded as u64);
+    obs.counter("frame.symbols_skipped", symbols_skipped as u64);
     Ok(CarpoolReception {
         matched_indices,
         subframes,
@@ -303,7 +387,11 @@ mod tests {
             .map(|k| {
                 Subframe::new(
                     sta(k as u16),
-                    if k % 2 == 0 { Mcs::QPSK_1_2 } else { Mcs::QAM16_3_4 },
+                    if k % 2 == 0 {
+                        Mcs::QPSK_1_2
+                    } else {
+                        Mcs::QAM16_3_4
+                    },
                     vec![(k as u8) ^ 0x5A; 120 + 40 * k],
                 )
             })
@@ -326,7 +414,11 @@ mod tests {
             .unwrap();
             assert!(rx.matched_indices.contains(&(k as usize)), "sta {k}");
             let payload = rx.payload_at(k as usize).unwrap();
-            assert_eq!(payload, &frame.subframes()[k as usize].payload[..], "sta {k}");
+            assert_eq!(
+                payload,
+                &frame.subframes()[k as usize].payload[..],
+                "sta {k}"
+            );
         }
     }
 
@@ -390,18 +482,55 @@ mod tests {
             Some(SideChannelConfig::default()),
         )
         .unwrap();
-        assert_eq!(
-            rx.payload_at(1).unwrap(),
-            &frame.subframes()[1].payload[..]
-        );
+        assert_eq!(rx.payload_at(1).unwrap(), &frame.subframes()[1].payload[..]);
+    }
+
+    #[test]
+    fn obs_traces_membership_and_subframe_outcomes() {
+        use carpool_obs::{Event, MemoryRecorder, Obs, RingBufferSink};
+        use std::sync::Arc;
+
+        let frame = build_frame(3);
+        let tx = frame.transmit().unwrap();
+        let recorder = Arc::new(MemoryRecorder::new());
+        let sink = Arc::new(RingBufferSink::new(4096));
+        let obs = Obs::new(recorder.clone(), sink.clone());
+
+        let rx = receive_carpool_obs(
+            &tx.samples,
+            sta(1),
+            Estimation::Standard,
+            DEFAULT_HASHES,
+            Some(SideChannelConfig::default()),
+            &obs,
+        )
+        .unwrap();
+        assert!(rx.payload_at(1).is_some());
+
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("frame.ahdr_match"), 1);
+        assert!(snap.counter("frame.subframe_decoded") >= 1);
+        assert!(snap.histogram("span.frame.receive").is_some());
+        // PHY events flow through the same handle.
+        assert!(snap.counter("phy.sections_decoded") > 0);
+
+        let events = sink.events();
+        let accepted: u64 = events
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::SubframeAccept { bytes, .. } => Some(bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(accepted, frame.subframes()[1].payload.len() as u64);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, Event::AhdrCheck { matched: true, .. })));
     }
 
     #[test]
     fn construction_validations() {
-        assert!(matches!(
-            CarpoolFrame::new(vec![]),
-            Err(FrameError::Empty)
-        ));
+        assert!(matches!(CarpoolFrame::new(vec![]), Err(FrameError::Empty)));
         let too_many: Vec<Subframe> = (0..9)
             .map(|k| Subframe::new(sta(k), Mcs::BPSK_1_2, vec![1]))
             .collect();
@@ -436,8 +565,14 @@ mod tests {
         let subframes = vec![Subframe::new(sta(0), Mcs::QPSK_1_2, vec![9; 200])];
         let frame = CarpoolFrame::with_options(subframes, DEFAULT_HASHES, None).unwrap();
         let tx = frame.transmit().unwrap();
-        let rx = receive_carpool(&tx.samples, sta(0), Estimation::Standard, DEFAULT_HASHES, None)
-            .unwrap();
+        let rx = receive_carpool(
+            &tx.samples,
+            sta(0),
+            Estimation::Standard,
+            DEFAULT_HASHES,
+            None,
+        )
+        .unwrap();
         assert_eq!(rx.payload_at(0).unwrap(), &frame.subframes()[0].payload[..]);
     }
 }

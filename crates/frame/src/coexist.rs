@@ -107,7 +107,9 @@ pub fn receive_legacy(samples: &[Complex64]) -> Result<Vec<u8>, FrameError> {
         side_channel: None,
         qbpsk: false,
     };
-    let sig_section = decoder.decode_section(&sig_layout).map_err(FrameError::Phy)?;
+    let sig_section = decoder
+        .decode_section(&sig_layout)
+        .map_err(FrameError::Phy)?;
     let sig = Sig::from_bits(&sig_section.bits)?;
     let payload_layout = SectionLayout {
         message_bits: sig.length_bytes as usize * 8,
@@ -116,7 +118,9 @@ pub fn receive_legacy(samples: &[Complex64]) -> Result<Vec<u8>, FrameError> {
         side_channel: None,
         qbpsk: false,
     };
-    let section = decoder.decode_section(&payload_layout).map_err(FrameError::Phy)?;
+    let section = decoder
+        .decode_section(&payload_layout)
+        .map_err(FrameError::Phy)?;
     Ok(bits_to_bytes(&section.bits))
 }
 

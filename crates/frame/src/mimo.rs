@@ -119,10 +119,7 @@ impl MimoCarpoolFrame {
         let mut groups: Vec<Vec<MimoSubframe>> = Vec::new();
         for sf in subframes {
             match groups.last_mut() {
-                Some(g)
-                    if g.len() < streams
-                        && !g.iter().any(|b| b.receiver == sf.receiver) =>
-                {
+                Some(g) if g.len() < streams && !g.iter().any(|b| b.receiver == sf.receiver) => {
                     g.push(sf)
                 }
                 _ => groups.push(vec![sf]),
@@ -163,10 +160,7 @@ impl MimoCarpoolFrame {
     /// (streams are parallel in space, so the slowest pads the group).
     pub fn group_airtime(&self, group: usize) -> f64 {
         let g = &self.groups[group];
-        let payload = g
-            .iter()
-            .map(MimoSubframe::airtime)
-            .fold(0.0f64, f64::max);
+        let payload = g.iter().map(MimoSubframe::airtime).fold(0.0f64, f64::max);
         vht_preamble_airtime(self.streams) + payload
     }
 
@@ -279,8 +273,7 @@ mod tests {
     #[test]
     fn pack_splits_duplicate_receiver() {
         // One stream per receiver per group: a repeat opens a new group.
-        let frame =
-            MimoCarpoolFrame::pack(2, vec![sf(0, 100), sf(0, 200), sf(1, 100)]).unwrap();
+        let frame = MimoCarpoolFrame::pack(2, vec![sf(0, 100), sf(0, 200), sf(1, 100)]).unwrap();
         assert_eq!(frame.groups().len(), 2);
         assert_eq!(frame.groups()[0].len(), 1);
         assert_eq!(frame.groups()[1].len(), 2);
@@ -315,8 +308,7 @@ mod tests {
     fn single_stream_degenerates_to_serial_carpool() {
         // With one antenna every group has one receiver; the aggregate
         // still shares one preamble across all of them.
-        let frame =
-            MimoCarpoolFrame::pack(1, vec![sf(0, 300), sf(1, 300), sf(2, 300)]).unwrap();
+        let frame = MimoCarpoolFrame::pack(1, vec![sf(0, 300), sf(1, 300), sf(2, 300)]).unwrap();
         assert_eq!(frame.groups().len(), 3);
         assert!(frame.exchange_airtime() < frame.plain_mu_mimo_airtime());
     }

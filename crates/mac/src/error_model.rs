@@ -101,8 +101,12 @@ impl<M: FrameErrorModel> FrameErrorModel for PerStaErrorModel<M> {
         start_symbol: usize,
         num_symbols: usize,
     ) -> f64 {
-        self.models[sta % self.models.len()]
-            .subframe_success_prob(scheme, mcs, start_symbol, num_symbols)
+        self.models[sta % self.models.len()].subframe_success_prob(
+            scheme,
+            mcs,
+            start_symbol,
+            num_symbols,
+        )
     }
 }
 
@@ -202,7 +206,10 @@ impl SymbolErrorCurve {
     ///
     /// Panics if either curve is empty or contains values outside [0, 1].
     pub fn new(standard: Vec<f64>, rte: Vec<f64>) -> SymbolErrorCurve {
-        assert!(!standard.is_empty() && !rte.is_empty(), "curves must be non-empty");
+        assert!(
+            !standard.is_empty() && !rte.is_empty(),
+            "curves must be non-empty"
+        );
         for v in standard.iter().chain(rte.iter()) {
             assert!((0.0..=1.0).contains(v), "probability {v} out of range");
         }
@@ -326,30 +333,15 @@ mod tests {
         let bad = SymbolErrorCurve::new(vec![0.5], vec![0.5]);
         let model = PerStaErrorModel::new(vec![good, bad]);
         assert_eq!(model.locations(), 2);
-        let p0 = model.subframe_success_prob_for(
-            0,
-            EstimationScheme::Standard,
-            Mcs::QPSK_1_2,
-            0,
-            4,
-        );
-        let p1 = model.subframe_success_prob_for(
-            1,
-            EstimationScheme::Standard,
-            Mcs::QPSK_1_2,
-            0,
-            4,
-        );
+        let p0 =
+            model.subframe_success_prob_for(0, EstimationScheme::Standard, Mcs::QPSK_1_2, 0, 4);
+        let p1 =
+            model.subframe_success_prob_for(1, EstimationScheme::Standard, Mcs::QPSK_1_2, 0, 4);
         assert_eq!(p0, 1.0);
         assert!((p1 - 0.5f64.powi(4)).abs() < 1e-12);
         // Station 2 wraps back to location 0.
-        let p2 = model.subframe_success_prob_for(
-            2,
-            EstimationScheme::Standard,
-            Mcs::QPSK_1_2,
-            0,
-            4,
-        );
+        let p2 =
+            model.subframe_success_prob_for(2, EstimationScheme::Standard, Mcs::QPSK_1_2, 0, 4);
         assert_eq!(p2, 1.0);
     }
 

@@ -1,5 +1,7 @@
 //! Simulation metrics: goodput, delay, retransmissions, airtime shares.
 
+use carpool_obs::Obs;
+
 /// Per-direction delivery metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FlowMetrics {
@@ -22,8 +24,16 @@ pub struct FlowMetrics {
 }
 
 impl FlowMetrics {
-    /// Records a delivery.
+    /// Records a delivery. A negative `delay` indicates a bookkeeping bug
+    /// upstream (a frame cannot be delivered before it arrived); it is
+    /// clamped to zero so the accumulators stay consistent, and flagged
+    /// with a debug assertion.
     pub fn record_delivery(&mut self, bytes: usize, delay: f64, deadline: Option<f64>) {
+        debug_assert!(
+            delay >= 0.0,
+            "negative delivery delay {delay}: delivery stamped before arrival"
+        );
+        let delay = delay.max(0.0);
         self.delivered_bytes += bytes as u64;
         self.delivered_frames += 1;
         self.total_delay += delay;
@@ -33,6 +43,21 @@ impl FlowMetrics {
         if deadline.map(|d| delay <= d).unwrap_or(true) {
             self.in_deadline_frames += 1;
             self.in_deadline_bytes += bytes as u64;
+        }
+    }
+
+    /// Records a dropped frame. The time the frame sat queued until it was
+    /// abandoned counts toward `max_delay` — a frame that waited 2 s and
+    /// was then discarded represents worse service than any delivered
+    /// frame, and hiding it understated tail latency.
+    pub fn record_drop(&mut self, queued_for: f64) {
+        debug_assert!(
+            queued_for >= 0.0,
+            "negative queueing time {queued_for} on drop"
+        );
+        self.dropped_frames += 1;
+        if queued_for > self.max_delay {
+            self.max_delay = queued_for;
         }
     }
 
@@ -72,6 +97,99 @@ impl FlowMetrics {
         self.retransmissions += other.retransmissions;
         self.in_deadline_frames += other.in_deadline_frames;
         self.in_deadline_bytes += other.in_deadline_bytes;
+    }
+}
+
+/// Static metric names for one flow direction, so the hot path never
+/// formats strings.
+#[derive(Debug, Clone, Copy)]
+struct FlowNames {
+    delivered_bytes: &'static str,
+    delivered_frames: &'static str,
+    dropped_frames: &'static str,
+    retransmissions: &'static str,
+    delay: &'static str,
+}
+
+const DOWNLINK_NAMES: FlowNames = FlowNames {
+    delivered_bytes: "mac.downlink.delivered_bytes",
+    delivered_frames: "mac.downlink.delivered_frames",
+    dropped_frames: "mac.downlink.dropped_frames",
+    retransmissions: "mac.downlink.retransmissions",
+    delay: "mac.downlink.delay",
+};
+
+const UPLINK_NAMES: FlowNames = FlowNames {
+    delivered_bytes: "mac.uplink.delivered_bytes",
+    delivered_frames: "mac.uplink.delivered_frames",
+    dropped_frames: "mac.uplink.dropped_frames",
+    retransmissions: "mac.uplink.retransmissions",
+    delay: "mac.uplink.delay",
+};
+
+/// [`FlowMetrics`] accumulation routed through a [`carpool_obs::Recorder`].
+///
+/// Every recorded fact lands in two places: the embedded [`FlowMetrics`]
+/// (the view the rest of the simulator and its report structs consume,
+/// unchanged) and the attached recorder — counters per direction plus a
+/// `mac.<dir>.delay` histogram, which is where percentile delay comes
+/// from (`FlowMetrics` alone only keeps mean and max).
+#[derive(Debug, Clone)]
+pub struct FlowCollector {
+    metrics: FlowMetrics,
+    obs: Obs,
+    names: FlowNames,
+}
+
+impl FlowCollector {
+    /// Collector for AP→STA traffic (`mac.downlink.*` metrics).
+    pub fn downlink(obs: Obs) -> FlowCollector {
+        FlowCollector {
+            metrics: FlowMetrics::default(),
+            obs,
+            names: DOWNLINK_NAMES,
+        }
+    }
+
+    /// Collector for STA→AP traffic (`mac.uplink.*` metrics).
+    pub fn uplink(obs: Obs) -> FlowCollector {
+        FlowCollector {
+            metrics: FlowMetrics::default(),
+            obs,
+            names: UPLINK_NAMES,
+        }
+    }
+
+    /// See [`FlowMetrics::record_delivery`].
+    pub fn record_delivery(&mut self, bytes: usize, delay: f64, deadline: Option<f64>) {
+        self.metrics.record_delivery(bytes, delay, deadline);
+        if self.obs.enabled() {
+            self.obs.counter(self.names.delivered_bytes, bytes as u64);
+            self.obs.counter(self.names.delivered_frames, 1);
+            self.obs.record(self.names.delay, delay.max(0.0));
+        }
+    }
+
+    /// See [`FlowMetrics::record_drop`].
+    pub fn record_drop(&mut self, queued_for: f64) {
+        self.metrics.record_drop(queued_for);
+        self.obs.counter(self.names.dropped_frames, 1);
+    }
+
+    /// Counts one retransmission attempt.
+    pub fn record_retransmission(&mut self) {
+        self.metrics.retransmissions += 1;
+        self.obs.counter(self.names.retransmissions, 1);
+    }
+
+    /// The accumulated plain-metrics view.
+    pub fn metrics(&self) -> &FlowMetrics {
+        &self.metrics
+    }
+
+    /// Consumes the collector, yielding the accumulated metrics.
+    pub fn into_metrics(self) -> FlowMetrics {
+        self.metrics
     }
 }
 
@@ -205,6 +323,38 @@ mod tests {
     }
 
     #[test]
+    fn negative_delay_clamps_to_zero() {
+        let mut m = FlowMetrics::default();
+        // Release-mode behaviour: clamp rather than corrupt the sums.
+        // (Under debug assertions this would panic instead.)
+        if cfg!(debug_assertions) {
+            let r = std::panic::catch_unwind(|| {
+                let mut m = FlowMetrics::default();
+                m.record_delivery(100, -0.5, None);
+            });
+            assert!(r.is_err(), "debug build must assert on negative delay");
+        } else {
+            m.record_delivery(100, -0.5, None);
+            assert_eq!(m.delivered_frames, 1);
+            assert_eq!(m.total_delay, 0.0);
+            assert_eq!(m.max_delay, 0.0);
+        }
+    }
+
+    #[test]
+    fn drops_update_max_delay() {
+        let mut m = FlowMetrics::default();
+        m.record_delivery(1000, 0.010, None);
+        m.record_drop(0.250);
+        assert_eq!(m.dropped_frames, 1);
+        assert_eq!(m.delivered_frames, 1);
+        // The abandoned frame's queueing time dominates the tail.
+        assert_eq!(m.max_delay, 0.250);
+        // Mean delay still only covers delivered frames.
+        assert!((m.mean_delay() - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
     fn deadline_bounded_goodput() {
         let mut m = FlowMetrics::default();
         m.record_delivery(1000, 0.005, Some(0.010));
@@ -233,6 +383,45 @@ mod tests {
         assert_eq!(a.delivered_bytes, 300);
         assert_eq!(a.dropped_frames, 2);
         assert_eq!(a.max_delay, 0.3);
+    }
+
+    #[test]
+    fn flow_collector_mirrors_metrics_into_recorder() {
+        use carpool_obs::{MemoryRecorder, Obs};
+        use std::sync::Arc;
+
+        let recorder = Arc::new(MemoryRecorder::new());
+        let mut c = FlowCollector::downlink(Obs::with_recorder(recorder.clone()));
+        c.record_delivery(1500, 0.020, None);
+        c.record_delivery(500, 0.040, None);
+        c.record_drop(0.3);
+        c.record_retransmission();
+
+        // FlowMetrics view is intact.
+        let m = c.metrics();
+        assert_eq!(m.delivered_bytes, 2000);
+        assert_eq!(m.delivered_frames, 2);
+        assert_eq!(m.dropped_frames, 1);
+        assert_eq!(m.retransmissions, 1);
+        assert_eq!(m.max_delay, 0.3);
+
+        // Recorder view agrees.
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("mac.downlink.delivered_bytes"), 2000);
+        assert_eq!(snap.counter("mac.downlink.delivered_frames"), 2);
+        assert_eq!(snap.counter("mac.downlink.dropped_frames"), 1);
+        assert_eq!(snap.counter("mac.downlink.retransmissions"), 1);
+        let h = snap.histogram("mac.downlink.delay").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 0.040);
+    }
+
+    #[test]
+    fn flow_collector_with_noop_obs_still_accumulates() {
+        let mut c = FlowCollector::uplink(Obs::noop());
+        c.record_delivery(100, 0.001, None);
+        assert_eq!(c.metrics().delivered_frames, 1);
+        assert_eq!(c.into_metrics().delivered_bytes, 100);
     }
 
     #[test]

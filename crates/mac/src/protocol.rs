@@ -83,8 +83,7 @@ impl Protocol {
             Protocol::Dot11 | Protocol::Wifox | Protocol::Ampdu => 0.0,
             Protocol::Carpool => ahdr_airtime() + receivers as f64 * sig_airtime(),
             Protocol::MuAggregation => {
-                CONTROL_MCS.airtime_for_bits(receivers * 48)
-                    + receivers as f64 * sig_airtime()
+                CONTROL_MCS.airtime_for_bits(receivers * 48) + receivers as f64 * sig_airtime()
             }
         }
     }
@@ -123,9 +122,18 @@ mod tests {
 
     #[test]
     fn policies_match_paper_descriptions() {
-        assert_eq!(Protocol::Dot11.aggregation_policy(), AggregationPolicy::None);
-        assert_eq!(Protocol::Wifox.aggregation_policy(), AggregationPolicy::None);
-        assert_eq!(Protocol::Ampdu.aggregation_policy(), AggregationPolicy::Ampdu);
+        assert_eq!(
+            Protocol::Dot11.aggregation_policy(),
+            AggregationPolicy::None
+        );
+        assert_eq!(
+            Protocol::Wifox.aggregation_policy(),
+            AggregationPolicy::None
+        );
+        assert_eq!(
+            Protocol::Ampdu.aggregation_policy(),
+            AggregationPolicy::Ampdu
+        );
         assert_eq!(
             Protocol::Carpool.aggregation_policy(),
             AggregationPolicy::MultiUser

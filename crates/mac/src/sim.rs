@@ -14,15 +14,16 @@
 //! simultaneous expiry is a collision.
 
 use crate::error_model::FrameErrorModel;
-use crate::metrics::{AirtimeShare, ChannelStats, FlowMetrics, SimReport};
+use crate::metrics::{AirtimeShare, ChannelStats, FlowCollector, FlowMetrics, SimReport};
 use crate::protocol::Protocol;
+use carpool_frame::addr::MacAddress;
 use carpool_frame::aggregation::{select, AggregationLimits, QueuedFrame};
 use carpool_frame::airtime::{
     ack_airtime, ahdr_airtime, cts_airtime, data_frame_airtime, rts_airtime, CW_MAX, DIFS,
     PLCP_OVERHEAD, SIFS, SLOT_TIME,
 };
-use carpool_frame::addr::MacAddress;
 use carpool_frame::mac_frame::{FCS_BYTES, MAC_HEADER_BYTES};
+use carpool_obs::{Event, Obs};
 use carpool_phy::mcs::{Mcs, SYMBOL_DURATION};
 use carpool_traffic::background::{BackgroundSource, Transport};
 use carpool_traffic::voip::VoipSource;
@@ -282,6 +283,7 @@ impl TxopPlan {
 pub struct Simulator {
     config: SimConfig,
     error_model: Box<dyn FrameErrorModel>,
+    obs: Obs,
 }
 
 impl Simulator {
@@ -290,7 +292,21 @@ impl Simulator {
         Simulator {
             config,
             error_model,
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attaches an observability handle. During [`Simulator::run`] the
+    /// simulator streams simulation-clock-stamped events (arrivals as the
+    /// MAC ingests them, deliveries, drops, retransmissions, collisions,
+    /// TXOPs, queue depths, backoff draws) and mirrors the per-direction
+    /// [`FlowMetrics`] into the recorder's `mac.downlink.*` /
+    /// `mac.uplink.*` counters and delay histograms. Event timestamps
+    /// never decrease: every event is stamped with the current value of
+    /// the simulation clock.
+    pub fn with_obs(mut self, obs: Obs) -> Simulator {
+        self.obs = obs;
+        self
     }
 
     /// The configuration in use.
@@ -391,9 +407,7 @@ impl Simulator {
         };
         match self.config.aggregation_wait {
             None => true,
-            Some(w) => {
-                now - head.enqueue >= w.max_latency_s || node.queued_bytes() >= w.max_bytes
-            }
+            Some(w) => now - head.enqueue >= w.max_latency_s || node.queued_bytes() >= w.max_bytes,
         }
     }
 
@@ -404,10 +418,7 @@ impl Simulator {
             // serves a legacy head-of-line client with a plain
             // single-frame transmission, and never aggregates legacy
             // clients into a Carpool frame.
-            let multi_user = matches!(
-                cfg.protocol,
-                Protocol::Carpool | Protocol::MuAggregation
-            );
+            let multi_user = matches!(cfg.protocol, Protocol::Carpool | Protocol::MuAggregation);
             let head_dest = node.queue.front().expect("caller checked non-empty").dest;
             if multi_user && !self.is_carpool_capable(head_dest) {
                 let head = node.queue.front().expect("non-empty");
@@ -461,8 +472,7 @@ impl Simulator {
             let selection = select(cfg.protocol.aggregation_policy(), &queue, &cfg.limits);
             let receivers = selection.receiver_count().max(1);
             let header_airtime = cfg.protocol.aggregation_header_airtime(receivers);
-            let header_symbols =
-                (header_airtime / SYMBOL_DURATION).round() as usize;
+            let header_symbols = (header_airtime / SYMBOL_DURATION).round() as usize;
             let mut groups = Vec::with_capacity(selection.groups.len());
             let mut selected = Vec::new();
             let mut payload_symbols = 0usize;
@@ -478,9 +488,8 @@ impl Simulator {
                 groups.push((dest, indices, mcs));
             }
             selected.sort_unstable();
-            let data_airtime = PLCP_OVERHEAD
-                + header_airtime
-                + payload_symbols as f64 * SYMBOL_DURATION;
+            let data_airtime =
+                PLCP_OVERHEAD + header_airtime + payload_symbols as f64 * SYMBOL_DURATION;
             let acks = cfg.protocol.acks_per_exchange(receivers);
             TxopPlan {
                 selected,
@@ -558,8 +567,10 @@ impl Simulator {
             })
             .collect();
 
-        let mut downlink = FlowMetrics::default();
-        let mut uplink = FlowMetrics::default();
+        let obs = self.obs.clone();
+        let _sim_span = obs.span("mac.sim_loop");
+        let mut downlink = FlowCollector::downlink(obs.clone());
+        let mut uplink = FlowCollector::uplink(obs.clone());
         let mut channel = ChannelStats::default();
         let mut sta_airtime = vec![AirtimeShare::default(); cfg.num_stas];
         // Time-occupancy table for the fairness scheduler (Section 8).
@@ -585,6 +596,29 @@ impl Simulator {
                 if was_empty {
                     node.draw_backoff(&mut rng);
                 }
+                if obs.enabled() {
+                    obs.counter("traffic.arrivals", 1);
+                    // Stamped with the ingestion clock (the moment the MAC
+                    // sees the frame), which keeps the stream monotone;
+                    // the arrival's own timestamp survives as queueing
+                    // delay in the eventual delivery/drop event.
+                    obs.emit(
+                        now,
+                        Event::TrafficArrival {
+                            dest: a.dest as u64,
+                            bytes: a.bytes as u64,
+                        },
+                    );
+                    if was_empty {
+                        obs.emit(
+                            now,
+                            Event::Backoff {
+                                station: a.node as u64,
+                                slots: nodes[a.node].backoff as u64,
+                            },
+                        );
+                    }
+                }
                 arr_idx += 1;
             }
             if now >= cfg.duration_s {
@@ -600,8 +634,15 @@ impl Simulator {
                         .map(|f| now - f.enqueue > limit)
                         .unwrap_or(false)
                     {
-                        node.queue.pop_front();
-                        downlink.dropped_frames += 1;
+                        let f = node.queue.pop_front().expect("front checked above");
+                        downlink.record_drop(now - f.enqueue);
+                        obs.emit(
+                            now,
+                            Event::MacDrop {
+                                dest: f.dest as u64,
+                                delay: now - f.enqueue,
+                            },
+                        );
                     }
                 }
             }
@@ -678,6 +719,15 @@ impl Simulator {
                 // Collision: channel busy for the longest attempt. With
                 // RTS/CTS the clash is detected after the short RTS.
                 channel.collisions += 1;
+                if obs.enabled() {
+                    obs.counter("mac.collisions", 1);
+                    obs.emit(
+                        now,
+                        Event::MacCollision {
+                            contenders: winners.len() as u64,
+                        },
+                    );
+                }
                 let busy = if cfg.use_rts_cts {
                     rts_airtime(matches!(
                         cfg.protocol,
@@ -703,22 +753,37 @@ impl Simulator {
                     };
                     if drop {
                         let node = &mut nodes[k];
-                        node.queue.pop_front();
-                        if node.is_ap {
-                            downlink.dropped_frames += 1;
-                        } else {
-                            uplink.dropped_frames += 1;
+                        let is_ap = node.is_ap;
+                        if let Some(f) = node.queue.pop_front() {
+                            let metrics = if is_ap { &mut downlink } else { &mut uplink };
+                            metrics.record_drop(now - f.enqueue);
+                            obs.emit(
+                                now,
+                                Event::MacDrop {
+                                    dest: f.dest as u64,
+                                    delay: now - f.enqueue,
+                                },
+                            );
                         }
                     }
                     nodes[k].on_collision(&mut rng);
+                    if obs.enabled() {
+                        obs.emit(
+                            now,
+                            Event::Backoff {
+                                station: k as u64,
+                                slots: nodes[k].backoff as u64,
+                            },
+                        );
+                    }
                 }
                 // Everyone else overhears the garbled burst.
-                for sta in 0..cfg.num_stas {
+                for (sta, air) in sta_airtime.iter_mut().enumerate() {
                     let id = cfg.num_aps + sta;
                     if winners.contains(&id) {
-                        sta_airtime[sta].tx_s += busy;
+                        air.tx_s += busy;
                     } else {
-                        sta_airtime[sta].overhear_s += busy;
+                        air.overhear_s += busy;
                     }
                 }
                 continue;
@@ -741,20 +806,16 @@ impl Simulator {
                 } else {
                     plan.data_airtime
                 };
-                for j in cfg.num_aps..total_nodes {
-                    if j == winner
-                        || nodes[j].queue.is_empty()
-                        || !self.is_hidden(winner, j)
-                    {
+                for (j, peer) in nodes.iter_mut().enumerate().skip(cfg.num_aps) {
+                    if j == winner || peer.queue.is_empty() || !self.is_hidden(winner, j) {
                         continue;
                     }
                     // The hidden peer keeps counting down into the
                     // exposed window and fires if it expires inside it.
-                    let expiry = nodes[j].backoff as f64 * SLOT_TIME + DIFS;
+                    let expiry = peer.backoff as f64 * SLOT_TIME + DIFS;
                     if expiry < vulnerable {
                         hidden_loss = true;
                         let drop = {
-                            let peer = &mut nodes[j];
                             if let Some(head) = peer.queue.front_mut() {
                                 head.attempts += 1;
                                 head.attempts > cfg.retry_limit
@@ -763,14 +824,23 @@ impl Simulator {
                             }
                         };
                         if drop {
-                            nodes[j].queue.pop_front();
-                            uplink.dropped_frames += 1;
+                            if let Some(f) = peer.queue.pop_front() {
+                                uplink.record_drop(now - f.enqueue);
+                                obs.emit(
+                                    now,
+                                    Event::MacDrop {
+                                        dest: f.dest as u64,
+                                        delay: now - f.enqueue,
+                                    },
+                                );
+                            }
                         }
-                        nodes[j].on_collision(&mut rng);
+                        peer.on_collision(&mut rng);
                     }
                 }
                 if hidden_loss {
                     channel.hidden_collisions += 1;
+                    obs.counter("mac.hidden_collisions", 1);
                 }
             }
 
@@ -786,12 +856,12 @@ impl Simulator {
                     }
                     node.on_collision(&mut rng);
                 }
-                for sta in 0..cfg.num_stas {
+                for (sta, air) in sta_airtime.iter_mut().enumerate() {
                     let id = cfg.num_aps + sta;
                     if id == winner {
-                        sta_airtime[sta].tx_s += busy;
+                        air.tx_s += busy;
                     } else {
-                        sta_airtime[sta].overhear_s += busy;
+                        air.overhear_s += busy;
                     }
                 }
                 continue;
@@ -802,6 +872,18 @@ impl Simulator {
             channel.transmissions += 1;
             channel.aggregated_frames += plan.selected.len() as u64;
             channel.aggregated_receivers += plan.groups.len() as u64;
+            if obs.enabled() {
+                obs.counter("mac.transmissions", 1);
+                obs.counter("mac.aggregated_frames", plan.selected.len() as u64);
+                obs.record("mac.txop_airtime", busy);
+                obs.emit(
+                    now,
+                    Event::MacTx {
+                        stas: plan.groups.len() as u64,
+                        airtime: busy,
+                    },
+                );
+            }
 
             // Evaluate per-frame success at its symbol position, and
             // charge each destination's time-occupancy account.
@@ -819,13 +901,9 @@ impl Simulator {
                     let frame = nodes[winner].queue[k];
                     let wire_bits = (frame.bytes + WIRE_OVERHEAD_BYTES) * 8;
                     let n_sym = group_mcs.symbols_for_bits(wire_bits);
-                    let p = self.error_model.subframe_success_prob_for(
-                        link_sta,
-                        scheme,
-                        *group_mcs,
-                        start_sym,
-                        n_sym,
-                    );
+                    let p = self
+                        .error_model
+                        .subframe_success_prob_for(link_sta, scheme, *group_mcs, start_sym, n_sym);
                     outcomes.push((k, !hidden_loss && rng.gen::<f64>() < p));
                     start_sym += n_sym;
                     if nodes[winner].is_ap {
@@ -838,19 +916,15 @@ impl Simulator {
 
             // Airtime accounting for STAs.
             let is_downlink = nodes[winner].is_ap;
-            let carpool_like = matches!(
-                cfg.protocol,
-                Protocol::Carpool | Protocol::MuAggregation
-            );
-            for sta in 0..cfg.num_stas {
+            let carpool_like = matches!(cfg.protocol, Protocol::Carpool | Protocol::MuAggregation);
+            for (sta, air) in sta_airtime.iter_mut().enumerate() {
                 let id = cfg.num_aps + sta;
                 if id == winner {
-                    sta_airtime[sta].tx_s += plan.data_airtime;
-                    sta_airtime[sta].rx_s += plan.ack_airtime_total;
+                    air.tx_s += plan.data_airtime;
+                    air.rx_s += plan.ack_airtime_total;
                     continue;
                 }
-                let addressed =
-                    is_downlink && plan.groups.iter().any(|(dest, _, _)| *dest == id);
+                let addressed = is_downlink && plan.groups.iter().any(|(dest, _, _)| *dest == id);
                 if addressed {
                     if carpool_like {
                         // A-HDR plus (approximately) its own share.
@@ -869,18 +943,17 @@ impl Simulator {
                                     .sum::<f64>()
                             })
                             .sum();
-                        sta_airtime[sta].rx_s += ahdr_airtime() + own;
-                        sta_airtime[sta].idle_s += (busy - ahdr_airtime() - own).max(0.0);
+                        air.rx_s += ahdr_airtime() + own;
+                        air.idle_s += (busy - ahdr_airtime() - own).max(0.0);
                     } else {
-                        sta_airtime[sta].rx_s += busy;
+                        air.rx_s += busy;
                     }
                 } else if carpool_like && is_downlink {
                     // Checks the A-HDR, then idles.
-                    sta_airtime[sta].overhear_s += PLCP_OVERHEAD + ahdr_airtime();
-                    sta_airtime[sta].idle_s +=
-                        (busy - PLCP_OVERHEAD - ahdr_airtime()).max(0.0);
+                    air.overhear_s += PLCP_OVERHEAD + ahdr_airtime();
+                    air.idle_s += (busy - PLCP_OVERHEAD - ahdr_airtime()).max(0.0);
                 } else {
-                    sta_airtime[sta].overhear_s += busy;
+                    air.overhear_s += busy;
                 }
             }
 
@@ -899,17 +972,39 @@ impl Simulator {
                 };
                 if ok {
                     metrics.record_delivery(frame.bytes, now - frame.enqueue, cfg.deadline);
+                    obs.emit(
+                        now,
+                        Event::MacDelivery {
+                            dest: frame.dest as u64,
+                            bytes: frame.bytes as u64,
+                            delay: now - frame.enqueue,
+                        },
+                    );
                     if node.is_ap {
-                        if let Some(sta) = per_sta_downlink.get_mut(frame.dest.saturating_sub(cfg.num_aps))
+                        if let Some(sta) =
+                            per_sta_downlink.get_mut(frame.dest.saturating_sub(cfg.num_aps))
                         {
                             sta.record_delivery(frame.bytes, now - frame.enqueue, cfg.deadline);
                         }
                     }
                 } else {
-                    metrics.retransmissions += 1;
+                    metrics.record_retransmission();
+                    obs.emit(
+                        now,
+                        Event::MacRetransmission {
+                            dest: frame.dest as u64,
+                        },
+                    );
                     frame.attempts += 1;
                     if frame.attempts > cfg.retry_limit {
-                        metrics.dropped_frames += 1;
+                        metrics.record_drop(now - frame.enqueue);
+                        obs.emit(
+                            now,
+                            Event::MacDrop {
+                                dest: frame.dest as u64,
+                                delay: now - frame.enqueue,
+                            },
+                        );
                     } else {
                         requeue.push(frame);
                     }
@@ -921,6 +1016,23 @@ impl Simulator {
                 node.queue.push_front(f);
             }
             node.on_success(&mut rng);
+            if obs.enabled() {
+                obs.gauge("mac.winner_queue_depth", node.queue.len() as f64);
+                obs.emit(
+                    now,
+                    Event::QueueDepth {
+                        dest: winner as u64,
+                        depth: node.queue.len() as u64,
+                    },
+                );
+                obs.emit(
+                    now,
+                    Event::Backoff {
+                        station: winner as u64,
+                        slots: node.backoff as u64,
+                    },
+                );
+            }
         }
 
         // Idle fill-up.
@@ -929,10 +1041,21 @@ impl Simulator {
             share.idle_s += (cfg.duration_s - accounted).max(0.0);
         }
 
+        if obs.enabled() {
+            // Airtime-share distributions across STAs, for fairness views.
+            for share in &sta_airtime {
+                obs.record("mac.sta_airtime_tx_s", share.tx_s);
+                obs.record("mac.sta_airtime_rx_s", share.rx_s);
+                obs.record("mac.sta_airtime_overhear_s", share.overhear_s);
+            }
+            obs.gauge("mac.sim_duration_s", cfg.duration_s);
+            obs.flush();
+        }
+
         SimReport {
             duration_s: cfg.duration_s,
-            downlink,
-            uplink,
+            downlink: downlink.into_metrics(),
+            uplink: uplink.into_metrics(),
             channel,
             sta_airtime,
             per_sta_downlink,
@@ -967,7 +1090,11 @@ mod tests {
         assert!(report.downlink.delivered_frames > 0);
         // Paper: "when the number of STAs is less than 10, delays of all
         // approaches are almost zero".
-        assert!(report.downlink_delay_s() < 0.01, "{}", report.downlink_delay_s());
+        assert!(
+            report.downlink_delay_s() < 0.01,
+            "{}",
+            report.downlink_delay_s()
+        );
     }
 
     #[test]
@@ -1156,7 +1283,10 @@ mod tests {
             }
         }
         // ~30% of 45 pairs, loosely.
-        assert!((4..=25).contains(&hidden_pairs), "{hidden_pairs} hidden pairs");
+        assert!(
+            (4..=25).contains(&hidden_pairs),
+            "{hidden_pairs} hidden pairs"
+        );
         for a in 2..12 {
             assert!(!sim.is_hidden(a, a));
         }
@@ -1168,7 +1298,9 @@ mod tests {
         // total goodput sits between the two uniform-rate extremes.
         let mut mixed = base_config(Protocol::Carpool, 20);
         mixed.per_sta_snr_db = Some(
-            (0..20).map(|k| if k % 2 == 0 { 30.0 } else { 6.0 }).collect(),
+            (0..20)
+                .map(|k| if k % 2 == 0 { 30.0 } else { 6.0 })
+                .collect(),
         );
         let mut all_fast = base_config(Protocol::Carpool, 20);
         all_fast.per_sta_snr_db = Some(vec![30.0; 20]);
@@ -1219,8 +1351,8 @@ mod tests {
         let fair = run(fair_cfg);
         assert!(fair.downlink.delivered_frames > 0);
         // Both disciplines carry comparable totals.
-        let ratio = fair.downlink.delivered_bytes as f64
-            / fifo.downlink.delivered_bytes.max(1) as f64;
+        let ratio =
+            fair.downlink.delivered_bytes as f64 / fifo.downlink.delivered_bytes.max(1) as f64;
         assert!((0.7..=1.3).contains(&ratio), "ratio {ratio}");
     }
 
@@ -1260,8 +1392,8 @@ mod tests {
         cfg.carpool_fraction = 0.0;
         let carpool0 = run(cfg);
         let dot11 = run(base_config(Protocol::Dot11, 30));
-        let ratio = carpool0.downlink.delivered_bytes as f64
-            / dot11.downlink.delivered_bytes.max(1) as f64;
+        let ratio =
+            carpool0.downlink.delivered_bytes as f64 / dot11.downlink.delivered_bytes.max(1) as f64;
         assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
     }
 

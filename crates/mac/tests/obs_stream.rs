@@ -1,0 +1,133 @@
+//! Integration tests for the simulator's observability event stream.
+
+use carpool_mac::error_model::{BerBiasModel, PerfectChannel};
+use carpool_mac::protocol::Protocol;
+use carpool_mac::sim::{SimConfig, Simulator, UplinkTraffic};
+use carpool_obs::{Event, MemoryRecorder, Obs, RingBufferSink};
+use std::sync::Arc;
+
+fn run_with_obs(
+    protocol: Protocol,
+    stas: usize,
+) -> (
+    Vec<carpool_obs::Stamped>,
+    carpool_obs::MetricsSnapshot,
+    carpool_mac::metrics::SimReport,
+) {
+    let cfg = SimConfig {
+        protocol,
+        num_stas: stas,
+        duration_s: 1.0,
+        seed: 7,
+        uplink: Some(UplinkTraffic::default()),
+        ..SimConfig::default()
+    };
+    let recorder = Arc::new(MemoryRecorder::new());
+    let sink = Arc::new(RingBufferSink::new(1 << 20));
+    let obs = Obs::new(recorder.clone(), sink.clone());
+    let report = Simulator::new(cfg, Box::new(BerBiasModel::default()))
+        .with_obs(obs)
+        .run();
+    (sink.events(), recorder.snapshot(), report)
+}
+
+#[test]
+fn event_stream_is_monotone_in_simulation_time() {
+    let (events, _, _) = run_with_obs(Protocol::Carpool, 10);
+    assert!(!events.is_empty(), "an active simulation must emit events");
+    let mut prev_t = f64::NEG_INFINITY;
+    let mut prev_seq = 0u64;
+    for (i, e) in events.iter().enumerate() {
+        // SpanEnd events carry wall-clock durations, not sim time.
+        if matches!(e.event, Event::SpanEnd { .. }) {
+            continue;
+        }
+        assert!(
+            e.t >= prev_t,
+            "event {i} ({:?}) at t={} after t={prev_t}",
+            e.event,
+            e.t
+        );
+        if i > 0 {
+            assert!(e.seq > prev_seq, "seq must strictly increase");
+        }
+        prev_t = e.t;
+        prev_seq = e.seq;
+    }
+}
+
+#[test]
+fn event_stream_agrees_with_report_aggregates() {
+    let (events, snap, report) = run_with_obs(Protocol::Carpool, 10);
+
+    let deliveries = events
+        .iter()
+        .filter(|e| matches!(e.event, Event::MacDelivery { .. }))
+        .count() as u64;
+    assert_eq!(
+        deliveries,
+        report.downlink.delivered_frames + report.uplink.delivered_frames
+    );
+
+    let delivered_bytes: u64 = events
+        .iter()
+        .filter_map(|e| match e.event {
+            Event::MacDelivery { bytes, .. } => Some(bytes),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(
+        delivered_bytes,
+        report.downlink.delivered_bytes + report.uplink.delivered_bytes
+    );
+
+    let drops = events
+        .iter()
+        .filter(|e| matches!(e.event, Event::MacDrop { .. }))
+        .count() as u64;
+    assert_eq!(
+        drops,
+        report.downlink.dropped_frames + report.uplink.dropped_frames
+    );
+
+    // Recorder counters mirror the same totals.
+    assert_eq!(
+        snap.counter("mac.downlink.delivered_frames"),
+        report.downlink.delivered_frames
+    );
+    assert_eq!(
+        snap.counter("mac.uplink.delivered_frames"),
+        report.uplink.delivered_frames
+    );
+    assert_eq!(
+        snap.counter("mac.transmissions"),
+        report.channel.transmissions
+    );
+    assert_eq!(snap.counter("mac.collisions"), report.channel.collisions);
+
+    // Delay histogram max matches the report's max_delay (drops included
+    // in FlowMetrics::max_delay may exceed the delivered-only histogram).
+    let h = snap
+        .histogram("mac.downlink.delay")
+        .expect("delay histogram");
+    assert_eq!(h.count(), report.downlink.delivered_frames);
+    assert!(h.max() <= report.downlink.max_delay + 1e-12);
+}
+
+#[test]
+fn obs_does_not_perturb_simulation_results() {
+    let cfg = SimConfig {
+        protocol: Protocol::Dot11,
+        num_stas: 8,
+        duration_s: 1.0,
+        seed: 3,
+        ..SimConfig::default()
+    };
+    let baseline = Simulator::new(cfg.clone(), Box::new(PerfectChannel)).run();
+    let observed = Simulator::new(cfg, Box::new(PerfectChannel))
+        .with_obs(Obs::with_sink(Arc::new(RingBufferSink::new(1 << 16))))
+        .run();
+    assert_eq!(baseline.downlink, observed.downlink);
+    assert_eq!(baseline.uplink, observed.uplink);
+    assert_eq!(baseline.channel, observed.channel);
+}

@@ -1,0 +1,370 @@
+//! Structured events emitted by the PHY/MAC stack.
+//!
+//! Each event captures one decision or outcome at a layer boundary:
+//! per-symbol RTE recalibration, side-channel CRC verdicts, A-HDR Bloom
+//! membership checks, MAC deliveries/drops/retransmissions, and profiling
+//! span completions. Events serialize to one JSON object per line with a
+//! `kind` discriminant and layer tag, so downstream tools can aggregate
+//! per layer without a schema registry.
+
+use crate::json::{JsonValue, ObjectWriter};
+
+/// Stack layer an event originates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Layer {
+    Phy,
+    Frame,
+    Mac,
+    Traffic,
+    App,
+}
+
+impl Layer {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Layer::Phy => "phy",
+            Layer::Frame => "frame",
+            Layer::Mac => "mac",
+            Layer::Traffic => "traffic",
+            Layer::App => "app",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Layer> {
+        Some(match s {
+            "phy" => Layer::Phy,
+            "frame" => Layer::Frame,
+            "mac" => Layer::Mac,
+            "traffic" => Layer::Traffic,
+            "app" => Layer::App,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured observation. The `t` timestamp lives in [`Stamped`], not
+/// here, because different emitters stamp with different clocks (simulation
+/// time for the MAC simulator, sample index for PHY decode).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// RTE considered a data-pilot update for one OFDM symbol.
+    /// `applied` is false when the innovation gate or side CRC rejected it.
+    RteUpdate { symbol: u64, applied: bool },
+    /// Side-channel CRC verdict over one symbol group.
+    SideCrc { group: u64, ok: bool },
+    /// Receiver re-anchored equalizer phase tracking (skip or reset).
+    EqualizerReset { symbol: u64 },
+    /// A-HDR Bloom membership test for one station. `expected` carries
+    /// ground truth when the caller knows it (None otherwise), letting
+    /// report tooling compute an exact false-positive rate.
+    AhdrCheck {
+        station: u64,
+        matched: bool,
+        expected: Option<bool>,
+    },
+    /// A matched subframe decoded and passed its frame check.
+    SubframeAccept { station: u64, bytes: u64 },
+    /// A matched subframe failed its frame check after decode.
+    SubframeReject { station: u64 },
+    /// MAC delivered a frame to `dest` after `delay` seconds in queue.
+    MacDelivery { dest: u64, bytes: u64, delay: f64 },
+    /// MAC gave up on a frame (deadline expiry) after `delay` seconds.
+    MacDrop { dest: u64, delay: f64 },
+    /// MAC scheduled a retransmission for `dest`.
+    MacRetransmission { dest: u64 },
+    /// A transmission opportunity started: `stas` destinations aboard,
+    /// `airtime` seconds of channel occupancy.
+    MacTx { stas: u64, airtime: f64 },
+    /// Two or more contenders drew the same backoff slot.
+    MacCollision { contenders: u64 },
+    /// Queue depth sample for one destination.
+    QueueDepth { dest: u64, depth: u64 },
+    /// Backoff drawn by a contender.
+    Backoff { station: u64, slots: u64 },
+    /// Traffic model handed the MAC a new arrival.
+    TrafficArrival { dest: u64, bytes: u64 },
+    /// A profiling span closed; `micros` is wall-clock duration.
+    SpanEnd { name: &'static str, micros: u64 },
+}
+
+impl Event {
+    /// The `kind` discriminant used in serialized form.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RteUpdate { .. } => "rte_update",
+            Event::SideCrc { .. } => "side_crc",
+            Event::EqualizerReset { .. } => "eq_reset",
+            Event::AhdrCheck { .. } => "ahdr_check",
+            Event::SubframeAccept { .. } => "subframe_accept",
+            Event::SubframeReject { .. } => "subframe_reject",
+            Event::MacDelivery { .. } => "mac_delivery",
+            Event::MacDrop { .. } => "mac_drop",
+            Event::MacRetransmission { .. } => "mac_retx",
+            Event::MacTx { .. } => "mac_tx",
+            Event::MacCollision { .. } => "mac_collision",
+            Event::QueueDepth { .. } => "queue_depth",
+            Event::Backoff { .. } => "backoff",
+            Event::TrafficArrival { .. } => "traffic_arrival",
+            Event::SpanEnd { .. } => "span_end",
+        }
+    }
+
+    /// Layer this event belongs to.
+    pub fn layer(&self) -> Layer {
+        match self {
+            Event::RteUpdate { .. } | Event::SideCrc { .. } | Event::EqualizerReset { .. } => {
+                Layer::Phy
+            }
+            Event::AhdrCheck { .. }
+            | Event::SubframeAccept { .. }
+            | Event::SubframeReject { .. } => Layer::Frame,
+            Event::MacDelivery { .. }
+            | Event::MacDrop { .. }
+            | Event::MacRetransmission { .. }
+            | Event::MacTx { .. }
+            | Event::MacCollision { .. }
+            | Event::QueueDepth { .. }
+            | Event::Backoff { .. } => Layer::Mac,
+            Event::TrafficArrival { .. } => Layer::Traffic,
+            Event::SpanEnd { .. } => Layer::App,
+        }
+    }
+}
+
+/// An [`Event`] plus its timestamp and a monotonically increasing sequence
+/// number assigned by the emitting [`crate::Obs`] handle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stamped {
+    /// Emitter-defined clock (simulation seconds for mac-sim, zero where
+    /// no meaningful clock exists).
+    pub t: f64,
+    /// Per-handle sequence number; total order of emission.
+    pub seq: u64,
+    pub event: Event,
+}
+
+impl Stamped {
+    /// Serialize to one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.f64("t", self.t)
+            .u64("seq", self.seq)
+            .str("kind", self.event.kind())
+            .str("layer", self.event.layer().as_str());
+        match &self.event {
+            Event::RteUpdate { symbol, applied } => {
+                w.u64("symbol", *symbol).bool("applied", *applied);
+            }
+            Event::SideCrc { group, ok } => {
+                w.u64("group", *group).bool("ok", *ok);
+            }
+            Event::EqualizerReset { symbol } => {
+                w.u64("symbol", *symbol);
+            }
+            Event::AhdrCheck {
+                station,
+                matched,
+                expected,
+            } => {
+                w.u64("station", *station)
+                    .bool("matched", *matched)
+                    .opt_bool("expected", *expected);
+            }
+            Event::SubframeAccept { station, bytes } => {
+                w.u64("station", *station).u64("bytes", *bytes);
+            }
+            Event::SubframeReject { station } => {
+                w.u64("station", *station);
+            }
+            Event::MacDelivery { dest, bytes, delay } => {
+                w.u64("dest", *dest)
+                    .u64("bytes", *bytes)
+                    .f64("delay", *delay);
+            }
+            Event::MacDrop { dest, delay } => {
+                w.u64("dest", *dest).f64("delay", *delay);
+            }
+            Event::MacRetransmission { dest } => {
+                w.u64("dest", *dest);
+            }
+            Event::MacTx { stas, airtime } => {
+                w.u64("stas", *stas).f64("airtime", *airtime);
+            }
+            Event::MacCollision { contenders } => {
+                w.u64("contenders", *contenders);
+            }
+            Event::QueueDepth { dest, depth } => {
+                w.u64("dest", *dest).u64("depth", *depth);
+            }
+            Event::Backoff { station, slots } => {
+                w.u64("station", *station).u64("slots", *slots);
+            }
+            Event::TrafficArrival { dest, bytes } => {
+                w.u64("dest", *dest).u64("bytes", *bytes);
+            }
+            Event::SpanEnd { name, micros } => {
+                w.str("name", name).u64("micros", *micros);
+            }
+        }
+        w.finish()
+    }
+}
+
+/// A deserialized event record. Unlike [`Stamped`] this owns its strings,
+/// because JSONL read back from disk has no `&'static` names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEvent {
+    pub t: f64,
+    pub seq: u64,
+    pub kind: String,
+    pub layer: Option<Layer>,
+    pub fields: JsonValue,
+}
+
+impl ParsedEvent {
+    /// Parse one JSONL line produced by [`Stamped::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<ParsedEvent, String> {
+        let value = crate::json::parse(line)?;
+        let t = value
+            .get("t")
+            .and_then(|v| v.as_f64())
+            .ok_or("missing numeric 't'")?;
+        let seq = value
+            .get("seq")
+            .and_then(|v| v.as_u64())
+            .ok_or("missing integer 'seq'")?;
+        let kind = value
+            .get("kind")
+            .and_then(|v| v.as_str())
+            .ok_or("missing string 'kind'")?
+            .to_string();
+        let layer = value
+            .get("layer")
+            .and_then(|v| v.as_str())
+            .and_then(Layer::from_str);
+        Ok(ParsedEvent {
+            t,
+            seq,
+            kind,
+            layer,
+            fields: value,
+        })
+    }
+
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.fields.get(key).and_then(|v| v.as_u64())
+    }
+
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        self.fields.get(key).and_then(|v| v.as_f64())
+    }
+
+    pub fn bool_field(&self, key: &str) -> Option<bool> {
+        self.fields.get(key).and_then(|v| v.as_bool())
+    }
+
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).and_then(|v| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(event: Event) -> ParsedEvent {
+        let stamped = Stamped {
+            t: 1.5,
+            seq: 9,
+            event,
+        };
+        let line = stamped.to_json_line();
+        ParsedEvent::from_json_line(&line).unwrap()
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = vec![
+            Event::RteUpdate {
+                symbol: 3,
+                applied: true,
+            },
+            Event::SideCrc {
+                group: 1,
+                ok: false,
+            },
+            Event::EqualizerReset { symbol: 7 },
+            Event::AhdrCheck {
+                station: 4,
+                matched: true,
+                expected: Some(false),
+            },
+            Event::SubframeAccept {
+                station: 2,
+                bytes: 1460,
+            },
+            Event::SubframeReject { station: 2 },
+            Event::MacDelivery {
+                dest: 1,
+                bytes: 1500,
+                delay: 0.012,
+            },
+            Event::MacDrop {
+                dest: 5,
+                delay: 0.1,
+            },
+            Event::MacRetransmission { dest: 3 },
+            Event::MacTx {
+                stas: 8,
+                airtime: 0.002,
+            },
+            Event::MacCollision { contenders: 2 },
+            Event::QueueDepth { dest: 0, depth: 14 },
+            Event::Backoff {
+                station: 6,
+                slots: 15,
+            },
+            Event::TrafficArrival {
+                dest: 1,
+                bytes: 160,
+            },
+            Event::SpanEnd {
+                name: "phy.decode",
+                micros: 420,
+            },
+        ];
+        for event in events {
+            let kind = event.kind();
+            let layer = event.layer();
+            let parsed = round_trip(event);
+            assert_eq!(parsed.kind, kind);
+            assert_eq!(parsed.layer, Some(layer));
+            assert_eq!(parsed.t, 1.5);
+            assert_eq!(parsed.seq, 9);
+        }
+    }
+
+    #[test]
+    fn field_accessors_read_back_values() {
+        let parsed = round_trip(Event::MacDelivery {
+            dest: 7,
+            bytes: 1500,
+            delay: 0.025,
+        });
+        assert_eq!(parsed.u64_field("dest"), Some(7));
+        assert_eq!(parsed.u64_field("bytes"), Some(1500));
+        assert_eq!(parsed.f64_field("delay"), Some(0.025));
+        assert_eq!(parsed.u64_field("missing"), None);
+    }
+
+    #[test]
+    fn ahdr_expected_none_round_trips_as_null() {
+        let parsed = round_trip(Event::AhdrCheck {
+            station: 1,
+            matched: true,
+            expected: None,
+        });
+        assert_eq!(parsed.bool_field("expected"), None);
+        assert_eq!(parsed.bool_field("matched"), Some(true));
+    }
+}

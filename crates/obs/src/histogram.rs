@@ -1,0 +1,260 @@
+//! Log-bucketed histogram for latency-style distributions.
+//!
+//! Values are assigned to buckets whose upper bounds grow geometrically, so a
+//! fixed, small number of buckets covers nine decades (microseconds to
+//! kiloseconds) with bounded relative error. Quantiles are answered from the
+//! bucket upper bound, which keeps them conservative (never under-reported).
+
+/// Number of buckets per decade. 16 sub-buckets bounds the relative
+/// quantile error at roughly `10^(1/16) - 1` ≈ 15%.
+const BUCKETS_PER_DECADE: usize = 16;
+/// Smallest resolvable value; everything below lands in bucket 0.
+const MIN_VALUE: f64 = 1e-6;
+/// Total decades covered above `MIN_VALUE`.
+const DECADES: usize = 9;
+const NUM_BUCKETS: usize = BUCKETS_PER_DECADE * DECADES + 1;
+
+/// A fixed-size log-bucketed histogram over non-negative `f64` samples.
+///
+/// Tracks exact `count`, `sum`, `min`, and `max` alongside the bucket
+/// counts, so means and extremes are precise even though quantiles are
+/// bucket-resolution approximations.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket index for `value`. Values at or below [`MIN_VALUE`] map to 0;
+    /// values beyond the covered range clamp into the last bucket.
+    pub fn bucket_index(value: f64) -> usize {
+        // NaN also lands here: `<=` is false for NaN, so check it explicitly
+        // rather than relying on a negated comparison.
+        if value <= MIN_VALUE || value.is_nan() {
+            return 0;
+        }
+        let decades_above = (value / MIN_VALUE).log10();
+        let idx = (decades_above * BUCKETS_PER_DECADE as f64).ceil() as usize;
+        idx.min(NUM_BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `idx` (the largest value that maps into it).
+    pub fn bucket_upper_bound(idx: usize) -> f64 {
+        if idx == 0 {
+            return MIN_VALUE;
+        }
+        let idx = idx.min(NUM_BUCKETS - 1);
+        MIN_VALUE * 10f64.powf(idx as f64 / BUCKETS_PER_DECADE as f64)
+    }
+
+    /// Record one sample. Negative and NaN samples are clamped to zero —
+    /// the histogram models non-negative durations.
+    pub fn record(&mut self, value: f64) {
+        let value = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact maximum of recorded samples (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum of recorded samples (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`, reported as the upper bound of
+    /// the bucket containing the q-th sample. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; q=0 means the first sample.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // The exact max is a tighter bound than the last bucket edge.
+                return Self::bucket_upper_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_upper_bound(i), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut prev = 0;
+        let mut v = 1e-7;
+        while v < 1e4 {
+            let idx = LogHistogram::bucket_index(v);
+            assert!(idx >= prev, "index decreased at {v}");
+            prev = idx;
+            v *= 1.07;
+        }
+    }
+
+    #[test]
+    fn value_maps_below_its_bucket_upper_bound() {
+        for &v in &[1e-6, 3.3e-5, 0.002, 0.02, 1.0, 17.5, 999.0] {
+            let idx = LogHistogram::bucket_index(v);
+            assert!(
+                v <= LogHistogram::bucket_upper_bound(idx) * (1.0 + 1e-12),
+                "{v} exceeds bound of bucket {idx}"
+            );
+            if idx > 0 {
+                assert!(
+                    v > LogHistogram::bucket_upper_bound(idx - 1) * (1.0 - 1e-12),
+                    "{v} should not fit in bucket {}",
+                    idx - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_brackets_true_value() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-3); // 1ms .. 1s
+        }
+        let p50 = h.quantile(0.5);
+        // Upper-bound reporting: at or above the true median, within one
+        // bucket's relative width (~15%).
+        assert!((0.5..=0.5 * 1.16).contains(&p50), "p50 = {p50}");
+        let p95 = h.quantile(0.95);
+        assert!((0.95..=0.95 * 1.16).contains(&p95), "p95 = {p95}");
+        assert_eq!(h.quantile(1.0), 1.0);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        let mut h = LogHistogram::new();
+        h.record(-5.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for i in 0..100 {
+            let v = (i as f64 + 1.0) * 7e-4;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.max(), all.max());
+        assert!((a.sum() - all.sum()).abs() < 1e-9);
+        assert_eq!(a.quantile(0.5), all.quantile(0.5));
+    }
+
+    #[test]
+    fn huge_values_clamp_into_last_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(1e12);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 1e12);
+        // Quantile is capped by the exact max.
+        let last_bound = LogHistogram::bucket_upper_bound(usize::MAX);
+        assert_eq!(h.quantile(0.5), last_bound.min(1e12));
+    }
+}

@@ -1,0 +1,285 @@
+//! carpool-obs: observability layer for the Carpool PHY/MAC stack.
+//!
+//! Zero-dependency metrics, structured event tracing, and profiling spans:
+//!
+//! - [`Recorder`] — counters, gauges, and log-bucketed histograms, with a
+//!   free no-op default ([`NoopRecorder`]) and an in-memory aggregator
+//!   ([`MemoryRecorder`]).
+//! - [`Event`] / [`EventSink`] — structured per-decision events from RTE
+//!   recalibration down to MAC drops, streamed as JSON lines
+//!   ([`JsonlSink`]) or retained in memory ([`RingBufferSink`]).
+//! - [`Obs::span`] — RAII wall-clock spans that report into both the
+//!   metrics registry (`span.<name>` histogram, seconds) and the event
+//!   stream ([`Event::SpanEnd`], microseconds).
+//!
+//! The [`Obs`] handle bundles a recorder and a sink behind `Arc`s so it
+//! clones cheaply into every layer. `Obs::noop()` is the default
+//! everywhere; instrumented code guards non-trivial work with
+//! [`Obs::enabled`], which keeps the disabled-path cost to one branch.
+
+mod event;
+mod histogram;
+pub mod json;
+mod recorder;
+mod sink;
+mod span;
+
+pub use event::{Event, Layer, ParsedEvent, Stamped};
+pub use histogram::LogHistogram;
+pub use recorder::{MemoryRecorder, MetricsSnapshot, NoopRecorder, Recorder};
+pub use sink::{EventSink, JsonlSink, NoopSink, RingBufferSink};
+pub use span::{SpanStats, SpanTimer};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared observability handle: one recorder, one event sink, and a
+/// sequence counter. Clones share all three.
+#[derive(Clone)]
+pub struct Obs {
+    recorder: Arc<dyn Recorder + Send + Sync>,
+    sink: Arc<dyn EventSink + Send + Sync>,
+    seq: Arc<AtomicU64>,
+    enabled: bool,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled)
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::noop()
+    }
+}
+
+impl Obs {
+    /// A handle that observes nothing. [`Obs::enabled`] returns false, so
+    /// instrumented hot paths skip event construction entirely.
+    pub fn noop() -> Obs {
+        Obs {
+            recorder: Arc::new(NoopRecorder),
+            sink: Arc::new(NoopSink),
+            seq: Arc::new(AtomicU64::new(0)),
+            enabled: false,
+        }
+    }
+
+    /// Build a handle from explicit recorder and sink implementations.
+    pub fn new(
+        recorder: Arc<dyn Recorder + Send + Sync>,
+        sink: Arc<dyn EventSink + Send + Sync>,
+    ) -> Obs {
+        let enabled = recorder.is_enabled() || sink.is_enabled();
+        Obs {
+            recorder,
+            sink,
+            seq: Arc::new(AtomicU64::new(0)),
+            enabled,
+        }
+    }
+
+    /// Metrics-only handle (events are dropped).
+    pub fn with_recorder(recorder: Arc<dyn Recorder + Send + Sync>) -> Obs {
+        Obs::new(recorder, Arc::new(NoopSink))
+    }
+
+    /// Events-only handle (metrics are dropped).
+    pub fn with_sink(sink: Arc<dyn EventSink + Send + Sync>) -> Obs {
+        Obs::new(Arc::new(NoopRecorder), sink)
+    }
+
+    /// Whether any backend is live. Gate non-trivial instrumentation on
+    /// this — when false, every other method is a no-op.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Add `delta` to a monotonic counter.
+    #[inline]
+    pub fn counter(&self, name: &'static str, delta: u64) {
+        if self.enabled {
+            self.recorder.counter(name, delta);
+        }
+    }
+
+    /// Set a gauge.
+    #[inline]
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if self.enabled {
+            self.recorder.gauge(name, value);
+        }
+    }
+
+    /// Record a histogram sample.
+    #[inline]
+    pub fn record(&self, name: &'static str, value: f64) {
+        if self.enabled {
+            self.recorder.record(name, value);
+        }
+    }
+
+    /// Emit a structured event stamped with clock value `t` and the next
+    /// sequence number.
+    #[inline]
+    pub fn emit(&self, t: f64, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.sink.emit(&Stamped { t, seq, event });
+    }
+
+    /// Open a wall-clock profiling span. On drop the guard records the
+    /// duration into the `span.<name>` histogram and emits
+    /// [`Event::SpanEnd`]. Inert (no clock read) when disabled.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            obs: self,
+            timer: if self.enabled {
+                Some(SpanTimer::start(name))
+            } else {
+                None
+            },
+            name,
+        }
+    }
+
+    /// Flush the underlying sink (e.g. buffered JSONL output).
+    pub fn flush(&self) {
+        self.sink.flush();
+    }
+}
+
+/// RAII guard returned by [`Obs::span`]; reports on drop.
+pub struct SpanGuard<'a> {
+    obs: &'a Obs,
+    timer: Option<SpanTimer>,
+    name: &'static str,
+}
+
+impl SpanGuard<'_> {
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(timer) = self.timer {
+            let secs = timer.elapsed_secs();
+            self.obs.recorder.record(span_metric_name(self.name), secs);
+            self.obs.emit(
+                0.0,
+                Event::SpanEnd {
+                    name: self.name,
+                    micros: (secs * 1e6) as u64,
+                },
+            );
+        }
+    }
+}
+
+/// Metric name for a span's duration histogram. Span names are a small
+/// fixed vocabulary, so the mapping is a static table rather than a
+/// runtime `format!` (which would allocate on the hot path).
+fn span_metric_name(span: &'static str) -> &'static str {
+    match span {
+        "phy.encode" => "span.phy.encode",
+        "phy.decode" => "span.phy.decode",
+        "phy.equalize" => "span.phy.equalize",
+        "phy.viterbi" => "span.phy.viterbi",
+        "mac.sim_loop" => "span.mac.sim_loop",
+        "mac.txop" => "span.mac.txop",
+        "frame.receive" => "span.frame.receive",
+        "channel.transmit" => "span.channel.transmit",
+        "bloom.fp_measure" => "span.bloom.fp_measure",
+        _ => "span.other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_is_disabled_and_silent() {
+        let obs = Obs::noop();
+        assert!(!obs.enabled());
+        obs.counter("c", 1);
+        obs.gauge("g", 1.0);
+        obs.record("h", 1.0);
+        obs.emit(0.0, Event::MacCollision { contenders: 2 });
+        {
+            let _span = obs.span("phy.decode");
+        }
+        obs.flush();
+    }
+
+    #[test]
+    fn emit_assigns_increasing_seq() {
+        let sink = Arc::new(RingBufferSink::new(16));
+        let obs = Obs::with_sink(sink.clone());
+        assert!(obs.enabled());
+        for i in 0..5 {
+            obs.emit(i as f64, Event::EqualizerReset { symbol: i });
+        }
+        let seqs: Vec<u64> = sink.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clones_share_seq_counter() {
+        let sink = Arc::new(RingBufferSink::new(16));
+        let obs = Obs::with_sink(sink.clone());
+        let clone = obs.clone();
+        obs.emit(0.0, Event::EqualizerReset { symbol: 0 });
+        clone.emit(0.0, Event::EqualizerReset { symbol: 1 });
+        obs.emit(0.0, Event::EqualizerReset { symbol: 2 });
+        let seqs: Vec<u64> = sink.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn span_reports_to_recorder_and_sink() {
+        let recorder = Arc::new(MemoryRecorder::new());
+        let sink = Arc::new(RingBufferSink::new(4));
+        let obs = Obs::new(recorder.clone(), sink.clone());
+        {
+            let _span = obs.span("phy.decode");
+            std::hint::black_box(0u64);
+        }
+        let snap = recorder.snapshot();
+        let h = snap.histogram("span.phy.decode").expect("span histogram");
+        assert_eq!(h.count(), 1);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0].event,
+            Event::SpanEnd {
+                name: "phy.decode",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_span_name_lands_in_other() {
+        let recorder = Arc::new(MemoryRecorder::new());
+        let obs = Obs::with_recorder(recorder.clone());
+        {
+            let _span = obs.span("something.custom");
+        }
+        assert_eq!(
+            recorder.snapshot().histogram("span.other").unwrap().count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Lightweight wall-clock profiling spans.
+//!
+//! A [`SpanTimer`] measures one region; the RAII [`SpanGuard`] returned by
+//! [`crate::Obs::span`] reports the duration to the histogram metric
+//! `span.<name>` (in seconds) and emits a [`crate::Event::SpanEnd`] event
+//! when it drops. When observability is disabled the guard is inert: no
+//! clock read, no event.
+
+use std::time::Instant;
+
+/// Manual start/stop timer for when RAII scoping is inconvenient
+/// (e.g. timing across loop iterations or collecting raw samples).
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer {
+    name: &'static str,
+    start: Instant,
+}
+
+impl SpanTimer {
+    pub fn start(name: &'static str) -> SpanTimer {
+        SpanTimer {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Seconds elapsed since `start`.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Whole microseconds elapsed since `start`.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+/// Aggregated wall-clock samples for one named region — used by bench
+/// tooling that wants per-region stats without a full recorder.
+#[derive(Debug, Clone)]
+pub struct SpanStats {
+    pub name: &'static str,
+    samples: Vec<f64>,
+}
+
+impl SpanStats {
+    pub fn new(name: &'static str) -> SpanStats {
+        SpanStats {
+            name,
+            samples: Vec::new(),
+        }
+    }
+
+    pub fn record(&mut self, secs: f64) {
+        self.samples.push(secs);
+    }
+
+    /// Time one call of `f` and record it; returns `f`'s output.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(start.elapsed().as_secs_f64());
+        out
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn total_secs(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    pub fn mean_secs(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.total_secs() / self.samples.len() as f64
+        }
+    }
+
+    pub fn min_secs(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max_secs(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Median of recorded samples (0.0 when empty).
+    pub fn median_secs(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[sorted.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_measures_nonnegative_time() {
+        let timer = SpanTimer::start("test");
+        assert_eq!(timer.name(), "test");
+        assert!(timer.elapsed_secs() >= 0.0);
+    }
+
+    #[test]
+    fn span_stats_aggregates() {
+        let mut stats = SpanStats::new("encode");
+        stats.record(0.002);
+        stats.record(0.004);
+        stats.record(0.003);
+        assert_eq!(stats.count(), 3);
+        assert!((stats.total_secs() - 0.009).abs() < 1e-12);
+        assert!((stats.mean_secs() - 0.003).abs() < 1e-12);
+        assert_eq!(stats.min_secs(), 0.002);
+        assert_eq!(stats.max_secs(), 0.004);
+        assert_eq!(stats.median_secs(), 0.003);
+    }
+
+    #[test]
+    fn time_returns_closure_output() {
+        let mut stats = SpanStats::new("x");
+        let out = stats.time(|| 41 + 1);
+        assert_eq!(out, 42);
+        assert_eq!(stats.count(), 1);
+    }
+}

@@ -130,15 +130,11 @@ pub fn encode(bits: &[u8], rate: CodeRate) -> Vec<u8> {
 pub fn coded_len(message_len: usize, rate: CodeRate) -> usize {
     let total_in = message_len + CONSTRAINT_LENGTH - 1;
     let pattern = rate.puncture_pattern();
-    let per_period: usize = pattern
-        .iter()
-        .map(|(a, b)| *a as usize + *b as usize)
-        .sum();
+    let per_period: usize = pattern.iter().map(|(a, b)| *a as usize + *b as usize).sum();
     let full = total_in / pattern.len();
     let mut n = full * per_period;
-    for k in 0..(total_in % pattern.len()) {
-        let (a, b) = pattern[k];
-        n += a as usize + b as usize;
+    for (a, b) in pattern.iter().take(total_in % pattern.len()) {
+        n += *a as usize + *b as usize;
     }
     n
 }
@@ -158,8 +154,16 @@ fn depuncture_soft(llrs: &[f64], total_in: usize, rate: CodeRate) -> Vec<(f64, f
     let mut out = Vec::with_capacity(total_in);
     for k in 0..total_in {
         let (keep_a, keep_b) = pattern[k % pattern.len()];
-        let a = if keep_a { it.next().copied().unwrap_or(0.0) } else { 0.0 };
-        let b = if keep_b { it.next().copied().unwrap_or(0.0) } else { 0.0 };
+        let a = if keep_a {
+            it.next().copied().unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        let b = if keep_b {
+            it.next().copied().unwrap_or(0.0)
+        } else {
+            0.0
+        };
         out.push((a, b));
     }
     out
@@ -238,9 +242,9 @@ pub fn decode(coded: &[u8], message_len: usize, rate: CodeRate) -> Vec<u8> {
             if m >= INF {
                 continue;
             }
-            for input in 0..2usize {
+            for (input, &exp) in expected[state].iter().enumerate() {
                 let ns = ((state << 1) | input) & (NUM_STATES - 1);
-                let bm = branch_metric(obs, expected[state][input]);
+                let bm = branch_metric(obs, exp);
                 let cand = m + bm;
                 if cand < next[ns] {
                     next[ns] = cand;
@@ -325,9 +329,8 @@ pub fn decode_soft(llrs: &[f64], message_len: usize, rate: CodeRate) -> Vec<u8> 
             if !m.is_finite() {
                 continue;
             }
-            for input in 0..2usize {
+            for (input, &(ea, eb)) in expected[state].iter().enumerate() {
                 let ns = ((state << 1) | input) & (NUM_STATES - 1);
-                let (ea, eb) = expected[state][input];
                 let cand = m + bit_cost(ea, la) + bit_cost(eb, lb);
                 if cand < next[ns] {
                     next[ns] = cand;
@@ -460,7 +463,10 @@ mod tests {
         for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
             let bits = pseudo_random_bits(200, 5);
             let coded = encode(&bits, rate);
-            let llrs: Vec<f64> = coded.iter().map(|&b| if b == 1 { 3.0 } else { -3.0 }).collect();
+            let llrs: Vec<f64> = coded
+                .iter()
+                .map(|&b| if b == 1 { 3.0 } else { -3.0 })
+                .collect();
             assert_eq!(decode_soft(&llrs, 200, rate), bits, "rate {rate}");
         }
     }
@@ -471,7 +477,10 @@ mod tests {
         // soft decoder recovers where a hard decoder may not.
         let bits = pseudo_random_bits(120, 21);
         let coded = encode(&bits, CodeRate::Half);
-        let mut llrs: Vec<f64> = coded.iter().map(|&b| if b == 1 { 4.0 } else { -4.0 }).collect();
+        let mut llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 1 { 4.0 } else { -4.0 })
+            .collect();
         for k in 40..43 {
             // Wrong sign, tiny magnitude.
             llrs[k] = if coded[k] == 1 { -0.1 } else { 0.1 };

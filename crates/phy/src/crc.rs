@@ -38,17 +38,35 @@ pub struct SmallCrc {
 
 impl SmallCrc {
     /// CRC-1: plain parity bit.
-    pub const CRC1: SmallCrc = SmallCrc { width: 1, poly: 0b1 };
+    pub const CRC1: SmallCrc = SmallCrc {
+        width: 1,
+        poly: 0b1,
+    };
     /// CRC-2 with polynomial `x^2 + x + 1` — the paper's per-symbol check.
-    pub const CRC2: SmallCrc = SmallCrc { width: 2, poly: 0b11 };
+    pub const CRC2: SmallCrc = SmallCrc {
+        width: 2,
+        poly: 0b11,
+    };
     /// CRC-3 with polynomial `x^3 + x + 1` (CRC-3/GSM style).
-    pub const CRC3: SmallCrc = SmallCrc { width: 3, poly: 0b011 };
+    pub const CRC3: SmallCrc = SmallCrc {
+        width: 3,
+        poly: 0b011,
+    };
     /// CRC-4 with the ITU polynomial `x^4 + x + 1`.
-    pub const CRC4: SmallCrc = SmallCrc { width: 4, poly: 0b0011 };
+    pub const CRC4: SmallCrc = SmallCrc {
+        width: 4,
+        poly: 0b0011,
+    };
     /// CRC-6 with polynomial `x^6 + x + 1` (CRC-6/ITU).
-    pub const CRC6: SmallCrc = SmallCrc { width: 6, poly: 0b000011 };
+    pub const CRC6: SmallCrc = SmallCrc {
+        width: 6,
+        poly: 0b000011,
+    };
     /// CRC-8 with the ATM HEC polynomial `x^8 + x^2 + x + 1`.
-    pub const CRC8: SmallCrc = SmallCrc { width: 8, poly: 0b0000_0111 };
+    pub const CRC8: SmallCrc = SmallCrc {
+        width: 8,
+        poly: 0b0000_0111,
+    };
 
     /// Returns the standard polynomial for a given width (1..=8).
     ///
@@ -183,7 +201,10 @@ mod tests {
     fn crc32_test_vectors() {
         assert_eq!(crc32(b""), 0x0000_0000);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -204,7 +225,12 @@ mod tests {
     #[test]
     fn small_crc_detects_single_bit_errors() {
         // Every CRC with poly ending in 1 detects all single-bit errors.
-        for crc in [SmallCrc::CRC1, SmallCrc::CRC2, SmallCrc::CRC4, SmallCrc::CRC8] {
+        for crc in [
+            SmallCrc::CRC1,
+            SmallCrc::CRC2,
+            SmallCrc::CRC4,
+            SmallCrc::CRC8,
+        ] {
             let data = [1u8, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0];
             let good = crc.compute(&data);
             for flip in 0..data.len() {

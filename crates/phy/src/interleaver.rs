@@ -99,7 +99,9 @@ mod tests {
     fn round_trip_all_modulations() {
         for m in Modulation::ALL {
             let il = Interleaver::new(m, 48);
-            let bits: Vec<u8> = (0..il.block_size()).map(|k| ((k * 31) % 7 < 3) as u8).collect();
+            let bits: Vec<u8> = (0..il.block_size())
+                .map(|k| ((k * 31) % 7 < 3) as u8)
+                .collect();
             assert_eq!(il.deinterleave(&il.interleave(&bits)), bits, "{m}");
         }
     }

@@ -390,9 +390,7 @@ mod tests {
 
     #[test]
     fn mean_power_of_unit_circle() {
-        let samples: Vec<Complex64> = (0..100)
-            .map(|k| Complex64::cis(k as f64 * 0.1))
-            .collect();
+        let samples: Vec<Complex64> = (0..100).map(|k| Complex64::cis(k as f64 * 0.1)).collect();
         assert!(close(mean_power(&samples), 1.0));
         assert_eq!(mean_power(&[]), 0.0);
     }

@@ -74,10 +74,7 @@ impl Matrix2 {
 
     /// Matrix-vector product.
     pub fn mul_vec(&self, v: [Complex64; 2]) -> [Complex64; 2] {
-        [
-            self.a * v[0] + self.b * v[1],
-            self.c * v[0] + self.d * v[1],
-        ]
+        [self.a * v[0] + self.b * v[1], self.c * v[0] + self.d * v[1]]
     }
 
     /// Matrix-matrix product `self * rhs`.
@@ -256,12 +253,7 @@ pub fn decode_stream(
         / training_len as f64;
     let isr = foreign.norm_sqr() / own.norm_sqr().max(1e-18);
     let payload = &observed[2 * training_len..];
-    let bits = modulation.demap_all(
-        &payload
-            .iter()
-            .map(|y| *y / own)
-            .collect::<Vec<Complex64>>(),
-    );
+    let bits = modulation.demap_all(&payload.iter().map(|y| *y / own).collect::<Vec<Complex64>>());
     (bits, isr)
 }
 

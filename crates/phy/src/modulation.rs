@@ -366,12 +366,7 @@ mod tests {
             .collect();
         by_level.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         for w in by_level.windows(2) {
-            let d: usize = w[0]
-                .1
-                .iter()
-                .zip(&w[1].1)
-                .filter(|(x, y)| x != y)
-                .count();
+            let d: usize = w[0].1.iter().zip(&w[1].1).filter(|(x, y)| x != y).count();
             assert_eq!(d, 1, "levels {} and {}", w[0].0, w[1].0);
         }
     }

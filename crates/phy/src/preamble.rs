@@ -15,9 +15,11 @@ use crate::ofdm::{carrier_to_bin, CP_LEN, FFT_SIZE, SYMBOL_LEN};
 /// L-LTF training values on logical subcarriers -26..=26 (DC included as 0),
 /// per IEEE 802.11-2012 Eq. 18-11.
 pub const LTF_SEQUENCE: [i8; 53] = [
-    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, // -26..-1
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1,
+    1, // -26..-1
     0, // DC
-    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1, // 1..26
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1,
+    1, // 1..26
 ];
 
 /// Known LTF value on a logical carrier index (`-26..=26`).
@@ -26,7 +28,10 @@ pub const LTF_SEQUENCE: [i8; 53] = [
 ///
 /// Panics if `carrier` is outside `-26..=26`.
 pub fn ltf_value(carrier: i32) -> Complex64 {
-    assert!((-26..=26).contains(&carrier), "carrier {carrier} out of range");
+    assert!(
+        (-26..=26).contains(&carrier),
+        "carrier {carrier} out of range"
+    );
     Complex64::new(LTF_SEQUENCE[(carrier + 26) as usize] as f64, 0.0)
 }
 

@@ -22,8 +22,7 @@ use crate::ofdm::{data_carriers, pilot_polarity, FreqSymbol, PILOT_BASE, PILOT_C
 ///
 /// [`CalibrationRule::Average`] is the paper's Eq. (3); the others exist
 /// for the ablation study (`ablation_rte_rule` bench).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum CalibrationRule {
     /// `H̃ = (H̃ + Ĥ) / 2` — the paper's rule.
     #[default]
@@ -33,7 +32,6 @@ pub enum CalibrationRule {
     /// `H̃ = (1 - alpha) * H̃ + alpha * Ĥ` — exponential smoothing.
     Ewma(f64),
 }
-
 
 impl CalibrationRule {
     fn fold(&self, old: Complex64, fresh: Complex64) -> Complex64 {
@@ -166,12 +164,7 @@ impl RteEstimator {
             *slot = *slot + (folded - *slot).scale(weight);
         }
         let polarity = pilot_polarity(symbol_index);
-        for ((rx, base), carrier) in received
-            .pilots
-            .iter()
-            .zip(PILOT_BASE)
-            .zip(PILOT_CARRIERS)
-        {
+        for ((rx, base), carrier) in received.pilots.iter().zip(PILOT_BASE).zip(PILOT_CARRIERS) {
             let known = Complex64::new(base * polarity, 0.0);
             let fresh = *rx / known;
             let slot = self.estimate.at_mut(carrier);
@@ -206,11 +199,8 @@ mod tests {
         for b in bins.iter_mut() {
             *b = h_stale;
         }
-        let mut rte = RteEstimator::new(
-            ChannelEstimate::from_bins(bins),
-            CalibrationRule::Average,
-        )
-        .with_innovation_gate(f64::INFINITY);
+        let mut rte = RteEstimator::new(ChannelEstimate::from_bins(bins), CalibrationRule::Average)
+            .with_innovation_gate(f64::INFINITY);
         let bits: Vec<u8> = (0..96).map(|k| (k % 3 == 0) as u8).collect();
         let tx = Modulation::Qpsk.map_all(&bits);
         for n in 0..12 {
@@ -269,7 +259,10 @@ mod tests {
         let rx = flat_received(&tx, h_true, 0);
         rte.update(&rx, &wrong, 0);
         let got = rte.estimate().at(3);
-        assert!((got - Complex64::ONE).abs() > 0.5, "estimate should be off: {got}");
+        assert!(
+            (got - Complex64::ONE).abs() > 0.5,
+            "estimate should be off: {got}"
+        );
     }
 
     #[test]

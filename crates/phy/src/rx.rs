@@ -27,6 +27,7 @@ use crate::rte::{CalibrationRule, RteEstimator};
 use crate::scrambler::Scrambler;
 use crate::tx::{SectionSpec, SideChannelConfig};
 use crate::PhyError;
+use carpool_obs::{Event, Obs};
 
 /// Channel estimation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -116,6 +117,14 @@ impl Estimator {
             r.update(received, decided, idx);
         }
     }
+
+    /// `(updates, rejected)` counters when running RTE, `None` otherwise.
+    fn rte_counters(&self) -> Option<(usize, usize)> {
+        match self {
+            Estimator::Fixed(_) => None,
+            Estimator::Rte(r) => Some((r.updates(), r.rejected())),
+        }
+    }
 }
 
 /// Buffered state for one side-channel CRC group.
@@ -183,6 +192,7 @@ pub struct FrameDecoder<'a> {
     prev_phase: f64,
     noise_var: f64,
     soft_decoding: bool,
+    obs: Obs,
 }
 
 impl<'a> FrameDecoder<'a> {
@@ -200,14 +210,10 @@ impl<'a> FrameDecoder<'a> {
             });
         }
         let [l1, l2] = ltf_offsets();
-        let initial = ChannelEstimate::from_ltf(
-            &samples[l1..l1 + SYMBOL_LEN],
-            &samples[l2..l2 + SYMBOL_LEN],
-        );
-        let noise_var = estimate_noise_from_ltf(
-            &samples[l1..l1 + SYMBOL_LEN],
-            &samples[l2..l2 + SYMBOL_LEN],
-        );
+        let initial =
+            ChannelEstimate::from_ltf(&samples[l1..l1 + SYMBOL_LEN], &samples[l2..l2 + SYMBOL_LEN]);
+        let noise_var =
+            estimate_noise_from_ltf(&samples[l1..l1 + SYMBOL_LEN], &samples[l2..l2 + SYMBOL_LEN]);
         let estimator = match estimation {
             Estimation::Standard => Estimator::Fixed(initial.clone()),
             Estimation::Rte(rule) => Estimator::Rte(RteEstimator::new(initial.clone(), rule)),
@@ -221,7 +227,18 @@ impl<'a> FrameDecoder<'a> {
             prev_phase: 0.0,
             noise_var,
             soft_decoding: false,
+            obs: Obs::noop(),
         })
+    }
+
+    /// Attaches an observability handle. When enabled, the decoder emits
+    /// per-group [`Event::SideCrc`] verdicts, per-symbol
+    /// [`Event::RteUpdate`] decisions (RTE mode only), equalizer
+    /// re-anchor events, and `phy.decode` / `phy.viterbi` timing spans.
+    /// The timestamp on PHY events is the OFDM symbol index.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Enables soft-decision (LLR) Viterbi decoding of payload bits,
@@ -305,6 +322,15 @@ impl<'a> FrameDecoder<'a> {
         // Re-anchor the differential phase reference on the next decoded
         // symbol rather than across the gap.
         self.prev_phase = f64::NAN;
+        if self.obs.enabled() {
+            self.obs.counter("phy.eq_reset", 1);
+            self.obs.emit(
+                self.symbol_index as f64,
+                Event::EqualizerReset {
+                    symbol: self.symbol_index as u64,
+                },
+            );
+        }
         Ok(())
     }
 
@@ -314,6 +340,10 @@ impl<'a> FrameDecoder<'a> {
     ///
     /// Returns [`PhyError::LengthMismatch`] if the buffer is too short.
     pub fn decode_section(&mut self, layout: &SectionLayout) -> Result<RxSection, PhyError> {
+        // Local clone (two Arc bumps) so span/emit calls don't fight the
+        // `&mut self` borrows inside the symbol loop.
+        let obs = self.obs.clone();
+        let _decode_span = obs.span("phy.decode");
         let num_symbols = layout.symbol_count();
         self.ensure_available(num_symbols)?;
         let interleaver = Interleaver::new(layout.mcs.modulation, NUM_DATA);
@@ -337,8 +367,9 @@ impl<'a> FrameDecoder<'a> {
             .unwrap_or(0);
 
         for k in 0..num_symbols {
-            let raw = demodulate_symbol(&self.samples[self.sample_pos..self.sample_pos + SYMBOL_LEN])
-                .map_err(PhyError::Fft)?;
+            let raw =
+                demodulate_symbol(&self.samples[self.sample_pos..self.sample_pos + SYMBOL_LEN])
+                    .map_err(PhyError::Fft)?;
             self.sample_pos += SYMBOL_LEN;
             let idx = self.symbol_index + k;
 
@@ -363,11 +394,10 @@ impl<'a> FrameDecoder<'a> {
                 let mut llrs = Vec::with_capacity(n_cbps);
                 for (point, carrier) in eq.data.iter().zip(crate::ofdm::data_carriers()) {
                     let gain = estimate.at(carrier).norm_sqr().max(1e-9);
-                    layout.mcs.modulation.demap_soft_into(
-                        *point,
-                        self.noise_var / gain,
-                        &mut llrs,
-                    );
+                    layout
+                        .mcs
+                        .modulation
+                        .demap_soft_into(*point, self.noise_var / gain, &mut llrs);
                 }
                 llrs
             } else {
@@ -413,14 +443,72 @@ impl<'a> FrameDecoder<'a> {
                     for _ in 0..group.indices.len() {
                         crc_ok.push(ok);
                     }
+                    if obs.enabled() {
+                        let group_id = group.indices[0] as u64;
+                        obs.counter(
+                            if ok {
+                                "phy.side_crc_ok"
+                            } else {
+                                "phy.side_crc_fail"
+                            },
+                            1,
+                        );
+                        obs.emit(
+                            idx as f64,
+                            Event::SideCrc {
+                                group: group_id,
+                                ok,
+                            },
+                        );
+                    }
                     if ok {
-                        for ((rx_sym, decided), idx) in group
+                        for ((rx_sym, decided), sym_idx) in group
                             .compensated
                             .iter()
                             .zip(&group.decided)
                             .zip(&group.indices)
                         {
-                            self.estimator.update(rx_sym, decided, *idx);
+                            if obs.enabled() {
+                                let before = self.estimator.rte_counters();
+                                self.estimator.update(rx_sym, decided, *sym_idx);
+                                if let (Some((b, _)), Some((a, _))) =
+                                    (before, self.estimator.rte_counters())
+                                {
+                                    let applied = a > b;
+                                    obs.counter(
+                                        if applied {
+                                            "phy.rte_applied"
+                                        } else {
+                                            "phy.rte_rejected"
+                                        },
+                                        1,
+                                    );
+                                    obs.emit(
+                                        *sym_idx as f64,
+                                        Event::RteUpdate {
+                                            symbol: *sym_idx as u64,
+                                            applied,
+                                        },
+                                    );
+                                }
+                            } else {
+                                self.estimator.update(rx_sym, decided, *sym_idx);
+                            }
+                        }
+                    } else if obs.enabled() {
+                        // A failed group CRC vetoes every candidate update
+                        // in the group (paper Section 5 gating).
+                        if self.estimator.rte_counters().is_some() {
+                            for &sym_idx in &group.indices {
+                                obs.counter("phy.rte_rejected", 1);
+                                obs.emit(
+                                    sym_idx as f64,
+                                    Event::RteUpdate {
+                                        symbol: sym_idx as u64,
+                                        applied: false,
+                                    },
+                                );
+                            }
                         }
                     }
                     group.clear();
@@ -435,15 +523,20 @@ impl<'a> FrameDecoder<'a> {
             raw_symbol_bits.push(hard);
         }
         self.symbol_index += num_symbols;
+        obs.counter("phy.symbols_decoded", num_symbols as u64);
+        obs.counter("phy.sections_decoded", 1);
 
         // FEC decode and descramble.
         let usable = coded_len(layout.message_bits, layout.mcs.code_rate);
         coded_stream.truncate(usable);
-        let mut bits = if self.soft_decoding {
-            soft_stream.truncate(usable);
-            decode_soft(&soft_stream, layout.message_bits, layout.mcs.code_rate)
-        } else {
-            decode(&coded_stream, layout.message_bits, layout.mcs.code_rate)
+        let mut bits = {
+            let _viterbi_span = obs.span("phy.viterbi");
+            if self.soft_decoding {
+                soft_stream.truncate(usable);
+                decode_soft(&soft_stream, layout.message_bits, layout.mcs.code_rate)
+            } else {
+                decode(&coded_stream, layout.message_bits, layout.mcs.code_rate)
+            }
         };
         if layout.scramble {
             Scrambler::default().scramble_in_place(&mut bits);
@@ -640,7 +733,10 @@ mod tests {
         assert_eq!(dec.position(), 0);
         dec.decode_section(&SectionLayout::of(&specs[0])).unwrap();
         assert_eq!(dec.position(), SectionLayout::of(&specs[0]).symbol_count());
-        assert_eq!(dec.remaining_symbols(), SectionLayout::of(&specs[1]).symbol_count());
+        assert_eq!(
+            dec.remaining_symbols(),
+            SectionLayout::of(&specs[1]).symbol_count()
+        );
     }
 
     #[test]
@@ -730,6 +826,75 @@ mod tests {
         let frame = transmit(std::slice::from_ref(&spec)).unwrap();
         let dec = FrameDecoder::new(&frame.samples, Estimation::Standard).unwrap();
         assert!(dec.noise_variance() < 1e-12, "{}", dec.noise_variance());
+    }
+
+    #[test]
+    fn obs_captures_crc_and_rte_decisions() {
+        use carpool_obs::{MemoryRecorder, Obs, RingBufferSink};
+        use std::sync::Arc;
+
+        let spec = SectionSpec::payload(pattern_bits(800), Mcs::QPSK_1_2);
+        let frame = transmit(std::slice::from_ref(&spec)).unwrap();
+        let recorder = Arc::new(MemoryRecorder::new());
+        let sink = Arc::new(RingBufferSink::new(4096));
+        let obs = Obs::new(recorder.clone(), sink.clone());
+
+        let mut dec = FrameDecoder::new(&frame.samples, Estimation::Rte(CalibrationRule::Average))
+            .unwrap()
+            .with_obs(obs);
+        let layout = SectionLayout::of(&spec);
+        let rx = dec.decode_section(&layout).unwrap();
+        assert_eq!(rx.bits, spec.bits);
+
+        let snap = recorder.snapshot();
+        // Clean channel: every group CRC passes, no failures.
+        assert_eq!(snap.counter("phy.side_crc_fail"), 0);
+        assert!(snap.counter("phy.side_crc_ok") > 0);
+        assert_eq!(
+            snap.counter("phy.symbols_decoded"),
+            layout.symbol_count() as u64
+        );
+        assert_eq!(snap.counter("phy.sections_decoded"), 1);
+        // Every symbol's RTE decision was observed (applied or gated).
+        assert_eq!(
+            snap.counter("phy.rte_applied") + snap.counter("phy.rte_rejected"),
+            layout.symbol_count() as u64
+        );
+        assert!(snap.histogram("span.phy.decode").is_some());
+        assert!(snap.histogram("span.phy.viterbi").is_some());
+
+        let events = sink.events();
+        let crc_events = events
+            .iter()
+            .filter(|e| matches!(e.event, carpool_obs::Event::SideCrc { .. }))
+            .count();
+        assert!(crc_events > 0);
+        let rte_events = events
+            .iter()
+            .filter(|e| matches!(e.event, carpool_obs::Event::RteUpdate { .. }))
+            .count();
+        assert_eq!(rte_events, layout.symbol_count());
+    }
+
+    #[test]
+    fn obs_skip_emits_equalizer_reset() {
+        use carpool_obs::{Obs, RingBufferSink};
+        use std::sync::Arc;
+
+        let specs = vec![
+            SectionSpec::header(pattern_bits(48)),
+            SectionSpec::payload(pattern_bits(300), Mcs::QPSK_1_2),
+        ];
+        let frame = transmit(&specs).unwrap();
+        let sink = Arc::new(RingBufferSink::new(64));
+        let mut dec = FrameDecoder::new(&frame.samples, Estimation::Standard)
+            .unwrap()
+            .with_obs(Obs::with_sink(sink.clone()));
+        dec.skip_section(&SectionLayout::of(&specs[0])).unwrap();
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, carpool_obs::Event::EqualizerReset { .. })));
     }
 
     #[test]

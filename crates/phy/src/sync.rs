@@ -97,9 +97,7 @@ fn lag_metric(samples: &[Complex64], pos: usize, lag: usize, window: usize) -> (
 ///   (0.6 is a robust default above ~3 dB SNR).
 pub fn detect_frame(samples: &[Complex64], threshold: f64) -> Result<FrameSync, SyncError> {
     if samples.len() < PREAMBLE_LEN + LTF_LAG {
-        return Err(SyncError::BufferTooShort {
-            len: samples.len(),
-        });
+        return Err(SyncError::BufferTooShort { len: samples.len() });
     }
     let window = 3 * STF_PERIOD;
     let scan_end = samples.len() - PREAMBLE_LEN - LTF_LAG;
@@ -164,8 +162,7 @@ pub fn detect_frame(samples: &[Complex64], threshold: f64) -> Result<FrameSync, 
     let ref_ltf = &reference[ltf1 + 16..ltf1 + 80];
     let search_lo = coarse.saturating_sub(STF_PERIOD);
     let search_hi = (coarse + 4 * STF_PERIOD).min(samples.len() - PREAMBLE_LEN - LTF_LAG);
-    let rotation_step =
-        -2.0 * std::f64::consts::PI * coarse_cfo / SAMPLE_RATE;
+    let rotation_step = -2.0 * std::f64::consts::PI * coarse_cfo / SAMPLE_RATE;
     let mut best_xcorr = -1.0f64;
     let mut fine_start = coarse;
     for cand in search_lo..=search_hi {
@@ -304,12 +301,7 @@ mod tests {
         correct_cfo(&mut shifted, -8_000.0); // inject +8 kHz CFO
         let buf = embed(&shifted, 123, 50);
         let aligned = synchronize(&buf, 0.6).unwrap();
-        let rx = receive(
-            &aligned,
-            &[SectionLayout::of(&spec)],
-            Estimation::Standard,
-        )
-        .unwrap();
+        let rx = receive(&aligned, &[SectionLayout::of(&spec)], Estimation::Standard).unwrap();
         assert_eq!(rx.sections[0].bits, spec.bits);
     }
 

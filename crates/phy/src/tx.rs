@@ -335,8 +335,7 @@ mod tests {
 
     #[test]
     fn side_values_cover_every_symbol() {
-        let frame =
-            transmit(&[SectionSpec::payload(vec![1; 500], Mcs::QPSK_1_2)]).unwrap();
+        let frame = transmit(&[SectionSpec::payload(vec![1; 500], Mcs::QPSK_1_2)]).unwrap();
         let s = &frame.sections[0];
         assert_eq!(s.side_values.len(), s.num_symbols);
         for &v in &s.side_values {
@@ -377,8 +376,7 @@ mod tests {
 
     #[test]
     fn symbol_bits_have_block_size() {
-        let frame =
-            transmit(&[SectionSpec::payload(vec![1; 300], Mcs::QAM64_3_4)]).unwrap();
+        let frame = transmit(&[SectionSpec::payload(vec![1; 300], Mcs::QAM64_3_4)]).unwrap();
         for bits in &frame.sections[0].symbol_bits {
             assert_eq!(bits.len(), Mcs::QAM64_3_4.coded_bits_per_symbol());
         }

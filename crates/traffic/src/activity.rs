@@ -39,7 +39,10 @@ impl ActivityProcess {
     ///
     /// Panics unless `min <= mean <= max` and `session_s > 0`.
     pub fn new(mean: f64, min: usize, max: usize, session_s: f64) -> ActivityProcess {
-        assert!(min as f64 <= mean && mean <= max as f64, "mean outside bounds");
+        assert!(
+            min as f64 <= mean && mean <= max as f64,
+            "mean outside bounds"
+        );
         assert!(session_s > 0.0, "session time must be positive");
         ActivityProcess {
             mean,
@@ -120,7 +123,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let s = ActivityProcess::library().sample_series(300, &mut rng);
         let distinct: std::collections::HashSet<usize> = s.iter().copied().collect();
-        assert!(distinct.len() >= 4, "only {} distinct values", distinct.len());
+        assert!(
+            distinct.len() >= 4,
+            "only {} distinct values",
+            distinct.len()
+        );
     }
 
     #[test]

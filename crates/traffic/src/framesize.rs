@@ -191,10 +191,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let dist = FrameSizeDistribution::library();
         let n = 50_000;
-        let below300 = (0..n)
-            .filter(|_| dist.sample(&mut rng) <= 300)
-            .count() as f64
-            / n as f64;
+        let below300 = (0..n).filter(|_| dist.sample(&mut rng) <= 300).count() as f64 / n as f64;
         assert!(
             (below300 - dist.cdf(300.0)).abs() < 0.01,
             "measured {below300}"

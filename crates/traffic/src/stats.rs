@@ -169,8 +169,14 @@ mod tests {
     #[test]
     fn record_stream_counts_all() {
         let arrivals = vec![
-            Arrival { time: 0.0, bytes: 10 },
-            Arrival { time: 1.0, bytes: 20 },
+            Arrival {
+                time: 0.0,
+                bytes: 10,
+            },
+            Arrival {
+                time: 1.0,
+                bytes: 20,
+            },
         ];
         let mut v = VolumeStats::new();
         v.record_stream(Direction::Uplink, &arrivals);

@@ -15,8 +15,16 @@ use carpool_phy::mcs::Mcs;
 fn main() {
     // A backlogged AP queue: interleaved frames for five stations.
     let queue: Vec<QueuedFrame> = [
-        (1u16, 300), (2, 1200), (1, 300), (3, 90), (4, 700),
-        (2, 1200), (5, 150), (3, 90), (1, 300), (5, 150),
+        (1u16, 300),
+        (2, 1200),
+        (1, 300),
+        (3, 90),
+        (4, 700),
+        (2, 1200),
+        (5, 150),
+        (3, 90),
+        (1, 300),
+        (5, 150),
     ]
     .iter()
     .enumerate()

@@ -34,9 +34,7 @@ fn main() {
     );
     println!();
 
-    println!(
-        "simulating {num_stas} STAs, 2 APs, two-way VoIP + SIGCOMM background, 8 s:"
-    );
+    println!("simulating {num_stas} STAs, 2 APs, two-way VoIP + SIGCOMM background, 8 s:");
     println!(
         "{:<16} {:>10} {:>10} {:>12} {:>11}",
         "protocol", "goodput", "delay", "aggregation", "collisions"

@@ -73,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (bits, isr) = decode_stream(&observe(&group0, row), r, 4, m);
         println!(
             "  receiver {name}: stream decoded {} (residual interference {:.1e})",
-            if &bits == *expect { "intact" } else { "CORRUPT" },
+            if &bits == *expect {
+                "intact"
+            } else {
+                "CORRUPT"
+            },
             isr
         );
     }

@@ -13,7 +13,9 @@ use carpool_phy::tx::{transmit, SectionSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An 8 KB QAM64 frame — long enough for the channel to drift.
-    let payload: Vec<u8> = (0..8 * 1024 * 8).map(|k| ((k * 31 + 7) % 5 < 2) as u8).collect();
+    let payload: Vec<u8> = (0..8 * 1024 * 8)
+        .map(|k| ((k * 31 + 7) % 5 < 2) as u8)
+        .collect();
     let spec = SectionSpec::payload(payload.clone(), Mcs::QAM64_3_4);
     let tx = transmit(std::slice::from_ref(&spec))?;
     let n_sym = tx.sections[0].num_symbols;
@@ -54,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // BER by frame region, standard vs RTE.
-    println!(
-        "{:>14} {:>12} {:>12}",
-        "frame region", "standard", "RTE"
-    );
+    println!("{:>14} {:>12} {:>12}", "frame region", "standard", "RTE");
     let region = n_sym / 4;
     for (name, range) in [
         ("first 25%", 0..region),

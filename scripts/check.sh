@@ -1,0 +1,14 @@
+#!/bin/sh
+# Offline lint gate: formatting and clippy across the whole workspace.
+# Run from anywhere; everything resolves relative to the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "ok"

@@ -16,7 +16,11 @@ fn eight_receiver_frame() -> CarpoolFrame {
         .map(|k| {
             Subframe::new(
                 sta(k),
-                if k % 2 == 0 { Mcs::QPSK_1_2 } else { Mcs::QAM16_1_2 },
+                if k % 2 == 0 {
+                    Mcs::QPSK_1_2
+                } else {
+                    Mcs::QAM16_1_2
+                },
                 vec![k as u8 ^ 0xA5; 100 + 30 * k as usize],
             )
         })
@@ -39,7 +43,11 @@ fn maximum_aggregation_delivers_to_all_eight() {
         let payload = rx
             .payload_at(k as usize)
             .unwrap_or_else(|| panic!("station {k} missed its subframe"));
-        assert_eq!(payload, &frame.subframes()[k as usize].payload[..], "station {k}");
+        assert_eq!(
+            payload,
+            &frame.subframes()[k as usize].payload[..],
+            "station {k}"
+        );
     }
 }
 

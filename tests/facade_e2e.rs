@@ -22,10 +22,8 @@ fn calibrated_curves_drive_the_mac_simulator() {
     let curves = measure_symbol_error_curves(&calibration);
 
     // Sanity: the measured curves encode the BER bias.
-    let head =
-        curves.subframe_success_prob(EstimationScheme::Standard, Mcs::QAM64_3_4, 0, 10);
-    let tail =
-        curves.subframe_success_prob(EstimationScheme::Standard, Mcs::QAM64_3_4, 120, 10);
+    let head = curves.subframe_success_prob(EstimationScheme::Standard, Mcs::QAM64_3_4, 0, 10);
+    let tail = curves.subframe_success_prob(EstimationScheme::Standard, Mcs::QAM64_3_4, 120, 10);
     assert!(head >= tail, "head {head} tail {tail}");
 
     let config = SimConfig {
@@ -57,8 +55,8 @@ fn carpool_clients_spend_no_more_power_than_legacy() {
             seed: 9,
             ..SimConfig::default()
         };
-        let report = Simulator::new(config, Box::new(carpool_mac::BerBiasModel::calibrated()))
-            .run();
+        let report =
+            Simulator::new(config, Box::new(carpool_mac::BerBiasModel::calibrated())).run();
         let mean: f64 = report
             .sta_airtime
             .iter()

@@ -58,7 +58,10 @@ fn protocol_ordering_in_crowded_cell() {
     assert!(carpool > wifox, "carpool {carpool:.2} vs wifox {wifox:.2}");
     assert!(wifox > dot11, "wifox {wifox:.2} vs 802.11 {dot11:.2}");
     assert!(mu > dot11, "mu {mu:.2} vs 802.11 {dot11:.2}");
-    assert!(carpool > mu, "carpool {carpool:.2} vs mu {mu:.2} (RTE advantage)");
+    assert!(
+        carpool > mu,
+        "carpool {carpool:.2} vs mu {mu:.2} (RTE advantage)"
+    );
 }
 
 #[test]

@@ -90,10 +90,7 @@ fn side_channel_survives_the_office_link() {
     for f in 0..10 {
         let rx_samples = office_link(50 + f).transmit(&tx.samples);
         let rx = receive(&rx_samples, &layouts, Estimation::Standard).expect("lengths match");
-        side_errors += hamming_distance(
-            &tx.sections[0].side_values,
-            &rx.sections[0].side_values,
-        );
+        side_errors += hamming_distance(&tx.sections[0].side_values, &rx.sections[0].side_values);
         side_total += tx.sections[0].side_values.len();
     }
     let ser = side_errors as f64 / side_total as f64;
