@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ahdr-b71a68aa4aaeaaa1.d: crates/bench/benches/ablation_ahdr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ahdr-b71a68aa4aaeaaa1.rmeta: crates/bench/benches/ablation_ahdr.rs Cargo.toml
+
+crates/bench/benches/ablation_ahdr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

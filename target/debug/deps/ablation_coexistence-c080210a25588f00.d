@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_coexistence-c080210a25588f00.d: crates/bench/benches/ablation_coexistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_coexistence-c080210a25588f00.rmeta: crates/bench/benches/ablation_coexistence.rs Cargo.toml
+
+crates/bench/benches/ablation_coexistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

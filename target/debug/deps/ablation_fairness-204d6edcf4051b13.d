@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fairness-204d6edcf4051b13.d: crates/bench/benches/ablation_fairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fairness-204d6edcf4051b13.rmeta: crates/bench/benches/ablation_fairness.rs Cargo.toml
+
+crates/bench/benches/ablation_fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

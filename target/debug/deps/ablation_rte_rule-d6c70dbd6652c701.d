@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_rte_rule-d6c70dbd6652c701.d: crates/bench/benches/ablation_rte_rule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_rte_rule-d6c70dbd6652c701.rmeta: crates/bench/benches/ablation_rte_rule.rs Cargo.toml
+
+crates/bench/benches/ablation_rte_rule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_rts_cts-487342755c345e77.d: crates/bench/benches/ablation_rts_cts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_rts_cts-487342755c345e77.rmeta: crates/bench/benches/ablation_rts_cts.rs Cargo.toml
+
+crates/bench/benches/ablation_rts_cts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

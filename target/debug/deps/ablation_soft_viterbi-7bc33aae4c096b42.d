@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_soft_viterbi-7bc33aae4c096b42.d: crates/bench/benches/ablation_soft_viterbi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_soft_viterbi-7bc33aae4c096b42.rmeta: crates/bench/benches/ablation_soft_viterbi.rs Cargo.toml
+
+crates/bench/benches/ablation_soft_viterbi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

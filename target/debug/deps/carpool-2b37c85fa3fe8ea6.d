@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/carpool-2b37c85fa3fe8ea6.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/obs_session.rs crates/cli/src/report.rs
+
+/root/repo/target/debug/deps/carpool-2b37c85fa3fe8ea6: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/obs_session.rs crates/cli/src/report.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/obs_session.rs:
+crates/cli/src/report.rs:

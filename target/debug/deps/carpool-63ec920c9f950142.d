@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/carpool-63ec920c9f950142.d: crates/carpool/src/lib.rs crates/carpool/src/calibrate.rs crates/carpool/src/energy.rs crates/carpool/src/link.rs crates/carpool/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarpool-63ec920c9f950142.rmeta: crates/carpool/src/lib.rs crates/carpool/src/calibrate.rs crates/carpool/src/energy.rs crates/carpool/src/link.rs crates/carpool/src/scenario.rs Cargo.toml
+
+crates/carpool/src/lib.rs:
+crates/carpool/src/calibrate.rs:
+crates/carpool/src/energy.rs:
+crates/carpool/src/link.rs:
+crates/carpool/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/carpool-65fbb42a79ec9fd0.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/carpool-65fbb42a79ec9fd0: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

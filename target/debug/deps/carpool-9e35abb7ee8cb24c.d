@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/carpool-9e35abb7ee8cb24c.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/obs_session.rs crates/cli/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarpool-9e35abb7ee8cb24c.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/obs_session.rs crates/cli/src/report.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/obs_session.rs:
+crates/cli/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

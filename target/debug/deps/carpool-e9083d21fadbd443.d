@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/carpool-e9083d21fadbd443.d: crates/carpool/src/lib.rs crates/carpool/src/calibrate.rs crates/carpool/src/energy.rs crates/carpool/src/link.rs crates/carpool/src/scenario.rs
+
+/root/repo/target/debug/deps/carpool-e9083d21fadbd443: crates/carpool/src/lib.rs crates/carpool/src/calibrate.rs crates/carpool/src/energy.rs crates/carpool/src/link.rs crates/carpool/src/scenario.rs
+
+crates/carpool/src/lib.rs:
+crates/carpool/src/calibrate.rs:
+crates/carpool/src/energy.rs:
+crates/carpool/src/link.rs:
+crates/carpool/src/scenario.rs:

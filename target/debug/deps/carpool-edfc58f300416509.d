@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/carpool-edfc58f300416509.d: crates/carpool/src/lib.rs crates/carpool/src/calibrate.rs crates/carpool/src/energy.rs crates/carpool/src/link.rs crates/carpool/src/scenario.rs
+
+/root/repo/target/debug/deps/libcarpool-edfc58f300416509.rlib: crates/carpool/src/lib.rs crates/carpool/src/calibrate.rs crates/carpool/src/energy.rs crates/carpool/src/link.rs crates/carpool/src/scenario.rs
+
+/root/repo/target/debug/deps/libcarpool-edfc58f300416509.rmeta: crates/carpool/src/lib.rs crates/carpool/src/calibrate.rs crates/carpool/src/energy.rs crates/carpool/src/link.rs crates/carpool/src/scenario.rs
+
+crates/carpool/src/lib.rs:
+crates/carpool/src/calibrate.rs:
+crates/carpool/src/energy.rs:
+crates/carpool/src/link.rs:
+crates/carpool/src/scenario.rs:

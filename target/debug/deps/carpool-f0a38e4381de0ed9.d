@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/carpool-f0a38e4381de0ed9.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/carpool-f0a38e4381de0ed9: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/carpool_bench-65095207f510e5c6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcarpool_bench-65095207f510e5c6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcarpool_bench-65095207f510e5c6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

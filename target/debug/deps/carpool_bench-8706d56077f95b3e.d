@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/carpool_bench-8706d56077f95b3e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/carpool_bench-8706d56077f95b3e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/carpool_bench-8a7e52a91f5c665f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/carpool_bench-8a7e52a91f5c665f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/carpool_bench-b66ac4108153e874.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/carpool_bench-b66ac4108153e874: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

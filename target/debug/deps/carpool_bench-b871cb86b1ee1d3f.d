@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/carpool_bench-b871cb86b1ee1d3f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarpool_bench-b871cb86b1ee1d3f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/carpool_bench-e8469981931c8502.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcarpool_bench-e8469981931c8502.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcarpool_bench-e8469981931c8502.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

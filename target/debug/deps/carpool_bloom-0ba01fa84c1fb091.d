@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/carpool_bloom-0ba01fa84c1fb091.d: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarpool_bloom-0ba01fa84c1fb091.rmeta: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs Cargo.toml
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/carpool_bloom-1cd7c70084729db9.d: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarpool_bloom-1cd7c70084729db9.rmeta: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs Cargo.toml
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/carpool_bloom-600295fc8a323be6.d: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs
+
+/root/repo/target/debug/deps/carpool_bloom-600295fc8a323be6: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/analysis.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/carpool_bloom-64c0df01a1c87a83.d: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs
+
+/root/repo/target/debug/deps/libcarpool_bloom-64c0df01a1c87a83.rlib: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs
+
+/root/repo/target/debug/deps/libcarpool_bloom-64c0df01a1c87a83.rmeta: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/analysis.rs:

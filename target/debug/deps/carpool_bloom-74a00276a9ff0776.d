@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/carpool_bloom-74a00276a9ff0776.d: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs
+
+/root/repo/target/debug/deps/libcarpool_bloom-74a00276a9ff0776.rlib: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs
+
+/root/repo/target/debug/deps/libcarpool_bloom-74a00276a9ff0776.rmeta: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/analysis.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/carpool_bloom-d324b30486d09ae7.d: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs
+
+/root/repo/target/debug/deps/carpool_bloom-d324b30486d09ae7: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/analysis.rs:

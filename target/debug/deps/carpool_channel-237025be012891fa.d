@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/carpool_channel-237025be012891fa.d: crates/channel/src/lib.rs crates/channel/src/cfo.rs crates/channel/src/fading.rs crates/channel/src/jakes.rs crates/channel/src/link.rs crates/channel/src/noise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarpool_channel-237025be012891fa.rmeta: crates/channel/src/lib.rs crates/channel/src/cfo.rs crates/channel/src/fading.rs crates/channel/src/jakes.rs crates/channel/src/link.rs crates/channel/src/noise.rs Cargo.toml
+
+crates/channel/src/lib.rs:
+crates/channel/src/cfo.rs:
+crates/channel/src/fading.rs:
+crates/channel/src/jakes.rs:
+crates/channel/src/link.rs:
+crates/channel/src/noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/carpool_channel-687403884e72b9c1.d: crates/channel/src/lib.rs crates/channel/src/cfo.rs crates/channel/src/fading.rs crates/channel/src/jakes.rs crates/channel/src/link.rs crates/channel/src/noise.rs
+
+/root/repo/target/debug/deps/libcarpool_channel-687403884e72b9c1.rlib: crates/channel/src/lib.rs crates/channel/src/cfo.rs crates/channel/src/fading.rs crates/channel/src/jakes.rs crates/channel/src/link.rs crates/channel/src/noise.rs
+
+/root/repo/target/debug/deps/libcarpool_channel-687403884e72b9c1.rmeta: crates/channel/src/lib.rs crates/channel/src/cfo.rs crates/channel/src/fading.rs crates/channel/src/jakes.rs crates/channel/src/link.rs crates/channel/src/noise.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/cfo.rs:
+crates/channel/src/fading.rs:
+crates/channel/src/jakes.rs:
+crates/channel/src/link.rs:
+crates/channel/src/noise.rs:

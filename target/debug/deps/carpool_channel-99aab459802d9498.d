@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/carpool_channel-99aab459802d9498.d: crates/channel/src/lib.rs crates/channel/src/cfo.rs crates/channel/src/fading.rs crates/channel/src/jakes.rs crates/channel/src/link.rs crates/channel/src/noise.rs
+
+/root/repo/target/debug/deps/carpool_channel-99aab459802d9498: crates/channel/src/lib.rs crates/channel/src/cfo.rs crates/channel/src/fading.rs crates/channel/src/jakes.rs crates/channel/src/link.rs crates/channel/src/noise.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/cfo.rs:
+crates/channel/src/fading.rs:
+crates/channel/src/jakes.rs:
+crates/channel/src/link.rs:
+crates/channel/src/noise.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/carpool_channel-e02efe5c869ba6e3.d: crates/channel/src/lib.rs crates/channel/src/cfo.rs crates/channel/src/fading.rs crates/channel/src/jakes.rs crates/channel/src/link.rs crates/channel/src/noise.rs
+
+/root/repo/target/debug/deps/carpool_channel-e02efe5c869ba6e3: crates/channel/src/lib.rs crates/channel/src/cfo.rs crates/channel/src/fading.rs crates/channel/src/jakes.rs crates/channel/src/link.rs crates/channel/src/noise.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/cfo.rs:
+crates/channel/src/fading.rs:
+crates/channel/src/jakes.rs:
+crates/channel/src/link.rs:
+crates/channel/src/noise.rs:

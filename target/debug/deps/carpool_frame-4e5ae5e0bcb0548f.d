@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/carpool_frame-4e5ae5e0bcb0548f.d: crates/frame/src/lib.rs crates/frame/src/addr.rs crates/frame/src/aggregation.rs crates/frame/src/airtime.rs crates/frame/src/carpool.rs crates/frame/src/coexist.rs crates/frame/src/mac_frame.rs crates/frame/src/mimo.rs crates/frame/src/nav.rs crates/frame/src/sig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarpool_frame-4e5ae5e0bcb0548f.rmeta: crates/frame/src/lib.rs crates/frame/src/addr.rs crates/frame/src/aggregation.rs crates/frame/src/airtime.rs crates/frame/src/carpool.rs crates/frame/src/coexist.rs crates/frame/src/mac_frame.rs crates/frame/src/mimo.rs crates/frame/src/nav.rs crates/frame/src/sig.rs Cargo.toml
+
+crates/frame/src/lib.rs:
+crates/frame/src/addr.rs:
+crates/frame/src/aggregation.rs:
+crates/frame/src/airtime.rs:
+crates/frame/src/carpool.rs:
+crates/frame/src/coexist.rs:
+crates/frame/src/mac_frame.rs:
+crates/frame/src/mimo.rs:
+crates/frame/src/nav.rs:
+crates/frame/src/sig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

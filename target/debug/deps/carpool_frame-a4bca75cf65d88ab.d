@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/carpool_frame-a4bca75cf65d88ab.d: crates/frame/src/lib.rs crates/frame/src/addr.rs crates/frame/src/aggregation.rs crates/frame/src/airtime.rs crates/frame/src/carpool.rs crates/frame/src/coexist.rs crates/frame/src/mac_frame.rs crates/frame/src/mimo.rs crates/frame/src/nav.rs crates/frame/src/sig.rs
+
+/root/repo/target/debug/deps/libcarpool_frame-a4bca75cf65d88ab.rlib: crates/frame/src/lib.rs crates/frame/src/addr.rs crates/frame/src/aggregation.rs crates/frame/src/airtime.rs crates/frame/src/carpool.rs crates/frame/src/coexist.rs crates/frame/src/mac_frame.rs crates/frame/src/mimo.rs crates/frame/src/nav.rs crates/frame/src/sig.rs
+
+/root/repo/target/debug/deps/libcarpool_frame-a4bca75cf65d88ab.rmeta: crates/frame/src/lib.rs crates/frame/src/addr.rs crates/frame/src/aggregation.rs crates/frame/src/airtime.rs crates/frame/src/carpool.rs crates/frame/src/coexist.rs crates/frame/src/mac_frame.rs crates/frame/src/mimo.rs crates/frame/src/nav.rs crates/frame/src/sig.rs
+
+crates/frame/src/lib.rs:
+crates/frame/src/addr.rs:
+crates/frame/src/aggregation.rs:
+crates/frame/src/airtime.rs:
+crates/frame/src/carpool.rs:
+crates/frame/src/coexist.rs:
+crates/frame/src/mac_frame.rs:
+crates/frame/src/mimo.rs:
+crates/frame/src/nav.rs:
+crates/frame/src/sig.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/carpool_frame-f6f7ef27ed1e01e4.d: crates/frame/src/lib.rs crates/frame/src/addr.rs crates/frame/src/aggregation.rs crates/frame/src/airtime.rs crates/frame/src/carpool.rs crates/frame/src/coexist.rs crates/frame/src/mac_frame.rs crates/frame/src/mimo.rs crates/frame/src/nav.rs crates/frame/src/sig.rs
+
+/root/repo/target/debug/deps/carpool_frame-f6f7ef27ed1e01e4: crates/frame/src/lib.rs crates/frame/src/addr.rs crates/frame/src/aggregation.rs crates/frame/src/airtime.rs crates/frame/src/carpool.rs crates/frame/src/coexist.rs crates/frame/src/mac_frame.rs crates/frame/src/mimo.rs crates/frame/src/nav.rs crates/frame/src/sig.rs
+
+crates/frame/src/lib.rs:
+crates/frame/src/addr.rs:
+crates/frame/src/aggregation.rs:
+crates/frame/src/airtime.rs:
+crates/frame/src/carpool.rs:
+crates/frame/src/coexist.rs:
+crates/frame/src/mac_frame.rs:
+crates/frame/src/mimo.rs:
+crates/frame/src/nav.rs:
+crates/frame/src/sig.rs:

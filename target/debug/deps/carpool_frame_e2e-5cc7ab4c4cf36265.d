@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/carpool_frame_e2e-5cc7ab4c4cf36265.d: tests/carpool_frame_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarpool_frame_e2e-5cc7ab4c4cf36265.rmeta: tests/carpool_frame_e2e.rs Cargo.toml
+
+tests/carpool_frame_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/carpool_frame_e2e-7926dafb052a903a.d: tests/carpool_frame_e2e.rs
+
+/root/repo/target/debug/deps/carpool_frame_e2e-7926dafb052a903a: tests/carpool_frame_e2e.rs
+
+tests/carpool_frame_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/carpool_frame_e2e-e5e2089222f90bc3.d: tests/carpool_frame_e2e.rs
+
+/root/repo/target/debug/deps/carpool_frame_e2e-e5e2089222f90bc3: tests/carpool_frame_e2e.rs
+
+tests/carpool_frame_e2e.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/carpool_mac-598860546e057df0.d: crates/mac/src/lib.rs crates/mac/src/error_model.rs crates/mac/src/metrics.rs crates/mac/src/protocol.rs crates/mac/src/rate.rs crates/mac/src/sim.rs
+
+/root/repo/target/debug/deps/libcarpool_mac-598860546e057df0.rlib: crates/mac/src/lib.rs crates/mac/src/error_model.rs crates/mac/src/metrics.rs crates/mac/src/protocol.rs crates/mac/src/rate.rs crates/mac/src/sim.rs
+
+/root/repo/target/debug/deps/libcarpool_mac-598860546e057df0.rmeta: crates/mac/src/lib.rs crates/mac/src/error_model.rs crates/mac/src/metrics.rs crates/mac/src/protocol.rs crates/mac/src/rate.rs crates/mac/src/sim.rs
+
+crates/mac/src/lib.rs:
+crates/mac/src/error_model.rs:
+crates/mac/src/metrics.rs:
+crates/mac/src/protocol.rs:
+crates/mac/src/rate.rs:
+crates/mac/src/sim.rs:

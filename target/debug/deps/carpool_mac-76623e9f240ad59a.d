@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/carpool_mac-76623e9f240ad59a.d: crates/mac/src/lib.rs crates/mac/src/error_model.rs crates/mac/src/metrics.rs crates/mac/src/protocol.rs crates/mac/src/rate.rs crates/mac/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarpool_mac-76623e9f240ad59a.rmeta: crates/mac/src/lib.rs crates/mac/src/error_model.rs crates/mac/src/metrics.rs crates/mac/src/protocol.rs crates/mac/src/rate.rs crates/mac/src/sim.rs Cargo.toml
+
+crates/mac/src/lib.rs:
+crates/mac/src/error_model.rs:
+crates/mac/src/metrics.rs:
+crates/mac/src/protocol.rs:
+crates/mac/src/rate.rs:
+crates/mac/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

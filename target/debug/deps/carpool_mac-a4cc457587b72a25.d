@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/carpool_mac-a4cc457587b72a25.d: crates/mac/src/lib.rs crates/mac/src/error_model.rs crates/mac/src/metrics.rs crates/mac/src/protocol.rs crates/mac/src/rate.rs crates/mac/src/sim.rs
+
+/root/repo/target/debug/deps/carpool_mac-a4cc457587b72a25: crates/mac/src/lib.rs crates/mac/src/error_model.rs crates/mac/src/metrics.rs crates/mac/src/protocol.rs crates/mac/src/rate.rs crates/mac/src/sim.rs
+
+crates/mac/src/lib.rs:
+crates/mac/src/error_model.rs:
+crates/mac/src/metrics.rs:
+crates/mac/src/protocol.rs:
+crates/mac/src/rate.rs:
+crates/mac/src/sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/carpool_mac-e1fa960cd7c4255e.d: crates/mac/src/lib.rs crates/mac/src/error_model.rs crates/mac/src/metrics.rs crates/mac/src/protocol.rs crates/mac/src/rate.rs crates/mac/src/sim.rs
+
+/root/repo/target/debug/deps/carpool_mac-e1fa960cd7c4255e: crates/mac/src/lib.rs crates/mac/src/error_model.rs crates/mac/src/metrics.rs crates/mac/src/protocol.rs crates/mac/src/rate.rs crates/mac/src/sim.rs
+
+crates/mac/src/lib.rs:
+crates/mac/src/error_model.rs:
+crates/mac/src/metrics.rs:
+crates/mac/src/protocol.rs:
+crates/mac/src/rate.rs:
+crates/mac/src/sim.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/carpool_obs-8472d07e5e8f9888.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/json.rs crates/obs/src/recorder.rs crates/obs/src/sink.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarpool_obs-8472d07e5e8f9888.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/json.rs crates/obs/src/recorder.rs crates/obs/src/sink.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/json.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

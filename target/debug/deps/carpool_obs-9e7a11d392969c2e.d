@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/carpool_obs-9e7a11d392969c2e.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/json.rs crates/obs/src/recorder.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/carpool_obs-9e7a11d392969c2e: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/json.rs crates/obs/src/recorder.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/json.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:

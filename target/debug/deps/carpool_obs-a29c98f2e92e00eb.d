@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/carpool_obs-a29c98f2e92e00eb.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/json.rs crates/obs/src/recorder.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libcarpool_obs-a29c98f2e92e00eb.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/json.rs crates/obs/src/recorder.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libcarpool_obs-a29c98f2e92e00eb.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/json.rs crates/obs/src/recorder.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/json.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/carpool_phy-046ee61a92b6ecc7.d: crates/phy/src/lib.rs crates/phy/src/bits.rs crates/phy/src/convolutional.rs crates/phy/src/crc.rs crates/phy/src/equalizer.rs crates/phy/src/fft.rs crates/phy/src/interleaver.rs crates/phy/src/math.rs crates/phy/src/mcs.rs crates/phy/src/mimo.rs crates/phy/src/modulation.rs crates/phy/src/ofdm.rs crates/phy/src/preamble.rs crates/phy/src/rte.rs crates/phy/src/rx.rs crates/phy/src/scrambler.rs crates/phy/src/sidechannel.rs crates/phy/src/sync.rs crates/phy/src/tx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarpool_phy-046ee61a92b6ecc7.rmeta: crates/phy/src/lib.rs crates/phy/src/bits.rs crates/phy/src/convolutional.rs crates/phy/src/crc.rs crates/phy/src/equalizer.rs crates/phy/src/fft.rs crates/phy/src/interleaver.rs crates/phy/src/math.rs crates/phy/src/mcs.rs crates/phy/src/mimo.rs crates/phy/src/modulation.rs crates/phy/src/ofdm.rs crates/phy/src/preamble.rs crates/phy/src/rte.rs crates/phy/src/rx.rs crates/phy/src/scrambler.rs crates/phy/src/sidechannel.rs crates/phy/src/sync.rs crates/phy/src/tx.rs Cargo.toml
+
+crates/phy/src/lib.rs:
+crates/phy/src/bits.rs:
+crates/phy/src/convolutional.rs:
+crates/phy/src/crc.rs:
+crates/phy/src/equalizer.rs:
+crates/phy/src/fft.rs:
+crates/phy/src/interleaver.rs:
+crates/phy/src/math.rs:
+crates/phy/src/mcs.rs:
+crates/phy/src/mimo.rs:
+crates/phy/src/modulation.rs:
+crates/phy/src/ofdm.rs:
+crates/phy/src/preamble.rs:
+crates/phy/src/rte.rs:
+crates/phy/src/rx.rs:
+crates/phy/src/scrambler.rs:
+crates/phy/src/sidechannel.rs:
+crates/phy/src/sync.rs:
+crates/phy/src/tx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

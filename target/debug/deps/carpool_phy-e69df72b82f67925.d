@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/carpool_phy-e69df72b82f67925.d: crates/phy/src/lib.rs crates/phy/src/bits.rs crates/phy/src/convolutional.rs crates/phy/src/crc.rs crates/phy/src/equalizer.rs crates/phy/src/fft.rs crates/phy/src/interleaver.rs crates/phy/src/math.rs crates/phy/src/mcs.rs crates/phy/src/mimo.rs crates/phy/src/modulation.rs crates/phy/src/ofdm.rs crates/phy/src/preamble.rs crates/phy/src/rte.rs crates/phy/src/rx.rs crates/phy/src/scrambler.rs crates/phy/src/sidechannel.rs crates/phy/src/sync.rs crates/phy/src/tx.rs
+
+/root/repo/target/debug/deps/carpool_phy-e69df72b82f67925: crates/phy/src/lib.rs crates/phy/src/bits.rs crates/phy/src/convolutional.rs crates/phy/src/crc.rs crates/phy/src/equalizer.rs crates/phy/src/fft.rs crates/phy/src/interleaver.rs crates/phy/src/math.rs crates/phy/src/mcs.rs crates/phy/src/mimo.rs crates/phy/src/modulation.rs crates/phy/src/ofdm.rs crates/phy/src/preamble.rs crates/phy/src/rte.rs crates/phy/src/rx.rs crates/phy/src/scrambler.rs crates/phy/src/sidechannel.rs crates/phy/src/sync.rs crates/phy/src/tx.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/bits.rs:
+crates/phy/src/convolutional.rs:
+crates/phy/src/crc.rs:
+crates/phy/src/equalizer.rs:
+crates/phy/src/fft.rs:
+crates/phy/src/interleaver.rs:
+crates/phy/src/math.rs:
+crates/phy/src/mcs.rs:
+crates/phy/src/mimo.rs:
+crates/phy/src/modulation.rs:
+crates/phy/src/ofdm.rs:
+crates/phy/src/preamble.rs:
+crates/phy/src/rte.rs:
+crates/phy/src/rx.rs:
+crates/phy/src/scrambler.rs:
+crates/phy/src/sidechannel.rs:
+crates/phy/src/sync.rs:
+crates/phy/src/tx.rs:

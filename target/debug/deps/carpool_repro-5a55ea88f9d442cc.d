@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/carpool_repro-5a55ea88f9d442cc.d: src/lib.rs
+
+/root/repo/target/debug/deps/carpool_repro-5a55ea88f9d442cc: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/carpool_repro-853eb1016d3ea574.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarpool_repro-853eb1016d3ea574.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

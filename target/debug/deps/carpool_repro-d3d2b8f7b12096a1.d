@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/carpool_repro-d3d2b8f7b12096a1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcarpool_repro-d3d2b8f7b12096a1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcarpool_repro-d3d2b8f7b12096a1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/carpool_repro-d4beafd0b256e7d5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcarpool_repro-d4beafd0b256e7d5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcarpool_repro-d4beafd0b256e7d5.rmeta: src/lib.rs
+
+src/lib.rs:

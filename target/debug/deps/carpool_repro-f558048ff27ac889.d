@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/carpool_repro-f558048ff27ac889.d: src/lib.rs
+
+/root/repo/target/debug/deps/carpool_repro-f558048ff27ac889: src/lib.rs
+
+src/lib.rs:

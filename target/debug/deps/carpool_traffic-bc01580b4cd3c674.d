@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/carpool_traffic-bc01580b4cd3c674.d: crates/traffic/src/lib.rs crates/traffic/src/activity.rs crates/traffic/src/background.rs crates/traffic/src/framesize.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs crates/traffic/src/voip.rs
+
+/root/repo/target/debug/deps/carpool_traffic-bc01580b4cd3c674: crates/traffic/src/lib.rs crates/traffic/src/activity.rs crates/traffic/src/background.rs crates/traffic/src/framesize.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs crates/traffic/src/voip.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/activity.rs:
+crates/traffic/src/background.rs:
+crates/traffic/src/framesize.rs:
+crates/traffic/src/stats.rs:
+crates/traffic/src/trace.rs:
+crates/traffic/src/voip.rs:

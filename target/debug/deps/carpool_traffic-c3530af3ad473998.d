@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/carpool_traffic-c3530af3ad473998.d: crates/traffic/src/lib.rs crates/traffic/src/activity.rs crates/traffic/src/background.rs crates/traffic/src/framesize.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs crates/traffic/src/voip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarpool_traffic-c3530af3ad473998.rmeta: crates/traffic/src/lib.rs crates/traffic/src/activity.rs crates/traffic/src/background.rs crates/traffic/src/framesize.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs crates/traffic/src/voip.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/activity.rs:
+crates/traffic/src/background.rs:
+crates/traffic/src/framesize.rs:
+crates/traffic/src/stats.rs:
+crates/traffic/src/trace.rs:
+crates/traffic/src/voip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

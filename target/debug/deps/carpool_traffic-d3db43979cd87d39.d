@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/carpool_traffic-d3db43979cd87d39.d: crates/traffic/src/lib.rs crates/traffic/src/activity.rs crates/traffic/src/background.rs crates/traffic/src/framesize.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs crates/traffic/src/voip.rs
+
+/root/repo/target/debug/deps/libcarpool_traffic-d3db43979cd87d39.rlib: crates/traffic/src/lib.rs crates/traffic/src/activity.rs crates/traffic/src/background.rs crates/traffic/src/framesize.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs crates/traffic/src/voip.rs
+
+/root/repo/target/debug/deps/libcarpool_traffic-d3db43979cd87d39.rmeta: crates/traffic/src/lib.rs crates/traffic/src/activity.rs crates/traffic/src/background.rs crates/traffic/src/framesize.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs crates/traffic/src/voip.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/activity.rs:
+crates/traffic/src/background.rs:
+crates/traffic/src/framesize.rs:
+crates/traffic/src/stats.rs:
+crates/traffic/src/trace.rs:
+crates/traffic/src/voip.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-d4217686d4f76564.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-d4217686d4f76564: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_carpool=/root/repo/target/debug/carpool

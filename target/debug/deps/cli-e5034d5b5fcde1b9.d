@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-e5034d5b5fcde1b9.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-e5034d5b5fcde1b9: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_carpool=/root/repo/target/debug/carpool

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-0409a471bbe8d921.d: .offline-stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-0409a471bbe8d921.rmeta: .offline-stubs/criterion/src/lib.rs
+
+.offline-stubs/criterion/src/lib.rs:

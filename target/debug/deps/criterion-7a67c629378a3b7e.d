@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-7a67c629378a3b7e.d: .offline-stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7a67c629378a3b7e.rlib: .offline-stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7a67c629378a3b7e.rmeta: .offline-stubs/criterion/src/lib.rs
+
+.offline-stubs/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/facade_e2e-830e263a7ad0c4ba.d: tests/facade_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfacade_e2e-830e263a7ad0c4ba.rmeta: tests/facade_e2e.rs Cargo.toml
+
+tests/facade_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

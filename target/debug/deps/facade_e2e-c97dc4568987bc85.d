@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/facade_e2e-c97dc4568987bc85.d: tests/facade_e2e.rs
+
+/root/repo/target/debug/deps/facade_e2e-c97dc4568987bc85: tests/facade_e2e.rs
+
+tests/facade_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/facade_e2e-d16dfb365ddcaa41.d: tests/facade_e2e.rs
+
+/root/repo/target/debug/deps/facade_e2e-d16dfb365ddcaa41: tests/facade_e2e.rs
+
+tests/facade_e2e.rs:

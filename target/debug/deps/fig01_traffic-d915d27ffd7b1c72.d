@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_traffic-d915d27ffd7b1c72.d: crates/bench/benches/fig01_traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_traffic-d915d27ffd7b1c72.rmeta: crates/bench/benches/fig01_traffic.rs Cargo.toml
+
+crates/bench/benches/fig01_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_ber_bias-2e15ebc921d2ef8e.d: crates/bench/benches/fig03_ber_bias.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_ber_bias-2e15ebc921d2ef8e.rmeta: crates/bench/benches/fig03_ber_bias.rs Cargo.toml
+
+crates/bench/benches/fig03_ber_bias.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

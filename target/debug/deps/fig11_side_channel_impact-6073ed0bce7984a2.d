@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_side_channel_impact-6073ed0bce7984a2.d: crates/bench/benches/fig11_side_channel_impact.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_side_channel_impact-6073ed0bce7984a2.rmeta: crates/bench/benches/fig11_side_channel_impact.rs Cargo.toml
+
+crates/bench/benches/fig11_side_channel_impact.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

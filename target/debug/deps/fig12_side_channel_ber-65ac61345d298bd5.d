@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_side_channel_ber-65ac61345d298bd5.d: crates/bench/benches/fig12_side_channel_ber.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_side_channel_ber-65ac61345d298bd5.rmeta: crates/bench/benches/fig12_side_channel_ber.rs Cargo.toml
+
+crates/bench/benches/fig12_side_channel_ber.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_rte_bias-579a90c76fd4a297.d: crates/bench/benches/fig13_rte_bias.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_rte_bias-579a90c76fd4a297.rmeta: crates/bench/benches/fig13_rte_bias.rs Cargo.toml
+
+crates/bench/benches/fig13_rte_bias.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_rte_modulations-0b0afa971a0be451.d: crates/bench/benches/fig14_rte_modulations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_rte_modulations-0b0afa971a0be451.rmeta: crates/bench/benches/fig14_rte_modulations.rs Cargo.toml
+
+crates/bench/benches/fig14_rte_modulations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_voip-6c3b437b93d648fe.d: crates/bench/benches/fig15_voip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_voip-6c3b437b93d648fe.rmeta: crates/bench/benches/fig15_voip.rs Cargo.toml
+
+crates/bench/benches/fig15_voip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

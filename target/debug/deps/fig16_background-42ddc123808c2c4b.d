@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_background-42ddc123808c2c4b.d: crates/bench/benches/fig16_background.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_background-42ddc123808c2c4b.rmeta: crates/bench/benches/fig16_background.rs Cargo.toml
+
+crates/bench/benches/fig16_background.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_latency_framesize-90ec6e0a36dce4c2.d: crates/bench/benches/fig17_latency_framesize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_latency_framesize-90ec6e0a36dce4c2.rmeta: crates/bench/benches/fig17_latency_framesize.rs Cargo.toml
+
+crates/bench/benches/fig17_latency_framesize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mac_scenarios-27fead65a68f15ce.d: tests/mac_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmac_scenarios-27fead65a68f15ce.rmeta: tests/mac_scenarios.rs Cargo.toml
+
+tests/mac_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

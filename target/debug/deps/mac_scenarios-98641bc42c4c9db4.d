@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mac_scenarios-98641bc42c4c9db4.d: tests/mac_scenarios.rs
+
+/root/repo/target/debug/deps/mac_scenarios-98641bc42c4c9db4: tests/mac_scenarios.rs
+
+tests/mac_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mac_scenarios-d81e8a5994eb2f61.d: tests/mac_scenarios.rs
+
+/root/repo/target/debug/deps/mac_scenarios-d81e8a5994eb2f61: tests/mac_scenarios.rs
+
+tests/mac_scenarios.rs:

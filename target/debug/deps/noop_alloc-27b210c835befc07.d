@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noop_alloc-27b210c835befc07.d: crates/obs/tests/noop_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoop_alloc-27b210c835befc07.rmeta: crates/obs/tests/noop_alloc.rs Cargo.toml
+
+crates/obs/tests/noop_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noop_alloc-31baca30a8bee8ad.d: crates/obs/tests/noop_alloc.rs
+
+/root/repo/target/debug/deps/noop_alloc-31baca30a8bee8ad: crates/obs/tests/noop_alloc.rs
+
+crates/obs/tests/noop_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_stream-2f085d3e4489256c.d: crates/mac/tests/obs_stream.rs
+
+/root/repo/target/debug/deps/obs_stream-2f085d3e4489256c: crates/mac/tests/obs_stream.rs
+
+crates/mac/tests/obs_stream.rs:

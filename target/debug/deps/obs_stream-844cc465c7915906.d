@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_stream-844cc465c7915906.d: crates/mac/tests/obs_stream.rs
+
+/root/repo/target/debug/deps/obs_stream-844cc465c7915906: crates/mac/tests/obs_stream.rs
+
+crates/mac/tests/obs_stream.rs:

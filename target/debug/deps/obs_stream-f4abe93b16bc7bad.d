@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_stream-f4abe93b16bc7bad.d: crates/mac/tests/obs_stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_stream-f4abe93b16bc7bad.rmeta: crates/mac/tests/obs_stream.rs Cargo.toml
+
+crates/mac/tests/obs_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phy_channel_e2e-25235daa0a2da1e7.d: tests/phy_channel_e2e.rs
+
+/root/repo/target/debug/deps/phy_channel_e2e-25235daa0a2da1e7: tests/phy_channel_e2e.rs
+
+tests/phy_channel_e2e.rs:

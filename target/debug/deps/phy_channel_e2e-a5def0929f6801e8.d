@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phy_channel_e2e-a5def0929f6801e8.d: tests/phy_channel_e2e.rs
+
+/root/repo/target/debug/deps/phy_channel_e2e-a5def0929f6801e8: tests/phy_channel_e2e.rs
+
+tests/phy_channel_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phy_channel_e2e-ddff3853085926de.d: tests/phy_channel_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphy_channel_e2e-ddff3853085926de.rmeta: tests/phy_channel_e2e.rs Cargo.toml
+
+tests/phy_channel_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

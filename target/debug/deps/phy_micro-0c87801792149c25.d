@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phy_micro-0c87801792149c25.d: crates/bench/benches/phy_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphy_micro-0c87801792149c25.rmeta: crates/bench/benches/phy_micro.rs Cargo.toml
+
+crates/bench/benches/phy_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-211df0ab07ef68e6.d: .offline-stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-211df0ab07ef68e6.rmeta: .offline-stubs/proptest/src/lib.rs
+
+.offline-stubs/proptest/src/lib.rs:

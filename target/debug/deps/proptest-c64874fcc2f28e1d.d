@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-c64874fcc2f28e1d.d: .offline-stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c64874fcc2f28e1d.rlib: .offline-stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c64874fcc2f28e1d.rmeta: .offline-stubs/proptest/src/lib.rs
+
+.offline-stubs/proptest/src/lib.rs:

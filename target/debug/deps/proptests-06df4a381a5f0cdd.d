@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-06df4a381a5f0cdd.d: crates/phy/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-06df4a381a5f0cdd.rmeta: crates/phy/tests/proptests.rs Cargo.toml
+
+crates/phy/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0a9fafecd076e39c.d: crates/phy/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0a9fafecd076e39c: crates/phy/tests/proptests.rs
+
+crates/phy/tests/proptests.rs:

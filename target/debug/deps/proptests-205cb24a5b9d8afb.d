@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-205cb24a5b9d8afb.d: crates/traffic/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-205cb24a5b9d8afb: crates/traffic/tests/proptests.rs
+
+crates/traffic/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-29f3e433d36acbde.d: crates/traffic/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-29f3e433d36acbde.rmeta: crates/traffic/tests/proptests.rs Cargo.toml
+
+crates/traffic/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

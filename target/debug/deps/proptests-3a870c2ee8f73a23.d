@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-3a870c2ee8f73a23.d: crates/bloom/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-3a870c2ee8f73a23.rmeta: crates/bloom/tests/proptests.rs Cargo.toml
+
+crates/bloom/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4712ce08c8684e98.d: crates/mac/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4712ce08c8684e98: crates/mac/tests/proptests.rs
+
+crates/mac/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5753012de66b0286.d: crates/frame/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5753012de66b0286: crates/frame/tests/proptests.rs
+
+crates/frame/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5aa5c170da8edded.d: crates/traffic/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5aa5c170da8edded: crates/traffic/tests/proptests.rs
+
+crates/traffic/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8a01db5fb3c2d105.d: crates/frame/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8a01db5fb3c2d105: crates/frame/tests/proptests.rs
+
+crates/frame/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9de4c142590e4807.d: crates/frame/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9de4c142590e4807: crates/frame/tests/proptests.rs
+
+crates/frame/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b82a2507165e1cb0.d: crates/mac/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b82a2507165e1cb0: crates/mac/tests/proptests.rs
+
+crates/mac/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cae072cf4986aa89.d: crates/mac/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cae072cf4986aa89: crates/mac/tests/proptests.rs
+
+crates/mac/tests/proptests.rs:

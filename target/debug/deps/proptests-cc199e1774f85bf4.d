@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-cc199e1774f85bf4.d: crates/mac/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-cc199e1774f85bf4.rmeta: crates/mac/tests/proptests.rs Cargo.toml
+
+crates/mac/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

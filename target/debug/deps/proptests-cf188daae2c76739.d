@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cf188daae2c76739.d: crates/bloom/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cf188daae2c76739: crates/bloom/tests/proptests.rs
+
+crates/bloom/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d47b93b64761158c.d: crates/frame/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d47b93b64761158c.rmeta: crates/frame/tests/proptests.rs Cargo.toml
+
+crates/frame/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-db40c9039bd4a703.d: crates/bloom/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-db40c9039bd4a703: crates/bloom/tests/proptests.rs
+
+crates/bloom/tests/proptests.rs:

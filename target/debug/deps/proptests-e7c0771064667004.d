@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e7c0771064667004.d: crates/phy/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e7c0771064667004: crates/phy/tests/proptests.rs
+
+crates/phy/tests/proptests.rs:

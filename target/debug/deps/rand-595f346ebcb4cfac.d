@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-595f346ebcb4cfac.d: .offline-stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-595f346ebcb4cfac.rmeta: .offline-stubs/rand/src/lib.rs
+
+.offline-stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-a2956c6d413fe77d.d: .offline-stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a2956c6d413fe77d.rlib: .offline-stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a2956c6d413fe77d.rmeta: .offline-stubs/rand/src/lib.rs
+
+.offline-stubs/rand/src/lib.rs:

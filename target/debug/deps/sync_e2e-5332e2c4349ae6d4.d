@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sync_e2e-5332e2c4349ae6d4.d: tests/sync_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsync_e2e-5332e2c4349ae6d4.rmeta: tests/sync_e2e.rs Cargo.toml
+
+tests/sync_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sync_e2e-834af001d1b245c4.d: tests/sync_e2e.rs
+
+/root/repo/target/debug/deps/sync_e2e-834af001d1b245c4: tests/sync_e2e.rs
+
+tests/sync_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sync_e2e-ce0b5fd628149d22.d: tests/sync_e2e.rs
+
+/root/repo/target/debug/deps/sync_e2e-ce0b5fd628149d22: tests/sync_e2e.rs
+
+tests/sync_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab01_phase_mod-fc375f7f3d1d075a.d: crates/bench/benches/tab01_phase_mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab01_phase_mod-fc375f7f3d1d075a.rmeta: crates/bench/benches/tab01_phase_mod.rs Cargo.toml
+
+crates/bench/benches/tab01_phase_mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

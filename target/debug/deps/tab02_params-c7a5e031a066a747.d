@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab02_params-c7a5e031a066a747.d: crates/bench/benches/tab02_params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab02_params-c7a5e031a066a747.rmeta: crates/bench/benches/tab02_params.rs Cargo.toml
+
+crates/bench/benches/tab02_params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

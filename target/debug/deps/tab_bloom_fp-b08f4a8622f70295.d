@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_bloom_fp-b08f4a8622f70295.d: crates/bench/benches/tab_bloom_fp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_bloom_fp-b08f4a8622f70295.rmeta: crates/bench/benches/tab_bloom_fp.rs Cargo.toml
+
+crates/bench/benches/tab_bloom_fp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_energy-ee7e349fd2a48cde.d: crates/bench/benches/tab_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_energy-ee7e349fd2a48cde.rmeta: crates/bench/benches/tab_energy.rs Cargo.toml
+
+crates/bench/benches/tab_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_granularity-7104f9f7e1a3cec4.d: crates/bench/benches/tab_granularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_granularity-7104f9f7e1a3cec4.rmeta: crates/bench/benches/tab_granularity.rs Cargo.toml
+
+crates/bench/benches/tab_granularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_mimo-5ca7a7ef6c907cf7.d: crates/bench/benches/tab_mimo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_mimo-5ca7a7ef6c907cf7.rmeta: crates/bench/benches/tab_mimo.rs Cargo.toml
+
+crates/bench/benches/tab_mimo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

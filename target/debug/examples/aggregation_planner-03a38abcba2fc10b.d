@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/aggregation_planner-03a38abcba2fc10b.d: examples/aggregation_planner.rs
+
+/root/repo/target/debug/examples/aggregation_planner-03a38abcba2fc10b: examples/aggregation_planner.rs
+
+examples/aggregation_planner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/aggregation_planner-1890ecf345e63868.d: examples/aggregation_planner.rs
+
+/root/repo/target/debug/examples/aggregation_planner-1890ecf345e63868: examples/aggregation_planner.rs
+
+examples/aggregation_planner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/aggregation_planner-dd4796d26d7d2912.d: examples/aggregation_planner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaggregation_planner-dd4796d26d7d2912.rmeta: examples/aggregation_planner.rs Cargo.toml
+
+examples/aggregation_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/library_wlan-5b79b6ecaf13fbb5.d: examples/library_wlan.rs
+
+/root/repo/target/debug/examples/library_wlan-5b79b6ecaf13fbb5: examples/library_wlan.rs
+
+examples/library_wlan.rs:

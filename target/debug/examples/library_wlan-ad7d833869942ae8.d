@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/library_wlan-ad7d833869942ae8.d: examples/library_wlan.rs
+
+/root/repo/target/debug/examples/library_wlan-ad7d833869942ae8: examples/library_wlan.rs
+
+examples/library_wlan.rs:

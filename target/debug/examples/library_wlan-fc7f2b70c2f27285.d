@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/library_wlan-fc7f2b70c2f27285.d: examples/library_wlan.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblibrary_wlan-fc7f2b70c2f27285.rmeta: examples/library_wlan.rs Cargo.toml
+
+examples/library_wlan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mimo_carpool-396f0df4c032a7f2.d: examples/mimo_carpool.rs
+
+/root/repo/target/debug/examples/mimo_carpool-396f0df4c032a7f2: examples/mimo_carpool.rs
+
+examples/mimo_carpool.rs:

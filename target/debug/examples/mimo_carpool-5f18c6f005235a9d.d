@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mimo_carpool-5f18c6f005235a9d.d: examples/mimo_carpool.rs
+
+/root/repo/target/debug/examples/mimo_carpool-5f18c6f005235a9d: examples/mimo_carpool.rs
+
+examples/mimo_carpool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mimo_carpool-660b0b95a585287a.d: examples/mimo_carpool.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmimo_carpool-660b0b95a585287a.rmeta: examples/mimo_carpool.rs Cargo.toml
+
+examples/mimo_carpool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6ef64ddbba615110.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6ef64ddbba615110: examples/quickstart.rs
+
+examples/quickstart.rs:

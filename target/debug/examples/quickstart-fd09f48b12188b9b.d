@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fd09f48b12188b9b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fd09f48b12188b9b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/side_channel_demo-4964306a222bdb44.d: examples/side_channel_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libside_channel_demo-4964306a222bdb44.rmeta: examples/side_channel_demo.rs Cargo.toml
+
+examples/side_channel_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

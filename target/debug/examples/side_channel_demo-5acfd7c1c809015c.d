@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/side_channel_demo-5acfd7c1c809015c.d: examples/side_channel_demo.rs
+
+/root/repo/target/debug/examples/side_channel_demo-5acfd7c1c809015c: examples/side_channel_demo.rs
+
+examples/side_channel_demo.rs:

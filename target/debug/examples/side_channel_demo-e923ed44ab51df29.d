@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/side_channel_demo-e923ed44ab51df29.d: examples/side_channel_demo.rs
+
+/root/repo/target/debug/examples/side_channel_demo-e923ed44ab51df29: examples/side_channel_demo.rs
+
+examples/side_channel_demo.rs:

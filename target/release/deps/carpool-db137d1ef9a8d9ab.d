@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/carpool-db137d1ef9a8d9ab.d: crates/carpool/src/lib.rs crates/carpool/src/calibrate.rs crates/carpool/src/energy.rs crates/carpool/src/link.rs crates/carpool/src/scenario.rs
+
+/root/repo/target/release/deps/libcarpool-db137d1ef9a8d9ab.rlib: crates/carpool/src/lib.rs crates/carpool/src/calibrate.rs crates/carpool/src/energy.rs crates/carpool/src/link.rs crates/carpool/src/scenario.rs
+
+/root/repo/target/release/deps/libcarpool-db137d1ef9a8d9ab.rmeta: crates/carpool/src/lib.rs crates/carpool/src/calibrate.rs crates/carpool/src/energy.rs crates/carpool/src/link.rs crates/carpool/src/scenario.rs
+
+crates/carpool/src/lib.rs:
+crates/carpool/src/calibrate.rs:
+crates/carpool/src/energy.rs:
+crates/carpool/src/link.rs:
+crates/carpool/src/scenario.rs:

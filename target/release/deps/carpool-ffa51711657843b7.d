@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/carpool-ffa51711657843b7.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/obs_session.rs crates/cli/src/report.rs
+
+/root/repo/target/release/deps/carpool-ffa51711657843b7: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/obs_session.rs crates/cli/src/report.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/obs_session.rs:
+crates/cli/src/report.rs:

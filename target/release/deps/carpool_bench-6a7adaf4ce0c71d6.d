@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/carpool_bench-6a7adaf4ce0c71d6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcarpool_bench-6a7adaf4ce0c71d6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcarpool_bench-6a7adaf4ce0c71d6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/carpool_bloom-e4e7aeb76441ad51.d: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs
+
+/root/repo/target/release/deps/libcarpool_bloom-e4e7aeb76441ad51.rlib: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs
+
+/root/repo/target/release/deps/libcarpool_bloom-e4e7aeb76441ad51.rmeta: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/analysis.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/carpool_channel-d0e267a5196af994.d: crates/channel/src/lib.rs crates/channel/src/cfo.rs crates/channel/src/fading.rs crates/channel/src/jakes.rs crates/channel/src/link.rs crates/channel/src/noise.rs
+
+/root/repo/target/release/deps/libcarpool_channel-d0e267a5196af994.rlib: crates/channel/src/lib.rs crates/channel/src/cfo.rs crates/channel/src/fading.rs crates/channel/src/jakes.rs crates/channel/src/link.rs crates/channel/src/noise.rs
+
+/root/repo/target/release/deps/libcarpool_channel-d0e267a5196af994.rmeta: crates/channel/src/lib.rs crates/channel/src/cfo.rs crates/channel/src/fading.rs crates/channel/src/jakes.rs crates/channel/src/link.rs crates/channel/src/noise.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/cfo.rs:
+crates/channel/src/fading.rs:
+crates/channel/src/jakes.rs:
+crates/channel/src/link.rs:
+crates/channel/src/noise.rs:

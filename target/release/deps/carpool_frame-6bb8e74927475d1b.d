@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/carpool_frame-6bb8e74927475d1b.d: crates/frame/src/lib.rs crates/frame/src/addr.rs crates/frame/src/aggregation.rs crates/frame/src/airtime.rs crates/frame/src/carpool.rs crates/frame/src/coexist.rs crates/frame/src/mac_frame.rs crates/frame/src/mimo.rs crates/frame/src/nav.rs crates/frame/src/sig.rs
+
+/root/repo/target/release/deps/libcarpool_frame-6bb8e74927475d1b.rlib: crates/frame/src/lib.rs crates/frame/src/addr.rs crates/frame/src/aggregation.rs crates/frame/src/airtime.rs crates/frame/src/carpool.rs crates/frame/src/coexist.rs crates/frame/src/mac_frame.rs crates/frame/src/mimo.rs crates/frame/src/nav.rs crates/frame/src/sig.rs
+
+/root/repo/target/release/deps/libcarpool_frame-6bb8e74927475d1b.rmeta: crates/frame/src/lib.rs crates/frame/src/addr.rs crates/frame/src/aggregation.rs crates/frame/src/airtime.rs crates/frame/src/carpool.rs crates/frame/src/coexist.rs crates/frame/src/mac_frame.rs crates/frame/src/mimo.rs crates/frame/src/nav.rs crates/frame/src/sig.rs
+
+crates/frame/src/lib.rs:
+crates/frame/src/addr.rs:
+crates/frame/src/aggregation.rs:
+crates/frame/src/airtime.rs:
+crates/frame/src/carpool.rs:
+crates/frame/src/coexist.rs:
+crates/frame/src/mac_frame.rs:
+crates/frame/src/mimo.rs:
+crates/frame/src/nav.rs:
+crates/frame/src/sig.rs:

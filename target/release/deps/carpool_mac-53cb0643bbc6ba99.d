@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/carpool_mac-53cb0643bbc6ba99.d: crates/mac/src/lib.rs crates/mac/src/error_model.rs crates/mac/src/metrics.rs crates/mac/src/protocol.rs crates/mac/src/rate.rs crates/mac/src/sim.rs
+
+/root/repo/target/release/deps/libcarpool_mac-53cb0643bbc6ba99.rlib: crates/mac/src/lib.rs crates/mac/src/error_model.rs crates/mac/src/metrics.rs crates/mac/src/protocol.rs crates/mac/src/rate.rs crates/mac/src/sim.rs
+
+/root/repo/target/release/deps/libcarpool_mac-53cb0643bbc6ba99.rmeta: crates/mac/src/lib.rs crates/mac/src/error_model.rs crates/mac/src/metrics.rs crates/mac/src/protocol.rs crates/mac/src/rate.rs crates/mac/src/sim.rs
+
+crates/mac/src/lib.rs:
+crates/mac/src/error_model.rs:
+crates/mac/src/metrics.rs:
+crates/mac/src/protocol.rs:
+crates/mac/src/rate.rs:
+crates/mac/src/sim.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/carpool_obs-19c20ef3e3682415.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/json.rs crates/obs/src/recorder.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libcarpool_obs-19c20ef3e3682415.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/json.rs crates/obs/src/recorder.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libcarpool_obs-19c20ef3e3682415.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/json.rs crates/obs/src/recorder.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/json.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/carpool_repro-87c50baad44ea726.d: src/lib.rs
+
+/root/repo/target/release/deps/libcarpool_repro-87c50baad44ea726.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcarpool_repro-87c50baad44ea726.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/carpool_traffic-1e99662ab2a3a4ec.d: crates/traffic/src/lib.rs crates/traffic/src/activity.rs crates/traffic/src/background.rs crates/traffic/src/framesize.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs crates/traffic/src/voip.rs
+
+/root/repo/target/release/deps/libcarpool_traffic-1e99662ab2a3a4ec.rlib: crates/traffic/src/lib.rs crates/traffic/src/activity.rs crates/traffic/src/background.rs crates/traffic/src/framesize.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs crates/traffic/src/voip.rs
+
+/root/repo/target/release/deps/libcarpool_traffic-1e99662ab2a3a4ec.rmeta: crates/traffic/src/lib.rs crates/traffic/src/activity.rs crates/traffic/src/background.rs crates/traffic/src/framesize.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs crates/traffic/src/voip.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/activity.rs:
+crates/traffic/src/background.rs:
+crates/traffic/src/framesize.rs:
+crates/traffic/src/stats.rs:
+crates/traffic/src/trace.rs:
+crates/traffic/src/voip.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-3fd42e76e2c92363.d: .offline-stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3fd42e76e2c92363.rlib: .offline-stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3fd42e76e2c92363.rmeta: .offline-stubs/criterion/src/lib.rs
+
+.offline-stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phy_micro-cdee20760dd70a0a.d: crates/bench/benches/phy_micro.rs
+
+/root/repo/target/release/deps/phy_micro-cdee20760dd70a0a: crates/bench/benches/phy_micro.rs
+
+crates/bench/benches/phy_micro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-11ec92c0998c4958.d: .offline-stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-11ec92c0998c4958.rlib: .offline-stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-11ec92c0998c4958.rmeta: .offline-stubs/rand/src/lib.rs
+
+.offline-stubs/rand/src/lib.rs:
