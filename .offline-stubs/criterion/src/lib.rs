@@ -1,0 +1,6 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Every bench target in this workspace sets `harness = false` and uses
+//! the carpool-obs span machinery for timing, so nothing links against
+//! criterion at all — this placeholder only exists so `cargo` can
+//! resolve the `[dev-dependencies]` entry without network access.

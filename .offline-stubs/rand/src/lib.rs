@@ -1,0 +1,284 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no network access and no
+//! registry cache, so the real `rand` cannot be fetched. This crate
+//! reimplements the *deterministic* subset of the rand 0.8 API that the
+//! Carpool workspace actually uses — `rngs::StdRng`, `SeedableRng`
+//! (`seed_from_u64` only) and the `Rng` extension methods `gen`,
+//! `gen_range` and `gen_bool` — on top of xoshiro256** seeded through
+//! SplitMix64.
+//!
+//! There is deliberately no `thread_rng`, `from_entropy` or OS
+//! randomness: every generator in the workspace is seeded explicitly,
+//! which is what keeps the simulators trace-reproducible.
+
+/// Types that can be produced uniformly by [`Rng::gen`].
+pub trait Random: Sized {
+    /// Draws one uniformly distributed value from `rng`.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            #[inline]
+            fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for bool {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (matches the
+    /// `Standard` distribution of the real crate).
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Random for [u8; N] {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let word = rng.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        out
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample uniformly.
+pub trait UniformRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl UniformRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                self.start.wrapping_add((rng.next_u64() as $wide % span) as $t)
+            }
+        }
+        impl UniformRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every value is fair.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() as $wide % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64
+);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl UniformRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                let unit: $t = Random::random(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl UniformRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                let unit: $t = Random::random(rng);
+                self.start() + (self.end() - self.start()) * unit
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// The random-value extension trait (the used subset of `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit generator underneath every derived method.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value of type `T` (see [`Random`]).
+    #[inline]
+    fn gen<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Uniform value drawn from `range` (half-open or inclusive).
+    #[inline]
+    fn gen_range<T, U: UniformRange<T>>(&mut self, range: U) -> T {
+        range.sample_uniform(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding trait (the used subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed; equal seeds yield equal
+    /// streams on every platform.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (xoshiro256** seeded via
+    /// SplitMix64), standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, the recommended seeding procedure
+            // for the xoshiro family.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(0u32..=5);
+            assert!(w <= 5);
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let ratio = hits as f64 / 20_000.0;
+        assert!((ratio - 0.25).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn byte_arrays_fill_every_position() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            let a: [u8; 6] = rng.gen();
+            for (k, &b) in a.iter().enumerate() {
+                seen[k] |= b != 0;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -338,6 +338,9 @@ mod tests {
             acc += ch.taps()[0].norm_sqr();
         }
         let avg = acc / reps as f64;
-        assert!((avg - 1.0).abs() < 0.05, "avg tap power {avg}");
+        // The Gauss-Markov tap process is strongly autocorrelated at a
+        // 50 us coherence time, so the sample-mean variance stays high
+        // even at 20k reps; 0.1 matches the sibling power test above.
+        assert!((avg - 1.0).abs() < 0.1, "avg tap power {avg}");
     }
 }

@@ -59,10 +59,9 @@ impl Args {
                 args.positionals.push(token);
                 continue;
             };
-            let value = match iter.peek() {
-                Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
-                _ => "true".to_string(),
-            };
+            let value = iter
+                .next_if(|v| !v.starts_with("--"))
+                .unwrap_or_else(|| "true".to_string());
             args.options.insert(key.to_string(), value);
         }
         Ok(args)

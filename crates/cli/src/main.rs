@@ -61,6 +61,9 @@ COMMANDS:
                --stas <10> --duration <30> --seed <1> [--background]
     report     Render an --obs JSONL stream as per-layer summary tables
                carpool report <path.jsonl>
+    lint       Run the project lint gate (panic-freedom, layering,
+               determinism, docs) against lint-baseline.json
+               [--json] [--write-baseline] [--force] [--root <dir>]
     help       Show this message
 
 OBSERVABILITY (accepted by every command):
@@ -392,6 +395,20 @@ fn cmd_gen_trace(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let opts = carpool_lint::LintOptions {
+        root: args.get("root").map(std::path::PathBuf::from),
+        json: args.flag("json"),
+        write_baseline: args.flag("write-baseline"),
+        force: args.flag("force"),
+    };
+    match carpool_lint::run(&opts) {
+        0 => Ok(()),
+        1 => Err("lint gate failed: new violations or stale baseline (see above)".to_string()),
+        _ => Err("lint could not run (bad workspace root or unreadable baseline)".to_string()),
+    }
+}
+
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -417,6 +434,7 @@ fn main() {
         Some("bloom") => cmd_bloom(&args, &obs),
         Some("gen-trace") => cmd_gen_trace(&args, &obs),
         Some("report") => report::cmd_report(&args),
+        Some("lint") => cmd_lint(&args),
         Some("help") | None => {
             println!("{HELP}");
             Ok(())

@@ -128,16 +128,14 @@ impl ReportAggregates {
             "span_end" => {
                 let name = e.str_field("name").unwrap_or("?").to_string();
                 let us = e.u64_field("micros").unwrap_or(0);
-                let agg = match self.spans.iter_mut().find(|(n, _)| *n == name) {
-                    Some((_, a)) => a,
-                    None => {
-                        self.spans.push((name, SpanAgg::default()));
-                        &mut self.spans.last_mut().expect("just pushed").1
-                    }
-                };
-                agg.count += 1;
-                agg.total_us += us;
-                agg.max_us = agg.max_us.max(us);
+                if self.spans.iter().all(|(n, _)| *n != name) {
+                    self.spans.push((name.clone(), SpanAgg::default()));
+                }
+                if let Some((_, agg)) = self.spans.iter_mut().find(|(n, _)| *n == name) {
+                    agg.count += 1;
+                    agg.total_us += us;
+                    agg.max_us = agg.max_us.max(us);
+                }
             }
             _ => self.unknown_kinds += 1,
         }

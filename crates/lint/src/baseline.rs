@@ -1,0 +1,399 @@
+//! The ratcheting baseline: existing violations are recorded per rule
+//! and file in `lint-baseline.json`; new violations fail the gate and
+//! counts may only go down. The JSON codec is hand-rolled (the linter
+//! has no dependencies) for the one fixed shape the baseline uses:
+//!
+//! ```json
+//! {
+//!   "schema": "carpool-lint-baseline/v1",
+//!   "counts": { "L001": { "crates/phy/src/rx.rs": 3 } }
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag written to and expected from baseline files.
+pub const BASELINE_SCHEMA: &str = "carpool-lint-baseline/v1";
+
+/// Per-rule, per-file violation counts accepted as pre-existing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `rule id -> file -> count`, kept sorted for stable output.
+    pub counts: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// Errors from reading a baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The file was not valid JSON of the expected shape.
+    Malformed(String),
+    /// The schema tag did not match [`BASELINE_SCHEMA`].
+    WrongSchema(String),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Malformed(what) => write!(f, "malformed baseline: {what}"),
+            BaselineError::WrongSchema(got) => {
+                write!(f, "baseline schema '{got}' (expected '{BASELINE_SCHEMA}')")
+            }
+        }
+    }
+}
+
+impl Baseline {
+    /// Count recorded for one rule/file pair.
+    pub fn count(&self, rule: &str, file: &str) -> usize {
+        self.counts
+            .get(rule)
+            .and_then(|files| files.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total recorded count for one rule.
+    pub fn rule_total(&self, rule: &str) -> usize {
+        self.counts
+            .get(rule)
+            .map(|files| files.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Renders the baseline as deterministic, pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{BASELINE_SCHEMA}\",");
+        out.push_str("  \"counts\": {");
+        let mut first_rule = true;
+        for (rule, files) in &self.counts {
+            if files.is_empty() {
+                continue;
+            }
+            if !first_rule {
+                out.push(',');
+            }
+            first_rule = false;
+            let _ = write!(out, "\n    {}: {{", json_string(rule));
+            let mut first_file = true;
+            for (file, count) in files {
+                if !first_file {
+                    out.push(',');
+                }
+                first_file = false;
+                let _ = write!(out, "\n      {}: {count}", json_string(file));
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parses baseline JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError`] on malformed JSON, an unexpected
+    /// shape, or a schema mismatch.
+    pub fn from_json(text: &str) -> Result<Baseline, BaselineError> {
+        let value = parse_json(text).map_err(BaselineError::Malformed)?;
+        let JsonValue::Object(top) = value else {
+            return Err(BaselineError::Malformed(
+                "top level is not an object".into(),
+            ));
+        };
+        let schema = top.iter().find(|(k, _)| k == "schema");
+        match schema {
+            Some((_, JsonValue::String(s))) if s == BASELINE_SCHEMA => {}
+            Some((_, JsonValue::String(s))) => {
+                return Err(BaselineError::WrongSchema(s.clone()));
+            }
+            _ => return Err(BaselineError::Malformed("missing schema tag".into())),
+        }
+        let mut baseline = Baseline::default();
+        let Some((_, JsonValue::Object(counts))) = top.iter().find(|(k, _)| k == "counts") else {
+            return Err(BaselineError::Malformed("missing counts object".into()));
+        };
+        for (rule, files) in counts {
+            let JsonValue::Object(files) = files else {
+                return Err(BaselineError::Malformed(format!(
+                    "counts[{rule}] is not an object"
+                )));
+            };
+            let entry = baseline.counts.entry(rule.clone()).or_default();
+            for (file, count) in files {
+                let JsonValue::Number(n) = count else {
+                    return Err(BaselineError::Malformed(format!(
+                        "counts[{rule}][{file}] is not a number"
+                    )));
+                };
+                if *n < 0.0 || n.fract() != 0.0 {
+                    return Err(BaselineError::Malformed(format!(
+                        "counts[{rule}][{file}] is not a non-negative integer"
+                    )));
+                }
+                entry.insert(file.clone(), *n as usize);
+            }
+        }
+        Ok(baseline)
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value tree (objects keep insertion order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64, like JavaScript).
+    Number(f64),
+    /// String with escapes resolved.
+    String(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object as ordered key/value pairs.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Parses one JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing characters at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars.get(*pos).is_some_and(|c| c.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        Some('{') => parse_object(chars, pos),
+        Some('[') => parse_array(chars, pos),
+        Some('"') => Ok(JsonValue::String(parse_string(chars, pos)?)),
+        Some('t') => parse_keyword(chars, pos, "true", JsonValue::Bool(true)),
+        Some('f') => parse_keyword(chars, pos, "false", JsonValue::Bool(false)),
+        Some('n') => parse_keyword(chars, pos, "null", JsonValue::Null),
+        Some(c) if *c == '-' || c.is_ascii_digit() => parse_number(chars, pos),
+        Some(c) => Err(format!("unexpected character '{c}' at offset {pos}")),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_keyword(
+    chars: &[char],
+    pos: &mut usize,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    for expected in word.chars() {
+        if chars.get(*pos) != Some(&expected) {
+            return Err(format!("bad keyword at offset {pos}"));
+        }
+        *pos += 1;
+    }
+    Ok(value)
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while chars
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || "+-.eE".contains(*c))
+    {
+        *pos += 1;
+    }
+    let text: String = chars[start..*pos].iter().collect();
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| format!("bad number '{text}' at offset {start}"))
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    // Caller guarantees an opening quote.
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match chars.get(*pos) {
+            Some('"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                *pos += 1;
+                match chars.get(*pos) {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let hex: String = chars
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?
+                            .iter()
+                            .collect();
+                        let code = u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    Some(&c) => out.push(c),
+                    None => return Err("unterminated escape".to_string()),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                out.push(c);
+                *pos += 1;
+            }
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_object(chars: &[char], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // '{'
+    let mut entries = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(entries));
+    }
+    loop {
+        skip_ws(chars, pos);
+        if chars.get(*pos) != Some(&'"') {
+            return Err(format!("expected object key at offset {pos}"));
+        }
+        let key = parse_string(chars, pos)?;
+        skip_ws(chars, pos);
+        if chars.get(*pos) != Some(&':') {
+            return Err(format!("expected ':' at offset {pos}"));
+        }
+        *pos += 1;
+        let value = parse_value(chars, pos)?;
+        entries.push((key, value));
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => *pos += 1,
+            Some('}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(entries));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_array(chars: &[char], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(chars, pos)?);
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => *pos += 1,
+            Some(']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_round_trips() {
+        let mut b = Baseline::default();
+        b.counts
+            .entry("L001".to_string())
+            .or_default()
+            .insert("crates/phy/src/rx.rs".to_string(), 3);
+        b.counts
+            .entry("L004".to_string())
+            .or_default()
+            .insert("crates/mac/src/sim.rs".to_string(), 17);
+        let text = b.to_json();
+        let parsed = Baseline::from_json(&text).expect("round trip");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.count("L001", "crates/phy/src/rx.rs"), 3);
+        assert_eq!(parsed.count("L001", "missing.rs"), 0);
+        assert_eq!(parsed.rule_total("L004"), 17);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let text = "{\"schema\": \"other/v9\", \"counts\": {}}";
+        assert!(matches!(
+            Baseline::from_json(text),
+            Err(BaselineError::WrongSchema(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        for bad in ["", "{", "{\"counts\": 3}", "[1,2", "{\"a\" 1}"] {
+            assert!(Baseline::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn parser_handles_nested_values() {
+        let v =
+            parse_json("{\"a\": [1, {\"b\": null}, true], \"c\": \"x\\u0041\"}").expect("parses");
+        let JsonValue::Object(top) = v else {
+            panic!("not an object");
+        };
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[1].1, JsonValue::String("xA".to_string()));
+    }
+}

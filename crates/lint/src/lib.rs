@@ -1,0 +1,523 @@
+//! carpool-lint — a zero-dependency static analysis gate for the
+//! Carpool workspace.
+//!
+//! The compiler cannot see the project invariants this workspace
+//! depends on: the PHY pipeline must stay panic-free and deterministic
+//! under any channel realization, the crate layering keeps the MAC
+//! simulator trace-reproducible, and all operator-facing output goes
+//! through `carpool-obs`. This crate enforces them statically:
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | L001 | no `unwrap()/expect()/panic!/unreachable!` in non-test code |
+//! | L002 | no `println!`-family output in library crates |
+//! | L003 | lower-layer crates never depend on mac/carpool/cli/bench |
+//! | L004 | numeric `as` casts in `phy`/`mac` need an inline waiver |
+//! | L005 | no wall-clock reads in simulation crates |
+//! | L006 | `pub` items in library crate roots carry `///` docs |
+//!
+//! Existing violations are recorded in a checked-in
+//! `lint-baseline.json` ratchet: new violations fail the gate, and
+//! baseline counts may only decrease. Waive a finding inline with
+//! `// lint:allow(<key>): <reason>`; see [`rules::Rule::waiver_key`].
+//!
+//! Run as `cargo run -p carpool-lint`, or `carpool lint` from the CLI;
+//! `scripts/check.sh` runs it as its third stage.
+
+pub mod baseline;
+pub mod manifest;
+pub mod rules;
+pub mod scanner;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use baseline::{Baseline, BaselineError};
+use rules::{Diagnostic, Rule};
+
+/// Default baseline file name, resolved relative to the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// Errors surfaced by the lint runner.
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading a file or directory failed.
+    Io(PathBuf, std::io::Error),
+    /// The baseline file exists but cannot be used.
+    Baseline(PathBuf, BaselineError),
+    /// The workspace root does not look like the Carpool workspace.
+    NotAWorkspace(PathBuf),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+            LintError::Baseline(path, e) => write!(f, "{}: {e}", path.display()),
+            LintError::NotAWorkspace(path) => write!(
+                f,
+                "{} does not look like the carpool workspace \
+                 (expected Cargo.toml and crates/)",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Result of scanning the whole workspace, before baseline comparison.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Every violation found, in deterministic (file, line) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of crates scanned.
+    pub crates_scanned: usize,
+}
+
+/// Outcome of comparing a scan against the baseline ratchet.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Violations not covered by the baseline — these fail the gate.
+    pub new_violations: Vec<Diagnostic>,
+    /// Baseline entries whose counts are now too high (progress was
+    /// made): `(rule, file, baseline, actual)`. A stale baseline fails
+    /// the gate until re-ratcheted with `--write-baseline`.
+    pub stale: Vec<(String, String, usize, usize)>,
+}
+
+impl RatchetReport {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.new_violations.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Scans the workspace rooted at `root` and returns all diagnostics.
+///
+/// # Errors
+///
+/// Returns [`LintError`] when `root` is not the workspace or a source
+/// file cannot be read.
+pub fn scan_workspace(root: &Path) -> Result<ScanReport, LintError> {
+    if !root.join("Cargo.toml").is_file() || !root.join("crates").is_dir() {
+        return Err(LintError::NotAWorkspace(root.to_path_buf()));
+    }
+    let mut report = ScanReport::default();
+
+    let mut crate_dirs: Vec<PathBuf> = vec![root.to_path_buf()];
+    let mut entries: Vec<PathBuf> = read_dir_sorted(&root.join("crates"))?;
+    entries.retain(|p| p.join("Cargo.toml").is_file());
+    crate_dirs.extend(entries);
+
+    for dir in crate_dirs {
+        let manifest_path = dir.join("Cargo.toml");
+        let manifest_text = read_file(&manifest_path)?;
+        let manifest = manifest::parse_manifest(&manifest_text);
+        let class = rules::classify(&manifest.name);
+        report.crates_scanned += 1;
+
+        report.diagnostics.extend(rules::check_manifest_layering(
+            class,
+            &relative(root, &manifest_path),
+            &manifest.dependencies,
+        ));
+
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let crate_root_file = crate_root_of(&src);
+        for file in rs_files_under(&src)? {
+            let text = read_file(&file)?;
+            let lines = scanner::scan_source(&text);
+            let rel = relative(root, &file);
+            let is_root = Some(file.as_path()) == crate_root_file.as_deref();
+            report
+                .diagnostics
+                .extend(rules::check_lines(class, is_root, &rel, &lines));
+            report.files_scanned += 1;
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// The crate root file under `src/` (`lib.rs`, else `main.rs`).
+fn crate_root_of(src: &Path) -> Option<PathBuf> {
+    let lib = src.join("lib.rs");
+    if lib.is_file() {
+        return Some(lib);
+    }
+    let main = src.join("main.rs");
+    main.is_file().then_some(main)
+}
+
+/// Compares a scan against the baseline.
+pub fn ratchet(report: &ScanReport, baseline: &Baseline) -> RatchetReport {
+    // Count per (rule, file).
+    let mut actual: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for d in &report.diagnostics {
+        *actual
+            .entry((d.rule.id().to_string(), d.file.clone()))
+            .or_default() += 1;
+    }
+
+    let mut out = RatchetReport::default();
+    // New violations: any (rule, file) where actual > baseline. The
+    // diagnostics listed are the whole file's worth for that rule so
+    // the developer sees every candidate line.
+    for ((rule, file), &count) in &actual {
+        let allowed = baseline.count(rule, file);
+        if count > allowed {
+            out.new_violations.extend(
+                report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.rule.id() == rule && &d.file == file)
+                    .cloned(),
+            );
+        }
+    }
+    // Stale entries: baseline says more than reality (including files
+    // that no longer violate at all, or no longer exist).
+    for (rule, files) in &baseline.counts {
+        for (file, &allowed) in files {
+            let count = actual
+                .get(&(rule.clone(), file.clone()))
+                .copied()
+                .unwrap_or(0);
+            if count < allowed {
+                out.stale.push((rule.clone(), file.clone(), allowed, count));
+            }
+        }
+    }
+    out
+}
+
+/// Builds the baseline that exactly covers `report`.
+pub fn baseline_from_scan(report: &ScanReport) -> Baseline {
+    let mut b = Baseline::default();
+    for d in &report.diagnostics {
+        *b.counts
+            .entry(d.rule.id().to_string())
+            .or_default()
+            .entry(d.file.clone())
+            .or_default() += 1;
+    }
+    b
+}
+
+/// Per-rule totals of a scan.
+pub fn per_rule_totals(report: &ScanReport) -> BTreeMap<&'static str, usize> {
+    let mut totals: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for rule in Rule::ALL {
+        totals.insert(rule.id(), 0);
+    }
+    for d in &report.diagnostics {
+        *totals.entry(d.rule.id()).or_default() += 1;
+    }
+    totals
+}
+
+/// Renders the machine-readable report (`--json`).
+pub fn render_json(report: &ScanReport, verdict: &RatchetReport, baseline: &Baseline) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"carpool-lint/v1\",\n");
+    let _ = writeln!(
+        out,
+        "  \"files_scanned\": {},\n  \"crates_scanned\": {},",
+        report.files_scanned, report.crates_scanned
+    );
+    out.push_str("  \"per_rule_totals\": {");
+    let totals = per_rule_totals(report);
+    let mut first = true;
+    for (rule, total) in &totals {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{rule}\": {total}");
+    }
+    out.push_str("\n  },\n");
+    let _ = writeln!(
+        out,
+        "  \"baselined_total\": {},",
+        Rule::ALL
+            .iter()
+            .map(|r| baseline.rule_total(r.id()))
+            .sum::<usize>()
+    );
+    let _ = writeln!(out, "  \"ok\": {},", verdict.ok());
+    out.push_str("  \"new_violations\": [");
+    for (k, d) in verdict.new_violations.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"file\": {}, \"line\": {}, \"message\": {}}}",
+            d.rule.id(),
+            baseline::json_string(&d.file),
+            d.line,
+            baseline::json_string(&d.message)
+        );
+    }
+    out.push_str("\n  ],\n  \"stale_baseline\": [");
+    for (k, (rule, file, allowed, actual)) in verdict.stale.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{rule}\", \"file\": {}, \"baseline\": {allowed}, \
+             \"actual\": {actual}}}",
+            baseline::json_string(file),
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable report.
+pub fn render_human(report: &ScanReport, verdict: &RatchetReport, baseline: &Baseline) -> String {
+    let mut out = String::new();
+    for d in &verdict.new_violations {
+        let _ = writeln!(out, "{d}");
+    }
+    for (rule, file, allowed, actual) in &verdict.stale {
+        let _ = writeln!(
+            out,
+            "stale baseline: {rule} {file} records {allowed} but only {actual} remain \
+             — run with --write-baseline to ratchet down"
+        );
+    }
+    let totals = per_rule_totals(report);
+    let baselined: usize = Rule::ALL.iter().map(|r| baseline.rule_total(r.id())).sum();
+    let _ = writeln!(
+        out,
+        "carpool-lint: {} files in {} crates, {} findings ({} baselined), {} new, {} stale",
+        report.files_scanned,
+        report.crates_scanned,
+        totals.values().sum::<usize>(),
+        baselined,
+        verdict.new_violations.len(),
+        verdict.stale.len()
+    );
+    for rule in Rule::ALL {
+        let _ = writeln!(
+            out,
+            "  {}: {:<4} {}",
+            rule.id(),
+            totals.get(rule.id()).copied().unwrap_or(0),
+            rule.summary()
+        );
+    }
+    out
+}
+
+/// Loads the baseline at `path`; a missing file is an empty baseline.
+///
+/// # Errors
+///
+/// Returns [`LintError::Baseline`] when the file exists but is
+/// malformed, and [`LintError::Io`] on read failures.
+pub fn load_baseline(path: &Path) -> Result<Baseline, LintError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            Baseline::from_json(&text).map_err(|e| LintError::Baseline(path.to_path_buf(), e))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+        Err(e) => Err(LintError::Io(path.to_path_buf(), e)),
+    }
+}
+
+/// Parsed command line shared by `carpool-lint` and `carpool lint`.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Workspace root (defaults to the nearest ancestor with
+    /// `Cargo.toml` + `crates/`).
+    pub root: Option<PathBuf>,
+    /// Emit the JSON report instead of human text.
+    pub json: bool,
+    /// Rewrite the baseline to match the current scan (ratchet down).
+    pub write_baseline: bool,
+    /// Allow `--write-baseline` to *increase* counts (escape hatch).
+    pub force: bool,
+}
+
+impl LintOptions {
+    /// Parses `--json`, `--write-baseline`, `--force`, `--root <dir>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage string on unknown flags.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<LintOptions, String> {
+        let mut opts = LintOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--json" => opts.json = true,
+                "--write-baseline" => opts.write_baseline = true,
+                "--force" => opts.force = true,
+                "--root" => {
+                    let dir = iter.next().ok_or("--root needs a directory")?;
+                    opts.root = Some(PathBuf::from(dir));
+                }
+                other => {
+                    return Err(format!(
+                        "unknown lint option '{other}' \
+                         (expected --json, --write-baseline, --force, --root <dir>)"
+                    ));
+                }
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Finds the workspace root: the given override, else the nearest
+/// ancestor of the current directory containing `Cargo.toml` and
+/// `crates/`.
+pub fn find_root(explicit: Option<&Path>) -> Option<PathBuf> {
+    if let Some(root) = explicit {
+        return Some(root.to_path_buf());
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Full gate run driven by [`LintOptions`]; prints to stdout/stderr and
+/// returns the process exit code (0 ok, 1 violations/stale, 2 errors).
+pub fn run(opts: &LintOptions) -> i32 {
+    let Some(root) = find_root(opts.root.as_deref()) else {
+        eprintln!("carpool-lint: cannot find the workspace root (try --root <dir>)");
+        return 2;
+    };
+    let baseline_path = root.join(BASELINE_FILE);
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("carpool-lint: {e}");
+            return 2;
+        }
+    };
+
+    if opts.write_baseline {
+        return write_baseline(&report, &baseline_path, opts.force);
+    }
+
+    let baseline = match load_baseline(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("carpool-lint: {e}");
+            return 2;
+        }
+    };
+    let verdict = ratchet(&report, &baseline);
+    if opts.json {
+        print!("{}", render_json(&report, &verdict, &baseline));
+    } else {
+        print!("{}", render_human(&report, &verdict, &baseline));
+    }
+    i32::from(!verdict.ok())
+}
+
+fn write_baseline(report: &ScanReport, path: &Path, force: bool) -> i32 {
+    let fresh = baseline_from_scan(report);
+    // Initial creation has nothing to ratchet against.
+    match path.is_file().then(|| load_baseline(path)).transpose() {
+        Ok(None) => {}
+        Ok(Some(existing)) => {
+            // The ratchet only turns one way: refuse silent increases.
+            let mut grew = Vec::new();
+            for (rule, files) in &fresh.counts {
+                for (file, &count) in files {
+                    let prior = existing.count(rule, file);
+                    if count > prior {
+                        grew.push(format!("{rule} {file}: {prior} -> {count}"));
+                    }
+                }
+            }
+            if !grew.is_empty() && !force {
+                eprintln!(
+                    "carpool-lint: refusing to grow the baseline (fix the new findings, \
+                     waive them inline, or pass --force):"
+                );
+                for g in grew {
+                    eprintln!("  {g}");
+                }
+                return 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("carpool-lint: warning: replacing unreadable baseline ({e})");
+        }
+    }
+    match std::fs::write(path, fresh.to_json()) {
+        Ok(()) => {
+            println!(
+                "carpool-lint: baseline written to {} ({} findings)",
+                path.display(),
+                report.diagnostics.len()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("carpool-lint: cannot write {}: {e}", path.display());
+            2
+        }
+    }
+}
+
+fn read_file(path: &Path) -> Result<String, LintError> {
+    std::fs::read_to_string(path).map_err(|e| LintError::Io(path.to_path_buf(), e))
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    let mut paths = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn rs_files_under(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        for path in read_dir_sorted(&current)? {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|ext| ext == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// `path` relative to `root`, with forward slashes.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

@@ -1,0 +1,19 @@
+//! `carpool-lint` binary: scans the workspace, compares against the
+//! checked-in `lint-baseline.json` ratchet, and exits nonzero on any
+//! new violation or stale baseline entry. See the crate docs for the
+//! rule list and waiver syntax.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match carpool_lint::LintOptions::parse(args) {
+        Ok(opts) => opts,
+        Err(usage) => {
+            eprintln!("carpool-lint: {usage}");
+            return ExitCode::from(2);
+        }
+    };
+    // Exit codes fit in u8 by construction (0, 1, 2).
+    ExitCode::from(carpool_lint::run(&opts).clamp(0, 2) as u8)
+}

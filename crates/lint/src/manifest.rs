@@ -1,0 +1,113 @@
+//! Minimal `Cargo.toml` reading — just enough to get a package name
+//! and its dependency names for the layering rule (L003). Not a
+//! general TOML parser: it understands `[section]` headers, `key =
+//! value` lines and `key.workspace = true` shorthand, which covers
+//! every manifest in this workspace.
+
+/// The subset of a crate manifest the linter needs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// `package.name`.
+    pub name: String,
+    /// Names from `[dependencies]` and `[build-dependencies]`
+    /// (dev-dependencies are deliberately excluded: test-only edges do
+    /// not violate runtime layering).
+    pub dependencies: Vec<String>,
+}
+
+/// Parses manifest text. Unknown constructs are skipped, never fatal.
+pub fn parse_manifest(text: &str) -> Manifest {
+    let mut manifest = Manifest::default();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line[1..line.len() - 1].trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        // `rand.workspace = true` → dependency name `rand`.
+        let key = key.trim().split('.').next().unwrap_or("").trim();
+        let key = key.trim_matches('"');
+        if key.is_empty() {
+            continue;
+        }
+        match section.as_str() {
+            "package" if key == "name" => {
+                manifest.name = value.trim().trim_matches('"').to_string();
+            }
+            "dependencies" | "build-dependencies" => {
+                manifest.dependencies.push(key.to_string());
+            }
+            // Table-per-dependency form: [dependencies.carpool-mac]
+            _ => {}
+        }
+        if let Some(rest) = section.strip_prefix("dependencies.") {
+            // Reached once per key inside the table; dedup below.
+            let name = rest.trim_matches('"').to_string();
+            if !manifest.dependencies.contains(&name) {
+                manifest.dependencies.push(name);
+            }
+        }
+    }
+    manifest.dependencies.dedup();
+    manifest
+}
+
+/// Drops a `#`-to-end-of-line TOML comment, respecting quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (k, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..k],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_name_and_dependency_forms() {
+        let m = parse_manifest(
+            r#"
+[package]
+name = "carpool-frame"
+version.workspace = true
+
+[dependencies]
+carpool-bloom.workspace = true
+carpool-obs = { path = "../obs" }  # inline table
+rand = "0.8"
+
+[dev-dependencies]
+proptest.workspace = true
+"#,
+        );
+        assert_eq!(m.name, "carpool-frame");
+        assert_eq!(m.dependencies, ["carpool-bloom", "carpool-obs", "rand"]);
+    }
+
+    #[test]
+    fn dependency_tables_are_seen() {
+        let m = parse_manifest(
+            "[package]\nname = \"x\"\n[dependencies.carpool-mac]\npath = \"../mac\"\n",
+        );
+        assert_eq!(m.dependencies, ["carpool-mac"]);
+    }
+
+    #[test]
+    fn comments_do_not_hide_dependencies() {
+        let m = parse_manifest("[dependencies]\n# carpool-mac = \"1\"\nrand = \"0.8\" # ok\n");
+        assert_eq!(m.dependencies, ["rand"]);
+    }
+}

@@ -1,0 +1,714 @@
+//! The project rules (L001–L006) evaluated over scanned source lines
+//! and parsed manifests.
+//!
+//! Every rule reports `file:line` diagnostics. Inline waivers use the
+//! `// lint:allow(<key>): <reason>` comment syntax — on the offending
+//! line itself, or on a comment-only line directly above it. A waiver
+//! without a non-empty reason is not honored.
+
+use crate::scanner::SourceLine;
+
+/// Rule identifiers, in severity-agnostic numeric order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// No `unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!`
+    /// in non-test code.
+    L001,
+    /// No `println!`-family output in library crates (all I/O goes
+    /// through `carpool-obs` or the CLI).
+    L002,
+    /// Crate layering: lower-layer crates must not depend on the MAC
+    /// simulator, facade, CLI, bench, or lint crates.
+    L003,
+    /// Numeric `as` casts in DSP-audited crates need an explicit
+    /// waiver (they silently truncate/saturate).
+    L004,
+    /// No wall-clock reads in deterministic simulation crates.
+    L005,
+    /// `pub` items in a library crate root need `///` docs.
+    L006,
+}
+
+impl Rule {
+    /// All rules, in order.
+    pub const ALL: [Rule; 6] = [
+        Rule::L001,
+        Rule::L002,
+        Rule::L003,
+        Rule::L004,
+        Rule::L005,
+        Rule::L006,
+    ];
+
+    /// Stable identifier, e.g. `"L001"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L001 => "L001",
+            Rule::L002 => "L002",
+            Rule::L003 => "L003",
+            Rule::L004 => "L004",
+            Rule::L005 => "L005",
+            Rule::L006 => "L006",
+        }
+    }
+
+    /// Waiver key accepted in `lint:allow(<key>)` for this rule.
+    pub fn waiver_key(self) -> &'static str {
+        match self {
+            Rule::L001 => "panic",
+            Rule::L002 => "print",
+            Rule::L003 => "layering",
+            Rule::L004 => "as-cast",
+            Rule::L005 => "wall-clock",
+            Rule::L006 => "missing-docs",
+        }
+    }
+
+    /// One-line description used in reports.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::L001 => "panicking call in non-test code",
+            Rule::L002 => "direct stdout/stderr output in a library crate",
+            Rule::L003 => "layering violation (lower crate depends on upper layer)",
+            Rule::L004 => "unwaived numeric `as` cast in a DSP-audited crate",
+            Rule::L005 => "wall-clock read in a deterministic simulation crate",
+            Rule::L006 => "undocumented `pub` item in a crate root",
+        }
+    }
+}
+
+/// How each workspace crate is treated by the rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrateClass {
+    /// Library crate: L002 and L006 apply.
+    pub library: bool,
+    /// Lower-layer crate: L003 applies.
+    pub lower_layer: bool,
+    /// DSP-audited crate: L004 applies.
+    pub cast_audited: bool,
+    /// Deterministic simulation crate: L005 applies.
+    pub deterministic: bool,
+}
+
+/// Crates that lower-layer crates must never depend on.
+pub const UPPER_LAYER: [&str; 5] = [
+    "carpool-mac",
+    "carpool",
+    "carpool-cli",
+    "carpool-bench",
+    "carpool-lint",
+];
+
+/// Classifies a workspace package by name. Unknown crates get the
+/// conservative default (library + deterministic) so that new crates
+/// are linted strictly until classified here.
+pub fn classify(package: &str) -> CrateClass {
+    let lib_sim = CrateClass {
+        library: true,
+        lower_layer: false,
+        cast_audited: false,
+        deterministic: true,
+    };
+    match package {
+        "carpool-phy" => CrateClass {
+            lower_layer: true,
+            cast_audited: true,
+            ..lib_sim
+        },
+        "carpool-bloom" | "carpool-channel" | "carpool-frame" | "carpool-traffic" => CrateClass {
+            lower_layer: true,
+            ..lib_sim
+        },
+        "carpool-mac" => CrateClass {
+            cast_audited: true,
+            ..lib_sim
+        },
+        "carpool" | "carpool-repro" => lib_sim,
+        // obs owns the process clock (profiling spans) and file sinks.
+        "carpool-obs" => CrateClass {
+            deterministic: false,
+            ..lib_sim
+        },
+        // Tool crates: terminal output and wall clock are their job.
+        "carpool-cli" | "carpool-bench" | "carpool-lint" => CrateClass {
+            library: false,
+            lower_layer: false,
+            cast_audited: false,
+            deterministic: false,
+        },
+        _ => lib_sim,
+    }
+}
+
+/// One `file:line` finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number (0 for whole-file/manifest findings).
+    pub line: usize,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Extracts honored waiver keys from one comment: every
+/// `lint:allow(<key>): <non-empty reason>` occurrence.
+pub fn waivers_in_comment(comment: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint:allow(") {
+        rest = &rest[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        let key = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        // The reason is mandatory: `): why this is sound`.
+        let reasoned = after
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim_start().trim_start_matches('-').trim().is_empty());
+        if reasoned && !key.is_empty() {
+            keys.push(key);
+        }
+        rest = after;
+    }
+    keys
+}
+
+/// Whether `line` (or a comment-only line directly above it) carries a
+/// waiver for `rule`.
+fn is_waived(lines: &[SourceLine], idx: usize, rule: Rule) -> bool {
+    let key = rule.waiver_key();
+    let own = waivers_in_comment(&lines[idx].comment);
+    if own.iter().any(|k| k == key) {
+        return true;
+    }
+    // Walk up over comment-only lines (a waiver block may sit above).
+    let mut k = idx;
+    while k > 0 {
+        k -= 1;
+        let above = &lines[k];
+        if !above.code.trim().is_empty() {
+            break;
+        }
+        if above.comment.is_empty() {
+            break;
+        }
+        if waivers_in_comment(&above.comment).iter().any(|w| w == key) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether `code[at]` starts a word-boundary occurrence of `token`.
+fn token_at(code: &str, at: usize, token: &str) -> bool {
+    if !code[at..].starts_with(token) {
+        return false;
+    }
+    let before_ok = at == 0
+        || !code[..at]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+    let end = at + token.len();
+    let after_ok = !code[end..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// Finds all word-boundary occurrences of `token` in `code`.
+fn contains_token(code: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = code[from..].find(token) {
+        let at = from + at;
+        if token_at(code, at, token) {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// L001 trigger tokens: `(name, needs leading dot)`.
+const PANIC_TOKENS: [(&str, bool); 6] = [
+    ("unwrap()", true),
+    ("expect(", true),
+    ("panic!", false),
+    ("unreachable!", false),
+    ("todo!", false),
+    ("unimplemented!", false),
+];
+
+/// L002 trigger tokens (macro names).
+const PRINT_TOKENS: [&str; 5] = ["println!", "print!", "eprintln!", "eprint!", "dbg!"];
+
+/// L005 trigger tokens.
+const WALL_CLOCK_TOKENS: [&str; 2] = ["Instant::now", "SystemTime"];
+
+/// Numeric types whose `as` casts L004 audits.
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Runs all line-based rules over one scanned file.
+pub fn check_lines(
+    class: CrateClass,
+    is_crate_root: bool,
+    file: &str,
+    lines: &[SourceLine],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        check_l001(lines, idx, file, &mut diags);
+        if class.library {
+            check_l002(lines, idx, file, &mut diags);
+        }
+        if class.lower_layer {
+            check_l003_use(lines, idx, file, &mut diags);
+        }
+        if class.cast_audited {
+            check_l004(lines, idx, file, &mut diags);
+        }
+        if class.deterministic {
+            check_l005(lines, idx, file, &mut diags);
+        }
+    }
+    if class.library && is_crate_root {
+        check_l006(lines, file, &mut diags);
+    }
+    diags
+}
+
+fn check_l001(lines: &[SourceLine], idx: usize, file: &str, diags: &mut Vec<Diagnostic>) {
+    let line = &lines[idx];
+    for (token, needs_dot) in PANIC_TOKENS {
+        let hit = if needs_dot {
+            let dotted = format!(".{token}");
+            line.code.contains(&dotted)
+        } else {
+            contains_token(&line.code, token)
+        };
+        if hit && !is_waived(lines, idx, Rule::L001) {
+            diags.push(Diagnostic {
+                rule: Rule::L001,
+                file: file.to_string(),
+                line: line.number,
+                message: format!(
+                    "`{token}` can panic at runtime; propagate an error instead, or \
+                     waive with `// lint:allow(panic): <why infallible>`"
+                ),
+            });
+        }
+    }
+}
+
+fn check_l002(lines: &[SourceLine], idx: usize, file: &str, diags: &mut Vec<Diagnostic>) {
+    let line = &lines[idx];
+    for token in PRINT_TOKENS {
+        // `print!` is a prefix of `println!`; token_at's word-boundary
+        // check rejects the shorter match because `l` follows, and the
+        // two entries fire independently, so no double counting.
+        if contains_token(&line.code, token) && !is_waived(lines, idx, Rule::L002) {
+            diags.push(Diagnostic {
+                rule: Rule::L002,
+                file: file.to_string(),
+                line: line.number,
+                message: format!(
+                    "`{token}` in a library crate; emit through carpool-obs or return \
+                     data to the caller (waiver: `// lint:allow(print): <why>`)"
+                ),
+            });
+        }
+    }
+}
+
+fn check_l003_use(lines: &[SourceLine], idx: usize, file: &str, diags: &mut Vec<Diagnostic>) {
+    let line = &lines[idx];
+    for upper in UPPER_LAYER {
+        let module = upper.replace('-', "_");
+        // Word-boundary matching is essential: `carpool` must not match
+        // inside `carpool_obs` or `carpool_phy`.
+        if references_module(&line.code, &module) {
+            if is_waived(lines, idx, Rule::L003) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                rule: Rule::L003,
+                file: file.to_string(),
+                line: line.number,
+                message: format!(
+                    "lower-layer crate references `{module}`; the PHY/channel/frame/\
+                     traffic layers must not reach up into MAC/facade/tool crates"
+                ),
+            });
+        }
+    }
+}
+
+/// Whether `code` references crate `module`: `module::…`, a
+/// word-bounded `use module…` import, or `extern crate module`.
+fn references_module(code: &str, module: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = code[from..].find(module) {
+        let at = from + at;
+        from = at + 1;
+        if !token_at(code, at, module) {
+            continue;
+        }
+        let after = &code[at + module.len()..];
+        if after.starts_with("::") {
+            return true;
+        }
+        let before = code[..at].trim_end();
+        if before.ends_with("use") || before.ends_with("extern crate") {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_l004(lines: &[SourceLine], idx: usize, file: &str, diags: &mut Vec<Diagnostic>) {
+    let line = &lines[idx];
+    let code = &line.code;
+    let mut from = 0;
+    let mut hits: Vec<&str> = Vec::new();
+    while let Some(at) = code[from..].find(" as ") {
+        let at = from + at + 1; // position of the `as` word
+        from = at + 2;
+        if !token_at(code, at, "as") {
+            continue;
+        }
+        let after = code[at + 2..].trim_start();
+        for ty in NUMERIC_TYPES {
+            if token_at(after, 0, ty) {
+                hits.push(ty);
+                break;
+            }
+        }
+    }
+    if !hits.is_empty() && !is_waived(lines, idx, Rule::L004) {
+        for ty in hits {
+            diags.push(Diagnostic {
+                rule: Rule::L004,
+                file: file.to_string(),
+                line: line.number,
+                message: format!(
+                    "`as {ty}` cast can silently truncate or saturate in a DSP hot \
+                     path; use a checked/documented conversion or waive with \
+                     `// lint:allow(as-cast): <why lossless>`"
+                ),
+            });
+        }
+    }
+}
+
+fn check_l005(lines: &[SourceLine], idx: usize, file: &str, diags: &mut Vec<Diagnostic>) {
+    let line = &lines[idx];
+    for token in WALL_CLOCK_TOKENS {
+        if line.code.contains(token) && !is_waived(lines, idx, Rule::L005) {
+            diags.push(Diagnostic {
+                rule: Rule::L005,
+                file: file.to_string(),
+                line: line.number,
+                message: format!(
+                    "`{token}` breaks trace reproducibility in a simulation crate; \
+                     take time from the simulation clock or the obs layer"
+                ),
+            });
+        }
+    }
+}
+
+/// Item keywords that need docs when `pub` at the crate-root top level.
+const DOC_ITEMS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union",
+];
+
+fn check_l006(lines: &[SourceLine], file: &str, diags: &mut Vec<Diagnostic>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || line.depth != 0 {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let Some(rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        // `pub use` re-exports inherit upstream docs; `pub(crate)` and
+        // friends are not part of the public API.
+        let rest = rest.trim_start();
+        let keyword_ok = DOC_ITEMS.iter().any(|kw| {
+            rest.strip_prefix(kw)
+                .is_some_and(|after| after.starts_with([' ', '<', '(']))
+                || rest
+                    .strip_prefix("unsafe ")
+                    .map(str::trim_start)
+                    .and_then(|r| r.strip_prefix(kw))
+                    .is_some_and(|after| after.starts_with(' '))
+        });
+        if !keyword_ok {
+            continue;
+        }
+        if has_doc_above(lines, idx) || is_waived(lines, idx, Rule::L006) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: Rule::L006,
+            file: file.to_string(),
+            line: line.number,
+            message: "public item in a crate root without `///` docs".to_string(),
+        });
+    }
+}
+
+/// Walks upward over attributes and blank lines looking for a doc
+/// comment attached to the item at `idx`.
+fn has_doc_above(lines: &[SourceLine], idx: usize) -> bool {
+    let mut k = idx;
+    while k > 0 {
+        k -= 1;
+        let line = &lines[k];
+        let code = line.code.trim();
+        let comment = line.comment.trim_start();
+        if comment.starts_with("///") {
+            return true;
+        }
+        // Attribute lines (including multi-line attribute tails) and
+        // blanks are transparent; anything else ends the search.
+        let attr_like = code.starts_with("#[") || code.ends_with(']') || code.ends_with(',');
+        if code.is_empty() || attr_like {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// L003 manifest check: `Cargo.toml` dependencies of a lower-layer
+/// crate must not include upper-layer crates.
+pub fn check_manifest_layering(
+    class: CrateClass,
+    manifest_path: &str,
+    dependencies: &[String],
+) -> Vec<Diagnostic> {
+    if !class.lower_layer {
+        return Vec::new();
+    }
+    dependencies
+        .iter()
+        .filter(|dep| UPPER_LAYER.contains(&dep.as_str()))
+        .map(|dep| Diagnostic {
+            rule: Rule::L003,
+            file: manifest_path.to_string(),
+            line: 0,
+            message: format!(
+                "Cargo.toml dependency on `{dep}` from a lower-layer crate breaks \
+                 the phy/bloom/channel/frame/traffic < mac/carpool/cli/bench layering"
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan_source;
+
+    /// Classes used by the fixtures below.
+    fn lib_class() -> CrateClass {
+        classify("carpool-frame")
+    }
+    fn dsp_class() -> CrateClass {
+        classify("carpool-phy")
+    }
+    fn tool_class() -> CrateClass {
+        classify("carpool-cli")
+    }
+
+    fn check(class: CrateClass, src: &str) -> Vec<Diagnostic> {
+        check_lines(class, false, "fix.rs", &scan_source(src))
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<Rule> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn l001_flags_each_panicking_call() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n\
+                   fn g(x: Option<u8>) { x.expect(\"m\"); }\n\
+                   fn h() { panic!(\"no\"); }\n\
+                   fn k() { unreachable!() }\n";
+        let diags = check(lib_class(), src);
+        assert_eq!(rules_of(&diags), [Rule::L001; 4]);
+        assert_eq!(
+            diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+            [1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn l001_waiver_on_line_or_above_is_honored() {
+        let on_line = "fn f() { x.unwrap(); } // lint:allow(panic): checked above\n";
+        assert!(check(lib_class(), on_line).is_empty());
+        let above = "// lint:allow(panic): slot exists by construction\n\
+                     fn f() { x.unwrap(); }\n";
+        assert!(check(lib_class(), above).is_empty());
+    }
+
+    #[test]
+    fn l001_waiver_without_reason_is_ignored() {
+        let src = "fn f() { x.unwrap(); } // lint:allow(panic):\n";
+        assert_eq!(rules_of(&check(lib_class(), src)), [Rule::L001]);
+        let wrong_key = "fn f() { x.unwrap(); } // lint:allow(print): wrong rule\n";
+        assert_eq!(rules_of(&check(lib_class(), wrong_key)), [Rule::L001]);
+    }
+
+    #[test]
+    fn l001_test_code_is_exempt() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { x.unwrap(); panic!(\"fixture\"); }\n\
+                   }\n";
+        assert!(check(lib_class(), src).is_empty());
+    }
+
+    #[test]
+    fn l001_comments_and_strings_do_not_fire() {
+        let src = "// calls unwrap() and panic! in prose\n\
+                   fn f() -> &'static str { \"panic! .unwrap()\" }\n";
+        assert!(check(lib_class(), src).is_empty());
+    }
+
+    #[test]
+    fn l002_print_macros_only_in_libraries() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); }\n";
+        let diags = check(lib_class(), src);
+        assert_eq!(rules_of(&diags), [Rule::L002, Rule::L002]);
+        // A tool crate (cli/bench/lint) may print freely.
+        assert!(check(tool_class(), src).is_empty());
+    }
+
+    #[test]
+    fn l002_waiver_honored() {
+        let src = "fn f() { println!(\"x\"); } // lint:allow(print): startup banner\n";
+        assert!(check(lib_class(), src).is_empty());
+    }
+
+    #[test]
+    fn l003_upper_layer_references_flagged_with_word_boundaries() {
+        let class = classify("carpool-channel");
+        assert!(class.lower_layer);
+        let src = "use carpool_mac::Schedule;\n";
+        assert_eq!(rules_of(&check(class, src)), [Rule::L003]);
+        let qualified = "fn f() { let x = carpool_cli::main(); }\n";
+        assert_eq!(rules_of(&check(class, qualified)), [Rule::L003]);
+        // Sibling lower-layer and obs imports are fine, and `carpool`
+        // must not match inside `carpool_obs`.
+        let ok = "use carpool_obs::Obs;\nuse carpool_bloom::Filter;\n";
+        assert!(check(class, ok).is_empty());
+    }
+
+    #[test]
+    fn l003_manifest_dependencies_checked() {
+        let deps = vec!["carpool-obs".to_string(), "carpool-mac".to_string()];
+        let diags =
+            check_manifest_layering(classify("carpool-frame"), "crates/frame/Cargo.toml", &deps);
+        assert_eq!(rules_of(&diags), [Rule::L003]);
+        assert!(diags[0].message.contains("carpool-mac"));
+        // Upper-layer crates may depend on whatever they like.
+        assert!(check_manifest_layering(classify("carpool-mac"), "m", &deps).is_empty());
+    }
+
+    #[test]
+    fn l004_numeric_casts_need_waivers_in_dsp_crates() {
+        let src = "fn f(x: f64) -> u8 { x as u8 }\n";
+        assert_eq!(rules_of(&check(dsp_class(), src)), [Rule::L004]);
+        // Same code in a non-audited crate passes.
+        assert!(check(classify("carpool-traffic"), src).is_empty());
+        let waived = "// lint:allow(as-cast): x is clamped to [0, 255] above\n\
+                      fn f(x: f64) -> u8 { x as u8 }\n";
+        assert!(check(dsp_class(), waived).is_empty());
+    }
+
+    #[test]
+    fn l004_non_numeric_casts_are_fine() {
+        let src = "fn f(x: &dyn E) { let y = x as &dyn Any; let p = v as *const u8; }\n";
+        // `as *const u8` is a pointer cast, not a numeric narrowing —
+        // the token after `as` is `*`, not a numeric type.
+        assert!(check(dsp_class(), src).is_empty());
+    }
+
+    #[test]
+    fn l005_wall_clock_flagged_in_simulation_crates() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(rules_of(&check(lib_class(), src)), [Rule::L005]);
+        // obs owns the profiling clock; tool crates may also use it.
+        assert!(check(classify("carpool-obs"), src).is_empty());
+        assert!(check(tool_class(), src).is_empty());
+        let waived = "fn f() { let t = Instant::now(); } // lint:allow(wall-clock): profiling\n";
+        assert!(check(lib_class(), waived).is_empty());
+    }
+
+    #[test]
+    fn l006_pub_items_in_crate_root_need_docs() {
+        let src = "pub mod alpha;\n\
+                   /// Documented.\n\
+                   pub mod beta;\n\
+                   pub use alpha::Thing;\n\
+                   pub(crate) fn helper() {}\n\
+                   pub fn orphan() {}\n";
+        let diags = check_lines(lib_class(), true, "lib.rs", &scan_source(src));
+        assert_eq!(rules_of(&diags), [Rule::L006, Rule::L006]);
+        assert_eq!(
+            diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+            [1, 6],
+            "undocumented mod and fn; pub use / pub(crate) exempt"
+        );
+        // Non-root files and non-library crates are exempt.
+        assert!(check_lines(lib_class(), false, "x.rs", &scan_source(src)).is_empty());
+        assert!(check_lines(tool_class(), true, "main.rs", &scan_source(src)).is_empty());
+    }
+
+    #[test]
+    fn l006_docs_seen_through_attributes() {
+        let src = "/// Documented.\n\
+                   #[derive(Debug, Clone)]\n\
+                   pub struct S;\n";
+        assert!(check_lines(lib_class(), true, "lib.rs", &scan_source(src)).is_empty());
+    }
+
+    #[test]
+    fn waiver_parser_requires_reason() {
+        assert_eq!(
+            waivers_in_comment("// lint:allow(panic): index checked above"),
+            ["panic"]
+        );
+        assert!(waivers_in_comment("// lint:allow(panic)").is_empty());
+        assert!(waivers_in_comment("// lint:allow(panic):   ").is_empty());
+        assert_eq!(
+            waivers_in_comment("// lint:allow(as-cast): fits, lint:allow(panic): safe"),
+            ["as-cast", "panic"]
+        );
+    }
+}

@@ -1,0 +1,370 @@
+//! Comment- and string-aware source scanner.
+//!
+//! Rust token rules that matter here, without pulling in a real parser:
+//! line comments (`//`), nested block comments (`/* /* */ */`), string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash
+//! depth, plus `b`-prefixed forms), char literals (`'a'`, `'\n'`) and
+//! lifetimes (`'a`, which must *not* open a char literal). The scanner
+//! folds a file into per-line records where `code` holds only real
+//! code (string/char contents blanked, comments removed) and `comment`
+//! holds the comment text, so rules can match tokens in `code` without
+//! ever being fooled by a `panic!` inside a doc comment or a format
+//! string, and waivers can be read from `comment`.
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code text with comments removed and string/char literal
+    /// contents blanked (delimiters are kept, so `"x"` becomes `""`).
+    pub code: String,
+    /// Concatenated comment text on this line, including the `//`,
+    /// `///` or `/*` markers.
+    pub comment: String,
+    /// Whether the line sits inside `#[cfg(test)]` / `#[test]` marked
+    /// code (attribute line and block included).
+    pub in_test: bool,
+    /// Brace depth at the start of the line (0 = module top level).
+    pub depth: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Splits `source` into scanned lines. The tokenizer state carries
+/// across lines, so multi-line strings and block comments are handled.
+pub fn scan_source(source: &str) -> Vec<SourceLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut number = 1usize;
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(SourceLine {
+                number,
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+                depth: 0,
+            });
+            number += 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    comment.push_str("/*");
+                    // A block comment is still a token separator.
+                    code.push(' ');
+                    i += 2;
+                } else if let Some(hashes) = raw_string_start(&chars, i, &code) {
+                    // `r"`, `r#"`, `br##"` … — consume the prefix up to
+                    // and including the opening quote.
+                    let prefix_len = raw_prefix_len(&chars, i) + hashes as usize + 1;
+                    code.push('"');
+                    state = State::RawStr(hashes);
+                    i += prefix_len;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == '\'' {
+                    match char_literal_kind(&chars, i) {
+                        CharKind::Literal => {
+                            code.push('\'');
+                            state = State::Char;
+                            i += 1;
+                        }
+                        CharKind::Lifetime => {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    comment.push_str("*/");
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(SourceLine {
+            number,
+            code,
+            comment,
+            in_test: false,
+            depth: 0,
+        });
+    }
+    mark_depth_and_tests(&mut lines);
+    lines
+}
+
+const fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Length of the `r` / `br` prefix at `i` if one is present.
+fn raw_prefix_len(chars: &[char], i: usize) -> usize {
+    if chars[i] == 'b' {
+        2
+    } else {
+        1
+    }
+}
+
+/// If a raw string literal starts at `i`, returns its hash count.
+fn raw_string_start(chars: &[char], i: usize, code: &str) -> Option<u32> {
+    let c = chars[i];
+    let start = if c == 'r' {
+        i + 1
+    } else if c == 'b' && chars.get(i + 1) == Some(&'r') {
+        i + 2
+    } else {
+        return None;
+    };
+    // Reject identifiers that merely end in r (e.g. `attr"…"` is not
+    // valid Rust anyway, but don't let it flip the tokenizer state).
+    if code.chars().last().is_some_and(is_ident_char) {
+        return None;
+    }
+    let mut hashes = 0u32;
+    let mut k = start;
+    while chars.get(k) == Some(&'#') {
+        hashes += 1;
+        k += 1;
+    }
+    (chars.get(k) == Some(&'"')).then_some(hashes)
+}
+
+/// Whether the quote at `i` is followed by enough hashes to close a raw
+/// string with `hashes` hashes.
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+enum CharKind {
+    Literal,
+    Lifetime,
+}
+
+/// Disambiguates a `'` in code position: char literal or lifetime?
+fn char_literal_kind(chars: &[char], i: usize) -> CharKind {
+    match chars.get(i + 1) {
+        // '\n', '\u{…}' — escapes only appear in char literals.
+        Some('\\') => CharKind::Literal,
+        // 'x' followed by a closing quote is a char literal; anything
+        // else ident-like ('a in generics, loop labels) is a lifetime.
+        Some(&c) if is_ident_char(c) => {
+            if chars.get(i + 2) == Some(&'\'') {
+                CharKind::Literal
+            } else {
+                CharKind::Lifetime
+            }
+        }
+        // Punctuation chars: '(', ';' … are valid char literals.
+        Some(_) => CharKind::Literal,
+        None => CharKind::Lifetime,
+    }
+}
+
+/// Second pass: assigns brace depth to each line and marks
+/// `#[cfg(test)]` / `#[test]` regions (attribute line through the end
+/// of the attributed block).
+fn mark_depth_and_tests(lines: &mut [SourceLine]) {
+    let mut depth = 0usize;
+    // Depth at which a test attribute was seen, waiting for its block.
+    let mut pending: Option<usize> = None;
+    // While set, lines are test code until depth drops below this.
+    let mut active: Option<usize> = None;
+
+    for line in lines.iter_mut() {
+        line.depth = depth;
+        let mut in_test = active.is_some() || pending.is_some();
+        for c in line.code.chars() {
+            if c == '{' {
+                depth += 1;
+                if pending == Some(depth.saturating_sub(1)) && active.is_none() {
+                    active = Some(depth);
+                    pending = None;
+                    in_test = true;
+                }
+            } else if c == '}' {
+                depth = depth.saturating_sub(1);
+                if active.is_some_and(|t| depth < t) {
+                    active = None;
+                }
+            }
+        }
+        if active.is_none() && (line.code.contains("#[cfg(test)]") || line.code.contains("#[test]"))
+        {
+            pending = Some(depth);
+            in_test = true;
+        }
+        line.in_test = in_test || active.is_some();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        scan_source(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped() {
+        let lines = scan_source("let x = 1; // panic!(\"no\")\n");
+        assert_eq!(lines[0].code.trim_end(), "let x = 1;");
+        assert!(lines[0].comment.contains("panic!"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\nc /* open\nd inside\ne */ f\n";
+        let code = code_of(src);
+        assert_eq!(code[0].replace(' ', ""), "ab");
+        assert_eq!(code[1].replace(' ', ""), "c");
+        assert_eq!(code[2].replace(' ', ""), "");
+        assert_eq!(code[3].replace(' ', ""), "f");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let code = code_of("let s = \"unwrap() // not a comment\"; x\n");
+        assert_eq!(code[0], "let s = \"\"; x");
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let code = code_of("let s = \"a\\\"panic!\\\"b\"; y\n");
+        assert_eq!(code[0], "let s = \"\"; y");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let code = code_of("let s = r#\"has \" quote and panic!\"# ; z\n");
+        assert_eq!(code[0], "let s = \"\" ; z");
+        let code = code_of("let s = br##\"bytes \"# still\"## ; w\n");
+        assert_eq!(code[0], "let s = \"\" ; w");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let code = code_of("let c = '\"'; let q: &'static str = \"s\"; let n = '\\n';\n");
+        assert_eq!(
+            code[0],
+            "let c = ''; let q: &'static str = \"\"; let n = '';"
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "\
+fn real() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() { x.unwrap(); }\n\
+}\n\
+fn also_real() {}\n";
+        let lines = scan_source(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[4].in_test);
+        assert!(lines[5].in_test);
+        assert!(!lines[6].in_test, "code after the test mod is live again");
+    }
+
+    #[test]
+    fn depth_tracks_braces() {
+        let lines = scan_source("mod m {\n    fn f() {\n        x;\n    }\n}\n");
+        let depths: Vec<usize> = lines.iter().map(|l| l.depth).collect();
+        assert_eq!(depths, vec![0, 1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn multiline_string_keeps_state() {
+        let src = "let s = \"line one\nline panic!() two\"; real()\n";
+        let code = code_of(src);
+        assert_eq!(code[0], "let s = \"");
+        assert_eq!(code[1], "\"; real()");
+    }
+}

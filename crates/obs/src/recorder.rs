@@ -88,7 +88,10 @@ impl MemoryRecorder {
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let state = self.state.lock().unwrap();
+        let state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         MetricsSnapshot {
             counters: state.counters.clone(),
             gauges: state.gauges.clone(),
@@ -99,17 +102,26 @@ impl MemoryRecorder {
 
 impl Recorder for MemoryRecorder {
     fn counter(&self, name: &'static str, delta: u64) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *state.counters.entry(name).or_insert(0) += delta;
     }
 
     fn gauge(&self, name: &'static str, value: f64) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         state.gauges.insert(name, value);
     }
 
     fn record(&self, name: &'static str, value: f64) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         state.histograms.entry(name).or_default().record(value);
     }
 }

@@ -61,7 +61,7 @@ impl<W: Write + Send> JsonlSink<W> {
     pub fn into_inner(self) -> std::io::Result<W> {
         self.writer
             .into_inner()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .into_inner()
             .map_err(|e| e.into_error())
     }
@@ -70,7 +70,10 @@ impl<W: Write + Send> JsonlSink<W> {
 impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn emit(&self, stamped: &Stamped) {
         let line = stamped.to_json_line();
-        let mut writer = self.writer.lock().unwrap();
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Sink errors must not take down the instrumented pipeline; a
         // truncated trace is the accepted failure mode for a full disk.
         let _ = writer.write_all(line.as_bytes());
@@ -78,7 +81,11 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().unwrap().flush();
+        let _ = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .flush();
     }
 }
 
@@ -99,11 +106,19 @@ impl RingBufferSink {
 
     /// Snapshot of retained events, oldest first.
     pub fn events(&self) -> Vec<Stamped> {
-        self.events.lock().unwrap().iter().cloned().collect()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
     }
 
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -113,7 +128,10 @@ impl RingBufferSink {
 
 impl EventSink for RingBufferSink {
     fn emit(&self, stamped: &Stamped) {
-        let mut events = self.events.lock().unwrap();
+        let mut events = self
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if events.len() == self.capacity {
             events.pop_front();
         }

@@ -57,7 +57,9 @@ impl ChannelEstimate {
     pub fn from_ltf(ltf1: &[Complex64], ltf2: &[Complex64]) -> ChannelEstimate {
         assert_eq!(ltf1.len(), SYMBOL_LEN, "LTF symbol length");
         assert_eq!(ltf2.len(), SYMBOL_LEN, "LTF symbol length");
+        // lint:allow(panic): length asserted to SYMBOL_LEN above, exact FFT size
         let b1 = fft(&ltf1[CP_LEN..]).expect("64-point FFT");
+        // lint:allow(panic): length asserted to SYMBOL_LEN above, exact FFT size
         let b2 = fft(&ltf2[CP_LEN..]).expect("64-point FFT");
         let mut bins = vec![Complex64::ONE; FFT_SIZE];
         for c in -26..=26i32 {

@@ -61,23 +61,23 @@ impl Modulation {
                     1.0
                 }
             }
-            Modulation::Qam16 => match (bits[0], bits[1]) {
-                (0, 0) => -3.0,
-                (0, 1) => -1.0,
-                (1, 1) => 1.0,
-                (1, 0) => 3.0,
-                _ => unreachable!("bits validated by caller"),
+            // Matching on the LSB as bool keeps the Gray map exhaustive
+            // without an unreachable arm (callers only pass 0/1).
+            Modulation::Qam16 => match (bits[0] & 1 == 1, bits[1] & 1 == 1) {
+                (false, false) => -3.0,
+                (false, true) => -1.0,
+                (true, true) => 1.0,
+                (true, false) => 3.0,
             },
-            Modulation::Qam64 => match (bits[0], bits[1], bits[2]) {
-                (0, 0, 0) => -7.0,
-                (0, 0, 1) => -5.0,
-                (0, 1, 1) => -3.0,
-                (0, 1, 0) => -1.0,
-                (1, 1, 0) => 1.0,
-                (1, 1, 1) => 3.0,
-                (1, 0, 1) => 5.0,
-                (1, 0, 0) => 7.0,
-                _ => unreachable!("bits validated by caller"),
+            Modulation::Qam64 => match (bits[0] & 1 == 1, bits[1] & 1 == 1, bits[2] & 1 == 1) {
+                (false, false, false) => -7.0,
+                (false, false, true) => -5.0,
+                (false, true, true) => -3.0,
+                (false, true, false) => -1.0,
+                (true, true, false) => 1.0,
+                (true, true, true) => 3.0,
+                (true, false, true) => 5.0,
+                (true, false, false) => 7.0,
             },
         }
     }

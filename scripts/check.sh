@@ -1,6 +1,7 @@
 #!/bin/sh
-# Offline lint gate: formatting and clippy across the whole workspace.
-# Run from anywhere; everything resolves relative to the repo root.
+# Offline lint gate: formatting, clippy, and the project linter across
+# the whole workspace. Run from anywhere; everything resolves relative
+# to the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -10,5 +11,11 @@ cargo fmt --all --check
 
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== carpool-lint =="
+# Fails on any new L001-L006 violation or a stale baseline entry; the
+# JSON trend report lands next to the bench baselines for tracking.
+cargo run --offline -q -p carpool-lint
+cargo run --offline -q -p carpool-lint -- --json > crates/bench/BENCH_lint.json
 
 echo "ok"
