@@ -11,12 +11,20 @@
 //! last entries time the full RX chain with the default (no-op) handle
 //! and with a live recorder attached, bounding the observability
 //! overhead on the hot path.
+//!
+//! The run ends with a wall-clock throughput section: the same
+//! [`run_phy`] Monte-Carlo workload timed at one worker thread and at
+//! the pool default, reported as frames/s, coded Mbit/s, and the
+//! speedup, and snapshotted to `BENCH_perf.json`. When a previous
+//! snapshot exists, throughput drops beyond 15% are flagged as
+//! regressions on stdout.
 
 use std::hint::black_box;
+use std::time::Instant;
 
-use carpool_bench::pattern_bits;
+use carpool_bench::{pattern_bits, run_phy, PhyBerResult, PhyRunConfig};
 use carpool_bloom::AggregationHeader;
-use carpool_obs::json::ObjectWriter;
+use carpool_obs::json::{self, ObjectWriter};
 use carpool_obs::{MemoryRecorder, Obs, SpanStats};
 use carpool_phy::convolutional::{decode, encode, CodeRate};
 use carpool_phy::fft::{fft_in_place, ifft_in_place};
@@ -163,6 +171,145 @@ fn bench_obs_overhead(results: &mut Vec<SpanStats>) {
     }));
 }
 
+/// Where the throughput snapshot lands (cargo runs benches with the
+/// package root as the working directory, so this is
+/// `crates/bench/BENCH_perf.json`).
+const PERF_PATH: &str = "BENCH_perf.json";
+
+/// Throughput drops beyond this fraction against the previous snapshot
+/// are flagged as regressions.
+const REGRESSION_FRACTION: f64 = 0.15;
+
+/// One timed throughput row.
+struct Throughput {
+    threads: usize,
+    elapsed_s: f64,
+    frames_per_s: f64,
+    coded_mbit_per_s: f64,
+}
+
+/// Best-of-three wall-clock time of one `run_phy` invocation (after one
+/// warmup), plus the last result for the determinism cross-check.
+fn time_run(config: &PhyRunConfig) -> (f64, PhyBerResult) {
+    run_phy(config);
+    let mut best = f64::INFINITY;
+    let mut result = PhyBerResult::default();
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        result = run_phy(config);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+/// Compares the new pool throughput against the previous `BENCH_perf.json`
+/// (if any) and prints regression flags. Non-fatal by design: wall-clock
+/// noise on shared machines should not fail the gate, but the flag makes
+/// the drop visible in CI logs.
+fn flag_regressions(serial: &Throughput, pool: &Throughput) {
+    let Ok(previous) = std::fs::read_to_string(PERF_PATH) else {
+        println!("no previous {PERF_PATH}; baseline snapshot will be written");
+        return;
+    };
+    let Ok(parsed) = json::parse(previous.trim()) else {
+        println!("previous {PERF_PATH} unparseable; overwriting");
+        return;
+    };
+    for (label, old_key, new_value) in [
+        ("serial", "serial_frames_per_s", serial.frames_per_s),
+        ("pool", "pool_frames_per_s", pool.frames_per_s),
+    ] {
+        let Some(old) = parsed.get(old_key).and_then(|v| v.as_f64()) else {
+            continue;
+        };
+        if new_value < old * (1.0 - REGRESSION_FRACTION) {
+            println!(
+                "PERF REGRESSION ({label}): {new_value:.1} frames/s vs {old:.1} in previous \
+                 snapshot ({:.0}% drop)",
+                (1.0 - new_value / old) * 100.0
+            );
+        } else {
+            println!("perf ok ({label}): {new_value:.1} frames/s (previous {old:.1})");
+        }
+    }
+}
+
+/// Times the parallel Monte-Carlo driver end to end and snapshots the
+/// numbers. The 1-thread and pool-default runs must agree to the bit —
+/// the `carpool-par` determinism contract — and that check rides along
+/// with the timing.
+fn bench_throughput() {
+    let config = PhyRunConfig {
+        frames: 16,
+        payload_bits: 2 * 1024 * 8,
+        seed: 4242,
+        ..PhyRunConfig::default()
+    };
+    let spec = SectionSpec {
+        bits: pattern_bits(config.payload_bits, 77),
+        mcs: config.mcs,
+        scramble: true,
+        side_channel: config.side_channel,
+        qbpsk: false,
+    };
+    let coded_bits_per_frame = transmit(std::slice::from_ref(&spec))
+        .map(|tx| tx.sections[0].num_symbols * config.mcs.coded_bits_per_symbol())
+        .unwrap_or(0);
+    let throughput = |threads: usize, elapsed_s: f64| Throughput {
+        threads,
+        elapsed_s,
+        frames_per_s: config.frames as f64 / elapsed_s,
+        coded_mbit_per_s: (config.frames * coded_bits_per_frame) as f64 / elapsed_s / 1e6,
+    };
+
+    carpool_par::set_thread_override(Some(1));
+    let (serial_s, serial_result) = time_run(&config);
+    carpool_par::set_thread_override(None);
+    let (pool_s, pool_result) = time_run(&config);
+    let serial = throughput(1, serial_s);
+    let pool = throughput(carpool_par::thread_count(), pool_s);
+    let speedup = serial.elapsed_s / pool.elapsed_s;
+    let deterministic = serial_result.data_ber.to_bits() == pool_result.data_ber.to_bits()
+        && serial_result.side_ber.to_bits() == pool_result.side_ber.to_bits();
+
+    println!(
+        "\n{:<24} {:>8} {:>12} {:>12} {:>14}",
+        "throughput (run_phy)", "threads", "elapsed s", "frames/s", "coded Mbit/s"
+    );
+    for t in [&serial, &pool] {
+        println!(
+            "{:<24} {:>8} {:>12.3} {:>12.1} {:>14.2}",
+            "", t.threads, t.elapsed_s, t.frames_per_s, t.coded_mbit_per_s
+        );
+    }
+    println!(
+        "speedup {speedup:.2}x at {} thread(s); 1-thread and pool results bit-identical: \
+         {deterministic}",
+        pool.threads
+    );
+    flag_regressions(&serial, &pool);
+
+    let mut w = ObjectWriter::new();
+    w.str("bench", "phy_micro_perf")
+        .u64("frames", config.frames as u64)
+        .u64("payload_bits", config.payload_bits as u64)
+        .u64("coded_bits_per_frame", coded_bits_per_frame as u64)
+        .u64("pool_threads", pool.threads as u64)
+        .f64("serial_elapsed_s", serial.elapsed_s)
+        .f64("serial_frames_per_s", serial.frames_per_s)
+        .f64("serial_coded_mbit_per_s", serial.coded_mbit_per_s)
+        .f64("pool_elapsed_s", pool.elapsed_s)
+        .f64("pool_frames_per_s", pool.frames_per_s)
+        .f64("pool_coded_mbit_per_s", pool.coded_mbit_per_s)
+        .f64("speedup", speedup)
+        .bool("deterministic", deterministic);
+    let json = format!("{}\n", w.finish());
+    match std::fs::write(PERF_PATH, &json) {
+        Ok(()) => println!("wrote {PERF_PATH}"),
+        Err(e) => eprintln!("cannot write {PERF_PATH}: {e}"),
+    }
+}
+
 fn main() {
     let mut results: Vec<SpanStats> = Vec::new();
     bench_fft(&mut results);
@@ -198,4 +345,6 @@ fn main() {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\ncannot write {path}: {e}"),
     }
+
+    bench_throughput();
 }

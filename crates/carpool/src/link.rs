@@ -128,31 +128,73 @@ impl CarpoolLink {
     /// though through an independent channel realisation here unless the
     /// builder's seed is reused).
     ///
+    /// The per-station receive paths are independent, so they fan out
+    /// across the `carpool-par` worker pool (`CARPOOL_THREADS` controls
+    /// the width). Receptions come back in station order, and each
+    /// worker records into a private observability shard whose metrics
+    /// are merged — and whose events are replayed — into this link's
+    /// handle in that same order, so threaded and serial runs produce
+    /// identical metrics and an identically ordered event stream.
+    ///
     /// # Errors
     ///
-    /// Propagates framing and PHY errors ([`FrameError`]).
+    /// Propagates framing and PHY errors ([`FrameError`]); the first
+    /// failing station (in station order) wins. A panic inside a worker
+    /// surfaces as [`FrameError::Malformed`] rather than unwinding
+    /// through the pool.
     pub fn deliver_all(
         &mut self,
         frame: &CarpoolFrame,
         stations: &[MacAddress],
     ) -> Result<Vec<CarpoolReception>, FrameError> {
+        use std::sync::Arc;
+
         let tx = frame.transmit()?;
         let rx_samples = self.channel.transmit(&tx.samples);
-        stations
-            .iter()
-            .map(|&sta| {
-                let rx = receive_carpool_obs(
-                    &rx_samples,
-                    sta,
-                    self.estimation,
-                    self.hashes,
-                    self.side_channel,
-                    &self.obs,
-                )?;
-                self.emit_ahdr_truth(frame, sta, !rx.matched_indices.is_empty());
-                Ok(rx)
-            })
-            .collect()
+        let estimation = self.estimation;
+        let hashes = self.hashes;
+        let side_channel = self.side_channel;
+        let observing = self.obs.enabled();
+
+        let shards = carpool_par::par_map_indexed(stations, |_idx, &sta| {
+            let (shard_obs, shard) = if observing {
+                let recorder = Arc::new(carpool_obs::MemoryRecorder::new());
+                let sink = Arc::new(carpool_obs::RingBufferSink::new(usize::MAX));
+                (
+                    Obs::new(recorder.clone(), sink.clone()),
+                    Some((recorder, sink)),
+                )
+            } else {
+                (Obs::noop(), None)
+            };
+            let rx = receive_carpool_obs(
+                &rx_samples,
+                sta,
+                estimation,
+                hashes,
+                side_channel,
+                &shard_obs,
+            );
+            let captured = shard.map(|(recorder, sink)| (recorder.snapshot(), sink.events()));
+            (rx, captured)
+        })
+        .map_err(|panic| FrameError::Malformed {
+            reason: format!("parallel receive failed: {panic}"),
+        })?;
+
+        let mut receptions = Vec::with_capacity(shards.len());
+        for ((rx, captured), &sta) in shards.into_iter().zip(stations) {
+            if let Some((snapshot, events)) = captured {
+                self.obs.merge_metrics(&snapshot);
+                for stamped in events {
+                    self.obs.emit(stamped.t, stamped.event);
+                }
+            }
+            let rx = rx?;
+            self.emit_ahdr_truth(frame, sta, !rx.matched_indices.is_empty());
+            receptions.push(rx);
+        }
+        Ok(receptions)
     }
 }
 

@@ -72,6 +72,12 @@ OBSERVABILITY (accepted by every command):
                          `carpool report <path.jsonl>`.
     --obs-summary        Print the metrics registry (counters, gauges,
                          histogram quantiles) to stderr when done.
+
+PARALLELISM (accepted by every command):
+    --threads <N>        Worker threads for parallel trial execution.
+                         Default: the CARPOOL_THREADS environment
+                         variable, else all cores. Results are identical
+                         for every thread count.
 ";
 
 fn parse_mcs(spec: &str) -> Result<Mcs, String> {
@@ -426,6 +432,15 @@ fn main() {
         }
     };
     let obs = session.obs();
+    if let Some(spec) = args.get("threads") {
+        match spec.parse::<usize>() {
+            Ok(n) if n >= 1 => carpool_par::set_thread_override(Some(n)),
+            _ => {
+                eprintln!("error: --threads expects a positive integer, got '{spec}'");
+                std::process::exit(2);
+            }
+        }
+    }
     let result = match args.command() {
         Some("phy-ber") => cmd_phy_ber(&args, &obs),
         Some("mac-sim") => cmd_mac_sim(&args, &obs),

@@ -115,8 +115,10 @@ impl CarpoolFrame {
             .iter()
             .map(|s| s.receiver.as_bytes())
             .collect();
+        // The receiver count was validated at construction, so the error
+        // arm is unreachable; an empty header is the graceful fallback.
         AggregationHeader::for_receivers(&receivers, self.hashes)
-            .expect("receiver count validated at construction")
+            .unwrap_or_else(|_| AggregationHeader::new(self.hashes))
     }
 
     /// PHY section specs: `[A-HDR][SIG_1][payload_1]...`.
@@ -289,7 +291,7 @@ pub fn receive_carpool_obs(
     }
 
     // If nothing matches, the station drops the frame now.
-    if matched_indices.is_empty() {
+    let Some(&last_matched) = matched_indices.last() else {
         let skipped = decoder.remaining_symbols();
         obs.counter("frame.symbols_skipped", skipped as u64);
         return Ok(CarpoolReception {
@@ -298,7 +300,7 @@ pub fn receive_carpool_obs(
             symbols_decoded,
             symbols_skipped: skipped,
         });
-    }
+    };
 
     // 2. Walk subframes: decode every SIG, decode or skip each payload.
     let sig_layout = SectionLayout {
@@ -310,7 +312,6 @@ pub fn receive_carpool_obs(
     };
     let mut subframes = Vec::new();
     let mut index = 0usize;
-    let last_matched = *matched_indices.last().expect("non-empty checked above");
     while index < MAX_RECEIVERS && decoder.remaining_symbols() >= sig_layout.symbol_count() {
         let sig_section = decoder
             .decode_section(&sig_layout)

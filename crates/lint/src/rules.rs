@@ -119,6 +119,13 @@ pub fn classify(package: &str) -> CrateClass {
             lower_layer: true,
             ..lib_sim
         },
+        // The worker pool sits below everything that fans trials out
+        // through it (mac, carpool, bench, cli): L003 keeps it from ever
+        // depending back up on those crates.
+        "carpool-par" => CrateClass {
+            lower_layer: true,
+            ..lib_sim
+        },
         "carpool-mac" => CrateClass {
             cast_audited: true,
             ..lib_sim
@@ -627,6 +634,15 @@ mod tests {
         // must not match inside `carpool_obs`.
         let ok = "use carpool_obs::Obs;\nuse carpool_bloom::Filter;\n";
         assert!(check(class, ok).is_empty());
+    }
+
+    #[test]
+    fn l003_par_pool_is_a_lower_layer_crate() {
+        let class = classify("carpool-par");
+        assert!(class.lower_layer && class.library && class.deterministic);
+        let deps = vec!["carpool-mac".to_string()];
+        let diags = check_manifest_layering(class, "crates/par/Cargo.toml", &deps);
+        assert_eq!(rules_of(&diags), [Rule::L003]);
     }
 
     #[test]

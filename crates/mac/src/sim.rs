@@ -377,7 +377,7 @@ impl Simulator {
                 }
             }
         }
-        arrivals.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        arrivals.sort_by(|a, b| a.time.total_cmp(&b.time));
         arrivals
     }
 
@@ -419,19 +419,21 @@ impl Simulator {
             // single-frame transmission, and never aggregates legacy
             // clients into a Carpool frame.
             let multi_user = matches!(cfg.protocol, Protocol::Carpool | Protocol::MuAggregation);
-            let head_dest = node.queue.front().expect("caller checked non-empty").dest;
-            if multi_user && !self.is_carpool_capable(head_dest) {
-                let head = node.queue.front().expect("non-empty");
-                let mcs = self.mcs_for(head.dest);
-                let wire_bits = (head.bytes + WIRE_OVERHEAD_BYTES) * 8;
-                return TxopPlan {
-                    selected: vec![0],
-                    groups: vec![(head.dest, vec![0], mcs)],
-                    data_airtime: PLCP_OVERHEAD
-                        + mcs.symbols_for_bits(wire_bits) as f64 * SYMBOL_DURATION,
-                    ack_airtime_total: SIFS + ack_airtime(),
-                    header_symbols: 0,
-                };
+            if multi_user {
+                if let Some(head) = node.queue.front() {
+                    if !self.is_carpool_capable(head.dest) {
+                        let mcs = self.mcs_for(head.dest);
+                        let wire_bits = (head.bytes + WIRE_OVERHEAD_BYTES) * 8;
+                        return TxopPlan {
+                            selected: vec![0],
+                            groups: vec![(head.dest, vec![0], mcs)],
+                            data_airtime: PLCP_OVERHEAD
+                                + mcs.symbols_for_bits(wire_bits) as f64 * SYMBOL_DURATION,
+                            ack_airtime_total: SIFS + ack_airtime(),
+                            header_symbols: 0,
+                        };
+                    }
+                }
             }
 
             // Under time fairness the AP presents its queue to the
@@ -452,10 +454,7 @@ impl Simulator {
                             .copied()
                             .unwrap_or(0.0)
                     };
-                    occ(a)
-                        .partial_cmp(&occ(b))
-                        .expect("occupancy is finite")
-                        .then(a.cmp(&b))
+                    occ(a).total_cmp(&occ(b)).then(a.cmp(&b))
                 });
             }
             let queue: Vec<QueuedFrame> = order
@@ -499,8 +498,18 @@ impl Simulator {
                 header_symbols,
             }
         } else {
-            // STA: single head frame to its AP at the STA's own rate.
-            let head = node.queue.front().expect("caller checked non-empty");
+            // STA: single head frame to its AP at the STA's own rate. The
+            // contention loop never selects an empty queue, so an empty
+            // plan here is a graceful fallback rather than a reachable path.
+            let Some(head) = node.queue.front() else {
+                return TxopPlan {
+                    selected: Vec::new(),
+                    groups: Vec::new(),
+                    data_airtime: 0.0,
+                    ack_airtime_total: 0.0,
+                    header_symbols: 0,
+                };
+            };
             let mcs = self.mcs_for(node_id);
             let wire = head.bytes + WIRE_OVERHEAD_BYTES - 2; // no delimiter
             TxopPlan {
@@ -628,13 +637,13 @@ impl Simulator {
             // Expired delay-sensitive downlink frames are discarded.
             if let Some(limit) = cfg.drop_expired_s {
                 for node in nodes.iter_mut().filter(|n| n.is_ap) {
-                    while node
+                    while let Some(f) = node
                         .queue
                         .front()
-                        .map(|f| now - f.enqueue > limit)
-                        .unwrap_or(false)
+                        .filter(|f| now - f.enqueue > limit)
+                        .copied()
                     {
-                        let f = node.queue.pop_front().expect("front checked above");
+                        node.queue.pop_front();
                         downlink.record_drop(now - f.enqueue);
                         obs.emit(
                             now,
@@ -704,7 +713,7 @@ impl Simulator {
                 .iter()
                 .map(|&k| nodes[k].backoff)
                 .min()
-                .expect("eligible non-empty");
+                .unwrap_or(0);
             now += DIFS + d as f64 * SLOT_TIME + cfg.extra_round_overhead_s;
             for &k in &eligible {
                 nodes[k].backoff -= d;
@@ -964,7 +973,9 @@ impl Simulator {
             let mut by_index: Vec<(usize, bool)> = outcomes;
             by_index.sort_by_key(|&(k, _)| std::cmp::Reverse(k));
             for (k, ok) in by_index {
-                let mut frame = node.queue.remove(k).expect("index from selection");
+                let Some(mut frame) = node.queue.remove(k) else {
+                    continue;
+                };
                 let metrics = if node.is_ap {
                     &mut downlink
                 } else {
@@ -1011,7 +1022,7 @@ impl Simulator {
                 }
             }
             // Failed frames return to the head, oldest first.
-            requeue.sort_by(|a, b| b.enqueue.partial_cmp(&a.enqueue).expect("finite"));
+            requeue.sort_by(|a, b| b.enqueue.total_cmp(&a.enqueue));
             for f in requeue {
                 node.queue.push_front(f);
             }
@@ -1063,6 +1074,38 @@ impl Simulator {
     }
 }
 
+/// Runs one independent simulation replication per seed across the
+/// `carpool-par` worker pool and returns the reports in seed order.
+///
+/// Each replication builds its own [`Simulator`] from `config` (with
+/// [`SimConfig::seed`] replaced by that replication's seed) and a fresh
+/// error model from `make_model`, so no mutable state is shared between
+/// workers. Because every replication derives its randomness solely from
+/// its seed, the returned reports are identical whatever the thread
+/// count — `CARPOOL_THREADS=1` and `CARPOOL_THREADS=8` produce the same
+/// bytes. A panic inside any replication surfaces as
+/// [`carpool_par::ParError::WorkerPanic`] instead of tearing down the
+/// caller.
+///
+/// Replications run without observability ([`Obs::noop`]); attach a
+/// recorder per [`Simulator`] instead when tracing a single run.
+pub fn run_replications<F>(
+    config: &SimConfig,
+    seeds: &[u64],
+    make_model: F,
+) -> Result<Vec<SimReport>, carpool_par::ParError>
+where
+    F: Fn() -> Box<dyn FrameErrorModel> + Sync,
+{
+    carpool_par::par_map_indexed(seeds, |_idx, &seed| {
+        let cfg = SimConfig {
+            seed,
+            ..config.clone()
+        };
+        Simulator::new(cfg, make_model()).run()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1079,6 +1122,30 @@ mod tests {
 
     fn run(cfg: SimConfig) -> SimReport {
         Simulator::new(cfg, Box::new(BerBiasModel::calibrated())).run()
+    }
+
+    #[test]
+    fn replications_match_serial_runs_in_seed_order() {
+        let cfg = SimConfig {
+            duration_s: 1.0,
+            ..base_config(Protocol::Carpool, 6)
+        };
+        let seeds = [3u64, 7, 11];
+        let parallel = run_replications(&cfg, &seeds, || {
+            Box::new(BerBiasModel::calibrated()) as Box<dyn FrameErrorModel>
+        })
+        .expect("pool completes");
+        let serial: Vec<SimReport> = seeds
+            .iter()
+            .map(|&seed| {
+                let one = SimConfig {
+                    seed,
+                    ..cfg.clone()
+                };
+                Simulator::new(one, Box::new(BerBiasModel::calibrated())).run()
+            })
+            .collect();
+        assert_eq!(parallel, serial);
     }
 
     #[test]

@@ -125,6 +125,16 @@ impl Obs {
         }
     }
 
+    /// Folds a [`MetricsSnapshot`] captured by another recorder (e.g. a
+    /// parallel worker's shard) into this handle's recorder. Counters
+    /// add, gauges last-write-win, histograms merge bucket-wise — see
+    /// [`Recorder::absorb`].
+    pub fn merge_metrics(&self, snapshot: &MetricsSnapshot) {
+        if self.enabled {
+            self.recorder.absorb(snapshot);
+        }
+    }
+
     /// Emit a structured event stamped with clock value `t` and the next
     /// sequence number.
     #[inline]

@@ -30,6 +30,21 @@ pub trait Recorder {
     fn is_enabled(&self) -> bool {
         true
     }
+
+    /// Folds a [`MetricsSnapshot`] captured elsewhere (e.g. a parallel
+    /// worker's shard recorder) into this recorder: counters add, gauges
+    /// last-write-win, histograms merge bucket-wise. The default
+    /// implementation replays counters and gauges through the scalar
+    /// methods but cannot represent whole histograms, so histogram-capable
+    /// recorders (like [`MemoryRecorder`]) override it for exact merging.
+    fn absorb(&self, snapshot: &MetricsSnapshot) {
+        for (name, delta) in &snapshot.counters {
+            self.counter(name, *delta);
+        }
+        for (name, value) in &snapshot.gauges {
+            self.gauge(name, *value);
+        }
+    }
 }
 
 /// Discards everything. All methods are empty bodies, so an
@@ -124,6 +139,22 @@ impl Recorder for MemoryRecorder {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         state.histograms.entry(name).or_default().record(value);
     }
+
+    fn absorb(&self, snapshot: &MetricsSnapshot) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (name, delta) in &snapshot.counters {
+            *state.counters.entry(name).or_insert(0) += delta;
+        }
+        for (name, value) in &snapshot.gauges {
+            state.gauges.insert(name, *value);
+        }
+        for (name, hist) in &snapshot.histograms {
+            state.histograms.entry(name).or_default().merge(hist);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +168,38 @@ mod tests {
         r.gauge("y", 2.0);
         r.record("z", 3.0);
         assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn absorb_merges_shards_exactly() {
+        // Sequential recording vs. two shards merged: identical snapshots.
+        let whole = MemoryRecorder::new();
+        let shard_a = MemoryRecorder::new();
+        let shard_b = MemoryRecorder::new();
+        for i in 0..50u64 {
+            let target = if i % 2 == 0 { &shard_a } else { &shard_b };
+            for r in [&whole, target] {
+                r.counter("frames", 1);
+                r.record("delay", (i as f64 + 1.0) * 1e-4);
+            }
+        }
+        whole.gauge("depth", 9.0);
+        shard_b.gauge("depth", 9.0);
+
+        let merged = MemoryRecorder::new();
+        merged.absorb(&shard_a.snapshot());
+        merged.absorb(&shard_b.snapshot());
+        let (want, got) = (whole.snapshot(), merged.snapshot());
+        assert_eq!(want.counters, got.counters);
+        assert_eq!(want.gauges, got.gauges);
+        let (wh, gh) = (
+            want.histogram("delay").unwrap(),
+            got.histogram("delay").unwrap(),
+        );
+        assert_eq!(wh.count(), gh.count());
+        assert!((wh.sum() - gh.sum()).abs() < 1e-12);
+        assert_eq!(wh.quantile(0.5), gh.quantile(0.5));
+        assert_eq!(wh.nonzero_buckets(), gh.nonzero_buckets());
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! carpool-par: deterministic multi-core execution for trial loops.
+//!
+//! The figure/table benches replay independent Monte-Carlo trials whose
+//! RNG streams are keyed by item index (`seed + i`), so they are
+//! embarrassingly parallel *by construction*. This crate provides the
+//! minimal std-only machinery to exploit that:
+//!
+//! - [`par_map_indexed`] — a scoped worker pool (`std::thread::scope`)
+//!   that maps `f(i, &items[i])` over a slice and returns results in
+//!   item order. Work is claimed from a shared atomic cursor, but the
+//!   *output* is keyed purely by index, so 1-thread and N-thread runs
+//!   produce identical bytes.
+//! - [`par_map_reduce`] — the same map followed by a serial, in-index-
+//!   order fold: the deterministic reduction used to merge per-trial
+//!   tallies (and per-worker observability shards) exactly.
+//!
+//! # Determinism contract
+//!
+//! Callers must key any randomness by the item index (never by thread
+//! identity or scheduling order), and must not share mutable state
+//! between items. Under that contract the output of every function in
+//! this crate is a pure function of `(items, f)` — the thread count only
+//! changes wall-clock time.
+//!
+//! # Thread count
+//!
+//! [`thread_count`] resolves, in order: a process-wide programmatic
+//! override ([`set_thread_override`], used by the CLI `--threads` flag),
+//! the `CARPOOL_THREADS` environment variable, and finally
+//! `std::thread::available_parallelism()`. A count of 1 (or a
+//! single-item input) takes a serial fallback path with no thread spawns.
+//!
+//! Worker panics never hang or tear down the process: both the pooled
+//! and the serial path report them as [`ParError::WorkerPanic`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Errors surfaced by the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParError {
+    /// A worker panicked while mapping an item. The panic payload is
+    /// reported through the standard panic hook (stderr); the pool
+    /// converts it into this error instead of propagating or hanging.
+    WorkerPanic,
+}
+
+impl std::fmt::Display for ParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParError::WorkerPanic => write!(f, "a parallel worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ParError {}
+
+/// Process-wide thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (or with `None` clears) the process-wide thread-count override.
+/// Takes precedence over `CARPOOL_THREADS` and auto-detection; a value
+/// of `Some(0)` is treated as `None`.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Resolves the worker-thread count: programmatic override, then the
+/// `CARPOOL_THREADS` environment variable, then
+/// `available_parallelism()` (1 if even that is unavailable).
+pub fn thread_count() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var("CARPOOL_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f(i, &items[i])` over `items` on [`thread_count`] scoped worker
+/// threads, returning the results in item order.
+///
+/// Workers claim indices from a shared atomic cursor, so scheduling is
+/// dynamic, but each result slot is keyed by its item index: the output
+/// is byte-identical across any thread count (see the crate-level
+/// determinism contract).
+///
+/// # Errors
+///
+/// Returns [`ParError::WorkerPanic`] if `f` panics on any item (on the
+/// serial path too, for a uniform contract).
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, ParError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = thread_count().min(items.len());
+    if threads <= 1 {
+        return serial_map(items, &f);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let shards: Vec<Result<Vec<(usize, R)>, ParError>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut shard: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        shard.push((i, f(i, &items[i])));
+                    }
+                    shard
+                })
+            })
+            .collect();
+        // Joining every handle (instead of letting the scope implicitly
+        // wait) converts worker panics into Err values here rather than
+        // re-raising them when the scope closes.
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| ParError::WorkerPanic))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for shard in shards {
+        for (i, r) in shard? {
+            slots[i] = Some(r);
+        }
+    }
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        match slot {
+            Some(r) => out.push(r),
+            // A slot can only stay empty if its owner died; the join
+            // above reports that, so this is a defensive second net.
+            None => return Err(ParError::WorkerPanic),
+        }
+    }
+    Ok(out)
+}
+
+/// [`par_map_indexed`] followed by a serial fold of the mapped results
+/// in item order — the deterministic reduction for merging per-trial
+/// tallies. `fold` runs on the calling thread only.
+///
+/// # Errors
+///
+/// Returns [`ParError::WorkerPanic`] if `map` panics on any item.
+pub fn par_map_reduce<T, R, A, F, G>(items: &[T], map: F, init: A, fold: G) -> Result<A, ParError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    let mapped = par_map_indexed(items, map)?;
+    Ok(mapped.into_iter().fold(init, fold))
+}
+
+/// Single-threaded path: same in-order semantics, same panic-to-error
+/// contract, no thread spawns.
+fn serial_map<T, R, F>(items: &[T], f: &F) -> Result<Vec<R>, ParError>
+where
+    F: Fn(usize, &T) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+    }))
+    .map_err(|_| ParError::WorkerPanic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the process-wide thread override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(threads: usize, body: impl FnOnce() -> R) -> R {
+        let _guard = OVERRIDE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_thread_override(Some(threads));
+        let out = body();
+        set_thread_override(None);
+        out
+    }
+
+    /// An index-keyed xorshift, the same discipline the benches use.
+    fn trial(i: usize) -> u64 {
+        let mut x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for _ in 0..32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        x
+    }
+
+    #[test]
+    fn output_is_in_item_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = with_threads(4, || {
+            par_map_indexed(&items, |i, &x| (i, trial(x))).unwrap()
+        });
+        for (k, &(i, v)) in out.iter().enumerate() {
+            assert_eq!(i, k);
+            assert_eq!(v, trial(k));
+        }
+    }
+
+    #[test]
+    fn one_thread_and_many_threads_agree_exactly() {
+        let items: Vec<usize> = (0..100).collect();
+        let serial = with_threads(1, || par_map_indexed(&items, |_, &x| trial(x)).unwrap());
+        for threads in [2, 3, 4, 8] {
+            let parallel = with_threads(threads, || {
+                par_map_indexed(&items, |_, &x| trial(x)).unwrap()
+            });
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: [u8; 0] = [];
+        assert_eq!(
+            par_map_indexed(&empty, |_, &x| x).unwrap(),
+            Vec::<u8>::new()
+        );
+        assert_eq!(
+            par_map_indexed(&[7u8], |i, &x| (i, x)).unwrap(),
+            vec![(0, 7)]
+        );
+    }
+
+    #[test]
+    fn reduce_folds_in_index_order() {
+        let items: Vec<usize> = (0..50).collect();
+        let concat = with_threads(4, || {
+            par_map_reduce(
+                &items,
+                |i, _| i.to_string(),
+                String::new(),
+                |mut acc, s| {
+                    acc.push_str(&s);
+                    acc.push(',');
+                    acc
+                },
+            )
+            .unwrap()
+        });
+        let expected: String = (0..50).map(|i| format!("{i},")).collect();
+        assert_eq!(concat, expected);
+    }
+
+    #[test]
+    fn worker_panic_becomes_error() {
+        let items: Vec<usize> = (0..64).collect();
+        let err = with_threads(4, || {
+            par_map_indexed(&items, |i, _| {
+                if i == 13 {
+                    panic!("boom");
+                }
+                i
+            })
+            .unwrap_err()
+        });
+        assert_eq!(err, ParError::WorkerPanic);
+        assert_eq!(err.to_string(), "a parallel worker panicked");
+    }
+
+    #[test]
+    fn serial_panic_becomes_error_too() {
+        let items = [1u8];
+        let err = with_threads(1, || {
+            par_map_indexed(&items, |_, _| -> u8 { panic!("boom") }).unwrap_err()
+        });
+        assert_eq!(err, ParError::WorkerPanic);
+    }
+
+    #[test]
+    fn override_beats_env_and_zero_clears_it() {
+        let _guard = OVERRIDE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_thread_override(Some(3));
+        assert_eq!(thread_count(), 3);
+        set_thread_override(Some(0));
+        assert!(thread_count() >= 1);
+        set_thread_override(None);
+        assert!(thread_count() >= 1);
+    }
+}

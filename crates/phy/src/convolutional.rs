@@ -75,8 +75,28 @@ impl std::fmt::Display for CodeRate {
 }
 
 #[inline]
-fn parity(x: u32) -> u8 {
+const fn parity(x: u32) -> u8 {
     (x.count_ones() & 1) as u8
+}
+
+/// Expected `(g0, g1)` output bits for every `(state, input)` trellis
+/// transition. State = previous `K-1` input bits; next state =
+/// `((state << 1) | input) & (NUM_STATES - 1)`.
+const EXPECTED: [[(u8, u8); 2]; NUM_STATES] = build_expected();
+
+const fn build_expected() -> [[(u8, u8); 2]; NUM_STATES] {
+    let mut table = [[(0u8, 0u8); 2]; NUM_STATES];
+    let mut state = 0;
+    while state < NUM_STATES {
+        let mut input = 0;
+        while input < 2 {
+            let shift = ((state as u32) << 1) | input as u32;
+            table[state][input] = (parity(shift & G0), parity(shift & G1));
+            input += 1;
+        }
+        state += 1;
+    }
+    table
 }
 
 /// Encodes with the rate-1/2 mother code (no puncturing, no tail).
@@ -146,12 +166,13 @@ enum Soft {
     Erased,
 }
 
-/// Depunctures a soft (LLR) stream; punctured/missing positions become
-/// zero-information LLRs.
-fn depuncture_soft(llrs: &[f64], total_in: usize, rate: CodeRate) -> Vec<(f64, f64)> {
+/// Depunctures a soft (LLR) stream into `out`; punctured/missing
+/// positions become zero-information LLRs.
+fn depuncture_soft_into(llrs: &[f64], total_in: usize, rate: CodeRate, out: &mut Vec<(f64, f64)>) {
     let pattern = rate.puncture_pattern();
     let mut it = llrs.iter();
-    let mut out = Vec::with_capacity(total_in);
+    out.clear();
+    out.reserve(total_in);
     for k in 0..total_in {
         let (keep_a, keep_b) = pattern[k % pattern.len()];
         let a = if keep_a {
@@ -166,14 +187,15 @@ fn depuncture_soft(llrs: &[f64], total_in: usize, rate: CodeRate) -> Vec<(f64, f
         };
         out.push((a, b));
     }
-    out
 }
 
-/// Depunctures a received stream back to the mother-code lattice.
-fn depuncture(coded: &[u8], total_in: usize, rate: CodeRate) -> Vec<(Soft, Soft)> {
+/// Depunctures a received stream into `out`, back to the mother-code
+/// lattice.
+fn depuncture_into(coded: &[u8], total_in: usize, rate: CodeRate, out: &mut Vec<(Soft, Soft)>) {
     let pattern = rate.puncture_pattern();
     let mut it = coded.iter();
-    let mut out = Vec::with_capacity(total_in);
+    out.clear();
+    out.reserve(total_in);
     for k in 0..total_in {
         let (keep_a, keep_b) = pattern[k % pattern.len()];
         let a = if keep_a {
@@ -188,7 +210,20 @@ fn depuncture(coded: &[u8], total_in: usize, rate: CodeRate) -> Vec<(Soft, Soft)
         };
         out.push((a, b));
     }
-    out
+}
+
+/// Reusable decoder workspace: the depunctured lattice and traceback
+/// history buffers, recycled across calls so the per-frame decode loop
+/// allocates nothing after warm-up.
+///
+/// Create one with `ViterbiScratch::default()` and pass it to
+/// [`decode_with`] / [`decode_soft_with`]; the plain [`decode`] /
+/// [`decode_soft`] wrappers allocate a fresh one per call.
+#[derive(Debug, Default)]
+pub struct ViterbiScratch {
+    hard_lattice: Vec<(Soft, Soft)>,
+    soft_lattice: Vec<(f64, f64)>,
+    history: Vec<[u8; NUM_STATES]>,
 }
 
 #[inline]
@@ -213,36 +248,45 @@ fn branch_metric(observed: (Soft, Soft), expected: (u8, u8)) -> u32 {
 ///
 /// Panics if any element of `coded` is not 0 or 1.
 pub fn decode(coded: &[u8], message_len: usize, rate: CodeRate) -> Vec<u8> {
+    decode_with(coded, message_len, rate, &mut ViterbiScratch::default())
+}
+
+/// [`decode`] with a caller-provided [`ViterbiScratch`], so repeated
+/// decodes (the per-frame hot path) reuse the lattice and traceback
+/// buffers instead of reallocating them.
+pub fn decode_with(
+    coded: &[u8],
+    message_len: usize,
+    rate: CodeRate,
+    scratch: &mut ViterbiScratch,
+) -> Vec<u8> {
     if message_len == 0 {
         return Vec::new();
     }
     let total_in = message_len + CONSTRAINT_LENGTH - 1;
-    let lattice = depuncture(coded, total_in, rate);
-
-    // Precompute expected outputs for (state, input) transitions.
-    // State = previous K-1 input bits; next state = ((state<<1)|input).
-    let mut expected = [[(0u8, 0u8); 2]; NUM_STATES];
-    for (state, exp) in expected.iter_mut().enumerate() {
-        for (input, e) in exp.iter_mut().enumerate() {
-            let shift = ((state as u32) << 1) | input as u32;
-            *e = (parity(shift & G0), parity(shift & G1));
-        }
-    }
+    let ViterbiScratch {
+        hard_lattice,
+        history,
+        ..
+    } = scratch;
+    depuncture_into(coded, total_in, rate, hard_lattice);
 
     const INF: u32 = u32::MAX / 2;
-    let mut metrics = vec![INF; NUM_STATES];
+    let mut metrics = [INF; NUM_STATES];
     metrics[0] = 0; // Encoder starts in the zero state.
-    let mut history: Vec<[u8; NUM_STATES]> = Vec::with_capacity(total_in);
+    let mut next = [INF; NUM_STATES];
+    history.clear();
+    history.reserve(total_in);
 
-    for &obs in &lattice {
-        let mut next = vec![INF; NUM_STATES];
+    for &obs in hard_lattice.iter() {
+        next.fill(INF);
         let mut prev_choice = [0u8; NUM_STATES];
         for state in 0..NUM_STATES {
             let m = metrics[state];
             if m >= INF {
                 continue;
             }
-            for (input, &exp) in expected[state].iter().enumerate() {
+            for (input, &exp) in EXPECTED[state].iter().enumerate() {
                 let ns = ((state << 1) | input) & (NUM_STATES - 1);
                 let bm = branch_metric(obs, exp);
                 let cand = m + bm;
@@ -254,7 +298,7 @@ pub fn decode(coded: &[u8], message_len: usize, rate: CodeRate) -> Vec<u8> {
                 }
             }
         }
-        metrics = next;
+        std::mem::swap(&mut metrics, &mut next);
         history.push(prev_choice);
     }
 
@@ -298,38 +342,48 @@ pub fn decode(coded: &[u8], message_len: usize, rate: CodeRate) -> Vec<u8> {
 /// assert_eq!(decode_soft(&llrs, data.len(), CodeRate::Half), data);
 /// ```
 pub fn decode_soft(llrs: &[f64], message_len: usize, rate: CodeRate) -> Vec<u8> {
+    decode_soft_with(llrs, message_len, rate, &mut ViterbiScratch::default())
+}
+
+/// [`decode_soft`] with a caller-provided [`ViterbiScratch`]; see
+/// [`decode_with`].
+pub fn decode_soft_with(
+    llrs: &[f64],
+    message_len: usize,
+    rate: CodeRate,
+    scratch: &mut ViterbiScratch,
+) -> Vec<u8> {
     if message_len == 0 {
         return Vec::new();
     }
     let total_in = message_len + CONSTRAINT_LENGTH - 1;
-    let lattice = depuncture_soft(llrs, total_in, rate);
-
-    let mut expected = [[(0u8, 0u8); 2]; NUM_STATES];
-    for (state, exp) in expected.iter_mut().enumerate() {
-        for (input, e) in exp.iter_mut().enumerate() {
-            let shift = ((state as u32) << 1) | input as u32;
-            *e = (parity(shift & G0), parity(shift & G1));
-        }
-    }
+    let ViterbiScratch {
+        soft_lattice,
+        history,
+        ..
+    } = scratch;
+    depuncture_soft_into(llrs, total_in, rate, soft_lattice);
 
     // Linear branch cost: hypothesising bit 1 costs -llr, bit 0 costs
     // +llr (constant offsets cancel along paths).
     let bit_cost = |bit: u8, llr: f64| if bit == 1 { -llr } else { llr };
 
     const INF: f64 = f64::INFINITY;
-    let mut metrics = vec![INF; NUM_STATES];
+    let mut metrics = [INF; NUM_STATES];
     metrics[0] = 0.0;
-    let mut history: Vec<[u8; NUM_STATES]> = Vec::with_capacity(total_in);
+    let mut next = [INF; NUM_STATES];
+    history.clear();
+    history.reserve(total_in);
 
-    for &(la, lb) in &lattice {
-        let mut next = vec![INF; NUM_STATES];
+    for &(la, lb) in soft_lattice.iter() {
+        next.fill(INF);
         let mut prev_choice = [0u8; NUM_STATES];
         for state in 0..NUM_STATES {
             let m = metrics[state];
             if !m.is_finite() {
                 continue;
             }
-            for (input, &(ea, eb)) in expected[state].iter().enumerate() {
+            for (input, &(ea, eb)) in EXPECTED[state].iter().enumerate() {
                 let ns = ((state << 1) | input) & (NUM_STATES - 1);
                 let cand = m + bit_cost(ea, la) + bit_cost(eb, lb);
                 if cand < next[ns] {
@@ -338,7 +392,7 @@ pub fn decode_soft(llrs: &[f64], message_len: usize, rate: CodeRate) -> Vec<u8> 
                 }
             }
         }
-        metrics = next;
+        std::mem::swap(&mut metrics, &mut next);
         history.push(prev_choice);
     }
 
@@ -347,7 +401,7 @@ pub fn decode_soft(llrs: &[f64], message_len: usize, rate: CodeRate) -> Vec<u8> 
         state = metrics
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite metrics exist"))
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(s, _)| s)
             .unwrap_or(0);
     }
@@ -504,6 +558,31 @@ mod tests {
     #[test]
     fn soft_empty_message() {
         assert!(decode_soft(&[], 0, CodeRate::Half).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_across_rates_and_lengths_matches_fresh_decodes() {
+        let mut scratch = ViterbiScratch::default();
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            for n in [1usize, 48, 200, 17] {
+                let bits = pseudo_random_bits(n, n as u64 + 31);
+                let coded = encode(&bits, rate);
+                assert_eq!(
+                    decode_with(&coded, n, rate, &mut scratch),
+                    decode(&coded, n, rate),
+                    "hard rate {rate} n {n}"
+                );
+                let llrs: Vec<f64> = coded
+                    .iter()
+                    .map(|&b| if b == 1 { 2.5 } else { -2.5 })
+                    .collect();
+                assert_eq!(
+                    decode_soft_with(&llrs, n, rate, &mut scratch),
+                    decode_soft(&llrs, n, rate),
+                    "soft rate {rate} n {n}"
+                );
+            }
+        }
     }
 
     #[test]

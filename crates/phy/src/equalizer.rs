@@ -15,7 +15,7 @@
 use crate::fft::fft;
 use crate::math::{wrap_angle, Complex64};
 use crate::ofdm::{
-    carrier_to_bin, data_carriers, pilot_polarity, FreqSymbol, CP_LEN, FFT_SIZE, NUM_PILOTS,
+    carrier_to_bin, pilot_polarity, FreqSymbol, CP_LEN, DATA_CARRIERS, FFT_SIZE, NUM_PILOTS,
     PILOT_BASE, PILOT_CARRIERS, SYMBOL_LEN,
 };
 use crate::preamble::ltf_value;
@@ -86,17 +86,27 @@ impl ChannelEstimate {
 
     /// Zero-forcing equalisation of a received frequency symbol.
     pub fn equalize(&self, sym: &FreqSymbol) -> FreqSymbol {
-        let data = sym
-            .data
-            .iter()
-            .zip(data_carriers())
-            .map(|(v, c)| *v / self.at(c))
-            .collect();
-        let mut pilots = [Complex64::ZERO; NUM_PILOTS];
+        let mut out = FreqSymbol {
+            data: Vec::with_capacity(sym.data.len()),
+            pilots: [Complex64::ZERO; NUM_PILOTS],
+        };
+        self.equalize_into(sym, &mut out);
+        out
+    }
+
+    /// In-place variant of [`ChannelEstimate::equalize`]: writes the
+    /// equalised symbol into `out`, reusing its `data` allocation.
+    pub fn equalize_into(&self, sym: &FreqSymbol, out: &mut FreqSymbol) {
+        out.data.clear();
+        out.data.extend(
+            sym.data
+                .iter()
+                .zip(DATA_CARRIERS)
+                .map(|(v, c)| *v / self.at(c)),
+        );
         for (k, (v, c)) in sym.pilots.iter().zip(PILOT_CARRIERS).enumerate() {
-            pilots[k] = *v / self.at(c);
+            out.pilots[k] = *v / self.at(c);
         }
-        FreqSymbol { data, pilots }
     }
 
     /// Frequency-domain smoothing: replaces each used carrier's value

@@ -6,6 +6,57 @@
 //! carries the `1/N` normalisation, so `ifft(fft(x)) == x`.
 
 use crate::math::Complex64;
+use std::sync::OnceLock;
+
+/// Largest transform size (as log2) whose twiddle factors are cached.
+/// OFDM uses 64-point transforms (log2 = 6); anything beyond the cache
+/// falls back to computing the `cis` recurrence per call.
+const MAX_CACHED_LOG2: usize = 12;
+
+/// Per-size forward twiddle tables, keyed by log2(n). Each table holds
+/// the butterfly factors of every stage concatenated (stage `len` starts
+/// at offset `len/2 - 1` and holds `len/2` factors), `n - 1` in total.
+static FWD_TWIDDLES: [OnceLock<Vec<Complex64>>; MAX_CACHED_LOG2 + 1] =
+    [const { OnceLock::new() }; MAX_CACHED_LOG2 + 1];
+/// Inverse-direction counterpart of [`FWD_TWIDDLES`].
+static INV_TWIDDLES: [OnceLock<Vec<Complex64>>; MAX_CACHED_LOG2 + 1] =
+    [const { OnceLock::new() }; MAX_CACHED_LOG2 + 1];
+
+/// Builds one direction's twiddle table for a size-`n` transform using
+/// the exact multiplicative recurrence of the butterfly loop, so cached
+/// and uncached transforms are bit-identical.
+fn build_twiddles(n: usize, sign: f64) -> Vec<Complex64> {
+    let mut table = Vec::with_capacity(n.saturating_sub(1));
+    let mut len = 2usize;
+    while len <= n {
+        // lint:allow(as-cast): len <= 2^12, exactly representable in f64
+        let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(angle);
+        let mut w = Complex64::ONE;
+        for _ in 0..len / 2 {
+            table.push(w);
+            w *= wlen;
+        }
+        len <<= 1;
+    }
+    table
+}
+
+/// Cached twiddle table for a power-of-two `n`, or `None` if `n` is
+/// beyond the cache size.
+fn twiddles(n: usize, inverse: bool) -> Option<&'static [Complex64]> {
+    // lint:allow(as-cast): u32 bit index widened to usize, lossless
+    let log2 = n.trailing_zeros() as usize;
+    if n != (1 << log2) || log2 > MAX_CACHED_LOG2 {
+        return None;
+    }
+    let (cache, sign) = if inverse {
+        (&INV_TWIDDLES[log2], 1.0)
+    } else {
+        (&FWD_TWIDDLES[log2], -1.0)
+    };
+    Some(cache.get_or_init(|| build_twiddles(n, sign)).as_slice())
+}
 
 /// Errors returned by FFT routines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,23 +102,40 @@ fn transform(data: &mut [Complex64], inverse: bool) -> Result<(), FftError> {
         return Err(FftError::NotPowerOfTwo { len: n });
     }
     bit_reverse_permute(data);
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex64::cis(angle);
-        for chunk in data.chunks_mut(len) {
-            let mut w = Complex64::ONE;
+    if let Some(table) = twiddles(n, inverse) {
+        let mut len = 2;
+        while len <= n {
             let half = len / 2;
-            for k in 0..half {
-                let u = chunk[k];
-                let v = chunk[k + half] * w;
-                chunk[k] = u + v;
-                chunk[k + half] = u - v;
-                w *= wlen;
+            let stage = &table[half - 1..half - 1 + half];
+            for chunk in data.chunks_mut(len) {
+                for (k, &w) in stage.iter().enumerate() {
+                    let u = chunk[k];
+                    let v = chunk[k + half] * w;
+                    chunk[k] = u + v;
+                    chunk[k + half] = u - v;
+                }
             }
+            len <<= 1;
         }
-        len <<= 1;
+    } else {
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let mut len = 2;
+        while len <= n {
+            let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+            let wlen = Complex64::cis(angle);
+            for chunk in data.chunks_mut(len) {
+                let mut w = Complex64::ONE;
+                let half = len / 2;
+                for k in 0..half {
+                    let u = chunk[k];
+                    let v = chunk[k + half] * w;
+                    chunk[k] = u + v;
+                    chunk[k + half] = u - v;
+                    w *= wlen;
+                }
+            }
+            len <<= 1;
+        }
     }
     if inverse {
         let scale = 1.0 / n as f64;
@@ -206,6 +274,43 @@ mod tests {
         let fsum = fft(&sum).unwrap();
         for k in 0..32 {
             assert_close(fsum[k], fa[k] + fb[k]);
+        }
+    }
+
+    #[test]
+    fn cached_twiddles_are_bit_identical_to_the_recurrence() {
+        // The cache must reproduce the butterfly recurrence exactly so
+        // printed bench numbers do not move by a ulp.
+        for inverse in [false, true] {
+            let sign = if inverse { 1.0 } else { -1.0 };
+            let table = twiddles(64, inverse).unwrap();
+            let mut idx = 0;
+            let mut len = 2usize;
+            while len <= 64 {
+                let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+                let wlen = Complex64::cis(angle);
+                let mut w = Complex64::ONE;
+                for _ in 0..len / 2 {
+                    assert_eq!(table[idx].re.to_bits(), w.re.to_bits());
+                    assert_eq!(table[idx].im.to_bits(), w.im.to_bits());
+                    idx += 1;
+                    w *= wlen;
+                }
+                len <<= 1;
+            }
+            assert_eq!(idx, 63);
+        }
+    }
+
+    #[test]
+    fn uncached_sizes_fall_back_to_the_direct_path() {
+        let n = 1 << (MAX_CACHED_LOG2 + 1);
+        assert!(twiddles(n, false).is_none());
+        let mut x = vec![Complex64::ZERO; n];
+        x[0] = Complex64::ONE;
+        fft_in_place(&mut x).unwrap();
+        for bin in x.iter().take(8) {
+            assert_close(*bin, Complex64::ONE);
         }
     }
 

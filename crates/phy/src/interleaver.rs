@@ -68,12 +68,24 @@ impl Interleaver {
     ///
     /// Panics if `bits.len() != self.block_size()`.
     pub fn deinterleave(&self, bits: &[u8]) -> Vec<u8> {
-        assert_eq!(bits.len(), self.n_cbps, "block size mismatch");
-        let mut out = vec![0u8; self.n_cbps];
-        for k in 0..self.n_cbps {
-            out[k] = bits[self.permute(k)];
-        }
+        let mut out = Vec::with_capacity(self.n_cbps);
+        self.deinterleave_into(bits, &mut out);
         out
+    }
+
+    /// Appends the deinterleaved block to `out` — the allocation-free
+    /// form used by the symbol hot loop, which accumulates the coded
+    /// stream across symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.block_size()`.
+    pub fn deinterleave_into(&self, bits: &[u8], out: &mut Vec<u8>) {
+        assert_eq!(bits.len(), self.n_cbps, "block size mismatch");
+        out.reserve(self.n_cbps);
+        for k in 0..self.n_cbps {
+            out.push(bits[self.permute(k)]);
+        }
     }
 
     /// Deinterleaves soft values (LLRs) with the same permutation.
@@ -82,12 +94,23 @@ impl Interleaver {
     ///
     /// Panics if `values.len() != self.block_size()`.
     pub fn deinterleave_soft(&self, values: &[f64]) -> Vec<f64> {
-        assert_eq!(values.len(), self.n_cbps, "block size mismatch");
-        let mut out = vec![0.0f64; self.n_cbps];
-        for k in 0..self.n_cbps {
-            out[k] = values[self.permute(k)];
-        }
+        let mut out = Vec::with_capacity(self.n_cbps);
+        self.deinterleave_soft_into(values, &mut out);
         out
+    }
+
+    /// Appends the deinterleaved soft block to `out`; see
+    /// [`Interleaver::deinterleave_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.block_size()`.
+    pub fn deinterleave_soft_into(&self, values: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(values.len(), self.n_cbps, "block size mismatch");
+        out.reserve(self.n_cbps);
+        for k in 0..self.n_cbps {
+            out.push(values[self.permute(k)]);
+        }
     }
 }
 

@@ -188,9 +188,22 @@ impl Modulation {
     ///
     /// Panics if `bits.len()` is not a multiple of the bits per symbol.
     pub fn map_all(&self, bits: &[u8]) -> Vec<Complex64> {
+        let mut out = Vec::with_capacity(bits.len() / self.bits_per_symbol().max(1));
+        self.map_all_into(bits, &mut out);
+        out
+    }
+
+    /// Appends the mapped points for `bits` to `out` — the reusable-buffer
+    /// form of [`Modulation::map_all`] used by the receive hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of the bits per symbol.
+    pub fn map_all_into(&self, bits: &[u8], out: &mut Vec<Complex64>) {
         let bps = self.bits_per_symbol();
         assert_eq!(bits.len() % bps, 0, "bit count not a multiple of {bps}");
-        bits.chunks(bps).map(|c| self.map(c)).collect()
+        out.reserve(bits.len() / bps);
+        out.extend(bits.chunks(bps).map(|c| self.map(c)));
     }
 
     /// Demaps a slice of points back to bits.

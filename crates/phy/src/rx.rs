@@ -16,12 +16,15 @@
 //!   CRCs from the phase offset side channel gate data-pilot updates of
 //!   the channel estimate (paper Section 5).
 
-use crate::convolutional::{coded_len, decode, decode_soft};
+use crate::convolutional::{coded_len, decode_soft_with, decode_with, ViterbiScratch};
 use crate::equalizer::{compensate_phase, estimate_noise_from_ltf, track_phase, ChannelEstimate};
 use crate::interleaver::Interleaver;
 use crate::math::Complex64;
 use crate::mcs::Mcs;
-use crate::ofdm::{demodulate_symbol, FreqSymbol, NUM_DATA, SYMBOL_LEN};
+use crate::ofdm::{
+    demodulate_symbol, demodulate_symbol_into, FreqSymbol, DATA_CARRIERS, FFT_SIZE, NUM_DATA,
+    SYMBOL_LEN,
+};
 use crate::preamble::{ltf_offsets, PREAMBLE_LEN};
 use crate::rte::{CalibrationRule, RteEstimator};
 use crate::scrambler::Scrambler;
@@ -100,14 +103,16 @@ pub struct RxFrame {
 }
 
 enum Estimator {
-    Fixed(ChannelEstimate),
+    /// Preamble-only estimation: the decoder's LTF-derived `initial`
+    /// estimate is used as-is (no copy of it is kept here).
+    Fixed,
     Rte(RteEstimator),
 }
 
 impl Estimator {
-    fn current(&self) -> &ChannelEstimate {
+    fn current<'e>(&'e self, initial: &'e ChannelEstimate) -> &'e ChannelEstimate {
         match self {
-            Estimator::Fixed(e) => e,
+            Estimator::Fixed => initial,
             Estimator::Rte(r) => r.estimate(),
         }
     }
@@ -121,19 +126,24 @@ impl Estimator {
     /// `(updates, rejected)` counters when running RTE, `None` otherwise.
     fn rte_counters(&self) -> Option<(usize, usize)> {
         match self {
-            Estimator::Fixed(_) => None,
+            Estimator::Fixed => None,
             Estimator::Rte(r) => Some((r.updates(), r.rejected())),
         }
     }
 }
 
-/// Buffered state for one side-channel CRC group.
+/// Buffered state for one side-channel CRC group. Cleared buffers are
+/// parked in spare pools instead of dropped, so the per-symbol
+/// `compensated`/`decided` entries recycle their allocations.
+#[derive(Debug)]
 struct GroupBuffer {
     bits: Vec<u8>,
     side_values: Vec<u8>,
     compensated: Vec<FreqSymbol>,
     decided: Vec<Vec<Complex64>>,
     indices: Vec<usize>,
+    spare_syms: Vec<FreqSymbol>,
+    spare_points: Vec<Vec<Complex64>>,
 }
 
 impl GroupBuffer {
@@ -144,15 +154,46 @@ impl GroupBuffer {
             compensated: Vec::new(),
             decided: Vec::new(),
             indices: Vec::new(),
+            spare_syms: Vec::new(),
+            spare_points: Vec::new(),
         }
     }
 
     fn clear(&mut self) {
         self.bits.clear();
         self.side_values.clear();
-        self.compensated.clear();
-        self.decided.clear();
+        self.spare_syms.append(&mut self.compensated);
+        self.spare_points.append(&mut self.decided);
         self.indices.clear();
+    }
+}
+
+/// Reusable receive-path workspace: the FFT bin buffer, demodulated and
+/// equalised symbol slots, the soft-bit (LLR) buffer, the Viterbi
+/// trellis, and the side-channel group buffer. Every [`FrameDecoder`]
+/// owns one, so the steady-state symbol loop performs no heap
+/// allocation beyond its per-symbol outputs; recycle it across frames
+/// with [`FrameDecoder::with_scratch`] / [`FrameDecoder::into_scratch`].
+#[derive(Debug)]
+pub struct PhyScratch {
+    fft_bins: Vec<Complex64>,
+    raw: FreqSymbol,
+    eq: FreqSymbol,
+    llrs: Vec<f64>,
+    viterbi: ViterbiScratch,
+    group: GroupBuffer,
+}
+
+impl Default for PhyScratch {
+    fn default() -> PhyScratch {
+        PhyScratch {
+            fft_bins: Vec::with_capacity(FFT_SIZE),
+            raw: FreqSymbol::zeroed(),
+            eq: FreqSymbol::zeroed(),
+            llrs: Vec::new(),
+            viterbi: ViterbiScratch::default(),
+            group: GroupBuffer::new(),
+        }
     }
 }
 
@@ -193,6 +234,7 @@ pub struct FrameDecoder<'a> {
     noise_var: f64,
     soft_decoding: bool,
     obs: Obs,
+    scratch: PhyScratch,
 }
 
 impl<'a> FrameDecoder<'a> {
@@ -215,7 +257,7 @@ impl<'a> FrameDecoder<'a> {
         let noise_var =
             estimate_noise_from_ltf(&samples[l1..l1 + SYMBOL_LEN], &samples[l2..l2 + SYMBOL_LEN]);
         let estimator = match estimation {
-            Estimation::Standard => Estimator::Fixed(initial.clone()),
+            Estimation::Standard => Estimator::Fixed,
             Estimation::Rte(rule) => Estimator::Rte(RteEstimator::new(initial.clone(), rule)),
         };
         Ok(FrameDecoder {
@@ -228,7 +270,21 @@ impl<'a> FrameDecoder<'a> {
             noise_var,
             soft_decoding: false,
             obs: Obs::noop(),
+            scratch: PhyScratch::default(),
         })
+    }
+
+    /// Installs a recycled [`PhyScratch`] (e.g. from a previous frame's
+    /// [`FrameDecoder::into_scratch`]) so repeated frame decodes reuse
+    /// their buffers instead of re-allocating them.
+    pub fn with_scratch(mut self, scratch: PhyScratch) -> Self {
+        self.scratch = scratch;
+        self
+    }
+
+    /// Consumes the decoder and returns its scratch workspace for reuse.
+    pub fn into_scratch(self) -> PhyScratch {
+        self.scratch
     }
 
     /// Attaches an observability handle. When enabled, the decoder emits
@@ -294,7 +350,7 @@ impl<'a> FrameDecoder<'a> {
         self.ensure_available(1)?;
         let raw = demodulate_symbol(&self.samples[self.sample_pos..self.sample_pos + SYMBOL_LEN])
             .map_err(PhyError::Fft)?;
-        let mut eq = self.estimator.current().equalize(&raw);
+        let mut eq = self.estimator.current(&self.initial).equalize(&raw);
         let track = track_phase(&eq, self.symbol_index);
         compensate_phase(&mut eq, track.offset);
         let (mut re, mut im) = (0.0f64, 0.0f64);
@@ -340,12 +396,24 @@ impl<'a> FrameDecoder<'a> {
     ///
     /// Returns [`PhyError::LengthMismatch`] if the buffer is too short.
     pub fn decode_section(&mut self, layout: &SectionLayout) -> Result<RxSection, PhyError> {
-        // Local clone (two Arc bumps) so span/emit calls don't fight the
-        // `&mut self` borrows inside the symbol loop.
-        let obs = self.obs.clone();
-        let _decode_span = obs.span("phy.decode");
         let num_symbols = layout.symbol_count();
         self.ensure_available(num_symbols)?;
+        // Split `self` into disjoint field borrows: the span guard and
+        // counters only borrow `obs`, so the estimator and scratch can be
+        // updated inside the symbol loop without cloning the handle.
+        let FrameDecoder {
+            samples,
+            estimator,
+            initial,
+            symbol_index,
+            sample_pos,
+            prev_phase,
+            noise_var,
+            soft_decoding,
+            obs,
+            scratch,
+        } = self;
+        let _decode_span = obs.span("phy.decode");
         let interleaver = Interleaver::new(layout.mcs.modulation, NUM_DATA);
         let n_cbps = layout.mcs.coded_bits_per_symbol();
 
@@ -354,73 +422,83 @@ impl<'a> FrameDecoder<'a> {
         let mut crc_ok = Vec::new();
         let mut side_values = Vec::new();
         let mut coded_stream = Vec::with_capacity(num_symbols * n_cbps);
-        let mut soft_stream: Vec<f64> = if self.soft_decoding {
+        let mut soft_stream: Vec<f64> = if *soft_decoding {
             Vec::with_capacity(num_symbols * n_cbps)
         } else {
             Vec::new()
         };
 
-        let mut group = GroupBuffer::new();
+        let group = &mut scratch.group;
+        group.clear();
         let bits_per = layout
             .side_channel
             .map(|sc| sc.modulation.bits_per_symbol())
             .unwrap_or(0);
 
         for k in 0..num_symbols {
-            let raw =
-                demodulate_symbol(&self.samples[self.sample_pos..self.sample_pos + SYMBOL_LEN])
-                    .map_err(PhyError::Fft)?;
-            self.sample_pos += SYMBOL_LEN;
-            let idx = self.symbol_index + k;
+            demodulate_symbol_into(
+                &samples[*sample_pos..*sample_pos + SYMBOL_LEN],
+                &mut scratch.fft_bins,
+                &mut scratch.raw,
+            )
+            .map_err(PhyError::Fft)?;
+            *sample_pos += SYMBOL_LEN;
+            let idx = *symbol_index + k;
 
-            let mut eq = self.estimator.current().equalize(&raw);
-            let track = track_phase(&eq, idx);
-            compensate_phase(&mut eq, track.offset);
+            estimator
+                .current(initial)
+                .equalize_into(&scratch.raw, &mut scratch.eq);
+            let track = track_phase(&scratch.eq, idx);
+            compensate_phase(&mut scratch.eq, track.offset);
             phase_offsets.push(track.offset);
             if layout.qbpsk {
                 // Undo the format mark on the data subcarriers.
-                for p in &mut eq.data {
+                for p in &mut scratch.eq.data {
                     *p *= -Complex64::I;
                 }
             }
 
-            let hard = layout.mcs.modulation.demap_all(&eq.data);
+            let hard = layout.mcs.modulation.demap_all(&scratch.eq.data);
             debug_assert_eq!(hard.len(), n_cbps);
 
             // Soft path: per-carrier LLRs with ZF noise amplification
             // (noise variance on carrier c grows by 1/|H_c|^2).
-            let symbol_llrs: Vec<f64> = if self.soft_decoding {
-                let estimate = self.estimator.current();
-                let mut llrs = Vec::with_capacity(n_cbps);
-                for (point, carrier) in eq.data.iter().zip(crate::ofdm::data_carriers()) {
+            if *soft_decoding {
+                let estimate = estimator.current(initial);
+                scratch.llrs.clear();
+                scratch.llrs.reserve(n_cbps);
+                for (point, carrier) in scratch.eq.data.iter().zip(DATA_CARRIERS) {
                     let gain = estimate.at(carrier).norm_sqr().max(1e-9);
-                    layout
-                        .mcs
-                        .modulation
-                        .demap_soft_into(*point, self.noise_var / gain, &mut llrs);
+                    layout.mcs.modulation.demap_soft_into(
+                        *point,
+                        *noise_var / gain,
+                        &mut scratch.llrs,
+                    );
                 }
-                llrs
-            } else {
-                Vec::new()
-            };
+            }
 
             if let Some(sc) = &layout.side_channel {
                 // Differential decode relative to the previous symbol.
                 // After a skip the reference is re-anchored, so the first
                 // symbol only establishes it (its value is best-effort 0).
-                let value = if self.prev_phase.is_nan() {
+                let value = if prev_phase.is_nan() {
                     0
                 } else {
-                    sc.modulation.demodulate(track.offset - self.prev_phase)
+                    sc.modulation.demodulate(track.offset - *prev_phase)
                 };
                 side_values.push(value);
 
                 // Buffer the group for CRC check and RTE update. The RTE
                 // update uses the *raw* symbol with the tracked common
                 // phase removed, keeping the preamble phase convention.
-                let mut compensated_raw = raw.clone();
+                let mut compensated_raw = group.spare_syms.pop().unwrap_or_else(FreqSymbol::zeroed);
+                compensated_raw.data.clear();
+                compensated_raw.data.extend_from_slice(&scratch.raw.data);
+                compensated_raw.pilots = scratch.raw.pilots;
                 compensate_phase(&mut compensated_raw, track.offset);
-                let decided = layout.mcs.modulation.map_all(&hard);
+                let mut decided = group.spare_points.pop().unwrap_or_default();
+                decided.clear();
+                layout.mcs.modulation.map_all_into(&hard, &mut decided);
                 group.bits.extend_from_slice(&hard);
                 group.side_values.push(value);
                 group.compensated.push(compensated_raw);
@@ -469,10 +547,10 @@ impl<'a> FrameDecoder<'a> {
                             .zip(&group.indices)
                         {
                             if obs.enabled() {
-                                let before = self.estimator.rte_counters();
-                                self.estimator.update(rx_sym, decided, *sym_idx);
+                                let before = estimator.rte_counters();
+                                estimator.update(rx_sym, decided, *sym_idx);
                                 if let (Some((b, _)), Some((a, _))) =
-                                    (before, self.estimator.rte_counters())
+                                    (before, estimator.rte_counters())
                                 {
                                     let applied = a > b;
                                     obs.counter(
@@ -492,13 +570,13 @@ impl<'a> FrameDecoder<'a> {
                                     );
                                 }
                             } else {
-                                self.estimator.update(rx_sym, decided, *sym_idx);
+                                estimator.update(rx_sym, decided, *sym_idx);
                             }
                         }
                     } else if obs.enabled() {
                         // A failed group CRC vetoes every candidate update
                         // in the group (paper Section 5 gating).
-                        if self.estimator.rte_counters().is_some() {
+                        if estimator.rte_counters().is_some() {
                             for &sym_idx in &group.indices {
                                 obs.counter("phy.rte_rejected", 1);
                                 obs.emit(
@@ -515,14 +593,14 @@ impl<'a> FrameDecoder<'a> {
                 }
             }
 
-            self.prev_phase = track.offset;
-            coded_stream.extend(interleaver.deinterleave(&hard));
-            if self.soft_decoding {
-                soft_stream.extend(interleaver.deinterleave_soft(&symbol_llrs));
+            *prev_phase = track.offset;
+            interleaver.deinterleave_into(&hard, &mut coded_stream);
+            if *soft_decoding {
+                interleaver.deinterleave_soft_into(&scratch.llrs, &mut soft_stream);
             }
             raw_symbol_bits.push(hard);
         }
-        self.symbol_index += num_symbols;
+        *symbol_index += num_symbols;
         obs.counter("phy.symbols_decoded", num_symbols as u64);
         obs.counter("phy.sections_decoded", 1);
 
@@ -531,11 +609,21 @@ impl<'a> FrameDecoder<'a> {
         coded_stream.truncate(usable);
         let mut bits = {
             let _viterbi_span = obs.span("phy.viterbi");
-            if self.soft_decoding {
+            if *soft_decoding {
                 soft_stream.truncate(usable);
-                decode_soft(&soft_stream, layout.message_bits, layout.mcs.code_rate)
+                decode_soft_with(
+                    &soft_stream,
+                    layout.message_bits,
+                    layout.mcs.code_rate,
+                    &mut scratch.viterbi,
+                )
             } else {
-                decode(&coded_stream, layout.message_bits, layout.mcs.code_rate)
+                decode_with(
+                    &coded_stream,
+                    layout.message_bits,
+                    layout.mcs.code_rate,
+                    &mut scratch.viterbi,
+                )
             }
         };
         if layout.scramble {
@@ -618,10 +706,10 @@ fn receive_with(
     for layout in layouts {
         sections.push(decoder.decode_section(layout)?);
     }
-    let initial_estimate = decoder.initial.clone();
+    // The decoder is done: move the estimate out instead of cloning it.
     Ok(RxFrame {
         sections,
-        initial_estimate,
+        initial_estimate: decoder.initial,
     })
 }
 

@@ -1,0 +1,68 @@
+//! Cross-crate determinism contract of the `carpool-par` worker pool:
+//! the PHY Monte-Carlo driver and the MAC replication sweep must produce
+//! byte-identical results whatever the thread count, and worker panics
+//! must surface as errors instead of tearing the process down.
+
+use carpool_bench::{run_phy, PhyRunConfig};
+use carpool_mac::error_model::{BerBiasModel, FrameErrorModel};
+use carpool_mac::sim::{run_replications, SimConfig};
+use carpool_mac::SimReport;
+use std::sync::Mutex;
+
+/// The thread override is process-wide state and the tests in this
+/// binary run concurrently, so every mutation holds this lock.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = OVERRIDE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    carpool_par::set_thread_override(Some(threads));
+    let out = f();
+    carpool_par::set_thread_override(None);
+    out
+}
+
+#[test]
+fn phy_monte_carlo_is_thread_count_invariant() {
+    let config = PhyRunConfig {
+        frames: 8,
+        payload_bits: 1024 * 8,
+        seed: 99,
+        ..PhyRunConfig::default()
+    };
+    let one = with_threads(1, || run_phy(&config));
+    let four = with_threads(4, || run_phy(&config));
+    assert_eq!(one.data_ber.to_bits(), four.data_ber.to_bits());
+    assert_eq!(one.side_ber.to_bits(), four.side_ber.to_bits());
+    let bits = |r: &[f64]| r.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&one.ber_by_symbol), bits(&four.ber_by_symbol));
+}
+
+#[test]
+fn mac_replications_are_thread_count_invariant() {
+    let cfg = SimConfig {
+        num_stas: 8,
+        duration_s: 1.0,
+        ..SimConfig::default()
+    };
+    let seeds = [1u64, 2, 3, 4, 5];
+    let model = || Box::new(BerBiasModel::calibrated()) as Box<dyn FrameErrorModel>;
+    let one: Vec<SimReport> =
+        with_threads(1, || run_replications(&cfg, &seeds, model).expect("runs"));
+    let four: Vec<SimReport> =
+        with_threads(4, || run_replications(&cfg, &seeds, model).expect("runs"));
+    assert_eq!(one, four);
+}
+
+#[test]
+fn worker_panic_surfaces_as_err() {
+    let items = vec![0u32; 8];
+    let result = with_threads(4, || {
+        carpool_par::par_map_indexed(&items, |i, _| {
+            assert!(i != 3, "injected failure");
+            i
+        })
+    });
+    assert_eq!(result, Err(carpool_par::ParError::WorkerPanic));
+}
