@@ -26,15 +26,18 @@ use carpool_bench::{pattern_bits, run_phy, PhyBerResult, PhyRunConfig};
 use carpool_bloom::AggregationHeader;
 use carpool_obs::json::{self, ObjectWriter};
 use carpool_obs::{MemoryRecorder, Obs, SpanStats};
-use carpool_phy::convolutional::{decode, encode, CodeRate};
-use carpool_phy::fft::{fft_in_place, ifft_in_place};
+use carpool_phy::convolutional::{decode, decode_soft, decode_soft_quantized, encode, CodeRate};
+use carpool_phy::equalizer::ChannelEstimate;
+use carpool_phy::fft::{fft_in_place, fft_real, ifft_in_place};
 use carpool_phy::interleaver::Interleaver;
 use carpool_phy::math::Complex64;
 use carpool_phy::mcs::Mcs;
 use carpool_phy::modulation::Modulation;
+use carpool_phy::ofdm::FreqSymbol;
 use carpool_phy::rx::{receive, Estimation, FrameDecoder, SectionLayout};
 use carpool_phy::sidechannel::{PhaseOffsetDecoder, PhaseOffsetEncoder, PhaseOffsetMod};
 use carpool_phy::tx::{transmit, SectionSpec};
+use carpool_phy::txcache;
 use std::sync::Arc;
 
 const SAMPLES: usize = 20;
@@ -74,6 +77,10 @@ fn bench_fft(results: &mut Vec<SpanStats>) {
         let mut buf = input.clone();
         ifft_in_place(black_box(&mut buf)).expect("64 is a power of two");
     }));
+    let real_input: Vec<f64> = (0..64).map(|k| (k as f64 * 0.11).cos()).collect();
+    results.push(measure("fft64_real", || {
+        black_box(fft_real(black_box(&real_input)).expect("64 is a power of two"));
+    }));
 }
 
 fn bench_coding(results: &mut Vec<SpanStats>) {
@@ -84,6 +91,37 @@ fn bench_coding(results: &mut Vec<SpanStats>) {
     }));
     results.push(measure("viterbi_decode_1kbit", || {
         black_box(decode(black_box(&coded), bits.len(), CodeRate::Half));
+    }));
+    // The soft-decision path on the same frame: the f64 reference oracle
+    // next to the production hard decode, so the kernel cost of each is
+    // a separate row in the snapshot.
+    let llrs: Vec<f64> = coded
+        .iter()
+        .map(|&b| if b == 1 { 4.0 } else { -4.0 })
+        .collect();
+    results.push(measure("viterbi_soft_f64_1kbit", || {
+        black_box(decode_soft(black_box(&llrs), bits.len(), CodeRate::Half));
+    }));
+    // The production integer kernel on the same LLR frame.
+    results.push(measure("viterbi_int_1kbit", || {
+        black_box(decode_soft_quantized(
+            black_box(&llrs),
+            bits.len(),
+            CodeRate::Half,
+        ));
+    }));
+}
+
+fn bench_equalizer(results: &mut Vec<SpanStats>) {
+    let points = Modulation::Qam64.map_all(&pattern_bits(48 * 6, 11));
+    let sym = FreqSymbol::with_standard_pilots(points, 0);
+    let bins: Vec<Complex64> = (0..64)
+        .map(|k| Complex64::cis(k as f64 * 0.07).scale(0.9))
+        .collect();
+    let est = ChannelEstimate::from_bins(bins);
+    let mut out = est.equalize(&sym);
+    results.push(measure("equalize_symbol", || {
+        est.equalize_into(black_box(&sym), black_box(&mut out));
     }));
 }
 
@@ -176,9 +214,18 @@ fn bench_obs_overhead(results: &mut Vec<SpanStats>) {
 /// `crates/bench/BENCH_perf.json`).
 const PERF_PATH: &str = "BENCH_perf.json";
 
-/// Throughput drops beyond this fraction against the previous snapshot
-/// are flagged as regressions.
+/// Committed reference snapshot this run is compared against
+/// (`crates/bench/BENCH_perf_baseline.json`, checked into the repo).
+const BASELINE_PATH: &str = "BENCH_perf_baseline.json";
+
+/// Deviations beyond this fraction in the losing direction are flagged
+/// as regressions.
 const REGRESSION_FRACTION: f64 = 0.15;
+
+/// SNR sweep points of the end-to-end sweep benchmark — the fig03/fig12
+/// usage pattern: same payload spec, channel and receiver re-run per
+/// point.
+const SWEEP_SNRS: [f64; 5] = [10.0, 16.0, 22.0, 28.0, 34.0];
 
 /// One timed throughput row.
 struct Throughput {
@@ -202,43 +249,86 @@ fn time_run(config: &PhyRunConfig) -> (f64, PhyBerResult) {
     (best, result)
 }
 
-/// Compares the new pool throughput against the previous `BENCH_perf.json`
-/// (if any) and prints regression flags. Non-fatal by design: wall-clock
-/// noise on shared machines should not fail the gate, but the flag makes
-/// the drop visible in CI logs.
-fn flag_regressions(serial: &Throughput, pool: &Throughput) {
-    let Ok(previous) = std::fs::read_to_string(PERF_PATH) else {
-        println!("no previous {PERF_PATH}; baseline snapshot will be written");
+/// Runs `config` at every [`SWEEP_SNRS`] point. Returns the per-point
+/// results in order.
+fn run_sweep(config: &PhyRunConfig) -> Vec<PhyBerResult> {
+    SWEEP_SNRS
+        .iter()
+        .map(|&snr_db| run_phy(&PhyRunConfig { snr_db, ..*config }))
+        .collect()
+}
+
+/// For regression orientation: keys where larger is faster/better.
+fn higher_is_better(key: &str) -> bool {
+    key.ends_with("frames_per_s") || key.ends_with("mbit_per_s") || key == "speedup"
+}
+
+/// For regression orientation: keys where smaller is faster/better.
+fn lower_is_better(key: &str) -> bool {
+    key.ends_with("_us") || key.ends_with("_elapsed_s")
+}
+
+/// Compares this run's metrics against the committed
+/// `BENCH_perf_baseline.json`, printing a per-key delta table (kernel
+/// timings included). Regressions beyond [`REGRESSION_FRACTION`] are
+/// flagged but non-fatal by design: wall-clock noise on shared machines
+/// should not fail the gate, while the flag stays visible in CI logs.
+fn compare_to_baseline(entries: &[(&'static str, f64)]) {
+    let Ok(previous) = std::fs::read_to_string(BASELINE_PATH) else {
+        println!("no committed {BASELINE_PATH}; skipping baseline comparison");
         return;
     };
     let Ok(parsed) = json::parse(previous.trim()) else {
-        println!("previous {PERF_PATH} unparseable; overwriting");
+        println!("committed {BASELINE_PATH} unparseable; skipping baseline comparison");
         return;
     };
-    for (label, old_key, new_value) in [
-        ("serial", "serial_frames_per_s", serial.frames_per_s),
-        ("pool", "pool_frames_per_s", pool.frames_per_s),
-    ] {
-        let Some(old) = parsed.get(old_key).and_then(|v| v.as_f64()) else {
+    println!("\nvs {BASELINE_PATH}:");
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}",
+        "metric", "current", "baseline", "delta"
+    );
+    let mut regressions = 0usize;
+    for &(key, current) in entries {
+        let Some(old) = parsed.get(key).and_then(|v| v.as_f64()) else {
+            println!("{key:<28} {current:>12.2} {:>12} {:>9}", "n/a", "new");
             continue;
         };
-        if new_value < old * (1.0 - REGRESSION_FRACTION) {
-            println!(
-                "PERF REGRESSION ({label}): {new_value:.1} frames/s vs {old:.1} in previous \
-                 snapshot ({:.0}% drop)",
-                (1.0 - new_value / old) * 100.0
-            );
-        } else {
-            println!("perf ok ({label}): {new_value:.1} frames/s (previous {old:.1})");
+        if old == 0.0 {
+            continue;
         }
+        let delta = (current - old) / old * 100.0;
+        let regressed = (higher_is_better(key) && current < old * (1.0 - REGRESSION_FRACTION))
+            || (lower_is_better(key) && current > old * (1.0 + REGRESSION_FRACTION));
+        println!(
+            "{key:<28} {current:>12.2} {old:>12.2} {delta:>+8.1}%{}",
+            if regressed { "  <-- REGRESSION" } else { "" }
+        );
+        regressions += usize::from(regressed);
+    }
+    if regressions > 0 {
+        println!(
+            "PERF REGRESSION: {regressions} metric(s) worse than baseline by >15% (non-fatal)"
+        );
+    } else {
+        println!("perf ok: no metric worse than baseline by >15%");
     }
 }
 
-/// Times the parallel Monte-Carlo driver end to end and snapshots the
-/// numbers. The 1-thread and pool-default runs must agree to the bit —
-/// the `carpool-par` determinism contract — and that check rides along
-/// with the timing.
-fn bench_throughput() {
+/// Median of a named row from the micro section, in microseconds.
+fn median_us(results: &[SpanStats], name: &str) -> Option<f64> {
+    results
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| s.median_secs() * 1e6)
+}
+
+/// Times the parallel Monte-Carlo driver end to end — single run and
+/// full SNR sweep — and snapshots the numbers together with the
+/// per-kernel medians. The 1-thread and pool-default runs must agree to
+/// the bit — the `carpool-par` determinism contract — and the cached
+/// sweep must match the uncached one; both checks ride along with the
+/// timing.
+fn bench_throughput(results: &[SpanStats]) {
     let config = PhyRunConfig {
         frames: 16,
         payload_bits: 2 * 1024 * 8,
@@ -255,28 +345,61 @@ fn bench_throughput() {
     let coded_bits_per_frame = transmit(std::slice::from_ref(&spec))
         .map(|tx| tx.sections[0].num_symbols * config.mcs.coded_bits_per_symbol())
         .unwrap_or(0);
-    let throughput = |threads: usize, elapsed_s: f64| Throughput {
+    let throughput = |threads: usize, frames: usize, elapsed_s: f64| Throughput {
         threads,
         elapsed_s,
-        frames_per_s: config.frames as f64 / elapsed_s,
-        coded_mbit_per_s: (config.frames * coded_bits_per_frame) as f64 / elapsed_s / 1e6,
+        frames_per_s: frames as f64 / elapsed_s,
+        coded_mbit_per_s: (frames * coded_bits_per_frame) as f64 / elapsed_s / 1e6,
     };
 
     carpool_par::set_thread_override(Some(1));
     let (serial_s, serial_result) = time_run(&config);
     carpool_par::set_thread_override(None);
     let (pool_s, pool_result) = time_run(&config);
-    let serial = throughput(1, serial_s);
-    let pool = throughput(carpool_par::thread_count(), pool_s);
+    let serial = throughput(1, config.frames, serial_s);
+    let pool = throughput(carpool_par::thread_count(), config.frames, pool_s);
     let speedup = serial.elapsed_s / pool.elapsed_s;
     let deterministic = serial_result.data_ber.to_bits() == pool_result.data_ber.to_bits()
         && serial_result.side_ber.to_bits() == pool_result.side_ber.to_bits();
+
+    // End-to-end SNR sweep: one TX encode serves every point when the
+    // cache is on. Each timed repetition starts from a cold cache so the
+    // hit rate describes exactly one sweep.
+    let sweep_config = PhyRunConfig {
+        frames: 8,
+        ..config
+    };
+    let sweep_frames = sweep_config.frames * SWEEP_SNRS.len();
+    // The timed repetitions below run in the ambient cache configuration
+    // (so CARPOOL_NO_TX_CACHE=1 measures the honest uncached sweep); the
+    // reference pass here is always uncached for the bit-identity check.
+    let cache_on = txcache::is_enabled();
+    txcache::set_enabled(false);
+    txcache::reset();
+    let uncached = run_sweep(&sweep_config);
+    txcache::set_enabled(cache_on);
+    let mut sweep_best = f64::INFINITY;
+    let mut cached = Vec::new();
+    let mut cache_stats = txcache::TxCacheStats::default();
+    for _ in 0..3 {
+        txcache::reset();
+        let t0 = Instant::now();
+        cached = run_sweep(&sweep_config);
+        sweep_best = sweep_best.min(t0.elapsed().as_secs_f64());
+        cache_stats = txcache::stats();
+    }
+    let sweep = throughput(carpool_par::thread_count(), sweep_frames, sweep_best);
+    let cache_identical = uncached.len() == cached.len()
+        && uncached.iter().zip(&cached).all(|(u, c)| {
+            u.data_ber.to_bits() == c.data_ber.to_bits()
+                && u.side_ber.to_bits() == c.side_ber.to_bits()
+        });
 
     println!(
         "\n{:<24} {:>8} {:>12} {:>12} {:>14}",
         "throughput (run_phy)", "threads", "elapsed s", "frames/s", "coded Mbit/s"
     );
-    for t in [&serial, &pool] {
+    for t in [&serial, &pool, &sweep] {
         println!(
             "{:<24} {:>8} {:>12.3} {:>12.1} {:>14.2}",
             "", t.threads, t.elapsed_s, t.frames_per_s, t.coded_mbit_per_s
@@ -287,7 +410,46 @@ fn bench_throughput() {
          {deterministic}",
         pool.threads
     );
-    flag_regressions(&serial, &pool);
+    println!(
+        "sweep: {} SNR points x {} frames, tx-cache hit rate {:.0}% ({} hits / {} misses), \
+         cached == uncached: {cache_identical}",
+        SWEEP_SNRS.len(),
+        sweep_config.frames,
+        cache_stats.hit_rate() * 100.0,
+        cache_stats.hits,
+        cache_stats.misses
+    );
+
+    // Everything numeric lands in one flat list: the same rows are
+    // written to BENCH_perf.json and compared against the committed
+    // baseline.
+    let mut entries: Vec<(&'static str, f64)> = vec![
+        ("serial_elapsed_s", serial.elapsed_s),
+        ("serial_frames_per_s", serial.frames_per_s),
+        ("serial_coded_mbit_per_s", serial.coded_mbit_per_s),
+        ("pool_elapsed_s", pool.elapsed_s),
+        ("pool_frames_per_s", pool.frames_per_s),
+        ("pool_coded_mbit_per_s", pool.coded_mbit_per_s),
+        ("speedup", speedup),
+        ("sweep_elapsed_s", sweep.elapsed_s),
+        ("sweep_frames_per_s", sweep.frames_per_s),
+        ("sweep_coded_mbit_per_s", sweep.coded_mbit_per_s),
+        ("tx_cache_hit_rate", cache_stats.hit_rate()),
+    ];
+    for (row, key) in [
+        ("viterbi_decode_1kbit", "viterbi_hard_us"),
+        ("viterbi_soft_f64_1kbit", "viterbi_soft_f64_us"),
+        ("viterbi_int_1kbit", "viterbi_int_us"),
+        ("fft64_forward", "fft64_us"),
+        ("fft64_real", "fft64_real_us"),
+        ("equalize_symbol", "equalize_symbol_us"),
+        ("rx_1500B_qam64", "rx_1500B_qam64_us"),
+    ] {
+        if let Some(us) = median_us(results, row) {
+            entries.push((key, us));
+        }
+    }
+    compare_to_baseline(&entries);
 
     let mut w = ObjectWriter::new();
     w.str("bench", "phy_micro_perf")
@@ -295,14 +457,15 @@ fn bench_throughput() {
         .u64("payload_bits", config.payload_bits as u64)
         .u64("coded_bits_per_frame", coded_bits_per_frame as u64)
         .u64("pool_threads", pool.threads as u64)
-        .f64("serial_elapsed_s", serial.elapsed_s)
-        .f64("serial_frames_per_s", serial.frames_per_s)
-        .f64("serial_coded_mbit_per_s", serial.coded_mbit_per_s)
-        .f64("pool_elapsed_s", pool.elapsed_s)
-        .f64("pool_frames_per_s", pool.frames_per_s)
-        .f64("pool_coded_mbit_per_s", pool.coded_mbit_per_s)
-        .f64("speedup", speedup)
-        .bool("deterministic", deterministic);
+        .u64("sweep_points", SWEEP_SNRS.len() as u64)
+        .u64("sweep_frames", sweep_frames as u64)
+        .u64("tx_cache_hits", cache_stats.hits)
+        .u64("tx_cache_misses", cache_stats.misses)
+        .bool("deterministic", deterministic)
+        .bool("tx_cache_bit_identical", cache_identical);
+    for (key, value) in &entries {
+        w.f64(key, *value);
+    }
     let json = format!("{}\n", w.finish());
     match std::fs::write(PERF_PATH, &json) {
         Ok(()) => println!("wrote {PERF_PATH}"),
@@ -314,6 +477,7 @@ fn main() {
     let mut results: Vec<SpanStats> = Vec::new();
     bench_fft(&mut results);
     bench_coding(&mut results);
+    bench_equalizer(&mut results);
     bench_interleaver_and_mapping(&mut results);
     bench_bloom(&mut results);
     bench_side_channel(&mut results);
@@ -346,5 +510,5 @@ fn main() {
         Err(e) => eprintln!("\ncannot write {path}: {e}"),
     }
 
-    bench_throughput();
+    bench_throughput(&results);
 }

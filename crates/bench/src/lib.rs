@@ -14,7 +14,8 @@ use carpool_mac::SimReport;
 use carpool_phy::bits::hamming_distance;
 use carpool_phy::mcs::Mcs;
 use carpool_phy::rx::{receive, Estimation, SectionLayout};
-use carpool_phy::tx::{transmit, SectionSpec, SideChannelConfig};
+use carpool_phy::tx::{SectionSpec, SideChannelConfig};
+use carpool_phy::txcache::transmit_cached;
 
 /// Deterministic pseudo-random bits (xorshift), so every bench run
 /// measures the same payloads.
@@ -134,6 +135,13 @@ impl FrameTally {
 /// Frames are fanned out over the `carpool-par` worker pool: each frame's
 /// channel is seeded by `config.seed + frame`, so the result does not
 /// depend on the thread count (`CARPOOL_THREADS`).
+///
+/// The transmitted waveform is deterministic per payload/MCS spec, so it
+/// is served from [`carpool_phy::txcache`]: an SNR sweep re-encodes its
+/// frame once and every further sweep point re-runs only channel + RX.
+/// All trial randomness stays in the per-frame channel seed, so results
+/// are byte-identical with the cache on or off (`--no-tx-cache`) and at
+/// any thread count.
 pub fn run_phy(config: &PhyRunConfig) -> PhyBerResult {
     let spec = SectionSpec {
         bits: pattern_bits(config.payload_bits, 77),
@@ -145,7 +153,7 @@ pub fn run_phy(config: &PhyRunConfig) -> PhyBerResult {
     // pattern_bits yields only 0/1 and the MCS comes from the library
     // table, so transmission cannot fail; degrade to an empty result
     // instead of panicking if that invariant ever breaks.
-    let Ok(tx) = transmit(std::slice::from_ref(&spec)) else {
+    let Ok(tx) = transmit_cached(std::slice::from_ref(&spec), &carpool_obs::Obs::noop()) else {
         return PhyBerResult::default();
     };
     let layouts = [SectionLayout::of(&spec)];

@@ -71,7 +71,7 @@ impl LinkChannel {
 
     /// Passes a frame of baseband samples through the link.
     pub fn transmit(&mut self, samples: &[Complex64]) -> Vec<Complex64> {
-        let _span = self.obs.span("channel.transmit");
+        let _span = self.obs.span(carpool_obs::names::CHANNEL_TRANSMIT);
         let mut buf = match &mut self.fading {
             Some(f) => f.process(samples, &mut self.rng),
             None => samples.to_vec(),

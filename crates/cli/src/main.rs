@@ -29,7 +29,8 @@ use carpool_phy::mcs::Mcs;
 use carpool_phy::modulation::Modulation;
 use carpool_phy::rte::CalibrationRule;
 use carpool_phy::rx::{receive, receive_soft, Estimation, SectionLayout};
-use carpool_phy::tx::{transmit, SectionSpec};
+use carpool_phy::tx::SectionSpec;
+use carpool_phy::txcache::transmit_cached;
 use carpool_traffic::background::{BackgroundSource, Transport};
 use carpool_traffic::trace::Trace;
 use carpool_traffic::voip::VoipSource;
@@ -78,6 +79,13 @@ PARALLELISM (accepted by every command):
                          Default: the CARPOOL_THREADS environment
                          variable, else all cores. Results are identical
                          for every thread count.
+
+PERFORMANCE (accepted by every command):
+    --no-tx-cache        Disable the process-wide TX waveform
+                         memoization cache (also: CARPOOL_NO_TX_CACHE=1).
+                         Results are byte-identical either way; the cache
+                         only skips re-encoding identical frames across
+                         sweep points.
 ";
 
 fn parse_mcs(spec: &str) -> Result<Mcs, String> {
@@ -135,7 +143,7 @@ fn cmd_phy_ber(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
         .map(|k| ((k * 31 + 7) % 5 < 2) as u8)
         .collect();
     let spec = SectionSpec::payload(payload.clone(), mcs);
-    let tx = transmit(std::slice::from_ref(&spec)).map_err(|e| e.to_string())?;
+    let tx = transmit_cached(std::slice::from_ref(&spec), obs).map_err(|e| e.to_string())?;
     let layouts = [SectionLayout::of(&spec)];
 
     let mut raw_errors = 0usize;
@@ -440,6 +448,9 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if args.flag("no-tx-cache") {
+        carpool_phy::txcache::set_enabled(false);
     }
     let result = match args.command() {
         Some("phy-ber") => cmd_phy_ber(&args, &obs),

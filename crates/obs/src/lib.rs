@@ -20,6 +20,8 @@
 mod event;
 mod histogram;
 pub mod json;
+/// Canonical metric and span names shared by the instrumented crates.
+pub mod names;
 mod recorder;
 mod sink;
 mod span;
@@ -206,6 +208,7 @@ fn span_metric_name(span: &'static str) -> &'static str {
         "phy.decode" => "span.phy.decode",
         "phy.equalize" => "span.phy.equalize",
         "phy.viterbi" => "span.phy.viterbi",
+        "phy.fft" => "span.phy.fft",
         "mac.sim_loop" => "span.mac.sim_loop",
         "mac.txop" => "span.mac.txop",
         "frame.receive" => "span.frame.receive",

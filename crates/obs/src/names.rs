@@ -1,0 +1,59 @@
+//! Canonical span and counter names used across the stack.
+//!
+//! Span names feed [`crate::Obs::span`] and must stay in sync with the
+//! static `span.<name>` histogram table in the crate root; counter names
+//! are free-form but centralised here so call sites and tests cannot
+//! drift apart. Kernel-level spans (`PHY_VITERBI`, `PHY_FFT`) time the
+//! individual decode kernels inside the RX chain; the TX-cache counters
+//! track waveform memoization across SNR sweep points.
+
+/// Span: one full PHY section decode (`rx::decode_section`).
+pub const PHY_DECODE: &str = "phy.decode";
+/// Span: the Viterbi FEC kernel inside a section decode.
+pub const PHY_VITERBI: &str = "phy.viterbi";
+/// Span: an FFT/IFFT kernel invocation.
+pub const PHY_FFT: &str = "phy.fft";
+/// Span: per-symbol channel equalization.
+pub const PHY_EQUALIZE: &str = "phy.equalize";
+/// Span: TX section encode.
+pub const PHY_ENCODE: &str = "phy.encode";
+/// Span: one Carpool frame reception.
+pub const FRAME_RECEIVE: &str = "frame.receive";
+/// Span: one channel traversal (fading + CFO + AWGN).
+pub const CHANNEL_TRANSMIT: &str = "channel.transmit";
+/// Span: the MAC simulator main loop.
+pub const MAC_SIM_LOOP: &str = "mac.sim_loop";
+/// Span: one MAC transmit opportunity.
+pub const MAC_TXOP: &str = "mac.txop";
+/// Span: Bloom-filter false-positive measurement.
+pub const BLOOM_FP_MEASURE: &str = "bloom.fp_measure";
+
+/// Counter: TX waveform served from the process-wide memoization cache.
+pub const TX_CACHE_HIT: &str = "phy.txcache.hit";
+/// Counter: TX waveform encoded because no cached entry matched.
+pub const TX_CACHE_MISS: &str = "phy.txcache.miss";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryRecorder, Obs};
+    use std::sync::Arc;
+
+    #[test]
+    fn kernel_spans_have_dedicated_histograms() {
+        // Every kernel span must land in its own `span.<name>` histogram,
+        // not the `span.other` catch-all, or per-kernel timings collapse.
+        for name in [PHY_DECODE, PHY_VITERBI, PHY_FFT, PHY_EQUALIZE] {
+            let recorder = Arc::new(MemoryRecorder::new());
+            let obs = Obs::with_recorder(recorder.clone());
+            {
+                let _span = obs.span(name);
+            }
+            let snap = recorder.snapshot();
+            assert!(
+                snap.histogram("span.other").is_none(),
+                "span {name} fell into span.other"
+            );
+        }
+    }
+}

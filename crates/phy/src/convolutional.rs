@@ -3,12 +3,47 @@
 //! This is the mandatory code of the IEEE 802.11 OFDM PHY: generator
 //! polynomials `g0 = 133 (octal)` and `g1 = 171 (octal)`. Higher rates
 //! (2/3 and 3/4) are derived by puncturing, exactly as in the standard.
-//! The decoder is a hard-decision Viterbi with full traceback and
-//! erasure support for punctured positions.
 //!
 //! The Carpool A-HDR is "coded using the lowest coding rate" (BPSK, rate
 //! 1/2), so two OFDM symbols — 96 coded bits — carry the 48-bit Bloom
 //! filter (Section 4.1).
+//!
+//! # Decoder architecture
+//!
+//! Both production decoders ([`decode`] hard, [`decode_soft_quantized`]
+//! soft) run on one fixed-cost integer kernel:
+//!
+//! * per-bit observations are signed integer levels (quantized LLRs for
+//!   the soft path, ±1 for hard decisions, 0 for punctured erasures);
+//! * the add-compare-select loop is branchless over a const table of
+//!   state transitions ([`EXPECTED`] folded into `BRANCH_CODE`), with
+//!   saturating `i32` path metrics normalized by the per-step minimum;
+//! * survivor memory is bit-packed — one `u64` decision word per 64
+//!   trellis states per step — and traceback runs over that window into
+//!   caller-provided [`ViterbiScratch`] buffers.
+//!
+//! The f64 soft decoder [`decode_soft_with`] is kept unchanged as the
+//! reference oracle; the golden-corpus test in `tests/` proves the
+//! integer kernel's hard decisions identical to it.
+//!
+//! # Quantization scaling analysis
+//!
+//! LLRs are mapped to `q = round(llr * 2^7)` clamped to ±2^20
+//! ([`LLR_QUANT_CLAMP`]). The scaling budget, in order:
+//!
+//! * **Resolution.** 7 fractional bits (step 1/128). Classical Viterbi
+//!   quantization studies show 3–4 soft bits already cost < 0.2 dB on
+//!   AWGN; 1/128 steps are far below the noise floor of any operating
+//!   point this PHY sweeps.
+//! * **Branch cost.** A step's cost is `±q_a ± q_b`, so
+//!   `|cost| <= 2 * 2^20 < 2^21` — no overflow in a single add.
+//! * **Path-metric spread.** After every step the minimum metric is
+//!   subtracted (a uniform shift, invisible to `argmin`). Any state is
+//!   reachable from any other in `K-1 = 6` steps, so the normalized
+//!   spread is bounded by `6 * 2^21 < 2^24`, leaving > 7 bits of
+//!   headroom below the not-yet-reachable marker `i32::MAX / 2`; saturating arithmetic
+//!   makes even adversarial inputs (±inf LLRs saturate at the clamp,
+//!   NaN quantizes to an erasure) wrap-free.
 
 /// Constraint length of the 802.11 code.
 pub const CONSTRAINT_LENGTH: usize = 7;
@@ -99,6 +134,58 @@ const fn build_expected() -> [[(u8, u8); 2]; NUM_STATES] {
     table
 }
 
+/// Fixed-point scale of quantized LLRs: `q = round(llr * 2^LLR_SCALE_BITS)`.
+pub const LLR_SCALE_BITS: u32 = 7;
+
+/// Saturation bound of a quantized LLR. See the module-level scaling
+/// analysis: per-step costs stay below `2^21` and normalized path
+/// metrics below `2^24`, so `i32` arithmetic cannot wrap.
+pub const LLR_QUANT_CLAMP: i32 = 1 << 20;
+
+/// Path metric of a trellis state not yet reached by any finite-cost
+/// path. Half of `i32::MAX` so one saturating branch add cannot wrap.
+const INT_INF: i32 = i32::MAX / 2;
+
+/// `EXPECTED`, re-indexed for the ACS inner loop: for next-state `ns`
+/// and predecessor choice `b` (0 = low predecessor `ns >> 1`, 1 = high
+/// predecessor `(ns >> 1) | 32`), the expected output pair encoded as
+/// `2*g0 + g1` — an index into the four per-step branch costs.
+const BRANCH_CODE: [[u8; 2]; NUM_STATES] = build_branch_code();
+
+const fn build_branch_code() -> [[u8; 2]; NUM_STATES] {
+    let mut table = [[0u8; 2]; NUM_STATES];
+    let mut ns = 0;
+    while ns < NUM_STATES {
+        let mut b = 0;
+        while b < 2 {
+            let pred = (ns >> 1) | (b << (CONSTRAINT_LENGTH - 2));
+            let input = ns & 1;
+            let (e0, e1) = EXPECTED[pred][input];
+            table[ns][b] = e0 * 2 + e1;
+            b += 1;
+        }
+        ns += 1;
+    }
+    table
+}
+
+// lint:allow(as-cast): small power of two, exact in f64
+const LLR_SCALE_F: f64 = (1i64 << LLR_SCALE_BITS) as f64;
+// lint:allow(as-cast): 2^20 is exact in f64
+const LLR_CLAMP_F: f64 = LLR_QUANT_CLAMP as f64;
+
+/// Quantizes one LLR to the integer lattice: `round(llr * 2^7)`,
+/// saturated at ±[`LLR_QUANT_CLAMP`]. NaN carries no information and
+/// maps to 0 (an erasure), ±inf saturate at the clamp.
+#[inline]
+pub fn quantize_llr(llr: f64) -> i32 {
+    if llr.is_nan() {
+        return 0;
+    }
+    // lint:allow(as-cast): clamped to ±2^20, exactly representable in i32
+    (llr * LLR_SCALE_F).round().clamp(-LLR_CLAMP_F, LLR_CLAMP_F) as i32
+}
+
 /// Encodes with the rate-1/2 mother code (no puncturing, no tail).
 ///
 /// Each input bit produces two output bits `(a, b)` from g0 and g1.
@@ -159,13 +246,6 @@ pub fn coded_len(message_len: usize, rate: CodeRate) -> usize {
     n
 }
 
-/// A received coded bit, possibly erased by puncturing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Soft {
-    Bit(u8),
-    Erased,
-}
-
 /// Depunctures a soft (LLR) stream into `out`; punctured/missing
 /// positions become zero-information LLRs.
 fn depuncture_soft_into(llrs: &[f64], total_in: usize, rate: CodeRate, out: &mut Vec<(f64, f64)>) {
@@ -189,9 +269,42 @@ fn depuncture_soft_into(llrs: &[f64], total_in: usize, rate: CodeRate, out: &mut
     }
 }
 
-/// Depunctures a received stream into `out`, back to the mother-code
-/// lattice.
-fn depuncture_into(coded: &[u8], total_in: usize, rate: CodeRate, out: &mut Vec<(Soft, Soft)>) {
+/// Depunctures a quantized-LLR stream into `out`; punctured/missing
+/// positions become zero-information (erased) levels.
+fn depuncture_quantized_into(
+    llrs: &[f64],
+    total_in: usize,
+    rate: CodeRate,
+    out: &mut Vec<(i32, i32)>,
+) {
+    let pattern = rate.puncture_pattern();
+    let mut it = llrs.iter();
+    out.clear();
+    out.reserve(total_in);
+    for k in 0..total_in {
+        let (keep_a, keep_b) = pattern[k % pattern.len()];
+        let a = if keep_a {
+            it.next().map(|&l| quantize_llr(l)).unwrap_or(0)
+        } else {
+            0
+        };
+        let b = if keep_b {
+            it.next().map(|&l| quantize_llr(l)).unwrap_or(0)
+        } else {
+            0
+        };
+        out.push((a, b));
+    }
+}
+
+/// Depunctures hard decisions into integer levels: bit 1 → +1, bit 0 →
+/// −1, punctured/missing → 0 (erasure). On these levels the integer
+/// kernel's path costs are an affine function of the Hamming metric
+/// (`cost = 2 * mismatches − observed_bits`, the offset identical for
+/// every path at a given step), so its decisions — ties included — match
+/// a classical hard-decision Viterbi exactly.
+fn depuncture_hard_into(coded: &[u8], total_in: usize, rate: CodeRate, out: &mut Vec<(i32, i32)>) {
+    let level = |b: &u8| if *b == 1 { 1 } else { -1 };
     let pattern = rate.puncture_pattern();
     let mut it = coded.iter();
     out.clear();
@@ -199,54 +312,161 @@ fn depuncture_into(coded: &[u8], total_in: usize, rate: CodeRate, out: &mut Vec<
     for k in 0..total_in {
         let (keep_a, keep_b) = pattern[k % pattern.len()];
         let a = if keep_a {
-            it.next().map(|&b| Soft::Bit(b)).unwrap_or(Soft::Erased)
+            it.next().map(level).unwrap_or(0)
         } else {
-            Soft::Erased
+            0
         };
         let b = if keep_b {
-            it.next().map(|&b| Soft::Bit(b)).unwrap_or(Soft::Erased)
+            it.next().map(level).unwrap_or(0)
         } else {
-            Soft::Erased
+            0
         };
         out.push((a, b));
     }
 }
 
-/// Reusable decoder workspace: the depunctured lattice and traceback
-/// history buffers, recycled across calls so the per-frame decode loop
-/// allocates nothing after warm-up.
+/// Reusable decoder workspace: the depunctured lattices, the bit-packed
+/// survivor window and traceback buffers, recycled across calls so the
+/// per-frame decode loop allocates nothing after warm-up.
 ///
 /// Create one with `ViterbiScratch::default()` and pass it to
-/// [`decode_with`] / [`decode_soft_with`]; the plain [`decode`] /
-/// [`decode_soft`] wrappers allocate a fresh one per call.
+/// [`decode_with`] / [`decode_soft_quantized_with`] /
+/// [`decode_soft_with`]; the plain wrappers allocate a fresh one per
+/// call.
 #[derive(Debug, Default)]
 pub struct ViterbiScratch {
-    hard_lattice: Vec<(Soft, Soft)>,
+    /// Integer observation lattice of the production kernel.
+    int_lattice: Vec<(i32, i32)>,
+    /// Survivor window: one decision word per step, bit `s` set when
+    /// state `s` selected its high predecessor.
+    survivors: Vec<u64>,
+    /// Traceback output buffer (`total_in` bits before truncation).
+    decoded: Vec<u8>,
+    /// f64 lattice of the reference oracle [`decode_soft_with`].
     soft_lattice: Vec<(f64, f64)>,
+    /// Per-step predecessor choices of the reference oracle.
     history: Vec<[u8; NUM_STATES]>,
 }
 
+/// Half the trellis: the butterfly loop walks predecessor pairs
+/// `(j, j + 32)`.
+const HALF_STATES: usize = NUM_STATES / 2;
+
+/// Branch-cost index of the transition `j -> 2j` (low predecessor,
+/// input 0). Both generators tap the newest and the oldest register
+/// bit, so within a predecessor pair the other three transitions cost
+/// exactly `-`, `-` and `+` this entry's cost — one lookup serves all
+/// four edges of the butterfly (proved by `butterfly_sign_symmetry`).
+const PAIR_CODE: [usize; HALF_STATES] = build_pair_code();
+
+const fn build_pair_code() -> [usize; HALF_STATES] {
+    let mut table = [0usize; HALF_STATES];
+    let mut j = 0;
+    while j < HALF_STATES {
+        // lint:allow(as-cast): branch code is 0..=3, widening to usize
+        table[j] = BRANCH_CODE[2 * j][0] as usize;
+        j += 1;
+    }
+    table
+}
+
+/// Steps between path-metric re-normalizations. Between passes the
+/// metrics drift by at most `NORM_INTERVAL * 3 * 2^21 < 2^28` on top of
+/// a `< 2^24` spread — far inside `i32` with the `i32::MAX / 2`
+/// not-yet-reachable marker. Normalization subtracts the running
+/// minimum from every state, a uniform shift no comparison can see, so
+/// any interval yields bit-identical decisions.
+const NORM_INTERVAL: usize = 32;
+
+/// One branchless add-compare-select step: reads the 64 path metrics
+/// from `cur`, writes the 64 updated metrics to `nxt`, and returns the
+/// bit-packed survivor word (bit `ns` set when state `ns` selected its
+/// high predecessor). Each of the 32 butterflies is one cost lookup,
+/// four saturating adds, two compares and two selects — no
+/// data-dependent branches.
 #[inline]
-fn branch_metric(observed: (Soft, Soft), expected: (u8, u8)) -> u32 {
-    let mut m = 0;
-    if let Soft::Bit(b) = observed.0 {
-        m += (b != expected.0) as u32;
+fn acs_step(costs: &[i32; 4], cur: &[i32; NUM_STATES], nxt: &mut [i32; NUM_STATES]) -> u64 {
+    let mut word = 0u64;
+    for j in 0..HALF_STATES {
+        let m0 = cur[j];
+        let m1 = cur[j + HALF_STATES];
+        let d = costs[PAIR_CODE[j]];
+        // Next state 2j (input 0): low predecessor costs +d, high -d.
+        let a0 = m0.saturating_add(d);
+        let b0 = m1.saturating_sub(d);
+        // Strict `<` keeps the low predecessor on ties — the same
+        // convention as the ascending-state scan of the f64 oracle.
+        let t0 = b0 < a0;
+        nxt[2 * j] = if t0 { b0 } else { a0 };
+        // Next state 2j+1 (input 1): signs flip.
+        let a1 = m0.saturating_sub(d);
+        let b1 = m1.saturating_add(d);
+        let t1 = b1 < a1;
+        nxt[2 * j + 1] = if t1 { b1 } else { a1 };
+        word |= (u64::from(t0) | (u64::from(t1) << 1)) << (2 * j);
     }
-    if let Soft::Bit(b) = observed.1 {
-        m += (b != expected.1) as u32;
+    word
+}
+
+/// Branchless add-compare-select forward pass over the integer lattice.
+///
+/// Fills `survivors` with one packed decision word per step. Path
+/// metrics ping-pong between two stack buffers (no copy-back), with the
+/// running minimum subtracted every [`NORM_INTERVAL`] steps — a uniform
+/// shift that preserves every comparison, keeping the arithmetic
+/// wrap-free for any input under the module-level scaling bounds.
+fn acs_forward(lattice: &[(i32, i32)], survivors: &mut Vec<u64>) {
+    let mut bufs = [[INT_INF; NUM_STATES]; 2];
+    bufs[0][0] = 0; // Encoder starts in the zero state.
+    let mut cur = 0usize;
+    survivors.clear();
+    survivors.reserve(lattice.len());
+    for (t, &(la, lb)) in lattice.iter().enumerate() {
+        // Branch costs by expected output pair `2*g0 + g1`:
+        // hypothesising bit 1 costs -level, bit 0 costs +level.
+        let costs = [la + lb, la - lb, lb - la, -la - lb];
+        let (lo, hi) = bufs.split_at_mut(1);
+        let (src, dst) = if cur == 0 {
+            (&lo[0], &mut hi[0])
+        } else {
+            (&hi[0], &mut lo[0])
+        };
+        survivors.push(acs_step(&costs, src, dst));
+        cur ^= 1;
+        if (t + 1) % NORM_INTERVAL == 0 {
+            let min = bufs[cur].iter().copied().min().unwrap_or(0);
+            for m in bufs[cur].iter_mut() {
+                *m = m.saturating_sub(min);
+            }
+        }
     }
-    m
+}
+
+/// Traceback over the packed survivor window, newest step first. The
+/// tail bits force the encoder into the zero state, whose path metric is
+/// always finite (the all-zeros path accrues only finite costs), so the
+/// start state is unconditionally 0.
+fn traceback(survivors: &[u64], message_len: usize, decoded: &mut Vec<u8>) {
+    let total_in = survivors.len();
+    decoded.clear();
+    decoded.resize(total_in, 0);
+    let mut state = 0usize;
+    for t in (0..total_in).rev() {
+        // lint:allow(as-cast): state & 1 is 0 or 1
+        decoded[t] = (state & 1) as u8;
+        // lint:allow(as-cast): single decision bit
+        let high = ((survivors[t] >> state) & 1) as usize;
+        state = (state >> 1) | (high << (CONSTRAINT_LENGTH - 2));
+    }
+    decoded.truncate(message_len);
 }
 
 /// Hard-decision Viterbi decoder for streams produced by [`encode`].
 ///
 /// `message_len` is the number of *information* bits expected (the tail is
 /// handled internally). Extra or missing coded bits degrade gracefully:
-/// missing tail positions are treated as erasures.
-///
-/// # Panics
-///
-/// Panics if any element of `coded` is not 0 or 1.
+/// missing tail positions are treated as erasures. Non-bit input values
+/// are treated as 0.
 pub fn decode(coded: &[u8], message_len: usize, rate: CodeRate) -> Vec<u8> {
     decode_with(coded, message_len, rate, &mut ViterbiScratch::default())
 }
@@ -265,62 +485,15 @@ pub fn decode_with(
     }
     let total_in = message_len + CONSTRAINT_LENGTH - 1;
     let ViterbiScratch {
-        hard_lattice,
-        history,
+        int_lattice,
+        survivors,
+        decoded,
         ..
     } = scratch;
-    depuncture_into(coded, total_in, rate, hard_lattice);
-
-    const INF: u32 = u32::MAX / 2;
-    let mut metrics = [INF; NUM_STATES];
-    metrics[0] = 0; // Encoder starts in the zero state.
-    let mut next = [INF; NUM_STATES];
-    history.clear();
-    history.reserve(total_in);
-
-    for &obs in hard_lattice.iter() {
-        next.fill(INF);
-        let mut prev_choice = [0u8; NUM_STATES];
-        for state in 0..NUM_STATES {
-            let m = metrics[state];
-            if m >= INF {
-                continue;
-            }
-            for (input, &exp) in EXPECTED[state].iter().enumerate() {
-                let ns = ((state << 1) | input) & (NUM_STATES - 1);
-                let bm = branch_metric(obs, exp);
-                let cand = m + bm;
-                if cand < next[ns] {
-                    next[ns] = cand;
-                    // The evicted (oldest) bit of `state` identifies which
-                    // predecessor we came from; store the high bit of state.
-                    prev_choice[ns] = (state >> (CONSTRAINT_LENGTH - 2)) as u8;
-                }
-            }
-        }
-        std::mem::swap(&mut metrics, &mut next);
-        history.push(prev_choice);
-    }
-
-    // Traceback from the zero state (tail forces termination there).
-    let mut state = 0usize;
-    if metrics[0] >= INF {
-        // Degenerate input: fall back to the best surviving state.
-        state = metrics
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, m)| **m)
-            .map(|(s, _)| s)
-            .unwrap_or(0);
-    }
-    let mut decoded = vec![0u8; total_in];
-    for t in (0..total_in).rev() {
-        decoded[t] = (state & 1) as u8; // newest bit in the state register
-        let old_bit = history[t][state] as usize;
-        state = (state >> 1) | (old_bit << (CONSTRAINT_LENGTH - 2));
-    }
-    decoded.truncate(message_len);
-    decoded
+    depuncture_hard_into(coded, total_in, rate, int_lattice);
+    acs_forward(int_lattice, survivors);
+    traceback(survivors, message_len, decoded);
+    decoded.clone()
 }
 
 /// Soft-decision Viterbi decoder.
@@ -413,6 +586,44 @@ pub fn decode_soft_with(
     }
     decoded.truncate(message_len);
     decoded
+}
+
+/// Integer soft-decision Viterbi decoder: the production kernel behind
+/// the receive hot path.
+///
+/// Quantizes each LLR with [`quantize_llr`] (fixed-point scale
+/// `2^LLR_SCALE_BITS`, saturating clamp at `±LLR_QUANT_CLAMP`), then
+/// runs the branchless add-compare-select forward pass with bit-packed
+/// survivor memory. On LLRs whose scaled values are exactly
+/// representable, decisions — including ties — match the f64 reference
+/// oracle [`decode_soft`] bit for bit; on general inputs the only
+/// divergence is the sub-quantum rounding of the `2^-7` LLR grid.
+pub fn decode_soft_quantized(llrs: &[f64], message_len: usize, rate: CodeRate) -> Vec<u8> {
+    decode_soft_quantized_with(llrs, message_len, rate, &mut ViterbiScratch::default())
+}
+
+/// [`decode_soft_quantized`] with a caller-provided [`ViterbiScratch`];
+/// see [`decode_with`].
+pub fn decode_soft_quantized_with(
+    llrs: &[f64],
+    message_len: usize,
+    rate: CodeRate,
+    scratch: &mut ViterbiScratch,
+) -> Vec<u8> {
+    if message_len == 0 {
+        return Vec::new();
+    }
+    let total_in = message_len + CONSTRAINT_LENGTH - 1;
+    let ViterbiScratch {
+        int_lattice,
+        survivors,
+        decoded,
+        ..
+    } = scratch;
+    depuncture_quantized_into(llrs, total_in, rate, int_lattice);
+    acs_forward(int_lattice, survivors);
+    traceback(survivors, message_len, decoded);
+    decoded.clone()
 }
 
 #[cfg(test)]
@@ -510,6 +721,65 @@ mod tests {
     #[test]
     fn empty_message() {
         assert!(decode(&[], 0, CodeRate::Half).is_empty());
+    }
+
+    #[test]
+    fn butterfly_sign_symmetry() {
+        // The pair-butterfly kernel relies on all four edges of a
+        // predecessor pair costing ± one value. Codes 0..=3 index the
+        // per-step cost table [la+lb, la-lb, lb-la, -la-lb], in which
+        // `costs[3 - k] == -costs[k]`; so the claim is that flipping
+        // either the input bit or the high predecessor bit complements
+        // the branch code.
+        for j in 0..HALF_STATES {
+            let d = usize::from(BRANCH_CODE[2 * j][0]);
+            assert_eq!(PAIR_CODE[j], d);
+            assert_eq!(
+                usize::from(BRANCH_CODE[2 * j][1]),
+                3 - d,
+                "high pred, input 0"
+            );
+            assert_eq!(
+                usize::from(BRANCH_CODE[2 * j + 1][0]),
+                3 - d,
+                "low pred, input 1"
+            );
+            assert_eq!(
+                usize::from(BRANCH_CODE[2 * j + 1][1]),
+                d,
+                "high pred, input 1"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_matches_oracle_on_integer_grid_llrs() {
+        // On LLRs that are exact multiples of the quantization step the
+        // integer kernel must reproduce the f64 oracle bit for bit,
+        // ties included; exercise noisy, tie-prone small magnitudes.
+        for (seed, rate) in [
+            (3u64, CodeRate::Half),
+            (5, CodeRate::TwoThirds),
+            (7, CodeRate::ThreeQuarters),
+        ] {
+            let bits = pseudo_random_bits(160, seed);
+            let coded = encode(&bits, rate);
+            let llrs: Vec<f64> = coded
+                .iter()
+                .enumerate()
+                .map(|(k, &b)| {
+                    let sign = if b == 1 { 1.0 } else { -1.0 };
+                    // Integer-valued LLRs in [-3, 3]: many exact ties.
+                    let mag = ((k * 2654435761) >> 7) % 4;
+                    sign * mag as f64 * if k % 17 == 0 { -1.0 } else { 1.0 }
+                })
+                .collect();
+            assert_eq!(
+                decode_soft_quantized(&llrs, 160, rate),
+                decode_soft(&llrs, 160, rate),
+                "rate {rate}"
+            );
+        }
     }
 
     #[test]

@@ -86,7 +86,9 @@ impl SmallCrc {
             6 => SmallCrc::CRC6,
             7 => SmallCrc::new(7, 0b0001001), // x^7 + x^3 + 1 (CRC-7/MMC)
             8 => SmallCrc::CRC8,
-            _ => panic!("width {width} out of 1..=8"),
+            // Out of range: delegate to `new`, whose width assertion
+            // raises the documented panic message.
+            _ => SmallCrc::new(width, 0),
         }
     }
 

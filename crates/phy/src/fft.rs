@@ -21,6 +21,12 @@ static FWD_TWIDDLES: [OnceLock<Vec<Complex64>>; MAX_CACHED_LOG2 + 1] =
 /// Inverse-direction counterpart of [`FWD_TWIDDLES`].
 static INV_TWIDDLES: [OnceLock<Vec<Complex64>>; MAX_CACHED_LOG2 + 1] =
     [const { OnceLock::new() }; MAX_CACHED_LOG2 + 1];
+/// Per-size bit-reversal permutations, keyed by log2(n). Each entry is
+/// the list of `(i, j)` swap pairs (with `i < j`) that the carry-ripple
+/// permutation loop would perform, so applying the cached pairs is
+/// trivially identical to recomputing the permutation per call.
+static BITREV_SWAPS: [OnceLock<Vec<(u32, u32)>>; MAX_CACHED_LOG2 + 1] =
+    [const { OnceLock::new() }; MAX_CACHED_LOG2 + 1];
 
 /// Builds one direction's twiddle table for a size-`n` transform using
 /// the exact multiplicative recurrence of the butterfly loop, so cached
@@ -80,8 +86,50 @@ impl std::fmt::Display for FftError {
 
 impl std::error::Error for FftError {}
 
+/// Enumerates the `(i, j)` swap pairs of the size-`n` bit-reversal
+/// permutation via the carry-ripple counter.
+fn build_bitrev_swaps(n: usize) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            // lint:allow(as-cast): indices < n <= 2^12 fit in u32
+            pairs.push((i as u32, j as u32));
+        }
+    }
+    pairs
+}
+
+/// Cached swap-pair list for a power-of-two `n`, or `None` beyond the
+/// cache size.
+fn bitrev_swaps(n: usize) -> Option<&'static [(u32, u32)]> {
+    // lint:allow(as-cast): u32 bit index widened to usize, lossless
+    let log2 = n.trailing_zeros() as usize;
+    if n != (1 << log2) || log2 > MAX_CACHED_LOG2 {
+        return None;
+    }
+    Some(
+        BITREV_SWAPS[log2]
+            .get_or_init(|| build_bitrev_swaps(n))
+            .as_slice(),
+    )
+}
+
 fn bit_reverse_permute(data: &mut [Complex64]) {
     let n = data.len();
+    if let Some(pairs) = bitrev_swaps(n) {
+        for &(i, j) in pairs {
+            // lint:allow(as-cast): swap indices were built from usize < n
+            data.swap(i as usize, j as usize);
+        }
+        return;
+    }
     let mut j = 0usize;
     for i in 1..n {
         let mut bit = n >> 1;
@@ -204,6 +252,60 @@ pub fn ifft(input: &[Complex64]) -> Result<Vec<Complex64>, FftError> {
     Ok(out)
 }
 
+/// Forward FFT of a *real-valued* signal, at roughly half the cost of
+/// the complex transform.
+///
+/// Packs the even/odd samples into a half-size complex sequence, runs
+/// one `N/2`-point complex FFT, and untangles the conjugate-symmetric
+/// halves. This is the natural kernel for real correlation metrics on
+/// the preamble path — e.g. spectra of the Schmidl–Cox timing metric or
+/// matched-filter magnitude profiles — where the imaginary part of the
+/// input is identically zero and the full complex transform wastes half
+/// its butterflies.
+///
+/// Returns the full `N`-bin spectrum (the upper half is the conjugate
+/// mirror of the lower, as for any real input). Results agree with
+/// [`fft`] on the zero-padded complex input to floating-point rounding
+/// (not bit-exactly: the half-size factorization evaluates a different
+/// but mathematically equal expression).
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] if `input.len()` is zero, one,
+/// or not a power of two (the split-radix step needs `N >= 2`).
+pub fn fft_real(input: &[f64]) -> Result<Vec<Complex64>, FftError> {
+    let n = input.len();
+    if n < 2 || !n.is_power_of_two() {
+        return Err(FftError::NotPowerOfTwo { len: n });
+    }
+    let half = n / 2;
+    // Pack even samples into the real lane and odd samples into the
+    // imaginary lane of a half-size complex signal.
+    let mut packed: Vec<Complex64> = (0..half)
+        .map(|k| Complex64::new(input[2 * k], input[2 * k + 1]))
+        .collect();
+    fft_in_place(&mut packed)?;
+
+    // Untangle: for Z = fft(even + i*odd),
+    //   E[k] = (Z[k] + conj(Z[-k])) / 2,  O[k] = (Z[k] - conj(Z[-k])) / 2i,
+    //   X[k] = E[k] + w^k O[k],  X[k + N/2] = E[k] - w^k O[k].
+    let mut out = vec![Complex64::ZERO; n];
+    for k in 0..half {
+        let zk = packed[k];
+        let zmk = packed[(half - k) % half].conj();
+        let e = (zk + zmk).scale(0.5);
+        let o_times_i = (zk - zmk).scale(0.5); // i * O[k]
+        let o = Complex64::new(o_times_i.im, -o_times_i.re);
+        // lint:allow(as-cast): k < n <= small power of two, exact in f64
+        let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        let w = Complex64::cis(angle);
+        let t = w * o;
+        out[k] = e + t;
+        out[k + half] = e - t;
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +414,47 @@ mod tests {
         for bin in x.iter().take(8) {
             assert_close(*bin, Complex64::ONE);
         }
+    }
+
+    #[test]
+    fn cached_bitrev_swaps_match_the_ripple_loop() {
+        for log2 in 1..=6 {
+            let n = 1usize << log2;
+            let cached = bitrev_swaps(n).unwrap();
+            assert_eq!(cached, build_bitrev_swaps(n).as_slice());
+        }
+        assert!(bitrev_swaps(1 << (MAX_CACHED_LOG2 + 1)).is_none());
+        assert!(bitrev_swaps(12).is_none());
+    }
+
+    #[test]
+    fn real_fft_matches_complex_fft() {
+        for n in [2usize, 4, 8, 64, 128] {
+            let x: Vec<f64> = (0..n).map(|k| (k as f64 * 0.73).sin() + 0.25).collect();
+            let complex_in: Vec<Complex64> = x.iter().map(|&r| Complex64::new(r, 0.0)).collect();
+            let want = fft(&complex_in).unwrap();
+            let got = fft_real(&x).unwrap();
+            assert_eq!(got.len(), n);
+            for (a, b) in got.iter().zip(want.iter()) {
+                assert_close(*a, *b);
+            }
+        }
+    }
+
+    #[test]
+    fn real_fft_spectrum_is_conjugate_symmetric() {
+        let x: Vec<f64> = (0..64).map(|k| (k as f64 * 1.3).cos()).collect();
+        let spec = fft_real(&x).unwrap();
+        for k in 1..32 {
+            assert_close(spec[64 - k], spec[k].conj());
+        }
+    }
+
+    #[test]
+    fn real_fft_rejects_bad_lengths() {
+        assert!(fft_real(&[]).is_err());
+        assert!(fft_real(&[1.0]).is_err());
+        assert!(fft_real(&[1.0, 2.0, 3.0]).is_err());
     }
 
     #[test]

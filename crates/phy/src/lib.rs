@@ -52,6 +52,8 @@ pub mod scrambler;
 pub mod sidechannel;
 pub mod sync;
 pub mod tx;
+/// Process-wide memoization of encoded TX waveforms (see module docs).
+pub mod txcache;
 
 /// Errors produced by the PHY layer.
 #[derive(Debug, Clone, PartialEq)]

@@ -81,6 +81,7 @@ pub const PREAMBLE_SYMBOLS: usize = 4;
 pub const PREAMBLE_LEN: usize = PREAMBLE_SYMBOLS * SYMBOL_LEN;
 
 fn symbol_with_cp(bins: &[Complex64]) -> Vec<Complex64> {
+    // lint:allow(panic): the preamble tables are fixed 64-bin arrays and 64 is a power of two
     let time = ifft(bins).expect("64-bin IFFT cannot fail");
     let mut out = Vec::with_capacity(SYMBOL_LEN);
     out.extend_from_slice(&time[FFT_SIZE - CP_LEN..]);

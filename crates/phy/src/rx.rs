@@ -16,7 +16,7 @@
 //!   CRCs from the phase offset side channel gate data-pilot updates of
 //!   the channel estimate (paper Section 5).
 
-use crate::convolutional::{coded_len, decode_soft_with, decode_with, ViterbiScratch};
+use crate::convolutional::{coded_len, decode_soft_quantized_with, decode_with, ViterbiScratch};
 use crate::equalizer::{compensate_phase, estimate_noise_from_ltf, track_phase, ChannelEstimate};
 use crate::interleaver::Interleaver;
 use crate::math::Complex64;
@@ -413,7 +413,7 @@ impl<'a> FrameDecoder<'a> {
             obs,
             scratch,
         } = self;
-        let _decode_span = obs.span("phy.decode");
+        let _decode_span = obs.span(carpool_obs::names::PHY_DECODE);
         let interleaver = Interleaver::new(layout.mcs.modulation, NUM_DATA);
         let n_cbps = layout.mcs.coded_bits_per_symbol();
 
@@ -608,10 +608,10 @@ impl<'a> FrameDecoder<'a> {
         let usable = coded_len(layout.message_bits, layout.mcs.code_rate);
         coded_stream.truncate(usable);
         let mut bits = {
-            let _viterbi_span = obs.span("phy.viterbi");
+            let _viterbi_span = obs.span(carpool_obs::names::PHY_VITERBI);
             if *soft_decoding {
                 soft_stream.truncate(usable);
-                decode_soft_with(
+                decode_soft_quantized_with(
                     &soft_stream,
                     layout.message_bits,
                     layout.mcs.code_rate,

@@ -59,25 +59,23 @@ impl PhaseOffsetMod {
     pub fn modulate(&self, value: u8) -> f64 {
         let max = (1u8 << self.bits_per_symbol()) - 1;
         assert!(value <= max, "side-channel value {value} exceeds {max}");
+        // Every value up to `max` appears in the alphabet, so the
+        // fallback angle is unreachable after the assert above.
         self.alphabet()
             .iter()
             .find(|(_, v)| *v == value)
-            .map(|(a, _)| *a)
-            .expect("alphabet covers all values")
+            .map_or(0.0, |(a, _)| *a)
     }
 
     /// Nearest-angle demodulation of a measured phase difference.
+    /// Non-finite inputs compare as maximally distant (`total_cmp`), so
+    /// the result is always a valid alphabet value.
     pub fn demodulate(&self, delta: f64) -> u8 {
         let d = wrap_angle(delta);
         self.alphabet()
             .iter()
-            .min_by(|(a, _), (b, _)| {
-                angular_distance(d, *a)
-                    .partial_cmp(&angular_distance(d, *b))
-                    .expect("angles are finite")
-            })
-            .map(|(_, v)| *v)
-            .expect("alphabet non-empty")
+            .min_by(|(a, _), (b, _)| angular_distance(d, *a).total_cmp(&angular_distance(d, *b)))
+            .map_or(0, |(_, v)| *v)
     }
 }
 

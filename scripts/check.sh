@@ -19,10 +19,13 @@ cargo run --offline -q -p carpool-lint
 cargo run --offline -q -p carpool-lint -- --json > crates/bench/BENCH_lint.json
 
 echo "== perf snapshot (phy_micro throughput) =="
-# Times the parallel PHY Monte-Carlo driver, checks 1-thread vs pool
-# determinism, and diffs throughput against the previous
-# crates/bench/BENCH_perf.json. Drops beyond 15% are flagged on stdout
-# (non-fatal: wall-clock noise must not fail the gate).
-cargo bench --offline -q -p carpool-bench --bench phy_micro | grep -A 10 "throughput (run_phy)"
+# Times the parallel PHY Monte-Carlo driver plus the SNR-sweep workload
+# (TX-waveform cache on, bit-identity to the uncached run asserted),
+# checks 1-thread vs pool determinism, and prints per-kernel and
+# end-to-end deltas against the committed
+# crates/bench/BENCH_perf_baseline.json. Regressions beyond 15% are
+# flagged on stdout (non-fatal: wall-clock noise must not fail the
+# gate).
+cargo bench --offline -q -p carpool-bench --bench phy_micro | grep -A 40 "throughput (run_phy)"
 
 echo "ok"

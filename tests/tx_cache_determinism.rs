@@ -1,0 +1,124 @@
+//! TX-waveform memoization contract: caching encoded TX waveforms
+//! across SNR sweep points must be invisible in every printed figure —
+//! bit-identical `run_phy` outputs with the cache on or off, at any
+//! thread count.
+//!
+//! The cache key is the full `SectionSpec` list, and per-trial
+//! randomness (channel noise, fading, CFO) is seeded per frame *after*
+//! the deterministic transmit step, so a cached waveform is by
+//! construction the same object `transmit` would rebuild. These tests
+//! pin that contract end-to-end for the figure workloads:
+//!
+//! * fig03-like: QAM64 3/4 over office fading (multi-SNR payload sweep),
+//! * fig12-like: side-channel BER at low SNR over a clean channel,
+//! * fig15: MAC-only (VoIP over the error model) — no PHY transmit in
+//!   the loop, so the cache cannot touch it; a toggle check documents
+//!   that.
+
+use carpool_bench::{run_mac, run_phy, Fading, PhyRunConfig, OFFICE_FADING};
+use carpool_mac::sim::SimConfig;
+use carpool_phy::tx::SideChannelConfig;
+use carpool_phy::txcache;
+use std::sync::Mutex;
+
+/// Thread override and cache toggle are process-wide state; all
+/// mutations in this binary hold this lock.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` twice — cache disabled, then cache enabled (reset in
+/// between) — at the given thread count. Returns both results plus the
+/// hit/miss counters observed during the cached run.
+fn uncached_vs_cached<T>(threads: usize, f: impl Fn() -> T) -> (T, T, txcache::TxCacheStats) {
+    let _guard = OVERRIDE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    carpool_par::set_thread_override(Some(threads));
+    txcache::set_enabled(false);
+    txcache::reset();
+    let uncached = f();
+    txcache::set_enabled(true);
+    txcache::reset();
+    let cached = f();
+    let stats = txcache::stats();
+    // Restore ambient (env-driven) defaults for other tests.
+    txcache::clear_override();
+    txcache::reset();
+    carpool_par::set_thread_override(None);
+    (uncached, cached, stats)
+}
+
+fn assert_identical(config: &PhyRunConfig, snrs: &[f64]) {
+    for &threads in &[1usize, 4] {
+        let (uncached, cached, stats) = uncached_vs_cached(threads, || {
+            snrs.iter()
+                .map(|&snr_db| {
+                    let point = PhyRunConfig { snr_db, ..*config };
+                    run_phy(&point)
+                })
+                .collect::<Vec<_>>()
+        });
+        for (a, b) in uncached.iter().zip(cached.iter()) {
+            assert_eq!(
+                a.data_ber.to_bits(),
+                b.data_ber.to_bits(),
+                "data BER diverged at {threads} threads"
+            );
+            assert_eq!(
+                a.side_ber.to_bits(),
+                b.side_ber.to_bits(),
+                "side BER diverged at {threads} threads"
+            );
+            let bits = |r: &[f64]| r.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.ber_by_symbol), bits(&b.ber_by_symbol));
+        }
+        // Every sweep point after the first reuses the encoded waveform.
+        assert!(
+            stats.hits > 0,
+            "cached sweep registered no hits at {threads} threads: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn fig03_like_sweep_is_cache_invariant() {
+    let config = PhyRunConfig {
+        payload_bits: 1024 * 8,
+        frames: 3,
+        seed: 321,
+        fading: OFFICE_FADING,
+        ..PhyRunConfig::default()
+    };
+    assert_identical(&config, &[22.0, 27.0, 32.0]);
+}
+
+#[test]
+fn fig12_like_sweep_is_cache_invariant() {
+    let config = PhyRunConfig {
+        payload_bits: 1024 * 8,
+        side_channel: Some(SideChannelConfig::default()),
+        fading: Fading::None,
+        frames: 3,
+        seed: 77,
+        ..PhyRunConfig::default()
+    };
+    assert_identical(&config, &[14.0, 18.0, 24.0]);
+}
+
+#[test]
+fn fig15_mac_workload_ignores_the_cache() {
+    // Fig 15 (VoIP capacity) runs entirely on the MAC simulator over the
+    // calibrated error model; no waveform is transmitted, so the cache
+    // must neither change results nor register traffic.
+    let cfg = SimConfig {
+        num_stas: 4,
+        duration_s: 0.5,
+        ..SimConfig::default()
+    };
+    let (uncached, cached, stats) = uncached_vs_cached(1, || run_mac(cfg.clone()));
+    assert_eq!(uncached, cached);
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (0, 0),
+        "MAC run touched the TX cache"
+    );
+}
