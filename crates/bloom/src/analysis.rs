@@ -80,8 +80,11 @@ pub fn measure_false_positive_ratio_obs<R: Rng + ?Sized>(
     let mut probes = 0usize;
     for trial in 0..trials {
         let addrs: Vec<[u8; 6]> = (0..receivers).map(|_| rng.gen()).collect();
-        let hdr =
-            AggregationHeader::for_receivers(&addrs, hashes).expect("receiver count validated");
+        // The receiver count was validated by the caller; a rejected header
+        // would only skip the trial rather than abort the measurement.
+        let Ok(hdr) = AggregationHeader::for_receivers(&addrs, hashes) else {
+            continue;
+        };
         let outsider: [u8; 6] = rng.gen();
         let station = outsider.iter().fold(0u64, |acc, &b| (acc << 8) | b as u64);
         for i in 0..receivers {

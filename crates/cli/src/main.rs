@@ -63,8 +63,11 @@ COMMANDS:
     report     Render an --obs JSONL stream as per-layer summary tables
                carpool report <path.jsonl>
     lint       Run the project lint gate (panic-freedom, layering,
-               determinism, docs) against lint-baseline.json
+               determinism, docs, call-graph analysis) against
+               lint-baseline.json
                [--json] [--write-baseline] [--force] [--root <dir>]
+               [--explain <rule>] [--graph] [--budget-ms <n>]
+               [--strict-indexing]
     help       Show this message
 
 OBSERVABILITY (accepted by every command):
@@ -409,18 +412,40 @@ fn cmd_gen_trace(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_lint(args: &Args) -> Result<(), String> {
+/// Runs the lint gate and returns its process exit code verbatim
+/// (0 clean, 1 gate failure, 2 internal analyzer error), so scripts
+/// can distinguish "the code is dirty" from "the linter broke".
+fn cmd_lint(args: &Args) -> i32 {
+    let budget_ms = match args.get("budget-ms") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("error: --budget-ms: '{v}' is not a number");
+                return 2;
+            }
+        },
+        None => None,
+    };
     let opts = carpool_lint::LintOptions {
         root: args.get("root").map(std::path::PathBuf::from),
         json: args.flag("json"),
         write_baseline: args.flag("write-baseline"),
         force: args.flag("force"),
+        explain: args.get("explain").map(str::to_string),
+        graph: args.flag("graph"),
+        budget_ms,
+        strict_indexing: args.flag("strict-indexing"),
     };
-    match carpool_lint::run(&opts) {
-        0 => Ok(()),
-        1 => Err("lint gate failed: new violations or stale baseline (see above)".to_string()),
-        _ => Err("lint could not run (bad workspace root or unreadable baseline)".to_string()),
+    let code = carpool_lint::run(&opts);
+    match code {
+        0 => {}
+        1 => eprintln!("error: lint gate failed: new violations or stale baseline (see above)"),
+        _ => eprintln!(
+            "error: lint could not run (internal analyzer error — bad workspace root, \
+             unreadable sources, or malformed baseline)"
+        ),
     }
+    code
 }
 
 fn main() {
@@ -460,7 +485,11 @@ fn main() {
         Some("bloom") => cmd_bloom(&args, &obs),
         Some("gen-trace") => cmd_gen_trace(&args, &obs),
         Some("report") => report::cmd_report(&args),
-        Some("lint") => cmd_lint(&args),
+        Some("lint") => {
+            let code = cmd_lint(&args);
+            session.finish();
+            std::process::exit(code);
+        }
         Some("help") | None => {
             println!("{HELP}");
             Ok(())

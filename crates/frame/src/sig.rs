@@ -29,12 +29,24 @@ pub struct Sig {
 }
 
 /// Maps an MCS to its 4-bit rate code (and back).
+///
+/// The match is exhaustive over `(Modulation, CodeRate)`, so the three
+/// pairings outside the eight standard rates fall back to the
+/// modulation's base slot; for the standard rates the codes are exactly
+/// the [`Mcs::ALL`] positions.
 fn mcs_to_code(mcs: Mcs) -> u8 {
-    Mcs::ALL
-        .iter()
-        .position(|m| *m == mcs)
-        .map(|p| p as u8)
-        .expect("all constructible Mcs values are in Mcs::ALL")
+    use carpool_phy::convolutional::CodeRate;
+    use carpool_phy::modulation::Modulation;
+    match (mcs.modulation, mcs.code_rate) {
+        (Modulation::Bpsk, CodeRate::ThreeQuarters) => 1,
+        (Modulation::Bpsk, _) => 0,
+        (Modulation::Qpsk, CodeRate::ThreeQuarters) => 3,
+        (Modulation::Qpsk, _) => 2,
+        (Modulation::Qam16, CodeRate::ThreeQuarters) => 5,
+        (Modulation::Qam16, _) => 4,
+        (Modulation::Qam64, CodeRate::ThreeQuarters) => 7,
+        (Modulation::Qam64, _) => 6,
+    }
 }
 
 fn code_to_mcs(code: u8) -> Option<Mcs> {

@@ -5,22 +5,33 @@
 //!
 //! ```json
 //! {
-//!   "schema": "carpool-lint-baseline/v1",
-//!   "counts": { "L001": { "crates/phy/src/rx.rs": 3 } }
+//!   "schema": "carpool-lint-baseline/v2",
+//!   "counts": { "L001": { "crates/phy/src/rx.rs": 3 } },
+//!   "timings_ms": { "L001": 1.205 }
 //! }
 //! ```
+//!
+//! v2 adds `timings_ms`: the per-rule analysis time recorded when the
+//! baseline was last banked, so rule-cost regressions show up in
+//! review diffs. v1 files (no timings) still load.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Schema tag written to and expected from baseline files.
-pub const BASELINE_SCHEMA: &str = "carpool-lint-baseline/v1";
+/// Schema tag written to baseline files.
+pub const BASELINE_SCHEMA: &str = "carpool-lint-baseline/v2";
+
+/// Previous schema tag, still accepted on read (no timings).
+pub const BASELINE_SCHEMA_V1: &str = "carpool-lint-baseline/v1";
 
 /// Per-rule, per-file violation counts accepted as pre-existing.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Baseline {
     /// `rule id -> file -> count`, kept sorted for stable output.
     pub counts: BTreeMap<String, BTreeMap<String, usize>>,
+    /// `rule id -> milliseconds` spent by that rule when the baseline
+    /// was banked (informational; not part of the ratchet).
+    pub timings_ms: BTreeMap<String, f64>,
 }
 
 /// Errors from reading a baseline file.
@@ -87,6 +98,15 @@ impl Baseline {
             }
             out.push_str("\n    }");
         }
+        out.push_str("\n  },\n  \"timings_ms\": {");
+        let mut first = true;
+        for (rule, ms) in &self.timings_ms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    {}: {ms:.3}", json_string(rule));
+        }
         out.push_str("\n  }\n}\n");
         out
     }
@@ -106,7 +126,7 @@ impl Baseline {
         };
         let schema = top.iter().find(|(k, _)| k == "schema");
         match schema {
-            Some((_, JsonValue::String(s))) if s == BASELINE_SCHEMA => {}
+            Some((_, JsonValue::String(s))) if s == BASELINE_SCHEMA || s == BASELINE_SCHEMA_V1 => {}
             Some((_, JsonValue::String(s))) => {
                 return Err(BaselineError::WrongSchema(s.clone()));
             }
@@ -135,6 +155,16 @@ impl Baseline {
                     )));
                 }
                 entry.insert(file.clone(), *n as usize);
+            }
+        }
+        if let Some((_, JsonValue::Object(timings))) = top.iter().find(|(k, _)| k == "timings_ms") {
+            for (rule, ms) in timings {
+                let JsonValue::Number(n) = ms else {
+                    return Err(BaselineError::Malformed(format!(
+                        "timings_ms[{rule}] is not a number"
+                    )));
+                };
+                baseline.timings_ms.insert(rule.clone(), *n);
             }
         }
         Ok(baseline)
@@ -357,12 +387,24 @@ mod tests {
             .entry("L004".to_string())
             .or_default()
             .insert("crates/mac/src/sim.rs".to_string(), 17);
+        b.timings_ms.insert("L001".to_string(), 1.5);
         let text = b.to_json();
+        assert!(text.contains(BASELINE_SCHEMA));
         let parsed = Baseline::from_json(&text).expect("round trip");
         assert_eq!(parsed, b);
         assert_eq!(parsed.count("L001", "crates/phy/src/rx.rs"), 3);
         assert_eq!(parsed.count("L001", "missing.rs"), 0);
         assert_eq!(parsed.rule_total("L004"), 17);
+        assert_eq!(parsed.timings_ms.get("L001"), Some(&1.5));
+    }
+
+    #[test]
+    fn v1_baselines_still_load() {
+        let text = "{\"schema\": \"carpool-lint-baseline/v1\", \
+                    \"counts\": {\"L001\": {\"a.rs\": 2}}}";
+        let parsed = Baseline::from_json(text).expect("v1 accepted");
+        assert_eq!(parsed.count("L001", "a.rs"), 2);
+        assert!(parsed.timings_ms.is_empty());
     }
 
     #[test]

@@ -1,0 +1,588 @@
+//! Cross-crate call graph over parsed workspace items.
+//!
+//! [`CallGraph::build`] turns the [`FnItem`](crate::items::FnItem)s of
+//! every workspace file into nodes and resolves each recorded
+//! [`CallRef`](crate::items::CallRef) to candidate callees. Resolution
+//! is deliberately an over-approximation — when a call is ambiguous
+//! (same-named methods on different types, glob imports) every
+//! candidate gets an edge, so reachability queries err on the side of
+//! flagging. Calls into `std` or external crates resolve to nothing
+//! and drop out.
+//!
+//! Resolution tiers for a bare `name(...)` call, first hit wins:
+//!
+//! 1. a free fn of the same module,
+//! 2. the target of a `use` binding of that name,
+//! 3. a free fn behind a glob import,
+//! 4. any free fn of the same crate (covers `mod`-local paths).
+//!
+//! Qualified `a::b::name(...)` calls expand `crate`/`self`/`super` and
+//! import aliases, then suffix-match against fully-qualified node
+//! paths. `Type::name(...)` and `.name(...)` match associated fns by
+//! self type (or every self type, for method calls — the receiver's
+//! type is unknown without inference).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::items::{FileRecord, Section};
+
+/// One function node in the graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index of the owning file in the build input.
+    pub file: usize,
+    /// Index of the fn within that file's `items.fns`.
+    pub item: usize,
+    /// Fully qualified display path, e.g.
+    /// `carpool_phy::convolutional::Decoder::decode`.
+    pub qualified: String,
+    /// Whether the fn (or its whole file section) is test-only code.
+    pub in_test: bool,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All nodes, in (file, item) order.
+    pub nodes: Vec<FnNode>,
+    /// Adjacency: caller node → callee node → line of the first call.
+    pub edges: BTreeMap<usize, BTreeMap<usize, usize>>,
+}
+
+/// Per-node path segments used for suffix matching.
+struct NodeKey {
+    /// `module` segments + optional self type + fn name.
+    segments: Vec<String>,
+    /// Crate alias (underscored package name).
+    crate_alias: String,
+    /// Module path of the defining file.
+    module: String,
+    /// Self type, when the fn is an associated item.
+    self_ty: Option<String>,
+}
+
+impl CallGraph {
+    /// Builds the graph over all parsed files.
+    pub fn build(files: &[FileRecord]) -> CallGraph {
+        let mut graph = CallGraph::default();
+        let mut keys: Vec<NodeKey> = Vec::new();
+        // Free fns and methods indexed by name for fast candidate sets.
+        let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut assoc_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+
+        for (file_idx, file) in files.iter().enumerate() {
+            let alias = file.crate_name.replace('-', "_");
+            let section_test = !matches!(file.section, Section::Src);
+            for (fn_idx, item) in file.items.fns.iter().enumerate() {
+                let mut segments: Vec<String> =
+                    file.module.split("::").map(str::to_string).collect();
+                if let Some(ty) = &item.self_ty {
+                    segments.push(ty.clone());
+                }
+                segments.push(item.name.clone());
+                let node = graph.nodes.len();
+                graph.nodes.push(FnNode {
+                    file: file_idx,
+                    item: fn_idx,
+                    qualified: segments.join("::"),
+                    in_test: item.in_test || section_test,
+                });
+                keys.push(NodeKey {
+                    segments,
+                    crate_alias: alias.clone(),
+                    module: file.module.clone(),
+                    self_ty: item.self_ty.clone(),
+                });
+                match &item.self_ty {
+                    Some(_) => assoc_by_name
+                        .entry(item.name.clone())
+                        .or_default()
+                        .push(node),
+                    None => free_by_name
+                        .entry(item.name.clone())
+                        .or_default()
+                        .push(node),
+                }
+            }
+        }
+
+        for (file_idx, file) in files.iter().enumerate() {
+            let alias = file.crate_name.replace('-', "_");
+            let module_segs: Vec<String> = file.module.split("::").map(str::to_string).collect();
+            // Import bindings of this file: local name → expanded path.
+            let mut imports: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+            let mut globs: Vec<Vec<String>> = Vec::new();
+            for u in &file.items.uses {
+                let expanded = expand_path(&u.segments, &alias, &module_segs);
+                if u.glob {
+                    globs.push(expanded);
+                } else if !u.name.is_empty() {
+                    imports.insert(u.name.as_str(), expanded);
+                }
+            }
+
+            let node_base: usize = graph
+                .nodes
+                .iter()
+                .position(|n| n.file == file_idx)
+                .unwrap_or(graph.nodes.len());
+            for (fn_idx, item) in file.items.fns.iter().enumerate() {
+                let caller = node_base + fn_idx;
+                let caller_self_ty = keys.get(caller).and_then(|k| k.self_ty.clone());
+                for call in &item.calls {
+                    let callees = resolve_call(
+                        &call.segments,
+                        call.method,
+                        &keys,
+                        &free_by_name,
+                        &assoc_by_name,
+                        &alias,
+                        &module_segs,
+                        caller_self_ty.as_deref(),
+                        &imports,
+                        &globs,
+                    );
+                    for callee in callees {
+                        if callee == caller {
+                            continue; // recursion adds nothing to reachability
+                        }
+                        graph
+                            .edges
+                            .entry(caller)
+                            .or_default()
+                            .entry(callee)
+                            .or_insert(call.line);
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    /// Total number of call edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(BTreeMap::len).sum()
+    }
+
+    /// Nodes whose qualified path ends with `spec` (a `::`-separated
+    /// suffix, e.g. `Simulator::run_replications` or
+    /// `carpool_bench::run_phy`). Test-only nodes never match.
+    pub fn match_root(&self, spec: &str) -> Vec<usize> {
+        let want: Vec<&str> = spec.split("::").collect();
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.in_test)
+            .filter(|(_, n)| {
+                let have: Vec<&str> = n.qualified.split("::").collect();
+                have.len() >= want.len() && have[have.len() - want.len()..] == want[..]
+            })
+            .map(|(at, _)| at)
+            .collect()
+    }
+
+    /// BFS over the graph from `roots`; returns, for every reachable
+    /// node, its BFS parent (`None` for roots). Deterministic: roots
+    /// and neighbors are visited in ascending node order.
+    pub fn reachable(&self, roots: &[usize]) -> BTreeMap<usize, Option<usize>> {
+        let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let sorted: BTreeSet<usize> = roots.iter().copied().collect();
+        for &root in &sorted {
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(root) {
+                e.insert(None);
+                queue.push_back(root);
+            }
+        }
+        while let Some(node) = queue.pop_front() {
+            if let Some(next) = self.edges.get(&node) {
+                for &callee in next.keys() {
+                    if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(callee) {
+                        e.insert(Some(node));
+                        queue.push_back(callee);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// Root-to-`node` call chain as qualified names, following BFS
+    /// parents.
+    pub fn chain(&self, node: usize, parents: &BTreeMap<usize, Option<usize>>) -> Vec<String> {
+        let mut path = Vec::new();
+        let mut at = Some(node);
+        let mut guard = 0usize;
+        while let Some(n) = at {
+            if guard > self.nodes.len() {
+                break; // cycle guard; parents should be acyclic
+            }
+            guard += 1;
+            path.push(self.nodes.get(n).map(|k| k.qualified.clone()));
+            at = parents.get(&n).copied().flatten();
+        }
+        path.reverse();
+        path.into_iter().flatten().collect()
+    }
+
+    /// Deterministic text dump of every edge (`--graph`).
+    pub fn render(&self, files: &[FileRecord]) -> String {
+        let mut out = String::new();
+        out.push_str("# carpool-lint call graph (caller -> callee @ file:line)\n");
+        for (&caller, callees) in &self.edges {
+            for (&callee, &line) in callees {
+                let from = self.nodes.get(caller).map_or("?", |n| n.qualified.as_str());
+                let to = self.nodes.get(callee).map_or("?", |n| n.qualified.as_str());
+                let file = self
+                    .nodes
+                    .get(caller)
+                    .and_then(|n| files.get(n.file))
+                    .map_or("?", |f| f.path.as_str());
+                out.push_str(from);
+                out.push_str(" -> ");
+                out.push_str(to);
+                out.push_str("  @ ");
+                out.push_str(file);
+                out.push(':');
+                out.push_str(&line.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Expands `crate`/`self`/`super` path heads against the caller's crate
+/// and module.
+fn expand_path(segments: &[String], crate_alias: &str, module_segs: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    match segments.first().map(String::as_str) {
+        Some("crate") => {
+            out.push(crate_alias.to_string());
+            out.extend(segments[1..].iter().cloned());
+        }
+        Some("self") => {
+            out.extend(module_segs.iter().cloned());
+            out.extend(segments[1..].iter().cloned());
+        }
+        Some("super") => {
+            let take = module_segs.len().saturating_sub(1);
+            out.extend(module_segs[..take].iter().cloned());
+            out.extend(segments[1..].iter().cloned());
+        }
+        _ => out.extend(segments.iter().cloned()),
+    }
+    out
+}
+
+/// Whether `key`'s fully qualified segments end with `suffix`.
+fn suffix_matches(key: &NodeKey, suffix: &[String]) -> bool {
+    let have = &key.segments;
+    have.len() >= suffix.len() && have[have.len() - suffix.len()..] == suffix[..]
+}
+
+/// Resolves one call to candidate node indices (possibly empty).
+#[allow(clippy::too_many_arguments)]
+fn resolve_call(
+    segments: &[String],
+    method: bool,
+    keys: &[NodeKey],
+    free_by_name: &BTreeMap<String, Vec<usize>>,
+    assoc_by_name: &BTreeMap<String, Vec<usize>>,
+    crate_alias: &str,
+    module_segs: &[String],
+    caller_self_ty: Option<&str>,
+    imports: &BTreeMap<&str, Vec<String>>,
+    globs: &[Vec<String>],
+) -> Vec<usize> {
+    let Some(name) = segments.last() else {
+        return Vec::new();
+    };
+    if method {
+        // `.name(...)`: without type inference every same-named
+        // associated fn is a candidate.
+        return assoc_by_name.get(name).cloned().unwrap_or_default();
+    }
+    if segments.len() == 1 {
+        let module = module_segs.join("::");
+        // Tier 1: same-module free fn.
+        let same_module: Vec<usize> = free_by_name
+            .get(name)
+            .map(|nodes| {
+                nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| keys[n].module == module)
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !same_module.is_empty() {
+            return same_module;
+        }
+        // Tier 2: `use` binding of this exact name.
+        if let Some(path) = imports.get(name.as_str()) {
+            let free = free_by_name
+                .get(name)
+                .map(|nodes| {
+                    nodes
+                        .iter()
+                        .copied()
+                        .filter(|&n| suffix_matches(&keys[n], path))
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default();
+            if !free.is_empty() {
+                return free;
+            }
+            // `use Type::assoc_fn` style bindings.
+            let assoc = assoc_by_name
+                .get(name)
+                .map(|nodes| {
+                    nodes
+                        .iter()
+                        .copied()
+                        .filter(|&n| suffix_matches(&keys[n], path))
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default();
+            if !assoc.is_empty() {
+                return assoc;
+            }
+        }
+        // Tier 3: glob imports.
+        let mut via_glob = Vec::new();
+        for glob in globs {
+            let mut want = glob.clone();
+            want.push(name.clone());
+            if let Some(nodes) = free_by_name.get(name) {
+                via_glob.extend(
+                    nodes
+                        .iter()
+                        .copied()
+                        .filter(|&n| suffix_matches(&keys[n], &want)),
+                );
+            }
+        }
+        if !via_glob.is_empty() {
+            via_glob.sort_unstable();
+            via_glob.dedup();
+            return via_glob;
+        }
+        // Tier 4: any free fn of the same crate (`mod`-local paths and
+        // sibling modules without an explicit import).
+        return free_by_name
+            .get(name)
+            .map(|nodes| {
+                nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| keys[n].crate_alias == crate_alias)
+                    .collect()
+            })
+            .unwrap_or_default();
+    }
+
+    // Qualified path: expand the head, then decide type- vs
+    // module-qualified by the case of the next-to-last segment.
+    let head_expanded: Vec<String> = {
+        let via_import = segments
+            .first()
+            .and_then(|first| imports.get(first.as_str()))
+            .map(|bound| {
+                let mut v = bound.clone();
+                v.extend(segments[1..].iter().cloned());
+                v
+            });
+        match via_import {
+            Some(v) => v,
+            None => expand_path(segments, crate_alias, module_segs),
+        }
+    };
+    let qualifier = head_expanded
+        .get(head_expanded.len().wrapping_sub(2))
+        .cloned()
+        .unwrap_or_default();
+    let type_qualified = qualifier == "Self"
+        || qualifier
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase());
+    if type_qualified {
+        let want_ty: &str = if qualifier == "Self" {
+            caller_self_ty.unwrap_or("Self")
+        } else {
+            &qualifier
+        };
+        return assoc_by_name
+            .get(name)
+            .map(|nodes| {
+                nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| keys[n].self_ty.as_deref() == Some(want_ty))
+                    .collect()
+            })
+            .unwrap_or_default();
+    }
+    free_by_name
+        .get(name)
+        .map(|nodes| {
+            nodes
+                .iter()
+                .copied()
+                .filter(|&n| suffix_matches(&keys[n], &head_expanded))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::FileRecord;
+    use crate::rules::classify;
+
+    fn record(path: &str, crate_name: &str, src: &str) -> FileRecord {
+        FileRecord::parse(path, crate_name, Section::Src, classify(crate_name), src)
+    }
+
+    fn node_of(graph: &CallGraph, qualified: &str) -> Option<usize> {
+        graph.nodes.iter().position(|n| n.qualified == qualified)
+    }
+
+    fn has_edge(graph: &CallGraph, from: &str, to: &str) -> bool {
+        let (Some(f), Some(t)) = (node_of(graph, from), node_of(graph, to)) else {
+            return false;
+        };
+        graph.edges.get(&f).is_some_and(|m| m.contains_key(&t))
+    }
+
+    #[test]
+    fn same_module_and_cross_module_calls_resolve() {
+        let files = vec![
+            record(
+                "crates/phy/src/fft.rs",
+                "carpool-phy",
+                "pub fn fft() { butterfly(); }\nfn butterfly() {}\n",
+            ),
+            record(
+                "crates/phy/src/rx.rs",
+                "carpool-phy",
+                "use crate::fft::fft;\npub fn receive() { fft(); }\n",
+            ),
+        ];
+        let graph = CallGraph::build(&files);
+        assert!(has_edge(
+            &graph,
+            "carpool_phy::fft::fft",
+            "carpool_phy::fft::butterfly"
+        ));
+        assert!(has_edge(
+            &graph,
+            "carpool_phy::rx::receive",
+            "carpool_phy::fft::fft"
+        ));
+    }
+
+    #[test]
+    fn cross_crate_qualified_calls_resolve() {
+        let files = vec![
+            record(
+                "crates/phy/src/lib.rs",
+                "carpool-phy",
+                "pub fn transmit() {}\n",
+            ),
+            record(
+                "crates/bench/src/lib.rs",
+                "carpool-bench",
+                "pub fn run_phy() { carpool_phy::transmit(); }\n",
+            ),
+        ];
+        let graph = CallGraph::build(&files);
+        assert!(has_edge(
+            &graph,
+            "carpool_bench::run_phy",
+            "carpool_phy::transmit"
+        ));
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name_across_types() {
+        let files = vec![record(
+            "crates/mac/src/sim.rs",
+            "carpool-mac",
+            "struct Sim;\nimpl Sim {\n    pub fn run(&self) { self.step(); }\n    fn step(&self) {}\n}\n",
+        )];
+        let graph = CallGraph::build(&files);
+        assert!(has_edge(
+            &graph,
+            "carpool_mac::sim::Sim::run",
+            "carpool_mac::sim::Sim::step"
+        ));
+    }
+
+    #[test]
+    fn self_qualified_assoc_calls_resolve_to_the_impl_type() {
+        let files = vec![record(
+            "crates/frame/src/sig.rs",
+            "carpool-frame",
+            "struct Sig;\nimpl Sig {\n    fn new() -> Sig { Sig }\n    pub fn build() -> Sig { Self::new() }\n}\n",
+        )];
+        let graph = CallGraph::build(&files);
+        assert!(has_edge(
+            &graph,
+            "carpool_frame::sig::Sig::build",
+            "carpool_frame::sig::Sig::new"
+        ));
+    }
+
+    #[test]
+    fn reachability_and_chains_follow_parents() {
+        let files = vec![record(
+            "crates/phy/src/a.rs",
+            "carpool-phy",
+            "pub fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\npub fn island() {}\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let roots = graph.match_root("a::root");
+        assert_eq!(roots.len(), 1);
+        let parents = graph.reachable(&roots);
+        let leaf = node_of(&graph, "carpool_phy::a::leaf");
+        assert!(leaf.is_some_and(|n| parents.contains_key(&n)));
+        let island = node_of(&graph, "carpool_phy::a::island");
+        assert!(island.is_some_and(|n| !parents.contains_key(&n)));
+        let chain = leaf.map(|n| graph.chain(n, &parents)).unwrap_or_default();
+        assert_eq!(
+            chain,
+            [
+                "carpool_phy::a::root",
+                "carpool_phy::a::mid",
+                "carpool_phy::a::leaf"
+            ]
+        );
+    }
+
+    #[test]
+    fn std_calls_resolve_to_nothing() {
+        let files = vec![record(
+            "crates/phy/src/a.rs",
+            "carpool-phy",
+            "pub fn f() { let v: Vec<u8> = Vec::new(); v.len(); }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        assert_eq!(graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn test_only_fns_never_match_roots() {
+        let files = vec![record(
+            "crates/bench/src/lib.rs",
+            "carpool-bench",
+            "#[cfg(test)]\nmod tests {\n    fn run_phy() {}\n}\npub fn run_phy() {}\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let roots = graph.match_root("carpool_bench::run_phy");
+        assert_eq!(roots.len(), 1);
+        assert!(!graph.nodes[roots[0]].in_test);
+    }
+}

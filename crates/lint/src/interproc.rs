@@ -1,0 +1,413 @@
+//! Interprocedural rules (L007, L008, L010) over the workspace call
+//! graph and parsed items. L009 is a line rule and lives in
+//! [`crate::rules`].
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::CallGraph;
+use crate::items::{FileRecord, Section};
+use crate::rules::{contains_token, line_waived, panic_hits, Diagnostic, Rule};
+
+/// The hot-path roots L007 guards: the bench PHY trial loop, the MAC
+/// Monte-Carlo driver (both its free-fn spelling and the historical
+/// `Simulator::` one), the link-delivery facade, and the integer
+/// Viterbi / FFT kernels. Specs are `::`-separated suffixes matched
+/// against fully qualified fn paths.
+pub const HOT_ROOTS: [&str; 15] = [
+    "carpool_bench::run_phy",
+    "Simulator::run_replications",
+    "sim::run_replications",
+    "CarpoolLink::deliver_all",
+    "convolutional::decode",
+    "convolutional::decode_with",
+    "convolutional::decode_soft",
+    "convolutional::decode_soft_with",
+    "convolutional::decode_soft_quantized",
+    "convolutional::decode_soft_quantized_with",
+    "fft::fft",
+    "fft::ifft",
+    "fft::fft_in_place",
+    "fft::ifft_in_place",
+    "fft::fft_real",
+];
+
+/// Call-graph statistics surfaced in reports.
+#[derive(Debug, Clone, Default)]
+pub struct HotPathStats {
+    /// Root specs that matched at least one fn, in [`HOT_ROOTS`] order.
+    pub roots_matched: Vec<String>,
+    /// Number of root fn nodes.
+    pub root_nodes: usize,
+    /// Number of fns reachable from the roots (roots included).
+    pub reachable_fns: usize,
+    /// Slice/array indexing sites inside reachable fns. Always counted;
+    /// only diagnosed under `--strict-indexing` (DSP kernels index
+    /// pervasively with loop-bounded indices, so the count is a trend
+    /// metric, not a gate).
+    pub indexing_sites: usize,
+}
+
+/// L007 panic-reachability: panic tokens (and, in strict mode,
+/// indexing) inside any fn transitively reachable from [`HOT_ROOTS`].
+/// Honors both `hot-panic` waivers and plain `panic` waivers — an L001
+/// waiver already documents why the site is infallible.
+pub fn check_l007(
+    files: &[FileRecord],
+    graph: &CallGraph,
+    strict_indexing: bool,
+) -> (Vec<Diagnostic>, HotPathStats) {
+    let mut stats = HotPathStats::default();
+    let mut roots: Vec<usize> = Vec::new();
+    for spec in HOT_ROOTS {
+        let matched = graph.match_root(spec);
+        if !matched.is_empty() {
+            stats.roots_matched.push(spec.to_string());
+        }
+        roots.extend(matched);
+    }
+    roots.sort_unstable();
+    roots.dedup();
+    stats.root_nodes = roots.len();
+    let parents = graph.reachable(&roots);
+    stats.reachable_fns = parents.len();
+
+    let mut diags = Vec::new();
+    // (file, line, token) pairs already reported, so overlapping fn
+    // spans (e.g. nested fns) do not double-report.
+    let mut seen: BTreeSet<(usize, usize, &str)> = BTreeSet::new();
+    for &node_idx in parents.keys() {
+        let Some(node) = graph.nodes.get(node_idx) else {
+            continue;
+        };
+        if node.in_test {
+            continue;
+        }
+        let Some(file) = files.get(node.file) else {
+            continue;
+        };
+        let Some(item) = file.items.fns.get(node.item) else {
+            continue;
+        };
+        if item.body_start == 0 {
+            continue; // bodiless trait signature
+        }
+        let chain = graph.chain(node_idx, &parents).join(" -> ");
+        for number in item.decl_line..=item.body_end {
+            let Some(idx) = number.checked_sub(1) else {
+                continue;
+            };
+            let Some(line) = file.lines.get(idx) else {
+                continue;
+            };
+            if line.in_test {
+                continue;
+            }
+            for token in panic_hits(&line.code) {
+                if !seen.insert((node.file, number, token)) {
+                    continue;
+                }
+                if line_waived(&file.lines, idx, Rule::L007.waiver_key())
+                    || line_waived(&file.lines, idx, Rule::L001.waiver_key())
+                {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    rule: Rule::L007,
+                    file: file.path.clone(),
+                    line: number,
+                    message: format!(
+                        "`{token}` is reachable from a hot-path root \
+                         (call chain: {chain}); hot paths must be panic-free — \
+                         refactor or waive with `// lint:allow(hot-panic): <why>`"
+                    ),
+                });
+            }
+            let hits = indexing_sites(&line.code);
+            if hits > 0 {
+                stats.indexing_sites += hits;
+                if strict_indexing
+                    && seen.insert((node.file, number, "[indexing]"))
+                    && !line_waived(&file.lines, idx, Rule::L007.waiver_key())
+                {
+                    diags.push(Diagnostic {
+                        rule: Rule::L007,
+                        file: file.path.clone(),
+                        line: number,
+                        message: format!(
+                            "slice indexing on a hot path can panic on out-of-bounds \
+                             (call chain: {chain}); use `get`/iterators or waive with \
+                             `// lint:allow(hot-panic): <why in bounds>` \
+                             [--strict-indexing]"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    (diags, stats)
+}
+
+/// Counts `expr[...]` indexing sites in one blanked code line: a `[`
+/// directly after an identifier character, `)`, or `]`.
+fn indexing_sites(code: &str) -> usize {
+    let bytes = code.as_bytes();
+    let mut count = 0usize;
+    for at in 1..bytes.len() {
+        if bytes[at] != b'[' {
+            continue;
+        }
+        let prev = bytes[at - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']' {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// L008 iteration-order nondeterminism: `HashMap`/`HashSet` in crates
+/// whose outputs must be byte-identical across runs and thread counts.
+/// The rule is presence-based (conservative): any non-test use is
+/// flagged unless waived with `hash-iter`, because hash iteration
+/// order is randomized per process and per key history.
+pub fn check_l008(files: &[FileRecord]) -> Vec<Diagnostic> {
+    const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+    let mut diags = Vec::new();
+    for file in files {
+        if !file.class.ordered_iteration || !matches!(file.section, Section::Src) {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for ty in HASH_TYPES {
+                if contains_token(&line.code, ty)
+                    && !line_waived(&file.lines, idx, Rule::L008.waiver_key())
+                {
+                    diags.push(Diagnostic {
+                        rule: Rule::L008,
+                        file: file.path.clone(),
+                        line: line.number,
+                        message: format!(
+                            "`{ty}` has nondeterministic iteration order; use \
+                             BTreeMap/BTreeSet (or sort before iterating) so sim/bench \
+                             outputs stay byte-identical, or waive with \
+                             `// lint:allow(hash-iter): <why order never observed>`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// L010 dead public API: top-level `pub` items in library crates that
+/// no other workspace crate, no test/bench/example, and no tool crate
+/// ever names. Matching is by word-bounded identifier occurrence in
+/// code *or* comments (doc examples count as usage), so the rule only
+/// fires when a name appears nowhere else at all.
+pub fn check_l010(files: &[FileRecord]) -> Vec<Diagnostic> {
+    // Per-file identifier sets over code + comments.
+    let words: Vec<BTreeSet<String>> = files
+        .iter()
+        .map(|f| {
+            let mut set = BTreeSet::new();
+            for line in &f.lines {
+                collect_idents(&line.code, &mut set);
+                collect_idents(&line.comment, &mut set);
+            }
+            set
+        })
+        .collect();
+
+    let mut diags = Vec::new();
+    for (file_idx, file) in files.iter().enumerate() {
+        if !file.class.library || !matches!(file.section, Section::Src) {
+            continue;
+        }
+        for item in &file.items.pub_items {
+            // Any *other* file counts as a reference: another crate, a
+            // test/bench/example, or a same-crate sibling (a crate-root
+            // re-export or module caller still implies the item earns
+            // its keep).
+            let referenced = files.iter().enumerate().any(|(other_idx, _)| {
+                other_idx != file_idx && words[other_idx].contains(&item.name)
+            });
+            if referenced {
+                continue;
+            }
+            let idx = item.line.saturating_sub(1);
+            if line_waived(&file.lines, idx, Rule::L010.waiver_key()) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                rule: Rule::L010,
+                file: file.path.clone(),
+                line: item.line,
+                message: format!(
+                    "pub {} `{}` is never referenced by any other workspace file; \
+                     remove it, demote to pub(crate), or waive with \
+                     `// lint:allow(dead-api): <why external users need it>`",
+                    item.kind, item.name
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Collects word-bounded ASCII identifiers into `set`.
+fn collect_idents(text: &str, set: &mut BTreeSet<String>) {
+    let bytes = text.as_bytes();
+    let mut start: Option<usize> = None;
+    for at in 0..=bytes.len() {
+        let is_ident = at < bytes.len() && {
+            let b = bytes[at];
+            b.is_ascii_alphanumeric() || b == b'_'
+        };
+        match (start, is_ident) {
+            (None, true) => start = Some(at),
+            (Some(s), false) => {
+                if let Ok(word) = std::str::from_utf8(&bytes[s..at]) {
+                    if word.chars().next().is_some_and(|c| !c.is_ascii_digit()) {
+                        set.insert(word.to_string());
+                    }
+                }
+                start = None;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::FileRecord;
+    use crate::rules::classify;
+
+    fn record(path: &str, crate_name: &str, src: &str) -> FileRecord {
+        FileRecord::parse(path, crate_name, Section::Src, classify(crate_name), src)
+    }
+
+    #[test]
+    fn l007_flags_reachable_panics_with_chain() {
+        let files = vec![record(
+            "crates/bench/src/lib.rs",
+            "carpool-bench",
+            "pub fn run_phy() { step(); }\nfn step() { helper(); }\nfn helper() { x.unwrap(); }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let (diags, stats) = check_l007(&files, &graph, false);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("run_phy -> "));
+        assert!(diags[0].message.contains("helper"));
+        assert!(stats
+            .roots_matched
+            .iter()
+            .any(|s| s == "carpool_bench::run_phy"));
+        assert_eq!(stats.reachable_fns, 3);
+    }
+
+    #[test]
+    fn l007_unreachable_panics_and_waivers_pass() {
+        let files = vec![record(
+            "crates/bench/src/lib.rs",
+            "carpool-bench",
+            "pub fn run_phy() { step(); }\n\
+             fn step() {}\n\
+             fn island() { x.unwrap(); }\n\
+             fn hot() { y.unwrap() } // lint:allow(panic): y checked by caller\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let (diags, _) = check_l007(&files, &graph, false);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn l007_strict_indexing_flags_and_counts() {
+        let files = vec![record(
+            "crates/bench/src/lib.rs",
+            "carpool-bench",
+            "pub fn run_phy(v: &[u8]) -> u8 { v[0] }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let (relaxed, stats) = check_l007(&files, &graph, false);
+        assert!(relaxed.is_empty());
+        assert_eq!(stats.indexing_sites, 1);
+        let (strict, _) = check_l007(&files, &graph, true);
+        assert_eq!(strict.len(), 1);
+        assert!(strict[0].message.contains("--strict-indexing"));
+    }
+
+    #[test]
+    fn l008_flags_hash_iteration_in_deterministic_crates() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u8, u8> = HashMap::new(); }\n";
+        let files = vec![record("crates/mac/src/sim.rs", "carpool-mac", src)];
+        let diags = check_l008(&files);
+        assert_eq!(diags.len(), 2); // one per line that names a hash type
+        assert!(diags[0].message.contains("BTreeMap"));
+        // Tool crates without byte-identical outputs are exempt.
+        let cli = vec![record("crates/cli/src/main.rs", "carpool-cli", src)];
+        assert!(check_l008(&cli).is_empty());
+    }
+
+    #[test]
+    fn l008_waiver_honored() {
+        let src = "// lint:allow(hash-iter): drained into a sorted Vec before use\n\
+                   use std::collections::HashMap;\n";
+        let files = vec![record("crates/mac/src/sim.rs", "carpool-mac", src)];
+        assert!(check_l008(&files).is_empty());
+    }
+
+    #[test]
+    fn l010_flags_unreferenced_pub_items() {
+        let files = vec![
+            record(
+                "crates/frame/src/lib.rs",
+                "carpool-frame",
+                "pub fn used() {}\npub fn orphan() {}\n",
+            ),
+            record(
+                "crates/mac/src/lib.rs",
+                "carpool-mac",
+                "fn f() { carpool_frame::used(); }\n",
+            ),
+        ];
+        let diags = check_l010(&files);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("`orphan`"));
+    }
+
+    #[test]
+    fn l010_doc_mentions_and_waivers_keep_items_alive() {
+        let files = vec![
+            record(
+                "crates/frame/src/lib.rs",
+                "carpool-frame",
+                "pub fn documented() {}\n\
+                 // lint:allow(dead-api): kept for downstream experiments\n\
+                 pub fn waived() {}\n",
+            ),
+            record(
+                "crates/mac/src/lib.rs",
+                "carpool-mac",
+                "// see `documented` in carpool-frame\nfn f() {}\n",
+            ),
+        ];
+        assert!(check_l010(&files).is_empty());
+    }
+
+    #[test]
+    fn l010_tool_crates_are_exempt() {
+        let files = vec![record(
+            "crates/cli/src/main.rs",
+            "carpool-cli",
+            "pub fn orphan() {}\n",
+        )];
+        assert!(check_l010(&files).is_empty());
+    }
+}

@@ -1,0 +1,983 @@
+//! Lightweight Rust item parser on top of the line scanner.
+//!
+//! [`parse_items`] folds the comment/string-blanked [`SourceLine`]s of
+//! one file into structural items: `fn` declarations with their body
+//! extents and outgoing call references, `impl`/`trait` contexts (so
+//! methods get a `Type::name` qualified identity), `use` bindings, and
+//! top-level `pub` items. It is deliberately not a full Rust parser —
+//! it tracks exactly the token shapes the interprocedural rules
+//! (L007–L010) need, never panics on malformed input, and degrades to
+//! "no item seen" rather than guessing.
+//!
+//! Span contract: every line number reported by the parser is one of
+//! the scanner's 1-based [`SourceLine::number`]s, and a function's
+//! `decl_line <= body_start <= body_end` whenever a body exists. The
+//! property tests in `tests/item_parser_properties.rs` pin both
+//! invariants on arbitrary token soup.
+
+use crate::rules::CrateClass;
+use crate::scanner::{scan_source, SourceLine};
+
+/// Where a file sits within its crate (rules apply to `Src` only; the
+/// other sections participate as call-graph callers and as the
+/// reference corpus for dead-API detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// `src/` — library or binary sources.
+    Src,
+    /// `tests/` — integration tests.
+    Tests,
+    /// `benches/` — bench binaries.
+    Benches,
+    /// `examples/` — example binaries.
+    Examples,
+}
+
+/// One `use` declaration binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseBinding {
+    /// Local name introduced (last segment or the `as` rename); empty
+    /// for glob imports.
+    pub name: String,
+    /// Full path segments as written (`crate`/`self`/`super` are left
+    /// for the resolver to expand).
+    pub segments: Vec<String>,
+    /// Whether this is a `::*` glob import.
+    pub glob: bool,
+    /// Declaration line.
+    pub line: usize,
+}
+
+/// One call occurrence inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallRef {
+    /// Path segments before the parenthesis (`a::b::f(` → `[a, b, f]`).
+    pub segments: Vec<String>,
+    /// Whether the call is a method call (`x.f(...)`).
+    pub method: bool,
+    /// Line of the call.
+    pub line: usize,
+}
+
+/// One `fn` item with its body extent and outgoing calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, if the fn is an associated item.
+    pub self_ty: Option<String>,
+    /// Whether the fn is plain `pub` (restricted `pub(...)` is false).
+    pub is_pub: bool,
+    /// Line of the `fn` keyword.
+    pub decl_line: usize,
+    /// Line of the opening body brace (0 when the fn has no body, e.g.
+    /// a trait required method).
+    pub body_start: usize,
+    /// Line of the closing body brace (0 when the fn has no body).
+    pub body_end: usize,
+    /// Whether the declaration sits in `#[cfg(test)]`/`#[test]` code.
+    pub in_test: bool,
+    /// Calls made inside the body, in source order.
+    pub calls: Vec<CallRef>,
+}
+
+/// A top-level `pub` item (dead-API candidates for L010).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PubItem {
+    /// Item keyword (`fn`, `struct`, `enum`, `trait`, `const`,
+    /// `static`, `type`, `mod`, `union`).
+    pub kind: &'static str,
+    /// Item name.
+    pub name: String,
+    /// Declaration line.
+    pub line: usize,
+}
+
+/// Everything the parser extracts from one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileItems {
+    /// All functions, in completion order (inner fns close first).
+    pub fns: Vec<FnItem>,
+    /// All `use` bindings.
+    pub uses: Vec<UseBinding>,
+    /// Top-level `pub` items.
+    pub pub_items: Vec<PubItem>,
+}
+
+/// One parsed workspace file: identity, scanned lines, and items.
+#[derive(Debug, Clone)]
+pub struct FileRecord {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Package name (with dashes, e.g. `carpool-phy`).
+    pub crate_name: String,
+    /// Module path (e.g. `carpool_phy::fft`).
+    pub module: String,
+    /// Which crate section the file belongs to.
+    pub section: Section,
+    /// Rule classification of the owning crate.
+    pub class: CrateClass,
+    /// Scanned source lines.
+    pub lines: Vec<SourceLine>,
+    /// Parsed items.
+    pub items: FileItems,
+}
+
+impl FileRecord {
+    /// Scans and parses `source` into a record.
+    pub fn parse(
+        path: &str,
+        crate_name: &str,
+        section: Section,
+        class: CrateClass,
+        source: &str,
+    ) -> FileRecord {
+        let lines = scan_source(source);
+        let items = parse_items(&lines);
+        FileRecord {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            module: module_path(crate_name, section, path),
+            section,
+            class,
+            lines,
+            items,
+        }
+    }
+}
+
+/// Derives the module path of a file from its crate and relative path:
+/// `crates/phy/src/fft.rs` in `carpool-phy` → `carpool_phy::fft`;
+/// `lib.rs`/`main.rs`/`mod.rs` collapse into their parent.
+pub fn module_path(crate_name: &str, section: Section, rel_path: &str) -> String {
+    let alias = crate_name.replace('-', "_");
+    let marker = match section {
+        Section::Src => "src/",
+        Section::Tests => "tests/",
+        Section::Benches => "benches/",
+        Section::Examples => "examples/",
+    };
+    let under = rel_path
+        .rfind(marker)
+        .map(|at| &rel_path[at + marker.len()..])
+        .unwrap_or(rel_path);
+    let mut segments = vec![alias];
+    if !matches!(section, Section::Src) {
+        segments.push(marker.trim_end_matches('/').to_string());
+    }
+    for part in under.trim_end_matches(".rs").split('/') {
+        if part.is_empty() || part == "lib" || part == "main" || part == "mod" {
+            continue;
+        }
+        segments.push(part.to_string());
+    }
+    segments.join("::")
+}
+
+/// An `impl`/`trait` block whose contained fns are associated items.
+struct Ctx {
+    /// Brace depth inside the block (`depth` while the block is open).
+    open_depth: usize,
+    /// Self type the block associates fns with.
+    self_ty: Option<String>,
+}
+
+/// A fn header seen, waiting for its body `{` or a `;`.
+struct PendingFn {
+    name: String,
+    is_pub: bool,
+    decl_line: usize,
+    decl_depth: usize,
+    in_test: bool,
+    self_ty: Option<String>,
+}
+
+/// An `impl`/`trait` header accumulating text until its `{`.
+struct PendingCtx {
+    text: String,
+    is_trait: bool,
+}
+
+/// A fn whose body is open.
+struct ActiveFn {
+    item: FnItem,
+    /// Depth inside the body (`decl_depth + 1`).
+    body_depth: usize,
+}
+
+/// A `use` statement accumulating text until its `;`.
+struct UseAccum {
+    text: String,
+    line: usize,
+}
+
+#[derive(Default)]
+struct Parser {
+    depth: usize,
+    ctxs: Vec<Ctx>,
+    active: Vec<ActiveFn>,
+    pending_fn: Option<PendingFn>,
+    pending_ctx: Option<PendingCtx>,
+    pending_use: Option<UseAccum>,
+    saw_pub: bool,
+    out: FileItems,
+}
+
+/// Parses the scanned lines of one file into items. Never panics; on
+/// unparseable shapes it simply records fewer items.
+pub fn parse_items(lines: &[SourceLine]) -> FileItems {
+    let mut p = Parser::default();
+    for line in lines {
+        p.feed_line(line);
+    }
+    // Close any fns left open by unbalanced braces so spans stay valid.
+    let last_line = lines.last().map_or(0, |l| l.number);
+    while let Some(active) = p.active.pop() {
+        let mut item = active.item;
+        item.body_end = last_line.max(item.body_start);
+        p.out.fns.push(item);
+    }
+    p.out
+}
+
+impl Parser {
+    fn feed_line(&mut self, line: &SourceLine) {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0usize;
+        // Last significant (non-whitespace) char before the current
+        // token; drives method-call and macro detection.
+        let mut prev_sig = '\n';
+        // A line break separates tokens inside a multi-line `use` or
+        // `impl`/`trait` header just like a space would.
+        if let Some(acc) = &mut self.pending_use {
+            acc.text.push(' ');
+        }
+        if let Some(ctx) = &mut self.pending_ctx {
+            ctx.text.push(' ');
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            if let Some(acc) = &mut self.pending_use {
+                if c == ';' {
+                    let text = std::mem::take(&mut acc.text);
+                    let at = acc.line;
+                    self.pending_use = None;
+                    parse_use_tree(&text, &[], at, &mut self.out.uses);
+                } else {
+                    acc.text.push(c);
+                }
+                i += 1;
+                if !c.is_whitespace() {
+                    prev_sig = c;
+                }
+                continue;
+            }
+            if let Some(ctx) = &mut self.pending_ctx {
+                if c == '{' {
+                    let self_ty = if ctx.is_trait {
+                        first_ident(&ctx.text)
+                    } else {
+                        impl_self_type(&ctx.text)
+                    };
+                    self.depth += 1;
+                    self.ctxs.push(Ctx {
+                        open_depth: self.depth,
+                        self_ty,
+                    });
+                    self.pending_ctx = None;
+                } else if c == ';' {
+                    self.pending_ctx = None;
+                } else {
+                    ctx.text.push(c);
+                }
+                i += 1;
+                if !c.is_whitespace() {
+                    prev_sig = c;
+                }
+                continue;
+            }
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            match c {
+                '{' => {
+                    self.depth += 1;
+                    if let Some(pf) = &self.pending_fn {
+                        if self.depth == pf.decl_depth + 1 {
+                            let pf = self.pending_fn.take();
+                            if let Some(pf) = pf {
+                                self.active.push(ActiveFn {
+                                    body_depth: self.depth,
+                                    item: FnItem {
+                                        name: pf.name,
+                                        self_ty: pf.self_ty,
+                                        is_pub: pf.is_pub,
+                                        decl_line: pf.decl_line,
+                                        body_start: line.number,
+                                        body_end: 0,
+                                        in_test: pf.in_test,
+                                        calls: Vec::new(),
+                                    },
+                                });
+                            }
+                        }
+                    }
+                    self.saw_pub = false;
+                    i += 1;
+                }
+                '}' => {
+                    self.depth = self.depth.saturating_sub(1);
+                    while self
+                        .active
+                        .last()
+                        .is_some_and(|a| a.body_depth > self.depth)
+                    {
+                        if let Some(active) = self.active.pop() {
+                            let mut item = active.item;
+                            item.body_end = line.number;
+                            self.out.fns.push(item);
+                        }
+                    }
+                    while self.ctxs.last().is_some_and(|c| c.open_depth > self.depth) {
+                        self.ctxs.pop();
+                    }
+                    self.saw_pub = false;
+                    i += 1;
+                }
+                ';' => {
+                    if self
+                        .pending_fn
+                        .as_ref()
+                        .is_some_and(|pf| pf.decl_depth == self.depth)
+                    {
+                        // Trait required method: record without a body.
+                        if let Some(pf) = self.pending_fn.take() {
+                            self.out.fns.push(FnItem {
+                                name: pf.name,
+                                self_ty: pf.self_ty,
+                                is_pub: pf.is_pub,
+                                decl_line: pf.decl_line,
+                                body_start: 0,
+                                body_end: 0,
+                                in_test: pf.in_test,
+                                calls: Vec::new(),
+                            });
+                        }
+                    }
+                    self.saw_pub = false;
+                    i += 1;
+                }
+                c if is_ident_start(c) => {
+                    let start = i;
+                    while i < chars.len() && is_ident_char(chars[i]) {
+                        i += 1;
+                    }
+                    let word: String = chars[start..i].iter().collect();
+                    i = self.handle_word(&word, &chars, i, prev_sig, line);
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+            prev_sig = chars.get(i.wrapping_sub(1)).copied().unwrap_or(prev_sig);
+            if !prev_sig.is_whitespace() {
+                // keep as-is
+            }
+            prev_sig = c;
+        }
+        // Use statements keep accumulating across lines; add a token
+        // separator so `use a::` + newline + `b;` does not fuse idents.
+        if let Some(acc) = &mut self.pending_use {
+            acc.text.push(' ');
+        }
+        if let Some(ctx) = &mut self.pending_ctx {
+            ctx.text.push(' ');
+        }
+    }
+
+    /// Dispatches one identifier token; returns the new scan position.
+    fn handle_word(
+        &mut self,
+        word: &str,
+        chars: &[char],
+        mut i: usize,
+        prev_sig: char,
+        line: &SourceLine,
+    ) -> usize {
+        match word {
+            "pub" => {
+                let next = next_sig(chars, i);
+                if next == Some('(') {
+                    // Restricted visibility `pub(crate)` etc. is not
+                    // public API; skip the scope parens.
+                    i = skip_balanced(chars, skip_ws(chars, i), '(', ')');
+                } else {
+                    self.saw_pub = true;
+                }
+                i
+            }
+            "fn" => {
+                let (name, after) = read_ident(chars, i);
+                if let Some(name) = name {
+                    let self_ty = self.ctxs.last().and_then(|c| c.self_ty.clone());
+                    if self.depth == 0 && self.saw_pub && !line.in_test {
+                        self.out.pub_items.push(PubItem {
+                            kind: "fn",
+                            name: name.clone(),
+                            line: line.number,
+                        });
+                    }
+                    self.pending_fn = Some(PendingFn {
+                        name,
+                        is_pub: self.saw_pub,
+                        decl_line: line.number,
+                        decl_depth: self.depth,
+                        in_test: line.in_test,
+                        self_ty,
+                    });
+                    self.saw_pub = false;
+                    return after;
+                }
+                i
+            }
+            "impl" => {
+                self.pending_ctx = Some(PendingCtx {
+                    text: String::new(),
+                    is_trait: false,
+                });
+                self.saw_pub = false;
+                i
+            }
+            "trait" => {
+                let (name, after) = read_ident(chars, i);
+                if let Some(name) = &name {
+                    if self.depth == 0 && self.saw_pub && !line.in_test {
+                        self.out.pub_items.push(PubItem {
+                            kind: "trait",
+                            name: name.clone(),
+                            line: line.number,
+                        });
+                    }
+                }
+                self.pending_ctx = Some(PendingCtx {
+                    text: name.clone().unwrap_or_default(),
+                    is_trait: true,
+                });
+                self.saw_pub = false;
+                after
+            }
+            "struct" | "enum" | "const" | "static" | "type" | "mod" | "union" => {
+                let kind: &'static str = match word {
+                    "struct" => "struct",
+                    "enum" => "enum",
+                    "const" => "const",
+                    "static" => "static",
+                    "type" => "type",
+                    "union" => "union",
+                    _ => "mod",
+                };
+                let (name, after) = read_ident(chars, i);
+                if let Some(name) = name {
+                    // `const fn` / `static ref` shapes: `const` followed
+                    // by `fn` is a qualifier, not an item.
+                    if name == "fn" {
+                        return i;
+                    }
+                    if self.depth == 0 && self.saw_pub && !line.in_test {
+                        self.out.pub_items.push(PubItem {
+                            kind,
+                            name,
+                            line: line.number,
+                        });
+                    }
+                    self.saw_pub = false;
+                    return after;
+                }
+                i
+            }
+            "use" => {
+                self.pending_use = Some(UseAccum {
+                    text: String::new(),
+                    line: line.number,
+                });
+                self.saw_pub = false;
+                i
+            }
+            _ => self.scan_call_path(word, chars, i, prev_sig, line),
+        }
+    }
+
+    /// Follows `word ( :: ident )* (` shapes and records a call ref.
+    fn scan_call_path(
+        &mut self,
+        word: &str,
+        chars: &[char],
+        mut i: usize,
+        prev_sig: char,
+        line: &SourceLine,
+    ) -> usize {
+        let mut segments = vec![word.to_string()];
+        loop {
+            if chars.get(i) == Some(&':') && chars.get(i + 1) == Some(&':') {
+                let mut k = i + 2;
+                if chars.get(k) == Some(&'<') {
+                    // Turbofish: skip the generic args, then expect `(`.
+                    k = skip_balanced(chars, k, '<', '>');
+                    i = k;
+                    break;
+                }
+                let start = k;
+                while k < chars.len() && is_ident_char(chars[k]) {
+                    k += 1;
+                }
+                if k == start {
+                    i = k;
+                    break;
+                }
+                segments.push(chars[start..k].iter().collect());
+                i = k;
+            } else {
+                break;
+            }
+        }
+        if chars.get(i) == Some(&'!') {
+            // Macro invocation — not a function call.
+            return i + 1;
+        }
+        if chars.get(i) == Some(&'(') {
+            if let Some(active) = self.active.last_mut() {
+                active.item.calls.push(CallRef {
+                    method: prev_sig == '.',
+                    segments,
+                    line: line.number,
+                });
+            }
+        }
+        i
+    }
+}
+
+/// Expands one `use` tree body (text between `use` and `;`).
+fn parse_use_tree(text: &str, prefix: &[String], line: usize, out: &mut Vec<UseBinding>) {
+    let text = text.trim();
+    if text.is_empty() {
+        return;
+    }
+    if let Some(open) = text.find('{') {
+        let head = text[..open].trim().trim_end_matches("::");
+        let mut segs: Vec<String> = prefix.to_vec();
+        segs.extend(split_path(head));
+        // Balanced group body: everything up to the matching brace.
+        let inner = balanced_inner(&text[open..]);
+        for part in split_top_level(inner) {
+            parse_use_tree(part, &segs, line, out);
+        }
+        return;
+    }
+    let (path_text, rename) = match text.find(" as ") {
+        Some(at) => (&text[..at], Some(text[at + 4..].trim().to_string())),
+        None => (text, None),
+    };
+    let mut segs: Vec<String> = prefix.to_vec();
+    let mut glob = false;
+    for part in split_path(path_text) {
+        if part == "*" {
+            glob = true;
+        } else if part == "self" && !segs.is_empty() {
+            // `a::b::self` binds `b` itself; segments stay as-is.
+        } else {
+            segs.push(part);
+        }
+    }
+    if segs.is_empty() {
+        return;
+    }
+    let name = match rename {
+        Some(n) => n,
+        None if glob => String::new(),
+        None => segs.last().cloned().unwrap_or_default(),
+    };
+    out.push(UseBinding {
+        name,
+        segments: segs,
+        glob,
+        line,
+    });
+}
+
+/// Splits `a::b :: c` into clean segments.
+fn split_path(text: &str) -> Vec<String> {
+    text.split("::")
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Contents of a `{...}` group starting at the opening brace.
+fn balanced_inner(text: &str) -> &str {
+    let mut depth = 0usize;
+    for (at, c) in text.char_indices() {
+        if c == '{' {
+            depth += 1;
+        } else if c == '}' {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return text.get(1..at).unwrap_or("");
+            }
+        }
+    }
+    text.get(1..).unwrap_or("")
+}
+
+/// Splits a group body on commas not nested in `{}`.
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (at, c) in text.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&text[start..at]);
+                start = at + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+/// Extracts the self type from an `impl` header (text between `impl`
+/// and `{`): strips leading generics, honors `Trait for Type`, and
+/// keeps the last path segment without its generic arguments.
+fn impl_self_type(header: &str) -> Option<String> {
+    let mut rest = header.trim();
+    if rest.starts_with('<') {
+        let chars: Vec<char> = rest.chars().collect();
+        let end = skip_balanced(&chars, 0, '<', '>');
+        rest = rest.get(chars[..end].iter().collect::<String>().len()..)?;
+        rest = rest.trim_start();
+    }
+    // `Trait for Type` — take the type side. `for<'a>` HRTBs have no
+    // space before `<`, so requiring a full ` for ` word avoids them.
+    let mut from = 0usize;
+    let mut after_for = rest;
+    while let Some(at) = rest[from..].find(" for ") {
+        let at = from + at;
+        let tail = &rest[at + 5..];
+        if !tail.trim_start().starts_with('<') {
+            after_for = tail;
+        }
+        from = at + 5;
+    }
+    let ty = after_for
+        .trim_start()
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim_start_matches("dyn ")
+        .trim_start();
+    let cut = ty
+        .find(|c: char| c == '<' || c == '{' || c.is_whitespace())
+        .unwrap_or(ty.len());
+    let path = &ty[..cut];
+    path.rsplit("::")
+        .next()
+        .map(str::trim)
+        .filter(|s| !s.is_empty() && s.chars().next().is_some_and(is_ident_start))
+        .map(str::to_string)
+}
+
+/// First identifier in a text fragment.
+fn first_ident(text: &str) -> Option<String> {
+    let start = text.find(|c: char| is_ident_start(c))?;
+    let rest = &text[start..];
+    let end = rest.find(|c: char| !is_ident_char(c)).unwrap_or(rest.len());
+    Some(rest[..end].to_string())
+}
+
+const fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+const fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Position after skipping whitespace.
+fn skip_ws(chars: &[char], mut i: usize) -> usize {
+    while chars.get(i).is_some_and(|c| c.is_whitespace()) {
+        i += 1;
+    }
+    i
+}
+
+/// Next significant char at/after `i`.
+fn next_sig(chars: &[char], i: usize) -> Option<char> {
+    chars.get(skip_ws(chars, i)).copied()
+}
+
+/// Skips a balanced `open...close` group starting at/after `i`;
+/// returns the position after the closing delimiter (or the end of the
+/// line if unbalanced — the caller continues safely either way).
+fn skip_balanced(chars: &[char], i: usize, open: char, close: char) -> usize {
+    let mut k = skip_ws(chars, i);
+    if chars.get(k) != Some(&open) {
+        return k;
+    }
+    let mut depth = 0usize;
+    while k < chars.len() {
+        let c = chars[k];
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Reads the next identifier after whitespace; returns it plus the new
+/// position.
+fn read_ident(chars: &[char], i: usize) -> (Option<String>, usize) {
+    let start = skip_ws(chars, i);
+    let mut k = start;
+    if !chars.get(k).copied().is_some_and(is_ident_start) {
+        return (None, i);
+    }
+    while k < chars.len() && is_ident_char(chars[k]) {
+        k += 1;
+    }
+    (Some(chars[start..k].iter().collect()), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> FileItems {
+        parse_items(&scan_source(src))
+    }
+
+    #[test]
+    fn free_fn_with_body_extent_and_calls() {
+        let src = "\
+pub fn alpha(x: u8) -> u8 {
+    helper(x);
+    beta::gamma(x)
+}
+fn helper(x: u8) -> u8 { x }
+";
+        let items = parse(src);
+        assert_eq!(items.fns.len(), 2);
+        let alpha = items.fns.iter().find(|f| f.name == "alpha");
+        let alpha = alpha.as_ref();
+        assert!(alpha.is_some_and(|f| f.is_pub && f.decl_line == 1 && f.body_end == 4));
+        let calls: Vec<_> = alpha.map(|f| f.calls.clone()).unwrap_or_default();
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0].segments, ["helper"]);
+        assert_eq!(calls[1].segments, ["beta", "gamma"]);
+        assert!(!calls[1].method);
+        assert_eq!(items.pub_items.len(), 1);
+        assert_eq!(items.pub_items[0].name, "alpha");
+    }
+
+    #[test]
+    fn impl_methods_get_self_type() {
+        let src = "\
+struct Decoder;
+impl Decoder {
+    pub fn run(&self) {
+        self.step();
+    }
+    fn step(&self) {}
+}
+impl Iterator for Decoder {
+    type Item = u8;
+    fn next(&mut self) -> Option<u8> { None }
+}
+";
+        let items = parse(src);
+        let run = items.fns.iter().find(|f| f.name == "run");
+        assert_eq!(
+            run.and_then(|f| f.self_ty.clone()).as_deref(),
+            Some("Decoder")
+        );
+        let next = items.fns.iter().find(|f| f.name == "next");
+        assert_eq!(
+            next.and_then(|f| f.self_ty.clone()).as_deref(),
+            Some("Decoder"),
+            "trait impls associate with the type, not the trait"
+        );
+        let step_call = run.map(|f| f.calls.clone()).unwrap_or_default();
+        assert!(step_call.iter().any(|c| c.method && c.segments == ["step"]));
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_type() {
+        let src = "\
+impl<T: Clone + Default> Holder<T> {
+    fn get(&self) -> T { T::default() }
+}
+";
+        let items = parse(src);
+        let get = items.fns.iter().find(|f| f.name == "get");
+        assert_eq!(
+            get.and_then(|f| f.self_ty.clone()).as_deref(),
+            Some("Holder")
+        );
+    }
+
+    #[test]
+    fn use_bindings_expand_groups_renames_and_globs() {
+        let src = "\
+use std::collections::{BTreeMap, BTreeSet as Set};
+use crate::scanner::*;
+pub use a::b::c;
+";
+        let items = parse(src);
+        let names: Vec<&str> = items.uses.iter().map(|u| u.name.as_str()).collect();
+        assert!(names.contains(&"BTreeMap"));
+        assert!(names.contains(&"Set"));
+        assert!(names.contains(&"c"));
+        let glob = items.uses.iter().find(|u| u.glob);
+        assert_eq!(
+            glob.map(|u| u.segments.clone()),
+            Some(vec!["crate".to_string(), "scanner".to_string()])
+        );
+        let set = items.uses.iter().find(|u| u.name == "Set");
+        assert_eq!(
+            set.map(|u| u.segments.clone()),
+            Some(vec![
+                "std".to_string(),
+                "collections".to_string(),
+                "BTreeSet".to_string()
+            ])
+        );
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let src = "\
+fn f() {
+    println!(\"x\");
+    if (a) { g(); }
+    match (a, b) { _ => {} }
+}
+fn g() {}
+";
+        let items = parse(src);
+        let f = items.fns.iter().find(|f| f.name == "f");
+        let calls = f.map(|f| f.calls.clone()).unwrap_or_default();
+        // `println!` is a macro; `if (a)` and `match (a, b)` record
+        // keyword pseudo-calls that resolve to nothing downstream.
+        assert!(!calls.iter().any(|c| c.segments == ["println"]));
+        assert!(calls.iter().any(|c| c.segments == ["g"]));
+    }
+
+    #[test]
+    fn trait_required_methods_have_no_body() {
+        let src = "\
+pub trait Model {
+    fn predict(&self, x: f64) -> f64;
+    fn doubled(&self, x: f64) -> f64 {
+        self.predict(x) * 2.0
+    }
+}
+";
+        let items = parse(src);
+        let predict = items.fns.iter().find(|f| f.name == "predict");
+        assert!(predict.is_some_and(|f| f.body_start == 0 && f.body_end == 0));
+        let doubled = items.fns.iter().find(|f| f.name == "doubled");
+        assert!(doubled.is_some_and(|f| f.body_start == 3 && f.body_end == 5));
+        assert_eq!(
+            items.pub_items.iter().map(|p| p.kind).collect::<Vec<_>>(),
+            ["trait"]
+        );
+    }
+
+    #[test]
+    fn restricted_visibility_is_not_pub() {
+        let src = "\
+pub(crate) fn internal() {}
+pub fn external() {}
+";
+        let items = parse(src);
+        assert_eq!(items.pub_items.len(), 1);
+        assert_eq!(items.pub_items[0].name, "external");
+        let internal = items.fns.iter().find(|f| f.name == "internal");
+        assert!(internal.is_some_and(|f| !f.is_pub));
+    }
+
+    #[test]
+    fn pub_items_cover_all_kinds() {
+        let src = "\
+pub struct S;
+pub enum E { A }
+pub const C: u8 = 0;
+pub static G: u8 = 0;
+pub type T = u8;
+pub mod m;
+pub union U { a: u8 }
+";
+        let items = parse(src);
+        let kinds: Vec<&str> = items.pub_items.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            ["struct", "enum", "const", "static", "type", "mod", "union"]
+        );
+    }
+
+    #[test]
+    fn module_paths_collapse_roots() {
+        assert_eq!(
+            module_path("carpool-phy", Section::Src, "crates/phy/src/fft.rs"),
+            "carpool_phy::fft"
+        );
+        assert_eq!(
+            module_path("carpool-phy", Section::Src, "crates/phy/src/lib.rs"),
+            "carpool_phy"
+        );
+        assert_eq!(
+            module_path("carpool-repro", Section::Tests, "tests/mac_scenarios.rs"),
+            "carpool_repro::tests::mac_scenarios"
+        );
+        assert_eq!(
+            module_path("carpool-phy", Section::Src, "crates/phy/src/sub/mod.rs"),
+            "carpool_phy::sub"
+        );
+    }
+
+    #[test]
+    fn nested_fns_close_in_order() {
+        let src = "\
+fn outer() {
+    fn inner() { leaf(); }
+    inner();
+}
+";
+        let items = parse(src);
+        let inner = items.fns.iter().find(|f| f.name == "inner");
+        assert!(inner.is_some_and(|f| f.body_start == 2 && f.body_end == 2));
+        let outer = items.fns.iter().find(|f| f.name == "outer");
+        assert!(outer.is_some_and(|f| f.body_end == 4));
+        // `leaf()` belongs to inner, `inner()` to outer.
+        assert!(inner.is_some_and(|f| f.calls.iter().any(|c| c.segments == ["leaf"])));
+        assert!(outer.is_some_and(|f| f.calls.iter().any(|c| c.segments == ["inner"])));
+    }
+
+    #[test]
+    fn unbalanced_input_still_yields_valid_spans() {
+        let src = "fn f() { g(\n"; // never closed
+        let items = parse(src);
+        let f = items.fns.iter().find(|f| f.name == "f");
+        assert!(f.is_some_and(|f| f.body_end >= f.body_start && f.decl_line == 1));
+    }
+}

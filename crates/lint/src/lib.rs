@@ -15,6 +15,17 @@
 //! | L004 | numeric `as` casts in `phy`/`mac` need an inline waiver |
 //! | L005 | no wall-clock reads in simulation crates |
 //! | L006 | `pub` items in library crate roots carry `///` docs |
+//! | L007 | no panic site reachable from the hot-path roots (call graph) |
+//! | L008 | no `HashMap`/`HashSet` where outputs must be byte-identical |
+//! | L009 | every atomic `Ordering::` in `par` carries a justification |
+//! | L010 | no dead public API in library crates |
+//!
+//! L001–L006 and L009 are line rules over the comment/string-aware
+//! scanner; L007, L008 and L010 are interprocedural: [`items`] parses
+//! `fn`/`impl`/`use` items per file, [`callgraph`] resolves calls into
+//! a cross-crate graph, and [`interproc`] walks it. `--explain <rule>`
+//! prints the full rationale for any rule; `--graph` dumps the call
+//! graph.
 //!
 //! Existing violations are recorded in a checked-in
 //! `lint-baseline.json` ratchet: new violations fail the gate, and
@@ -22,9 +33,14 @@
 //! `// lint:allow(<key>): <reason>`; see [`rules::Rule::waiver_key`].
 //!
 //! Run as `cargo run -p carpool-lint`, or `carpool lint` from the CLI;
-//! `scripts/check.sh` runs it as its third stage.
+//! `scripts/check.sh` runs it as its third stage. Exit codes: 0 clean,
+//! 1 gate failure (new violations or stale baseline), 2 internal
+//! analyzer error.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod interproc;
+pub mod items;
 pub mod manifest;
 pub mod rules;
 pub mod scanner;
@@ -32,8 +48,12 @@ pub mod scanner;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use baseline::{Baseline, BaselineError};
+use callgraph::CallGraph;
+use interproc::HotPathStats;
+use items::{FileRecord, Section};
 use rules::{Diagnostic, Rule};
 
 /// Default baseline file name, resolved relative to the workspace root.
@@ -67,15 +87,44 @@ impl std::fmt::Display for LintError {
 
 impl std::error::Error for LintError {}
 
+/// Knobs for the symbol-aware analysis pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisOptions {
+    /// Report hot-path slice indexing as L007 findings instead of only
+    /// counting it.
+    pub strict_indexing: bool,
+    /// Render the call-graph dump into
+    /// [`AnalysisStats::graph_dump`].
+    pub collect_graph: bool,
+}
+
+/// Call-graph statistics from the symbol-aware pass.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisStats {
+    /// Functions parsed across the workspace.
+    pub functions: usize,
+    /// Resolved call edges.
+    pub call_edges: usize,
+    /// Hot-path root/reachability/indexing numbers (L007).
+    pub hot: HotPathStats,
+    /// Deterministic text dump of the graph, when requested.
+    pub graph_dump: Option<String>,
+}
+
 /// Result of scanning the whole workspace, before baseline comparison.
 #[derive(Debug, Default)]
 pub struct ScanReport {
     /// Every violation found, in deterministic (file, line) order.
     pub diagnostics: Vec<Diagnostic>,
-    /// Number of `.rs` files scanned.
+    /// Number of `.rs` files scanned (src, tests, benches, examples).
     pub files_scanned: usize,
     /// Number of crates scanned.
     pub crates_scanned: usize,
+    /// Per-rule analysis time in milliseconds (`callgraph` is the
+    /// shared graph-construction cost).
+    pub rule_timings_ms: BTreeMap<String, f64>,
+    /// Symbol-aware analysis statistics.
+    pub analysis: AnalysisStats,
 }
 
 /// Outcome of comparing a scan against the baseline ratchet.
@@ -96,13 +145,26 @@ impl RatchetReport {
     }
 }
 
-/// Scans the workspace rooted at `root` and returns all diagnostics.
+/// Scans the workspace rooted at `root` with default analysis options.
 ///
 /// # Errors
 ///
 /// Returns [`LintError`] when `root` is not the workspace or a source
 /// file cannot be read.
 pub fn scan_workspace(root: &Path) -> Result<ScanReport, LintError> {
+    scan_workspace_opts(root, &AnalysisOptions::default())
+}
+
+/// Scans the workspace rooted at `root` and returns all diagnostics:
+/// line rules over `src/` files, interprocedural rules over the whole
+/// parsed workspace (src + tests + benches + examples as the call and
+/// reference corpus).
+///
+/// # Errors
+///
+/// Returns [`LintError`] when `root` is not the workspace or a source
+/// file cannot be read.
+pub fn scan_workspace_opts(root: &Path, aopts: &AnalysisOptions) -> Result<ScanReport, LintError> {
     if !root.join("Cargo.toml").is_file() || !root.join("crates").is_dir() {
         return Err(LintError::NotAWorkspace(root.to_path_buf()));
     }
@@ -113,35 +175,116 @@ pub fn scan_workspace(root: &Path) -> Result<ScanReport, LintError> {
     entries.retain(|p| p.join("Cargo.toml").is_file());
     crate_dirs.extend(entries);
 
-    for dir in crate_dirs {
+    // Parse every file once; line rules run over src records only,
+    // while the call graph and reference corpus span all sections.
+    let mut records: Vec<FileRecord> = Vec::new();
+    let mut is_root_flags: Vec<bool> = Vec::new();
+    let mut manifest_diags: Vec<Diagnostic> = Vec::new();
+    let t_manifest = Instant::now();
+    for dir in &crate_dirs {
         let manifest_path = dir.join("Cargo.toml");
         let manifest_text = read_file(&manifest_path)?;
         let manifest = manifest::parse_manifest(&manifest_text);
         let class = rules::classify(&manifest.name);
         report.crates_scanned += 1;
 
-        report.diagnostics.extend(rules::check_manifest_layering(
+        manifest_diags.extend(rules::check_manifest_layering(
             class,
             &relative(root, &manifest_path),
             &manifest.dependencies,
         ));
 
-        let src = dir.join("src");
-        if !src.is_dir() {
-            continue;
-        }
-        let crate_root_file = crate_root_of(&src);
-        for file in rs_files_under(&src)? {
-            let text = read_file(&file)?;
-            let lines = scanner::scan_source(&text);
-            let rel = relative(root, &file);
-            let is_root = Some(file.as_path()) == crate_root_file.as_deref();
-            report
-                .diagnostics
-                .extend(rules::check_lines(class, is_root, &rel, &lines));
-            report.files_scanned += 1;
+        const SECTIONS: [(Section, &str); 4] = [
+            (Section::Src, "src"),
+            (Section::Tests, "tests"),
+            (Section::Benches, "benches"),
+            (Section::Examples, "examples"),
+        ];
+        for (section, dir_name) in SECTIONS {
+            let section_dir = dir.join(dir_name);
+            if !section_dir.is_dir() {
+                continue;
+            }
+            let crate_root_file = match section {
+                Section::Src => crate_root_of(&section_dir),
+                _ => None,
+            };
+            for file in rs_files_under(&section_dir)? {
+                let text = read_file(&file)?;
+                let rel = relative(root, &file);
+                records.push(FileRecord::parse(
+                    &rel,
+                    &manifest.name,
+                    section,
+                    class,
+                    &text,
+                ));
+                is_root_flags.push(Some(file.as_path()) == crate_root_file.as_deref());
+                report.files_scanned += 1;
+            }
         }
     }
+    let manifest_ms = t_manifest.elapsed().as_secs_f64() * 1e3;
+
+    // Line rules, timed per rule. Manifest layering is part of L003.
+    for rule in Rule::ALL {
+        if matches!(rule, Rule::L007 | Rule::L008 | Rule::L010) {
+            continue;
+        }
+        let t = Instant::now();
+        for (idx, rec) in records.iter().enumerate() {
+            if !matches!(rec.section, Section::Src) {
+                continue;
+            }
+            report.diagnostics.extend(rules::check_line_rule(
+                rule,
+                rec.class,
+                is_root_flags[idx],
+                &rec.path,
+                &rec.lines,
+            ));
+        }
+        let mut ms = t.elapsed().as_secs_f64() * 1e3;
+        if rule == Rule::L003 {
+            report.diagnostics.append(&mut manifest_diags);
+            ms += manifest_ms;
+        }
+        report.rule_timings_ms.insert(rule.id().to_string(), ms);
+    }
+
+    // Interprocedural pass: graph construction, then L007/L008/L010.
+    let t = Instant::now();
+    let graph = CallGraph::build(&records);
+    report.analysis.functions = graph.nodes.len();
+    report.analysis.call_edges = graph.edge_count();
+    report
+        .rule_timings_ms
+        .insert("callgraph".to_string(), t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    let (d7, hot) = interproc::check_l007(&records, &graph, aopts.strict_indexing);
+    report.diagnostics.extend(d7);
+    report.analysis.hot = hot;
+    report
+        .rule_timings_ms
+        .insert(Rule::L007.id().to_string(), t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    report.diagnostics.extend(interproc::check_l008(&records));
+    report
+        .rule_timings_ms
+        .insert(Rule::L008.id().to_string(), t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    report.diagnostics.extend(interproc::check_l010(&records));
+    report
+        .rule_timings_ms
+        .insert(Rule::L010.id().to_string(), t.elapsed().as_secs_f64() * 1e3);
+
+    if aopts.collect_graph {
+        report.analysis.graph_dump = Some(graph.render(&records));
+    }
+
     report
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -200,7 +343,8 @@ pub fn ratchet(report: &ScanReport, baseline: &Baseline) -> RatchetReport {
     out
 }
 
-/// Builds the baseline that exactly covers `report`.
+/// Builds the baseline that exactly covers `report`, including the
+/// per-rule timings observed during the scan.
 pub fn baseline_from_scan(report: &ScanReport) -> Baseline {
     let mut b = Baseline::default();
     for d in &report.diagnostics {
@@ -210,6 +354,7 @@ pub fn baseline_from_scan(report: &ScanReport) -> Baseline {
             .entry(d.file.clone())
             .or_default() += 1;
     }
+    b.timings_ms = report.rule_timings_ms.clone();
     b
 }
 
@@ -225,10 +370,31 @@ pub fn per_rule_totals(report: &ScanReport) -> BTreeMap<&'static str, usize> {
     totals
 }
 
+/// Per-run metadata rendered into reports (wall-clock + budget).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunMeta {
+    /// Total analysis wall-clock in milliseconds.
+    pub elapsed_ms: f64,
+    /// Non-fatal runtime budget, when set (`--budget-ms`).
+    pub budget_ms: Option<u64>,
+}
+
+impl RunMeta {
+    /// Whether the run exceeded its budget (always false without one).
+    pub fn over_budget(&self) -> bool {
+        self.budget_ms.is_some_and(|b| self.elapsed_ms > b as f64)
+    }
+}
+
 /// Renders the machine-readable report (`--json`).
-pub fn render_json(report: &ScanReport, verdict: &RatchetReport, baseline: &Baseline) -> String {
+pub fn render_json(
+    report: &ScanReport,
+    verdict: &RatchetReport,
+    baseline: &Baseline,
+    meta: &RunMeta,
+) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"carpool-lint/v1\",\n");
+    out.push_str("{\n  \"schema\": \"carpool-lint/v2\",\n");
     let _ = writeln!(
         out,
         "  \"files_scanned\": {},\n  \"crates_scanned\": {},",
@@ -244,7 +410,46 @@ pub fn render_json(report: &ScanReport, verdict: &RatchetReport, baseline: &Base
         first = false;
         let _ = write!(out, "\n    \"{rule}\": {total}");
     }
-    out.push_str("\n  },\n");
+    out.push_str("\n  },\n  \"rule_timings_ms\": {");
+    let mut first = true;
+    for (rule, ms) in &report.rule_timings_ms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    {}: {ms:.3}", baseline::json_string(rule));
+    }
+    out.push_str("\n  },\n  \"analysis\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"functions\": {},\n    \"call_edges\": {},",
+        report.analysis.functions, report.analysis.call_edges
+    );
+    out.push_str("    \"hot_roots_matched\": [");
+    for (k, spec) in report.analysis.hot.roots_matched.iter().enumerate() {
+        if k > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&baseline::json_string(spec));
+    }
+    out.push_str("],\n");
+    let _ = writeln!(
+        out,
+        "    \"hot_root_fns\": {},\n    \"hot_reachable_fns\": {},\n    \
+         \"hot_indexing_sites\": {}",
+        report.analysis.hot.root_nodes,
+        report.analysis.hot.reachable_fns,
+        report.analysis.hot.indexing_sites
+    );
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"elapsed_ms\": {:.3},", meta.elapsed_ms);
+    if let Some(budget) = meta.budget_ms {
+        let _ = writeln!(
+            out,
+            "  \"budget_ms\": {budget},\n  \"budget_exceeded\": {},",
+            meta.over_budget()
+        );
+    }
     let _ = writeln!(
         out,
         "  \"baselined_total\": {},",
@@ -285,7 +490,12 @@ pub fn render_json(report: &ScanReport, verdict: &RatchetReport, baseline: &Base
 }
 
 /// Renders the human-readable report.
-pub fn render_human(report: &ScanReport, verdict: &RatchetReport, baseline: &Baseline) -> String {
+pub fn render_human(
+    report: &ScanReport,
+    verdict: &RatchetReport,
+    baseline: &Baseline,
+    meta: &RunMeta,
+) -> String {
     let mut out = String::new();
     for d in &verdict.new_violations {
         let _ = writeln!(out, "{d}");
@@ -316,6 +526,26 @@ pub fn render_human(report: &ScanReport, verdict: &RatchetReport, baseline: &Bas
             rule.id(),
             totals.get(rule.id()).copied().unwrap_or(0),
             rule.summary()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  call graph: {} fns, {} edges; hot paths: {} roots ({} specs), {} reachable fns, \
+         {} indexing sites",
+        report.analysis.functions,
+        report.analysis.call_edges,
+        report.analysis.hot.root_nodes,
+        report.analysis.hot.roots_matched.len(),
+        report.analysis.hot.reachable_fns,
+        report.analysis.hot.indexing_sites
+    );
+    if meta.over_budget() {
+        let _ = writeln!(
+            out,
+            "  warning: analysis took {:.0} ms, over the {} ms budget (non-fatal) — \
+             see rule_timings_ms in --json",
+            meta.elapsed_ms,
+            meta.budget_ms.unwrap_or(0)
         );
     }
     out
@@ -349,14 +579,24 @@ pub struct LintOptions {
     pub write_baseline: bool,
     /// Allow `--write-baseline` to *increase* counts (escape hatch).
     pub force: bool,
+    /// Print the long-form rationale of one rule and exit.
+    pub explain: Option<String>,
+    /// Dump the call graph instead of linting.
+    pub graph: bool,
+    /// Non-fatal runtime budget in milliseconds.
+    pub budget_ms: Option<u64>,
+    /// Report hot-path indexing as L007 findings (off by default).
+    pub strict_indexing: bool,
 }
 
 impl LintOptions {
-    /// Parses `--json`, `--write-baseline`, `--force`, `--root <dir>`.
+    /// Parses `--json`, `--write-baseline`, `--force`, `--root <dir>`,
+    /// `--explain <rule>`, `--graph`, `--budget-ms <n>`,
+    /// `--strict-indexing`.
     ///
     /// # Errors
     ///
-    /// Returns a usage string on unknown flags.
+    /// Returns a usage string on unknown flags or malformed values.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<LintOptions, String> {
         let mut opts = LintOptions::default();
         let mut iter = args.into_iter();
@@ -365,14 +605,28 @@ impl LintOptions {
                 "--json" => opts.json = true,
                 "--write-baseline" => opts.write_baseline = true,
                 "--force" => opts.force = true,
+                "--graph" => opts.graph = true,
+                "--strict-indexing" => opts.strict_indexing = true,
                 "--root" => {
                     let dir = iter.next().ok_or("--root needs a directory")?;
                     opts.root = Some(PathBuf::from(dir));
                 }
+                "--explain" => {
+                    let rule = iter.next().ok_or("--explain needs a rule id (e.g. L007)")?;
+                    opts.explain = Some(rule);
+                }
+                "--budget-ms" => {
+                    let value = iter.next().ok_or("--budget-ms needs a number")?;
+                    let ms: u64 = value
+                        .parse()
+                        .map_err(|_| format!("--budget-ms: '{value}' is not a number"))?;
+                    opts.budget_ms = Some(ms);
+                }
                 other => {
                     return Err(format!(
                         "unknown lint option '{other}' \
-                         (expected --json, --write-baseline, --force, --root <dir>)"
+                         (expected --json, --write-baseline, --force, --root <dir>, \
+                         --explain <rule>, --graph, --budget-ms <n>, --strict-indexing)"
                     ));
                 }
             }
@@ -400,21 +654,61 @@ pub fn find_root(explicit: Option<&Path>) -> Option<PathBuf> {
 }
 
 /// Full gate run driven by [`LintOptions`]; prints to stdout/stderr and
-/// returns the process exit code (0 ok, 1 violations/stale, 2 errors).
+/// returns the process exit code.
+///
+/// Exit-code contract (tested in `tests/exit_codes.rs`):
+/// * `0` — clean gate (or informational modes: `--explain`, `--graph`,
+///   a successful `--write-baseline`),
+/// * `1` — gate failure: new violations vs the baseline, a stale
+///   baseline, or a refused baseline growth,
+/// * `2` — internal analyzer error: unusable workspace root, unreadable
+///   sources, malformed baseline, or an analyzer panic (caught here so
+///   a linter bug is never reported as a lint verdict).
 pub fn run(opts: &LintOptions) -> i32 {
+    if let Some(id) = &opts.explain {
+        return match Rule::from_id(id) {
+            Some(rule) => {
+                println!("{}", rule.explain());
+                0
+            }
+            None => {
+                eprintln!("carpool-lint: unknown rule '{id}' (expected L001..L010)");
+                2
+            }
+        };
+    }
     let Some(root) = find_root(opts.root.as_deref()) else {
         eprintln!("carpool-lint: cannot find the workspace root (try --root <dir>)");
         return 2;
     };
+    let started = Instant::now();
     let baseline_path = root.join(BASELINE_FILE);
-    let report = match scan_workspace(&root) {
-        Ok(r) => r,
-        Err(e) => {
+    let aopts = AnalysisOptions {
+        strict_indexing: opts.strict_indexing,
+        collect_graph: opts.graph,
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        scan_workspace_opts(&root, &aopts)
+    }));
+    let report = match outcome {
+        Ok(Ok(r)) => r,
+        Ok(Err(e)) => {
             eprintln!("carpool-lint: {e}");
+            return 2;
+        }
+        Err(payload) => {
+            eprintln!(
+                "carpool-lint: internal analyzer error: {}",
+                panic_message(payload.as_ref())
+            );
             return 2;
         }
     };
 
+    if opts.graph {
+        print!("{}", report.analysis.graph_dump.clone().unwrap_or_default());
+        return 0;
+    }
     if opts.write_baseline {
         return write_baseline(&report, &baseline_path, opts.force);
     }
@@ -427,12 +721,27 @@ pub fn run(opts: &LintOptions) -> i32 {
         }
     };
     let verdict = ratchet(&report, &baseline);
+    let meta = RunMeta {
+        elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+        budget_ms: opts.budget_ms,
+    };
     if opts.json {
-        print!("{}", render_json(&report, &verdict, &baseline));
+        print!("{}", render_json(&report, &verdict, &baseline, &meta));
     } else {
-        print!("{}", render_human(&report, &verdict, &baseline));
+        print!("{}", render_human(&report, &verdict, &baseline, &meta));
     }
     i32::from(!verdict.ok())
+}
+
+/// Best-effort panic payload text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "unknown panic payload"
+    }
 }
 
 fn write_baseline(report: &ScanReport, path: &Path, force: bool) -> i32 {

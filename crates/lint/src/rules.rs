@@ -27,17 +27,33 @@ pub enum Rule {
     L005,
     /// `pub` items in a library crate root need `///` docs.
     L006,
+    /// Panic-reachability: no panic sites transitively reachable from
+    /// the designated hot-path roots (interprocedural).
+    L007,
+    /// No `HashMap`/`HashSet` in crates whose outputs must be
+    /// byte-identical (iteration order is nondeterministic).
+    L008,
+    /// Every atomic `Ordering::` in audited crates carries an
+    /// `// ordering:` justification; `Relaxed` only for counters.
+    L009,
+    /// Dead public API: top-level `pub` items in library crates that
+    /// no other workspace file references (interprocedural).
+    L010,
 }
 
 impl Rule {
     /// All rules, in order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 10] = [
         Rule::L001,
         Rule::L002,
         Rule::L003,
         Rule::L004,
         Rule::L005,
         Rule::L006,
+        Rule::L007,
+        Rule::L008,
+        Rule::L009,
+        Rule::L010,
     ];
 
     /// Stable identifier, e.g. `"L001"`.
@@ -49,7 +65,22 @@ impl Rule {
             Rule::L004 => "L004",
             Rule::L005 => "L005",
             Rule::L006 => "L006",
+            Rule::L007 => "L007",
+            Rule::L008 => "L008",
+            Rule::L009 => "L009",
+            Rule::L010 => "L010",
         }
+    }
+
+    /// Parses a rule identifier (`L007`, `l007`, or `7`).
+    pub fn from_id(id: &str) -> Option<Rule> {
+        let trimmed = id.trim();
+        let digits = trimmed
+            .strip_prefix('L')
+            .or_else(|| trimmed.strip_prefix('l'))
+            .unwrap_or(trimmed);
+        let n: usize = digits.parse().ok()?;
+        Rule::ALL.get(n.checked_sub(1)?).copied()
     }
 
     /// Waiver key accepted in `lint:allow(<key>)` for this rule.
@@ -61,6 +92,10 @@ impl Rule {
             Rule::L004 => "as-cast",
             Rule::L005 => "wall-clock",
             Rule::L006 => "missing-docs",
+            Rule::L007 => "hot-panic",
+            Rule::L008 => "hash-iter",
+            Rule::L009 => "atomic-ordering",
+            Rule::L010 => "dead-api",
         }
     }
 
@@ -73,6 +108,104 @@ impl Rule {
             Rule::L004 => "unwaived numeric `as` cast in a DSP-audited crate",
             Rule::L005 => "wall-clock read in a deterministic simulation crate",
             Rule::L006 => "undocumented `pub` item in a crate root",
+            Rule::L007 => "panic site reachable from a hot-path root",
+            Rule::L008 => "HashMap/HashSet in a byte-identical-output crate",
+            Rule::L009 => "unjustified atomic memory ordering in an audited crate",
+            Rule::L010 => "dead public API (pub item referenced nowhere else)",
+        }
+    }
+
+    /// Long-form description printed by `--explain <rule>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::L001 => {
+                "L001 · panicking call in non-test code\n\n\
+                 Flags `unwrap()`, `.expect(...)`, `panic!`, `unreachable!`, `todo!`\n\
+                 and `unimplemented!` outside #[cfg(test)] code. The PHY/MAC pipeline\n\
+                 must degrade gracefully under any channel realization; a panic in a\n\
+                 Monte-Carlo trial aborts the whole sweep. Propagate Result/Option or\n\
+                 restructure so the failure case cannot arise.\n\n\
+                 Waive with `// lint:allow(panic): <why infallible>` when the\n\
+                 invariant is local and checkable by the reader."
+            }
+            Rule::L002 => {
+                "L002 · direct stdout/stderr output in a library crate\n\n\
+                 Library crates must not print: all operator-facing output flows\n\
+                 through carpool-obs (structured events) or is returned to the\n\
+                 caller. Applies to println!/print!/eprintln!/eprint!/dbg!.\n\n\
+                 Waive with `// lint:allow(print): <why>`."
+            }
+            Rule::L003 => {
+                "L003 · crate layering\n\n\
+                 Lower-layer crates (phy, bloom, channel, frame, traffic, par) must\n\
+                 never depend on upper-layer crates (mac, carpool, cli, bench,\n\
+                 lint) — neither via Cargo.toml dependencies nor via paths in code.\n\
+                 The layering keeps the PHY reusable and the MAC simulator\n\
+                 trace-reproducible.\n\n\
+                 Waive with `// lint:allow(layering): <why>`."
+            }
+            Rule::L004 => {
+                "L004 · numeric `as` casts in DSP-audited crates\n\n\
+                 `as` silently truncates and saturates; in phy/mac kernels that can\n\
+                 corrupt samples and counters without any runtime signal. Use\n\
+                 From/TryFrom conversions, or document why the cast is lossless.\n\n\
+                 Waive with `// lint:allow(as-cast): <why lossless>`."
+            }
+            Rule::L005 => {
+                "L005 · wall-clock reads in deterministic simulation crates\n\n\
+                 `Instant::now`/`SystemTime` break trace reproducibility: two runs\n\
+                 of the same seed must produce byte-identical outputs. Take time\n\
+                 from the simulation clock, or measure in the obs/bench layer.\n\n\
+                 Waive with `// lint:allow(wall-clock): <why>`."
+            }
+            Rule::L006 => {
+                "L006 · undocumented `pub` items in library crate roots\n\n\
+                 Crate roots are the API surface; every `pub` item there needs a\n\
+                 `///` doc comment.\n\n\
+                 Waive with `// lint:allow(missing-docs): <why>`."
+            }
+            Rule::L007 => {
+                "L007 · panic-reachability on hot paths (interprocedural)\n\n\
+                 Builds the workspace call graph and walks it from the hot-path\n\
+                 roots — carpool_bench::run_phy, the MAC run_replications driver,\n\
+                 CarpoolLink::deliver_all, and the integer Viterbi / FFT kernels.\n\
+                 Any L001 panic token inside a function transitively reachable from\n\
+                 those roots is an error, and the diagnostic prints the full call\n\
+                 chain from the root to the panic site. Slice-indexing sites on hot\n\
+                 paths are always *counted* (see the JSON report) and become\n\
+                 findings under --strict-indexing.\n\n\
+                 Waive with `// lint:allow(hot-panic): <why>`; an existing\n\
+                 `lint:allow(panic)` waiver is honored too, since it already\n\
+                 documents infallibility."
+            }
+            Rule::L008 => {
+                "L008 · iteration-order nondeterminism (interprocedural)\n\n\
+                 HashMap/HashSet iterate in randomized order, which silently breaks\n\
+                 the byte-identical-output guarantee the figures depend on. In\n\
+                 crates whose outputs are compared byte-for-byte (sim, phy, par,\n\
+                 bench) use BTreeMap/BTreeSet, or sort before iterating.\n\n\
+                 Waive with `// lint:allow(hash-iter): <why order never observed>`."
+            }
+            Rule::L009 => {
+                "L009 · atomics/lock audit in concurrency crates\n\n\
+                 Every `Ordering::` use in crates/par must carry an `// ordering:`\n\
+                 justification comment on the same line or directly above, so each\n\
+                 memory-ordering choice is reviewable. `Ordering::Relaxed` is\n\
+                 additionally only accepted when the justification describes a\n\
+                 counter (word `counter` present) — Relaxed provides no\n\
+                 happens-before edges, which is only sound for standalone counts.\n\n\
+                 Waive with `// lint:allow(atomic-ordering): <why>`."
+            }
+            Rule::L010 => {
+                "L010 · dead public API (interprocedural)\n\n\
+                 A top-level `pub` item in a library crate that no other workspace\n\
+                 file mentions — not another crate, not a test/bench/example, not\n\
+                 the CLI, not even a doc comment — is unreachable API surface:\n\
+                 unexercised, unreviewed, and free to rot. Remove it or demote it\n\
+                 to pub(crate). Matching is by word-bounded identifier, so any\n\
+                 mention anywhere (including docs) keeps an item alive.\n\n\
+                 Waive with `// lint:allow(dead-api): <why external users need it>`."
+            }
         }
     }
 }
@@ -88,6 +221,10 @@ pub struct CrateClass {
     pub cast_audited: bool,
     /// Deterministic simulation crate: L005 applies.
     pub deterministic: bool,
+    /// Outputs must be byte-identical across runs/threads: L008 applies.
+    pub ordered_iteration: bool,
+    /// Concurrency-audited crate: L009 applies to every `Ordering::`.
+    pub atomics_audited: bool,
 }
 
 /// Crates that lower-layer crates must never depend on.
@@ -108,6 +245,8 @@ pub fn classify(package: &str) -> CrateClass {
         lower_layer: false,
         cast_audited: false,
         deterministic: true,
+        ordered_iteration: true,
+        atomics_audited: false,
     };
     match package {
         "carpool-phy" => CrateClass {
@@ -121,9 +260,11 @@ pub fn classify(package: &str) -> CrateClass {
         },
         // The worker pool sits below everything that fans trials out
         // through it (mac, carpool, bench, cli): L003 keeps it from ever
-        // depending back up on those crates.
+        // depending back up on those crates. Its atomics are the one
+        // place thread interleavings touch results, so L009 audits it.
         "carpool-par" => CrateClass {
             lower_layer: true,
+            atomics_audited: true,
             ..lib_sim
         },
         "carpool-mac" => CrateClass {
@@ -131,17 +272,32 @@ pub fn classify(package: &str) -> CrateClass {
             ..lib_sim
         },
         "carpool" | "carpool-repro" => lib_sim,
-        // obs owns the process clock (profiling spans) and file sinks.
+        // obs owns the process clock (profiling spans) and file sinks;
+        // its outputs carry wall-clock stamps, so byte-identity is out
+        // of scope there.
         "carpool-obs" => CrateClass {
             deterministic: false,
+            ordered_iteration: false,
             ..lib_sim
         },
-        // Tool crates: terminal output and wall clock are their job.
-        "carpool-cli" | "carpool-bench" | "carpool-lint" => CrateClass {
+        // Bench is a tool crate, but its figure outputs are diffed
+        // byte-for-byte across thread counts — L008 applies.
+        "carpool-bench" => CrateClass {
             library: false,
             lower_layer: false,
             cast_audited: false,
             deterministic: false,
+            ordered_iteration: true,
+            atomics_audited: false,
+        },
+        // Tool crates: terminal output and wall clock are their job.
+        "carpool-cli" | "carpool-lint" => CrateClass {
+            library: false,
+            lower_layer: false,
+            cast_audited: false,
+            deterministic: false,
+            ordered_iteration: false,
+            atomics_audited: false,
         },
         _ => lib_sim,
     }
@@ -198,8 +354,16 @@ pub fn waivers_in_comment(comment: &str) -> Vec<String> {
 /// Whether `line` (or a comment-only line directly above it) carries a
 /// waiver for `rule`.
 fn is_waived(lines: &[SourceLine], idx: usize, rule: Rule) -> bool {
-    let key = rule.waiver_key();
-    let own = waivers_in_comment(&lines[idx].comment);
+    line_waived(lines, idx, rule.waiver_key())
+}
+
+/// Key-based variant of [`is_waived`] for rules that honor several
+/// waiver keys (L007 accepts both `hot-panic` and `panic`).
+pub(crate) fn line_waived(lines: &[SourceLine], idx: usize, key: &str) -> bool {
+    let Some(line) = lines.get(idx) else {
+        return false;
+    };
+    let own = waivers_in_comment(&line.comment);
     if own.iter().any(|k| k == key) {
         return true;
     }
@@ -222,7 +386,7 @@ fn is_waived(lines: &[SourceLine], idx: usize, rule: Rule) -> bool {
 }
 
 /// Whether `code[at]` starts a word-boundary occurrence of `token`.
-fn token_at(code: &str, at: usize, token: &str) -> bool {
+pub(crate) fn token_at(code: &str, at: usize, token: &str) -> bool {
     if !code[at..].starts_with(token) {
         return false;
     }
@@ -240,7 +404,7 @@ fn token_at(code: &str, at: usize, token: &str) -> bool {
 }
 
 /// Finds all word-boundary occurrences of `token` in `code`.
-fn contains_token(code: &str, token: &str) -> bool {
+pub(crate) fn contains_token(code: &str, token: &str) -> bool {
     let mut from = 0;
     while let Some(at) = code[from..].find(token) {
         let at = from + at;
@@ -262,6 +426,23 @@ const PANIC_TOKENS: [(&str, bool); 6] = [
     ("unimplemented!", false),
 ];
 
+/// L001/L007 panic tokens present in one blanked code line.
+pub(crate) fn panic_hits(code: &str) -> Vec<&'static str> {
+    let mut hits = Vec::new();
+    for (token, needs_dot) in PANIC_TOKENS {
+        let hit = if needs_dot {
+            let dotted = format!(".{token}");
+            code.contains(&dotted)
+        } else {
+            contains_token(code, token)
+        };
+        if hit {
+            hits.push(token);
+        }
+    }
+    hits
+}
+
 /// L002 trigger tokens (macro names).
 const PRINT_TOKENS: [&str; 5] = ["println!", "print!", "eprintln!", "eprint!", "dbg!"];
 
@@ -281,41 +462,63 @@ pub fn check_lines(
     file: &str,
     lines: &[SourceLine],
 ) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = Rule::ALL
+        .iter()
+        .flat_map(|&rule| check_line_rule(rule, class, is_crate_root, file, lines))
+        .collect();
+    diags.sort_by_key(|a| (a.line, a.rule));
+    diags
+}
+
+/// Runs one line-based rule over a scanned file. The interprocedural
+/// rules (L007, L008, L010) need whole-workspace context and return
+/// nothing here — see `crate::interproc`.
+pub fn check_line_rule(
+    rule: Rule,
+    class: CrateClass,
+    is_crate_root: bool,
+    file: &str,
+    lines: &[SourceLine],
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        if line.in_test {
-            continue;
+    let applies = match rule {
+        Rule::L001 => true,
+        Rule::L002 => class.library,
+        Rule::L003 => class.lower_layer,
+        Rule::L004 => class.cast_audited,
+        Rule::L005 => class.deterministic,
+        Rule::L006 => {
+            if class.library && is_crate_root {
+                check_l006(lines, file, &mut diags);
+            }
+            false
         }
-        check_l001(lines, idx, file, &mut diags);
-        if class.library {
-            check_l002(lines, idx, file, &mut diags);
+        Rule::L009 => class.atomics_audited,
+        Rule::L007 | Rule::L008 | Rule::L010 => false,
+    };
+    if applies {
+        for (idx, line) in lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            match rule {
+                Rule::L001 => check_l001(lines, idx, file, &mut diags),
+                Rule::L002 => check_l002(lines, idx, file, &mut diags),
+                Rule::L003 => check_l003_use(lines, idx, file, &mut diags),
+                Rule::L004 => check_l004(lines, idx, file, &mut diags),
+                Rule::L005 => check_l005(lines, idx, file, &mut diags),
+                Rule::L009 => check_l009(lines, idx, file, &mut diags),
+                _ => {}
+            }
         }
-        if class.lower_layer {
-            check_l003_use(lines, idx, file, &mut diags);
-        }
-        if class.cast_audited {
-            check_l004(lines, idx, file, &mut diags);
-        }
-        if class.deterministic {
-            check_l005(lines, idx, file, &mut diags);
-        }
-    }
-    if class.library && is_crate_root {
-        check_l006(lines, file, &mut diags);
     }
     diags
 }
 
 fn check_l001(lines: &[SourceLine], idx: usize, file: &str, diags: &mut Vec<Diagnostic>) {
     let line = &lines[idx];
-    for (token, needs_dot) in PANIC_TOKENS {
-        let hit = if needs_dot {
-            let dotted = format!(".{token}");
-            line.code.contains(&dotted)
-        } else {
-            contains_token(&line.code, token)
-        };
-        if hit && !is_waived(lines, idx, Rule::L001) {
+    for token in panic_hits(&line.code) {
+        if !is_waived(lines, idx, Rule::L001) {
             diags.push(Diagnostic {
                 rule: Rule::L001,
                 file: file.to_string(),
@@ -444,6 +647,63 @@ fn check_l005(lines: &[SourceLine], idx: usize, file: &str, diags: &mut Vec<Diag
             });
         }
     }
+}
+
+fn check_l009(lines: &[SourceLine], idx: usize, file: &str, diags: &mut Vec<Diagnostic>) {
+    let line = &lines[idx];
+    if !line.code.contains("Ordering::") || is_waived(lines, idx, Rule::L009) {
+        return;
+    }
+    let Some(reason) = ordering_justification(lines, idx) else {
+        diags.push(Diagnostic {
+            rule: Rule::L009,
+            file: file.to_string(),
+            line: line.number,
+            message: "atomic `Ordering::` use without an `// ordering: <why>` \
+                      justification comment on the line or directly above"
+                .to_string(),
+        });
+        return;
+    };
+    if line.code.contains("Ordering::Relaxed")
+        && !contains_token(&reason.to_ascii_lowercase(), "counter")
+    {
+        diags.push(Diagnostic {
+            rule: Rule::L009,
+            file: file.to_string(),
+            line: line.number,
+            message: "`Ordering::Relaxed` outside a counter: Relaxed creates no \
+                      happens-before edges, so the justification must describe a \
+                      standalone counter (or use Acquire/Release/SeqCst)"
+                .to_string(),
+        });
+    }
+}
+
+/// The text after `// ordering:` on the line or on comment-only lines
+/// directly above; `None` when absent or empty.
+fn ordering_justification(lines: &[SourceLine], idx: usize) -> Option<String> {
+    if let Some(r) = justification_in(&lines[idx].comment) {
+        return Some(r);
+    }
+    let mut k = idx;
+    while k > 0 {
+        k -= 1;
+        let above = &lines[k];
+        if !above.code.trim().is_empty() || above.comment.is_empty() {
+            break;
+        }
+        if let Some(r) = justification_in(&above.comment) {
+            return Some(r);
+        }
+    }
+    None
+}
+
+fn justification_in(comment: &str) -> Option<String> {
+    let at = comment.find("ordering:")?;
+    let reason = comment[at + "ordering:".len()..].trim();
+    (!reason.is_empty()).then(|| reason.to_string())
 }
 
 /// Item keywords that need docs when `pub` at the crate-root top level.
@@ -712,6 +972,43 @@ mod tests {
                    #[derive(Debug, Clone)]\n\
                    pub struct S;\n";
         assert!(check_lines(lib_class(), true, "lib.rs", &scan_source(src)).is_empty());
+    }
+
+    #[test]
+    fn l009_ordering_needs_justification() {
+        let class = classify("carpool-par");
+        assert!(class.atomics_audited);
+        let bare = "fn f() { c.fetch_add(1, Ordering::SeqCst); }\n";
+        assert_eq!(rules_of(&check(class, bare)), [Rule::L009]);
+        let justified = "// ordering: SeqCst — publishes the result slot to the join\n\
+                         fn f() { c.store(1, Ordering::SeqCst); }\n";
+        assert!(check(class, justified).is_empty());
+        // Other crates are not audited.
+        assert!(check(lib_class(), bare).is_empty());
+    }
+
+    #[test]
+    fn l009_relaxed_only_for_counters() {
+        let class = classify("carpool-par");
+        let counter = "// ordering: Relaxed — work-claim counter only\n\
+                       fn f() { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(check(class, counter).is_empty());
+        let not_counter = "fn f() { c.store(1, Ordering::Relaxed); } // ordering: fast\n";
+        assert_eq!(rules_of(&check(class, not_counter)), [Rule::L009]);
+        let waived =
+            "fn f() { c.load(Ordering::Relaxed); } // lint:allow(atomic-ordering): bench-only\n";
+        assert!(check(class, waived).is_empty());
+    }
+
+    #[test]
+    fn rule_from_id_round_trips() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_id(rule.id()), Some(rule));
+        }
+        assert_eq!(Rule::from_id("l008"), Some(Rule::L008));
+        assert_eq!(Rule::from_id("7"), Some(Rule::L007));
+        assert_eq!(Rule::from_id("L011"), None);
+        assert_eq!(Rule::from_id("nope"), None);
     }
 
     #[test]

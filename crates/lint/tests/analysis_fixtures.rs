@@ -1,0 +1,233 @@
+//! Fixture tests for the interprocedural rules (L007–L010): one
+//! positive (the rule fires) and one negative (compliant code passes)
+//! per rule, plus a disk-based end-to-end scan of a miniature
+//! workspace exercising the full `scan_workspace` pipeline.
+
+use carpool_lint::callgraph::CallGraph;
+use carpool_lint::interproc::{check_l007, check_l008, check_l010};
+use carpool_lint::items::{FileRecord, Section};
+use carpool_lint::rules::{check_line_rule, classify, Rule};
+use carpool_lint::scanner::scan_source;
+
+fn record(path: &str, crate_name: &str, src: &str) -> FileRecord {
+    FileRecord::parse(path, crate_name, Section::Src, classify(crate_name), src)
+}
+
+// ---------------------------------------------------------------- L007
+
+#[test]
+fn l007_fires_on_panic_reachable_from_hot_root() {
+    let files = vec![record(
+        "crates/bench/src/lib.rs",
+        "carpool-bench",
+        "pub fn run_phy() { inner(); }\n\
+         fn inner() { deepest(); }\n\
+         fn deepest() { maybe().unwrap(); }\n",
+    )];
+    let graph = CallGraph::build(&files);
+    let (diags, stats) = check_l007(&files, &graph, false);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 3);
+    assert!(
+        diags[0].message.contains("run_phy -> ") && diags[0].message.contains("deepest"),
+        "diagnostic must print the call chain: {}",
+        diags[0].message
+    );
+    assert_eq!(stats.reachable_fns, 3);
+}
+
+#[test]
+fn l007_passes_when_panic_is_unreachable_or_waived() {
+    let files = vec![record(
+        "crates/bench/src/lib.rs",
+        "carpool-bench",
+        "pub fn run_phy() { safe(); }\n\
+         fn safe() {}\n\
+         fn cold() { maybe().unwrap(); }\n\
+         fn hot() { checked().unwrap() } // lint:allow(panic): checked above\n",
+    )];
+    let graph = CallGraph::build(&files);
+    let (diags, _) = check_l007(&files, &graph, false);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- L008
+
+#[test]
+fn l008_fires_on_hash_iteration_in_sim_code() {
+    let files = vec![record(
+        "crates/mac/src/sim.rs",
+        "carpool-mac",
+        "use std::collections::HashSet;\n",
+    )];
+    let diags = check_l008(&files);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("BTreeSet"));
+}
+
+#[test]
+fn l008_passes_on_ordered_maps_and_exempt_crates() {
+    let ordered = vec![record(
+        "crates/mac/src/sim.rs",
+        "carpool-mac",
+        "use std::collections::BTreeMap;\n",
+    )];
+    assert!(check_l008(&ordered).is_empty());
+    // The CLI has no byte-identical output contract.
+    let cli = vec![record(
+        "crates/cli/src/main.rs",
+        "carpool-cli",
+        "use std::collections::HashMap;\n",
+    )];
+    assert!(check_l008(&cli).is_empty());
+}
+
+// ---------------------------------------------------------------- L009
+
+fn l009(src: &str) -> Vec<carpool_lint::rules::Diagnostic> {
+    let lines = scan_source(src);
+    check_line_rule(
+        Rule::L009,
+        classify("carpool-par"),
+        false,
+        "crates/par/src/lib.rs",
+        &lines,
+    )
+}
+
+#[test]
+fn l009_fires_on_unjustified_ordering() {
+    let diags = l009("fn f(x: &AtomicUsize) { x.store(1, Ordering::SeqCst); }\n");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("ordering:"));
+}
+
+#[test]
+fn l009_passes_with_justification_comment() {
+    let diags = l009(
+        "// ordering: release pairs with the acquire load in `poll`\n\
+         fn f(x: &AtomicUsize) { x.store(1, Ordering::Release); }\n",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l009_relaxed_requires_counter_justification() {
+    let bad = l009(
+        "// ordering: fast path, no synchronization needed\n\
+         fn f(x: &AtomicUsize) { x.fetch_add(1, Ordering::Relaxed); }\n",
+    );
+    assert_eq!(bad.len(), 1, "{bad:?}");
+    let good = l009(
+        "// ordering: statistics counter only, never synchronizes data\n\
+         fn f(x: &AtomicUsize) { x.fetch_add(1, Ordering::Relaxed); }\n",
+    );
+    assert!(good.is_empty(), "{good:?}");
+}
+
+// ---------------------------------------------------------------- L010
+
+#[test]
+fn l010_fires_on_orphan_pub_item() {
+    let files = vec![
+        record(
+            "crates/phy/src/lib.rs",
+            "carpool-phy",
+            "pub fn orphan_helper() {}\n",
+        ),
+        record("crates/mac/src/lib.rs", "carpool-mac", "fn other() {}\n"),
+    ];
+    let diags = check_l010(&files);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("orphan_helper"));
+}
+
+#[test]
+fn l010_passes_when_item_is_referenced_or_waived() {
+    let files = vec![
+        record(
+            "crates/phy/src/lib.rs",
+            "carpool-phy",
+            "pub fn used_helper() {}\n\
+             // lint:allow(dead-api): kept for downstream users\n\
+             pub fn kept_helper() {}\n",
+        ),
+        record(
+            "crates/mac/src/lib.rs",
+            "carpool-mac",
+            "fn other() { carpool_phy::used_helper(); }\n",
+        ),
+    ];
+    assert!(check_l010(&files).is_empty());
+}
+
+// ------------------------------------------------------ end to end
+
+mod end_to_end {
+    use std::fs;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+    /// A unique scratch workspace under the system temp directory.
+    fn scratch(tag: &str) -> PathBuf {
+        let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+        std::env::temp_dir().join(format!(
+            "carpool-lint-fixture-{}-{tag}-{n}",
+            std::process::id()
+        ))
+    }
+
+    fn write(path: &Path, text: &str) {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).expect("create fixture dir");
+        }
+        fs::write(path, text).expect("write fixture file");
+    }
+
+    #[test]
+    fn scan_finds_hot_panic_across_crates_with_chain() {
+        let root = scratch("hot");
+        write(&root.join("Cargo.toml"), "[workspace]\nmembers = []\n");
+        write(
+            &root.join("crates/bench/Cargo.toml"),
+            "[package]\nname = \"carpool-bench\"\n",
+        );
+        // The hot root lives in bench and the panic two hops away in a
+        // second crate, so the chain must cross a crate boundary.
+        write(
+            &root.join("crates/bench/src/lib.rs"),
+            "pub fn run_phy() { carpool_kern::step(); }\n",
+        );
+        write(
+            &root.join("crates/kern/Cargo.toml"),
+            "[package]\nname = \"carpool-kern\"\n",
+        );
+        write(
+            &root.join("crates/kern/src/lib.rs"),
+            "//! Kernel fixture.\n\n\
+             /// Doc.\npub fn step() { boom(); }\n\
+             fn boom() { None::<u8>.unwrap(); }\n",
+        );
+        let report = carpool_lint::scan_workspace(&root).expect("scan succeeds");
+        let hot: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == carpool_lint::rules::Rule::L007)
+            .collect();
+        assert_eq!(hot.len(), 1, "{hot:?}");
+        assert!(hot[0].file.ends_with("crates/kern/src/lib.rs"));
+        assert!(
+            hot[0].message.contains("run_phy")
+                && hot[0].message.contains("step")
+                && hot[0].message.contains("boom"),
+            "chain should span both crates: {}",
+            hot[0].message
+        );
+        assert!(report.analysis.functions >= 3);
+        assert!(report.rule_timings_ms.contains_key("L007"));
+        assert!(report.rule_timings_ms.contains_key("callgraph"));
+        fs::remove_dir_all(&root).ok();
+    }
+}

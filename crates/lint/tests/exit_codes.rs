@@ -1,0 +1,129 @@
+//! Integration tests for the exit-code contract of [`carpool_lint::run`]:
+//! `0` clean, `1` gate failure, `2` internal analyzer error. Scripts
+//! (`scripts/check.sh`) rely on this split to tell "the code is dirty"
+//! apart from "the linter itself broke".
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use carpool_lint::LintOptions;
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique scratch workspace under the system temp directory.
+fn scratch(tag: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!(
+        "carpool-lint-exit-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+fn write(path: &Path, text: &str) {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).expect("create fixture dir");
+    }
+    fs::write(path, text).expect("write fixture file");
+}
+
+/// A minimal workspace with one crate whose `lib.rs` is `body`.
+fn workspace(tag: &str, body: &str) -> PathBuf {
+    let root = scratch(tag);
+    write(&root.join("Cargo.toml"), "[workspace]\nmembers = []\n");
+    write(
+        &root.join("crates/demo/Cargo.toml"),
+        "[package]\nname = \"carpool-demo\"\n",
+    );
+    write(&root.join("crates/demo/src/lib.rs"), body);
+    root
+}
+
+fn run_at(root: &Path) -> i32 {
+    carpool_lint::run(&LintOptions {
+        root: Some(root.to_path_buf()),
+        ..LintOptions::default()
+    })
+}
+
+#[test]
+fn exit_zero_on_clean_workspace() {
+    let root = workspace("clean", "//! A clean demo crate.\n\nfn quiet() {}\n");
+    assert_eq!(run_at(&root), 0);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn exit_one_on_new_violation() {
+    let root = workspace(
+        "dirty",
+        "//! Demo.\n\nfn risky() { None::<u8>.unwrap(); }\n",
+    );
+    assert_eq!(run_at(&root), 1);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn exit_one_on_refused_baseline_growth() {
+    let root = workspace(
+        "growth",
+        "//! Demo.\n\nfn risky() { None::<u8>.unwrap(); }\n",
+    );
+    // An empty-but-valid baseline: any finding is growth, and without
+    // --force the rewrite must be refused with the gate-failure code.
+    write(
+        &root.join("lint-baseline.json"),
+        "{\n  \"schema\": \"carpool-lint-baseline/v2\",\n  \"counts\": {}\n}\n",
+    );
+    let code = carpool_lint::run(&LintOptions {
+        root: Some(root.clone()),
+        write_baseline: true,
+        ..LintOptions::default()
+    });
+    assert_eq!(code, 1);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn exit_two_on_missing_workspace() {
+    let root = scratch("nothing");
+    assert_eq!(run_at(&root), 2);
+}
+
+#[test]
+fn exit_two_on_malformed_baseline() {
+    let root = workspace("badjson", "//! Demo.\n\nfn quiet() {}\n");
+    write(&root.join("lint-baseline.json"), "this is not json at all");
+    assert_eq!(run_at(&root), 2);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn exit_two_on_unknown_explain_rule() {
+    let code = carpool_lint::run(&LintOptions {
+        explain: Some("L999".to_string()),
+        ..LintOptions::default()
+    });
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn exit_zero_on_explain_and_successful_write_baseline() {
+    let code = carpool_lint::run(&LintOptions {
+        explain: Some("L007".to_string()),
+        ..LintOptions::default()
+    });
+    assert_eq!(code, 0);
+
+    let root = workspace("bank", "//! Demo.\n\nfn risky() { None::<u8>.unwrap(); }\n");
+    let banked = carpool_lint::run(&LintOptions {
+        root: Some(root.clone()),
+        write_baseline: true,
+        force: true,
+        ..LintOptions::default()
+    });
+    assert_eq!(banked, 0);
+    // After banking, the gate is clean again.
+    assert_eq!(run_at(&root), 0);
+    fs::remove_dir_all(&root).ok();
+}

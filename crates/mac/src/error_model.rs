@@ -221,7 +221,11 @@ impl SymbolErrorCurve {
             EstimationScheme::Standard => &self.standard,
             EstimationScheme::Rte => &self.rte,
         };
-        *curve.get(k).unwrap_or(curve.last().expect("non-empty"))
+        // Positions past the measured range clamp to the last entry; the
+        // constructor guarantees non-emptiness, so the 0.0 default is for
+        // the type system only.
+        let clamped = k.min(curve.len().saturating_sub(1));
+        curve.get(clamped).copied().unwrap_or(0.0)
     }
 }
 

@@ -63,6 +63,7 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// Takes precedence over `CARPOOL_THREADS` and auto-detection; a value
 /// of `Some(0)` is treated as `None`.
 pub fn set_thread_override(threads: Option<usize>) {
+    // ordering: standalone counter-style cell; no other memory is published
     THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
 }
 
@@ -70,6 +71,8 @@ pub fn set_thread_override(threads: Option<usize>) {
 /// `CARPOOL_THREADS` environment variable, then
 /// `available_parallelism()` (1 if even that is unavailable).
 pub fn thread_count() -> usize {
+    // ordering: standalone counter-style cell; stale reads only pick an
+    // old thread count, never tear data
     let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if forced > 0 {
         return forced;
@@ -116,6 +119,8 @@ where
                 scope.spawn(|| {
                     let mut shard: Vec<(usize, R)> = Vec::new();
                     loop {
+                        // ordering: work-claim counter only; results are
+                        // published by the scope join, not by this atomic
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;

@@ -61,6 +61,7 @@ pub fn bit_error_rate(sent: &[u8], received: &[u8]) -> f64 {
     if n == 0 {
         return 0.0;
     }
+    // lint:allow(as-cast): bit counts are far below 2^53, exact in f64
     hamming_distance(&sent[..n], &received[..n]) as f64 / n as f64
 }
 
@@ -74,7 +75,7 @@ pub fn bits_to_uint(bits: &[u8], width: usize) -> u64 {
     assert!(bits.len() >= width, "need {width} bits, got {}", bits.len());
     let mut v = 0u64;
     for (k, &bit) in bits[..width].iter().enumerate() {
-        v |= (bit as u64) << k;
+        v |= u64::from(bit) << k;
     }
     v
 }
@@ -86,7 +87,9 @@ pub fn bits_to_uint(bits: &[u8], width: usize) -> u64 {
 /// Panics if `width > 64`.
 pub fn uint_to_bits(value: u64, width: usize) -> Vec<u8> {
     assert!(width <= 64, "width {width} exceeds u64");
-    (0..width).map(|k| ((value >> k) & 1) as u8).collect()
+    (0..width)
+        .map(|k| u8::from((value >> k) & 1 != 0))
+        .collect()
 }
 
 /// Pads a bit vector with zeros up to a multiple of `block`.

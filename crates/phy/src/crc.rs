@@ -130,12 +130,13 @@ impl SmallCrc {
         let mut reg: u16 = 0;
         for &bit in bits {
             assert!(bit <= 1, "bit value {bit} out of range");
-            let fb = ((reg & top) != 0) as u16 ^ bit as u16;
+            let fb = u16::from((reg & top) != 0) ^ u16::from(bit);
             reg = (reg << 1) & mask;
             if fb != 0 {
-                reg ^= self.poly as u16;
+                reg ^= u16::from(self.poly);
             }
         }
+        // lint:allow(as-cast): reg is masked to width <= 8 bits above
         reg as u8
     }
 
@@ -159,7 +160,7 @@ impl SmallCrc {
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc: u32 = 0xFFFF_FFFF;
     for &byte in data {
-        crc ^= byte as u32;
+        crc ^= u32::from(byte);
         for _ in 0..8 {
             let lsb = crc & 1;
             crc >>= 1;

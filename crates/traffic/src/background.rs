@@ -105,7 +105,8 @@ pub fn merge_streams(streams: &[Vec<Arrival>]) -> Vec<(usize, Arrival)> {
         .enumerate()
         .flat_map(|(k, s)| s.iter().map(move |a| (k, *a)))
         .collect();
-    merged.sort_by(|a, b| a.1.time.partial_cmp(&b.1.time).expect("finite times"));
+    // total_cmp orders finite times identically to partial_cmp and is total.
+    merged.sort_by(|a, b| a.1.time.total_cmp(&b.1.time));
     merged
 }
 

@@ -80,10 +80,8 @@ impl FrameSizeDistribution {
             assert!(w[0].0 <= w[1].0, "sizes must be nondecreasing");
             assert!(w[0].1 <= w[1].1, "probabilities must be nondecreasing");
         }
-        assert!(
-            (knots.last().expect("non-empty").1 - 1.0).abs() < 1e-9,
-            "final probability must be 1"
-        );
+        let final_p = knots.last().map_or(0.0, |k| k.1);
+        assert!((final_p - 1.0).abs() < 1e-9, "final probability must be 1");
         FrameSizeDistribution {
             knots,
             name: "custom",
@@ -127,7 +125,8 @@ impl FrameSizeDistribution {
                 return x0 + (x1 - x0) * (p - p0) / (p1 - p0);
             }
         }
-        self.knots.last().expect("non-empty").0
+        // Constructors guarantee at least two knots; 0.0 is unreachable.
+        self.knots.last().map_or(0.0, |k| k.0)
     }
 
     /// Samples a frame size in bytes.

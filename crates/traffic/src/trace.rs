@@ -80,7 +80,8 @@ impl Trace {
 
     /// Builds a trace from records, sorting them by time.
     pub fn from_records(mut records: Vec<TraceRecord>) -> Trace {
-        records.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        // total_cmp orders finite times identically to partial_cmp and is total.
+        records.sort_by(|a, b| a.time.total_cmp(&b.time));
         Trace { records }
     }
 
