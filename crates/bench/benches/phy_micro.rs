@@ -25,7 +25,7 @@ use std::time::Instant;
 use carpool_bench::{pattern_bits, run_phy, PhyBerResult, PhyRunConfig};
 use carpool_bloom::AggregationHeader;
 use carpool_obs::json::{self, ObjectWriter};
-use carpool_obs::{MemoryRecorder, Obs, SpanStats};
+use carpool_obs::{FlightRecorder, MemoryRecorder, Obs, SpanStats};
 use carpool_phy::convolutional::{decode, decode_soft, decode_soft_quantized, encode, CodeRate};
 use carpool_phy::equalizer::ChannelEstimate;
 use carpool_phy::fft::{fft_in_place, fft_real, ifft_in_place};
@@ -34,6 +34,7 @@ use carpool_phy::math::Complex64;
 use carpool_phy::mcs::Mcs;
 use carpool_phy::modulation::Modulation;
 use carpool_phy::ofdm::FreqSymbol;
+use carpool_phy::rte::CalibrationRule;
 use carpool_phy::rx::{receive, Estimation, FrameDecoder, SectionLayout};
 use carpool_phy::sidechannel::{PhaseOffsetDecoder, PhaseOffsetEncoder, PhaseOffsetMod};
 use carpool_phy::tx::{transmit, SectionSpec};
@@ -207,6 +208,32 @@ fn bench_obs_overhead(results: &mut Vec<SpanStats>) {
             .with_obs(obs.clone());
         black_box(dec.decode_section(&layouts[0])).ok();
     }));
+
+    // Flight-recorder rows: the RTE + side-channel decode is where the
+    // per-symbol trace hooks live, so the enabled-tracing cost is the
+    // delta between these two rows (same waveform, same estimation).
+    let sc_spec = SectionSpec::payload(pattern_bits(1500 * 8, 9), Mcs::QAM64_3_4);
+    let sc_frame = transmit(std::slice::from_ref(&sc_spec)).expect("valid spec");
+    let sc_layouts = [SectionLayout::of(&sc_spec)];
+    let rte = Estimation::Rte(CalibrationRule::Average);
+    results.push(measure("rx_1500B_qam64_sc_plain", || {
+        let mut dec = FrameDecoder::new(&sc_frame.samples, rte).expect("lengths match");
+        black_box(dec.decode_section(&sc_layouts[0])).ok();
+    }));
+    let flight = Arc::new(FlightRecorder::new(carpool_obs::DEFAULT_TRACE_CAPACITY));
+    let tracing_obs = Obs::noop().with_flight(flight.clone());
+    results.push(measure("rx_1500B_qam64_sc_tracing", || {
+        let mut dec = FrameDecoder::new(&sc_frame.samples, rte)
+            .expect("lengths match")
+            .with_obs(tracing_obs.clone());
+        black_box(dec.decode_section(&sc_layouts[0])).ok();
+    }));
+    println!(
+        "flight recorder captured {} records over {} traced decodes ({} dropped)",
+        flight.len(),
+        WARMUP + SAMPLES,
+        flight.dropped()
+    );
 }
 
 /// Where the throughput snapshot lands (cargo runs benches with the
@@ -320,6 +347,101 @@ fn median_us(results: &[SpanStats], name: &str) -> Option<f64> {
         .iter()
         .find(|s| s.name == name)
         .map(|s| s.median_secs() * 1e6)
+}
+
+/// Minimum of a named row from the micro section, in microseconds. The
+/// min over samples is the least-noise estimator on a shared machine, so
+/// the tight obs-overhead gate compares mins, not medians.
+fn min_us(results: &[SpanStats], name: &str) -> Option<f64> {
+    results
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| s.min_secs() * 1e6)
+}
+
+/// Where the observability-overhead verdict lands
+/// (`crates/bench/BENCH_obs.json`).
+const OBS_PATH: &str = "BENCH_obs.json";
+
+/// The tracing-disabled decode may cost at most this fraction over the
+/// plain decode — one predicted branch per hook, nothing more. `check.sh`
+/// fails the build when this budget is blown.
+const DISABLED_BUDGET_FRACTION: f64 = 0.01;
+
+/// Documented budget for *enabled* flight-recorder tracing on the RTE +
+/// side-channel decode (the hook-densest path: one record per symbol
+/// recalibration plus one per CRC group). Exceeding it is a warning, not
+/// a failure — opting into tracing is allowed to cost something.
+const TRACING_BUDGET_FRACTION: f64 = 0.25;
+
+/// Distills the obs-overhead rows into `BENCH_obs.json`: the disabled
+/// path (`rx_1500B_qam64_obs_noop` vs the plain `rx_1500B_qam64` decode)
+/// must stay within [`DISABLED_BUDGET_FRACTION`]; the enabled path
+/// (`rx_1500B_qam64_sc_tracing` vs `rx_1500B_qam64_sc_plain`) is held to
+/// [`TRACING_BUDGET_FRACTION`] as a non-fatal budget.
+fn bench_obs_snapshot(results: &[SpanStats]) {
+    let rows = [
+        "rx_1500B_qam64",
+        "rx_1500B_qam64_obs_noop",
+        "rx_1500B_qam64_obs_recording",
+        "rx_1500B_qam64_sc_plain",
+        "rx_1500B_qam64_sc_tracing",
+    ];
+    let mins: Vec<f64> = rows
+        .iter()
+        .map(|name| min_us(results, name).unwrap_or(f64::NAN))
+        .collect();
+    let [plain, noop, recording, sc_plain, sc_tracing] = mins[..] else {
+        unreachable!("rows and mins have the same length");
+    };
+    let disabled_overhead = noop / plain - 1.0;
+    let tracing_overhead = sc_tracing / sc_plain - 1.0;
+    // NaN comparisons are false, so a missing row never *passes* the
+    // fatal gate silently: it shows up as nulls in the JSON instead.
+    let disabled_regressed = disabled_overhead > DISABLED_BUDGET_FRACTION;
+    let tracing_within_budget = tracing_overhead <= TRACING_BUDGET_FRACTION;
+
+    println!("\nobs overhead gate:");
+    println!(
+        "  disabled path: {noop:.2}us vs {plain:.2}us plain ({:+.2}% — budget {:.0}%){}",
+        disabled_overhead * 100.0,
+        DISABLED_BUDGET_FRACTION * 100.0,
+        if disabled_regressed {
+            "  <-- REGRESSION (fatal in check.sh)"
+        } else {
+            ", ok"
+        }
+    );
+    println!(
+        "  enabled tracing: {sc_tracing:.2}us vs {sc_plain:.2}us untraced ({:+.2}% — budget {:.0}%){}",
+        tracing_overhead * 100.0,
+        TRACING_BUDGET_FRACTION * 100.0,
+        if tracing_within_budget {
+            ", ok"
+        } else {
+            "  <-- over budget (warning only)"
+        }
+    );
+
+    let mut w = ObjectWriter::new();
+    w.str("bench", "obs_overhead")
+        .u64("samples_per_entry", SAMPLES as u64)
+        .f64("plain_rx_min_us", plain)
+        .f64("noop_rx_min_us", noop)
+        .f64("recording_rx_min_us", recording)
+        .f64("sc_plain_min_us", sc_plain)
+        .f64("sc_tracing_min_us", sc_tracing)
+        .f64("disabled_overhead_frac", disabled_overhead)
+        .f64("disabled_budget_frac", DISABLED_BUDGET_FRACTION)
+        .f64("tracing_overhead_frac", tracing_overhead)
+        .f64("tracing_budget_frac", TRACING_BUDGET_FRACTION)
+        .bool("disabled_regressed", disabled_regressed)
+        .bool("tracing_within_budget", tracing_within_budget);
+    let json = format!("{}\n", w.finish());
+    match std::fs::write(OBS_PATH, &json) {
+        Ok(()) => println!("wrote {OBS_PATH}"),
+        Err(e) => eprintln!("cannot write {OBS_PATH}: {e}"),
+    }
 }
 
 /// Times the parallel Monte-Carlo driver end to end — single run and
@@ -510,5 +632,6 @@ fn main() {
         Err(e) => eprintln!("\ncannot write {path}: {e}"),
     }
 
+    bench_obs_snapshot(&results);
     bench_throughput(&results);
 }

@@ -171,6 +171,17 @@ impl AggregationHeader {
         self.bits.count_ones()
     }
 
+    /// The set of filter bits hash set `subframe_index` probes for
+    /// `item` — exactly the bits [`AggregationHeader::insert`] would
+    /// set and [`AggregationHeader::query`] tests. Exposed so trace
+    /// tooling can record *which* Bloom positions drove a membership
+    /// decision, not just the boolean verdict.
+    pub fn probe_mask(&self, item: &[u8], subframe_index: usize) -> u64 {
+        (0..self.hashes).fold(0u64, |mask, f| {
+            mask | (1u64 << position(item, subframe_index, f))
+        })
+    }
+
     /// Inserts `item` as the receiver of subframe `subframe_index`.
     ///
     /// # Panics
@@ -181,9 +192,7 @@ impl AggregationHeader {
             subframe_index < MAX_RECEIVERS,
             "subframe index {subframe_index} out of range"
         );
-        for f in 0..self.hashes {
-            self.bits |= 1u64 << position(item, subframe_index, f);
-        }
+        self.bits |= self.probe_mask(item, subframe_index);
     }
 
     /// Checks whether `item` may be the receiver of `subframe_index`.
@@ -191,7 +200,8 @@ impl AggregationHeader {
     /// No false negatives: if the item was inserted at this index, the
     /// result is always `true`.
     pub fn query(&self, item: &[u8], subframe_index: usize) -> bool {
-        (0..self.hashes).all(|f| self.bits & (1u64 << position(item, subframe_index, f)) != 0)
+        let mask = self.probe_mask(item, subframe_index);
+        self.bits & mask == mask
     }
 
     /// All subframe indices (0..`num_subframes`) that match `item` —
@@ -247,6 +257,21 @@ mod tests {
 
     fn mac(last: u8) -> [u8; 6] {
         [0x02, 0x11, 0x22, 0x33, 0x44, last]
+    }
+
+    #[test]
+    fn probe_mask_agrees_with_insert_and_query() {
+        let mut hdr = AggregationHeader::with_default_hashes();
+        let mask = hdr.probe_mask(&mac(1), 0);
+        // h hash functions probe at most h distinct 48-bit positions.
+        assert!(mask.count_ones() as usize <= hdr.hashes());
+        assert!(mask != 0 && mask < 1u64 << BLOOM_BITS);
+        hdr.insert(&mac(1), 0);
+        // Insert sets exactly the probed bits, and query demands all of them.
+        assert_eq!(hdr.raw(), mask);
+        assert!(hdr.query(&mac(1), 0));
+        // Same item, different hash set: an independent mask.
+        assert_ne!(hdr.probe_mask(&mac(1), 1), mask);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod scenario;
 pub use calibrate::{measure_symbol_error_curves, CalibrationConfig};
 pub use energy::DevicePowerModel;
 pub use link::{CarpoolLink, CarpoolLinkBuilder};
-pub use scenario::{busy_cell, deadline_cell, voip_cell};
+pub use scenario::{busy_cell, deadline_cell, fig03_flight_trace, voip_cell, FlightTraceSummary};
 
 // Convenience re-exports of the substrate crates.
 pub use carpool_bloom as bloom;

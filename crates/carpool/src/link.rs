@@ -155,17 +155,31 @@ impl CarpoolLink {
         let hashes = self.hashes;
         let side_channel = self.side_channel;
         let observing = self.obs.enabled();
+        // Flight-recorder shards mirror the metric/event shards: each
+        // worker traces into a private ring sized like the link's, and
+        // the shards are absorbed in station order below, so the merged
+        // trace stream is identical at any thread count.
+        let flight_capacity = self.obs.flight().map(|f| f.capacity());
+        let frame_ctx = self.obs.frame_ctx();
+        let time_base = self.obs.time_base();
 
         let shards = carpool_par::par_map_indexed(stations, |_idx, &sta| {
-            let (shard_obs, shard) = if observing {
+            let (shard_obs, shard, flight) = if observing {
                 let recorder = Arc::new(carpool_obs::MemoryRecorder::new());
                 let sink = Arc::new(carpool_obs::RingBufferSink::new(usize::MAX));
-                (
-                    Obs::new(recorder.clone(), sink.clone()),
-                    Some((recorder, sink)),
-                )
+                let mut shard_obs = Obs::new(recorder.clone(), sink.clone());
+                let mut flight = None;
+                if let Some(cap) = flight_capacity {
+                    let f = Arc::new(carpool_obs::FlightRecorder::new(cap));
+                    shard_obs = shard_obs
+                        .with_flight(f.clone())
+                        .for_frame(frame_ctx)
+                        .with_time_base(time_base);
+                    flight = Some(f);
+                }
+                (shard_obs, Some((recorder, sink)), flight)
             } else {
-                (Obs::noop(), None)
+                (Obs::noop(), None, None)
             };
             let rx = receive_carpool_obs(
                 &rx_samples,
@@ -176,19 +190,23 @@ impl CarpoolLink {
                 &shard_obs,
             );
             let captured = shard.map(|(recorder, sink)| (recorder.snapshot(), sink.events()));
-            (rx, captured)
+            let traced = flight.map(|f| (f.records(), f.dropped()));
+            (rx, captured, traced)
         })
         .map_err(|panic| FrameError::Malformed {
             reason: format!("parallel receive failed: {panic}"),
         })?;
 
         let mut receptions = Vec::with_capacity(shards.len());
-        for ((rx, captured), &sta) in shards.into_iter().zip(stations) {
+        for ((rx, captured, traced), &sta) in shards.into_iter().zip(stations) {
             if let Some((snapshot, events)) = captured {
                 self.obs.merge_metrics(&snapshot);
                 for stamped in events {
                     self.obs.emit(stamped.t, stamped.event);
                 }
+            }
+            if let (Some(flight), Some((records, dropped))) = (self.obs.flight(), traced) {
+                flight.absorb(&records, dropped);
             }
             let rx = rx?;
             self.emit_ahdr_truth(frame, sta, !rx.matched_indices.is_empty());

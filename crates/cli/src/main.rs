@@ -60,7 +60,13 @@ COMMANDS:
                --receivers <8> --hashes <4> --trials <20000>
     gen-trace  Emit a synthetic public-WLAN packet trace (stdout)
                --stas <10> --duration <30> --seed <1> [--background]
+    trace      Fig. 3-shaped single-frame run for the flight recorder:
+               one long QAM64-3/4 aggregate over the office channel,
+               traced end to end (use with --trace-out)
+               --stas <4> --snr <30> --seed <42>
     report     Render an --obs JSONL stream as per-layer summary tables
+               (including flight-recorder timelines from a --trace-out
+               .jsonl file)
                carpool report <path.jsonl>
     lint       Run the project lint gate (panic-freedom, layering,
                determinism, docs, call-graph analysis) against
@@ -76,6 +82,10 @@ OBSERVABILITY (accepted by every command):
                          `carpool report <path.jsonl>`.
     --obs-summary        Print the metrics registry (counters, gauges,
                          histogram quantiles) to stderr when done.
+    --trace-out <path>   Attach the frame flight recorder and export a
+                         Chrome trace_event JSON (open in chrome://tracing
+                         or https://ui.perfetto.dev) plus <path>.jsonl
+                         when the command finishes.
 
 PARALLELISM (accepted by every command):
     --threads <N>        Worker threads for parallel trial execution.
@@ -344,6 +354,27 @@ fn cmd_frame(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
+    let stas: usize = args.get_or("stas", 4).map_err(|e| e.to_string())?;
+    let snr: f64 = args.get_or("snr", 30.0).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+    if !(1..=8).contains(&stas) {
+        return Err("--stas must be 1..=8".to_string());
+    }
+    if !obs.tracing() {
+        eprintln!("# note: no --trace-out given; running untraced (add --trace-out trace.json)");
+    }
+    let summary = carpool::fig03_flight_trace(stas, snr, seed, obs).map_err(|e| e.to_string())?;
+    println!(
+        "fig03 flight trace: {}/{} stations delivered, {} payload symbols on air ({} us)",
+        summary.delivered,
+        summary.stations,
+        summary.payload_symbols,
+        summary.payload_symbols as f64 * carpool_phy::mcs::SYMBOL_DURATION * 1e6
+    );
+    Ok(())
+}
+
 fn cmd_bloom(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
     let receivers: usize = args.get_or("receivers", 8).map_err(|e| e.to_string())?;
     let hashes: usize = args.get_or("hashes", 4).map_err(|e| e.to_string())?;
@@ -482,6 +513,7 @@ fn main() {
         Some("mac-sim") => cmd_mac_sim(&args, &obs),
         Some("sweep") => cmd_sweep(&args, &obs),
         Some("frame") => cmd_frame(&args, &obs),
+        Some("trace") => cmd_trace(&args, &obs),
         Some("bloom") => cmd_bloom(&args, &obs),
         Some("gen-trace") => cmd_gen_trace(&args, &obs),
         Some("report") => report::cmd_report(&args),

@@ -1,41 +1,59 @@
-//! Shared `--obs` / `--obs-summary` wiring for every subcommand.
+//! Shared `--obs` / `--obs-summary` / `--trace-out` wiring for every
+//! subcommand.
 //!
 //! `--obs <path.jsonl>` streams structured events to a JSONL file while
 //! the command runs; `--obs-summary` prints the metrics registry
-//! (counters, gauges, histogram quantiles) to stderr afterwards. Both
-//! may be combined; with neither, the returned handle is the no-op one
-//! and the instrumented code paths cost a single branch.
+//! (counters, gauges, histogram quantiles) to stderr afterwards;
+//! `--trace-out <path.json>` attaches the flight recorder and exports a
+//! Chrome `trace_event` JSON (plus `<path>.jsonl`) at the end. All may
+//! be combined; with none, the returned handle is the no-op one and the
+//! instrumented code paths cost a single branch.
 
 use crate::args::Args;
-use carpool_obs::{EventSink, JsonlSink, MemoryRecorder, MetricsSnapshot, NoopSink, Obs};
+use carpool_obs::{
+    flight, EventSink, FlightRecorder, JsonlSink, MemoryRecorder, MetricsSnapshot, NoopSink, Obs,
+    DEFAULT_TRACE_CAPACITY,
+};
 use std::sync::Arc;
 
 /// Observability wiring for one CLI invocation.
 pub struct ObsSession {
     obs: Obs,
     recorder: Option<Arc<MemoryRecorder>>,
+    flight: Option<Arc<FlightRecorder>>,
     summary: bool,
     path: Option<String>,
+    trace_path: Option<String>,
 }
 
 impl ObsSession {
-    /// Builds the session from `--obs` / `--obs-summary`.
+    /// Builds the session from `--obs` / `--obs-summary` / `--trace-out`.
     ///
     /// # Errors
     ///
-    /// Fails when the `--obs` file cannot be created.
+    /// Fails when the `--obs` file cannot be created or a flag is
+    /// missing its path argument.
     pub fn from_args(args: &Args) -> Result<ObsSession, String> {
         let path = args.get("obs").filter(|v| *v != "true").map(str::to_string);
         if args.get("obs") == Some("true") {
             return Err("--obs needs a file path, e.g. --obs run.jsonl".to_string());
         }
+        let trace_path = args
+            .get("trace-out")
+            .filter(|v| *v != "true")
+            .map(str::to_string);
+        if args.get("trace-out") == Some("true") {
+            return Err("--trace-out needs a file path, e.g. --trace-out trace.json".to_string());
+        }
         let summary = args.flag("obs-summary");
-        if path.is_none() && !summary {
+        if path.is_none() && !summary && trace_path.is_none() {
             return Ok(ObsSession {
                 obs: Obs::noop(),
                 recorder: None,
+                flight: None,
                 summary: false,
                 path: None,
+                trace_path: None,
             });
         }
         let recorder = Arc::new(MemoryRecorder::new());
@@ -45,11 +63,20 @@ impl ObsSession {
             ),
             None => Arc::new(NoopSink),
         };
+        let mut obs = Obs::new(recorder.clone(), sink);
+        let mut flight = None;
+        if trace_path.is_some() {
+            let f = Arc::new(FlightRecorder::new(DEFAULT_TRACE_CAPACITY));
+            obs = obs.with_flight(f.clone());
+            flight = Some(f);
+        }
         Ok(ObsSession {
-            obs: Obs::new(recorder.clone(), sink),
+            obs,
             recorder: Some(recorder),
+            flight,
             summary,
             path,
+            trace_path,
         })
     }
 
@@ -58,11 +85,30 @@ impl ObsSession {
         self.obs.clone()
     }
 
-    /// Flushes the JSONL sink and prints the `--obs-summary` tables.
+    /// Flushes the JSONL sink, exports the flight-recorder trace, and
+    /// prints the `--obs-summary` tables.
     pub fn finish(&self) {
         self.obs.flush();
         if let Some(p) = &self.path {
             eprintln!("# obs events written to {p}");
+        }
+        if let (Some(f), Some(p)) = (&self.flight, &self.trace_path) {
+            let records = f.records();
+            let dropped = f.dropped();
+            let chrome = flight::to_chrome_trace(&records);
+            let jsonl = flight::to_jsonl(&records, dropped);
+            let jsonl_path = format!("{p}.jsonl");
+            match std::fs::write(p, chrome) {
+                Ok(()) => eprintln!(
+                    "# flight recorder: {} records ({} dropped) -> {p} (chrome://tracing), {jsonl_path} (jsonl)",
+                    records.len(),
+                    dropped
+                ),
+                Err(e) => eprintln!("# flight recorder: cannot write '{p}': {e}"),
+            }
+            if let Err(e) = std::fs::write(&jsonl_path, jsonl) {
+                eprintln!("# flight recorder: cannot write '{jsonl_path}': {e}");
+            }
         }
         if self.summary {
             if let Some(recorder) = &self.recorder {
@@ -129,6 +175,20 @@ mod tests {
     #[test]
     fn obs_without_path_is_an_error() {
         assert!(ObsSession::from_args(&parse(&["mac-sim", "--obs"])).is_err());
+    }
+
+    #[test]
+    fn trace_out_without_path_is_an_error() {
+        assert!(ObsSession::from_args(&parse(&["trace", "--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn trace_out_attaches_the_flight_recorder() {
+        let s = ObsSession::from_args(&parse(&["trace", "--trace-out", "t.json"])).expect("builds");
+        assert!(s.obs().enabled());
+        assert!(s.obs().tracing());
+        s.obs().trace(carpool_obs::TraceKind::MacEnqueue, 0.0, 1, 2);
+        assert_eq!(s.flight.as_ref().expect("flight").len(), 1);
     }
 
     #[test]

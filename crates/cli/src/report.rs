@@ -8,6 +8,49 @@
 //! forward compatibility matters more than strictness here.
 
 use carpool_obs::{LogHistogram, ParsedEvent};
+use std::collections::BTreeMap;
+
+/// Per-frame lifecycle assembled from flight-recorder `trace_*` events.
+#[derive(Debug, Default, Clone)]
+pub struct FrameTimeline {
+    /// MAC enqueue time (sim seconds).
+    pub enqueue: Option<f64>,
+    /// Aggregation decision time.
+    pub agg: Option<f64>,
+    /// First airtime-start stamp.
+    pub air_start: Option<f64>,
+    /// Last airtime-end stamp.
+    pub air_end: Option<f64>,
+    /// Per-symbol RTE recalibrations applied / rejected.
+    pub rte_applied: u64,
+    pub rte_rejected: u64,
+    /// Side-channel group CRC verdicts.
+    pub side_ok: u64,
+    pub side_fail: u64,
+    /// A-HDR membership decisions observed (one per listening STA).
+    pub ahdr_checks: u64,
+    /// Per-STA outcomes: delivered / early-dropped.
+    pub sta_delivered: u64,
+    pub sta_dropped: u64,
+    /// MAC-level closure.
+    pub acked: u64,
+    pub dropped: u64,
+    pub retx: u64,
+    /// Last applied-RTE timestamp, for cadence tracking.
+    last_rte: Option<f64>,
+    /// Most recent airtime-start (retransmissions restart the clock).
+    last_air_start: Option<f64>,
+}
+
+impl FrameTimeline {
+    /// Airtime of this frame, when both endpoints were traced.
+    pub fn airtime(&self) -> Option<f64> {
+        match (self.air_start, self.air_end) {
+            (Some(s), Some(e)) if e >= s => Some(e - s),
+            _ => None,
+        }
+    }
+}
 
 /// Aggregates accumulated from one event stream.
 #[derive(Debug, Default)]
@@ -47,6 +90,16 @@ pub struct ReportAggregates {
     pub arrival_bytes: u64,
     // Spans, keyed by name.
     pub spans: Vec<(String, SpanAgg)>,
+    // Flight recorder (trace_* kinds from --trace-out JSONL).
+    pub trace_records: u64,
+    /// Ring-overflow accounting from the `trace_summary` trailer.
+    pub trace_dropped: u64,
+    pub frames: BTreeMap<u64, FrameTimeline>,
+    pub trace_airtime: LogHistogram,
+    pub trace_delivery_delay: LogHistogram,
+    /// Gap between consecutive applied RTE recalibrations within one
+    /// frame — the recalibration cadence.
+    pub trace_rte_gap: LogHistogram,
 }
 
 /// Wall-clock span aggregate (microseconds).
@@ -137,7 +190,77 @@ impl ReportAggregates {
                     agg.max_us = agg.max_us.max(us);
                 }
             }
+            kind if kind.starts_with("trace_") => self.ingest_trace(kind, e),
             _ => self.unknown_kinds += 1,
+        }
+    }
+
+    /// Folds one flight-recorder record into the per-frame timelines.
+    fn ingest_trace(&mut self, kind: &str, e: &ParsedEvent) {
+        if kind == "trace_summary" {
+            self.trace_dropped += e.u64_field("dropped").unwrap_or(0);
+            return;
+        }
+        self.trace_records += 1;
+        let frame = e.u64_field("frame").unwrap_or(0);
+        let tl = self.frames.entry(frame).or_default();
+        match kind {
+            "trace_enqueue" => tl.enqueue = tl.enqueue.or(Some(e.t)),
+            "trace_agg" => tl.agg = tl.agg.or(Some(e.t)),
+            "trace_airtime_start" => {
+                tl.air_start = tl.air_start.or(Some(e.t));
+                tl.last_air_start = Some(e.t);
+            }
+            "trace_airtime_end" => tl.air_end = Some(e.t),
+            "trace_rte" => {
+                if e.u64_field("b") == Some(1) {
+                    tl.rte_applied += 1;
+                    if let Some(prev) = tl.last_rte {
+                        self.trace_rte_gap.record(e.t - prev);
+                    }
+                    tl.last_rte = Some(e.t);
+                } else {
+                    tl.rte_rejected += 1;
+                }
+            }
+            "trace_side_crc" => {
+                if e.u64_field("b") == Some(1) {
+                    tl.side_ok += 1;
+                } else {
+                    tl.side_fail += 1;
+                }
+            }
+            "trace_ahdr" => tl.ahdr_checks += 1,
+            "trace_outcome" => {
+                // b bit 0 = delivered flag, upper bits = payload bytes.
+                if e.u64_field("b").unwrap_or(0) & 1 == 1 {
+                    tl.sta_delivered += 1;
+                } else {
+                    tl.sta_dropped += 1;
+                }
+            }
+            "trace_ack" => {
+                tl.acked += 1;
+                // b carries the enqueue→ACK delay as f64 bits.
+                if let Some(bits) = e.u64_field("b") {
+                    let delay = f64::from_bits(bits);
+                    if delay.is_finite() && delay >= 0.0 {
+                        self.trace_delivery_delay.record(delay);
+                    }
+                }
+            }
+            "trace_drop" => tl.dropped += 1,
+            "trace_retx" => tl.retx += 1,
+            _ => self.unknown_kinds += 1,
+        }
+        // Each end event closes the most recent start, so a frame that
+        // retransmits contributes one airtime sample per time on air.
+        if kind == "trace_airtime_end" {
+            if let Some(s) = tl.last_air_start.take() {
+                if e.t >= s {
+                    self.trace_airtime.record(e.t - s);
+                }
+            }
         }
     }
 
@@ -242,10 +365,13 @@ impl ReportAggregates {
             }
             out.push('\n');
             if self.delay.count() > 0 {
+                let q = self.delay.quantiles();
                 out.push_str(&format!(
-                    "  delivery delay     : p50 {:.4} s, p95 {:.4} s, max {:.4} s\n",
-                    self.delay.quantile(0.5),
-                    self.delay.quantile(0.95),
+                    "  delivery delay     : p50 {:.4} s, p95 {:.4} s, p99 {:.4} s, p999 {:.4} s, max {:.4} s\n",
+                    q.p50,
+                    q.p95,
+                    q.p99,
+                    q.p999,
                     self.delay.max()
                 ));
             }
@@ -278,6 +404,79 @@ impl ReportAggregates {
                 "  arrivals           : {} frames, {} B\n",
                 self.arrivals, self.arrival_bytes
             ));
+        }
+
+        if self.trace_records > 0 || self.trace_dropped > 0 {
+            out.push_str("\nFLIGHT RECORDER\n");
+            out.push_str(&format!(
+                "  records            : {} across {} frames ({} lost to ring overflow)\n",
+                self.trace_records,
+                self.frames.len(),
+                self.trace_dropped
+            ));
+            let quant_line = |name: &str, h: &LogHistogram, scale: f64, unit: &str| {
+                let q = h.quantiles();
+                format!(
+                    "  {name:<19}: p50 {:.1} {unit}, p95 {:.1} {unit}, p99 {:.1} {unit}, p999 {:.1} {unit} ({} samples)\n",
+                    q.p50 * scale,
+                    q.p95 * scale,
+                    q.p99 * scale,
+                    q.p999 * scale,
+                    h.count()
+                )
+            };
+            if self.trace_airtime.count() > 0 {
+                out.push_str(&quant_line("airtime", &self.trace_airtime, 1e6, "us"));
+            }
+            if self.trace_delivery_delay.count() > 0 {
+                out.push_str(&quant_line(
+                    "delivery delay",
+                    &self.trace_delivery_delay,
+                    1e3,
+                    "ms",
+                ));
+            }
+            if self.trace_rte_gap.count() > 0 {
+                out.push_str(&quant_line("RTE cadence", &self.trace_rte_gap, 1e6, "us"));
+            }
+            // Per-frame timelines, capped to keep huge traces readable.
+            const MAX_TIMELINES: usize = 8;
+            for (id, tl) in self.frames.iter().take(MAX_TIMELINES) {
+                let stamp =
+                    |t: Option<f64>| t.map_or("-".to_string(), |t| format!("{:.1}us", t * 1e6));
+                let air = tl
+                    .airtime()
+                    .map_or(String::new(), |a| format!(" ({:.1}us)", a * 1e6));
+                out.push_str(&format!(
+                    "  frame {id:<6} enq {} | agg {} | air {}..{}{air} | rte {}+/{}- | crc {}+/{}- | ahdr {} | sta {}ok/{}drop | {}\n",
+                    stamp(tl.enqueue),
+                    stamp(tl.agg),
+                    stamp(tl.air_start),
+                    stamp(tl.air_end),
+                    tl.rte_applied,
+                    tl.rte_rejected,
+                    tl.side_ok,
+                    tl.side_fail,
+                    tl.ahdr_checks,
+                    tl.sta_delivered,
+                    tl.sta_dropped,
+                    if tl.dropped > 0 {
+                        "DROPPED".to_string()
+                    } else if tl.acked > 0 {
+                        format!("acked x{}", tl.acked)
+                    } else if tl.retx > 0 {
+                        format!("retx x{}", tl.retx)
+                    } else {
+                        "open".to_string()
+                    }
+                ));
+            }
+            if self.frames.len() > MAX_TIMELINES {
+                out.push_str(&format!(
+                    "  ... {} more frames (full detail in the .jsonl / chrome trace)\n",
+                    self.frames.len() - MAX_TIMELINES
+                ));
+            }
         }
 
         if !self.spans.is_empty() {
@@ -444,5 +643,53 @@ mod tests {
     fn empty_stream_reports_zero_events() {
         let agg = ReportAggregates::from_jsonl("\n\n");
         assert_eq!(agg.events, 0);
+    }
+
+    #[test]
+    fn flight_trace_stream_builds_frame_timelines() {
+        use carpool_obs::{flight, TraceKind, TraceRecord};
+
+        let delay = 0.0015f64;
+        let records = vec![
+            TraceRecord::new(TraceKind::MacEnqueue, 1, 0.0, 7, 1500),
+            TraceRecord::new(TraceKind::AggDecision, 1, 100e-6, 7, 0),
+            TraceRecord::new(TraceKind::AirtimeStart, 1, 100e-6, 7, 500),
+            TraceRecord::new(TraceKind::RteRecal, 1, 140e-6, 10, 1),
+            TraceRecord::new(TraceKind::RteRecal, 1, 180e-6, 20, 1),
+            TraceRecord::new(TraceKind::RteRecal, 1, 220e-6, 30, 0),
+            TraceRecord::new(TraceKind::SideCrc, 1, 180e-6, 0, 1),
+            TraceRecord::new(TraceKind::AhdrDecision, 1, 110e-6, 7, 1),
+            TraceRecord::new(TraceKind::StaOutcome, 1, 300e-6, 7, (1500 << 1) | 1),
+            TraceRecord::new(TraceKind::AirtimeEnd, 1, 500e-6, 7, 500),
+            TraceRecord::new(TraceKind::MacAck, 1, 520e-6, 7, delay.to_bits()),
+            TraceRecord::new(TraceKind::StaOutcome, 2, 10e-6, 9, 0),
+        ];
+        let text = flight::to_jsonl(&records, 3);
+        let agg = ReportAggregates::from_jsonl(&text);
+        assert_eq!(agg.malformed, 0);
+        assert_eq!(agg.unknown_kinds, 0);
+        assert_eq!(agg.trace_records, 12);
+        assert_eq!(agg.trace_dropped, 3);
+        assert_eq!(agg.frames.len(), 2);
+
+        let tl = &agg.frames[&1];
+        assert_eq!(tl.enqueue, Some(0.0));
+        assert!(tl.airtime().is_some_and(|a| (a - 400e-6).abs() < 1e-12));
+        assert_eq!((tl.rte_applied, tl.rte_rejected), (2, 1));
+        assert_eq!((tl.side_ok, tl.side_fail), (1, 0));
+        assert_eq!(tl.sta_delivered, 1);
+        assert_eq!(tl.acked, 1);
+        assert_eq!(agg.frames[&2].sta_dropped, 1);
+
+        // The RTE cadence histogram saw the 40 us inter-recal gap.
+        assert_eq!(agg.trace_rte_gap.count(), 1);
+        assert!((agg.trace_delivery_delay.max() - delay).abs() < 1e-12);
+
+        let report = agg.render();
+        assert!(report.contains("FLIGHT RECORDER"));
+        assert!(report.contains("ring overflow"));
+        assert!(report.contains("RTE cadence"));
+        assert!(report.contains("frame 1"));
+        assert!(report.contains("DROPPED") || report.contains("sta 0ok/1drop"));
     }
 }

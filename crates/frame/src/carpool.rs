@@ -20,7 +20,7 @@ use crate::FrameError;
 use carpool_bloom::{AggregationHeader, BLOOM_BITS, DEFAULT_HASHES, MAX_RECEIVERS};
 use carpool_phy::bits::{bits_to_bytes, bytes_to_bits};
 use carpool_phy::math::Complex64;
-use carpool_phy::mcs::Mcs;
+use carpool_phy::mcs::{Mcs, SYMBOL_DURATION};
 use carpool_phy::rx::{Estimation, FrameDecoder, SectionLayout};
 use carpool_phy::tx::{transmit, SectionSpec, SideChannelConfig, TxFrame};
 
@@ -288,12 +288,34 @@ pub fn receive_carpool_obs(
                 expected: None,
             },
         );
+        // Trace payload: low 48 bits = union of the Bloom positions the
+        // station's matched hash sets probed, bits 48..56 = matched
+        // subframe bitmap. Captures *which* filter bits drove the
+        // membership decision, not just the verdict.
+        let probe_union = matched_indices
+            .iter()
+            .fold(0u64, |m, &i| m | header.probe_mask(station.as_bytes(), i));
+        let bitmap = matched_indices.iter().fold(0u64, |m, &i| m | (1 << i));
+        obs.trace(
+            carpool_obs::TraceKind::AhdrDecision,
+            decoder.position() as f64 * SYMBOL_DURATION,
+            station_id(station),
+            (bitmap << BLOOM_BITS) | probe_union,
+        );
     }
 
     // If nothing matches, the station drops the frame now.
     let Some(&last_matched) = matched_indices.last() else {
         let skipped = decoder.remaining_symbols();
         obs.counter("frame.symbols_skipped", skipped as u64);
+        // Outcome payload b: bit 0 = delivered flag, upper bits = bytes.
+        // An early A-HDR drop is b = 0.
+        obs.trace(
+            carpool_obs::TraceKind::StaOutcome,
+            decoder.position() as f64 * SYMBOL_DURATION,
+            station_id(station),
+            0,
+        );
         return Ok(CarpoolReception {
             matched_indices,
             subframes: Vec::new(),
@@ -340,6 +362,14 @@ pub fn receive_carpool_obs(
                         station: station_id(station),
                         bytes: bytes.len() as u64,
                     },
+                );
+                // Outcome payload b mirrors the early-drop site: bit 0 =
+                // delivered, upper bits = payload length in bytes.
+                obs.trace(
+                    carpool_obs::TraceKind::StaOutcome,
+                    decoder.position() as f64 * SYMBOL_DURATION,
+                    station_id(station),
+                    ((bytes.len() as u64) << 1) | 1,
                 );
             }
             Some(bytes)

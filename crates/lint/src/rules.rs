@@ -272,12 +272,15 @@ pub fn classify(package: &str) -> CrateClass {
             ..lib_sim
         },
         "carpool" | "carpool-repro" => lib_sim,
-        // obs owns the process clock (profiling spans) and file sinks;
-        // its outputs carry wall-clock stamps, so byte-identity is out
-        // of scope there.
+        // obs owns the process clock (profiling spans) and file sinks,
+        // so L005 is out of scope there — but the flight-recorder trace
+        // exports are diffed byte-for-byte across thread counts (L008)
+        // and the ring's overflow counter is lock-free (L009), so both
+        // audits apply.
         "carpool-obs" => CrateClass {
             deterministic: false,
-            ordered_iteration: false,
+            ordered_iteration: true,
+            atomics_audited: true,
             ..lib_sim
         },
         // Bench is a tool crate, but its figure outputs are diffed

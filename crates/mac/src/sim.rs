@@ -23,7 +23,7 @@ use carpool_frame::airtime::{
     PLCP_OVERHEAD, SIFS, SLOT_TIME,
 };
 use carpool_frame::mac_frame::{FCS_BYTES, MAC_HEADER_BYTES};
-use carpool_obs::{Event, Obs};
+use carpool_obs::{Event, Obs, TraceKind};
 use carpool_phy::mcs::{Mcs, SYMBOL_DURATION};
 use carpool_traffic::background::{BackgroundSource, Transport};
 use carpool_traffic::voip::VoipSource;
@@ -212,10 +212,26 @@ struct ArrivalEvent {
 
 #[derive(Debug, Clone, Copy)]
 struct PendingFrame {
+    /// Flight-recorder correlation id, assigned in arrival order at
+    /// ingest — deterministic for a given seed, unique per frame.
+    id: u64,
     bytes: usize,
     enqueue: f64,
     attempts: u32,
     dest: usize,
+}
+
+/// Trace-payload widening for station indices, byte counts, and symbol
+/// counts.
+fn trace_u64(v: usize) -> u64 {
+    // lint:allow(as-cast): station/byte/symbol counts are far below 2^64
+    v as u64
+}
+
+/// Time span of `symbols` OFDM symbols, for flight-recorder stamps.
+fn symbol_span(symbols: usize) -> f64 {
+    // lint:allow(as-cast): symbol counts are far below 2^52, conversion exact
+    symbols as f64 * SYMBOL_DURATION
 }
 
 #[derive(Debug)]
@@ -588,6 +604,7 @@ impl Simulator {
 
         let mut now = 0.0f64;
         let mut arr_idx = 0usize;
+        let mut next_frame_id = 0u64;
         let scheme = cfg.protocol.estimation();
 
         loop {
@@ -596,12 +613,21 @@ impl Simulator {
                 let a = arrivals[arr_idx];
                 let node = &mut nodes[a.node];
                 let was_empty = node.queue.is_empty();
+                next_frame_id += 1;
                 node.queue.push_back(PendingFrame {
+                    id: next_frame_id,
                     bytes: a.bytes,
                     enqueue: a.time,
                     attempts: 0,
                     dest: a.dest,
                 });
+                obs.trace_frame(
+                    TraceKind::MacEnqueue,
+                    next_frame_id,
+                    now,
+                    trace_u64(a.dest),
+                    trace_u64(a.bytes),
+                );
                 if was_empty {
                     node.draw_backoff(&mut rng);
                 }
@@ -651,6 +677,13 @@ impl Simulator {
                                 dest: f.dest as u64,
                                 delay: now - f.enqueue,
                             },
+                        );
+                        obs.trace_frame(
+                            TraceKind::MacDrop,
+                            f.id,
+                            now,
+                            trace_u64(f.dest),
+                            (now - f.enqueue).to_bits(),
                         );
                     }
                 }
@@ -773,6 +806,13 @@ impl Simulator {
                                     delay: now - f.enqueue,
                                 },
                             );
+                            obs.trace_frame(
+                                TraceKind::MacDrop,
+                                f.id,
+                                now,
+                                trace_u64(f.dest),
+                                (now - f.enqueue).to_bits(),
+                            );
                         }
                     }
                     nodes[k].on_collision(&mut rng);
@@ -841,6 +881,13 @@ impl Simulator {
                                         dest: f.dest as u64,
                                         delay: now - f.enqueue,
                                     },
+                                );
+                                obs.trace_frame(
+                                    TraceKind::MacDrop,
+                                    f.id,
+                                    now,
+                                    trace_u64(f.dest),
+                                    (now - f.enqueue).to_bits(),
                                 );
                             }
                         }
@@ -914,6 +961,33 @@ impl Simulator {
                         .error_model
                         .subframe_success_prob_for(link_sta, scheme, *group_mcs, start_sym, n_sym);
                     outcomes.push((k, !hidden_loss && rng.gen::<f64>() < p));
+                    if obs.tracing() {
+                        // Membership in this TXOP's aggregate, and the
+                        // frame's symbol window on air (the data PPDU
+                        // starts at `now - busy`).
+                        let t_tx = now - busy;
+                        obs.trace_frame(
+                            TraceKind::AggDecision,
+                            frame.id,
+                            t_tx,
+                            trace_u64(*dest),
+                            trace_u64(start_sym),
+                        );
+                        obs.trace_frame(
+                            TraceKind::AirtimeStart,
+                            frame.id,
+                            t_tx + symbol_span(start_sym),
+                            trace_u64(*dest),
+                            trace_u64(n_sym),
+                        );
+                        obs.trace_frame(
+                            TraceKind::AirtimeEnd,
+                            frame.id,
+                            t_tx + symbol_span(start_sym + n_sym),
+                            trace_u64(*dest),
+                            trace_u64(n_sym),
+                        );
+                    }
                     start_sym += n_sym;
                     if nodes[winner].is_ap {
                         if let Some(slot) = occupancy.get_mut(dest.saturating_sub(cfg.num_aps)) {
@@ -991,6 +1065,14 @@ impl Simulator {
                             delay: now - frame.enqueue,
                         },
                     );
+                    // b = enqueue→ACK delay as f64 bits.
+                    obs.trace_frame(
+                        TraceKind::MacAck,
+                        frame.id,
+                        now,
+                        trace_u64(frame.dest),
+                        (now - frame.enqueue).to_bits(),
+                    );
                     if node.is_ap {
                         if let Some(sta) =
                             per_sta_downlink.get_mut(frame.dest.saturating_sub(cfg.num_aps))
@@ -1006,6 +1088,13 @@ impl Simulator {
                             dest: frame.dest as u64,
                         },
                     );
+                    obs.trace_frame(
+                        TraceKind::MacRetx,
+                        frame.id,
+                        now,
+                        trace_u64(frame.dest),
+                        u64::from(frame.attempts) + 1,
+                    );
                     frame.attempts += 1;
                     if frame.attempts > cfg.retry_limit {
                         metrics.record_drop(now - frame.enqueue);
@@ -1015,6 +1104,13 @@ impl Simulator {
                                 dest: frame.dest as u64,
                                 delay: now - frame.enqueue,
                             },
+                        );
+                        obs.trace_frame(
+                            TraceKind::MacDrop,
+                            frame.id,
+                            now,
+                            trace_u64(frame.dest),
+                            (now - frame.enqueue).to_bits(),
                         );
                     } else {
                         requeue.push(frame);

@@ -70,14 +70,25 @@ impl LogHistogram {
     /// Record one sample. Negative and NaN samples are clamped to zero —
     /// the histogram models non-negative durations.
     pub fn record(&mut self, value: f64) {
+        self.record_many(value, 1);
+    }
+
+    /// Record `n` identical samples in one bucket update. Counts
+    /// saturate rather than wrap, so a merge of pathological inputs can
+    /// never overflow quantile accounting.
+    pub fn record_many(&mut self, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let value = if value.is_finite() && value > 0.0 {
             value
         } else {
             0.0
         };
-        self.buckets[Self::bucket_index(value)] += 1;
-        self.count += 1;
-        self.sum += value;
+        let idx = Self::bucket_index(value);
+        self.buckets[idx] = self.buckets[idx].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum += value * n as f64;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -127,7 +138,7 @@ impl LogHistogram {
         let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (idx, &n) in self.buckets.iter().enumerate() {
-            seen += n;
+            seen = seen.saturating_add(n);
             if seen >= target {
                 // The exact max is a tighter bound than the last bucket edge.
                 return Self::bucket_upper_bound(idx).min(self.max);
@@ -136,15 +147,52 @@ impl LogHistogram {
         self.max
     }
 
-    /// Merge another histogram into this one.
+    /// The fixed report quantiles in one bucket pass: p50, p95, p99,
+    /// and p999 (with exact min/max bounds applied, like
+    /// [`LogHistogram::quantile`]).
+    pub fn quantiles(&self) -> Quantiles {
+        let mut out = [0.0f64; 4];
+        if self.count == 0 {
+            return Quantiles::from_array(out);
+        }
+        let targets = Quantiles::FRACTIONS.map(|q| {
+            ((q * self.count as f64).ceil() as u64)
+                .max(1)
+                .min(self.count)
+        });
+        let mut seen = 0u64;
+        let mut next = 0usize;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            while next < targets.len() && seen >= targets[next] {
+                out[next] = Self::bucket_upper_bound(idx).min(self.max);
+                next += 1;
+            }
+            if next == targets.len() {
+                break;
+            }
+        }
+        for slot in out.iter_mut().skip(next) {
+            *slot = self.max;
+        }
+        Quantiles::from_array(out)
+    }
+
+    /// Merge another histogram into this one. Bucket and sample counts
+    /// saturate rather than wrap.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Number of buckets in the fixed layout.
+    pub fn num_buckets() -> usize {
+        NUM_BUCKETS
     }
 
     /// Non-empty buckets as `(upper_bound, count)` pairs.
@@ -155,6 +203,34 @@ impl LogHistogram {
             .filter(|(_, &n)| n > 0)
             .map(|(i, &n)| (Self::bucket_upper_bound(i), n))
             .collect()
+    }
+}
+
+/// The report-grade quantile set of a [`LogHistogram`], computed in a
+/// single pass by [`LogHistogram::quantiles`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Quantiles {
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+impl Quantiles {
+    /// The quantile fractions, in ascending order.
+    pub const FRACTIONS: [f64; 4] = [0.50, 0.95, 0.99, 0.999];
+
+    fn from_array(values: [f64; 4]) -> Quantiles {
+        Quantiles {
+            p50: values[0],
+            p95: values[1],
+            p99: values[2],
+            p999: values[3],
+        }
     }
 }
 
@@ -245,6 +321,122 @@ mod tests {
         assert_eq!(a.max(), all.max());
         assert!((a.sum() - all.sum()).abs() < 1e-9);
         assert_eq!(a.quantile(0.5), all.quantile(0.5));
+    }
+
+    #[test]
+    fn quantiles_struct_matches_individual_queries() {
+        let mut h = LogHistogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64 * 1e-4);
+        }
+        let q = h.quantiles();
+        assert_eq!(q.p50, h.quantile(0.50));
+        assert_eq!(q.p95, h.quantile(0.95));
+        assert_eq!(q.p99, h.quantile(0.99));
+        assert_eq!(q.p999, h.quantile(0.999));
+        assert!(q.p50 <= q.p95 && q.p95 <= q.p99 && q.p99 <= q.p999);
+        assert!((0.5..=0.5 * 1.16).contains(&q.p50), "p50 = {}", q.p50);
+        assert!((0.999..=1.0).contains(&q.p999), "p999 = {}", q.p999);
+    }
+
+    #[test]
+    fn p0_and_p100_hit_first_and_last_samples() {
+        let mut h = LogHistogram::new();
+        h.record(2e-3);
+        h.record(0.5);
+        h.record(40.0);
+        // q = 0 targets the first sample's bucket; the bucket upper
+        // bound brackets it within one bucket's relative width.
+        let p0 = h.quantile(0.0);
+        assert!((2e-3..=2e-3 * 1.16).contains(&p0), "p0 = {p0}");
+        // q = 1 is exact: the upper bound is capped by the exact max.
+        assert_eq!(h.quantile(1.0), 40.0);
+        // Out-of-range inputs clamp rather than panic.
+        assert_eq!(h.quantile(-3.0), p0);
+        assert_eq!(h.quantile(7.0), 40.0);
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile_exactly() {
+        let mut h = LogHistogram::new();
+        h.record(0.0123);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            // min(exact max) makes a one-sample histogram exact at any q.
+            assert_eq!(h.quantile(q), 0.0123, "q = {q}");
+        }
+        let qs = h.quantiles();
+        assert_eq!(
+            (qs.p50, qs.p95, qs.p99, qs.p999),
+            (0.0123, 0.0123, 0.0123, 0.0123)
+        );
+    }
+
+    #[test]
+    fn bucket_boundary_values_stay_in_their_bucket() {
+        // A value recorded exactly at a bucket's upper bound must be
+        // reported at (not above) that bound.
+        for idx in [0, 1, 16, 80, LogHistogram::num_buckets() - 1] {
+            let bound = LogHistogram::bucket_upper_bound(idx);
+            let mut h = LogHistogram::new();
+            h.record(bound);
+            let p100 = h.quantile(1.0);
+            assert_eq!(p100, bound.min(h.max()), "bucket {idx}");
+            assert!(
+                h.quantile(0.5) <= bound * (1.0 + 1e-12),
+                "bucket {idx}: median {} above bound {bound}",
+                h.quantile(0.5)
+            );
+        }
+    }
+
+    #[test]
+    fn underflow_lands_in_bucket_zero() {
+        let mut h = LogHistogram::new();
+        h.record(1e-9); // below MIN_VALUE
+        h.record(MIN_VALUE);
+        assert_eq!(h.count(), 2);
+        // Both samples share bucket 0; every quantile is its bound,
+        // tightened to the exact max.
+        assert_eq!(h.quantile(0.5), MIN_VALUE);
+        assert_eq!(h.quantile(1.0), MIN_VALUE);
+        assert_eq!(h.min(), 1e-9);
+    }
+
+    #[test]
+    fn overflow_is_capped_by_exact_max() {
+        let mut h = LogHistogram::new();
+        h.record(5e9); // beyond the covered decades
+        let last_bound = LogHistogram::bucket_upper_bound(usize::MAX);
+        assert!(h.max() > last_bound);
+        assert_eq!(h.quantile(0.999), last_bound);
+        assert_eq!(h.quantiles().p999, last_bound);
+    }
+
+    #[test]
+    fn saturating_counts_never_wrap() {
+        let mut h = LogHistogram::new();
+        h.record_many(1e-3, u64::MAX);
+        h.record_many(2.0, 5);
+        // count saturates instead of wrapping past zero.
+        assert_eq!(h.count(), u64::MAX);
+        // Quantile accounting stays finite and ordered under saturation.
+        let q = h.quantiles();
+        assert!(q.p50 >= 1e-3 && q.p50 <= 2.0);
+        assert!(q.p999 <= 2.0);
+        // Merging a saturated histogram is also safe.
+        let mut other = LogHistogram::new();
+        other.record_many(1e-3, u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.max(), 2.0);
+    }
+
+    #[test]
+    fn record_many_zero_is_a_no_op() {
+        let mut h = LogHistogram::new();
+        h.record_many(1.0, 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
     }
 
     #[test]

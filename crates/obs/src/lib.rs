@@ -18,7 +18,11 @@
 //! [`Obs::enabled`], which keeps the disabled-path cost to one branch.
 
 mod event;
+/// Flight recorder: packed binary trace records of whole frame
+/// lifecycles, with Chrome-trace and JSONL exporters.
+pub mod flight;
 mod histogram;
+/// Minimal JSON writer/parser shared by the sinks and bench snapshots.
 pub mod json;
 /// Canonical metric and span names shared by the instrumented crates.
 pub mod names;
@@ -27,7 +31,8 @@ mod sink;
 mod span;
 
 pub use event::{Event, Layer, ParsedEvent, Stamped};
-pub use histogram::LogHistogram;
+pub use flight::{FlightRecorder, TraceKind, TraceRecord, DEFAULT_TRACE_CAPACITY};
+pub use histogram::{LogHistogram, Quantiles};
 pub use recorder::{MemoryRecorder, MetricsSnapshot, NoopRecorder, Recorder};
 pub use sink::{EventSink, JsonlSink, NoopSink, RingBufferSink};
 pub use span::{SpanStats, SpanTimer};
@@ -35,20 +40,32 @@ pub use span::{SpanStats, SpanTimer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Shared observability handle: one recorder, one event sink, and a
-/// sequence counter. Clones share all three.
+/// Shared observability handle: one recorder, one event sink, an
+/// optional flight recorder, and a sequence counter. Clones share all
+/// of them; the frame-context and time-base fields are per-clone so a
+/// layer can stamp its records for one frame without touching siblings.
 #[derive(Clone)]
 pub struct Obs {
     recorder: Arc<dyn Recorder + Send + Sync>,
     sink: Arc<dyn EventSink + Send + Sync>,
+    flight: Option<Arc<FlightRecorder>>,
     seq: Arc<AtomicU64>,
     enabled: bool,
+    /// Frame id stamped on [`Obs::trace`] records from this clone.
+    frame_ctx: u64,
+    /// Sim-time offset added to [`Obs::trace`] stamps from this clone,
+    /// so layers clocked in frame-relative time (e.g. PHY symbol
+    /// positions) land on the MAC's absolute timeline.
+    t0: f64,
 }
 
 impl std::fmt::Debug for Obs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Obs")
             .field("enabled", &self.enabled)
+            .field("tracing", &self.flight.is_some())
+            // ordering: counter read for debug display only; no
+            // synchronization intended.
             .field("seq", &self.seq.load(Ordering::Relaxed))
             .finish()
     }
@@ -67,8 +84,11 @@ impl Obs {
         Obs {
             recorder: Arc::new(NoopRecorder),
             sink: Arc::new(NoopSink),
+            flight: None,
             seq: Arc::new(AtomicU64::new(0)),
             enabled: false,
+            frame_ctx: 0,
+            t0: 0.0,
         }
     }
 
@@ -81,8 +101,11 @@ impl Obs {
         Obs {
             recorder,
             sink,
+            flight: None,
             seq: Arc::new(AtomicU64::new(0)),
             enabled,
+            frame_ctx: 0,
+            t0: 0.0,
         }
     }
 
@@ -96,11 +119,79 @@ impl Obs {
         Obs::new(Arc::new(NoopRecorder), sink)
     }
 
+    /// Attaches a [`FlightRecorder`] (consuming builder). The handle
+    /// becomes enabled so instrumented sites inside `enabled()` guards
+    /// also reach their `trace` calls.
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Obs {
+        self.flight = Some(flight);
+        self.enabled = true;
+        self
+    }
+
     /// Whether any backend is live. Gate non-trivial instrumentation on
     /// this — when false, every other method is a no-op.
     #[inline]
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether a flight recorder is attached. The disabled path is this
+    /// single branch; [`Obs::trace`] re-checks it internally, so callers
+    /// only need this to skip argument computation.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// The attached flight recorder, for export and shard merging.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
+    /// A clone whose [`Obs::trace`] records are stamped with `frame`.
+    /// Cheap (three `Arc` bumps); hand it to layers that cannot thread a
+    /// frame id through their own APIs.
+    pub fn for_frame(&self, frame: u64) -> Obs {
+        let mut clone = self.clone();
+        clone.frame_ctx = frame;
+        clone
+    }
+
+    /// The frame id stamped on this clone's trace records.
+    pub fn frame_ctx(&self) -> u64 {
+        self.frame_ctx
+    }
+
+    /// A clone whose [`Obs::trace`] stamps are offset by `t0` seconds,
+    /// anchoring frame-relative clocks (PHY symbol time) to the
+    /// absolute sim timeline.
+    pub fn with_time_base(&self, t0: f64) -> Obs {
+        let mut clone = self.clone();
+        clone.t0 = t0;
+        clone
+    }
+
+    /// The sim-time offset applied to this clone's trace stamps.
+    pub fn time_base(&self) -> f64 {
+        self.t0
+    }
+
+    /// Records a flight-recorder trace for this clone's frame context at
+    /// sim time `t0 + t`. One branch when no recorder is attached.
+    #[inline]
+    pub fn trace(&self, kind: TraceKind, t: f64, a: u64, b: u64) {
+        if let Some(flight) = &self.flight {
+            flight.record(TraceRecord::new(kind, self.frame_ctx, self.t0 + t, a, b));
+        }
+    }
+
+    /// [`Obs::trace`] with an explicit frame id — for emitters like the
+    /// MAC simulator that track many frames through one handle.
+    #[inline]
+    pub fn trace_frame(&self, kind: TraceKind, frame: u64, t: f64, a: u64, b: u64) {
+        if let Some(flight) = &self.flight {
+            flight.record(TraceRecord::new(kind, frame, self.t0 + t, a, b));
+        }
     }
 
     /// Add `delta` to a monotonic counter.
@@ -144,6 +235,8 @@ impl Obs {
         if !self.enabled {
             return;
         }
+        // ordering: sequence counter; only monotonic uniqueness is
+        // needed, ordering relative to other memory is irrelevant.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         self.sink.emit(&Stamped { t, seq, event });
     }
@@ -281,6 +374,35 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn trace_is_inert_without_flight_recorder() {
+        let obs = Obs::noop();
+        assert!(!obs.tracing());
+        obs.trace(TraceKind::MacEnqueue, 0.0, 1, 2);
+        obs.trace_frame(TraceKind::MacAck, 9, 0.0, 1, 2);
+        assert!(obs.flight().is_none());
+    }
+
+    #[test]
+    fn flight_handle_stamps_frame_ctx_and_time_base() {
+        let flight = Arc::new(FlightRecorder::new(8));
+        let obs = Obs::noop().with_flight(flight.clone());
+        assert!(obs.enabled() && obs.tracing());
+        let framed = obs.for_frame(42).with_time_base(1.0);
+        framed.trace(TraceKind::RteRecal, 0.25, 3, 1);
+        framed.trace_frame(TraceKind::MacAck, 77, 0.5, 0, 0);
+        let recs = flight.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].frame(), 42);
+        assert_eq!(recs[0].t(), 1.25);
+        assert_eq!(recs[0].kind(), Some(TraceKind::RteRecal));
+        assert_eq!(recs[1].frame(), 77);
+        assert_eq!(recs[1].t(), 1.5);
+        // The base handle is untouched by the per-clone context.
+        assert_eq!(obs.frame_ctx(), 0);
+        assert_eq!(obs.time_base(), 0.0);
     }
 
     #[test]

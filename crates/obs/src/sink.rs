@@ -8,6 +8,7 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::event::Stamped;
@@ -89,11 +90,14 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
     }
 }
 
-/// Keeps the most recent `capacity` events in memory.
+/// Keeps the most recent `capacity` events in memory. Overflow is
+/// accounted, not silent: every overwritten event ticks a monotonic
+/// dropped counter readable via [`RingBufferSink::dropped`].
 #[derive(Debug)]
 pub struct RingBufferSink {
     capacity: usize,
     events: Mutex<VecDeque<Stamped>>,
+    dropped: AtomicU64,
 }
 
 impl RingBufferSink {
@@ -101,7 +105,15 @@ impl RingBufferSink {
         RingBufferSink {
             capacity: capacity.max(1),
             events: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
         }
+    }
+
+    /// Total events lost to ring overwrites since construction.
+    pub fn dropped(&self) -> u64 {
+        // ordering: counter read for reporting; the events themselves
+        // are guarded by the mutex, so no extra ordering is needed.
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Snapshot of retained events, oldest first.
@@ -134,6 +146,9 @@ impl EventSink for RingBufferSink {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if events.len() == self.capacity {
             events.pop_front();
+            // ordering: monotonic overwrite counter; eventual total
+            // only, no synchronization with the event queue.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         events.push_back(stamped.clone());
     }
@@ -181,6 +196,19 @@ mod tests {
             events.iter().map(|e| e.seq).collect::<Vec<_>>(),
             vec![7, 8, 9]
         );
+    }
+
+    #[test]
+    fn ring_buffer_accounts_overwrites() {
+        let sink = RingBufferSink::new(3);
+        assert_eq!(sink.dropped(), 0);
+        for seq in 0..10 {
+            sink.emit(&stamped(seq));
+        }
+        // 10 emitted, 3 retained: 7 overwrites, monotonically counted.
+        assert_eq!(sink.dropped(), 7);
+        sink.emit(&stamped(10));
+        assert_eq!(sink.dropped(), 8);
     }
 
     #[test]

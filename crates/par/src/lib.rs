@@ -22,6 +22,12 @@
 //! this crate is a pure function of `(items, f)` — the thread count only
 //! changes wall-clock time.
 //!
+//! Observability rides the same contract: workers that record events or
+//! flight-recorder trace records do so into *private* per-item shards,
+//! which the caller merges serially in item order afterwards (see
+//! `CarpoolLink::deliver_all` and `FlightRecorder::absorb`). That keeps
+//! every trace export byte-identical at any thread count.
+//!
 //! # Thread count
 //!
 //! [`thread_count`] resolves, in order: a process-wide programmatic

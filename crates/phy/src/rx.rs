@@ -20,7 +20,7 @@ use crate::convolutional::{coded_len, decode_soft_quantized_with, decode_with, V
 use crate::equalizer::{compensate_phase, estimate_noise_from_ltf, track_phase, ChannelEstimate};
 use crate::interleaver::Interleaver;
 use crate::math::Complex64;
-use crate::mcs::Mcs;
+use crate::mcs::{Mcs, SYMBOL_DURATION};
 use crate::ofdm::{
     demodulate_symbol, demodulate_symbol_into, FreqSymbol, DATA_CARRIERS, FFT_SIZE, NUM_DATA,
     SYMBOL_LEN,
@@ -30,7 +30,7 @@ use crate::rte::{CalibrationRule, RteEstimator};
 use crate::scrambler::Scrambler;
 use crate::tx::{SectionSpec, SideChannelConfig};
 use crate::PhyError;
-use carpool_obs::{Event, Obs};
+use carpool_obs::{Event, Obs, TraceKind};
 
 /// Channel estimation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -538,6 +538,12 @@ impl<'a> FrameDecoder<'a> {
                                 ok,
                             },
                         );
+                        obs.trace(
+                            TraceKind::SideCrc,
+                            symbol_time(idx),
+                            group_id,
+                            u64::from(ok),
+                        );
                     }
                     if ok {
                         for ((rx_sym, decided), sym_idx) in group
@@ -561,12 +567,13 @@ impl<'a> FrameDecoder<'a> {
                                         },
                                         1,
                                     );
-                                    obs.emit(
-                                        *sym_idx as f64,
-                                        Event::RteUpdate {
-                                            symbol: *sym_idx as u64,
-                                            applied,
-                                        },
+                                    let symbol = *sym_idx as u64;
+                                    obs.emit(*sym_idx as f64, Event::RteUpdate { symbol, applied });
+                                    obs.trace(
+                                        TraceKind::RteRecal,
+                                        symbol_time(*sym_idx),
+                                        symbol,
+                                        u64::from(applied),
                                     );
                                 }
                             } else {
@@ -578,14 +585,16 @@ impl<'a> FrameDecoder<'a> {
                         // in the group (paper Section 5 gating).
                         if estimator.rte_counters().is_some() {
                             for &sym_idx in &group.indices {
+                                let symbol = sym_idx as u64;
                                 obs.counter("phy.rte_rejected", 1);
                                 obs.emit(
                                     sym_idx as f64,
                                     Event::RteUpdate {
-                                        symbol: sym_idx as u64,
+                                        symbol,
                                         applied: false,
                                     },
                                 );
+                                obs.trace(TraceKind::RteRecal, symbol_time(sym_idx), symbol, 0);
                             }
                         }
                     }
@@ -638,6 +647,12 @@ impl<'a> FrameDecoder<'a> {
             phase_offsets,
         })
     }
+}
+
+/// Sim-time stamp of payload symbol `idx` for flight-recorder records.
+fn symbol_time(idx: usize) -> f64 {
+    // lint:allow(as-cast): symbol indices are far below 2^52, conversion exact
+    idx as f64 * SYMBOL_DURATION
 }
 
 /// Receives and decodes a PPDU whose full section layout is known.

@@ -29,6 +29,23 @@ echo "== perf snapshot (phy_micro throughput) =="
 # crates/bench/BENCH_perf_baseline.json. Regressions beyond 15% are
 # flagged on stdout (non-fatal: wall-clock noise must not fail the
 # gate).
-cargo bench --offline -q -p carpool-bench --bench phy_micro | grep -A 40 "throughput (run_phy)"
+cargo bench --offline -q -p carpool-bench --bench phy_micro | grep -A 60 "obs overhead gate:"
+
+echo "== obs overhead gate (flight recorder) =="
+# The phy_micro run above wrote crates/bench/BENCH_obs.json. The
+# tracing-*disabled* decode path must stay within 1% of the plain decode
+# (the hooks are a single predicted branch each) — blowing that budget
+# fails the gate. The *enabled*-tracing budget is advisory: exceeding it
+# prints a warning but opting into tracing is allowed to cost something.
+if grep -q '"disabled_regressed":true' crates/bench/BENCH_obs.json; then
+    echo "FATAL: tracing-disabled RX path regressed beyond its 1% budget" \
+         "(see crates/bench/BENCH_obs.json)"
+    exit 1
+fi
+if grep -q '"tracing_within_budget":false' crates/bench/BENCH_obs.json; then
+    echo "warning: enabled flight-recorder tracing exceeds its documented" \
+         "budget (non-fatal; see crates/bench/BENCH_obs.json)"
+fi
+echo "obs overhead ok: disabled path within 1% of the plain decode"
 
 echo "ok"

@@ -55,6 +55,36 @@ fn mac_replications_are_thread_count_invariant() {
     assert_eq!(one, four);
 }
 
+/// Runs the fig03-shaped flight-trace scenario with a recorder attached
+/// and returns both export formats.
+fn traced_fig03(threads: usize) -> (String, String) {
+    with_threads(threads, || {
+        let flight = std::sync::Arc::new(carpool_obs::FlightRecorder::new(4096));
+        let obs = carpool_obs::Obs::noop().with_flight(flight.clone());
+        carpool::fig03_flight_trace(4, 14.0, 7, &obs).expect("scenario runs");
+        let records = flight.records();
+        (
+            carpool_obs::flight::to_chrome_trace(&records),
+            carpool_obs::flight::to_jsonl(&records, flight.dropped()),
+        )
+    })
+}
+
+/// The flight recorder rides the same shard-merge contract as every
+/// other observable: per-worker rings absorbed in station order, so both
+/// trace exports must be byte-identical whatever the thread count.
+#[test]
+fn flight_trace_is_thread_count_invariant() {
+    let (chrome_one, jsonl_one) = traced_fig03(1);
+    let (chrome_four, jsonl_four) = traced_fig03(4);
+    assert!(
+        jsonl_one.contains("trace_enqueue") && jsonl_one.contains("trace_outcome"),
+        "trace should span MAC enqueue through per-STA outcome"
+    );
+    assert_eq!(chrome_one, chrome_four, "chrome trace differs by threads");
+    assert_eq!(jsonl_one, jsonl_four, "jsonl trace differs by threads");
+}
+
 #[test]
 fn worker_panic_surfaces_as_err() {
     let items = vec![0u32; 8];
