@@ -28,7 +28,7 @@ pub fn pattern_bits(n: usize, seed: u64) -> Vec<u8> {
             x ^= x << 17;
             (x & 1) as u8
         })
-        .collect()
+        .collect() // lint:allow(hot-alloc): bench input staging, amortized over the SNR sweep
 }
 
 /// Outcome of a PHY Monte-Carlo run.
@@ -229,7 +229,7 @@ pub fn run_phy(config: &PhyRunConfig) -> PhyBerResult {
             .sym_errors
             .into_iter()
             .map(|e| e as f64 / (config.frames * sym_bits) as f64)
-            .collect(),
+            .collect(), // lint:allow(hot-alloc): bench input staging, amortized over the SNR sweep
     }
 }
 

@@ -22,7 +22,8 @@ pub fn false_positive_ratio(hashes: usize, receivers: usize) -> f64 {
 }
 
 /// The approximate form used in the paper: `(1 - e^{-hN/48})^h`.
-pub fn false_positive_ratio_approx(hashes: usize, receivers: usize) -> f64 {
+#[cfg(test)]
+fn false_positive_ratio_approx(hashes: usize, receivers: usize) -> f64 {
     let m = BLOOM_BITS as f64;
     let fill = 1.0 - (-(hashes as f64) * receivers as f64 / m).exp();
     fill.powi(hashes as i32)

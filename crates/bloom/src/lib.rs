@@ -210,7 +210,7 @@ impl AggregationHeader {
     pub fn matched_indices(&self, item: &[u8], num_subframes: usize) -> Vec<usize> {
         (0..num_subframes.min(MAX_RECEIVERS))
             .filter(|&i| self.query(item, i))
-            .collect()
+            .collect() // lint:allow(hot-alloc): per-header encode/decode buffer, bounded by group size
     }
 
     /// Serialises to [`BLOOM_BITS`] bits (LSB of the raw value first),
@@ -218,7 +218,7 @@ impl AggregationHeader {
     pub fn to_bits(&self) -> Vec<u8> {
         (0..BLOOM_BITS)
             .map(|k| ((self.bits >> k) & 1) as u8)
-            .collect()
+            .collect() // lint:allow(hot-alloc): per-header encode/decode buffer, bounded by group size
     }
 
     /// Parses a header from [`BLOOM_BITS`] bits.

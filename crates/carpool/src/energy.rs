@@ -66,7 +66,7 @@ pub const PSM_SLEEP_W: f64 = 0.05;
 /// Energy in joules if the node sleeps (PSM) through its idle time
 /// instead of idle-listening — the upside the paper points to: "Carpool
 /// nodes have more time left to enter power save mode" (Section 8).
-pub fn psm_energy_j(model: &DevicePowerModel, share: &AirtimeShare, sleep_w: f64) -> f64 {
+pub(crate) fn psm_energy_j(model: &DevicePowerModel, share: &AirtimeShare, sleep_w: f64) -> f64 {
     model.tx_w * share.tx_s + model.rx_w * (share.rx_s + share.overhear_s) + sleep_w * share.idle_s
 }
 

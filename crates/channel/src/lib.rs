@@ -38,7 +38,7 @@
 
 pub mod cfo;
 pub mod fading;
-pub mod jakes;
+pub(crate) mod jakes;
 pub mod link;
 pub mod noise;
 

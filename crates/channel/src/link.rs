@@ -20,9 +20,9 @@ use rand::SeedableRng;
 /// Chosen so that at magnitude 0.0125 QAM64 is heavily errored while
 /// BPSK is nearly clean, and at 0.2 all modulations decode well — the
 /// qualitative regime of the paper's Fig. 11.
-pub const SNR_AT_MIN_POWER_DB: f64 = 14.0;
+pub(crate) const SNR_AT_MIN_POWER_DB: f64 = 14.0;
 /// The paper's minimum power magnitude setting.
-pub const MIN_POWER_MAGNITUDE: f64 = 0.0125;
+pub(crate) const MIN_POWER_MAGNITUDE: f64 = 0.0125;
 
 /// Maps a USRP power magnitude (0.0125–0.2 in the paper) to receive SNR.
 ///
@@ -74,7 +74,7 @@ impl LinkChannel {
         let _span = self.obs.span(carpool_obs::names::CHANNEL_TRANSMIT);
         let mut buf = match &mut self.fading {
             Some(f) => f.process(samples, &mut self.rng),
-            None => samples.to_vec(),
+            None => samples.to_vec(), // lint:allow(hot-alloc): per-frame waveform copy for in-place channel application
         };
         if let Some(cfo) = &mut self.cfo {
             cfo.apply(&mut buf);

@@ -8,7 +8,7 @@ use carpool_phy::math::{db_to_lin, mean_power, Complex64};
 use rand::Rng;
 
 /// Draws one standard normal variate via Box–Muller.
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     // Avoid ln(0) by sampling u1 from (0, 1].
     let u1: f64 = 1.0 - rng.gen::<f64>();
     let u2: f64 = rng.gen();

@@ -73,7 +73,7 @@ COMMANDS:
                lint-baseline.json
                [--json] [--write-baseline] [--force] [--root <dir>]
                [--explain <rule>] [--graph] [--budget-ms <n>]
-               [--strict-indexing]
+               [--strict-indexing] [--sarif <path>]
     help       Show this message
 
 OBSERVABILITY (accepted by every command):
@@ -466,6 +466,7 @@ fn cmd_lint(args: &Args) -> i32 {
         graph: args.flag("graph"),
         budget_ms,
         strict_indexing: args.flag("strict-indexing"),
+        sarif: args.get("sarif").map(std::path::PathBuf::from),
     };
     let code = carpool_lint::run(&opts);
     match code {

@@ -67,6 +67,7 @@ pub enum AggregationPolicy {
 /// The outcome of a selection: per-receiver groups of queue indices, in
 /// subframe order.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
+// lint:allow(dead-api): appears in pub signatures; callers use it structurally without naming the type
 pub struct Selection {
     /// For each receiver (subframe), the indices into the queue slice.
     pub groups: Vec<(MacAddress, Vec<usize>)>,
@@ -119,7 +120,7 @@ pub fn select(
             groups: vec![(head.dest, vec![0])],
         },
         AggregationPolicy::Ampdu => {
-            let mut indices = Vec::new();
+            let mut indices = Vec::new(); // lint:allow(hot-alloc): per-TXOP A-MPDU planning, bounded by queue depth
             let mut bytes = 0usize;
             for (k, f) in queue.iter().enumerate() {
                 if f.dest != head.dest {
@@ -132,14 +133,14 @@ pub fn select(
                     break;
                 }
                 bytes += f.bytes;
-                indices.push(k);
+                indices.push(k); // lint:allow(hot-alloc): per-TXOP A-MPDU planning, bounded by queue depth
             }
             Selection {
                 groups: vec![(head.dest, indices)],
             }
         }
         AggregationPolicy::MultiUser => {
-            let mut groups: Vec<(MacAddress, Vec<usize>)> = Vec::new();
+            let mut groups: Vec<(MacAddress, Vec<usize>)> = Vec::new(); // lint:allow(hot-alloc): per-TXOP A-MPDU planning, bounded by queue depth
             let mut bytes = 0usize;
             let max_receivers = limits.max_receivers.min(MAX_RECEIVERS);
             for (k, f) in queue.iter().enumerate() {
@@ -153,13 +154,13 @@ pub fn select(
                         if g.len() >= limits.max_frames_per_receiver {
                             continue;
                         }
-                        g.push(k);
+                        g.push(k); // lint:allow(hot-alloc): per-TXOP A-MPDU planning, bounded by queue depth
                     }
                     None => {
                         if groups.len() >= max_receivers {
                             continue;
                         }
-                        groups.push((f.dest, vec![k]));
+                        groups.push((f.dest, vec![k])); // lint:allow(hot-alloc): per-TXOP A-MPDU planning, bounded by queue depth
                     }
                 }
                 bytes += f.bytes;
@@ -171,7 +172,8 @@ pub fn select(
 
 /// Whether the oldest queued frame has exceeded its latency bound at
 /// time `now` — the trigger that ends aggregation early (Section 7.2.2).
-pub fn deadline_reached(queue: &[QueuedFrame], now: f64, max_latency: f64) -> bool {
+#[cfg(test)]
+fn deadline_reached(queue: &[QueuedFrame], now: f64, max_latency: f64) -> bool {
     queue
         .first()
         .map(|f| now - f.enqueue_time >= max_latency)

@@ -76,13 +76,15 @@ pub fn cts_airtime() -> f64 {
 }
 
 /// Duration of a complete legacy exchange: DATA + SIFS + ACK.
-pub fn legacy_exchange_airtime(payload_bytes: usize, mcs: Mcs) -> f64 {
+#[cfg(test)]
+fn legacy_exchange_airtime(payload_bytes: usize, mcs: Mcs) -> f64 {
     data_frame_airtime(payload_bytes, mcs) + SIFS + ack_airtime()
 }
 
 /// Duration of a complete Carpool exchange: DATA + N x (SIFS + ACK)
 /// (sequential ACKs, paper Section 4.2).
-pub fn carpool_exchange_airtime(subframes: &[(usize, Mcs)]) -> f64 {
+#[cfg(test)]
+fn carpool_exchange_airtime(subframes: &[(usize, Mcs)]) -> f64 {
     carpool_frame_airtime(subframes) + subframes.len() as f64 * (SIFS + ack_airtime())
 }
 

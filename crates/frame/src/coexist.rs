@@ -11,12 +11,18 @@
 //! look at the first post-preamble symbol's constellation classifies
 //! the frame.
 
-use crate::sig::{Sig, SIG_BITS};
+use crate::sig::Sig;
+#[cfg(test)]
+use crate::sig::SIG_BITS;
 use crate::FrameError;
-use carpool_phy::bits::{bits_to_bytes, bytes_to_bits};
+#[cfg(test)]
+use carpool_phy::bits::bits_to_bytes;
+use carpool_phy::bits::bytes_to_bits;
 use carpool_phy::math::Complex64;
 use carpool_phy::mcs::Mcs;
-use carpool_phy::rx::{Estimation, FrameDecoder, SectionLayout};
+#[cfg(test)]
+use carpool_phy::rx::SectionLayout;
+use carpool_phy::rx::{Estimation, FrameDecoder};
 use carpool_phy::tx::{transmit, SectionSpec, TxFrame};
 
 /// PPDU format classes distinguishable at the first payload symbol.
@@ -98,7 +104,8 @@ impl LegacyFrame {
 /// * [`FrameError::BadSig`] if the SIG fails validation — which is the
 ///   normal outcome when a legacy node hears a Carpool PPDU.
 /// * [`FrameError::Phy`] for malformed buffers.
-pub fn receive_legacy(samples: &[Complex64]) -> Result<Vec<u8>, FrameError> {
+#[cfg(test)]
+fn receive_legacy(samples: &[Complex64]) -> Result<Vec<u8>, FrameError> {
     let mut decoder = FrameDecoder::new(samples, Estimation::Standard).map_err(FrameError::Phy)?;
     let sig_layout = SectionLayout {
         message_bits: SIG_BITS,

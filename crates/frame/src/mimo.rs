@@ -21,7 +21,7 @@ use carpool_phy::mcs::Mcs;
 
 /// Airtime of one VHT (per-group) preamble: VHT-SIG plus one VHT-LTF per
 /// spatial stream, approximated at one OFDM symbol each.
-pub fn vht_preamble_airtime(streams: usize) -> f64 {
+pub(crate) fn vht_preamble_airtime(streams: usize) -> f64 {
     use carpool_phy::mcs::SYMBOL_DURATION;
     (1 + streams) as f64 * SYMBOL_DURATION
 }

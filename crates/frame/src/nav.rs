@@ -13,7 +13,9 @@
 //!
 //! Subframe indices here are 1-based, following the paper's notation.
 
-use crate::airtime::{ack_airtime, cts_airtime, SIFS};
+#[cfg(test)]
+use crate::airtime::cts_airtime;
+use crate::airtime::{ack_airtime, SIFS};
 
 /// NAV carried by an aggregated data frame for `receivers` receivers
 /// whose payload lasts `payload_airtime` seconds (paper Eq. 1).
@@ -56,7 +58,8 @@ pub fn ack_start_offset(i: usize) -> f64 {
 
 /// NAV carried by a Carpool multicast RTS covering `receivers` CTSs, the
 /// data frame of `payload_airtime`, and the sequential ACKs (Fig. 7).
-pub fn nav_rts(receivers: usize, payload_airtime: f64) -> f64 {
+#[cfg(test)]
+fn nav_rts(receivers: usize, payload_airtime: f64) -> f64 {
     assert!(receivers > 0, "need at least one receiver");
     let n = receivers as f64;
     n * (SIFS + cts_airtime()) + SIFS + nav_data(receivers, payload_airtime)
@@ -64,7 +67,8 @@ pub fn nav_rts(receivers: usize, payload_airtime: f64) -> f64 {
 
 /// NAV advertised by the `j`-th CTS of `n`: everything that remains of
 /// the sequence after this CTS ends.
-pub fn nav_cts(j: usize, n: usize, payload_airtime: f64) -> f64 {
+#[cfg(test)]
+fn nav_cts(j: usize, n: usize, payload_airtime: f64) -> f64 {
     assert!(j >= 1 && j <= n, "CTS index {j} outside 1..={n}");
     let remaining_cts = (n - j) as f64;
     remaining_cts * (SIFS + cts_airtime()) + SIFS + nav_data(n, payload_airtime)

@@ -1,10 +1,11 @@
-//! Interprocedural rules (L007, L008, L010) over the workspace call
-//! graph and parsed items. L009 is a line rule and lives in
+//! Interprocedural rules (L007, L008, L010–L013) over the workspace
+//! call graph and parsed items. L009 is a line rule and lives in
 //! [`crate::rules`].
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::callgraph::CallGraph;
+use crate::dataflow;
 use crate::items::{FileRecord, Section};
 use crate::rules::{contains_token, line_waived, panic_hits, Diagnostic, Rule};
 
@@ -255,6 +256,413 @@ pub fn check_l010(files: &[FileRecord]) -> Vec<Diagnostic> {
         }
     }
     diags
+}
+
+/// Flow-aware analysis statistics surfaced in reports.
+#[derive(Debug, Clone, Default)]
+pub struct FlowStats {
+    /// Allocation effects across all non-test library code.
+    pub alloc_sites: usize,
+    /// Allocation effects inside hot-reachable fns (waived included).
+    pub hot_alloc_sites: usize,
+    /// Functions carrying a `lint:budget` annotation.
+    pub budget_fns: usize,
+    /// Distinct non-saturating ops over budgeted data that were
+    /// bounds-checked by the interval analysis.
+    pub budget_ops_checked: usize,
+    /// Lines performing f64 arithmetic in non-test library code.
+    pub f64_arith_lines: usize,
+    /// Widening integer conversions (`i64::from`-style).
+    pub widening_ops: usize,
+    /// Potentially narrowing `as <int>` casts.
+    pub narrowing_casts: usize,
+    /// Function parameters carrying a recognized unit suffix.
+    pub unit_params: usize,
+}
+
+/// Tallies statement-effect counts over every non-test `src/` fn (the
+/// classification half of the flow-aware pass; the rules below consume
+/// the same primitives).
+pub fn flow_effects(files: &[FileRecord]) -> dataflow::EffectCounts {
+    let mut totals = dataflow::EffectCounts::default();
+    for file in files {
+        if !matches!(file.section, Section::Src) {
+            continue;
+        }
+        for item in &file.items.fns {
+            if item.in_test || item.body_start == 0 {
+                continue;
+            }
+            totals.absorb(dataflow::classify_effects(file, item));
+        }
+    }
+    totals
+}
+
+/// L011 hot-path allocation freedom: allocation effects (Vec::new,
+/// with_capacity, push-in-loop, Box::new, format!, clone, collect,
+/// to_vec) inside any fn transitively reachable from [`HOT_ROOTS`].
+/// Returns the diagnostics plus the hot-site count (waived included).
+pub fn check_l011(files: &[FileRecord], graph: &CallGraph) -> (Vec<Diagnostic>, usize) {
+    let mut roots: Vec<usize> = Vec::new();
+    for spec in HOT_ROOTS {
+        roots.extend(graph.match_root(spec));
+    }
+    roots.sort_unstable();
+    roots.dedup();
+    let parents = graph.reachable(&roots);
+
+    let mut diags = Vec::new();
+    let mut hot_sites = 0usize;
+    let mut seen: BTreeSet<(usize, usize, &str)> = BTreeSet::new();
+    for &node_idx in parents.keys() {
+        let Some(node) = graph.nodes.get(node_idx) else {
+            continue;
+        };
+        if node.in_test {
+            continue;
+        }
+        let Some(file) = files.get(node.file) else {
+            continue;
+        };
+        if !file.class.alloc_audited {
+            continue;
+        }
+        let Some(item) = file.items.fns.get(node.item) else {
+            continue;
+        };
+        if item.body_start == 0 || dataflow::is_setup_fn(&item.name) {
+            continue;
+        }
+        let chain = graph.chain(node_idx, &parents).join(" -> ");
+        for site in dataflow::alloc_sites(file, item) {
+            if !seen.insert((node.file, site.line, site.what)) {
+                continue;
+            }
+            hot_sites += 1;
+            let Some(idx) = site.line.checked_sub(1) else {
+                continue;
+            };
+            if line_waived(&file.lines, idx, Rule::L011.waiver_key()) {
+                continue;
+            }
+            let where_note = if site.in_loop { " inside a loop" } else { "" };
+            diags.push(Diagnostic {
+                rule: Rule::L011,
+                file: file.path.clone(),
+                line: site.line,
+                message: format!(
+                    "`{}`{} allocates on a hot path (call chain: {}); reuse a \
+                     scratch buffer or waive with \
+                     `// lint:allow(hot-alloc): <why setup-time or amortized>`",
+                    site.what, where_note, chain
+                ),
+            });
+        }
+    }
+    (diags, hot_sites)
+}
+
+/// L012 scaling-budget verification: every fn annotated with
+/// `// lint:budget(i32: [names in] ±N)` gets an interval abstract
+/// interpretation proving its non-saturating i32 arithmetic cannot
+/// wrap. Returns diagnostics plus `(annotated fns, ops checked)`.
+pub fn check_l012(files: &[FileRecord]) -> (Vec<Diagnostic>, usize, usize) {
+    let mut diags = Vec::new();
+    let mut budget_fns = 0usize;
+    let mut ops_checked = 0usize;
+    for file in files {
+        if !matches!(file.section, Section::Src) {
+            continue;
+        }
+        for item in &file.items.fns {
+            if item.in_test || item.body_start == 0 {
+                continue;
+            }
+            let specs = dataflow::budget_specs(file, item);
+            if specs.is_empty() {
+                continue;
+            }
+            budget_fns += 1;
+            let report = dataflow::check_budget_fn(file, item, &specs);
+            ops_checked += report.ops_checked;
+            for finding in report.findings {
+                let idx = finding.line.saturating_sub(1);
+                if line_waived(&file.lines, idx, Rule::L012.waiver_key()) {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    rule: Rule::L012,
+                    file: file.path.clone(),
+                    line: finding.line,
+                    message: format!(
+                        "in `{}`: {}; or waive with \
+                         `// lint:allow(scaling-budget): <why it cannot wrap>`",
+                        item.name, finding.message
+                    ),
+                });
+            }
+        }
+    }
+    (diags, budget_fns, ops_checked)
+}
+
+/// Binary operators whose operands must share a unit (multiplication
+/// and division are exempt — they convert units).
+const MIX_OPS: [&str; 10] = ["+", "-", "+=", "-=", "<", ">", "<=", ">=", "==", "!="];
+
+/// L013 unit-of-measure discipline over unit-audited crates:
+/// arithmetic/comparison mixing differently-suffixed quantities, and
+/// call arguments whose unit suffix disagrees with the parameter name
+/// in the callee's signature. Returns diagnostics plus the number of
+/// unit-suffixed parameters seen.
+pub fn check_l013(files: &[FileRecord]) -> (Vec<Diagnostic>, usize) {
+    // Parameter-unit table by bare fn name: None entries are positions
+    // without a recognized unit; fns whose same-name overloads disagree
+    // are dropped as ambiguous.
+    let mut table: BTreeMap<String, Vec<Option<&'static str>>> = BTreeMap::new();
+    let mut ambiguous: BTreeSet<String> = BTreeSet::new();
+    let mut unit_params = 0usize;
+    for file in files {
+        if !matches!(file.section, Section::Src) {
+            continue;
+        }
+        for item in &file.items.fns {
+            if item.in_test {
+                continue;
+            }
+            let groups = dataflow::param_names(file, item);
+            let units: Vec<Option<&'static str>> = groups
+                .iter()
+                .map(|g| match g.as_slice() {
+                    [single] => dataflow::unit_of(single),
+                    _ => None,
+                })
+                .collect();
+            unit_params += units.iter().flatten().count();
+            if !file.class.units_audited || units.iter().all(Option::is_none) {
+                continue;
+            }
+            match table.get(&item.name) {
+                Some(existing) if existing != &units => {
+                    ambiguous.insert(item.name.clone());
+                }
+                _ => {
+                    table.insert(item.name.clone(), units);
+                }
+            }
+        }
+    }
+    for name in &ambiguous {
+        table.remove(name);
+    }
+
+    let mut diags = Vec::new();
+    for file in files {
+        if !file.class.units_audited || !matches!(file.section, Section::Src) {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for (left, op, right) in mixed_unit_pairs(&line.code) {
+                if line_waived(&file.lines, idx, Rule::L013.waiver_key()) {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    rule: Rule::L013,
+                    file: file.path.clone(),
+                    line: line.number,
+                    message: format!(
+                        "`{left} {op} {right}` mixes units ({} vs {}); convert \
+                         explicitly or waive with \
+                         `// lint:allow(unit-mix): <why the units agree>`",
+                        dataflow::unit_of(&left).unwrap_or("?"),
+                        dataflow::unit_of(&right).unwrap_or("?"),
+                    ),
+                });
+            }
+            for (callee, position, arg, want, got) in unit_mismatched_args(&line.code, &table) {
+                if line_waived(&file.lines, idx, Rule::L013.waiver_key()) {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    rule: Rule::L013,
+                    file: file.path.clone(),
+                    line: line.number,
+                    message: format!(
+                        "argument {position} of `{callee}(...)` is `{arg}` ({got}) \
+                         but the parameter is named in {want}; convert explicitly \
+                         or waive with `// lint:allow(unit-mix): <why>`",
+                    ),
+                });
+            }
+        }
+    }
+    (diags, unit_params)
+}
+
+/// Line token for the unit-mix scan.
+enum UnitTok {
+    Id(String),
+    Sym(String),
+}
+
+/// Tokenizes one blanked code line into identifiers and (merged
+/// multi-char) symbols.
+fn unit_tokens(code: &str) -> Vec<UnitTok> {
+    const MULTI: [&str; 16] = [
+        "<<=", ">>=", "..=", "->", "=>", "::", "==", "!=", "<=", ">=", "<<", ">>", "&&", "||",
+        "+=", "-=",
+    ];
+    let chars: Vec<char> = code.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphanumeric() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(UnitTok::Id(chars[start..i].iter().collect()));
+            continue;
+        }
+        let rest: String = chars[i..].iter().collect();
+        if let Some(op) = MULTI.iter().find(|op| rest.starts_with(**op)) {
+            toks.push(UnitTok::Sym((*op).to_string()));
+            i += op.len();
+            continue;
+        }
+        toks.push(UnitTok::Sym(c.to_string()));
+        i += 1;
+    }
+    toks
+}
+
+/// Finds `lhs <op> rhs` pairs on one line where both sides carry
+/// recognized but different units. The left operand is the identifier
+/// directly before the operator; the right operand follows `a.b::c`
+/// chains to their last segment and rejects calls.
+fn mixed_unit_pairs(code: &str) -> Vec<(String, String, String)> {
+    let toks = unit_tokens(code);
+    let mut out = Vec::new();
+    for at in 1..toks.len() {
+        let UnitTok::Sym(op) = &toks[at] else {
+            continue;
+        };
+        if !MIX_OPS.contains(&op.as_str()) {
+            continue;
+        }
+        let UnitTok::Id(left) = &toks[at - 1] else {
+            continue;
+        };
+        // Follow the right-hand primary's `a.b` / `a::b` chain.
+        let mut j = at + 1;
+        let mut right: Option<&String> = None;
+        while let Some(UnitTok::Id(name)) = toks.get(j) {
+            right = Some(name);
+            match toks.get(j + 1) {
+                Some(UnitTok::Sym(s)) if s == "." || s == "::" => j += 2,
+                _ => break,
+            }
+        }
+        // A call's value has no inferable unit.
+        if matches!(toks.get(j + 1), Some(UnitTok::Sym(s)) if s == "(") {
+            continue;
+        }
+        let Some(right) = right else { continue };
+        let (Some(lu), Some(ru)) = (dataflow::unit_of(left), dataflow::unit_of(right)) else {
+            continue;
+        };
+        if lu != ru {
+            out.push((left.clone(), op.clone(), right.clone()));
+        }
+    }
+    out
+}
+
+/// Finds call arguments whose unit suffix disagrees with the callee's
+/// parameter-name unit: `(callee, 1-based position, arg, want, got)`.
+fn unit_mismatched_args(
+    code: &str,
+    table: &BTreeMap<String, Vec<Option<&'static str>>>,
+) -> Vec<(String, usize, String, &'static str, &'static str)> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if !(b.is_ascii_alphabetic() || b == b'_') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        let name = &code[start..i];
+        if start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+            continue;
+        }
+        if bytes.get(i) != Some(&b'(') {
+            continue;
+        }
+        // Skip the definition site itself.
+        if code[..start].trim_end().ends_with("fn") {
+            continue;
+        }
+        let Some(units) = table.get(name) else {
+            continue;
+        };
+        // Balanced argument span on this line only.
+        let mut depth = 0i32;
+        let mut end = None;
+        for (k, &c) in bytes.iter().enumerate().skip(i) {
+            match c {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { continue };
+        let args_text = &code[i + 1..end];
+        for (pos, arg) in dataflow::split_args(args_text).iter().enumerate() {
+            let Some(&Some(want)) = units.get(pos) else {
+                continue;
+            };
+            // Only bare identifiers / field chains carry an inferable
+            // unit; the chain's last segment names the quantity.
+            let arg = arg.trim().trim_start_matches('&');
+            let arg = arg
+                .trim_start_matches("mut ")
+                .trim_start_matches('*')
+                .trim();
+            if arg.contains(['(', '[', '+', '-', '*', '/', ' ']) {
+                continue;
+            }
+            let last = arg.rsplit(['.', ':']).next().unwrap_or(arg);
+            let Some(got) = dataflow::unit_of(last) else {
+                continue;
+            };
+            if got != want {
+                out.push((name.to_string(), pos + 1, last.to_string(), want, got));
+            }
+        }
+        i = end;
+    }
+    out
 }
 
 /// Collects word-bounded ASCII identifiers into `set`.

@@ -220,6 +220,11 @@ struct Parser {
     pending_ctx: Option<PendingCtx>,
     pending_use: Option<UseAccum>,
     saw_pub: bool,
+    /// `(`/`[` nesting inside a pending fn signature. A `;` or `{`
+    /// inside such a group (`[u8; N]`, `-> [u8; { N }]`) belongs to a
+    /// type, not to the item grammar, and must not terminate the
+    /// pending fn or open its body.
+    sig_group: usize,
     out: FileItems,
 }
 
@@ -299,6 +304,31 @@ impl Parser {
             if c.is_whitespace() {
                 i += 1;
                 continue;
+            }
+            if self.pending_fn.is_some() {
+                // Inside a fn signature: keep the `(`/`[` group nesting
+                // so `;` and `{` belonging to array types or const
+                // expressions don't end the item early.
+                match c {
+                    '(' | '[' => {
+                        self.sig_group += 1;
+                        i += 1;
+                        prev_sig = c;
+                        continue;
+                    }
+                    ')' | ']' => {
+                        self.sig_group = self.sig_group.saturating_sub(1);
+                        i += 1;
+                        prev_sig = c;
+                        continue;
+                    }
+                    '{' | '}' | ';' if self.sig_group > 0 => {
+                        i += 1;
+                        prev_sig = c;
+                        continue;
+                    }
+                    _ => {}
+                }
             }
             match c {
                 '{' => {
@@ -436,6 +466,7 @@ impl Parser {
                         in_test: line.in_test,
                         self_ty,
                     });
+                    self.sig_group = 0;
                     self.saw_pub = false;
                     return after;
                 }
@@ -971,6 +1002,94 @@ fn outer() {
         // `leaf()` belongs to inner, `inner()` to outer.
         assert!(inner.is_some_and(|f| f.calls.iter().any(|c| c.segments == ["leaf"])));
         assert!(outer.is_some_and(|f| f.calls.iter().any(|c| c.segments == ["inner"])));
+    }
+
+    #[test]
+    fn const_generic_and_array_type_signatures_keep_their_bodies() {
+        let src = "\
+pub fn pack<const N: usize>(x: [u8; N]) -> [u8; N] {
+    helper(x)
+}
+fn braces<const N: usize>() -> [u8; { N }] {
+    leaf()
+}
+fn plain_array(buf: [f64; 64]) -> [f64; 64] {
+    twiddle(buf)
+}
+";
+        let items = parse(src);
+        let pack = items.fns.iter().find(|f| f.name == "pack");
+        assert!(
+            pack.is_some_and(|f| f.body_start == 1 && f.body_end == 3),
+            "array-type `;` in the signature must not end the fn: {pack:?}"
+        );
+        assert!(pack.is_some_and(|f| f.calls.iter().any(|c| c.segments == ["helper"])));
+        let braces = items.fns.iter().find(|f| f.name == "braces");
+        assert!(
+            braces.is_some_and(|f| f.body_start == 4 && f.body_end == 6),
+            "brace const-expr in return type must not open the body: {braces:?}"
+        );
+        assert!(braces.is_some_and(|f| f.calls.iter().any(|c| c.segments == ["leaf"])));
+        let plain = items.fns.iter().find(|f| f.name == "plain_array");
+        assert!(plain.is_some_and(|f| f.body_start == 7 && f.body_end == 9));
+        assert!(plain.is_some_and(|f| f.calls.iter().any(|c| c.segments == ["twiddle"])));
+    }
+
+    #[test]
+    fn where_clause_signatures_keep_their_bodies() {
+        let src = "\
+fn inline<T>(t: T) -> usize where T: Into<usize> {
+    t.into()
+}
+fn multiline<T, U>(t: T, u: U) -> usize
+where
+    T: Into<usize>,
+    U: Clone,
+{
+    inner(t, u)
+}
+impl<T> Holder<T>
+where
+    T: Clone,
+{
+    fn go(&self) {
+        leaf();
+    }
+}
+";
+        let items = parse(src);
+        let inline = items.fns.iter().find(|f| f.name == "inline");
+        assert!(inline.is_some_and(|f| f.body_start == 1 && f.body_end == 3));
+        let multi = items.fns.iter().find(|f| f.name == "multiline");
+        assert!(
+            multi.is_some_and(|f| f.body_start == 8 && f.body_end == 10),
+            "multiline where clause: {multi:?}"
+        );
+        assert!(multi.is_some_and(|f| f.calls.iter().any(|c| c.segments == ["inner"])));
+        let go = items.fns.iter().find(|f| f.name == "go");
+        assert_eq!(
+            go.and_then(|f| f.self_ty.clone()).as_deref(),
+            Some("Holder"),
+            "impl with where clause keeps the self type"
+        );
+    }
+
+    #[test]
+    fn trait_required_method_with_array_type_still_terminates() {
+        let src = "\
+trait Codec {
+    fn encode(&self, block: [u8; 8]) -> [u8; 16];
+    fn name(&self) -> &str;
+}
+";
+        let items = parse(src);
+        let encode = items.fns.iter().find(|f| f.name == "encode");
+        assert!(
+            encode.is_some_and(|f| f.body_start == 0 && f.body_end == 0),
+            "bodiless trait fn with array types still recorded: {encode:?}"
+        );
+        let name = items.fns.iter().find(|f| f.name == "name");
+        assert!(name.is_some_and(|f| f.body_start == 0 && f.body_end == 0));
     }
 
     #[test]

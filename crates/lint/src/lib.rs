@@ -19,13 +19,19 @@
 //! | L008 | no `HashMap`/`HashSet` where outputs must be byte-identical |
 //! | L009 | every atomic `Ordering::` in `par` carries a justification |
 //! | L010 | no dead public API in library crates |
+//! | L011 | no allocation reachable from the hot-path roots |
+//! | L012 | `lint:budget(i32: ±N)` fns provably cannot wrap i32 |
+//! | L013 | no arithmetic/calls mixing unit suffixes (`_s`, `_db`, …) |
 //!
 //! L001–L006 and L009 are line rules over the comment/string-aware
-//! scanner; L007, L008 and L010 are interprocedural: [`items`] parses
-//! `fn`/`impl`/`use` items per file, [`callgraph`] resolves calls into
-//! a cross-crate graph, and [`interproc`] walks it. `--explain <rule>`
-//! prints the full rationale for any rule; `--graph` dumps the call
-//! graph.
+//! scanner; L007, L008 and L010–L013 are interprocedural: [`items`]
+//! parses `fn`/`impl`/`use` items per file, [`callgraph`] resolves
+//! calls into a cross-crate graph, and [`interproc`] walks it. L011,
+//! L012 and L013 are additionally *flow-aware*: [`dataflow`] classifies
+//! statement effects and runs an interval abstract interpretation over
+//! the [`ranges`] lattice. `--explain <rule>` prints the full rationale
+//! for any rule; `--graph` dumps the call graph; `--sarif <path>`
+//! exports SARIF 2.1.0 for CI and editors.
 //!
 //! Existing violations are recorded in a checked-in
 //! `lint-baseline.json` ratchet: new violations fail the gate, and
@@ -39,10 +45,13 @@
 
 pub mod baseline;
 pub mod callgraph;
+pub mod dataflow;
 pub mod interproc;
 pub mod items;
 pub mod manifest;
+pub mod ranges;
 pub mod rules;
+pub mod sarif;
 pub mod scanner;
 
 use std::collections::BTreeMap;
@@ -107,6 +116,8 @@ pub struct AnalysisStats {
     pub call_edges: usize,
     /// Hot-path root/reachability/indexing numbers (L007).
     pub hot: HotPathStats,
+    /// Flow-aware effect/interval statistics (L011–L013).
+    pub flow: interproc::FlowStats,
     /// Deterministic text dump of the graph, when requested.
     pub graph_dump: Option<String>,
 }
@@ -228,7 +239,10 @@ pub fn scan_workspace_opts(root: &Path, aopts: &AnalysisOptions) -> Result<ScanR
 
     // Line rules, timed per rule. Manifest layering is part of L003.
     for rule in Rule::ALL {
-        if matches!(rule, Rule::L007 | Rule::L008 | Rule::L010) {
+        if matches!(
+            rule,
+            Rule::L007 | Rule::L008 | Rule::L010 | Rule::L011 | Rule::L012 | Rule::L013
+        ) {
             continue;
         }
         let t = Instant::now();
@@ -280,6 +294,38 @@ pub fn scan_workspace_opts(root: &Path, aopts: &AnalysisOptions) -> Result<ScanR
     report
         .rule_timings_ms
         .insert(Rule::L010.id().to_string(), t.elapsed().as_secs_f64() * 1e3);
+
+    // Flow-aware pass: effect classification feeds the stats; the
+    // three rules ride the same primitives.
+    let t = Instant::now();
+    let effects = interproc::flow_effects(&records);
+    report.analysis.flow.alloc_sites = effects.allocs;
+    report.analysis.flow.f64_arith_lines = effects.f64_arith;
+    report.analysis.flow.widening_ops = effects.widening;
+    report.analysis.flow.narrowing_casts = effects.narrowing;
+    let (d11, hot_allocs) = interproc::check_l011(&records, &graph);
+    report.diagnostics.extend(d11);
+    report.analysis.flow.hot_alloc_sites = hot_allocs;
+    report
+        .rule_timings_ms
+        .insert(Rule::L011.id().to_string(), t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    let (d12, budget_fns, ops_checked) = interproc::check_l012(&records);
+    report.diagnostics.extend(d12);
+    report.analysis.flow.budget_fns = budget_fns;
+    report.analysis.flow.budget_ops_checked = ops_checked;
+    report
+        .rule_timings_ms
+        .insert(Rule::L012.id().to_string(), t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    let (d13, unit_params) = interproc::check_l013(&records);
+    report.diagnostics.extend(d13);
+    report.analysis.flow.unit_params = unit_params;
+    report
+        .rule_timings_ms
+        .insert(Rule::L013.id().to_string(), t.elapsed().as_secs_f64() * 1e3);
 
     if aopts.collect_graph {
         report.analysis.graph_dump = Some(graph.render(&records));
@@ -436,10 +482,26 @@ pub fn render_json(
     let _ = writeln!(
         out,
         "    \"hot_root_fns\": {},\n    \"hot_reachable_fns\": {},\n    \
-         \"hot_indexing_sites\": {}",
+         \"hot_indexing_sites\": {},",
         report.analysis.hot.root_nodes,
         report.analysis.hot.reachable_fns,
         report.analysis.hot.indexing_sites
+    );
+    let flow = &report.analysis.flow;
+    let _ = writeln!(
+        out,
+        "    \"flow\": {{\n      \"alloc_sites\": {},\n      \"hot_alloc_sites\": {},\n      \
+         \"budget_fns\": {},\n      \"budget_ops_checked\": {},\n      \
+         \"f64_arith_lines\": {},\n      \"widening_ops\": {},\n      \
+         \"narrowing_casts\": {},\n      \"unit_params\": {}\n    }}",
+        flow.alloc_sites,
+        flow.hot_alloc_sites,
+        flow.budget_fns,
+        flow.budget_ops_checked,
+        flow.f64_arith_lines,
+        flow.widening_ops,
+        flow.narrowing_casts,
+        flow.unit_params
     );
     out.push_str("  },\n");
     let _ = writeln!(out, "  \"elapsed_ms\": {:.3},", meta.elapsed_ms);
@@ -539,6 +601,17 @@ pub fn render_human(
         report.analysis.hot.reachable_fns,
         report.analysis.hot.indexing_sites
     );
+    let flow = &report.analysis.flow;
+    let _ = writeln!(
+        out,
+        "  flow: {} alloc sites ({} hot), {} budget fns ({} ops proved), \
+         {} unit-suffixed params",
+        flow.alloc_sites,
+        flow.hot_alloc_sites,
+        flow.budget_fns,
+        flow.budget_ops_checked,
+        flow.unit_params
+    );
     if meta.over_budget() {
         let _ = writeln!(
             out,
@@ -587,12 +660,14 @@ pub struct LintOptions {
     pub budget_ms: Option<u64>,
     /// Report hot-path indexing as L007 findings (off by default).
     pub strict_indexing: bool,
+    /// Also write a SARIF 2.1.0 report to this path.
+    pub sarif: Option<PathBuf>,
 }
 
 impl LintOptions {
     /// Parses `--json`, `--write-baseline`, `--force`, `--root <dir>`,
     /// `--explain <rule>`, `--graph`, `--budget-ms <n>`,
-    /// `--strict-indexing`.
+    /// `--strict-indexing`, `--sarif <path>`.
     ///
     /// # Errors
     ///
@@ -615,6 +690,10 @@ impl LintOptions {
                     let rule = iter.next().ok_or("--explain needs a rule id (e.g. L007)")?;
                     opts.explain = Some(rule);
                 }
+                "--sarif" => {
+                    let path = iter.next().ok_or("--sarif needs an output path")?;
+                    opts.sarif = Some(PathBuf::from(path));
+                }
                 "--budget-ms" => {
                     let value = iter.next().ok_or("--budget-ms needs a number")?;
                     let ms: u64 = value
@@ -626,7 +705,8 @@ impl LintOptions {
                     return Err(format!(
                         "unknown lint option '{other}' \
                          (expected --json, --write-baseline, --force, --root <dir>, \
-                         --explain <rule>, --graph, --budget-ms <n>, --strict-indexing)"
+                         --explain <rule>, --graph, --budget-ms <n>, --strict-indexing, \
+                         --sarif <path>)"
                     ));
                 }
             }
@@ -672,7 +752,7 @@ pub fn run(opts: &LintOptions) -> i32 {
                 0
             }
             None => {
-                eprintln!("carpool-lint: unknown rule '{id}' (expected L001..L010)");
+                eprintln!("carpool-lint: unknown rule '{id}' (expected L001..L013)");
                 2
             }
         };
@@ -725,6 +805,12 @@ pub fn run(opts: &LintOptions) -> i32 {
         elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
         budget_ms: opts.budget_ms,
     };
+    if let Some(path) = &opts.sarif {
+        if let Err(e) = std::fs::write(path, sarif::render_sarif(&report, &verdict)) {
+            eprintln!("carpool-lint: cannot write {}: {e}", path.display());
+            return 2;
+        }
+    }
     if opts.json {
         print!("{}", render_json(&report, &verdict, &baseline, &meta));
     } else {

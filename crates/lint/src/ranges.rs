@@ -1,0 +1,317 @@
+//! Interval abstract domain for the flow-aware analysis (L012).
+//!
+//! Values are over-approximated by closed integer intervals `[lo, hi]`
+//! with `i128` bounds, wide enough that any i64 arithmetic the analyzed
+//! code can express stays exactly representable. All operations are
+//! *sound over-approximations*: for every concrete pair of operands
+//! inside the input intervals, the concrete (mathematical, pre-wrap)
+//! result lies inside the output interval. The rule layer then asks a
+//! single question — does the mathematical result still fit the machine
+//! type (`i32`)? — which is exactly the "can this non-saturating op
+//! wrap" test.
+//!
+//! The lattice is the usual one: `join` is the interval hull, `widen`
+//! jumps a growing bound straight to the corresponding infinity
+//! (`i128::MIN`/`MAX`) so every ascending chain stabilizes after at
+//! most one widening per side. The property tests in
+//! `tests/interval_properties.rs` pin soundness and termination.
+
+/// A closed integer interval `[lo, hi]`, `lo <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: i128,
+    /// Upper bound (inclusive).
+    pub hi: i128,
+}
+
+// Not the std `Add`/`Mul`/... traits: these are saturating abstract
+// transfer functions, and named methods keep the abstract-vs-concrete
+// distinction visible at call sites.
+#[allow(clippy::should_implement_trait)]
+impl Interval {
+    /// The top element: every representable integer.
+    pub const TOP: Interval = Interval {
+        lo: i128::MIN,
+        hi: i128::MAX,
+    };
+
+    /// The interval containing exactly `v`.
+    pub fn exact(v: i128) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `[lo, hi]`, swapping the bounds if they arrive inverted.
+    pub fn new(lo: i128, hi: i128) -> Interval {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// The symmetric interval `[-n, n]` (budget annotations).
+    pub fn symmetric(n: i128) -> Interval {
+        let n = n.saturating_abs();
+        Interval {
+            lo: n.saturating_neg(),
+            hi: n,
+        }
+    }
+
+    /// Whether this is the top element (either bound at infinity counts
+    /// as unbounded for the wrap check).
+    pub fn is_top(self) -> bool {
+        self.lo == i128::MIN || self.hi == i128::MAX
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(self, v: i128) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether every value fits in `i32` — the budget question.
+    pub fn fits_i32(self) -> bool {
+        self.lo >= i128::from(i32::MIN) && self.hi <= i128::from(i32::MAX)
+    }
+
+    /// Least upper bound: the interval hull of both operands.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Standard interval widening: a bound that grew from `self` to
+    /// `other` jumps to infinity, so fixpoint iteration terminates.
+    pub fn widen(self, other: Interval) -> Interval {
+        Interval {
+            lo: if other.lo < self.lo {
+                i128::MIN
+            } else {
+                self.lo
+            },
+            hi: if other.hi > self.hi {
+                i128::MAX
+            } else {
+                self.hi
+            },
+        }
+    }
+
+    /// `[a, b] + [c, d] = [a + c, b + d]`, saturating at the domain
+    /// bounds (which already denote "unbounded").
+    pub fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.saturating_add(other.lo),
+            hi: self.hi.saturating_add(other.hi),
+        }
+    }
+
+    /// `[a, b] - [c, d] = [a - d, b - c]`.
+    pub fn sub(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.saturating_sub(other.hi),
+            hi: self.hi.saturating_sub(other.lo),
+        }
+    }
+
+    /// Negation `[-b, -a]`.
+    pub fn neg(self) -> Interval {
+        Interval::new(self.hi.saturating_neg(), self.lo.saturating_neg())
+    }
+
+    /// Multiplication: hull of the four corner products.
+    pub fn mul(self, other: Interval) -> Interval {
+        let corners = [
+            self.lo.saturating_mul(other.lo),
+            self.lo.saturating_mul(other.hi),
+            self.hi.saturating_mul(other.lo),
+            self.hi.saturating_mul(other.hi),
+        ];
+        let mut lo = corners[0];
+        let mut hi = corners[0];
+        for &c in &corners[1..] {
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        Interval { lo, hi }
+    }
+
+    /// Left shift by an exact amount: multiplication by `2^k`. A
+    /// non-exact or out-of-range shift amount yields top.
+    pub fn shl(self, amount: Interval) -> Interval {
+        if amount.lo != amount.hi || !(0..=126).contains(&amount.lo) {
+            return Interval::TOP;
+        }
+        // 0 <= amount.lo <= 126, so the u32 conversion cannot fail and
+        // the power itself cannot overflow i128.
+        let Ok(k) = u32::try_from(amount.lo) else {
+            return Interval::TOP;
+        };
+        self.mul(Interval::exact(1i128 << k))
+    }
+
+    /// Arithmetic right shift by an exact amount; top otherwise.
+    pub fn shr(self, amount: Interval) -> Interval {
+        if amount.lo != amount.hi || !(0..=126).contains(&amount.lo) {
+            return Interval::TOP;
+        }
+        let Ok(k) = u32::try_from(amount.lo) else {
+            return Interval::TOP;
+        };
+        Interval::new(self.lo >> k, self.hi >> k)
+    }
+
+    /// Division: hull of corner quotients when the divisor interval
+    /// excludes zero; top otherwise (a potential div-by-zero is not
+    /// this domain's concern, but its result is unbounded knowledge).
+    pub fn div(self, other: Interval) -> Interval {
+        if other.contains(0) {
+            return Interval::TOP;
+        }
+        let corners = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ];
+        let mut lo = corners[0];
+        let mut hi = corners[0];
+        for &c in &corners[1..] {
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        Interval { lo, hi }
+    }
+
+    /// Remainder: `|a % b| < max(|b|)`, tightened to non-negative when
+    /// the dividend is; top when the divisor is unbounded.
+    pub fn rem(self, other: Interval) -> Interval {
+        if other.is_top() {
+            return Interval::TOP;
+        }
+        let m = other.lo.saturating_abs().max(other.hi.saturating_abs());
+        if m == 0 {
+            return Interval::TOP;
+        }
+        let bound = m - 1;
+        if self.lo >= 0 {
+            Interval::new(0, bound)
+        } else {
+            Interval::new(-bound, bound)
+        }
+    }
+
+    /// Pointwise minimum (`a.min(b)`).
+    pub fn min_i(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Pointwise maximum (`a.max(b)`).
+    pub fn max_i(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// `x.clamp(lo, hi)` as `min(max(x, lo), hi)`.
+    pub fn clamp_i(self, lo: Interval, hi: Interval) -> Interval {
+        self.max_i(lo).min_i(hi)
+    }
+
+    /// Absolute value.
+    pub fn abs_i(self) -> Interval {
+        let a = self.lo.saturating_abs();
+        let b = self.hi.saturating_abs();
+        if self.contains(0) {
+            Interval::new(0, a.max(b))
+        } else {
+            Interval::new(a.min(b), a.max(b))
+        }
+    }
+
+    /// Renders as `[lo, hi]` with infinities spelled out.
+    pub fn render(self) -> String {
+        let bound = |v: i128, inf: &str| {
+            if v == i128::MIN || v == i128::MAX {
+                inf.to_string()
+            } else {
+                v.to_string()
+            }
+        };
+        format!("[{}, {}]", bound(self.lo, "-inf"), bound(self.hi, "+inf"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_hull_and_widen_terminates() {
+        let a = Interval::new(-4, 10);
+        let b = Interval::new(2, 20);
+        let j = a.join(b);
+        assert_eq!(j, Interval::new(-4, 20));
+        // Widening a growing upper bound jumps to +inf in one step.
+        let w = a.widen(j);
+        assert_eq!(w.lo, -4);
+        assert_eq!(w.hi, i128::MAX);
+        // A second widening is a fixpoint.
+        assert_eq!(w.widen(w.join(Interval::new(-100, 100))).lo, i128::MIN);
+        assert_eq!(Interval::TOP.widen(Interval::TOP), Interval::TOP);
+    }
+
+    #[test]
+    fn arithmetic_matches_the_viterbi_budget() {
+        // The PR 4 scaling argument: |la|, |lb| <= 2^20, so every entry
+        // of [la+lb, la-lb, lb-la, -la-lb] fits in +-2^21 < i32::MAX.
+        let l = Interval::symmetric(1 << 20);
+        for cost in [l.add(l), l.sub(l), l.neg().sub(l)] {
+            assert_eq!(cost, Interval::symmetric(1 << 21));
+            assert!(cost.fits_i32());
+        }
+        // With a broken bound of +-2^30 the same sum no longer fits.
+        let broken = Interval::symmetric(1 << 30);
+        assert!(!broken.add(broken).fits_i32());
+    }
+
+    #[test]
+    fn shifts_and_division() {
+        let x = Interval::new(-8, 8);
+        assert_eq!(x.shl(Interval::exact(4)), Interval::new(-128, 128));
+        assert_eq!(x.shl(Interval::new(0, 3)), Interval::TOP);
+        assert_eq!(x.shr(Interval::exact(2)), Interval::new(-2, 2));
+        assert_eq!(x.div(Interval::exact(2)), Interval::new(-4, 4));
+        assert_eq!(x.div(Interval::new(-1, 1)), Interval::TOP);
+        assert_eq!(Interval::new(0, 100).rem(Interval::exact(32)), {
+            Interval::new(0, 31)
+        });
+    }
+
+    #[test]
+    fn clamp_min_max_abs() {
+        let x = Interval::new(-100, 100);
+        let c = x.clamp_i(Interval::exact(-10), Interval::exact(10));
+        assert_eq!(c, Interval::new(-10, 10));
+        assert_eq!(x.abs_i(), Interval::new(0, 100));
+        assert_eq!(Interval::new(-7, -3).abs_i(), Interval::new(3, 7));
+        assert_eq!(
+            x.min_i(Interval::exact(5)),
+            Interval::new(-100, 5),
+            "pointwise min"
+        );
+    }
+
+    #[test]
+    fn render_spells_out_infinities() {
+        assert_eq!(Interval::new(-3, 9).render(), "[-3, 9]");
+        assert_eq!(Interval::TOP.render(), "[-inf, +inf]");
+    }
+}

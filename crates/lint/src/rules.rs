@@ -39,11 +39,21 @@ pub enum Rule {
     /// Dead public API: top-level `pub` items in library crates that
     /// no other workspace file references (interprocedural).
     L010,
+    /// Hot-path allocation freedom: no allocating call reachable from
+    /// the hot-path roots (interprocedural, flow-aware).
+    L011,
+    /// Scaling-budget verification: interval analysis proves that no
+    /// non-saturating i32 op in a `lint:budget`-annotated fn can wrap.
+    L012,
+    /// Unit-of-measure discipline: arithmetic must not mix
+    /// differently-suffixed quantities (`_s`/`_us`/`_db`/...), and
+    /// call arguments must match parameter unit suffixes.
+    L013,
 }
 
 impl Rule {
     /// All rules, in order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 13] = [
         Rule::L001,
         Rule::L002,
         Rule::L003,
@@ -54,6 +64,9 @@ impl Rule {
         Rule::L008,
         Rule::L009,
         Rule::L010,
+        Rule::L011,
+        Rule::L012,
+        Rule::L013,
     ];
 
     /// Stable identifier, e.g. `"L001"`.
@@ -69,6 +82,9 @@ impl Rule {
             Rule::L008 => "L008",
             Rule::L009 => "L009",
             Rule::L010 => "L010",
+            Rule::L011 => "L011",
+            Rule::L012 => "L012",
+            Rule::L013 => "L013",
         }
     }
 
@@ -96,6 +112,9 @@ impl Rule {
             Rule::L008 => "hash-iter",
             Rule::L009 => "atomic-ordering",
             Rule::L010 => "dead-api",
+            Rule::L011 => "hot-alloc",
+            Rule::L012 => "scaling-budget",
+            Rule::L013 => "unit-mix",
         }
     }
 
@@ -112,6 +131,9 @@ impl Rule {
             Rule::L008 => "HashMap/HashSet in a byte-identical-output crate",
             Rule::L009 => "unjustified atomic memory ordering in an audited crate",
             Rule::L010 => "dead public API (pub item referenced nowhere else)",
+            Rule::L011 => "allocation reachable from a hot-path root",
+            Rule::L012 => "unprovable or wrapping i32 op under a declared scaling budget",
+            Rule::L013 => "arithmetic or call mixing different units of measure",
         }
     }
 
@@ -206,6 +228,54 @@ impl Rule {
                  mention anywhere (including docs) keeps an item alive.\n\n\
                  Waive with `// lint:allow(dead-api): <why external users need it>`."
             }
+            Rule::L011 => {
+                "L011 · hot-path allocation freedom (interprocedural, flow-aware)\n\n\
+                 Walks the call graph from the hot-path roots (bench run_phy, the\n\
+                 MAC run_replications driver, CarpoolLink::deliver_all, and the\n\
+                 integer Viterbi / FFT kernels) and flags allocation effects in any\n\
+                 function reachable from them: Vec::new, Vec::with_capacity,\n\
+                 Box::new, format!, .clone(), .collect(), .to_vec(), and .push()\n\
+                 inside a loop. PhyScratch/ViterbiScratch made these paths\n\
+                 allocation-free; this rule keeps allocations from creeping back.\n\
+                 The diagnostic prints the full call chain from the root to the\n\
+                 allocation site.\n\n\
+                 Exemptions built into the rule: tool crates (cli, lint) are out\n\
+                 of scope; constructor/builder fns (new*, with_*, build*, from_*,\n\
+                 default) are setup-time by convention; and a push-in-loop whose\n\
+                 fn pre-sizes capacity (with_capacity / reserve) is amortized\n\
+                 O(1) and exempt while the one-time allocation stays reported.\n\n\
+                 Waive with `// lint:allow(hot-alloc): <why setup-time or\n\
+                 amortized>` — e.g. a reserve() precedes the push, or the path\n\
+                 only runs at scenario construction."
+            }
+            Rule::L012 => {
+                "L012 · integer scaling-budget verification (flow-aware)\n\n\
+                 Functions annotated `// lint:budget(i32: [names in] ±N)` (N may\n\
+                 be `2^k`) get an interval abstract interpretation over their\n\
+                 integer locals: annotated inputs are assumed in [-N, N], and\n\
+                 every non-saturating `+ - * <<` (or negation) over data derived\n\
+                 from them must provably stay inside i32. The quantized Viterbi\n\
+                 kernel's hand-argued budget (|q| <= 2^20, costs < 2^21, spread\n\
+                 < 2^24) becomes a machine-checked invariant: loosen a clamp or\n\
+                 drop a saturating op and the gate fails. Saturating ops are\n\
+                 always safe; wrapping_* ops destroy the bound and taint their\n\
+                 result. An operand the analysis cannot bound is reported as\n\
+                 unprovable — annotate its source or use saturating arithmetic.\n\n\
+                 Waive with `// lint:allow(scaling-budget): <why the op cannot\n\
+                 wrap>`."
+            }
+            Rule::L013 => {
+                "L013 · unit-of-measure discipline (flow-aware)\n\n\
+                 Identifier suffixes carry units in this workspace: `_s`, `_us`,\n\
+                 `_symbols`, `_slots`, `_db`, `_linear`, plus SCREAMING consts\n\
+                 like SYMBOL_DURATION / SLOT_TIME (seconds). Adding, subtracting\n\
+                 or comparing two quantities with different recognized units —\n\
+                 seconds to microseconds, dB to linear power — is almost always a\n\
+                 conversion bug (multiplication and division are exempt: they\n\
+                 convert units). Passing an argument whose suffix disagrees with\n\
+                 the parameter name in the callee's signature is flagged too.\n\n\
+                 Waive with `// lint:allow(unit-mix): <why the units agree>`."
+            }
         }
     }
 }
@@ -225,6 +295,11 @@ pub struct CrateClass {
     pub ordered_iteration: bool,
     /// Concurrency-audited crate: L009 applies to every `Ordering::`.
     pub atomics_audited: bool,
+    /// Unit-suffix-audited crate: L013 applies to its arithmetic.
+    pub units_audited: bool,
+    /// Pipeline crate: L011 audits allocations reachable from hot
+    /// roots. Tool crates (cli, lint) allocate freely.
+    pub alloc_audited: bool,
 }
 
 /// Crates that lower-layer crates must never depend on.
@@ -247,6 +322,8 @@ pub fn classify(package: &str) -> CrateClass {
         deterministic: true,
         ordered_iteration: true,
         atomics_audited: false,
+        units_audited: true,
+        alloc_audited: true,
     };
     match package {
         "carpool-phy" => CrateClass {
@@ -292,6 +369,8 @@ pub fn classify(package: &str) -> CrateClass {
             deterministic: false,
             ordered_iteration: true,
             atomics_audited: false,
+            units_audited: false,
+            alloc_audited: true,
         },
         // Tool crates: terminal output and wall clock are their job.
         "carpool-cli" | "carpool-lint" => CrateClass {
@@ -301,6 +380,8 @@ pub fn classify(package: &str) -> CrateClass {
             deterministic: false,
             ordered_iteration: false,
             atomics_audited: false,
+            units_audited: false,
+            alloc_audited: false,
         },
         _ => lib_sim,
     }
@@ -497,7 +578,7 @@ pub fn check_line_rule(
             false
         }
         Rule::L009 => class.atomics_audited,
-        Rule::L007 | Rule::L008 | Rule::L010 => false,
+        Rule::L007 | Rule::L008 | Rule::L010 | Rule::L011 | Rule::L012 | Rule::L013 => false,
     };
     if applies {
         for (idx, line) in lines.iter().enumerate() {
@@ -1010,7 +1091,7 @@ mod tests {
         }
         assert_eq!(Rule::from_id("l008"), Some(Rule::L008));
         assert_eq!(Rule::from_id("7"), Some(Rule::L007));
-        assert_eq!(Rule::from_id("L011"), None);
+        assert_eq!(Rule::from_id("L014"), None);
         assert_eq!(Rule::from_id("nope"), None);
     }
 

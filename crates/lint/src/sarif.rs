@@ -1,0 +1,138 @@
+//! SARIF 2.1.0 export (`--sarif <path>`), so CI systems and editors
+//! can ingest carpool-lint diagnostics alongside the native JSON v2
+//! report.
+//!
+//! One run, one tool driver, one rule descriptor per [`Rule`]. Every
+//! diagnostic of the scan is emitted: findings not covered by the
+//! baseline ratchet are `"error"` (they fail the gate), baselined ones
+//! are `"note"` (known debt, visible but not gating). Output is fully
+//! deterministic — same scan, same bytes — so a golden-file test can
+//! pin the schema (`tests/sarif_golden.rs`).
+
+use crate::baseline::json_string;
+use crate::rules::Rule;
+use crate::{RatchetReport, ScanReport};
+
+/// SARIF version and schema pinned by the export.
+pub const SARIF_VERSION: &str = "2.1.0";
+const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Renders the scan as a SARIF 2.1.0 log with one run.
+pub fn render_sarif(report: &ScanReport, verdict: &RatchetReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"version\": \"{SARIF_VERSION}\",\n"));
+    out.push_str(&format!("  \"$schema\": {},\n", json_string(SARIF_SCHEMA)));
+    out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"carpool-lint\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (k, rule) in Rule::ALL.iter().enumerate() {
+        out.push_str("            {\n");
+        out.push_str(&format!("              \"id\": \"{}\",\n", rule.id()));
+        out.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": {} }}\n",
+            json_string(rule.summary())
+        ));
+        out.push_str("            }");
+        if k + 1 < Rule::ALL.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (k, d) in report.diagnostics.iter().enumerate() {
+        // New violations gate the build; baselined debt is advisory.
+        let is_new = verdict
+            .new_violations
+            .iter()
+            .any(|n| n.rule == d.rule && n.file == d.file && n.line == d.line);
+        let level = if is_new { "error" } else { "note" };
+        let rule_index = Rule::ALL
+            .iter()
+            .position(|r| *r == d.rule)
+            .unwrap_or_default();
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": \"{}\",\n", d.rule.id()));
+        out.push_str(&format!("          \"ruleIndex\": {rule_index},\n"));
+        out.push_str(&format!("          \"level\": \"{level}\",\n"));
+        out.push_str(&format!(
+            "          \"message\": {{ \"text\": {} }},\n",
+            json_string(&d.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": {} }},\n",
+            json_string(&d.file)
+        ));
+        // SARIF regions are 1-based; whole-file findings use line 1.
+        out.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {} }}\n",
+            d.line.max(1)
+        ));
+        out.push_str("              }\n            }\n          ]\n        }");
+        if k + 1 < report.diagnostics.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    #[test]
+    fn levels_split_new_vs_baselined() {
+        let report = ScanReport {
+            diagnostics: vec![
+                Diagnostic {
+                    rule: Rule::L001,
+                    file: "crates/phy/src/a.rs".into(),
+                    line: 3,
+                    message: "banked".into(),
+                },
+                Diagnostic {
+                    rule: Rule::L011,
+                    file: "crates/phy/src/b.rs".into(),
+                    line: 7,
+                    message: "fresh".into(),
+                },
+            ],
+            ..ScanReport::default()
+        };
+        let verdict = RatchetReport {
+            new_violations: vec![report.diagnostics[1].clone()],
+            stale: Vec::new(),
+        };
+        let sarif = render_sarif(&report, &verdict);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"level\": \"note\""));
+        assert!(sarif.contains("\"level\": \"error\""));
+        assert!(sarif.contains("\"startLine\": 3"));
+        // Rule index of L011 in Rule::ALL is 10 (0-based).
+        assert!(sarif.contains("\"ruleIndex\": 10"));
+    }
+
+    #[test]
+    fn whole_file_findings_clamp_to_line_one() {
+        let report = ScanReport {
+            diagnostics: vec![Diagnostic {
+                rule: Rule::L003,
+                file: "crates/phy/Cargo.toml".into(),
+                line: 0,
+                message: "manifest layering".into(),
+            }],
+            ..ScanReport::default()
+        };
+        let verdict = RatchetReport::default();
+        let sarif = render_sarif(&report, &verdict);
+        assert!(sarif.contains("\"startLine\": 1"));
+    }
+}

@@ -131,7 +131,15 @@ pub fn scan_source(source: &str) -> Vec<SourceLine> {
             }
             State::Str => {
                 if c == '\\' {
-                    i += 2;
+                    // Consume the escape, but keep a string-continuation
+                    // `\` at end of line from swallowing the newline —
+                    // the top of the loop must still emit the line
+                    // record or every later line number shifts by one.
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
                 } else if c == '"' {
                     code.push('"');
                     state = State::Code;
@@ -358,6 +366,18 @@ fn also_real() {}\n";
         let lines = scan_source("mod m {\n    fn f() {\n        x;\n    }\n}\n");
         let depths: Vec<usize> = lines.iter().map(|l| l.depth).collect();
         assert_eq!(depths, vec![0, 1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn string_continuation_backslash_keeps_line_numbers() {
+        // A `\` at end of line inside a string continues the literal but
+        // must NOT swallow the newline: line numbers after the literal
+        // have to stay aligned with the physical file.
+        let src = "let s = \"one \\\n    two\";\nafter();\n";
+        let lines = scan_source(src);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[2].number, 3);
+        assert_eq!(lines[2].code, "after();");
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! Fixture tests for the interprocedural rules (L007–L010): one
+//! Fixture tests for the interprocedural rules (L007–L013): one
 //! positive (the rule fires) and one negative (compliant code passes)
 //! per rule, plus a disk-based end-to-end scan of a miniature
 //! workspace exercising the full `scan_workspace` pipeline.
 
 use carpool_lint::callgraph::CallGraph;
-use carpool_lint::interproc::{check_l007, check_l008, check_l010};
+use carpool_lint::interproc::{
+    check_l007, check_l008, check_l010, check_l011, check_l012, check_l013,
+};
 use carpool_lint::items::{FileRecord, Section};
 use carpool_lint::rules::{check_line_rule, classify, Rule};
 use carpool_lint::scanner::scan_source;
@@ -159,6 +161,174 @@ fn l010_passes_when_item_is_referenced_or_waived() {
         ),
     ];
     assert!(check_l010(&files).is_empty());
+}
+
+// ---------------------------------------------------------------- L011
+
+#[test]
+fn l011_fires_on_allocation_reachable_from_hot_root() {
+    let files = vec![record(
+        "crates/bench/src/lib.rs",
+        "carpool-bench",
+        "pub fn run_phy() { helper(); }\n\
+         fn helper() -> Vec<u8> { let v = Vec::new(); v }\n",
+    )];
+    let graph = CallGraph::build(&files);
+    let (diags, hot_sites) = check_l011(&files, &graph);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 2);
+    assert!(
+        diags[0].message.contains("Vec::new") && diags[0].message.contains("run_phy"),
+        "diagnostic must name the allocation and the hot chain: {}",
+        diags[0].message
+    );
+    assert_eq!(hot_sites, 1);
+}
+
+#[test]
+fn l011_exempts_setup_fns_reserved_pushes_and_waivers() {
+    let files = vec![record(
+        "crates/bench/src/lib.rs",
+        "carpool-bench",
+        // Setup-shaped constructors allocate freely; a `.push` loop over
+        // pre-reserved capacity is amortized; an explicit waiver holds.
+        "pub fn run_phy() { new_scratch(); fill(); waived(); }\n\
+         fn new_scratch() -> Vec<u8> { Vec::with_capacity(64) }\n\
+         fn fill() {\n\
+             let mut v = Vec::with_capacity(16); // lint:allow(hot-alloc): sized once\n\
+             for i in 0..16u8 {\n\
+                 v.push(i);\n\
+             }\n\
+         }\n\
+         fn waived() { let b = Box::new(1u8); drop(b); } // lint:allow(hot-alloc): one-shot\n",
+    )];
+    let graph = CallGraph::build(&files);
+    let (diags, _) = check_l011(&files, &graph);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l011_ignores_tool_crates_and_cold_fns() {
+    // The lint/cli crates are not alloc-audited, and allocations in fns
+    // never reached from a hot root are someone else's business.
+    let tool = vec![record(
+        "crates/cli/src/main.rs",
+        "carpool-cli",
+        "pub fn run_phy() { let v: Vec<u8> = Vec::new(); drop(v); }\n",
+    )];
+    let graph = CallGraph::build(&tool);
+    assert!(check_l011(&tool, &graph).0.is_empty());
+
+    let cold = vec![record(
+        "crates/bench/src/lib.rs",
+        "carpool-bench",
+        "pub fn report() -> String { format!(\"cold path\") }\n",
+    )];
+    let graph = CallGraph::build(&cold);
+    assert!(check_l011(&cold, &graph).0.is_empty());
+}
+
+// ---------------------------------------------------------------- L012
+
+#[test]
+fn l012_proves_a_sound_budget() {
+    let files = vec![record(
+        "crates/phy/src/convolutional.rs",
+        "carpool-phy",
+        "// lint:budget(i32: la, lb in ±2^20)\n\
+         fn acs(la: i32, lb: i32) -> i32 { la + lb }\n",
+    )];
+    let (diags, budget_fns, ops_checked) = check_l012(&files);
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(budget_fns, 1);
+    assert!(ops_checked >= 1, "the `+` must have been bounds-checked");
+}
+
+#[test]
+fn l012_catches_a_deliberately_broken_budget_bound() {
+    // ±2^30 + ±2^30 = ±2^31, one past i32::MAX: the interval analysis
+    // must refuse to certify the very same code the sound bound passes.
+    let files = vec![record(
+        "crates/phy/src/convolutional.rs",
+        "carpool-phy",
+        "// lint:budget(i32: la, lb in ±2^30)\n\
+         fn acs(la: i32, lb: i32) -> i32 { la + lb }\n",
+    )];
+    let (diags, budget_fns, _) = check_l012(&files);
+    assert_eq!(budget_fns, 1);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 2);
+    assert!(
+        diags[0].message.contains("acs"),
+        "diagnostic must name the annotated fn: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn l012_waiver_silences_an_unprovable_op() {
+    let files = vec![record(
+        "crates/phy/src/convolutional.rs",
+        "carpool-phy",
+        "// lint:budget(i32: x in ±2^30)\n\
+         fn wide(x: i32) -> i32 {\n\
+             // lint:allow(scaling-budget): callers pre-clamp to ±2^10\n\
+             x + x\n\
+         }\n",
+    )];
+    let (diags, _, _) = check_l012(&files);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- L013
+
+#[test]
+fn l013_fires_on_mixed_unit_arithmetic() {
+    let files = vec![record(
+        "crates/frame/src/airtime.rs",
+        "carpool-frame",
+        "fn total(airtime_s: f64, backoff_us: f64) -> f64 { airtime_s + backoff_us }\n",
+    )];
+    let (diags, unit_params) = check_l013(&files);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(
+        diags[0].message.contains("s") && diags[0].message.contains("us"),
+        "diagnostic must name both units: {}",
+        diags[0].message
+    );
+    assert_eq!(unit_params, 2);
+}
+
+#[test]
+fn l013_passes_matching_units_and_unit_converting_ops() {
+    let files = vec![record(
+        "crates/frame/src/airtime.rs",
+        "carpool-frame",
+        // Same unit adds fine; multiplication/division convert units by
+        // design and are exempt from the mixing check.
+        "fn ok(airtime_s: f64, gap_s: f64, rate_linear: f64) -> f64 {\n\
+             (airtime_s + gap_s) * rate_linear\n\
+         }\n",
+    )];
+    let (diags, _) = check_l013(&files);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l013_flags_call_argument_unit_mismatch() {
+    let files = vec![record(
+        "crates/frame/src/airtime.rs",
+        "carpool-frame",
+        "fn wait(timeout_s: f64) -> f64 { timeout_s }\n\
+         fn caller(delay_us: f64) -> f64 { wait(delay_us) }\n",
+    )];
+    let (diags, _) = check_l013(&files);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(
+        diags[0].message.contains("wait"),
+        "diagnostic must name the callee: {}",
+        diags[0].message
+    );
 }
 
 // ------------------------------------------------------ end to end

@@ -1,0 +1,115 @@
+//! Property tests for the interval lattice behind L012: `join` must be
+//! a least upper bound, `widen` must be sound AND terminating (every
+//! widening chain reaches a fixpoint in finitely many steps — no
+//! infinite ascent), and the arithmetic transfer functions must
+//! over-approximate their concrete counterparts.
+
+use carpool_lint::ranges::Interval;
+use proptest::prelude::*;
+
+/// Small concrete values so products and shifts stay in range for the
+/// exact-arithmetic cross-checks. (Generated as i64 — this proptest
+/// build has no i128 range strategy — then lifted into the domain.)
+fn small() -> impl Strategy<Value = i128> {
+    (-1_000_000i64..1_000_000i64).prop_map(i128::from)
+}
+
+fn interval() -> impl Strategy<Value = Interval> {
+    (small(), small()).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)))
+}
+
+/// Projects an arbitrary integer onto a concrete point inside `iv`.
+fn pick(iv: Interval, x: i128) -> i128 {
+    x.clamp(iv.lo, iv.hi)
+}
+
+proptest! {
+    #[test]
+    fn join_is_an_upper_bound(a in interval(), b in interval()) {
+        let j = a.join(b);
+        prop_assert!(j.lo <= a.lo && a.hi <= j.hi, "join must contain a");
+        prop_assert!(j.lo <= b.lo && b.hi <= j.hi, "join must contain b");
+    }
+
+    #[test]
+    fn join_is_commutative_and_idempotent(a in interval(), b in interval()) {
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.join(a), a);
+    }
+
+    #[test]
+    fn widen_is_an_upper_bound_of_join(a in interval(), b in interval()) {
+        // Soundness: widening never loses states that join would keep.
+        let j = a.join(b);
+        let w = a.widen(b);
+        prop_assert!(w.lo <= j.lo && j.hi <= w.hi, "widen({a:?},{b:?}) = {w:?} must contain join = {j:?}");
+    }
+
+    #[test]
+    fn widen_chains_terminate(a in interval(), steps in proptest::collection::vec(interval(), 1..20)) {
+        // No infinite ascent: repeatedly widening with arbitrary inputs
+        // must reach a fixpoint within a couple of iterations per bound
+        // (each growing bound jumps straight to infinity).
+        let mut cur = a;
+        let mut changes = 0u32;
+        for s in steps {
+            let next = cur.widen(s);
+            if next != cur {
+                changes += 1;
+                cur = next;
+            }
+        }
+        // Each bound can change at most once (finite -> infinite), so
+        // the whole chain stabilizes after at most 2 changes.
+        prop_assert!(changes <= 2, "widening chain changed {changes} times");
+        prop_assert_eq!(cur.widen(cur), cur, "fixpoint must be stable");
+    }
+
+    #[test]
+    fn add_over_approximates(a in interval(), b in interval(), x in small(), y in small()) {
+        let xa = pick(a, x);
+        let yb = pick(b, y);
+        prop_assert!(a.contains(xa) && b.contains(yb));
+        prop_assert!(a.add(b).contains(xa + yb), "{:?} + {:?} must contain {}", a, b, xa + yb);
+    }
+
+    #[test]
+    fn sub_and_neg_over_approximate(a in interval(), b in interval(), x in small(), y in small()) {
+        let xa = pick(a, x);
+        let yb = pick(b, y);
+        prop_assert!(a.sub(b).contains(xa - yb));
+        prop_assert!(a.neg().contains(-xa));
+    }
+
+    #[test]
+    fn mul_over_approximates(a in interval(), b in interval(), x in small(), y in small()) {
+        let xa = pick(a, x);
+        let yb = pick(b, y);
+        prop_assert!(a.mul(b).contains(xa * yb), "{:?} * {:?} must contain {}", a, b, xa * yb);
+    }
+
+    #[test]
+    fn shl_over_approximates(a in interval(), x in small(), k in 0i64..8) {
+        let xa = pick(a, x);
+        let shift = Interval::exact(i128::from(k));
+        prop_assert!(a.shl(shift).contains(xa << k), "{a:?} << {k} must contain {}", xa << k);
+    }
+
+    #[test]
+    fn top_absorbs_everything(a in interval()) {
+        prop_assert!(Interval::TOP.join(a).is_top());
+        prop_assert!(a.join(Interval::TOP).is_top());
+        prop_assert!(Interval::TOP.add(a).is_top());
+    }
+
+    #[test]
+    fn fits_i32_matches_the_bounds(a in interval()) {
+        // Our generator stays within ±10^6, so everything fits; scaling
+        // by 2^12 pushes the million-bounds past i32.
+        prop_assert!(a.fits_i32());
+        let big = a.mul(Interval::exact(1 << 40));
+        if a.lo != 0 || a.hi != 0 {
+            prop_assert!(!big.fits_i32(), "{big:?} should overflow i32");
+        }
+    }
+}

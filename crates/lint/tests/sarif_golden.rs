@@ -1,0 +1,94 @@
+//! Golden-file test for the SARIF 2.1.0 export: the rendered log for a
+//! fixed scan must be byte-identical to the checked-in golden. This
+//! pins the schema URI, the full rule descriptor table (L001-L013),
+//! and the error/note level split, so any change to the export format
+//! is a deliberate, reviewed diff.
+//!
+//! To re-bless after an intentional format change:
+//! `UPDATE_GOLDEN=1 cargo test -p carpool-lint --test sarif_golden`
+
+use carpool_lint::rules::{Diagnostic, Rule};
+use carpool_lint::sarif::render_sarif;
+use carpool_lint::{RatchetReport, ScanReport};
+use std::path::Path;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/report.sarif");
+
+fn fixture_report() -> (ScanReport, RatchetReport) {
+    let report = ScanReport {
+        diagnostics: vec![
+            Diagnostic {
+                rule: Rule::L004,
+                file: "crates/phy/src/fft.rs".into(),
+                line: 42,
+                message: "`as` cast without a width comment".into(),
+            },
+            Diagnostic {
+                rule: Rule::L011,
+                file: "crates/phy/src/rx.rs".into(),
+                line: 7,
+                message: "allocation (`Vec::new`) reachable from hot root `run_phy` \
+                          via run_phy -> decode_section"
+                    .into(),
+            },
+            Diagnostic {
+                rule: Rule::L012,
+                file: "crates/phy/src/convolutional.rs".into(),
+                line: 0,
+                message: "cannot bound non-saturating `<<` over budgeted data".into(),
+            },
+        ],
+        ..ScanReport::default()
+    };
+    let verdict = RatchetReport {
+        // The L011 finding is new (gates the build); the rest are
+        // banked debt and export as notes.
+        new_violations: vec![report.diagnostics[1].clone()],
+        stale: Vec::new(),
+    };
+    (report, verdict)
+}
+
+#[test]
+fn sarif_output_matches_golden() {
+    let (report, verdict) = fixture_report();
+    let rendered = render_sarif(&report, &verdict);
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &rendered).expect("write golden");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN).unwrap_or_else(|e| {
+        panic!("missing golden file {GOLDEN}: {e}; run with UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        rendered, golden,
+        "SARIF output drifted from {GOLDEN}; if intentional, re-bless with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_pins_every_rule_descriptor() {
+    // The golden must keep one descriptor per rule, in order, so a rule
+    // added without a SARIF descriptor shows up as a test failure here
+    // rather than as silently-unattributed results.
+    let golden = std::fs::read_to_string(GOLDEN).expect("golden present");
+    for rule in Rule::ALL {
+        assert!(
+            golden.contains(&format!("\"id\": \"{}\"", rule.id())),
+            "golden lacks a descriptor for {}",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn rendering_is_deterministic() {
+    let (report, verdict) = fixture_report();
+    assert_eq!(
+        render_sarif(&report, &verdict),
+        render_sarif(&report, &verdict)
+    );
+    assert!(Path::new(GOLDEN).exists());
+}

@@ -253,7 +253,7 @@ impl ChannelStats {
 /// Jain's fairness index over nonnegative allocations:
 /// `(sum x)^2 / (n * sum x^2)`, 1.0 = perfectly fair, 1/n = maximally
 /// unfair. Returns 1.0 for empty or all-zero inputs.
-pub fn jain_fairness(allocations: &[f64]) -> f64 {
+pub(crate) fn jain_fairness(allocations: &[f64]) -> f64 {
     let n = allocations.len();
     if n == 0 {
         return 1.0;

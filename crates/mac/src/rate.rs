@@ -10,7 +10,7 @@ use carpool_phy::mcs::Mcs;
 /// SNR thresholds (dB) above which each 802.11a/g rate is reliable,
 /// ordered like [`Mcs::ALL`]. Derived from the standard's receiver
 /// sensitivity ladder shifted to post-equalisation SNR.
-pub const SNR_THRESHOLDS_DB: [f64; 8] = [5.0, 7.0, 9.5, 12.5, 16.0, 19.5, 23.5, 25.5];
+pub(crate) const SNR_THRESHOLDS_DB: [f64; 8] = [5.0, 7.0, 9.5, 12.5, 16.0, 19.5, 23.5, 25.5];
 
 /// Picks the fastest MCS whose threshold the link clears; links below
 /// every threshold fall back to the base rate.
@@ -38,7 +38,8 @@ pub fn mcs_for_snr(snr_db: f64) -> Mcs {
 /// Maps a distance-flavoured path loss to SNR: `snr_ref` at 1 m with
 /// log-distance decay of `exponent x 10 dB` per decade. Handy for
 /// placing simulated stations around the AP.
-pub fn snr_at_distance(snr_ref_db: f64, distance_m: f64, exponent: f64) -> f64 {
+#[cfg(test)]
+fn snr_at_distance(snr_ref_db: f64, distance_m: f64, exponent: f64) -> f64 {
     assert!(distance_m > 0.0, "distance must be positive");
     snr_ref_db - 10.0 * exponent * distance_m.log10()
 }

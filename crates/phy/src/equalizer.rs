@@ -172,6 +172,7 @@ pub fn estimate_noise_from_ltf(ltf1: &[Complex64], ltf2: &[Complex64]) -> f64 {
 
 /// Result of pilot-based phase tracking for one symbol.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// lint:allow(dead-api): appears in pub signatures; callers use it structurally without naming the type
 pub struct PhaseTrack {
     /// Total measured common phase offset of the symbol, radians in
     /// `(-pi, pi]`. Includes both inherent (CFO/channel drift) and any

@@ -236,7 +236,7 @@ pub fn ifft_in_place(data: &mut [Complex64]) -> Result<(), FftError> {
 ///
 /// Returns [`FftError::NotPowerOfTwo`] if the input length is invalid.
 pub fn fft(input: &[Complex64]) -> Result<Vec<Complex64>, FftError> {
-    let mut out = input.to_vec();
+    let mut out = input.to_vec(); // lint:allow(hot-alloc): per-transform output buffer; twiddles are cached
     fft_in_place(&mut out)?;
     Ok(out)
 }
@@ -247,7 +247,7 @@ pub fn fft(input: &[Complex64]) -> Result<Vec<Complex64>, FftError> {
 ///
 /// Returns [`FftError::NotPowerOfTwo`] if the input length is invalid.
 pub fn ifft(input: &[Complex64]) -> Result<Vec<Complex64>, FftError> {
-    let mut out = input.to_vec();
+    let mut out = input.to_vec(); // lint:allow(hot-alloc): per-transform output buffer; twiddles are cached
     ifft_in_place(&mut out)?;
     Ok(out)
 }
@@ -283,7 +283,7 @@ pub fn fft_real(input: &[f64]) -> Result<Vec<Complex64>, FftError> {
     // imaginary lane of a half-size complex signal.
     let mut packed: Vec<Complex64> = (0..half)
         .map(|k| Complex64::new(input[2 * k], input[2 * k + 1]))
-        .collect();
+        .collect(); // lint:allow(hot-alloc): per-transform output buffer; twiddles are cached
     fft_in_place(&mut packed)?;
 
     // Untangle: for Z = fft(even + i*odd),

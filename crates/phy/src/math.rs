@@ -252,7 +252,8 @@ impl From<(f64, f64)> for Complex64 {
 /// assert!((carpool_phy::math::lin_to_db(100.0) - 20.0).abs() < 1e-12);
 /// ```
 #[inline]
-pub fn lin_to_db(linear: f64) -> f64 {
+#[cfg(test)]
+fn lin_to_db(linear: f64) -> f64 {
     10.0 * linear.log10()
 }
 

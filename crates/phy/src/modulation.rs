@@ -188,7 +188,7 @@ impl Modulation {
     ///
     /// Panics if `bits.len()` is not a multiple of the bits per symbol.
     pub fn map_all(&self, bits: &[u8]) -> Vec<Complex64> {
-        let mut out = Vec::with_capacity(bits.len() / self.bits_per_symbol().max(1));
+        let mut out = Vec::with_capacity(bits.len() / self.bits_per_symbol().max(1)); // lint:allow(hot-alloc): per-section symbol buffer, pre-sized from bit count
         self.map_all_into(bits, &mut out);
         out
     }
@@ -208,7 +208,7 @@ impl Modulation {
 
     /// Demaps a slice of points back to bits.
     pub fn demap_all(&self, points: &[Complex64]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(points.len() * self.bits_per_symbol());
+        let mut out = Vec::with_capacity(points.len() * self.bits_per_symbol()); // lint:allow(hot-alloc): per-section symbol buffer, pre-sized from bit count
         for &p in points {
             self.demap_into(p, &mut out);
         }
@@ -278,7 +278,7 @@ impl Modulation {
                     best1 = best1.min(d);
                 }
             }
-            out.push((best0 - best1) * inv);
+            out.push((best0 - best1) * inv); // lint:allow(hot-alloc): per-section symbol buffer, pre-sized from bit count
         }
     }
 

@@ -14,7 +14,7 @@ use crate::ofdm::{carrier_to_bin, CP_LEN, FFT_SIZE, SYMBOL_LEN};
 
 /// L-LTF training values on logical subcarriers -26..=26 (DC included as 0),
 /// per IEEE 802.11-2012 Eq. 18-11.
-pub const LTF_SEQUENCE: [i8; 53] = [
+pub(crate) const LTF_SEQUENCE: [i8; 53] = [
     1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1,
     1, // -26..-1
     0, // DC
@@ -64,7 +64,7 @@ fn stf_bins() -> Vec<Complex64> {
 }
 
 /// LTF frequency-domain values over the 64 FFT bins.
-pub fn ltf_bins() -> Vec<Complex64> {
+pub(crate) fn ltf_bins() -> Vec<Complex64> {
     let mut bins = vec![Complex64::ZERO; FFT_SIZE];
     for c in -26..=26i32 {
         if c == 0 {
@@ -76,14 +76,14 @@ pub fn ltf_bins() -> Vec<Complex64> {
 }
 
 /// Number of OFDM symbols in the preamble (2 STF + 2 LTF).
-pub const PREAMBLE_SYMBOLS: usize = 4;
+pub(crate) const PREAMBLE_SYMBOLS: usize = 4;
 /// Total preamble length in samples.
 pub const PREAMBLE_LEN: usize = PREAMBLE_SYMBOLS * SYMBOL_LEN;
 
 fn symbol_with_cp(bins: &[Complex64]) -> Vec<Complex64> {
     // lint:allow(panic): the preamble tables are fixed 64-bin arrays and 64 is a power of two
     let time = ifft(bins).expect("64-bin IFFT cannot fail");
-    let mut out = Vec::with_capacity(SYMBOL_LEN);
+    let mut out = Vec::with_capacity(SYMBOL_LEN); // lint:allow(hot-alloc): per-frame preamble build, memoized by the TX waveform cache
     out.extend_from_slice(&time[FFT_SIZE - CP_LEN..]);
     out.extend_from_slice(&time);
     out
@@ -93,7 +93,7 @@ fn symbol_with_cp(bins: &[Complex64]) -> Vec<Complex64> {
 pub fn generate_preamble() -> Vec<Complex64> {
     let stf = symbol_with_cp(&stf_bins());
     let ltf = symbol_with_cp(&ltf_bins());
-    let mut out = Vec::with_capacity(PREAMBLE_LEN);
+    let mut out = Vec::with_capacity(PREAMBLE_LEN); // lint:allow(hot-alloc): per-frame preamble build, memoized by the TX waveform cache
     out.extend_from_slice(&stf);
     out.extend_from_slice(&stf);
     out.extend_from_slice(&ltf);

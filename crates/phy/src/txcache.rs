@@ -35,7 +35,7 @@ use crate::PhyError;
 /// Upper bound on retained waveforms. Sweeps reuse a handful of distinct
 /// specs per process; the bound only exists so a pathological caller
 /// cannot grow the cache without limit. Eviction is oldest-first.
-pub const MAX_ENTRIES: usize = 8;
+pub(crate) const MAX_ENTRIES: usize = 8;
 
 /// Cached (spec list → encoded frame) pairs. Lookup is a linear scan
 /// with full structural equality — at most [`MAX_ENTRIES`] comparisons,
@@ -175,7 +175,7 @@ fn insert(sections: &[SectionSpec], frame: Arc<TxFrame>) {
     if cache.len() >= MAX_ENTRIES {
         cache.remove(0);
     }
-    cache.push((sections.to_vec(), frame));
+    cache.push((sections.to_vec(), frame)); // lint:allow(hot-alloc): cache-fill copy, once per (frame, config) key
 }
 
 #[cfg(test)]

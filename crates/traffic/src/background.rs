@@ -13,9 +13,9 @@ use crate::voip::{exponential, Arrival};
 use rand::Rng;
 
 /// Mean TCP inter-packet arrival time in the SIGCOMM'08 trace.
-pub const TCP_INTERARRIVAL_S: f64 = 0.047;
+pub(crate) const TCP_INTERARRIVAL_S: f64 = 0.047;
 /// Mean UDP inter-packet arrival time in the SIGCOMM'08 trace.
-pub const UDP_INTERARRIVAL_S: f64 = 0.088;
+pub(crate) const UDP_INTERARRIVAL_S: f64 = 0.088;
 
 /// Transport protocol of a background flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,9 +84,10 @@ impl BackgroundSource {
     /// Generates all arrivals in `[0, duration)`.
     pub fn generate<R: Rng + ?Sized>(&self, duration: f64, rng: &mut R) -> Vec<Arrival> {
         let mean = self.transport.mean_interarrival() / self.rate_scale;
-        let mut arrivals = Vec::new();
+        let mut arrivals = Vec::new(); // lint:allow(hot-alloc): per-arrival packet generation, bounded by offered load
         let mut t = exponential(mean, rng);
         while t < duration {
+            // lint:allow(hot-alloc): per-arrival packet generation, bounded by offered load
             arrivals.push(Arrival {
                 time: t,
                 bytes: self.sizes.sample(rng),
@@ -99,7 +100,8 @@ impl BackgroundSource {
 
 /// Merges several arrival streams into one time-ordered stream, tagging
 /// each arrival with its source index.
-pub fn merge_streams(streams: &[Vec<Arrival>]) -> Vec<(usize, Arrival)> {
+#[cfg(test)]
+fn merge_streams(streams: &[Vec<Arrival>]) -> Vec<(usize, Arrival)> {
     let mut merged: Vec<(usize, Arrival)> = streams
         .iter()
         .enumerate()

@@ -30,6 +30,7 @@ pub struct TraceRecord {
 
 /// Errors from trace parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// lint:allow(dead-api): appears in pub signatures; callers use it structurally without naming the type
 pub enum TraceError {
     /// A line did not have the expected four fields.
     Malformed {

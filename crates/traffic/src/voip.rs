@@ -10,16 +10,16 @@
 use rand::Rng;
 
 /// Default Brady talkspurt mean duration (seconds).
-pub const TALKSPURT_MEAN_S: f64 = 1.0;
+pub(crate) const TALKSPURT_MEAN_S: f64 = 1.0;
 /// Default Brady silence mean duration (seconds).
-pub const SILENCE_MEAN_S: f64 = 1.35;
+pub(crate) const SILENCE_MEAN_S: f64 = 1.35;
 /// VoIP frame size in bytes (802.11n usage model).
-pub const VOIP_FRAME_BYTES: usize = 120;
+pub(crate) const VOIP_FRAME_BYTES: usize = 120;
 /// Peak rate in bit/s.
-pub const VOIP_PEAK_RATE_BPS: f64 = 96_000.0;
+pub(crate) const VOIP_PEAK_RATE_BPS: f64 = 96_000.0;
 
 /// Packetisation interval during a talkspurt.
-pub fn frame_interval() -> f64 {
+pub(crate) fn frame_interval() -> f64 {
     VOIP_FRAME_BYTES as f64 * 8.0 / VOIP_PEAK_RATE_BPS
 }
 
@@ -77,7 +77,7 @@ impl VoipSource {
     /// The source starts in a random phase: with probability equal to
     /// the activity factor it begins mid-talkspurt.
     pub fn generate<R: Rng + ?Sized>(&self, duration: f64, rng: &mut R) -> Vec<Arrival> {
-        let mut arrivals = Vec::new();
+        let mut arrivals = Vec::new(); // lint:allow(hot-alloc): per-arrival packet generation, bounded by offered load
         let mut t = 0.0f64;
         let mut talking = rng.gen::<f64>() < self.activity_factor();
         while t < duration {
@@ -86,6 +86,7 @@ impl VoipSource {
                 let end = (t + spurt).min(duration);
                 let mut ft = t;
                 while ft < end {
+                    // lint:allow(hot-alloc): per-arrival packet generation, bounded by offered load
                     arrivals.push(Arrival {
                         time: ft,
                         bytes: VOIP_FRAME_BYTES,

@@ -1,27 +1,60 @@
 #!/bin/sh
 # Offline lint gate: formatting, clippy, and the project linter across
 # the whole workspace. Run from anywhere; everything resolves relative
-# to the repo root.
+# to the repo root. Each stage reports its wall time so gate slowdowns
+# are visible in CI logs, and the analyzer budget is enforced: if the
+# project linter blows its --budget-ms the gate FAILS instead of only
+# warning.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check =="
+LINT_BUDGET_MS=5000
+
+now_ms() {
+    date +%s%3N
+}
+
+stage_t0=0
+stage_begin() {
+    echo "== $1 =="
+    stage_t0=$(now_ms)
+}
+stage_end() {
+    echo "-- stage wall time: $(( $(now_ms) - stage_t0 )) ms"
+}
+
+stage_begin "cargo fmt --check"
 cargo fmt --all --check
+stage_end
 
-echo "== cargo clippy (-D warnings) =="
+stage_begin "cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+stage_end
 
-echo "== carpool-lint (line + call-graph analysis) =="
-# Fails on any new L001-L010 violation or a stale baseline entry (exit
-# 1), or on an internal analyzer error (exit 2). The analyzer budget is
-# non-fatal: going over 5 s prints a warning in the report but does not
-# fail the gate. The JSON trend report (per-rule counts and timings,
-# hot-path stats) lands next to the bench baselines for tracking.
-cargo run --offline -q -p carpool-lint -- --budget-ms 5000
-cargo run --offline -q -p carpool-lint -- --json --budget-ms 5000 > crates/bench/BENCH_lint.json
+stage_begin "carpool-lint (line + flow + call-graph analysis)"
+# Fails on any new L001-L013 violation or a stale baseline entry (exit
+# 1), or on an internal analyzer error (exit 2). The JSON trend report
+# (per-rule counts and timings, hot-path and flow stats) lands next to
+# the bench baselines for tracking.
+cargo run --offline -q -p carpool-lint -- --budget-ms "$LINT_BUDGET_MS"
+cargo run --offline -q -p carpool-lint -- --json --budget-ms "$LINT_BUDGET_MS" \
+    > crates/bench/BENCH_lint.json
+# The budget is fatal here: a static analyzer that creeps past its wall
+# budget stops being a pre-commit tool, so the gate rejects it.
+lint_elapsed=$(sed -n 's/.*"elapsed_ms": *\([0-9]*\).*/\1/p' crates/bench/BENCH_lint.json | head -n 1)
+if [ -z "$lint_elapsed" ]; then
+    echo "FATAL: could not read elapsed_ms from crates/bench/BENCH_lint.json"
+    exit 1
+fi
+if [ "$lint_elapsed" -gt "$LINT_BUDGET_MS" ]; then
+    echo "FATAL: carpool-lint took ${lint_elapsed} ms, over its ${LINT_BUDGET_MS} ms budget"
+    exit 1
+fi
+echo "carpool-lint budget ok: ${lint_elapsed} ms of ${LINT_BUDGET_MS} ms"
+stage_end
 
-echo "== perf snapshot (phy_micro throughput) =="
+stage_begin "perf snapshot (phy_micro throughput)"
 # Times the parallel PHY Monte-Carlo driver plus the SNR-sweep workload
 # (TX-waveform cache on, bit-identity to the uncached run asserted),
 # checks 1-thread vs pool determinism, and prints per-kernel and
@@ -30,8 +63,9 @@ echo "== perf snapshot (phy_micro throughput) =="
 # flagged on stdout (non-fatal: wall-clock noise must not fail the
 # gate).
 cargo bench --offline -q -p carpool-bench --bench phy_micro | grep -A 60 "obs overhead gate:"
+stage_end
 
-echo "== obs overhead gate (flight recorder) =="
+stage_begin "obs overhead gate (flight recorder)"
 # The phy_micro run above wrote crates/bench/BENCH_obs.json. The
 # tracing-*disabled* decode path must stay within 1% of the plain decode
 # (the hooks are a single predicted branch each) — blowing that budget
@@ -47,5 +81,6 @@ if grep -q '"tracing_within_budget":false' crates/bench/BENCH_obs.json; then
          "budget (non-fatal; see crates/bench/BENCH_obs.json)"
 fi
 echo "obs overhead ok: disabled path within 1% of the plain decode"
+stage_end
 
 echo "ok"
