@@ -26,7 +26,10 @@ use carpool_bench::{pattern_bits, run_phy, PhyBerResult, PhyRunConfig};
 use carpool_bloom::AggregationHeader;
 use carpool_obs::json::{self, ObjectWriter};
 use carpool_obs::{FlightRecorder, MemoryRecorder, Obs, SpanStats};
-use carpool_phy::convolutional::{decode, decode_soft, decode_soft_quantized, encode, CodeRate};
+use carpool_phy::convolutional::{
+    decode, decode_levels_with, decode_soft, decode_soft_quantized, encode, CodeRate,
+    ViterbiScratch,
+};
 use carpool_phy::equalizer::ChannelEstimate;
 use carpool_phy::fft::{fft_in_place, fft_real, ifft_in_place};
 use carpool_phy::interleaver::Interleaver;
@@ -57,11 +60,20 @@ fn measure(name: &'static str, mut f: impl FnMut()) -> SpanStats {
     stats
 }
 
+/// Per-tail fraction dropped by the trimmed mean reported next to the
+/// median — two scheduler spikes out of [`SAMPLES`]=20 are discarded,
+/// which is what stabilizes the noisy `rx_1500B_*` rows run to run.
+const TRIM_FRACTION: f64 = 0.1;
+
 fn json_entry(stats: &SpanStats) -> String {
     let mut w = ObjectWriter::new();
     w.str("name", stats.name)
         .u64("samples", stats.count() as u64)
         .f64("mean_us", stats.mean_secs() * 1e6)
+        .f64(
+            "trimmed_mean_us",
+            stats.trimmed_mean_secs(TRIM_FRACTION) * 1e6,
+        )
         .f64("median_us", stats.median_secs() * 1e6)
         .f64("min_us", stats.min_secs() * 1e6)
         .f64("max_us", stats.max_secs() * 1e6);
@@ -103,12 +115,26 @@ fn bench_coding(results: &mut Vec<SpanStats>) {
     results.push(measure("viterbi_soft_f64_1kbit", || {
         black_box(decode_soft(black_box(&llrs), bits.len(), CodeRate::Half));
     }));
-    // The production integer kernel on the same LLR frame.
-    results.push(measure("viterbi_int_1kbit", || {
+    // The same LLR frame through the f64-in quantizing entry point —
+    // this row includes the quantize pass the fused RX path no longer
+    // performs separately.
+    results.push(measure("viterbi_quantize_1kbit", || {
         black_box(decode_soft_quantized(
             black_box(&llrs),
             bits.len(),
             CodeRate::Half,
+        ));
+    }));
+    // The production integer kernel as the fused RX path drives it:
+    // pre-quantized levels in, trellis scratch reused across frames.
+    let levels: Vec<i32> = coded.iter().map(|&b| i32::from(b) * 1024 - 512).collect();
+    let mut scratch = ViterbiScratch::default();
+    results.push(measure("viterbi_int_1kbit", || {
+        black_box(decode_levels_with(
+            black_box(&levels),
+            bits.len(),
+            CodeRate::Half,
+            &mut scratch,
         ));
     }));
 }
@@ -179,6 +205,14 @@ fn bench_full_chain(results: &mut Vec<SpanStats>) {
         }));
         let frame = transmit(std::slice::from_ref(&spec)).expect("valid spec");
         let layouts = [SectionLayout::of(&spec)];
+        // These full-chain rows are the noisiest in the table (longest
+        // per-sample time, most cache/page state), so they get a
+        // dedicated warmup pass on top of measure()'s before the timed
+        // samples start; the trimmed mean in the report absorbs what
+        // the warmup cannot.
+        for _ in 0..WARMUP {
+            black_box(receive(&frame.samples, &layouts, Estimation::Standard)).ok();
+        }
         results.push(measure(name_rx, || {
             black_box(receive(
                 black_box(&frame.samples),
@@ -196,6 +230,27 @@ fn bench_obs_overhead(results: &mut Vec<SpanStats>) {
     let spec = SectionSpec::payload(pattern_bits(1500 * 8, 9), Mcs::QAM64_3_4);
     let frame = transmit(std::slice::from_ref(&spec)).expect("valid spec");
     let layouts = [SectionLayout::of(&spec)];
+    // Dedicated warmup pass, mirroring bench_full_chain's, before any
+    // of the gated rows are timed.
+    for _ in 0..WARMUP {
+        let mut dec =
+            FrameDecoder::new(&frame.samples, Estimation::Standard).expect("lengths match");
+        black_box(dec.decode_section(&layouts[0])).ok();
+    }
+    // Adjacent comparator for the disabled-overhead gate: the same
+    // decode through the public `receive()` API, measured back-to-back
+    // with the noop row so CPU frequency/thermal drift between bench
+    // sections cancels out of the ratio (the sc_* pair below gets this
+    // for free by construction). The headline `rx_1500B_qam64` row in
+    // bench_full_chain keeps its own timing for the perf baseline.
+    results.push(measure("rx_1500B_qam64_obs_plain", || {
+        black_box(receive(
+            black_box(&frame.samples),
+            &layouts,
+            Estimation::Standard,
+        ))
+        .ok();
+    }));
     results.push(measure("rx_1500B_qam64_obs_noop", || {
         let mut dec =
             FrameDecoder::new(&frame.samples, Estimation::Standard).expect("lengths match");
@@ -216,6 +271,10 @@ fn bench_obs_overhead(results: &mut Vec<SpanStats>) {
     let sc_frame = transmit(std::slice::from_ref(&sc_spec)).expect("valid spec");
     let sc_layouts = [SectionLayout::of(&sc_spec)];
     let rte = Estimation::Rte(CalibrationRule::Average);
+    for _ in 0..WARMUP {
+        let mut dec = FrameDecoder::new(&sc_frame.samples, rte).expect("lengths match");
+        black_box(dec.decode_section(&sc_layouts[0])).ok();
+    }
     results.push(measure("rx_1500B_qam64_sc_plain", || {
         let mut dec = FrameDecoder::new(&sc_frame.samples, rte).expect("lengths match");
         black_box(dec.decode_section(&sc_layouts[0])).ok();
@@ -295,19 +354,31 @@ fn lower_is_better(key: &str) -> bool {
     key.ends_with("_us") || key.ends_with("_elapsed_s")
 }
 
+/// Whether a regression on this key fails the build: the RX fast path
+/// (`rx_1500B_*`) and the Viterbi kernels (`viterbi_*`) are the rows
+/// this repo's perf work is anchored on, so check.sh treats losing >15%
+/// on any of them as fatal. Everything else stays advisory — wall-clock
+/// noise on shared machines must not fail the gate for rows nobody
+/// optimizes deliberately.
+fn fatal_on_regression(key: &str) -> bool {
+    key.starts_with("rx_1500B_") || key.starts_with("viterbi_")
+}
+
 /// Compares this run's metrics against the committed
 /// `BENCH_perf_baseline.json`, printing a per-key delta table (kernel
-/// timings included). Regressions beyond [`REGRESSION_FRACTION`] are
-/// flagged but non-fatal by design: wall-clock noise on shared machines
-/// should not fail the gate, while the flag stays visible in CI logs.
-fn compare_to_baseline(entries: &[(&'static str, f64)]) {
+/// timings included). Returns the number of regressed
+/// [`fatal_on_regression`] keys, which the snapshot records as the
+/// `rx_gate_ok` verdict check.sh enforces; regressions on the remaining
+/// keys are flagged but non-fatal (wall-clock noise on shared machines
+/// should not fail the gate for unanchored rows).
+fn compare_to_baseline(entries: &[(&'static str, f64)]) -> usize {
     let Ok(previous) = std::fs::read_to_string(BASELINE_PATH) else {
         println!("no committed {BASELINE_PATH}; skipping baseline comparison");
-        return;
+        return 0;
     };
     let Ok(parsed) = json::parse(previous.trim()) else {
         println!("committed {BASELINE_PATH} unparseable; skipping baseline comparison");
-        return;
+        return 0;
     };
     println!("\nvs {BASELINE_PATH}:");
     println!(
@@ -315,6 +386,7 @@ fn compare_to_baseline(entries: &[(&'static str, f64)]) {
         "metric", "current", "baseline", "delta"
     );
     let mut regressions = 0usize;
+    let mut fatal = 0usize;
     for &(key, current) in entries {
         let Some(old) = parsed.get(key).and_then(|v| v.as_f64()) else {
             println!("{key:<28} {current:>12.2} {:>12} {:>9}", "n/a", "new");
@@ -326,19 +398,28 @@ fn compare_to_baseline(entries: &[(&'static str, f64)]) {
         let delta = (current - old) / old * 100.0;
         let regressed = (higher_is_better(key) && current < old * (1.0 - REGRESSION_FRACTION))
             || (lower_is_better(key) && current > old * (1.0 + REGRESSION_FRACTION));
-        println!(
-            "{key:<28} {current:>12.2} {old:>12.2} {delta:>+8.1}%{}",
-            if regressed { "  <-- REGRESSION" } else { "" }
-        );
+        let marker = match (regressed, fatal_on_regression(key)) {
+            (true, true) => "  <-- REGRESSION (fatal in check.sh)",
+            (true, false) => "  <-- REGRESSION",
+            (false, _) => "",
+        };
+        println!("{key:<28} {current:>12.2} {old:>12.2} {delta:>+8.1}%{marker}");
         regressions += usize::from(regressed);
+        fatal += usize::from(regressed && fatal_on_regression(key));
     }
-    if regressions > 0 {
+    if fatal > 0 {
+        println!(
+            "PERF REGRESSION: {fatal} RX/Viterbi metric(s) worse than baseline by >15% \
+             (FATAL in check.sh)"
+        );
+    } else if regressions > 0 {
         println!(
             "PERF REGRESSION: {regressions} metric(s) worse than baseline by >15% (non-fatal)"
         );
     } else {
         println!("perf ok: no metric worse than baseline by >15%");
     }
+    fatal
 }
 
 /// Median of a named row from the micro section, in microseconds.
@@ -375,13 +456,16 @@ const DISABLED_BUDGET_FRACTION: f64 = 0.01;
 const TRACING_BUDGET_FRACTION: f64 = 0.25;
 
 /// Distills the obs-overhead rows into `BENCH_obs.json`: the disabled
-/// path (`rx_1500B_qam64_obs_noop` vs the plain `rx_1500B_qam64` decode)
-/// must stay within [`DISABLED_BUDGET_FRACTION`]; the enabled path
+/// path (`rx_1500B_qam64_obs_noop` vs the adjacent
+/// `rx_1500B_qam64_obs_plain` decode) must stay within
+/// [`DISABLED_BUDGET_FRACTION`]; the enabled path
 /// (`rx_1500B_qam64_sc_tracing` vs `rx_1500B_qam64_sc_plain`) is held to
-/// [`TRACING_BUDGET_FRACTION`] as a non-fatal budget.
+/// [`TRACING_BUDGET_FRACTION`] as a non-fatal budget. Both pairs are
+/// timed back-to-back inside [`bench_obs_overhead`] so run-to-run drift
+/// cancels out of the ratios.
 fn bench_obs_snapshot(results: &[SpanStats]) {
     let rows = [
-        "rx_1500B_qam64",
+        "rx_1500B_qam64_obs_plain",
         "rx_1500B_qam64_obs_noop",
         "rx_1500B_qam64_obs_recording",
         "rx_1500B_qam64_sc_plain",
@@ -561,20 +645,36 @@ fn bench_throughput(results: &[SpanStats]) {
     for (row, key) in [
         ("viterbi_decode_1kbit", "viterbi_hard_us"),
         ("viterbi_soft_f64_1kbit", "viterbi_soft_f64_us"),
+        ("viterbi_quantize_1kbit", "viterbi_quantize_us"),
         ("viterbi_int_1kbit", "viterbi_int_us"),
         ("fft64_forward", "fft64_us"),
         ("fft64_real", "fft64_real_us"),
         ("equalize_symbol", "equalize_symbol_us"),
+        ("rx_1500B_qpsk12", "rx_1500B_qpsk12_us"),
+        ("rx_1500B_qam16", "rx_1500B_qam16_us"),
         ("rx_1500B_qam64", "rx_1500B_qam64_us"),
     ] {
         if let Some(us) = median_us(results, row) {
             entries.push((key, us));
         }
     }
-    compare_to_baseline(&entries);
+    // Trimmed-mean companions for the noisy full-chain rows: the stable
+    // location estimate the fatal RX gate in check.sh keys off.
+    for (row, key) in [
+        ("rx_1500B_qpsk12", "rx_1500B_qpsk12_trimmed_us"),
+        ("rx_1500B_qam16", "rx_1500B_qam16_trimmed_us"),
+        ("rx_1500B_qam64", "rx_1500B_qam64_trimmed_us"),
+    ] {
+        if let Some(s) = results.iter().find(|s| s.name == row) {
+            entries.push((key, s.trimmed_mean_secs(TRIM_FRACTION) * 1e6));
+        }
+    }
+    let fatal_regressions = compare_to_baseline(&entries);
 
     let mut w = ObjectWriter::new();
     w.str("bench", "phy_micro_perf")
+        .u64("fatal_regressions", fatal_regressions as u64)
+        .bool("rx_gate_ok", fatal_regressions == 0)
         .u64("frames", config.frames as u64)
         .u64("payload_bits", config.payload_bits as u64)
         .u64("coded_bits_per_frame", coded_bits_per_frame as u64)
@@ -607,15 +707,16 @@ fn main() {
     bench_obs_overhead(&mut results);
 
     println!(
-        "{:<36} {:>8} {:>12} {:>12} {:>12}",
-        "benchmark", "samples", "median us", "min us", "max us"
+        "{:<36} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "samples", "median us", "trimmed us", "min us", "max us"
     );
     for s in &results {
         println!(
-            "{:<36} {:>8} {:>12.2} {:>12.2} {:>12.2}",
+            "{:<36} {:>8} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
             s.name,
             s.count(),
             s.median_secs() * 1e6,
+            s.trimmed_mean_secs(TRIM_FRACTION) * 1e6,
             s.min_secs() * 1e6,
             s.max_secs() * 1e6
         );

@@ -8,11 +8,11 @@
 use carpool_channel::link::{LinkChannel, LinkChannelBuilder};
 use carpool_channel::DelayProfile;
 use carpool_frame::addr::MacAddress;
-use carpool_frame::carpool::{receive_carpool_obs, CarpoolFrame, CarpoolReception};
+use carpool_frame::carpool::{receive_carpool_obs_with_scratch, CarpoolFrame, CarpoolReception};
 use carpool_frame::FrameError;
 use carpool_obs::{Event, Obs};
 use carpool_phy::rte::CalibrationRule;
-use carpool_phy::rx::Estimation;
+use carpool_phy::rx::{Estimation, PhyScratch};
 use carpool_phy::tx::SideChannelConfig;
 
 /// An end-to-end link between a Carpool AP and its stations.
@@ -44,6 +44,9 @@ pub struct CarpoolLink {
     hashes: usize,
     side_channel: Option<SideChannelConfig>,
     obs: Obs,
+    /// Receive workspace reused by [`CarpoolLink::deliver`] across
+    /// frames ([`CarpoolLink::deliver_all`] workers keep their own).
+    scratch: PhyScratch,
 }
 
 impl CarpoolLink {
@@ -111,13 +114,14 @@ impl CarpoolLink {
     ) -> Result<CarpoolReception, FrameError> {
         let tx = frame.transmit()?;
         let rx_samples = self.channel.transmit(&tx.samples);
-        let rx = receive_carpool_obs(
+        let rx = receive_carpool_obs_with_scratch(
             &rx_samples,
             station,
             self.estimation,
             self.hashes,
             self.side_channel,
             &self.obs,
+            &mut self.scratch,
         )?;
         self.emit_ahdr_truth(frame, station, !rx.matched_indices.is_empty());
         Ok(rx)
@@ -163,36 +167,44 @@ impl CarpoolLink {
         let frame_ctx = self.obs.frame_ctx();
         let time_base = self.obs.time_base();
 
-        let shards = carpool_par::par_map_indexed(stations, |_idx, &sta| {
-            let (shard_obs, shard, flight) = if observing {
-                let recorder = Arc::new(carpool_obs::MemoryRecorder::new());
-                let sink = Arc::new(carpool_obs::RingBufferSink::new(usize::MAX));
-                let mut shard_obs = Obs::new(recorder.clone(), sink.clone()); // lint:allow(hot-alloc): per-delivery frame routing, one per TXOP
-                let mut flight = None;
-                if let Some(cap) = flight_capacity {
-                    let f = Arc::new(carpool_obs::FlightRecorder::new(cap));
-                    shard_obs = shard_obs
-                        .with_flight(f.clone()) // lint:allow(hot-alloc): per-delivery frame routing, one per TXOP
-                        .for_frame(frame_ctx)
-                        .with_time_base(time_base);
-                    flight = Some(f);
-                }
-                (shard_obs, Some((recorder, sink)), flight)
-            } else {
-                (Obs::noop(), None, None)
-            };
-            let rx = receive_carpool_obs(
-                &rx_samples,
-                sta,
-                estimation,
-                hashes,
-                side_channel,
-                &shard_obs,
-            );
-            let captured = shard.map(|(recorder, sink)| (recorder.snapshot(), sink.events()));
-            let traced = flight.map(|f| (f.records(), f.dropped()));
-            (rx, captured, traced)
-        })
+        // Each pool worker keeps one PhyScratch for its whole share of
+        // the stations: decode buffers, scatter maps, and the Viterbi
+        // trellis are allocated once per worker, not once per station.
+        let shards = carpool_par::par_map_indexed_scratch(
+            stations,
+            PhyScratch::default,
+            |scratch, _idx, &sta| {
+                let (shard_obs, shard, flight) = if observing {
+                    let recorder = Arc::new(carpool_obs::MemoryRecorder::new());
+                    let sink = Arc::new(carpool_obs::RingBufferSink::new(usize::MAX));
+                    let mut shard_obs = Obs::new(recorder.clone(), sink.clone()); // lint:allow(hot-alloc): per-delivery frame routing, one per TXOP
+                    let mut flight = None;
+                    if let Some(cap) = flight_capacity {
+                        let f = Arc::new(carpool_obs::FlightRecorder::new(cap));
+                        shard_obs = shard_obs
+                            .with_flight(f.clone()) // lint:allow(hot-alloc): per-delivery frame routing, one per TXOP
+                            .for_frame(frame_ctx)
+                            .with_time_base(time_base);
+                        flight = Some(f);
+                    }
+                    (shard_obs, Some((recorder, sink)), flight)
+                } else {
+                    (Obs::noop(), None, None)
+                };
+                let rx = receive_carpool_obs_with_scratch(
+                    &rx_samples,
+                    sta,
+                    estimation,
+                    hashes,
+                    side_channel,
+                    &shard_obs,
+                    scratch,
+                );
+                let captured = shard.map(|(recorder, sink)| (recorder.snapshot(), sink.events()));
+                let traced = flight.map(|f| (f.records(), f.dropped()));
+                (rx, captured, traced)
+            },
+        )
         .map_err(|panic| FrameError::Malformed {
             reason: format!("parallel receive failed: {panic}"), // lint:allow(hot-alloc): per-delivery frame routing, one per TXOP
         })?;
@@ -315,6 +327,7 @@ impl CarpoolLinkBuilder {
             hashes: self.hashes,
             side_channel: self.side_channel,
             obs: Obs::noop(),
+            scratch: PhyScratch::default(),
         }
     }
 }

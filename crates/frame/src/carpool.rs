@@ -21,7 +21,7 @@ use carpool_bloom::{AggregationHeader, BLOOM_BITS, DEFAULT_HASHES, MAX_RECEIVERS
 use carpool_phy::bits::{bits_to_bytes, bytes_to_bits};
 use carpool_phy::math::Complex64;
 use carpool_phy::mcs::{Mcs, SYMBOL_DURATION};
-use carpool_phy::rx::{Estimation, FrameDecoder, SectionLayout};
+use carpool_phy::rx::{Estimation, FrameDecoder, PhyScratch, SectionLayout};
 use carpool_phy::tx::{transmit, SectionSpec, SideChannelConfig, TxFrame};
 
 /// One subframe: the MAC data for exactly one receiver.
@@ -249,11 +249,60 @@ pub fn receive_carpool_obs(
     side_channel: Option<SideChannelConfig>,
     obs: &carpool_obs::Obs,
 ) -> Result<CarpoolReception, FrameError> {
+    let mut scratch = PhyScratch::default();
+    receive_carpool_obs_with_scratch(
+        samples,
+        station,
+        estimation,
+        hashes,
+        side_channel,
+        obs,
+        &mut scratch,
+    )
+}
+
+/// [`receive_carpool_obs`] with a caller-owned [`PhyScratch`], the
+/// allocation-free form for batch delivery: the scratch's decode
+/// buffers, cached RX scatter maps, and Viterbi trellis are borrowed
+/// for this frame and handed back (grown, never shrunk) on every exit
+/// path, so a worker decoding frame after frame reuses them all.
+/// Results are bit-identical to a fresh scratch — the workspace carries
+/// capacity, never values (see the `carpool-par` determinism contract).
+///
+/// # Errors
+///
+/// Same as [`receive_carpool`].
+#[allow(clippy::too_many_arguments)]
+pub fn receive_carpool_obs_with_scratch(
+    samples: &[Complex64],
+    station: MacAddress,
+    estimation: Estimation,
+    hashes: usize,
+    side_channel: Option<SideChannelConfig>,
+    obs: &carpool_obs::Obs,
+    scratch: &mut PhyScratch,
+) -> Result<CarpoolReception, FrameError> {
     let _receive_span = obs.span("frame.receive");
     let mut decoder = FrameDecoder::new(samples, estimation)
         .map_err(FrameError::Phy)?
-        .with_obs(obs.clone()); // lint:allow(hot-alloc): per-TXOP frame assembly, amortized by the TX waveform cache
+        .with_obs(obs.clone()) // lint:allow(hot-alloc): per-TXOP frame assembly, amortized by the TX waveform cache
+        .with_scratch(std::mem::take(scratch));
+    let result = walk_carpool_frame(&mut decoder, station, hashes, side_channel, obs);
+    // Recover the workspace on success *and* error so a bad frame never
+    // costs the worker its warmed buffers.
+    *scratch = decoder.into_scratch();
+    result
+}
 
+/// Frame walk shared by the scratch and non-scratch receive paths; the
+/// caller owns the decoder so it can reclaim the scratch afterwards.
+fn walk_carpool_frame(
+    decoder: &mut FrameDecoder<'_>,
+    station: MacAddress,
+    hashes: usize,
+    side_channel: Option<SideChannelConfig>,
+    obs: &carpool_obs::Obs,
+) -> Result<CarpoolReception, FrameError> {
     // 1. A-HDR.
     let ahdr_layout = SectionLayout {
         message_bits: BLOOM_BITS,

@@ -11,20 +11,26 @@ use crate::rules::{contains_token, line_waived, panic_hits, Diagnostic, Rule};
 
 /// The hot-path roots L007 guards: the bench PHY trial loop, the MAC
 /// Monte-Carlo driver (both its free-fn spelling and the historical
-/// `Simulator::` one), the link-delivery facade, and the integer
-/// Viterbi / FFT kernels. Specs are `::`-separated suffixes matched
-/// against fully qualified fn paths.
-pub const HOT_ROOTS: [&str; 15] = [
+/// `Simulator::` one), the link-delivery facade, the RX section
+/// decoder (the fused demap→scatter→Viterbi fast path), and the
+/// integer Viterbi / FFT kernels — including the pre-quantized
+/// `decode_levels` entry points the fused RX path batches into.
+/// Specs are `::`-separated suffixes matched against fully qualified
+/// fn paths.
+pub const HOT_ROOTS: [&str; 18] = [
     "carpool_bench::run_phy",
     "Simulator::run_replications",
     "sim::run_replications",
     "CarpoolLink::deliver_all",
+    "FrameDecoder::decode_section",
     "convolutional::decode",
     "convolutional::decode_with",
     "convolutional::decode_soft",
     "convolutional::decode_soft_with",
     "convolutional::decode_soft_quantized",
     "convolutional::decode_soft_quantized_with",
+    "convolutional::decode_levels",
+    "convolutional::decode_levels_with",
     "fft::fft",
     "fft::ifft",
     "fft::fft_in_place",

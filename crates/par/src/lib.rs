@@ -10,6 +10,10 @@
 //!   item order. Work is claimed from a shared atomic cursor, but the
 //!   *output* is keyed purely by index, so 1-thread and N-thread runs
 //!   produce identical bytes.
+//! - [`par_map_indexed_scratch`] — the same pool with a per-worker
+//!   scratch workspace built once per thread, so decode buffers are
+//!   reused across every frame a worker claims instead of reallocated
+//!   per item.
 //! - [`par_map_reduce`] — the same map followed by a serial, in-index-
 //!   order fold: the deterministic reduction used to merge per-trial
 //!   tallies (and per-worker observability shards) exactly.
@@ -113,9 +117,36 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_indexed_scratch(items, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map_indexed`] with a per-worker scratch workspace: each worker
+/// thread calls `make_scratch()` exactly once and threads the value
+/// through every item it claims, so expensive reusable buffers (e.g. a
+/// PHY receive scratch) are built per *worker*, not per item.
+///
+/// The determinism contract gains one clause: `f`'s *result* must not
+/// depend on the scratch's history — scratch is for buffer reuse, never
+/// for carrying state between items (which items share a worker is a
+/// scheduling accident).
+///
+/// # Errors
+///
+/// Returns [`ParError::WorkerPanic`] if `make_scratch` or `f` panics.
+pub fn par_map_indexed_scratch<T, R, S, G, F>(
+    items: &[T],
+    make_scratch: G,
+    f: F,
+) -> Result<Vec<R>, ParError>
+where
+    T: Sync,
+    R: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let threads = thread_count().min(items.len());
     if threads <= 1 {
-        return serial_map(items, &f);
+        return serial_map(items, &make_scratch, &f);
     }
 
     let cursor = AtomicUsize::new(0);
@@ -123,6 +154,7 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut scratch = make_scratch();
                     let mut shard: Vec<(usize, R)> = Vec::new(); // lint:allow(hot-alloc): per-batch pool plumbing, amortized over the trial batch
                     loop {
                         // ordering: work-claim counter only; results are
@@ -131,7 +163,7 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        shard.push((i, f(i, &items[i]))); // lint:allow(hot-alloc): per-batch pool plumbing, amortized over the trial batch
+                        shard.push((i, f(&mut scratch, i, &items[i]))); // lint:allow(hot-alloc): per-batch pool plumbing, amortized over the trial batch
                     }
                     shard
                 })
@@ -184,13 +216,19 @@ where
 }
 
 /// Single-threaded path: same in-order semantics, same panic-to-error
-/// contract, no thread spawns.
-fn serial_map<T, R, F>(items: &[T], f: &F) -> Result<Vec<R>, ParError>
+/// contract, same one-scratch-per-worker discipline, no thread spawns.
+fn serial_map<T, R, S, G, F>(items: &[T], make_scratch: &G, f: &F) -> Result<Vec<R>, ParError>
 where
-    F: Fn(usize, &T) -> R,
+    G: Fn() -> S,
+    F: Fn(&mut S, usize, &T) -> R,
 {
     catch_unwind(AssertUnwindSafe(|| {
-        items.iter().enumerate().map(|(i, t)| f(i, t)).collect() // lint:allow(hot-alloc): per-batch pool plumbing, amortized over the trial batch
+        let mut scratch = make_scratch();
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut scratch, i, t))
+            .collect() // lint:allow(hot-alloc): per-batch pool plumbing, amortized over the trial batch
     }))
     .map_err(|_| ParError::WorkerPanic)
 }
@@ -259,6 +297,70 @@ mod tests {
             par_map_indexed(&[7u8], |i, &x| (i, x)).unwrap(),
             vec![(0, 7)]
         );
+    }
+
+    #[test]
+    fn scratch_pool_matches_plain_pool_at_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let plain = with_threads(1, || par_map_indexed(&items, |_, &x| trial(x)).unwrap());
+        for threads in [1, 2, 4, 8] {
+            let scratched = with_threads(threads, || {
+                par_map_indexed_scratch(
+                    &items,
+                    || Vec::<u64>::with_capacity(8),
+                    |buf, _, &x| {
+                        // Reuse the buffer the way a decode scratch is
+                        // reused: clear, fill, read back.
+                        buf.clear();
+                        buf.push(trial(x));
+                        buf[0]
+                    },
+                )
+                .unwrap()
+            });
+            assert_eq!(plain, scratched, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_built_once_per_worker() {
+        let items: Vec<usize> = (0..64).collect();
+        let builds = AtomicUsize::new(0);
+        with_threads(4, || {
+            par_map_indexed_scratch(
+                &items,
+                || {
+                    // ordering: standalone test counter
+                    builds.fetch_add(1, Ordering::Relaxed);
+                },
+                |(), i, _| i,
+            )
+            .unwrap()
+        });
+        // ordering: standalone test counter
+        assert_eq!(builds.load(Ordering::Relaxed), 4);
+        builds.store(0, Ordering::Relaxed);
+        with_threads(1, || {
+            par_map_indexed_scratch(
+                &items,
+                || builds.fetch_add(1, Ordering::Relaxed),
+                |_, i, _| i,
+            )
+            .unwrap()
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scratch_factory_panic_becomes_error() {
+        let items: Vec<usize> = (0..8).collect();
+        for threads in [1, 4] {
+            let err = with_threads(threads, || {
+                par_map_indexed_scratch(&items, || -> () { panic!("boom") }, |(), i, _| i)
+                    .unwrap_err()
+            });
+            assert_eq!(err, ParError::WorkerPanic, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -14,13 +14,17 @@
 //! soft) run on one fixed-cost integer kernel:
 //!
 //! * per-bit observations are signed integer levels (quantized LLRs for
-//!   the soft path, ±1 for hard decisions, 0 for punctured erasures);
-//! * the add-compare-select loop is branchless over a const table of
-//!   state transitions ([`EXPECTED`] folded into `BRANCH_CODE`), with
-//!   saturating `i32` path metrics normalized by the per-step minimum;
-//! * survivor memory is bit-packed — one `u64` decision word per 64
-//!   trellis states per step — and traceback runs over that window into
-//!   caller-provided [`ViterbiScratch`] buffers.
+//!   the soft path, ±1 for hard decisions, 0 for punctured erasures),
+//!   stored as one flat `[a, b]`-interleaved `i32` lattice;
+//! * the add-compare-select loop walks all 32 butterflies as flat lane
+//!   arrays with branchless selects and *plain* (non-saturating) `i32`
+//!   adds — straight-line code the autovectorizer lifts to SIMD lanes,
+//!   proved wrap-free by the scaling analysis below (and machine-checked
+//!   by lint rule L012 against the `lint:budget` annotations);
+//! * survivor memory is bit-packed — per step the 64 per-state decisions
+//!   land in a byte lane array and collapse into one `u64` word — and
+//!   traceback runs over that window into caller-provided
+//!   [`ViterbiScratch`] buffers.
 //!
 //! The f64 soft decoder [`decode_soft_with`] is kept unchanged as the
 //! reference oracle; the golden-corpus test in `tests/` proves the
@@ -37,13 +41,23 @@
 //!   point this PHY sweeps.
 //! * **Branch cost.** A step's cost is `±q_a ± q_b`, so
 //!   `|cost| <= 2 * 2^20 < 2^21` — no overflow in a single add.
-//! * **Path-metric spread.** After every step the minimum metric is
-//!   subtracted (a uniform shift, invisible to `argmin`). Any state is
-//!   reachable from any other in `K-1 = 6` steps, so the normalized
-//!   spread is bounded by `6 * 2^21 < 2^24`, leaving > 7 bits of
-//!   headroom below the not-yet-reachable marker `i32::MAX / 2`; saturating arithmetic
-//!   makes even adversarial inputs (±inf LLRs saturate at the clamp,
-//!   NaN quantizes to an erasure) wrap-free.
+//! * **Path-metric spread.** Every [`NORM_INTERVAL`] steps the minimum
+//!   metric is subtracted (a uniform shift, invisible to `argmin`). Any
+//!   state is reachable from any other in `K-1 = 6` steps, so the
+//!   normalized spread is bounded by `12 * 2^21 < 2^25`, and between
+//!   normalizations metrics drift by at most `NORM_INTERVAL * 2^21 =
+//!   2^26` from the last normalized frame.
+//! * **Wrap freedom without saturation.** The kernel uses plain `i32`
+//!   adds (saturating ops compile to compare/select chains that defeat
+//!   vectorization). States not yet reached by any finite-cost path
+//!   carry the marker `INT_INF = i32::MAX / 2`; every state is reachable
+//!   from the seed within `K-1 = 6` steps, so a marker drifts by at most
+//!   `6 * 2^21` before a finite candidate wins its select — the global
+//!   metric maximum is `INT_INF + 6 * 2^21 < i32::MAX - 2^21`, and the
+//!   first normalization (step 32) only ever sees finite-path values.
+//!   Adversarial inputs are covered at the boundary: ±inf LLRs saturate
+//!   at the quantizer clamp and NaN quantizes to an erasure, so lattice
+//!   levels never exceed ±2^20.
 
 /// Constraint length of the 802.11 code.
 pub const CONSTRAINT_LENGTH: usize = 7;
@@ -143,7 +157,10 @@ pub(crate) const LLR_SCALE_BITS: u32 = 7;
 pub const LLR_QUANT_CLAMP: i32 = 1 << 20;
 
 /// Path metric of a trellis state not yet reached by any finite-cost
-/// path. Half of `i32::MAX` so one saturating branch add cannot wrap.
+/// path. Half of `i32::MAX`: the marker survives at most `K-1 = 6`
+/// plain branch adds of `±2^21` before a finite path wins its select
+/// (every state is reachable from the seed in 6 steps), so even the
+/// worst transient `INT_INF + 6 * 2^21` stays well inside `i32`.
 const INT_INF: i32 = i32::MAX / 2;
 
 /// `EXPECTED`, re-indexed for the ACS inner loop: for next-state `ns`
@@ -269,18 +286,14 @@ fn depuncture_soft_into(llrs: &[f64], total_in: usize, rate: CodeRate, out: &mut
     }
 }
 
-/// Depunctures a quantized-LLR stream into `out`; punctured/missing
-/// positions become zero-information (erased) levels.
-fn depuncture_quantized_into(
-    llrs: &[f64],
-    total_in: usize,
-    rate: CodeRate,
-    out: &mut Vec<(i32, i32)>,
-) {
+/// Depunctures a quantized-LLR stream into the flat `[a, b]`-interleaved
+/// lattice `out`; punctured/missing positions become zero-information
+/// (erased) levels.
+fn depuncture_quantized_into(llrs: &[f64], total_in: usize, rate: CodeRate, out: &mut Vec<i32>) {
     let pattern = rate.puncture_pattern();
     let mut it = llrs.iter();
     out.clear();
-    out.reserve(total_in);
+    out.reserve(2 * total_in);
     for k in 0..total_in {
         let (keep_a, keep_b) = pattern[k % pattern.len()];
         let a = if keep_a {
@@ -293,7 +306,8 @@ fn depuncture_quantized_into(
         } else {
             0
         };
-        out.push((a, b));
+        out.push(a);
+        out.push(b);
     }
 }
 
@@ -303,12 +317,12 @@ fn depuncture_quantized_into(
 /// (`cost = 2 * mismatches − observed_bits`, the offset identical for
 /// every path at a given step), so its decisions — ties included — match
 /// a classical hard-decision Viterbi exactly.
-fn depuncture_hard_into(coded: &[u8], total_in: usize, rate: CodeRate, out: &mut Vec<(i32, i32)>) {
+fn depuncture_hard_into(coded: &[u8], total_in: usize, rate: CodeRate, out: &mut Vec<i32>) {
     let level = |b: &u8| if *b == 1 { 1 } else { -1 };
     let pattern = rate.puncture_pattern();
     let mut it = coded.iter();
     out.clear();
-    out.reserve(total_in);
+    out.reserve(2 * total_in);
     for k in 0..total_in {
         let (keep_a, keep_b) = pattern[k % pattern.len()];
         let a = if keep_a {
@@ -321,7 +335,54 @@ fn depuncture_hard_into(coded: &[u8], total_in: usize, rate: CodeRate, out: &mut
         } else {
             0
         };
-        out.push((a, b));
+        out.push(a);
+        out.push(b);
+    }
+}
+
+/// Flat-lattice addressing of the puncture pattern, per period:
+/// `(kept_bits, flat_stride, offsets)` where surviving coded bit `r` of
+/// a period lands at flat index `period * flat_stride + offsets[r]`.
+/// The flat lattice interleaves each trellis step's `(a, b)` pair, so a
+/// kept `a` of in-period step `s` sits at `2 * s`, a kept `b` at
+/// `2 * s + 1` (`consistent_with_puncture_pattern` pins this to
+/// [`CodeRate::puncture_pattern`]).
+pub(crate) fn depuncture_layout(rate: CodeRate) -> (usize, usize, &'static [usize]) {
+    match rate {
+        CodeRate::Half => (2, 2, &[0, 1]),
+        CodeRate::TwoThirds => (3, 4, &[0, 1, 2]),
+        CodeRate::ThreeQuarters => (4, 6, &[0, 1, 2, 5]),
+    }
+}
+
+/// Depunctures pre-quantized integer levels (coded order, as produced by
+/// the fused demap path or [`quantize_llr`]) into the flat lattice. The
+/// specialization per rate turns the per-bit pattern branches of the
+/// legacy depuncturers into straight period-chunk copies — rate 1/2 is
+/// one `copy_from_slice`.
+fn depuncture_levels_into(levels: &[i32], total_in: usize, rate: CodeRate, out: &mut Vec<i32>) {
+    out.clear();
+    out.resize(2 * total_in, 0);
+    let n = levels.len().min(coded_len(
+        total_in.saturating_sub(CONSTRAINT_LENGTH - 1),
+        rate,
+    ));
+    let (kept, flat, offs) = depuncture_layout(rate);
+    if kept == flat {
+        // Rate 1/2: every mother bit survives; flat order == coded order.
+        out[..n].copy_from_slice(&levels[..n]);
+        return;
+    }
+    let full = n / kept;
+    for p in 0..full {
+        let base = p * flat;
+        let src = p * kept;
+        for (r, &off) in offs.iter().enumerate() {
+            out[base + off] = levels[src + r];
+        }
+    }
+    for (r, &off) in offs.iter().enumerate().take(n - full * kept) {
+        out[full * flat + off] = levels[full * kept + r];
     }
 }
 
@@ -335,8 +396,9 @@ fn depuncture_hard_into(coded: &[u8], total_in: usize, rate: CodeRate, out: &mut
 /// call.
 #[derive(Debug, Default)]
 pub struct ViterbiScratch {
-    /// Integer observation lattice of the production kernel.
-    int_lattice: Vec<(i32, i32)>,
+    /// Integer observation lattice of the production kernel: flat
+    /// `[a, b]`-interleaved levels, `2 * total_in` entries per decode.
+    int_lattice: Vec<i32>,
     /// Survivor window: one decision word per step, bit `s` set when
     /// state `s` selected its high predecessor.
     survivors: Vec<u64>,
@@ -346,6 +408,19 @@ pub struct ViterbiScratch {
     soft_lattice: Vec<(f64, f64)>,
     /// Per-step predecessor choices of the reference oracle.
     history: Vec<[u8; NUM_STATES]>,
+}
+
+impl ViterbiScratch {
+    /// Hands out the integer lattice sized and zeroed for `total_in`
+    /// trellis steps, for producers (the fused RX demap path) that
+    /// scatter quantized levels directly into trellis slots. A zeroed
+    /// slot is an erasure, so the producer only writes positions that
+    /// carry observations.
+    pub(crate) fn lattice_mut(&mut self, total_in: usize) -> &mut [i32] {
+        self.int_lattice.clear();
+        self.int_lattice.resize(2 * total_in, 0);
+        &mut self.int_lattice
+    }
 }
 
 /// Half the trellis: the butterfly loop walks predecessor pairs
@@ -371,74 +446,143 @@ const fn build_pair_code() -> [usize; HALF_STATES] {
 }
 
 /// Steps between path-metric re-normalizations. Between passes the
-/// metrics drift by at most `NORM_INTERVAL * 3 * 2^21 < 2^28` on top of
-/// a `< 2^24` spread — far inside `i32` with the `i32::MAX / 2`
-/// not-yet-reachable marker. Normalization subtracts the running
-/// minimum from every state, a uniform shift no comparison can see, so
-/// any interval yields bit-identical decisions.
+/// metrics drift by at most `NORM_INTERVAL * 2^21 = 2^26` on top of a
+/// `< 2^25` spread — far inside `i32` with the `i32::MAX / 2`
+/// not-yet-reachable marker (see the module-level wrap-freedom bullet).
+/// Normalization subtracts the running minimum from every state, a
+/// uniform shift no comparison can see, so any interval yields
+/// bit-identical decisions.
 const NORM_INTERVAL: usize = 32;
 
-/// One branchless add-compare-select step: reads the 64 path metrics
-/// from `cur`, writes the 64 updated metrics to `nxt`, and returns the
-/// bit-packed survivor word (bit `ns` set when state `ns` selected its
-/// high predecessor). Each of the 32 butterflies is one cost lookup,
-/// four saturating adds, two compares and two selects — no
-/// data-dependent branches.
+/// Sign masks for the per-butterfly branch cost `d = ±la ± lb`: the
+/// `la` term is negated exactly when the pair's branch code has its
+/// `g0` bit set (`MASK_A`, bit 2), the `lb` term when the `g1` bit is
+/// set (`MASK_B`, bit 1) — the same four-entry cost table
+/// `[la+lb, la-lb, lb-la, -la-lb]` the scalar kernel indexed, unrolled
+/// into two conditional negations `(x ^ m) - m` with `m ∈ {0, -1}`
+/// that vectorize on baseline x86-64.
+const MASK_A: [i32; HALF_STATES] = build_cost_masks(2);
+/// `lb` companion of [`MASK_A`].
+const MASK_B: [i32; HALF_STATES] = build_cost_masks(1);
+
+const fn build_cost_masks(bit: usize) -> [i32; HALF_STATES] {
+    let mut table = [0i32; HALF_STATES];
+    let mut j = 0;
+    while j < HALF_STATES {
+        if PAIR_CODE[j] & bit != 0 {
+            table[j] = -1;
+        }
+        j += 1;
+    }
+    table
+}
+
+/// One batched add-compare-select step: reads the 64 path metrics from
+/// `cur`, writes the 64 updated metrics to `nxt` and the 64 per-state
+/// decisions to `sel` (1 = high predecessor chose). The 32 butterflies
+/// are straight-line lane arithmetic — two mask-negations, four plain
+/// `i32` adds, two compares, two selects per pair, no data-dependent
+/// branches and no saturating ops — which the autovectorizer lifts to
+/// SIMD lanes (interleaved stride-2 stores for `nxt`).
+///
+/// Wrap freedom of the plain adds is machine-checked by L012 from the
+/// budget annotations below: `d` is two clamped levels (`±2^21`), and
+/// every metric in `cur` is bounded by `INT_INF + 6 * 2^21 =
+/// ±1_086_324_735` (the module-level wrap-freedom bullet: unreached-
+/// state markers survive at most `K-1 = 6` steps, normalized finite
+/// metrics stay below `44 * 2^21`), so `m ± d` fits `i32` with
+/// `2^21` to spare.
 #[inline]
 // lint:budget(i32: d in ±2^21)
-fn acs_step(costs: &[i32; 4], cur: &[i32; NUM_STATES], nxt: &mut [i32; NUM_STATES]) -> u64 {
-    let mut word = 0u64;
+// lint:budget(i32: m0, m1 in ±1_086_324_735)
+fn acs_step(
+    la: i32,
+    lb: i32,
+    cur: &[i32; NUM_STATES],
+    nxt: &mut [i32; NUM_STATES],
+    sel: &mut [u8; NUM_STATES],
+) {
     for j in 0..HALF_STATES {
         let m0 = cur[j];
         let m1 = cur[j + HALF_STATES];
-        let d = costs[PAIR_CODE[j]];
+        // Branch cost of the `j -> 2j` edge: conditional negation via
+        // xor/subtract keeps the expression branch- and multiply-free.
+        let d = ((la ^ MASK_A[j]) - MASK_A[j]) + ((lb ^ MASK_B[j]) - MASK_B[j]);
         // Next state 2j (input 0): low predecessor costs +d, high -d.
-        let a0 = m0.saturating_add(d);
-        let b0 = m1.saturating_sub(d);
+        let a0 = m0 + d;
+        let b0 = m1 - d;
         // Strict `<` keeps the low predecessor on ties — the same
         // convention as the ascending-state scan of the f64 oracle.
         let t0 = b0 < a0;
         nxt[2 * j] = if t0 { b0 } else { a0 };
         // Next state 2j+1 (input 1): signs flip.
-        let a1 = m0.saturating_sub(d);
-        let b1 = m1.saturating_add(d);
+        let a1 = m0 - d;
+        let b1 = m1 + d;
         let t1 = b1 < a1;
         nxt[2 * j + 1] = if t1 { b1 } else { a1 };
-        word |= (u64::from(t0) | (u64::from(t1) << 1)) << (2 * j);
+        sel[2 * j] = u8::from(t0);
+        sel[2 * j + 1] = u8::from(t1);
+    }
+}
+
+/// Collapses a step's 64 decision bytes (each 0 or 1) into the packed
+/// survivor word, eight bytes at a time: the multiply by the diagonal
+/// constant places byte `k`'s bit at position `56 + k` (off-diagonal
+/// partial products land on pairwise-distinct lower positions —
+/// `7i - 8k ≡ 0 (mod 8)` has no solution for `i ≠ k` in `0..8` — so
+/// no carries reach the collected byte), and the shift extracts all
+/// eight decisions at once.
+#[inline]
+fn pack_sel(sel: &[u8; NUM_STATES]) -> u64 {
+    let mut word = 0u64;
+    for i in 0..NUM_STATES / 8 {
+        let o = 8 * i;
+        let v = u64::from_le_bytes([
+            sel[o],
+            sel[o + 1],
+            sel[o + 2],
+            sel[o + 3],
+            sel[o + 4],
+            sel[o + 5],
+            sel[o + 6],
+            sel[o + 7],
+        ]);
+        word |= (v.wrapping_mul(0x0102_0408_1020_4080) >> 56) << o;
     }
     word
 }
 
-/// Branchless add-compare-select forward pass over the integer lattice.
+/// Batched add-compare-select forward pass over the flat integer
+/// lattice (`[a, b]` interleaved, two entries per trellis step).
 ///
 /// Fills `survivors` with one packed decision word per step. Path
 /// metrics ping-pong between two stack buffers (no copy-back), with the
 /// running minimum subtracted every [`NORM_INTERVAL`] steps — a uniform
-/// shift that preserves every comparison, keeping the arithmetic
-/// wrap-free for any input under the module-level scaling bounds.
-// lint:budget(i32: la, lb in ±2^20)
-fn acs_forward(lattice: &[(i32, i32)], survivors: &mut Vec<u64>) {
+/// shift that preserves every comparison. The normalization subtraction
+/// itself cannot wrap: at that point every metric is finite (first pass
+/// runs at step 32 > 6) with `m <= 44 * 2^21` and `min >= -32 * 2^21`,
+/// so `m - min <= 76 * 2^21 < 2^28`.
+fn acs_forward(lattice: &[i32], survivors: &mut Vec<u64>) {
     let mut bufs = [[INT_INF; NUM_STATES]; 2];
     bufs[0][0] = 0; // Encoder starts in the zero state.
+    let mut sel = [0u8; NUM_STATES];
     let mut cur = 0usize;
     survivors.clear();
-    survivors.reserve(lattice.len());
-    for (t, &(la, lb)) in lattice.iter().enumerate() {
-        // Branch costs by expected output pair `2*g0 + g1`:
-        // hypothesising bit 1 costs -level, bit 0 costs +level.
-        let costs = [la + lb, la - lb, lb - la, -la - lb];
+    survivors.reserve(lattice.len() / 2);
+    for (t, step) in lattice.chunks_exact(2).enumerate() {
         let (lo, hi) = bufs.split_at_mut(1);
         let (src, dst) = if cur == 0 {
             (&lo[0], &mut hi[0])
         } else {
             (&hi[0], &mut lo[0])
         };
-        survivors.push(acs_step(&costs, src, dst));
+        acs_step(step[0], step[1], src, dst, &mut sel);
+        survivors.push(pack_sel(&sel));
         cur ^= 1;
         if (t + 1) % NORM_INTERVAL == 0 {
             let min = bufs[cur].iter().copied().min().unwrap_or(0);
             for m in bufs[cur].iter_mut() {
-                *m = m.saturating_sub(min);
+                *m -= min;
             }
         }
     }
@@ -623,6 +767,61 @@ pub fn decode_soft_quantized_with(
         ..
     } = scratch;
     depuncture_quantized_into(llrs, total_in, rate, int_lattice);
+    acs_forward(int_lattice, survivors);
+    traceback(survivors, message_len, decoded);
+    decoded.clone() // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
+}
+
+/// Integer Viterbi decoder over pre-quantized levels — the
+/// production-shaped entry point of the fused RX pipeline, which
+/// quantizes LLRs at demap time (see [`quantize_llr`]) and hands the
+/// decoder `i32` levels in coded (transmission) order. Positive favours
+/// bit 1; zero is an erasure. Decisions are bit-identical to
+/// [`decode_soft_quantized`] fed LLRs that quantize to the same levels.
+pub fn decode_levels(levels: &[i32], message_len: usize, rate: CodeRate) -> Vec<u8> {
+    decode_levels_with(levels, message_len, rate, &mut ViterbiScratch::default())
+}
+
+/// [`decode_levels`] with a caller-provided [`ViterbiScratch`]; see
+/// [`decode_with`].
+pub fn decode_levels_with(
+    levels: &[i32],
+    message_len: usize,
+    rate: CodeRate,
+    scratch: &mut ViterbiScratch,
+) -> Vec<u8> {
+    if message_len == 0 {
+        return Vec::new(); // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
+    }
+    let total_in = message_len + CONSTRAINT_LENGTH - 1;
+    let ViterbiScratch {
+        int_lattice,
+        survivors,
+        decoded,
+        ..
+    } = scratch;
+    depuncture_levels_into(levels, total_in, rate, int_lattice);
+    acs_forward(int_lattice, survivors);
+    traceback(survivors, message_len, decoded);
+    decoded.clone() // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
+}
+
+/// Runs the forward pass and traceback over a lattice the caller has
+/// already scattered into [`ViterbiScratch::lattice_mut`] — the final
+/// stage of the fused demap→deinterleave→depuncture RX path, which
+/// skips the coded-order intermediate entirely.
+pub(crate) fn decode_prepared(message_len: usize, scratch: &mut ViterbiScratch) -> Vec<u8> {
+    if message_len == 0 {
+        return Vec::new(); // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
+    }
+    let total_in = message_len + CONSTRAINT_LENGTH - 1;
+    let ViterbiScratch {
+        int_lattice,
+        survivors,
+        decoded,
+        ..
+    } = scratch;
+    debug_assert_eq!(int_lattice.len(), 2 * total_in);
     acs_forward(int_lattice, survivors);
     traceback(survivors, message_len, decoded);
     decoded.clone() // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
@@ -854,6 +1053,84 @@ mod tests {
                     "soft rate {rate} n {n}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn consistent_with_puncture_pattern() {
+        // depuncture_layout is a flat-index re-statement of
+        // puncture_pattern; derive one from the other and compare.
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let (kept, flat, offs) = depuncture_layout(rate);
+            let pattern = rate.puncture_pattern();
+            assert_eq!(flat, 2 * pattern.len(), "rate {rate}");
+            let mut expect = Vec::new();
+            for (s, &(ka, kb)) in pattern.iter().enumerate() {
+                if ka {
+                    expect.push(2 * s);
+                }
+                if kb {
+                    expect.push(2 * s + 1);
+                }
+            }
+            assert_eq!(kept, expect.len(), "rate {rate}");
+            assert_eq!(offs, expect.as_slice(), "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn decode_levels_matches_quantized_path() {
+        // The specialized period-chunk depuncturer must agree with the
+        // legacy per-bit one for every rate, including truncated tails
+        // landing mid-period.
+        for (seed, rate) in [
+            (11u64, CodeRate::Half),
+            (13, CodeRate::TwoThirds),
+            (17, CodeRate::ThreeQuarters),
+        ] {
+            let bits = pseudo_random_bits(150, seed);
+            let coded = encode(&bits, rate);
+            let llrs: Vec<f64> = coded
+                .iter()
+                .enumerate()
+                .map(|(k, &b)| {
+                    let sign = if b == 1 { 1.0 } else { -1.0 };
+                    sign * (((k * 2654435761) >> 5) % 5) as f64 * 0.5
+                })
+                .collect();
+            let levels: Vec<i32> = llrs.iter().map(|&l| quantize_llr(l)).collect();
+            assert_eq!(
+                decode_levels(&levels, 150, rate),
+                decode_soft_quantized(&llrs, 150, rate),
+                "rate {rate}"
+            );
+            for cut in 1..=7 {
+                let n = levels.len() - cut;
+                assert_eq!(
+                    decode_levels(&levels[..n], 150, rate),
+                    decode_soft_quantized(&llrs[..n], 150, rate),
+                    "rate {rate} cut {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_levels_hard_levels_match_hard_decoder() {
+        // ±1 levels are exactly what depuncture_hard_into produces, so
+        // decode_levels on them must reproduce the hard decoder.
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let bits = pseudo_random_bits(96, 29);
+            let mut coded = encode(&bits, rate);
+            for pos in (0..coded.len()).step_by(37) {
+                coded[pos] ^= 1;
+            }
+            let levels: Vec<i32> = coded.iter().map(|&b| if b == 1 { 1 } else { -1 }).collect();
+            assert_eq!(
+                decode_levels(&levels, 96, rate),
+                decode(&coded, 96, rate),
+                "rate {rate}"
+            );
         }
     }
 

@@ -6,6 +6,7 @@
 //! ensures they alternate between more and less significant constellation
 //! bits. Block size is `N_CBPS` (coded bits per OFDM symbol).
 
+use crate::convolutional::{depuncture_layout, quantize_llr, CodeRate};
 use crate::modulation::Modulation;
 
 /// Interleaver for one OFDM symbol of `N_CBPS` coded bits.
@@ -114,6 +115,78 @@ impl Interleaver {
     }
 }
 
+/// Precomputed scatter map of the fused RX pipeline: one entry per
+/// coded bit of an OFDM symbol, pairing the interleaved (transmission
+/// order) source position with the flat trellis-lattice destination
+/// offset after deinterleaving and depuncturing. Built once per
+/// `(modulation, code rate)` and cached in the receive scratch, it lets
+/// the symbol hot loop write quantized integer levels straight into the
+/// Viterbi lattice — no coded-order intermediate stream, no separate
+/// deinterleave or depuncture pass.
+#[derive(Debug, Clone)]
+pub(crate) struct RxSymbolMap {
+    /// `(interleaved source, flat lattice offset)` per coded bit, in
+    /// deinterleaved coded order.
+    pairs: Vec<(usize, usize)>,
+    /// Flat lattice entries spanned by one OFDM symbol.
+    flat_per_symbol: usize,
+}
+
+impl RxSymbolMap {
+    /// Builds the map for one modulation/rate pair over `n_data` data
+    /// subcarriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol's coded-bit count is not a whole number of
+    /// puncture periods (true for every 802.11a/g MCS, where `N_CBPS ∈
+    /// {48, 96, 192, 288}` and periods keep 2, 3 or 4 bits).
+    pub(crate) fn new(modulation: Modulation, rate: CodeRate, n_data: usize) -> RxSymbolMap {
+        let il = Interleaver::new(modulation, n_data);
+        let n_cbps = il.block_size();
+        let (kept, flat, offs) = depuncture_layout(rate);
+        assert!(
+            n_cbps.is_multiple_of(kept),
+            "N_CBPS {n_cbps} not a multiple of the {kept}-bit puncture period"
+        );
+        let mut pairs = Vec::with_capacity(n_cbps); // lint:allow(hot-alloc): built once per (modulation, rate), cached across frames
+        for k in 0..n_cbps {
+            let dst = (k / kept) * flat + offs[k % kept];
+            pairs.push((il.permute(k), dst));
+        }
+        RxSymbolMap {
+            pairs,
+            flat_per_symbol: (n_cbps / kept) * flat,
+        }
+    }
+
+    /// Flat lattice entries one OFDM symbol spans; symbol `k` of a
+    /// section scatters into `lattice[k * flat_per_symbol()..]`.
+    pub(crate) fn flat_per_symbol(&self) -> usize {
+        self.flat_per_symbol
+    }
+
+    /// Scatters the first `limit` coded bits of one hard-demapped
+    /// symbol (interleaved order, bits 0/1) into the lattice slice as
+    /// ±1 levels. Slots past `limit` — puncture holes and positions
+    /// beyond the section's usable coded length — keep the lattice's
+    /// pre-zeroed erasure value.
+    pub(crate) fn scatter_hard(&self, interleaved: &[u8], limit: usize, lattice: &mut [i32]) {
+        for &(src, dst) in &self.pairs[..limit] {
+            lattice[dst] = i32::from(interleaved[src]) * 2 - 1;
+        }
+    }
+
+    /// Scatters the first `limit` coded bits of one soft-demapped
+    /// symbol (interleaved-order LLRs) into the lattice slice as
+    /// quantized levels; see [`RxSymbolMap::scatter_hard`].
+    pub(crate) fn scatter_soft(&self, llrs: &[f64], limit: usize, lattice: &mut [i32]) {
+        for &(src, dst) in &self.pairs[..limit] {
+            lattice[dst] = quantize_llr(llrs[src]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +251,44 @@ mod tests {
     #[should_panic(expected = "block size mismatch")]
     fn rejects_wrong_block_length() {
         Interleaver::new(Modulation::Bpsk, 48).interleave(&[0, 1]);
+    }
+
+    #[test]
+    fn scatter_matches_deinterleave_then_depuncture() {
+        // The fused map must equal the composition it replaces:
+        // deinterleave to coded order, then place kept bits at the flat
+        // lattice offsets of the puncture layout.
+        for m in Modulation::ALL {
+            for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+                let il = Interleaver::new(m, 48);
+                let map = RxSymbolMap::new(m, rate, 48);
+                let n = il.block_size();
+                let (kept, flat, offs) = depuncture_layout(rate);
+                assert_eq!(map.flat_per_symbol(), (n / kept) * flat, "{m} {rate}");
+
+                let bits: Vec<u8> = (0..n).map(|k| ((k * 13 + 5) % 3 == 0) as u8).collect();
+                let llrs: Vec<f64> = (0..n).map(|k| (k as f64 - 20.0) * 0.37).collect();
+                let coded = il.deinterleave(&bits);
+                let coded_llrs = il.deinterleave_soft(&llrs);
+
+                // Truncated limits exercise the erasure tail a section's
+                // last symbol sees.
+                for limit in [n, n - 7] {
+                    let mut expect_h = vec![0i32; map.flat_per_symbol()];
+                    let mut expect_s = vec![0i32; map.flat_per_symbol()];
+                    for k in 0..limit {
+                        let dst = (k / kept) * flat + offs[k % kept];
+                        expect_h[dst] = i32::from(coded[k]) * 2 - 1;
+                        expect_s[dst] = quantize_llr(coded_llrs[k]);
+                    }
+                    let mut got_h = vec![0i32; map.flat_per_symbol()];
+                    map.scatter_hard(&bits, limit, &mut got_h);
+                    assert_eq!(got_h, expect_h, "hard {m} {rate} limit {limit}");
+                    let mut got_s = vec![0i32; map.flat_per_symbol()];
+                    map.scatter_soft(&llrs, limit, &mut got_s);
+                    assert_eq!(got_s, expect_s, "soft {m} {rate} limit {limit}");
+                }
+            }
+        }
     }
 }

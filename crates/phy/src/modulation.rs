@@ -259,15 +259,15 @@ impl Modulation {
         }
     }
 
-    /// Max-log soft demapping of one axis coordinate into per-bit LLRs.
+    /// Max-log soft demapping of one axis coordinate into per-bit LLRs,
+    /// written to a pre-sized slice (one slot per axis bit).
     ///
     /// Convention: positive LLR favours bit value 1. `noise_var` is the
     /// per-axis Gaussian noise variance after equalisation.
-    fn axis_llrs(&self, level: f64, noise_var: f64, out: &mut Vec<f64>) {
+    fn axis_llrs_slice(&self, level: f64, noise_var: f64, out: &mut [f64]) {
         let levels = self.axis_levels();
-        let bits = self.axis_label(0).len();
         let inv = 1.0 / (2.0 * noise_var.max(1e-12));
-        for b in 0..bits {
+        for (b, slot) in out.iter_mut().enumerate() {
             let mut best0 = f64::INFINITY;
             let mut best1 = f64::INFINITY;
             for (idx, &l) in levels.iter().enumerate() {
@@ -278,8 +278,16 @@ impl Modulation {
                     best1 = best1.min(d);
                 }
             }
-            out.push((best0 - best1) * inv); // lint:allow(hot-alloc): per-section symbol buffer, pre-sized from bit count
+            *slot = (best0 - best1) * inv;
         }
+    }
+
+    /// Vec-appending form of [`Modulation::axis_llrs_slice`].
+    fn axis_llrs(&self, level: f64, noise_var: f64, out: &mut Vec<f64>) {
+        let start = out.len();
+        let bits = self.axis_label(0).len();
+        out.resize(start + bits, 0.0); // lint:allow(hot-alloc): per-section symbol buffer, pre-sized from bit count
+        self.axis_llrs_slice(level, noise_var, &mut out[start..]);
     }
 
     /// Max-log LLR demapping of one equalised constellation point.
@@ -298,6 +306,27 @@ impl Modulation {
             Modulation::Qpsk | Modulation::Qam16 | Modulation::Qam64 => {
                 self.axis_llrs(re, axis_var, out);
                 self.axis_llrs(im, axis_var, out);
+            }
+        }
+    }
+
+    /// [`Modulation::demap_soft_into`] writing to a pre-sized slice of
+    /// exactly [`Modulation::bits_per_symbol`] slots — the fused RX
+    /// pipeline's form, which demaps every point of a symbol into one
+    /// section-sized buffer with no per-point bookkeeping.
+    pub fn demap_soft_slice(&self, point: Complex64, noise_var: f64, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.bits_per_symbol());
+        let k = self.normalization();
+        let re = point.re / k;
+        let im = point.im / k;
+        // Normalising the point by K scales the noise by 1/K^2.
+        let axis_var = noise_var / (2.0 * k * k);
+        match self {
+            Modulation::Bpsk => self.axis_llrs_slice(re, axis_var, out),
+            Modulation::Qpsk | Modulation::Qam16 | Modulation::Qam64 => {
+                let (lo, hi) = out.split_at_mut(out.len() / 2);
+                self.axis_llrs_slice(re, axis_var, lo);
+                self.axis_llrs_slice(im, axis_var, hi);
             }
         }
     }
@@ -408,6 +437,21 @@ mod tests {
     #[should_panic(expected = "expected 2 bits")]
     fn wrong_bit_count_panics() {
         Modulation::Qpsk.map(&[1]);
+    }
+
+    #[test]
+    fn demap_soft_slice_matches_vec_form() {
+        for m in Modulation::ALL {
+            let bps = m.bits_per_symbol();
+            for bits in all_bit_patterns(bps) {
+                let p = m.map(&bits) + Complex64::new(0.07, -0.11);
+                let mut pushed = Vec::new();
+                m.demap_soft_into(p, 0.3, &mut pushed);
+                let mut sliced = vec![0.0; bps];
+                m.demap_soft_slice(p, 0.3, &mut sliced);
+                assert_eq!(pushed, sliced, "{m} bits {bits:?}");
+            }
+        }
     }
 
     #[test]

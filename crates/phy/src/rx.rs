@@ -16,11 +16,14 @@
 //!   CRCs from the phase offset side channel gate data-pilot updates of
 //!   the channel estimate (paper Section 5).
 
-use crate::convolutional::{coded_len, decode_soft_quantized_with, decode_with, ViterbiScratch};
+use crate::convolutional::{
+    coded_len, decode_prepared, CodeRate, ViterbiScratch, CONSTRAINT_LENGTH,
+};
 use crate::equalizer::{compensate_phase, estimate_noise_from_ltf, track_phase, ChannelEstimate};
-use crate::interleaver::Interleaver;
+use crate::interleaver::RxSymbolMap;
 use crate::math::Complex64;
 use crate::mcs::{Mcs, SYMBOL_DURATION};
+use crate::modulation::Modulation;
 use crate::ofdm::{
     demodulate_symbol, demodulate_symbol_into, FreqSymbol, DATA_CARRIERS, FFT_SIZE, NUM_DATA,
     SYMBOL_LEN,
@@ -184,6 +187,8 @@ pub struct PhyScratch {
     llrs: Vec<f64>,
     viterbi: ViterbiScratch,
     group: GroupBuffer,
+    /// Fused-pipeline scatter maps, one per `(modulation, rate)` seen.
+    rx_maps: Vec<(Modulation, CodeRate, RxSymbolMap)>,
 }
 
 impl Default for PhyScratch {
@@ -195,7 +200,32 @@ impl Default for PhyScratch {
             llrs: Vec::new(),
             viterbi: ViterbiScratch::default(),
             group: GroupBuffer::new(),
+            rx_maps: Vec::new(),
         }
+    }
+}
+
+impl PhyScratch {
+    /// Index of the cached scatter map for `(modulation, rate)`,
+    /// building it on first use. A linear scan suffices: at most seven
+    /// combinations exist (one per [`Mcs`]), and steady-state frames
+    /// hit the cache every section.
+    fn rx_map_index(&mut self, modulation: Modulation, rate: CodeRate) -> usize {
+        if let Some(i) = self
+            .rx_maps
+            .iter()
+            .position(|(m, r, _)| *m == modulation && *r == rate)
+        {
+            return i;
+        }
+        self.rx_maps
+            // lint:allow(hot-alloc): one map per (modulation, rate) pair, cached across frames
+            .push((
+                modulation,
+                rate,
+                RxSymbolMap::new(modulation, rate, NUM_DATA),
+            ));
+        self.rx_maps.len() - 1
     }
 }
 
@@ -416,19 +446,29 @@ impl<'a> FrameDecoder<'a> {
             scratch,
         } = self;
         let _decode_span = obs.span(carpool_obs::names::PHY_DECODE);
-        let interleaver = Interleaver::new(layout.mcs.modulation, NUM_DATA);
+        let modulation = layout.mcs.modulation;
+        let rate = layout.mcs.code_rate;
         let n_cbps = layout.mcs.coded_bits_per_symbol();
+        let bits_per_point = modulation.bits_per_symbol();
+        // Fused demap→deinterleave→depuncture: the symbol loop scatters
+        // quantized integer levels straight into the Viterbi lattice via
+        // the per-MCS map; coded bits beyond `usable` (and puncture
+        // holes) stay at the lattice's pre-zeroed erasure value.
+        let usable = coded_len(layout.message_bits, rate);
+        let total_in = layout.message_bits + CONSTRAINT_LENGTH - 1;
+        let map_idx = scratch.rx_map_index(modulation, rate);
 
         let mut raw_symbol_bits = Vec::with_capacity(num_symbols); // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
         let mut phase_offsets = Vec::with_capacity(num_symbols); // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
         let mut crc_ok = Vec::new(); // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
         let mut side_values = Vec::new(); // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
-        let mut coded_stream = Vec::with_capacity(num_symbols * n_cbps); // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
-        let mut soft_stream: Vec<f64> = if *soft_decoding {
-            Vec::with_capacity(num_symbols * n_cbps) // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
-        } else {
-            Vec::new() // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
-        };
+
+        // One symbol's worth of LLRs, sized once per section.
+        if *soft_decoding {
+            scratch.llrs.clear();
+            scratch.llrs.resize(n_cbps, 0.0); // lint:allow(hot-alloc): per-frame decode buffers, pre-sized from SIG fields
+        }
+        let lattice = scratch.viterbi.lattice_mut(total_in);
 
         let group = &mut scratch.group;
         group.clear();
@@ -460,22 +500,21 @@ impl<'a> FrameDecoder<'a> {
                 }
             }
 
-            let hard = layout.mcs.modulation.demap_all(&scratch.eq.data);
+            let hard = modulation.demap_all(&scratch.eq.data);
             debug_assert_eq!(hard.len(), n_cbps);
 
             // Soft path: per-carrier LLRs with ZF noise amplification
             // (noise variance on carrier c grows by 1/|H_c|^2).
             if *soft_decoding {
                 let estimate = estimator.current(initial);
-                scratch.llrs.clear();
-                scratch.llrs.reserve(n_cbps);
-                for (point, carrier) in scratch.eq.data.iter().zip(DATA_CARRIERS) {
+                for ((slot, point), carrier) in scratch
+                    .llrs
+                    .chunks_exact_mut(bits_per_point)
+                    .zip(&scratch.eq.data)
+                    .zip(DATA_CARRIERS)
+                {
                     let gain = estimate.at(carrier).norm_sqr().max(1e-9);
-                    layout.mcs.modulation.demap_soft_into(
-                        *point,
-                        *noise_var / gain,
-                        &mut scratch.llrs,
-                    );
+                    modulation.demap_soft_slice(*point, *noise_var / gain, slot);
                 }
             }
 
@@ -605,9 +644,14 @@ impl<'a> FrameDecoder<'a> {
             }
 
             *prev_phase = track.offset;
-            interleaver.deinterleave_into(&hard, &mut coded_stream);
+            // Scatter this symbol's coded bits into the trellis lattice.
+            let sc_map = &scratch.rx_maps[map_idx].2;
+            let limit = n_cbps.min(usable.saturating_sub(k * n_cbps));
+            let sym_lattice = &mut lattice[k * sc_map.flat_per_symbol()..];
             if *soft_decoding {
-                interleaver.deinterleave_soft_into(&scratch.llrs, &mut soft_stream);
+                sc_map.scatter_soft(&scratch.llrs, limit, sym_lattice);
+            } else {
+                sc_map.scatter_hard(&hard, limit, sym_lattice);
             }
             raw_symbol_bits.push(hard);
         }
@@ -616,26 +660,9 @@ impl<'a> FrameDecoder<'a> {
         obs.counter("phy.sections_decoded", 1);
 
         // FEC decode and descramble.
-        let usable = coded_len(layout.message_bits, layout.mcs.code_rate);
-        coded_stream.truncate(usable);
         let mut bits = {
             let _viterbi_span = obs.span(carpool_obs::names::PHY_VITERBI);
-            if *soft_decoding {
-                soft_stream.truncate(usable);
-                decode_soft_quantized_with(
-                    &soft_stream,
-                    layout.message_bits,
-                    layout.mcs.code_rate,
-                    &mut scratch.viterbi,
-                )
-            } else {
-                decode_with(
-                    &coded_stream,
-                    layout.message_bits,
-                    layout.mcs.code_rate,
-                    &mut scratch.viterbi,
-                )
-            }
+            decode_prepared(layout.message_bits, &mut scratch.viterbi)
         };
         if layout.scramble {
             Scrambler::default().scramble_in_place(&mut bits);

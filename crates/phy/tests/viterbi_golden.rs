@@ -15,8 +15,8 @@
 //! [`quantize_llr`]: huge finite LLRs, infinities and NaN.
 
 use carpool_phy::convolutional::{
-    coded_len, decode_soft_quantized_with, decode_soft_with, encode, quantize_llr, CodeRate,
-    ViterbiScratch, LLR_QUANT_CLAMP,
+    coded_len, decode_levels_with, decode_soft_quantized_with, decode_soft_with, decode_with,
+    encode, quantize_llr, CodeRate, ViterbiScratch, LLR_QUANT_CLAMP,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -95,6 +95,119 @@ fn golden_corpus_integer_kernel_matches_f64_oracle() {
         }
     }
     assert!(frames >= 10_000, "corpus too small: {frames}");
+}
+
+#[test]
+fn golden_corpus_prequantized_levels_match_quantizing_path() {
+    // The fused RX pipeline hands the batched-ACS kernel pre-quantized
+    // levels instead of f64 LLRs; that entry point must reproduce the
+    // quantizing entry point (and, by the corpus above, the f64 oracle)
+    // bit for bit — including frames truncated mid-puncture-period the
+    // way a section's usable-length cut truncates its last symbol.
+    let mut rng = StdRng::seed_from_u64(0xBA7C_4AC5);
+    let mut scratch = ViterbiScratch::default();
+    let mut ref_scratch = ViterbiScratch::default();
+    let mut frames = 0usize;
+    for rate in RATES {
+        for flavour in 0..2 {
+            for _ in 0..FRAMES_PER_CASE / 4 {
+                let message_len = rng.gen_range(48..=128);
+                let mut llrs = if flavour == 0 {
+                    codeword_frame(&mut rng, rate, message_len)
+                } else {
+                    noise_frame(&mut rng, rate, message_len)
+                };
+                // Cut 0..=7 trailing stream positions: every puncture-
+                // period boundary offset for every rate.
+                let cut = rng.gen_range(0usize..8).min(llrs.len());
+                llrs.truncate(llrs.len() - cut);
+                let levels: Vec<i32> = llrs.iter().map(|&l| quantize_llr(l)).collect();
+                let via_levels = decode_levels_with(&levels, message_len, rate, &mut scratch);
+                let via_f64 =
+                    decode_soft_quantized_with(&llrs, message_len, rate, &mut ref_scratch);
+                assert_eq!(
+                    via_levels, via_f64,
+                    "mismatch at rate {rate}, flavour {flavour}, frame {frames}, cut {cut}"
+                );
+                frames += 1;
+            }
+        }
+    }
+    assert!(frames >= 2_500, "corpus too small: {frames}");
+}
+
+#[test]
+fn golden_corpus_hard_levels_match_hard_decoder() {
+    // The fused hard path scatters ±1 levels; fed those, the levels
+    // entry point must match the hard-input decoder on every frame,
+    // channel errors included (both resolve ties to the low-numbered
+    // predecessor).
+    let mut rng = StdRng::seed_from_u64(0x5EED_2026);
+    let mut scratch = ViterbiScratch::default();
+    let mut hard_scratch = ViterbiScratch::default();
+    for (frame, rate) in RATES.iter().cycle().take(900).enumerate() {
+        let message_len = rng.gen_range(48..=128);
+        let bits: Vec<u8> = (0..message_len).map(|_| rng.gen_range(0..=1)).collect();
+        let mut coded = encode(&bits, *rate);
+        for b in coded.iter_mut() {
+            // ~6% raw bit errors: enough to exercise non-trivial
+            // traceback without overwhelming the code.
+            if rng.gen_range(0..16) == 0 {
+                *b ^= 1;
+            }
+        }
+        let levels: Vec<i32> = coded.iter().map(|&b| i32::from(b) * 2 - 1).collect();
+        let via_levels = decode_levels_with(&levels, message_len, *rate, &mut scratch);
+        let via_hard = decode_with(&coded, message_len, *rate, &mut hard_scratch);
+        assert_eq!(
+            via_levels, via_hard,
+            "mismatch at rate {rate}, frame {frame}"
+        );
+    }
+}
+
+#[test]
+fn saturated_levels_at_clamp_match_quantizing_path() {
+    // Frames dominated by full-scale ±LLR_QUANT_CLAMP levels drive the
+    // branch metric to its declared ±2^21 budget edge on nearly every
+    // step; the plain (non-saturating) adds of the batched kernel must
+    // still agree with the quantizing path exactly. Levels on the 2^-7
+    // grid map back to f64 losslessly, so both entries see identical
+    // inputs.
+    let mut rng = StdRng::seed_from_u64(0xC1A3_2026);
+    let mut scratch = ViterbiScratch::default();
+    let mut ref_scratch = ViterbiScratch::default();
+    const ALPHABET: [i32; 7] = [
+        -LLR_QUANT_CLAMP,
+        -LLR_QUANT_CLAMP,
+        -LLR_QUANT_CLAMP,
+        -128,
+        0,
+        128,
+        LLR_QUANT_CLAMP,
+    ];
+    for rate in RATES {
+        for frame in 0..300 {
+            let message_len = rng.gen_range(48..=96);
+            let levels: Vec<i32> = (0..coded_len(message_len, rate))
+                .map(|_| {
+                    let v = ALPHABET[rng.gen_range(0..ALPHABET.len())];
+                    if rng.gen_range(0..2) == 0 {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect();
+            let llrs: Vec<f64> = levels.iter().map(|&q| f64::from(q) / 128.0).collect();
+            let via_levels = decode_levels_with(&levels, message_len, rate, &mut scratch);
+            let via_f64 = decode_soft_quantized_with(&llrs, message_len, rate, &mut ref_scratch);
+            assert_eq!(
+                via_levels, via_f64,
+                "mismatch at rate {rate}, frame {frame}"
+            );
+        }
+    }
 }
 
 #[test]
