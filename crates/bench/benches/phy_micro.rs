@@ -346,7 +346,10 @@ fn run_sweep(config: &PhyRunConfig) -> Vec<PhyBerResult> {
 
 /// For regression orientation: keys where larger is faster/better.
 fn higher_is_better(key: &str) -> bool {
-    key.ends_with("frames_per_s") || key.ends_with("mbit_per_s") || key == "speedup"
+    key.ends_with("frames_per_s")
+        || key.ends_with("mbit_per_s")
+        || key.ends_with("events_per_s")
+        || key == "speedup"
 }
 
 /// For regression orientation: keys where smaller is faster/better.
@@ -355,13 +358,14 @@ fn lower_is_better(key: &str) -> bool {
 }
 
 /// Whether a regression on this key fails the build: the RX fast path
-/// (`rx_1500B_*`) and the Viterbi kernels (`viterbi_*`) are the rows
-/// this repo's perf work is anchored on, so check.sh treats losing >15%
-/// on any of them as fatal. Everything else stays advisory — wall-clock
-/// noise on shared machines must not fail the gate for rows nobody
-/// optimizes deliberately.
+/// (`rx_1500B_*`), the Viterbi kernels (`viterbi_*`) and the sharded
+/// MAC event engine (`mac_dense_events_per_s`) are the rows this repo's
+/// perf work is anchored on, so check.sh treats losing >15% on any of
+/// them as fatal. Everything else stays advisory — wall-clock noise on
+/// shared machines must not fail the gate for rows nobody optimizes
+/// deliberately.
 fn fatal_on_regression(key: &str) -> bool {
-    key.starts_with("rx_1500B_") || key.starts_with("viterbi_")
+    key.starts_with("rx_1500B_") || key.starts_with("viterbi_") || key == "mac_dense_events_per_s"
 }
 
 /// Compares this run's metrics against the committed
@@ -528,6 +532,45 @@ fn bench_obs_snapshot(results: &[SpanStats]) {
     }
 }
 
+/// Times the `mac_dense_16ap` scenario — 16 AP contention domains of
+/// 64 STAs each on the sharded MAC event engine, best of three after a
+/// warmup — and returns `(elapsed_s, events_per_s)`. The events/s row
+/// is one of the fatal perf anchors: the engine's whole point is
+/// allocation-free event dispatch, so losing >15% here means the MAC
+/// hot path regressed.
+fn time_mac_dense() -> (f64, f64) {
+    let config = carpool_mac::DenseConfig {
+        cell: carpool_mac::sim::SimConfig {
+            num_stas: 64,
+            num_aps: 1,
+            duration_s: 1.0,
+            seed: 7,
+            ..carpool_mac::sim::SimConfig::default()
+        },
+        domains: 16,
+        ..carpool_mac::DenseConfig::default()
+    };
+    let obs = Obs::noop();
+    let run = || {
+        carpool_mac::run_dense(
+            &config,
+            |_| Box::new(carpool_mac::BerBiasModel::calibrated()),
+            &obs,
+        )
+        .expect("dense run does not panic")
+    };
+    run();
+    let mut best = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let report = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+        events = report.events;
+    }
+    (best, events as f64 / best)
+}
+
 /// Times the parallel Monte-Carlo driver end to end — single run and
 /// full SNR sweep — and snapshots the numbers together with the
 /// per-kernel medians. The 1-thread and pool-default runs must agree to
@@ -560,10 +603,18 @@ fn bench_throughput(results: &[SpanStats]) {
 
     carpool_par::set_thread_override(Some(1));
     let (serial_s, serial_result) = time_run(&config);
+    // The pool leg always runs at least two workers — on a single-core
+    // runner the ambient default collapses to one thread and the
+    // "pool" row silently re-measures the serial leg (recorded as
+    // pool_threads: 1, speedup ~1.0x). CARPOOL_THREADS still wins when
+    // it asks for more; the effective count is what lands in the JSON.
     carpool_par::set_thread_override(None);
+    let pool_threads = carpool_par::thread_count().max(2);
+    carpool_par::set_thread_override(Some(pool_threads));
     let (pool_s, pool_result) = time_run(&config);
+    carpool_par::set_thread_override(None);
     let serial = throughput(1, config.frames, serial_s);
-    let pool = throughput(carpool_par::thread_count(), config.frames, pool_s);
+    let pool = throughput(pool_threads, config.frames, pool_s);
     let speedup = serial.elapsed_s / pool.elapsed_s;
     let deterministic = serial_result.data_ber.to_bits() == pool_result.data_ber.to_bits()
         && serial_result.side_ber.to_bits() == pool_result.side_ber.to_bits();
@@ -626,10 +677,19 @@ fn bench_throughput(results: &[SpanStats]) {
         cache_stats.misses
     );
 
+    let (dense_s, dense_events_per_s) = time_mac_dense();
+    println!(
+        "mac_dense_16ap: 16 domains x 64 STAs x 1.0 s in {dense_s:.3} s wall \
+         ({:.2} Mevents/s)",
+        dense_events_per_s / 1e6
+    );
+
     // Everything numeric lands in one flat list: the same rows are
     // written to BENCH_perf.json and compared against the committed
     // baseline.
     let mut entries: Vec<(&'static str, f64)> = vec![
+        ("mac_dense_elapsed_s", dense_s),
+        ("mac_dense_events_per_s", dense_events_per_s),
         ("serial_elapsed_s", serial.elapsed_s),
         ("serial_frames_per_s", serial.frames_per_s),
         ("serial_coded_mbit_per_s", serial.coded_mbit_per_s),

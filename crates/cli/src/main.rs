@@ -52,6 +52,13 @@ COMMANDS:
                --protocol <carpool|mu|ampdu|dot11|wifox>  (default carpool)
                --stas <20> --aps <2> --duration <8> --seed <1>
                [--background] [--hidden <fraction>] [--rts-cts] [--time-fair]
+    mac-dense  One large multi-AP scenario on the sharded event engine:
+               N AP contention domains coupled through OBSS interference,
+               stepped in parallel with deterministic boundary handoff
+               (results are identical for every --shards/--threads value)
+               --aps <16> --stas <64 per AP> --duration <2> --seed <1>
+               --protocol <carpool|mu|ampdu|dot11|wifox>
+               --shards <0 = one shard per domain> --coupling <0.25>
     sweep      Fig. 15/16-style sweep across all five protocols
                --from <10> --to <30> --step <4> --duration <6> [--background]
     frame      Build and deliver one Carpool frame end to end
@@ -270,6 +277,53 @@ fn cmd_mac_sim(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
         report.channel.collision_ratio() * 100.0,
         report.channel.hidden_collisions,
         report.channel.mean_aggregation()
+    );
+    Ok(())
+}
+
+fn cmd_mac_dense(args: &Args, obs: &carpool_obs::Obs) -> Result<(), String> {
+    let protocol = parse_protocol(args.get("protocol").unwrap_or("carpool"))?;
+    let domains: usize = args.get_or("aps", 16).map_err(|e| e.to_string())?;
+    let cell = SimConfig {
+        protocol,
+        num_stas: args.get_or("stas", 64).map_err(|e| e.to_string())?,
+        num_aps: 1,
+        duration_s: args.get_or("duration", 2.0).map_err(|e| e.to_string())?,
+        seed: args.get_or("seed", 1).map_err(|e| e.to_string())?,
+        ..SimConfig::default()
+    };
+    let config = carpool_mac::DenseConfig {
+        cell,
+        domains,
+        obss_coupling: args.get_or("coupling", 0.25).map_err(|e| e.to_string())?,
+        shards: args.get_or("shards", 0).map_err(|e| e.to_string())?,
+        ..carpool_mac::DenseConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let report = carpool_mac::run_dense(&config, |_| Box::new(BerBiasModel::calibrated()), obs)
+        .map_err(|e| e.to_string())?;
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "{protocol} — {} AP domains x {} STAs, {:.0} s simulated",
+        domains, config.cell.num_stas, report.duration_s
+    );
+    println!(
+        "  downlink: {:.2} Mbit/s aggregate, {} delivered / {} dropped",
+        report.downlink_goodput_mbps(),
+        report.downlink.delivered_frames,
+        report.downlink.dropped_frames
+    );
+    println!(
+        "  channel : {} transmissions, {} collisions ({:.1}%)",
+        report.channel.transmissions,
+        report.channel.collisions,
+        report.channel.collision_ratio() * 100.0
+    );
+    println!(
+        "  engine  : {} MAC events in {:.3} s wall ({:.2} Mevents/s)",
+        report.events,
+        wall,
+        report.events as f64 / wall / 1e6
     );
     Ok(())
 }
@@ -512,6 +566,7 @@ fn main() {
     let result = match args.command() {
         Some("phy-ber") => cmd_phy_ber(&args, &obs),
         Some("mac-sim") => cmd_mac_sim(&args, &obs),
+        Some("mac-dense") => cmd_mac_dense(&args, &obs),
         Some("sweep") => cmd_sweep(&args, &obs),
         Some("frame") => cmd_frame(&args, &obs),
         Some("trace") => cmd_trace(&args, &obs),

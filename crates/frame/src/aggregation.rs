@@ -101,6 +101,38 @@ impl Selection {
     }
 }
 
+/// Reusable buffers for [`select_into`]: the [`Selection`] being built
+/// plus a pool of spare per-receiver index vectors recycled from the
+/// previous call, so steady-state selection does no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionScratch {
+    selection: Selection,
+    spare: Vec<Vec<usize>>,
+}
+
+impl SelectionScratch {
+    /// Runs [`select_into`] against the scratch and returns the result.
+    pub fn select(
+        &mut self,
+        policy: AggregationPolicy,
+        queue: &[QueuedFrame],
+        limits: &AggregationLimits,
+    ) -> &Selection {
+        select_into(policy, queue, limits, self);
+        &self.selection
+    }
+
+    /// The selection produced by the last [`SelectionScratch::select`].
+    pub fn last(&self) -> &Selection {
+        &self.selection
+    }
+
+    /// Pops a recycled group vector (cleared) or makes a fresh one.
+    fn take_group(&mut self) -> Vec<usize> {
+        self.spare.pop().unwrap_or_default()
+    }
+}
+
 /// Selects frames from `queue` (FIFO order) under `limits` according to
 /// `policy`.
 ///
@@ -112,15 +144,36 @@ pub fn select(
     queue: &[QueuedFrame],
     limits: &AggregationLimits,
 ) -> Selection {
+    let mut scratch = SelectionScratch::default();
+    select_into(policy, queue, limits, &mut scratch);
+    scratch.selection
+}
+
+/// Allocation-free form of [`select`]: builds the selection inside
+/// `scratch`, recycling its group buffers from the previous TXOP.
+/// Identical output to [`select`] (which delegates here).
+pub(crate) fn select_into(
+    policy: AggregationPolicy,
+    queue: &[QueuedFrame],
+    limits: &AggregationLimits,
+    scratch: &mut SelectionScratch,
+) {
+    let SelectionScratch { selection, spare } = &mut *scratch;
+    while let Some((_, mut group)) = selection.groups.pop() {
+        group.clear();
+        spare.push(group); // lint:allow(hot-alloc): recycling pool, bounded by max receivers
+    }
     let Some(head) = queue.first() else {
-        return Selection::default();
+        return;
     };
     match policy {
-        AggregationPolicy::None => Selection {
-            groups: vec![(head.dest, vec![0])],
-        },
+        AggregationPolicy::None => {
+            let mut group = scratch.take_group();
+            group.push(0); // lint:allow(hot-alloc): recycled group buffer, bounded by queue depth
+            scratch.selection.groups.push((head.dest, group)); // lint:allow(hot-alloc): recycled group buffer, bounded by max receivers
+        }
         AggregationPolicy::Ampdu => {
-            let mut indices = Vec::new(); // lint:allow(hot-alloc): per-TXOP A-MPDU planning, bounded by queue depth
+            let mut indices = scratch.take_group();
             let mut bytes = 0usize;
             for (k, f) in queue.iter().enumerate() {
                 if f.dest != head.dest {
@@ -133,39 +186,38 @@ pub fn select(
                     break;
                 }
                 bytes += f.bytes;
-                indices.push(k); // lint:allow(hot-alloc): per-TXOP A-MPDU planning, bounded by queue depth
+                indices.push(k); // lint:allow(hot-alloc): recycled group buffer, bounded by queue depth
             }
-            Selection {
-                groups: vec![(head.dest, indices)],
-            }
+            scratch.selection.groups.push((head.dest, indices)); // lint:allow(hot-alloc): recycled group buffer, bounded by max receivers
         }
         AggregationPolicy::MultiUser => {
-            let mut groups: Vec<(MacAddress, Vec<usize>)> = Vec::new(); // lint:allow(hot-alloc): per-TXOP A-MPDU planning, bounded by queue depth
             let mut bytes = 0usize;
             let max_receivers = limits.max_receivers.min(MAX_RECEIVERS);
             for (k, f) in queue.iter().enumerate() {
-                let existing = groups.iter_mut().find(|(d, _)| *d == f.dest);
+                let groups = &mut scratch.selection.groups;
+                let existing = groups.iter_mut().position(|(d, _)| *d == f.dest);
                 let first = k == 0;
                 if !first && bytes + f.bytes > limits.max_bytes {
                     break;
                 }
                 match existing {
-                    Some((_, g)) => {
-                        if g.len() >= limits.max_frames_per_receiver {
+                    Some(g) => {
+                        if scratch.selection.groups[g].1.len() >= limits.max_frames_per_receiver {
                             continue;
                         }
-                        g.push(k); // lint:allow(hot-alloc): per-TXOP A-MPDU planning, bounded by queue depth
+                        scratch.selection.groups[g].1.push(k); // lint:allow(hot-alloc): recycled group buffer, bounded by queue depth
                     }
                     None => {
-                        if groups.len() >= max_receivers {
+                        if scratch.selection.groups.len() >= max_receivers {
                             continue;
                         }
-                        groups.push((f.dest, vec![k])); // lint:allow(hot-alloc): per-TXOP A-MPDU planning, bounded by queue depth
+                        let mut group = scratch.take_group();
+                        group.push(k); // lint:allow(hot-alloc): recycled group buffer, bounded by queue depth
+                        scratch.selection.groups.push((f.dest, group)); // lint:allow(hot-alloc): recycled group buffer, bounded by max receivers
                     }
                 }
                 bytes += f.bytes;
             }
-            Selection { groups }
         }
     }
 }
@@ -303,6 +355,41 @@ mod tests {
         };
         let sel = select(AggregationPolicy::Ampdu, &queue, &limits);
         assert_eq!(sel.frame_count(), 4);
+    }
+
+    #[test]
+    fn select_into_matches_select_across_scratch_reuse() {
+        let queues: [&[QueuedFrame]; 4] = [
+            &[],
+            &[q(1, 100, 0.0), q(1, 100, 0.1), q(2, 100, 0.2)],
+            &[
+                q(3, 400, 0.0),
+                q(2, 400, 0.1),
+                q(3, 400, 0.2),
+                q(1, 50, 0.3),
+            ],
+            &[q(1, 100_000, 0.0)],
+        ];
+        let limits = AggregationLimits {
+            max_bytes: 900,
+            max_frames_per_receiver: 2,
+            ..Default::default()
+        };
+        let mut scratch = SelectionScratch::default();
+        for _ in 0..3 {
+            for queue in queues {
+                for policy in [
+                    AggregationPolicy::None,
+                    AggregationPolicy::Ampdu,
+                    AggregationPolicy::MultiUser,
+                ] {
+                    let expect = select(policy, queue, &limits);
+                    let got = scratch.select(policy, queue, &limits);
+                    assert_eq!(*got, expect, "{policy:?}");
+                    assert_eq!(*scratch.last(), expect);
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,16 +11,23 @@ use crate::rules::{contains_token, line_waived, panic_hits, Diagnostic, Rule};
 
 /// The hot-path roots L007 guards: the bench PHY trial loop, the MAC
 /// Monte-Carlo driver (both its free-fn spelling and the historical
-/// `Simulator::` one), the link-delivery facade, the RX section
-/// decoder (the fused demap→scatter→Viterbi fast path), and the
-/// integer Viterbi / FFT kernels — including the pre-quantized
+/// `Simulator::` one), the sharded MAC event engine (the per-domain
+/// step loop, the calendar-queue push/pop it dispatches through, and
+/// the `run_sharded` epoch driver), the link-delivery facade, the RX
+/// section decoder (the fused demap→scatter→Viterbi fast path), and
+/// the integer Viterbi / FFT kernels — including the pre-quantized
 /// `decode_levels` entry points the fused RX path batches into.
 /// Specs are `::`-separated suffixes matched against fully qualified
 /// fn paths.
-pub const HOT_ROOTS: [&str; 18] = [
+pub const HOT_ROOTS: [&str; 23] = [
     "carpool_bench::run_phy",
     "Simulator::run_replications",
     "sim::run_replications",
+    "Simulator::run",
+    "Domain::step",
+    "CalendarQueue::push",
+    "CalendarQueue::pop",
+    "carpool_par::run_sharded",
     "CarpoolLink::deliver_all",
     "FrameDecoder::decode_section",
     "convolutional::decode",

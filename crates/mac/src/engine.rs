@@ -1,0 +1,1701 @@
+//! Sharded, allocation-free MAC event engine.
+//!
+//! The virtual-slot DCF loop that used to live inline in
+//! [`Simulator::run`](crate::sim::Simulator::run) is extracted here as
+//! [`Domain`]: one collision domain that can be stepped to an arbitrary
+//! time bound. Three structural changes make the stepper fast without
+//! changing a single emitted byte:
+//!
+//! * arrivals sit in an indexed [`CalendarQueue`] (slot-tick buckets,
+//!   intrusive chains, free-listed slab) instead of a sorted `Vec`
+//!   scanned by index — dequeue order `(tick, insertion seq)` is
+//!   provably the old scan order (see `calendar_proptests.rs`);
+//! * pending frames live in a generational-index [`Arena`]; node queues
+//!   hold [`Handle`]s, delivered/dropped frames drain back into the
+//!   free list, and retransmissions keep their slot — no per-frame heap
+//!   traffic and no per-TXOP `requeue` rebuilds;
+//! * every per-round temporary (eligible set, winners, TXOP plan,
+//!   outcomes) is a scratch buffer reused across rounds, mirroring the
+//!   PR 8 scratch discipline.
+//!
+//! On top of single-domain stepping, [`run_dense`] runs many
+//! co-channel AP domains as one scenario: domains are partitioned into
+//! shards, each shard steps its domains through fixed *epochs*, and at
+//! every epoch barrier the shards exchange OBSS busy-time messages with
+//! their ring neighbours through the deterministic
+//! [`carpool_par::run_sharded`] primitive. All cross-shard state is
+//! keyed by domain index and merged in domain order, so the report is
+//! byte-identical at any thread count *and* any shard count.
+
+use crate::arena::{Arena, Handle};
+use crate::calendar::CalendarQueue;
+use crate::error_model::{EstimationScheme, FrameErrorModel};
+use crate::metrics::{AirtimeShare, ChannelStats, FlowCollector, FlowMetrics, SimReport};
+use crate::protocol::Protocol;
+use crate::sim::{DownlinkTraffic, SchedulerPolicy, SimConfig, WIRE_OVERHEAD_BYTES};
+use carpool_frame::addr::MacAddress;
+use carpool_frame::aggregation::{QueuedFrame, SelectionScratch};
+use carpool_frame::airtime::{
+    ack_airtime, ahdr_airtime, cts_airtime, data_frame_airtime, rts_airtime, CW_MAX, DIFS,
+    PLCP_OVERHEAD, SIFS, SLOT_TIME,
+};
+use carpool_obs::{Event, FlightRecorder, Obs, TraceKind};
+use carpool_phy::mcs::{Mcs, SYMBOL_DURATION};
+use carpool_traffic::background::{BackgroundSource, Transport};
+use carpool_traffic::voip::VoipSource;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Extended interframe space after a collision (no ACK arrives).
+fn eifs() -> f64 {
+    SIFS + ack_airtime() + DIFS
+}
+
+/// Trace-payload widening for station indices, byte counts, and symbol
+/// counts.
+fn trace_u64(v: usize) -> u64 {
+    // lint:allow(as-cast): station/byte/symbol counts are far below 2^64
+    v as u64
+}
+
+/// Time span of `symbols` OFDM symbols, for flight-recorder stamps.
+fn symbol_span(symbols: usize) -> f64 {
+    // lint:allow(as-cast): symbol counts are far below 2^52, conversion exact
+    symbols as f64 * SYMBOL_DURATION
+}
+
+/// A traffic arrival scheduled in the calendar queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ArrivalEvent {
+    pub(crate) time: f64,
+    pub(crate) node: usize,
+    pub(crate) dest: usize,
+    pub(crate) bytes: usize,
+}
+
+/// A frame waiting in a node queue, stored in the frame arena.
+#[derive(Debug, Clone, Copy, Default)]
+struct PendingFrame {
+    /// Flight-recorder correlation id, assigned in arrival order at
+    /// ingest — deterministic for a given seed, unique per frame (and
+    /// across domains via the per-domain id base).
+    id: u64,
+    bytes: usize,
+    enqueue: f64,
+    attempts: u32,
+    dest: usize,
+}
+
+#[derive(Debug)]
+struct Node {
+    queue: VecDeque<Handle>,
+    backoff: u32,
+    cw: u32,
+    cw_min: u32,
+    is_ap: bool,
+}
+
+impl Node {
+    fn new(is_ap: bool, cw_min: u32) -> Node {
+        Node {
+            queue: VecDeque::new(),
+            backoff: 0,
+            cw: cw_min,
+            cw_min,
+            is_ap,
+        }
+    }
+
+    fn draw_backoff(&mut self, rng: &mut StdRng) {
+        self.backoff = rng.gen_range(0..=self.cw);
+    }
+
+    fn on_success(&mut self, rng: &mut StdRng) {
+        self.cw = self.cw_min;
+        if !self.queue.is_empty() {
+            self.draw_backoff(rng);
+        }
+    }
+
+    fn on_collision(&mut self, rng: &mut StdRng) {
+        self.cw = (self.cw * 2 + 1).min(CW_MAX);
+        self.draw_backoff(rng);
+    }
+}
+
+/// Total bytes queued at `node` (frames resolved through the arena).
+fn queued_bytes(node: &Node, frames: &Arena<PendingFrame>) -> usize {
+    node.queue
+        .iter()
+        .filter_map(|&h| frames.get(h))
+        .map(|f| f.bytes)
+        .sum()
+}
+
+/// Deterministically decides whether two STA node ids are mutually
+/// hidden: splitmix-style hash of (pair, seed) -> uniform in [0, 1).
+pub(crate) fn hidden_pair(seed: u64, fraction: f64, a: usize, b: usize) -> bool {
+    if a == b {
+        return false;
+    }
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let mut x = (lo as u64) << 32 | hi as u64; // lint:allow(as-cast): two u32 halves packed into u64
+    x ^= seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x as f64 / u64::MAX as f64) < fraction // lint:allow(as-cast): u64-to-f64 rounding is harmless for a uniform draw
+}
+
+/// Traffic-model sampling for one domain, identical to the pre-engine
+/// `Simulator::generate_arrivals`: same sources, same RNG draw order,
+/// stable-sorted by arrival time.
+pub(crate) fn generate_arrivals(cfg: &SimConfig, rng: &mut StdRng) -> Vec<ArrivalEvent> {
+    let mut arrivals = Vec::new(); // lint:allow(hot-alloc): one-time per-run arrival table
+    for sta in 0..cfg.num_stas {
+        let node_id = cfg.num_aps + sta;
+        let ap_id = sta % cfg.num_aps;
+        match cfg.downlink {
+            DownlinkTraffic::Voip => {
+                // ON/OFF means calibrated so the per-STA offered load
+                // matches the operating points of the paper's Fig. 15
+                // (~0.9 x 96 kbit/s per STA): talkspurts dominate.
+                let voip = VoipSource::with_means(5.0, 0.05);
+                for a in voip.generate(cfg.duration_s, rng) {
+                    // lint:allow(hot-alloc): one-time per-run arrival table
+                    arrivals.push(ArrivalEvent {
+                        time: a.time,
+                        node: ap_id,
+                        dest: node_id,
+                        bytes: a.bytes,
+                    });
+                }
+                if cfg.bidirectional_voip {
+                    for a in voip.generate(cfg.duration_s, rng) {
+                        // lint:allow(hot-alloc): one-time per-run arrival table
+                        arrivals.push(ArrivalEvent {
+                            time: a.time,
+                            node: node_id,
+                            dest: ap_id,
+                            bytes: a.bytes,
+                        });
+                    }
+                }
+            }
+            DownlinkTraffic::Cbr { interval_s, bytes } => {
+                // Random phase to avoid synchronised arrivals.
+                let mut t = rng.gen::<f64>() * interval_s;
+                while t < cfg.duration_s {
+                    // lint:allow(hot-alloc): one-time per-run arrival table
+                    arrivals.push(ArrivalEvent {
+                        time: t,
+                        node: ap_id,
+                        dest: node_id,
+                        bytes,
+                    });
+                    t += interval_s;
+                }
+            }
+            DownlinkTraffic::None => {}
+        }
+        if let Some(up) = cfg.uplink {
+            // lint:allow(as-cast): small station count to f64, exact below 2^53
+            let transport = if (sta as f64 + 0.5) / cfg.num_stas as f64 <= up.tcp_fraction {
+                Transport::Tcp
+            } else {
+                Transport::Udp
+            };
+            let source = BackgroundSource::new(transport).with_rate_scale(up.rate_scale);
+            for a in source.generate(cfg.duration_s, rng) {
+                // lint:allow(hot-alloc): one-time per-run arrival table
+                arrivals.push(ArrivalEvent {
+                    time: a.time,
+                    node: node_id,
+                    dest: ap_id,
+                    bytes: a.bytes,
+                });
+            }
+        }
+    }
+    arrivals.sort_by(|a, b| a.time.total_cmp(&b.time));
+    arrivals
+}
+
+/// Whether station node id `sta_id` negotiated Carpool at association.
+fn is_carpool_capable(cfg: &SimConfig, sta_id: usize) -> bool {
+    let idx = sta_id.saturating_sub(cfg.num_aps);
+    (idx as f64) < cfg.carpool_fraction * cfg.num_stas as f64 // lint:allow(as-cast): small station count to f64, exact below 2^53
+}
+
+/// MCS used when transmitting to (or from) station node `sta_id`.
+fn mcs_for(cfg: &SimConfig, sta_id: usize) -> Mcs {
+    match &cfg.per_sta_snr_db {
+        Some(snrs) => {
+            let idx = sta_id.saturating_sub(cfg.num_aps);
+            snrs.get(idx)
+                .map(|&snr| crate::rate::mcs_for_snr(snr))
+                .unwrap_or(cfg.data_mcs)
+        }
+        None => cfg.data_mcs,
+    }
+}
+
+/// Whether a backlogged AP may contend now (aggregation-wait trigger).
+fn ap_eligible(cfg: &SimConfig, node: &Node, frames: &Arena<PendingFrame>, now: f64) -> bool {
+    let Some(&h) = node.queue.front() else {
+        return false;
+    };
+    let Some(head) = frames.get(h) else {
+        return false;
+    };
+    match cfg.aggregation_wait {
+        None => true,
+        Some(w) => {
+            now - head.enqueue >= w.max_latency_s || queued_bytes(node, frames) >= w.max_bytes
+        }
+    }
+}
+
+/// RTS/CTS signalling time preceding a data PPDU addressed to
+/// `receivers` receivers (multicast RTS + sequential CTSs, Fig. 7).
+fn control_airtime(cfg: &SimConfig, receivers: usize) -> f64 {
+    if !cfg.use_rts_cts {
+        return 0.0;
+    }
+    let carpool_like = matches!(cfg.protocol, Protocol::Carpool | Protocol::MuAggregation);
+    // lint:allow(as-cast): receiver count to f64, exact below 2^53
+    rts_airtime(carpool_like) + receivers as f64 * (SIFS + cts_airtime()) + SIFS
+}
+
+/// One per-receiver subframe group of the planned TXOP. Indices live in
+/// [`PlanBuf::indices`] at `[start, start + len)`.
+#[derive(Debug, Clone, Copy)]
+struct GroupMeta {
+    dest: usize,
+    mcs: Mcs,
+    start: usize,
+    len: usize,
+}
+
+/// Reusable TXOP-planning buffers: the flattened equivalent of the old
+/// per-round `TxopPlan` allocation, refilled in place every round.
+#[derive(Debug, Default)]
+struct PlanBuf {
+    /// Scratch: candidate queue positions in selector presentation order.
+    order: Vec<usize>,
+    /// Scratch: the selector's view of the queue.
+    view: Vec<QueuedFrame>,
+    /// Selector scratch (recycled per-receiver index buffers).
+    sel: SelectionScratch,
+    /// Queue indices selected, ascending (for removal).
+    selected: Vec<usize>,
+    /// Per-receiver groups in subframe order.
+    groups: Vec<GroupMeta>,
+    /// Flat queue-index storage backing `groups`.
+    indices: Vec<usize>,
+    /// Airtime of the data PPDU (PLCP + headers + payload).
+    data_airtime: f64,
+    /// Trailing ACK sequence time.
+    ack_airtime_total: f64,
+    /// Header length in OFDM symbols (payload error positions start here).
+    header_symbols: usize,
+}
+
+impl PlanBuf {
+    fn total_airtime(&self) -> f64 {
+        self.data_airtime + self.ack_airtime_total
+    }
+
+    fn clear(&mut self) {
+        self.order.clear();
+        self.view.clear();
+        self.selected.clear();
+        self.groups.clear();
+        self.indices.clear();
+        self.data_airtime = 0.0;
+        self.ack_airtime_total = 0.0;
+        self.header_symbols = 0;
+    }
+
+    fn push_single(&mut self, queue_index: usize, dest: usize, mcs: Mcs) {
+        self.selected.push(queue_index); // lint:allow(hot-alloc): reused scratch, bounded by queue depth
+        self.indices.push(queue_index); // lint:allow(hot-alloc): reused scratch, bounded by queue depth
+        self.groups.push(GroupMeta {
+            dest,
+            mcs,
+            start: 0,
+            len: 1,
+        }); // lint:allow(hot-alloc): reused scratch, bounded by max receivers
+    }
+}
+
+/// Plans the winner's TXOP into `plan`, reusing its buffers. Identical
+/// decisions (and f64 arithmetic) to the old `Simulator::plan_txop`.
+fn plan_into(
+    cfg: &SimConfig,
+    node: &Node,
+    node_id: usize,
+    occupancy: &[f64],
+    frames: &Arena<PendingFrame>,
+    plan: &mut PlanBuf,
+) {
+    plan.clear();
+    if node.is_ap {
+        // Mixed deployments (Section 4.3): a multi-receiver AP serves a
+        // legacy head-of-line client with a plain single-frame
+        // transmission, and never aggregates legacy clients into a
+        // Carpool frame.
+        let multi_user = matches!(cfg.protocol, Protocol::Carpool | Protocol::MuAggregation);
+        if multi_user {
+            if let Some(head) = node.queue.front().and_then(|&h| frames.get(h)) {
+                if !is_carpool_capable(cfg, head.dest) {
+                    let mcs = mcs_for(cfg, head.dest);
+                    let wire_bits = (head.bytes + WIRE_OVERHEAD_BYTES) * 8;
+                    plan.push_single(0, head.dest, mcs);
+                    plan.data_airtime =
+                        PLCP_OVERHEAD + mcs.symbols_for_bits(wire_bits) as f64 * SYMBOL_DURATION; // lint:allow(as-cast): symbol count to f64, exact below 2^53
+                    plan.ack_airtime_total = SIFS + ack_airtime();
+                    return;
+                }
+            }
+        }
+
+        // Under time fairness the AP presents its queue to the selector
+        // ordered by the destinations' cumulative airtime, so
+        // underserved stations aggregate (and transmit) first.
+        plan.order.extend(0..node.queue.len()); // lint:allow(hot-alloc): reused scratch, bounded by queue depth
+        if multi_user && cfg.carpool_fraction < 1.0 {
+            // Only Carpool-capable destinations may ride this aggregate;
+            // legacy frames wait for their own TXOPs.
+            plan.order.retain(|&k| {
+                node.queue
+                    .get(k)
+                    .and_then(|&h| frames.get(h))
+                    .is_some_and(|f| is_carpool_capable(cfg, f.dest))
+            });
+        }
+        if cfg.scheduler == SchedulerPolicy::TimeFair {
+            plan.order.sort_by(|&a, &b| {
+                let occ = |k: usize| {
+                    let dest = node
+                        .queue
+                        .get(k)
+                        .and_then(|&h| frames.get(h))
+                        .map(|f| f.dest)
+                        .unwrap_or(0);
+                    occupancy
+                        .get(dest.saturating_sub(cfg.num_aps))
+                        .copied()
+                        .unwrap_or(0.0)
+                };
+                occ(a).total_cmp(&occ(b)).then(a.cmp(&b))
+            });
+        }
+        for &k in &plan.order {
+            let Some(f) = node.queue.get(k).and_then(|&h| frames.get(h)) else {
+                continue;
+            };
+            // lint:allow(hot-alloc): reused scratch plan, bounded by queue depth
+            plan.view.push(QueuedFrame {
+                dest: MacAddress::station(f.dest as u16), // lint:allow(as-cast): station index bounded by num_stas < 2^16
+                bytes: f.bytes,
+                enqueue_time: f.enqueue,
+            }); // lint:allow(hot-alloc): reused scratch, bounded by queue depth
+        }
+        let selection = plan
+            .sel
+            .select(cfg.protocol.aggregation_policy(), &plan.view, &cfg.limits);
+        let receivers = selection.receiver_count().max(1);
+        let header_airtime = cfg.protocol.aggregation_header_airtime(receivers);
+        // lint:allow(as-cast): header symbol counts are tiny and rounded
+        let header_symbols = (header_airtime / SYMBOL_DURATION).round() as usize;
+        let mut payload_symbols = 0usize;
+        for (_, view_indices) in &selection.groups {
+            let start = plan.indices.len();
+            for &v in view_indices {
+                let Some(&k) = plan.order.get(v) else {
+                    continue;
+                };
+                plan.indices.push(k); // lint:allow(hot-alloc): reused scratch, bounded by queue depth
+            }
+            let len = plan.indices.len() - start;
+            if len == 0 {
+                continue;
+            }
+            let dest = node
+                .queue
+                .get(plan.indices[start])
+                .and_then(|&h| frames.get(h))
+                .map(|f| f.dest)
+                .unwrap_or(0);
+            let mcs = mcs_for(cfg, dest);
+            for &k in &plan.indices[start..start + len] {
+                let bytes = node
+                    .queue
+                    .get(k)
+                    .and_then(|&h| frames.get(h))
+                    .map(|f| f.bytes)
+                    .unwrap_or(0);
+                let wire_bits = (bytes + WIRE_OVERHEAD_BYTES) * 8;
+                payload_symbols += mcs.symbols_for_bits(wire_bits);
+            }
+            // lint:allow(hot-alloc): reused scratch plan, bounded by receiver count
+            plan.groups.push(GroupMeta {
+                dest,
+                mcs,
+                start,
+                len,
+            }); // lint:allow(hot-alloc): reused scratch, bounded by max receivers
+        }
+        plan.selected.extend_from_slice(&plan.indices); // lint:allow(hot-alloc): reused scratch, bounded by queue depth
+        plan.selected.sort_unstable();
+        plan.data_airtime =
+            PLCP_OVERHEAD + header_airtime + payload_symbols as f64 * SYMBOL_DURATION; // lint:allow(as-cast): symbol count to f64, exact below 2^53
+        let acks = cfg.protocol.acks_per_exchange(receivers);
+        plan.ack_airtime_total = acks as f64 * (SIFS + ack_airtime()); // lint:allow(as-cast): ACK count to f64, exact below 2^53
+        plan.header_symbols = header_symbols;
+    } else {
+        // STA: single head frame to its AP at the STA's own rate. The
+        // contention loop never selects an empty queue, so an empty
+        // plan here is a graceful fallback rather than a reachable path.
+        let Some(head) = node.queue.front().and_then(|&h| frames.get(h)) else {
+            return;
+        };
+        let mcs = mcs_for(cfg, node_id);
+        let wire = head.bytes + WIRE_OVERHEAD_BYTES - 2; // no delimiter
+        plan.push_single(0, head.dest, mcs);
+        plan.data_airtime = data_frame_airtime(wire, mcs);
+        plan.ack_airtime_total = SIFS + ack_airtime();
+    }
+}
+
+/// Per-round scratch buffers, reused for the life of the domain.
+#[derive(Debug, Default)]
+struct RoundScratch {
+    eligible: Vec<usize>,
+    priority: Vec<usize>,
+    winners: Vec<usize>,
+    outcomes: Vec<(usize, bool)>,
+    requeue: Vec<Handle>,
+    plan: PlanBuf,
+}
+
+/// The error model, either borrowed from a [`Simulator`] or owned by a
+/// dense-scenario domain.
+pub(crate) enum ModelHandle<'m> {
+    /// Borrowed from the owning simulator.
+    Borrowed(&'m dyn FrameErrorModel),
+    /// Owned (dense scenario: one model per domain).
+    Owned(Box<dyn FrameErrorModel>),
+}
+
+impl ModelHandle<'_> {
+    fn get(&self) -> &dyn FrameErrorModel {
+        match self {
+            ModelHandle::Borrowed(m) => *m,
+            ModelHandle::Owned(b) => b.as_ref(),
+        }
+    }
+}
+
+/// One collision domain steppable to a time bound.
+///
+/// `step(limit)` performs one engine event — an arrival-driven idle
+/// hop, a collision round, an aborted RTS exchange, or a data TXOP —
+/// and returns `false` once the clock has reached `limit`. Stepping to
+/// intermediate limits and then continuing is *trajectory-invariant*:
+/// the sequence of RNG draws and emitted events depends only on the
+/// configuration, never on where the limits fell (arrival ingest is
+/// idempotent and the idle hop clamps to the active limit).
+pub(crate) struct Domain<'m> {
+    cfg: SimConfig,
+    model: ModelHandle<'m>,
+    obs: Obs,
+    rng: StdRng,
+    nodes: Vec<Node>,
+    frames: Arena<PendingFrame>,
+    calendar: CalendarQueue<ArrivalEvent>,
+    downlink: FlowCollector,
+    uplink: FlowCollector,
+    channel: ChannelStats,
+    sta_airtime: Vec<AirtimeShare>,
+    /// Time-occupancy table for the fairness scheduler (Section 8).
+    occupancy: Vec<f64>,
+    per_sta_downlink: Vec<FlowMetrics>,
+    now: f64,
+    next_frame_id: u64,
+    /// Added to every frame id, so per-domain ids stay unique when
+    /// dense-scenario traces merge into one recorder.
+    id_base: u64,
+    scheme: EstimationScheme,
+    scratch: RoundScratch,
+    /// Engine events processed: arrival ingests plus contention rounds
+    /// plus idle hops (the unit of the `mac_dense` events/s benchmark).
+    events: u64,
+    /// OBSS coupling strength; 0 disables the extra per-subframe draw
+    /// (single-domain runs keep the exact legacy RNG stream).
+    obss_coupling: f64,
+    /// Fraction of the current epoch the neighbouring domains spent
+    /// transmitting (input, set at each epoch boundary).
+    obss_busy_frac: f64,
+    /// Seconds this domain kept the channel busy in the current epoch
+    /// (output, drained at each epoch boundary).
+    epoch_busy_s: f64,
+}
+
+impl<'m> Domain<'m> {
+    /// Builds a domain: seeds the RNG, samples the arrival table
+    /// (identical draw order to the legacy path), loads the calendar
+    /// queue, and sizes every arena and scratch buffer.
+    pub(crate) fn new(
+        cfg: SimConfig,
+        model: ModelHandle<'m>,
+        obs: Obs,
+        id_base: u64,
+        obss_coupling: f64,
+    ) -> Domain<'m> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let arrivals = generate_arrivals(&cfg, &mut rng);
+        let mut calendar = CalendarQueue::with_capacity(arrivals.len());
+        for a in &arrivals {
+            // lint:allow(as-cast): nonnegative finite time over a 9 µs slot
+            calendar.push((a.time / SLOT_TIME) as u64, *a);
+        }
+        let total_nodes = cfg.num_aps + cfg.num_stas;
+        let nodes: Vec<Node> = (0..total_nodes)
+            .map(|k| {
+                let is_ap = k < cfg.num_aps;
+                let cw_min = if is_ap {
+                    cfg.protocol.ap_cw_min()
+                } else {
+                    carpool_frame::airtime::CW_MIN
+                };
+                Node::new(is_ap, cw_min)
+            })
+            .collect();
+        let downlink = FlowCollector::downlink(obs.clone());
+        let uplink = FlowCollector::uplink(obs.clone());
+        let sta_airtime = vec![AirtimeShare::default(); cfg.num_stas];
+        let occupancy = vec![0.0f64; cfg.num_stas];
+        let per_sta_downlink = vec![FlowMetrics::default(); cfg.num_stas];
+        let scheme = cfg.protocol.estimation();
+        Domain {
+            frames: Arena::with_capacity(64),
+            cfg,
+            model,
+            obs,
+            rng,
+            nodes,
+            calendar,
+            downlink,
+            uplink,
+            channel: ChannelStats::default(),
+            sta_airtime,
+            occupancy,
+            per_sta_downlink,
+            now: 0.0,
+            next_frame_id: 0,
+            id_base,
+            scheme,
+            scratch: RoundScratch::default(),
+            events: 0,
+            obss_coupling,
+            obss_busy_frac: 0.0,
+            epoch_busy_s: 0.0,
+        }
+    }
+
+    /// Engine events processed so far (arrivals + rounds + idle hops).
+    pub(crate) fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Sets the OBSS busy fraction neighbours imposed for the epoch now
+    /// starting.
+    pub(crate) fn set_obss_busy_frac(&mut self, frac: f64) {
+        self.obss_busy_frac = frac;
+    }
+
+    /// Drains the channel-busy seconds this domain accumulated since
+    /// the previous drain (one epoch's OBSS contribution).
+    pub(crate) fn take_epoch_busy(&mut self) -> f64 {
+        std::mem::take(&mut self.epoch_busy_s)
+    }
+
+    /// Performs one engine event; returns `false` once `now >= limit`
+    /// (after ingesting any arrivals due at `now`).
+    pub(crate) fn step(&mut self, limit: f64) -> bool {
+        let total_nodes = self.cfg.num_aps + self.cfg.num_stas;
+
+        // Ingest arrivals up to `now`.
+        loop {
+            let due = matches!(self.calendar.peek(), Some((_, a)) if a.time <= self.now);
+            if !due {
+                break;
+            }
+            let Some((_, _, a)) = self.calendar.pop() else {
+                break;
+            };
+            self.events += 1;
+            let was_empty = self.nodes[a.node].queue.is_empty();
+            self.next_frame_id += 1;
+            let id = self.id_base + self.next_frame_id;
+            let handle = self.frames.alloc(PendingFrame {
+                id,
+                bytes: a.bytes,
+                enqueue: a.time,
+                attempts: 0,
+                dest: a.dest,
+            });
+            // lint:allow(hot-alloc): amortized deque growth, bounded by backlog
+            self.nodes[a.node].queue.push_back(handle);
+            self.obs.trace_frame(
+                TraceKind::MacEnqueue,
+                id,
+                self.now,
+                trace_u64(a.dest),
+                trace_u64(a.bytes),
+            );
+            if was_empty {
+                self.nodes[a.node].draw_backoff(&mut self.rng);
+            }
+            if self.obs.enabled() {
+                self.obs.counter("traffic.arrivals", 1);
+                // Stamped with the ingestion clock (the moment the MAC
+                // sees the frame), which keeps the stream monotone; the
+                // arrival's own timestamp survives as queueing delay in
+                // the eventual delivery/drop event.
+                self.obs.emit(
+                    self.now,
+                    Event::TrafficArrival {
+                        dest: a.dest as u64,   // lint:allow(as-cast): small index/count widens to u64
+                        bytes: a.bytes as u64, // lint:allow(as-cast): small index/count widens to u64
+                    },
+                );
+                if was_empty {
+                    self.obs.emit(
+                        self.now,
+                        Event::Backoff {
+                            station: a.node as u64, // lint:allow(as-cast): small index/count widens to u64
+                            slots: self.nodes[a.node].backoff as u64, // lint:allow(as-cast): small index/count widens to u64
+                        },
+                    );
+                }
+            }
+        }
+        if self.now >= limit {
+            return false;
+        }
+
+        // Expired delay-sensitive downlink frames are discarded.
+        if let Some(expiry) = self.cfg.drop_expired_s {
+            for k in 0..self.cfg.num_aps {
+                while let Some(&h) = self.nodes[k].queue.front() {
+                    let Some(f) = self.frames.get(h).copied() else {
+                        break;
+                    };
+                    if self.now - f.enqueue <= expiry {
+                        break;
+                    }
+                    self.nodes[k].queue.pop_front();
+                    self.frames.free(h);
+                    self.downlink.record_drop(self.now - f.enqueue);
+                    self.obs.emit(
+                        self.now,
+                        Event::MacDrop {
+                            dest: f.dest as u64, // lint:allow(as-cast): small index/count widens to u64
+                            delay: self.now - f.enqueue,
+                        },
+                    );
+                    self.obs.trace_frame(
+                        TraceKind::MacDrop,
+                        f.id,
+                        self.now,
+                        trace_u64(f.dest),
+                        (self.now - f.enqueue).to_bits(),
+                    );
+                }
+            }
+        }
+
+        // Who is contending?
+        self.scratch.eligible.clear();
+        for k in 0..total_nodes {
+            let n = &self.nodes[k];
+            let contending = if n.queue.is_empty() {
+                false
+            } else if n.is_ap {
+                ap_eligible(&self.cfg, n, &self.frames, self.now)
+            } else {
+                true
+            };
+            if contending {
+                self.scratch.eligible.push(k); // lint:allow(hot-alloc): reused scratch, bounded by node count
+            }
+        }
+
+        // WiFox: a backlogged AP preempts STA contention with PIFS-like
+        // priority in about half of the rounds (adaptive downlink
+        // prioritisation).
+        if self.cfg.protocol.has_downlink_priority() {
+            {
+                let RoundScratch {
+                    eligible, priority, ..
+                } = &mut self.scratch;
+                priority.clear();
+                for &k in eligible.iter() {
+                    if self.nodes[k].is_ap && self.nodes[k].queue.len() >= 10 {
+                        priority.push(k); // lint:allow(hot-alloc): reused scratch, bounded by node count
+                    }
+                }
+            }
+            if !self.scratch.priority.is_empty() && self.rng.gen_bool(0.35) {
+                std::mem::swap(&mut self.scratch.eligible, &mut self.scratch.priority);
+            }
+        }
+
+        if self.scratch.eligible.is_empty() {
+            // Advance to the next event: arrival, AP release time, or
+            // the step limit (epoch boundary), whichever comes first.
+            let mut next = limit.min(self.cfg.duration_s);
+            if let Some((_, a)) = self.calendar.peek() {
+                next = next.min(a.time);
+            }
+            if let Some(w) = self.cfg.aggregation_wait {
+                for k in 0..self.cfg.num_aps {
+                    if let Some(head) = self.nodes[k]
+                        .queue
+                        .front()
+                        .and_then(|&h| self.frames.get(h))
+                    {
+                        next = next.min(head.enqueue + w.max_latency_s);
+                    }
+                }
+            }
+            if next <= self.now {
+                next = self.now + SLOT_TIME;
+            }
+            self.now = next;
+            self.events += 1;
+            return true;
+        }
+
+        // Joint countdown.
+        let d = self
+            .scratch
+            .eligible
+            .iter()
+            .map(|&k| self.nodes[k].backoff)
+            .min()
+            .unwrap_or(0);
+        self.now += DIFS + d as f64 * SLOT_TIME + self.cfg.extra_round_overhead_s; // lint:allow(as-cast): backoff slot count to f64, exact below 2^53
+        {
+            let RoundScratch {
+                eligible, winners, ..
+            } = &mut self.scratch;
+            winners.clear();
+            for &k in eligible.iter() {
+                self.nodes[k].backoff -= d;
+                if self.nodes[k].backoff == 0 {
+                    winners.push(k); // lint:allow(hot-alloc): reused scratch, bounded by node count
+                }
+            }
+        }
+
+        if self.scratch.winners.len() > 1 {
+            self.collision_round();
+            self.events += 1;
+            return true;
+        }
+
+        // Single winner transmits.
+        let winner = self.scratch.winners[0];
+        self.transmission_round(winner);
+        self.events += 1;
+        true
+    }
+
+    /// Two or more simultaneous winners: channel busy for the longest
+    /// attempt, retry accounting, exponential backoff.
+    fn collision_round(&mut self) {
+        self.channel.collisions += 1;
+        if self.obs.enabled() {
+            self.obs.counter("mac.collisions", 1);
+            self.obs.emit(
+                self.now,
+                Event::MacCollision {
+                    contenders: self.scratch.winners.len() as u64, // lint:allow(as-cast): usize len widens to u64
+                },
+            );
+        }
+        // Collision: channel busy for the longest attempt. With RTS/CTS
+        // the clash is detected after the short RTS.
+        let busy = if self.cfg.use_rts_cts {
+            rts_airtime(matches!(
+                self.cfg.protocol,
+                Protocol::Carpool | Protocol::MuAggregation
+            ))
+        } else {
+            let mut longest = 0.0f64;
+            for i in 0..self.scratch.winners.len() {
+                let k = self.scratch.winners[i];
+                plan_into(
+                    &self.cfg,
+                    &self.nodes[k],
+                    k,
+                    &self.occupancy,
+                    &self.frames,
+                    &mut self.scratch.plan,
+                );
+                longest = longest.max(self.scratch.plan.data_airtime);
+            }
+            longest
+        };
+        self.now += busy + eifs();
+        self.epoch_busy_s += busy;
+        for i in 0..self.scratch.winners.len() {
+            let k = self.scratch.winners[i];
+            // Head-frame retry accounting.
+            let head = self.nodes[k].queue.front().copied();
+            let drop = match head.and_then(|h| self.frames.get_mut(h)) {
+                Some(frame) => {
+                    frame.attempts += 1;
+                    frame.attempts > self.cfg.retry_limit
+                }
+                None => false,
+            };
+            if drop {
+                let is_ap = self.nodes[k].is_ap;
+                if let Some(f) = self.nodes[k]
+                    .queue
+                    .pop_front()
+                    .and_then(|h| self.frames.free(h))
+                {
+                    let metrics = if is_ap {
+                        &mut self.downlink
+                    } else {
+                        &mut self.uplink
+                    };
+                    metrics.record_drop(self.now - f.enqueue);
+                    self.obs.emit(
+                        self.now,
+                        Event::MacDrop {
+                            dest: f.dest as u64, // lint:allow(as-cast): small index/count widens to u64
+                            delay: self.now - f.enqueue,
+                        },
+                    );
+                    self.obs.trace_frame(
+                        TraceKind::MacDrop,
+                        f.id,
+                        self.now,
+                        trace_u64(f.dest),
+                        (self.now - f.enqueue).to_bits(),
+                    );
+                }
+            }
+            self.nodes[k].on_collision(&mut self.rng);
+            if self.obs.enabled() {
+                self.obs.emit(
+                    self.now,
+                    Event::Backoff {
+                        station: k as u64, // lint:allow(as-cast): small index/count widens to u64
+                        slots: self.nodes[k].backoff as u64, // lint:allow(as-cast): small index/count widens to u64
+                    },
+                );
+            }
+        }
+        // Everyone else overhears the garbled burst.
+        for (sta, air) in self.sta_airtime.iter_mut().enumerate() {
+            let id = self.cfg.num_aps + sta;
+            if self.scratch.winners.contains(&id) {
+                air.tx_s += busy;
+            } else {
+                air.overhear_s += busy;
+            }
+        }
+    }
+
+    /// Single winner: plan the TXOP, resolve hidden-terminal exposure,
+    /// evaluate per-subframe outcomes, account airtime, deliver/requeue.
+    fn transmission_round(&mut self, winner: usize) {
+        plan_into(
+            &self.cfg,
+            &self.nodes[winner],
+            winner,
+            &self.occupancy,
+            &self.frames,
+            &mut self.scratch.plan,
+        );
+        let control = control_airtime(&self.cfg, self.scratch.plan.groups.len());
+
+        // Hidden-terminal interference: an uplink transmission is
+        // vulnerable to hidden peers that cannot sense it. With
+        // RTS/CTS, the AP's CTS silences them after the short RTS — a
+        // hidden hit then costs only the aborted signalling; without
+        // it, the whole data PPDU is exposed and lost.
+        let mut hidden_loss = false;
+        if let Some(h) = self.cfg.hidden_terminals {
+            if !self.nodes[winner].is_ap {
+                let vulnerable = if self.cfg.use_rts_cts {
+                    rts_airtime(false)
+                } else {
+                    self.scratch.plan.data_airtime
+                };
+                let total_nodes = self.cfg.num_aps + self.cfg.num_stas;
+                for j in self.cfg.num_aps..total_nodes {
+                    if j == winner
+                        || self.nodes[j].queue.is_empty()
+                        || !hidden_pair(self.cfg.seed, h.fraction, winner, j)
+                    {
+                        continue;
+                    }
+                    // The hidden peer keeps counting down into the
+                    // exposed window and fires if it expires inside it.
+                    let expiry = self.nodes[j].backoff as f64 * SLOT_TIME + DIFS; // lint:allow(as-cast): backoff slot count to f64, exact below 2^53
+                    if expiry < vulnerable {
+                        hidden_loss = true;
+                        let head = self.nodes[j].queue.front().copied();
+                        let drop = match head.and_then(|hh| self.frames.get_mut(hh)) {
+                            Some(frame) => {
+                                frame.attempts += 1;
+                                frame.attempts > self.cfg.retry_limit
+                            }
+                            None => false,
+                        };
+                        if drop {
+                            if let Some(f) = self.nodes[j]
+                                .queue
+                                .pop_front()
+                                .and_then(|hh| self.frames.free(hh))
+                            {
+                                self.uplink.record_drop(self.now - f.enqueue);
+                                self.obs.emit(
+                                    self.now,
+                                    Event::MacDrop {
+                                        dest: f.dest as u64, // lint:allow(as-cast): small index/count widens to u64
+                                        delay: self.now - f.enqueue,
+                                    },
+                                );
+                                self.obs.trace_frame(
+                                    TraceKind::MacDrop,
+                                    f.id,
+                                    self.now,
+                                    trace_u64(f.dest),
+                                    (self.now - f.enqueue).to_bits(),
+                                );
+                            }
+                        }
+                        self.nodes[j].on_collision(&mut self.rng);
+                    }
+                }
+                if hidden_loss {
+                    self.channel.hidden_collisions += 1;
+                    self.obs.counter("mac.hidden_collisions", 1);
+                }
+            }
+        }
+
+        if hidden_loss && self.cfg.use_rts_cts {
+            // The missing CTS aborts the exchange after the RTS: data
+            // frames stay queued and are retried cheaply.
+            let busy = rts_airtime(true) + eifs();
+            self.now += busy;
+            self.epoch_busy_s += busy;
+            {
+                let head = self.nodes[winner].queue.front().copied();
+                if let Some(frame) = head.and_then(|h| self.frames.get_mut(h)) {
+                    frame.attempts += 1;
+                }
+                self.nodes[winner].on_collision(&mut self.rng);
+            }
+            for (sta, air) in self.sta_airtime.iter_mut().enumerate() {
+                let id = self.cfg.num_aps + sta;
+                if id == winner {
+                    air.tx_s += busy;
+                } else {
+                    air.overhear_s += busy;
+                }
+            }
+            return;
+        }
+
+        let busy = self.scratch.plan.total_airtime() + control;
+        self.now += busy;
+        self.epoch_busy_s += busy;
+        self.channel.transmissions += 1;
+        self.channel.aggregated_frames += self.scratch.plan.selected.len() as u64; // lint:allow(as-cast): usize len widens to u64
+        self.channel.aggregated_receivers += self.scratch.plan.groups.len() as u64; // lint:allow(as-cast): usize len widens to u64
+        if self.obs.enabled() {
+            self.obs.counter("mac.transmissions", 1);
+            self.obs.counter(
+                "mac.aggregated_frames",
+                self.scratch.plan.selected.len() as u64, // lint:allow(as-cast): usize len widens to u64
+            );
+            self.obs.record("mac.txop_airtime", busy);
+            self.obs.emit(
+                self.now,
+                Event::MacTx {
+                    stas: self.scratch.plan.groups.len() as u64, // lint:allow(as-cast): usize len widens to u64
+                    airtime: busy,
+                },
+            );
+        }
+
+        // Evaluate per-frame success at its symbol position, and charge
+        // each destination's time-occupancy account.
+        let winner_is_ap = self.nodes[winner].is_ap;
+        let mut start_sym = self.scratch.plan.header_symbols;
+        self.scratch.outcomes.clear();
+        for gi in 0..self.scratch.plan.groups.len() {
+            let g = self.scratch.plan.groups[gi];
+            // The station whose link decides this subframe's fate: the
+            // destination for downlink, the sender for uplink.
+            let link_sta = if winner_is_ap {
+                g.dest.saturating_sub(self.cfg.num_aps)
+            } else {
+                winner.saturating_sub(self.cfg.num_aps)
+            };
+            for fi in g.start..g.start + g.len {
+                let k = self.scratch.plan.indices[fi];
+                let Some(frame) = self.nodes[winner]
+                    .queue
+                    .get(k)
+                    .and_then(|&h| self.frames.get(h))
+                    .copied()
+                else {
+                    continue;
+                };
+                let wire_bits = (frame.bytes + WIRE_OVERHEAD_BYTES) * 8;
+                let n_sym = g.mcs.symbols_for_bits(wire_bits);
+                let p = self.model.get().subframe_success_prob_for(
+                    link_sta,
+                    self.scheme,
+                    g.mcs,
+                    start_sym,
+                    n_sym,
+                );
+                let mut ok = !hidden_loss && self.rng.gen::<f64>() < p;
+                if self.obss_coupling > 0.0 {
+                    // The draw happens whenever coupling is configured —
+                    // even at zero busy fraction — so the RNG stream
+                    // depends only on the (static) configuration, never
+                    // on neighbour activity.
+                    let p_obss = (self.obss_busy_frac * self.obss_coupling).min(1.0);
+                    let obss_hit = self.rng.gen::<f64>() < p_obss;
+                    ok = ok && !obss_hit;
+                }
+                self.scratch.outcomes.push((k, ok)); // lint:allow(hot-alloc): reused scratch, bounded by queue depth
+                if self.obs.tracing() {
+                    // Membership in this TXOP's aggregate, and the
+                    // frame's symbol window on air (the data PPDU starts
+                    // at `now - busy`).
+                    let t_tx = self.now - busy;
+                    self.obs.trace_frame(
+                        TraceKind::AggDecision,
+                        frame.id,
+                        t_tx,
+                        trace_u64(g.dest),
+                        trace_u64(start_sym),
+                    );
+                    self.obs.trace_frame(
+                        TraceKind::AirtimeStart,
+                        frame.id,
+                        t_tx + symbol_span(start_sym),
+                        trace_u64(g.dest),
+                        trace_u64(n_sym),
+                    );
+                    self.obs.trace_frame(
+                        TraceKind::AirtimeEnd,
+                        frame.id,
+                        t_tx + symbol_span(start_sym + n_sym),
+                        trace_u64(g.dest),
+                        trace_u64(n_sym),
+                    );
+                }
+                start_sym += n_sym;
+                if winner_is_ap {
+                    if let Some(slot) = self
+                        .occupancy
+                        .get_mut(g.dest.saturating_sub(self.cfg.num_aps))
+                    {
+                        *slot += n_sym as f64 * SYMBOL_DURATION; // lint:allow(as-cast): symbol count to f64, exact below 2^53
+                    }
+                }
+            }
+        }
+
+        // Airtime accounting for STAs.
+        let is_downlink = winner_is_ap;
+        let carpool_like = matches!(
+            self.cfg.protocol,
+            Protocol::Carpool | Protocol::MuAggregation
+        );
+        for (sta, air) in self.sta_airtime.iter_mut().enumerate() {
+            let id = self.cfg.num_aps + sta;
+            if id == winner {
+                air.tx_s += self.scratch.plan.data_airtime;
+                air.rx_s += self.scratch.plan.ack_airtime_total;
+                continue;
+            }
+            let addressed = is_downlink && self.scratch.plan.groups.iter().any(|g| g.dest == id);
+            if addressed {
+                if carpool_like {
+                    // A-HDR plus (approximately) its own share.
+                    let own: f64 = self
+                        .scratch
+                        .plan
+                        .groups
+                        .iter()
+                        .filter(|g| g.dest == id)
+                        .map(|g| {
+                            self.scratch.plan.indices[g.start..g.start + g.len]
+                                .iter()
+                                .map(|&k| {
+                                    let bytes = self.nodes[winner]
+                                        .queue
+                                        .get(k)
+                                        .and_then(|&h| self.frames.get(h))
+                                        .map(|f| f.bytes)
+                                        .unwrap_or(0);
+                                    let bits = (bytes + WIRE_OVERHEAD_BYTES) * 8;
+                                    g.mcs.airtime_for_bits(bits)
+                                })
+                                .sum::<f64>()
+                        })
+                        .sum();
+                    air.rx_s += ahdr_airtime() + own;
+                    air.idle_s += (busy - ahdr_airtime() - own).max(0.0);
+                } else {
+                    air.rx_s += busy;
+                }
+            } else if carpool_like && is_downlink {
+                // Checks the A-HDR, then idles.
+                air.overhear_s += PLCP_OVERHEAD + ahdr_airtime();
+                air.idle_s += (busy - PLCP_OVERHEAD - ahdr_airtime()).max(0.0);
+            } else {
+                air.overhear_s += busy;
+            }
+        }
+
+        // Deliver or requeue, removing selected entries in descending
+        // index order to keep indices valid. Delivered and dropped
+        // frames drain straight back into the arena free list;
+        // retransmissions keep their slot and only requeue the handle.
+        self.scratch
+            .outcomes
+            .sort_by_key(|&(k, _)| std::cmp::Reverse(k));
+        self.scratch.requeue.clear();
+        for oi in 0..self.scratch.outcomes.len() {
+            let (k, ok) = self.scratch.outcomes[oi];
+            let Some(h) = self.nodes[winner].queue.remove(k) else {
+                continue;
+            };
+            if ok {
+                let Some(frame) = self.frames.free(h) else {
+                    continue;
+                };
+                let metrics = if winner_is_ap {
+                    &mut self.downlink
+                } else {
+                    &mut self.uplink
+                };
+                metrics.record_delivery(frame.bytes, self.now - frame.enqueue, self.cfg.deadline);
+                self.obs.emit(
+                    self.now,
+                    Event::MacDelivery {
+                        dest: frame.dest as u64, // lint:allow(as-cast): small index/count widens to u64
+                        bytes: frame.bytes as u64, // lint:allow(as-cast): small index/count widens to u64
+                        delay: self.now - frame.enqueue,
+                    },
+                );
+                // b = enqueue→ACK delay as f64 bits.
+                self.obs.trace_frame(
+                    TraceKind::MacAck,
+                    frame.id,
+                    self.now,
+                    trace_u64(frame.dest),
+                    (self.now - frame.enqueue).to_bits(),
+                );
+                if winner_is_ap {
+                    if let Some(sta) = self
+                        .per_sta_downlink
+                        .get_mut(frame.dest.saturating_sub(self.cfg.num_aps))
+                    {
+                        sta.record_delivery(
+                            frame.bytes,
+                            self.now - frame.enqueue,
+                            self.cfg.deadline,
+                        );
+                    }
+                }
+            } else {
+                let Some(frame) = self.frames.get(h).copied() else {
+                    continue;
+                };
+                {
+                    let metrics = if winner_is_ap {
+                        &mut self.downlink
+                    } else {
+                        &mut self.uplink
+                    };
+                    metrics.record_retransmission();
+                }
+                self.obs.emit(
+                    self.now,
+                    Event::MacRetransmission {
+                        dest: frame.dest as u64, // lint:allow(as-cast): small index/count widens to u64
+                    },
+                );
+                self.obs.trace_frame(
+                    TraceKind::MacRetx,
+                    frame.id,
+                    self.now,
+                    trace_u64(frame.dest),
+                    u64::from(frame.attempts) + 1,
+                );
+                let attempts = frame.attempts + 1;
+                if attempts > self.cfg.retry_limit {
+                    self.frames.free(h);
+                    let metrics = if winner_is_ap {
+                        &mut self.downlink
+                    } else {
+                        &mut self.uplink
+                    };
+                    metrics.record_drop(self.now - frame.enqueue);
+                    self.obs.emit(
+                        self.now,
+                        Event::MacDrop {
+                            dest: frame.dest as u64, // lint:allow(as-cast): small index/count widens to u64
+                            delay: self.now - frame.enqueue,
+                        },
+                    );
+                    self.obs.trace_frame(
+                        TraceKind::MacDrop,
+                        frame.id,
+                        self.now,
+                        trace_u64(frame.dest),
+                        (self.now - frame.enqueue).to_bits(),
+                    );
+                } else {
+                    if let Some(f) = self.frames.get_mut(h) {
+                        f.attempts = attempts;
+                    }
+                    self.scratch.requeue.push(h); // lint:allow(hot-alloc): reused scratch, bounded by TXOP size
+                }
+            }
+        }
+        // Failed frames return to the head, oldest first.
+        {
+            let RoundScratch { requeue, .. } = &mut self.scratch;
+            let frames = &self.frames;
+            requeue.sort_by(|&a, &b| {
+                let ea = frames.get(a).map(|f| f.enqueue).unwrap_or(0.0);
+                let eb = frames.get(b).map(|f| f.enqueue).unwrap_or(0.0);
+                eb.total_cmp(&ea)
+            });
+        }
+        for ri in 0..self.scratch.requeue.len() {
+            // lint:allow(hot-alloc): amortized deque growth, bounded by backlog
+            let h = self.scratch.requeue[ri];
+            self.nodes[winner].queue.push_front(h);
+        }
+        self.nodes[winner].on_success(&mut self.rng);
+        if self.obs.enabled() {
+            self.obs.gauge(
+                "mac.winner_queue_depth",
+                self.nodes[winner].queue.len() as f64, // lint:allow(as-cast): queue depth to f64, exact below 2^53
+            );
+            self.obs.emit(
+                self.now,
+                Event::QueueDepth {
+                    dest: winner as u64, // lint:allow(as-cast): small index/count widens to u64
+                    depth: self.nodes[winner].queue.len() as u64, // lint:allow(as-cast): usize len widens to u64
+                },
+            );
+            self.obs.emit(
+                self.now,
+                Event::Backoff {
+                    station: winner as u64, // lint:allow(as-cast): small index/count widens to u64
+                    slots: self.nodes[winner].backoff as u64, // lint:allow(as-cast): small index/count widens to u64
+                },
+            );
+        }
+    }
+
+    /// Finalizes the run: idle fill-up, observability flush, report.
+    pub(crate) fn finish(self) -> SimReport {
+        let mut sta_airtime = self.sta_airtime;
+        for share in &mut sta_airtime {
+            let accounted = share.tx_s + share.rx_s + share.overhear_s + share.idle_s;
+            share.idle_s += (self.cfg.duration_s - accounted).max(0.0);
+        }
+
+        if self.obs.enabled() {
+            // Airtime-share distributions across STAs, for fairness views.
+            for share in &sta_airtime {
+                self.obs.record("mac.sta_airtime_tx_s", share.tx_s);
+                self.obs.record("mac.sta_airtime_rx_s", share.rx_s);
+                self.obs
+                    .record("mac.sta_airtime_overhear_s", share.overhear_s);
+            }
+            self.obs.gauge("mac.sim_duration_s", self.cfg.duration_s);
+            self.obs.flush();
+        }
+
+        SimReport {
+            duration_s: self.cfg.duration_s,
+            downlink: self.downlink.into_metrics(),
+            uplink: self.uplink.into_metrics(),
+            channel: self.channel,
+            sta_airtime,
+            per_sta_downlink: self.per_sta_downlink,
+        }
+    }
+}
+
+/// OBSS busy-time message exchanged between neighbouring domains at
+/// epoch barriers.
+#[derive(Debug, Clone, Copy)]
+struct ObssMsg {
+    to_domain: usize,
+    busy_s: f64,
+}
+
+/// Configuration of a dense multi-AP scenario: `domains` co-channel
+/// cells, each an independent collision domain built from the `cell`
+/// template (per-domain seeds are `cell.seed + domain index`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseConfig {
+    /// Template for one cell (its `num_aps`/`num_stas` are per cell).
+    pub cell: SimConfig,
+    /// Number of co-channel AP contention domains.
+    pub domains: usize,
+    /// Epoch length for the sharded barrier, seconds. Domains exchange
+    /// OBSS busy time at every epoch boundary.
+    pub epoch_s: f64,
+    /// Strength of inter-domain interference: a subframe is lost with
+    /// extra probability `min(1, neighbour_busy_fraction * coupling)`.
+    /// Zero decouples the domains entirely.
+    pub obss_coupling: f64,
+    /// Shard count for the parallel engine; 0 means one shard per
+    /// domain. The report is identical for every value.
+    pub shards: usize,
+}
+
+impl Default for DenseConfig {
+    fn default() -> Self {
+        DenseConfig {
+            cell: SimConfig {
+                num_aps: 1,
+                num_stas: 64,
+                duration_s: 1.0,
+                ..SimConfig::default()
+            },
+            domains: 16,
+            epoch_s: 5e-3,
+            obss_coupling: 0.25,
+            shards: 0,
+        }
+    }
+}
+
+/// Aggregated result of a dense scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseReport {
+    /// Per-domain reports, in domain order.
+    pub per_domain: Vec<SimReport>,
+    /// Downlink metrics merged across domains.
+    pub downlink: FlowMetrics,
+    /// Uplink metrics merged across domains.
+    pub uplink: FlowMetrics,
+    /// Channel counters merged across domains.
+    pub channel: ChannelStats,
+    /// Total engine events processed (arrivals + rounds + idle hops).
+    pub events: u64,
+    /// Simulated seconds.
+    pub duration_s: f64,
+}
+
+impl DenseReport {
+    /// Downlink goodput summed over all domains, Mbit/s.
+    pub fn downlink_goodput_mbps(&self) -> f64 {
+        self.downlink.goodput_bps(self.duration_s) / 1e6
+    }
+}
+
+/// Balanced contiguous partition: domains `[lo, hi)` of shard `s`.
+fn shard_bounds(domains: usize, shards: usize, s: usize) -> (usize, usize) {
+    let base = domains / shards;
+    let extra = domains % shards;
+    let lo = s * base + s.min(extra);
+    let hi = lo + base + usize::from(s < extra);
+    (lo, hi)
+}
+
+/// The shard owning `domain` under [`shard_bounds`].
+fn shard_of(domains: usize, shards: usize, domain: usize) -> usize {
+    let base = domains / shards;
+    let extra = domains % shards;
+    let split = extra * (base + 1);
+    if domain < split {
+        domain / (base + 1)
+    } else {
+        // base == 0 only when shards > domains; every domain then falls
+        // in the `split` range above, but saturate defensively.
+        match (domain - split).checked_div(base) {
+            Some(q) => extra + q,
+            None => shards.saturating_sub(1),
+        }
+    }
+}
+
+/// Per-domain flight-trace capacity when the caller's recorder traces.
+const DOMAIN_RING_CAPACITY: usize = 1 << 15;
+
+/// One shard's state while stepping: its first domain index and the
+/// domains it owns, each with an optional private trace ring.
+struct Shard<'m> {
+    lo: usize,
+    domains: Vec<(Domain<'m>, Option<Arc<FlightRecorder>>)>,
+}
+
+/// Runs a dense multi-AP scenario on the sharded engine.
+///
+/// `make_model(d)` builds the error model for domain `d`. Domains are
+/// partitioned into shards ([`DenseConfig::shards`]); each shard steps
+/// its domains epoch by epoch, exchanging OBSS busy-time messages with
+/// ring neighbours at every barrier through
+/// [`carpool_par::run_sharded`]. All cross-shard aggregation is keyed
+/// by domain index, so the returned report is byte-identical for every
+/// thread count and every shard count.
+///
+/// If `obs` traces (has a flight recorder), each domain records into a
+/// private ring; the rings are absorbed into `obs`'s recorder in
+/// domain order after the run — same discipline as the PR 6
+/// per-station merge. A worker panic surfaces as
+/// [`carpool_par::ParError::WorkerPanic`].
+pub fn run_dense<F>(
+    cfg: &DenseConfig,
+    make_model: F,
+    obs: &Obs,
+) -> Result<DenseReport, carpool_par::ParError>
+where
+    F: Fn(usize) -> Box<dyn FrameErrorModel> + Sync,
+{
+    assert!(cfg.domains >= 1, "need at least one domain");
+    let num_shards = if cfg.shards == 0 {
+        cfg.domains
+    } else {
+        cfg.shards.clamp(1, cfg.domains)
+    };
+    let duration = cfg.cell.duration_s;
+    let epoch_s = if cfg.epoch_s > 0.0 {
+        cfg.epoch_s
+    } else {
+        duration
+    };
+    // lint:allow(as-cast): epoch count is a small positive integer
+    let epochs = ((duration / epoch_s).ceil() as usize).max(1);
+    let tracing = obs.tracing();
+
+    let shard_results = carpool_par::run_sharded(
+        num_shards,
+        epochs,
+        |s| {
+            let (lo, hi) = shard_bounds(cfg.domains, num_shards, s);
+            let domains = (lo..hi)
+                .map(|d| {
+                    let cell = SimConfig {
+                        seed: cfg.cell.seed.wrapping_add(d as u64), // lint:allow(as-cast): domain index widens to u64
+                        ..cfg.cell.clone()
+                    };
+                    let ring = tracing.then(|| Arc::new(FlightRecorder::new(DOMAIN_RING_CAPACITY)));
+                    let dobs = match &ring {
+                        Some(r) => Obs::noop().with_flight(Arc::clone(r)),
+                        None => Obs::noop(),
+                    };
+                    let domain = Domain::new(
+                        cell,
+                        ModelHandle::Owned(make_model(d)),
+                        dobs,
+                        (d as u64) << 40, // lint:allow(as-cast): domain index < 2^24 shifted into the id-space
+                        cfg.obss_coupling,
+                    );
+                    (domain, ring)
+                })
+                .collect();
+            Shard { lo, domains }
+        },
+        |shard: &mut Shard<'_>, epoch, inbox: &[ObssMsg], outbox: &mut Vec<ObssMsg>| {
+            let epoch_end = (((epoch + 1) as f64) * epoch_s).min(duration); // lint:allow(as-cast): epoch index to f64, exact below 2^53
+            for (i, (domain, _)) in shard.domains.iter_mut().enumerate() {
+                let d = shard.lo + i;
+                // Neighbour busy time for this epoch: messages arrive
+                // ordered by source domain, so the (two-term) sum is
+                // the same for every shard/thread layout.
+                let busy_in: f64 = inbox
+                    .iter()
+                    .filter(|m| m.to_domain == d)
+                    .map(|m| m.busy_s)
+                    .sum();
+                domain.set_obss_busy_frac(busy_in / epoch_s);
+                while domain.step(epoch_end) {}
+                let busy_out = domain.take_epoch_busy();
+                if d > 0 {
+                    outbox.push(ObssMsg {
+                        to_domain: d - 1,
+                        busy_s: busy_out,
+                    });
+                }
+                if d + 1 < cfg.domains {
+                    outbox.push(ObssMsg {
+                        to_domain: d + 1,
+                        busy_s: busy_out,
+                    });
+                }
+            }
+        },
+        |m: &ObssMsg| shard_of(cfg.domains, num_shards, m.to_domain),
+        |shard: Shard<'_>| {
+            shard
+                .domains
+                .into_iter()
+                .map(|(domain, ring)| {
+                    let events = domain.events();
+                    let trace = ring.map(|r| (r.records(), r.dropped()));
+                    (domain.finish(), events, trace)
+                })
+                .collect::<Vec<_>>()
+        },
+    )?;
+
+    let mut per_domain = Vec::with_capacity(cfg.domains);
+    let mut downlink = FlowMetrics::default();
+    let mut uplink = FlowMetrics::default();
+    let mut channel = ChannelStats::default();
+    let mut events = 0u64;
+    for shard in shard_results {
+        for (report, domain_events, trace) in shard {
+            downlink.merge(&report.downlink);
+            uplink.merge(&report.uplink);
+            channel.merge(&report.channel);
+            events += domain_events;
+            if let (Some(flight), Some((records, dropped))) = (obs.flight(), trace) {
+                // Rings merge in domain order: deterministic transcript.
+                flight.absorb(&records, dropped);
+            }
+            per_domain.push(report);
+        }
+    }
+    Ok(DenseReport {
+        per_domain,
+        downlink,
+        uplink,
+        channel,
+        events,
+        duration_s: duration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_model::BerBiasModel;
+
+    fn dense_cfg(domains: usize, stas: usize, shards: usize) -> DenseConfig {
+        DenseConfig {
+            cell: SimConfig {
+                num_aps: 1,
+                num_stas: stas,
+                duration_s: 0.2,
+                ..SimConfig::default()
+            },
+            domains,
+            epoch_s: 2e-3,
+            obss_coupling: 0.25,
+            shards,
+        }
+    }
+
+    fn run(cfg: &DenseConfig) -> DenseReport {
+        run_dense(cfg, |_| Box::new(BerBiasModel::calibrated()), &Obs::noop())
+            .expect("dense run completes")
+    }
+
+    #[test]
+    fn shard_bounds_partition_all_domains() {
+        for domains in [1, 5, 16, 17] {
+            for shards in 1..=domains {
+                let mut covered = 0;
+                for s in 0..shards {
+                    let (lo, hi) = shard_bounds(domains, shards, s);
+                    assert_eq!(lo, covered, "gap at shard {s}");
+                    covered = hi;
+                    for d in lo..hi {
+                        assert_eq!(shard_of(domains, shards, d), s);
+                    }
+                }
+                assert_eq!(covered, domains);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_report_is_shard_count_invariant() {
+        let one = run(&dense_cfg(4, 6, 1));
+        let two = run(&dense_cfg(4, 6, 2));
+        let four = run(&dense_cfg(4, 6, 4));
+        assert_eq!(one, two);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn dense_domains_deliver_traffic() {
+        let report = run(&dense_cfg(3, 8, 0));
+        assert_eq!(report.per_domain.len(), 3);
+        assert!(report.downlink.delivered_frames > 0);
+        assert!(report.events > 0);
+        for d in &report.per_domain {
+            assert!(d.downlink.delivered_frames > 0);
+        }
+    }
+
+    #[test]
+    fn obss_coupling_costs_throughput() {
+        let mut decoupled_cfg = dense_cfg(4, 10, 0);
+        decoupled_cfg.obss_coupling = 0.0;
+        let mut coupled_cfg = dense_cfg(4, 10, 0);
+        coupled_cfg.obss_coupling = 8.0;
+        let decoupled = run(&decoupled_cfg);
+        let coupled = run(&coupled_cfg);
+        assert!(
+            coupled.downlink.delivered_bytes < decoupled.downlink.delivered_bytes,
+            "coupled {} vs decoupled {}",
+            coupled.downlink.delivered_bytes,
+            decoupled.downlink.delivered_bytes
+        );
+    }
+
+    #[test]
+    fn decoupled_domain_matches_standalone_simulator() {
+        // With zero coupling, each dense domain must reproduce the
+        // single-domain simulator byte for byte: the engine extraction
+        // preserves the exact legacy RNG stream.
+        let mut cfg = dense_cfg(3, 6, 0);
+        cfg.obss_coupling = 0.0;
+        let dense = run(&cfg);
+        for d in 0..cfg.domains {
+            let cell = SimConfig {
+                seed: cfg.cell.seed.wrapping_add(d as u64),
+                ..cfg.cell.clone()
+            };
+            let standalone =
+                crate::sim::Simulator::new(cell, Box::new(BerBiasModel::calibrated())).run();
+            assert_eq!(dense.per_domain[d], standalone, "domain {d}");
+        }
+    }
+}

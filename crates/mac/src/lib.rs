@@ -27,12 +27,24 @@
 //! assert!(report.downlink.delivered_frames > 0);
 //! ```
 
+/// Generational arena for pending frames (allocation-free steady state).
+pub mod arena;
+/// Indexed calendar queue keyed by 9 µs slot ticks.
+pub mod calendar;
+/// Sharded, allocation-free MAC event engine and dense-scenario driver.
+pub mod engine;
+/// Pluggable frame-decoding outcome models.
 pub mod error_model;
+/// Flow/channel metrics and the per-run report types.
 pub mod metrics;
+/// The five downlink protocols under evaluation.
 pub mod protocol;
+/// SNR-driven MCS selection.
 pub mod rate;
+/// Single-cell simulator facade over the event engine.
 pub mod sim;
 
+pub use engine::{run_dense, DenseConfig, DenseReport};
 pub use error_model::{
     BerBiasModel, EstimationScheme, FrameErrorModel, PerStaErrorModel, PerfectChannel,
 };

@@ -239,6 +239,15 @@ impl ChannelStats {
         }
     }
 
+    /// Accumulates another domain's counters (dense-scenario merge).
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.transmissions += other.transmissions;
+        self.collisions += other.collisions;
+        self.hidden_collisions += other.hidden_collisions;
+        self.aggregated_frames += other.aggregated_frames;
+        self.aggregated_receivers += other.aggregated_receivers;
+    }
+
     /// Collision probability per contention round.
     pub fn collision_ratio(&self) -> f64 {
         let rounds = self.transmissions + self.collisions;

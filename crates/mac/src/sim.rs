@@ -12,32 +12,25 @@
 //! collision domain: whenever the medium goes idle, all backlogged
 //! nodes count down together; the minimum-backoff node(s) transmit, and
 //! simultaneous expiry is a collision.
+//!
+//! This module holds the configuration surface and the single-domain
+//! driver; the event loop itself lives in [`crate::engine`] as a
+//! steppable [`Domain`](crate::engine) built on the calendar queue
+//! ([`crate::calendar`]) and frame arena ([`crate::arena`]), which is
+//! also what the sharded dense-scenario runner
+//! ([`crate::engine::run_dense`]) drives in parallel.
 
+use crate::engine::{Domain, ModelHandle};
 use crate::error_model::FrameErrorModel;
-use crate::metrics::{AirtimeShare, ChannelStats, FlowCollector, FlowMetrics, SimReport};
+use crate::metrics::SimReport;
 use crate::protocol::Protocol;
-use carpool_frame::addr::MacAddress;
-use carpool_frame::aggregation::{select, AggregationLimits, QueuedFrame};
-use carpool_frame::airtime::{
-    ack_airtime, ahdr_airtime, cts_airtime, data_frame_airtime, rts_airtime, CW_MAX, DIFS,
-    PLCP_OVERHEAD, SIFS, SLOT_TIME,
-};
+use carpool_frame::aggregation::AggregationLimits;
 use carpool_frame::mac_frame::{FCS_BYTES, MAC_HEADER_BYTES};
-use carpool_obs::{Event, Obs, TraceKind};
-use carpool_phy::mcs::{Mcs, SYMBOL_DURATION};
-use carpool_traffic::background::{BackgroundSource, Transport};
-use carpool_traffic::voip::VoipSource;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+use carpool_obs::Obs;
+use carpool_phy::mcs::Mcs;
 
 /// Per-MPDU wire overhead: MAC header + FCS + A-MPDU delimiter.
 pub(crate) const WIRE_OVERHEAD_BYTES: usize = MAC_HEADER_BYTES + FCS_BYTES + 2;
-
-/// Extended interframe space after a collision (no ACK arrives).
-fn eifs() -> f64 {
-    SIFS + ack_airtime() + DIFS
-}
 
 /// Downlink traffic offered to each STA.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -202,99 +195,6 @@ impl Default for SimConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct ArrivalEvent {
-    time: f64,
-    node: usize,
-    dest: usize,
-    bytes: usize,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct PendingFrame {
-    /// Flight-recorder correlation id, assigned in arrival order at
-    /// ingest — deterministic for a given seed, unique per frame.
-    id: u64,
-    bytes: usize,
-    enqueue: f64,
-    attempts: u32,
-    dest: usize,
-}
-
-/// Trace-payload widening for station indices, byte counts, and symbol
-/// counts.
-fn trace_u64(v: usize) -> u64 {
-    // lint:allow(as-cast): station/byte/symbol counts are far below 2^64
-    v as u64
-}
-
-/// Time span of `symbols` OFDM symbols, for flight-recorder stamps.
-fn symbol_span(symbols: usize) -> f64 {
-    // lint:allow(as-cast): symbol counts are far below 2^52, conversion exact
-    symbols as f64 * SYMBOL_DURATION
-}
-
-#[derive(Debug)]
-struct Node {
-    queue: VecDeque<PendingFrame>,
-    backoff: u32,
-    cw: u32,
-    cw_min: u32,
-    is_ap: bool,
-}
-
-impl Node {
-    fn new(is_ap: bool, cw_min: u32) -> Node {
-        Node {
-            queue: VecDeque::new(),
-            backoff: 0,
-            cw: cw_min,
-            cw_min,
-            is_ap,
-        }
-    }
-
-    fn draw_backoff(&mut self, rng: &mut StdRng) {
-        self.backoff = rng.gen_range(0..=self.cw);
-    }
-
-    fn on_success(&mut self, rng: &mut StdRng) {
-        self.cw = self.cw_min;
-        if !self.queue.is_empty() {
-            self.draw_backoff(rng);
-        }
-    }
-
-    fn on_collision(&mut self, rng: &mut StdRng) {
-        self.cw = (self.cw * 2 + 1).min(CW_MAX);
-        self.draw_backoff(rng);
-    }
-
-    fn queued_bytes(&self) -> usize {
-        self.queue.iter().map(|f| f.bytes).sum()
-    }
-}
-
-/// A planned transmission: receivers with their frame batches.
-struct TxopPlan {
-    /// Queue indices selected, ascending (for removal).
-    selected: Vec<usize>,
-    /// Per-receiver groups: (destination node id, queue indices, MCS).
-    groups: Vec<(usize, Vec<usize>, Mcs)>,
-    /// Airtime of the data PPDU (PLCP + headers + payload).
-    data_airtime: f64,
-    /// Trailing ACK sequence time.
-    ack_airtime_total: f64,
-    /// Header length in OFDM symbols (payload error positions start here).
-    header_symbols: usize,
-}
-
-impl TxopPlan {
-    fn total_airtime(&self) -> f64 {
-        self.data_airtime + self.ack_airtime_total
-    }
-}
-
 /// The simulator.
 pub struct Simulator {
     config: SimConfig,
@@ -316,10 +216,10 @@ impl Simulator {
     /// simulator streams simulation-clock-stamped events (arrivals as the
     /// MAC ingests them, deliveries, drops, retransmissions, collisions,
     /// TXOPs, queue depths, backoff draws) and mirrors the per-direction
-    /// [`FlowMetrics`] into the recorder's `mac.downlink.*` /
-    /// `mac.uplink.*` counters and delay histograms. Event timestamps
-    /// never decrease: every event is stamped with the current value of
-    /// the simulation clock.
+    /// [`crate::metrics::FlowMetrics`] into the recorder's
+    /// `mac.downlink.*` / `mac.uplink.*` counters and delay histograms.
+    /// Event timestamps never decrease: every event is stamped with the
+    /// current value of the simulation clock.
     pub fn with_obs(mut self, obs: Obs) -> Simulator {
         self.obs = obs;
         self
@@ -330,847 +230,35 @@ impl Simulator {
         &self.config
     }
 
-    fn generate_arrivals(&self, rng: &mut StdRng) -> Vec<ArrivalEvent> {
-        let cfg = &self.config;
-        let mut arrivals = Vec::new(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-        for sta in 0..cfg.num_stas {
-            let node_id = cfg.num_aps + sta;
-            let ap_id = sta % cfg.num_aps;
-            match cfg.downlink {
-                DownlinkTraffic::Voip => {
-                    // ON/OFF means calibrated so the per-STA offered load
-                    // matches the operating points of the paper's Fig. 15
-                    // (~0.9 x 96 kbit/s per STA): talkspurts dominate.
-                    let voip = VoipSource::with_means(5.0, 0.05);
-                    for a in voip.generate(cfg.duration_s, rng) {
-                        // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-                        arrivals.push(ArrivalEvent {
-                            time: a.time,
-                            node: ap_id,
-                            dest: node_id,
-                            bytes: a.bytes,
-                        });
-                    }
-                    if cfg.bidirectional_voip {
-                        for a in voip.generate(cfg.duration_s, rng) {
-                            // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-                            arrivals.push(ArrivalEvent {
-                                time: a.time,
-                                node: node_id,
-                                dest: ap_id,
-                                bytes: a.bytes,
-                            });
-                        }
-                    }
-                }
-                DownlinkTraffic::Cbr { interval_s, bytes } => {
-                    // Random phase to avoid synchronised arrivals.
-                    let mut t = rng.gen::<f64>() * interval_s;
-                    while t < cfg.duration_s {
-                        // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-                        arrivals.push(ArrivalEvent {
-                            time: t,
-                            node: ap_id,
-                            dest: node_id,
-                            bytes,
-                        });
-                        t += interval_s;
-                    }
-                }
-                DownlinkTraffic::None => {}
-            }
-            if let Some(up) = cfg.uplink {
-                let transport = if (sta as f64 + 0.5) / cfg.num_stas as f64 <= up.tcp_fraction {
-                    Transport::Tcp
-                } else {
-                    Transport::Udp
-                };
-                let source = BackgroundSource::new(transport).with_rate_scale(up.rate_scale);
-                for a in source.generate(cfg.duration_s, rng) {
-                    // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-                    arrivals.push(ArrivalEvent {
-                        time: a.time,
-                        node: node_id,
-                        dest: ap_id,
-                        bytes: a.bytes,
-                    });
-                }
-            }
-        }
-        arrivals.sort_by(|a, b| a.time.total_cmp(&b.time));
-        arrivals
-    }
-
-    /// Whether station node id `sta_id` negotiated Carpool at
-    /// association (Section 4.3).
-    fn is_carpool_capable(&self, sta_id: usize) -> bool {
-        let idx = sta_id.saturating_sub(self.config.num_aps);
-        (idx as f64) < self.config.carpool_fraction * self.config.num_stas as f64
-    }
-
-    /// MCS used when transmitting to (or from) station node `sta_id`.
-    fn mcs_for(&self, sta_id: usize) -> Mcs {
-        match &self.config.per_sta_snr_db {
-            Some(snrs) => {
-                let idx = sta_id.saturating_sub(self.config.num_aps);
-                snrs.get(idx)
-                    .map(|&snr| crate::rate::mcs_for_snr(snr))
-                    .unwrap_or(self.config.data_mcs)
-            }
-            None => self.config.data_mcs,
-        }
-    }
-
-    fn ap_eligible(&self, node: &Node, now: f64) -> bool {
-        let Some(head) = node.queue.front() else {
-            return false;
-        };
-        match self.config.aggregation_wait {
-            None => true,
-            Some(w) => now - head.enqueue >= w.max_latency_s || node.queued_bytes() >= w.max_bytes,
-        }
-    }
-
-    fn plan_txop(&self, node: &Node, node_id: usize, occupancy: &[f64]) -> TxopPlan {
-        let cfg = &self.config;
-        if node.is_ap {
-            // Mixed deployments (Section 4.3): a multi-receiver AP
-            // serves a legacy head-of-line client with a plain
-            // single-frame transmission, and never aggregates legacy
-            // clients into a Carpool frame.
-            let multi_user = matches!(cfg.protocol, Protocol::Carpool | Protocol::MuAggregation);
-            if multi_user {
-                if let Some(head) = node.queue.front() {
-                    if !self.is_carpool_capable(head.dest) {
-                        let mcs = self.mcs_for(head.dest);
-                        let wire_bits = (head.bytes + WIRE_OVERHEAD_BYTES) * 8;
-                        return TxopPlan {
-                            selected: vec![0],
-                            groups: vec![(head.dest, vec![0], mcs)],
-                            data_airtime: PLCP_OVERHEAD
-                                + mcs.symbols_for_bits(wire_bits) as f64 * SYMBOL_DURATION,
-                            ack_airtime_total: SIFS + ack_airtime(),
-                            header_symbols: 0,
-                        };
-                    }
-                }
-            }
-
-            // Under time fairness the AP presents its queue to the
-            // selector ordered by the destinations' cumulative airtime,
-            // so underserved stations aggregate (and transmit) first.
-            let mut order: Vec<usize> = (0..node.queue.len()).collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-            if multi_user && cfg.carpool_fraction < 1.0 {
-                // Only Carpool-capable destinations may ride this
-                // aggregate; legacy frames wait for their own TXOPs.
-                order.retain(|&k| self.is_carpool_capable(node.queue[k].dest));
-            }
-            if cfg.scheduler == SchedulerPolicy::TimeFair {
-                order.sort_by(|&a, &b| {
-                    let occ = |k: usize| {
-                        let dest = node.queue[k].dest;
-                        occupancy
-                            .get(dest.saturating_sub(cfg.num_aps))
-                            .copied()
-                            .unwrap_or(0.0)
-                    };
-                    occ(a).total_cmp(&occ(b)).then(a.cmp(&b))
-                });
-            }
-            let queue: Vec<QueuedFrame> = order
-                .iter()
-                .map(|&k| {
-                    let f = node.queue[k];
-                    QueuedFrame {
-                        dest: MacAddress::station(f.dest as u16),
-                        bytes: f.bytes,
-                        enqueue_time: f.enqueue,
-                    }
-                })
-                .collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-            let selection = select(cfg.protocol.aggregation_policy(), &queue, &cfg.limits);
-            let receivers = selection.receiver_count().max(1);
-            let header_airtime = cfg.protocol.aggregation_header_airtime(receivers);
-            let header_symbols = (header_airtime / SYMBOL_DURATION).round() as usize;
-            let mut groups = Vec::with_capacity(selection.groups.len()); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-            let mut selected = Vec::new(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-            let mut payload_symbols = 0usize;
-            for (_, view_indices) in &selection.groups {
-                let indices: Vec<usize> = view_indices.iter().map(|&k| order[k]).collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-                let dest = node.queue[indices[0]].dest;
-                let mcs = self.mcs_for(dest);
-                for &k in &indices {
-                    let wire_bits = (node.queue[k].bytes + WIRE_OVERHEAD_BYTES) * 8;
-                    payload_symbols += mcs.symbols_for_bits(wire_bits);
-                }
-                selected.extend_from_slice(&indices);
-                groups.push((dest, indices, mcs));
-            }
-            selected.sort_unstable();
-            let data_airtime =
-                PLCP_OVERHEAD + header_airtime + payload_symbols as f64 * SYMBOL_DURATION;
-            let acks = cfg.protocol.acks_per_exchange(receivers);
-            TxopPlan {
-                selected,
-                groups,
-                data_airtime,
-                ack_airtime_total: acks as f64 * (SIFS + ack_airtime()),
-                header_symbols,
-            }
-        } else {
-            // STA: single head frame to its AP at the STA's own rate. The
-            // contention loop never selects an empty queue, so an empty
-            // plan here is a graceful fallback rather than a reachable path.
-            let Some(head) = node.queue.front() else {
-                return TxopPlan {
-                    selected: Vec::new(), // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-                    groups: Vec::new(), // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-                    data_airtime: 0.0,
-                    ack_airtime_total: 0.0,
-                    header_symbols: 0,
-                };
-            };
-            let mcs = self.mcs_for(node_id);
-            let wire = head.bytes + WIRE_OVERHEAD_BYTES - 2; // no delimiter
-            TxopPlan {
-                selected: vec![0],
-                groups: vec![(head.dest, vec![0], mcs)],
-                data_airtime: data_frame_airtime(wire, mcs),
-                ack_airtime_total: SIFS + ack_airtime(),
-                header_symbols: 0,
-            }
-        }
-    }
-
     /// Deterministically decides whether two STA node ids are mutually
     /// hidden under the configured topology.
+    #[cfg(test)]
     fn is_hidden(&self, a: usize, b: usize) -> bool {
         let Some(h) = self.config.hidden_terminals else {
             return false;
         };
-        if a == b {
-            return false;
-        }
-        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        // splitmix-style hash of (pair, seed) -> uniform in [0, 1).
-        let mut x = (lo as u64) << 32 | hi as u64;
-        x ^= self.config.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        x ^= x >> 30;
-        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        x ^= x >> 27;
-        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
-        x ^= x >> 31;
-        (x as f64 / u64::MAX as f64) < h.fraction
-    }
-
-    /// RTS/CTS signalling time preceding a data PPDU addressed to
-    /// `receivers` receivers (multicast RTS + sequential CTSs, Fig. 7).
-    fn control_airtime(&self, receivers: usize) -> f64 {
-        if !self.config.use_rts_cts {
-            return 0.0;
-        }
-        let carpool_like = matches!(
-            self.config.protocol,
-            Protocol::Carpool | Protocol::MuAggregation
-        );
-        rts_airtime(carpool_like) + receivers as f64 * (SIFS + cts_airtime()) + SIFS
+        crate::engine::hidden_pair(self.config.seed, h.fraction, a, b)
     }
 
     /// Runs the simulation to completion.
+    ///
+    /// This drives a single [`crate::engine`] domain from 0 to
+    /// `duration_s` in one stride — the event loop, calendar queue, and
+    /// frame arena all live there. The emitted byte stream (metrics,
+    /// events, traces) is identical to the pre-engine inline loop.
     pub fn run(&self) -> SimReport {
-        let cfg = &self.config;
-        assert!(cfg.num_aps >= 1, "need at least one AP");
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let arrivals = self.generate_arrivals(&mut rng);
-
-        let total_nodes = cfg.num_aps + cfg.num_stas;
-        let mut nodes: Vec<Node> = (0..total_nodes)
-            .map(|k| {
-                let is_ap = k < cfg.num_aps;
-                let cw_min = if is_ap {
-                    cfg.protocol.ap_cw_min()
-                } else {
-                    carpool_frame::airtime::CW_MIN
-                };
-                Node::new(is_ap, cw_min)
-            })
-            .collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-
-        let obs = self.obs.clone(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-        let _sim_span = obs.span("mac.sim_loop");
-        let mut downlink = FlowCollector::downlink(obs.clone()); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-        let mut uplink = FlowCollector::uplink(obs.clone()); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-        let mut channel = ChannelStats::default();
-        let mut sta_airtime = vec![AirtimeShare::default(); cfg.num_stas];
-        // Time-occupancy table for the fairness scheduler (Section 8).
-        let mut occupancy = vec![0.0f64; cfg.num_stas];
-        let mut per_sta_downlink = vec![FlowMetrics::default(); cfg.num_stas];
-
-        let mut now = 0.0f64;
-        let mut arr_idx = 0usize;
-        let mut next_frame_id = 0u64;
-        let scheme = cfg.protocol.estimation();
-
-        loop {
-            // Ingest arrivals up to `now`.
-            while arr_idx < arrivals.len() && arrivals[arr_idx].time <= now {
-                let a = arrivals[arr_idx];
-                let node = &mut nodes[a.node];
-                let was_empty = node.queue.is_empty();
-                next_frame_id += 1;
-                node.queue.push_back(PendingFrame {
-                    id: next_frame_id,
-                    bytes: a.bytes,
-                    enqueue: a.time,
-                    attempts: 0,
-                    dest: a.dest,
-                });
-                obs.trace_frame(
-                    TraceKind::MacEnqueue,
-                    next_frame_id,
-                    now,
-                    trace_u64(a.dest),
-                    trace_u64(a.bytes),
-                );
-                if was_empty {
-                    node.draw_backoff(&mut rng);
-                }
-                if obs.enabled() {
-                    obs.counter("traffic.arrivals", 1);
-                    // Stamped with the ingestion clock (the moment the MAC
-                    // sees the frame), which keeps the stream monotone;
-                    // the arrival's own timestamp survives as queueing
-                    // delay in the eventual delivery/drop event.
-                    obs.emit(
-                        now,
-                        Event::TrafficArrival {
-                            dest: a.dest as u64,
-                            bytes: a.bytes as u64,
-                        },
-                    );
-                    if was_empty {
-                        obs.emit(
-                            now,
-                            Event::Backoff {
-                                station: a.node as u64,
-                                slots: nodes[a.node].backoff as u64,
-                            },
-                        );
-                    }
-                }
-                arr_idx += 1;
-            }
-            if now >= cfg.duration_s {
-                break;
-            }
-
-            // Expired delay-sensitive downlink frames are discarded.
-            if let Some(limit) = cfg.drop_expired_s {
-                for node in nodes.iter_mut().filter(|n| n.is_ap) {
-                    while let Some(f) = node
-                        .queue
-                        .front()
-                        .filter(|f| now - f.enqueue > limit)
-                        .copied()
-                    {
-                        node.queue.pop_front();
-                        downlink.record_drop(now - f.enqueue);
-                        obs.emit(
-                            now,
-                            Event::MacDrop {
-                                dest: f.dest as u64,
-                                delay: now - f.enqueue,
-                            },
-                        );
-                        obs.trace_frame(
-                            TraceKind::MacDrop,
-                            f.id,
-                            now,
-                            trace_u64(f.dest),
-                            (now - f.enqueue).to_bits(),
-                        );
-                    }
-                }
-            }
-
-            // Who is contending?
-            let eligible: Vec<usize> = (0..total_nodes)
-                .filter(|&k| {
-                    let n = &nodes[k];
-                    if n.queue.is_empty() {
-                        false
-                    } else if n.is_ap {
-                        self.ap_eligible(n, now)
-                    } else {
-                        true
-                    }
-                })
-                .collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-
-            // WiFox: a backlogged AP preempts STA contention with
-            // PIFS-like priority in about half of the rounds (adaptive
-            // downlink prioritisation).
-            let eligible = if cfg.protocol.has_downlink_priority() {
-                let priority: Vec<usize> = eligible
-                    .iter()
-                    .copied()
-                    .filter(|&k| nodes[k].is_ap && nodes[k].queue.len() >= 10)
-                    .collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-                if !priority.is_empty() && rng.gen_bool(0.35) {
-                    priority
-                } else {
-                    eligible
-                }
-            } else {
-                eligible
-            };
-
-            if eligible.is_empty() {
-                // Advance to the next event: arrival or AP release time.
-                let mut next = cfg.duration_s;
-                if arr_idx < arrivals.len() {
-                    next = next.min(arrivals[arr_idx].time);
-                }
-                if let Some(w) = cfg.aggregation_wait {
-                    for node in nodes.iter().filter(|n| n.is_ap) {
-                        if let Some(head) = node.queue.front() {
-                            next = next.min(head.enqueue + w.max_latency_s);
-                        }
-                    }
-                }
-                if next <= now {
-                    next = now + SLOT_TIME;
-                }
-                now = next;
-                continue;
-            }
-
-            // Joint countdown.
-            let d = eligible
-                .iter()
-                .map(|&k| nodes[k].backoff)
-                .min()
-                .unwrap_or(0);
-            now += DIFS + d as f64 * SLOT_TIME + cfg.extra_round_overhead_s;
-            for &k in &eligible {
-                nodes[k].backoff -= d;
-            }
-            let winners: Vec<usize> = eligible
-                .iter()
-                .copied()
-                .filter(|&k| nodes[k].backoff == 0)
-                .collect(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-
-            if winners.len() > 1 {
-                // Collision: channel busy for the longest attempt. With
-                // RTS/CTS the clash is detected after the short RTS.
-                channel.collisions += 1;
-                if obs.enabled() {
-                    obs.counter("mac.collisions", 1);
-                    obs.emit(
-                        now,
-                        Event::MacCollision {
-                            contenders: winners.len() as u64,
-                        },
-                    );
-                }
-                let busy = if cfg.use_rts_cts {
-                    rts_airtime(matches!(
-                        cfg.protocol,
-                        Protocol::Carpool | Protocol::MuAggregation
-                    ))
-                } else {
-                    winners
-                        .iter()
-                        .map(|&k| self.plan_txop(&nodes[k], k, &occupancy).data_airtime)
-                        .fold(0.0f64, f64::max)
-                };
-                now += busy + eifs();
-                for &k in &winners {
-                    // Head-frame retry accounting.
-                    let drop = {
-                        let node = &mut nodes[k];
-                        if let Some(head) = node.queue.front_mut() {
-                            head.attempts += 1;
-                            head.attempts > cfg.retry_limit
-                        } else {
-                            false
-                        }
-                    };
-                    if drop {
-                        let node = &mut nodes[k];
-                        let is_ap = node.is_ap;
-                        if let Some(f) = node.queue.pop_front() {
-                            let metrics = if is_ap { &mut downlink } else { &mut uplink };
-                            metrics.record_drop(now - f.enqueue);
-                            obs.emit(
-                                now,
-                                Event::MacDrop {
-                                    dest: f.dest as u64,
-                                    delay: now - f.enqueue,
-                                },
-                            );
-                            obs.trace_frame(
-                                TraceKind::MacDrop,
-                                f.id,
-                                now,
-                                trace_u64(f.dest),
-                                (now - f.enqueue).to_bits(),
-                            );
-                        }
-                    }
-                    nodes[k].on_collision(&mut rng);
-                    if obs.enabled() {
-                        obs.emit(
-                            now,
-                            Event::Backoff {
-                                station: k as u64,
-                                slots: nodes[k].backoff as u64,
-                            },
-                        );
-                    }
-                }
-                // Everyone else overhears the garbled burst.
-                for (sta, air) in sta_airtime.iter_mut().enumerate() {
-                    let id = cfg.num_aps + sta;
-                    if winners.contains(&id) {
-                        air.tx_s += busy;
-                    } else {
-                        air.overhear_s += busy;
-                    }
-                }
-                continue;
-            }
-
-            // Single winner transmits.
-            let winner = winners[0];
-            let plan = self.plan_txop(&nodes[winner], winner, &occupancy);
-            let control = self.control_airtime(plan.groups.len());
-
-            // Hidden-terminal interference: an uplink transmission is
-            // vulnerable to hidden peers that cannot sense it. With
-            // RTS/CTS, the AP's CTS silences them after the short RTS —
-            // a hidden hit then costs only the aborted signalling;
-            // without it, the whole data PPDU is exposed and lost.
-            let mut hidden_loss = false;
-            if cfg.hidden_terminals.is_some() && !nodes[winner].is_ap {
-                let vulnerable = if cfg.use_rts_cts {
-                    rts_airtime(false)
-                } else {
-                    plan.data_airtime
-                };
-                for (j, peer) in nodes.iter_mut().enumerate().skip(cfg.num_aps) {
-                    if j == winner || peer.queue.is_empty() || !self.is_hidden(winner, j) {
-                        continue;
-                    }
-                    // The hidden peer keeps counting down into the
-                    // exposed window and fires if it expires inside it.
-                    let expiry = peer.backoff as f64 * SLOT_TIME + DIFS;
-                    if expiry < vulnerable {
-                        hidden_loss = true;
-                        let drop = {
-                            if let Some(head) = peer.queue.front_mut() {
-                                head.attempts += 1;
-                                head.attempts > cfg.retry_limit
-                            } else {
-                                false
-                            }
-                        };
-                        if drop {
-                            if let Some(f) = peer.queue.pop_front() {
-                                uplink.record_drop(now - f.enqueue);
-                                obs.emit(
-                                    now,
-                                    Event::MacDrop {
-                                        dest: f.dest as u64,
-                                        delay: now - f.enqueue,
-                                    },
-                                );
-                                obs.trace_frame(
-                                    TraceKind::MacDrop,
-                                    f.id,
-                                    now,
-                                    trace_u64(f.dest),
-                                    (now - f.enqueue).to_bits(),
-                                );
-                            }
-                        }
-                        peer.on_collision(&mut rng);
-                    }
-                }
-                if hidden_loss {
-                    channel.hidden_collisions += 1;
-                    obs.counter("mac.hidden_collisions", 1);
-                }
-            }
-
-            if hidden_loss && cfg.use_rts_cts {
-                // The missing CTS aborts the exchange after the RTS:
-                // data frames stay queued and are retried cheaply.
-                let busy = rts_airtime(true) + eifs();
-                now += busy;
-                {
-                    let node = &mut nodes[winner];
-                    if let Some(head) = node.queue.front_mut() {
-                        head.attempts += 1;
-                    }
-                    node.on_collision(&mut rng);
-                }
-                for (sta, air) in sta_airtime.iter_mut().enumerate() {
-                    let id = cfg.num_aps + sta;
-                    if id == winner {
-                        air.tx_s += busy;
-                    } else {
-                        air.overhear_s += busy;
-                    }
-                }
-                continue;
-            }
-
-            let busy = plan.total_airtime() + control;
-            now += busy;
-            channel.transmissions += 1;
-            channel.aggregated_frames += plan.selected.len() as u64;
-            channel.aggregated_receivers += plan.groups.len() as u64;
-            if obs.enabled() {
-                obs.counter("mac.transmissions", 1);
-                obs.counter("mac.aggregated_frames", plan.selected.len() as u64);
-                obs.record("mac.txop_airtime", busy);
-                obs.emit(
-                    now,
-                    Event::MacTx {
-                        stas: plan.groups.len() as u64,
-                        airtime: busy,
-                    },
-                );
-            }
-
-            // Evaluate per-frame success at its symbol position, and
-            // charge each destination's time-occupancy account.
-            let mut start_sym = plan.header_symbols;
-            let mut outcomes: Vec<(usize, bool)> = Vec::with_capacity(plan.selected.len()); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-            for (dest, indices, group_mcs) in &plan.groups {
-                // The station whose link decides this subframe's fate:
-                // the destination for downlink, the sender for uplink.
-                let link_sta = if nodes[winner].is_ap {
-                    dest.saturating_sub(cfg.num_aps)
-                } else {
-                    winner.saturating_sub(cfg.num_aps)
-                };
-                for &k in indices {
-                    let frame = nodes[winner].queue[k];
-                    let wire_bits = (frame.bytes + WIRE_OVERHEAD_BYTES) * 8;
-                    let n_sym = group_mcs.symbols_for_bits(wire_bits);
-                    let p = self
-                        .error_model
-                        .subframe_success_prob_for(link_sta, scheme, *group_mcs, start_sym, n_sym);
-                    outcomes.push((k, !hidden_loss && rng.gen::<f64>() < p));
-                    if obs.tracing() {
-                        // Membership in this TXOP's aggregate, and the
-                        // frame's symbol window on air (the data PPDU
-                        // starts at `now - busy`).
-                        let t_tx = now - busy;
-                        obs.trace_frame(
-                            TraceKind::AggDecision,
-                            frame.id,
-                            t_tx,
-                            trace_u64(*dest),
-                            trace_u64(start_sym),
-                        );
-                        obs.trace_frame(
-                            TraceKind::AirtimeStart,
-                            frame.id,
-                            t_tx + symbol_span(start_sym),
-                            trace_u64(*dest),
-                            trace_u64(n_sym),
-                        );
-                        obs.trace_frame(
-                            TraceKind::AirtimeEnd,
-                            frame.id,
-                            t_tx + symbol_span(start_sym + n_sym),
-                            trace_u64(*dest),
-                            trace_u64(n_sym),
-                        );
-                    }
-                    start_sym += n_sym;
-                    if nodes[winner].is_ap {
-                        if let Some(slot) = occupancy.get_mut(dest.saturating_sub(cfg.num_aps)) {
-                            *slot += n_sym as f64 * SYMBOL_DURATION;
-                        }
-                    }
-                }
-            }
-
-            // Airtime accounting for STAs.
-            let is_downlink = nodes[winner].is_ap;
-            let carpool_like = matches!(cfg.protocol, Protocol::Carpool | Protocol::MuAggregation);
-            for (sta, air) in sta_airtime.iter_mut().enumerate() {
-                let id = cfg.num_aps + sta;
-                if id == winner {
-                    air.tx_s += plan.data_airtime;
-                    air.rx_s += plan.ack_airtime_total;
-                    continue;
-                }
-                let addressed = is_downlink && plan.groups.iter().any(|(dest, _, _)| *dest == id);
-                if addressed {
-                    if carpool_like {
-                        // A-HDR plus (approximately) its own share.
-                        let own: f64 = plan
-                            .groups
-                            .iter()
-                            .filter(|(dest, _, _)| *dest == id)
-                            .map(|(_, g, group_mcs)| {
-                                g.iter()
-                                    .map(|&k| {
-                                        let bits = (nodes[winner].queue[k].bytes
-                                            + WIRE_OVERHEAD_BYTES)
-                                            * 8;
-                                        group_mcs.airtime_for_bits(bits)
-                                    })
-                                    .sum::<f64>()
-                            })
-                            .sum();
-                        air.rx_s += ahdr_airtime() + own;
-                        air.idle_s += (busy - ahdr_airtime() - own).max(0.0);
-                    } else {
-                        air.rx_s += busy;
-                    }
-                } else if carpool_like && is_downlink {
-                    // Checks the A-HDR, then idles.
-                    air.overhear_s += PLCP_OVERHEAD + ahdr_airtime();
-                    air.idle_s += (busy - PLCP_OVERHEAD - ahdr_airtime()).max(0.0);
-                } else {
-                    air.overhear_s += busy;
-                }
-            }
-
-            // Deliver or requeue, removing selected entries.
-            let node = &mut nodes[winner];
-            let mut requeue: Vec<PendingFrame> = Vec::new(); // lint:allow(hot-alloc): MAC event bookkeeping, per TXOP not per sample
-                                                             // Remove in descending index order to keep indices valid.
-            let mut by_index: Vec<(usize, bool)> = outcomes;
-            by_index.sort_by_key(|&(k, _)| std::cmp::Reverse(k));
-            for (k, ok) in by_index {
-                let Some(mut frame) = node.queue.remove(k) else {
-                    continue;
-                };
-                let metrics = if node.is_ap {
-                    &mut downlink
-                } else {
-                    &mut uplink
-                };
-                if ok {
-                    metrics.record_delivery(frame.bytes, now - frame.enqueue, cfg.deadline);
-                    obs.emit(
-                        now,
-                        Event::MacDelivery {
-                            dest: frame.dest as u64,
-                            bytes: frame.bytes as u64,
-                            delay: now - frame.enqueue,
-                        },
-                    );
-                    // b = enqueue→ACK delay as f64 bits.
-                    obs.trace_frame(
-                        TraceKind::MacAck,
-                        frame.id,
-                        now,
-                        trace_u64(frame.dest),
-                        (now - frame.enqueue).to_bits(),
-                    );
-                    if node.is_ap {
-                        if let Some(sta) =
-                            per_sta_downlink.get_mut(frame.dest.saturating_sub(cfg.num_aps))
-                        {
-                            sta.record_delivery(frame.bytes, now - frame.enqueue, cfg.deadline);
-                        }
-                    }
-                } else {
-                    metrics.record_retransmission();
-                    obs.emit(
-                        now,
-                        Event::MacRetransmission {
-                            dest: frame.dest as u64,
-                        },
-                    );
-                    obs.trace_frame(
-                        TraceKind::MacRetx,
-                        frame.id,
-                        now,
-                        trace_u64(frame.dest),
-                        u64::from(frame.attempts) + 1,
-                    );
-                    frame.attempts += 1;
-                    if frame.attempts > cfg.retry_limit {
-                        metrics.record_drop(now - frame.enqueue);
-                        obs.emit(
-                            now,
-                            Event::MacDrop {
-                                dest: frame.dest as u64,
-                                delay: now - frame.enqueue,
-                            },
-                        );
-                        obs.trace_frame(
-                            TraceKind::MacDrop,
-                            frame.id,
-                            now,
-                            trace_u64(frame.dest),
-                            (now - frame.enqueue).to_bits(),
-                        );
-                    } else {
-                        requeue.push(frame);
-                    }
-                }
-            }
-            // Failed frames return to the head, oldest first.
-            requeue.sort_by(|a, b| b.enqueue.total_cmp(&a.enqueue));
-            for f in requeue {
-                node.queue.push_front(f);
-            }
-            node.on_success(&mut rng);
-            if obs.enabled() {
-                obs.gauge("mac.winner_queue_depth", node.queue.len() as f64);
-                obs.emit(
-                    now,
-                    Event::QueueDepth {
-                        dest: winner as u64,
-                        depth: node.queue.len() as u64,
-                    },
-                );
-                obs.emit(
-                    now,
-                    Event::Backoff {
-                        station: winner as u64,
-                        slots: node.backoff as u64,
-                    },
-                );
-            }
-        }
-
-        // Idle fill-up.
-        for share in &mut sta_airtime {
-            let accounted = share.tx_s + share.rx_s + share.overhear_s + share.idle_s;
-            share.idle_s += (cfg.duration_s - accounted).max(0.0);
-        }
-
-        if obs.enabled() {
-            // Airtime-share distributions across STAs, for fairness views.
-            for share in &sta_airtime {
-                obs.record("mac.sta_airtime_tx_s", share.tx_s);
-                obs.record("mac.sta_airtime_rx_s", share.rx_s);
-                obs.record("mac.sta_airtime_overhear_s", share.overhear_s);
-            }
-            obs.gauge("mac.sim_duration_s", cfg.duration_s);
-            obs.flush();
-        }
-
-        SimReport {
-            duration_s: cfg.duration_s,
-            downlink: downlink.into_metrics(),
-            uplink: uplink.into_metrics(),
-            channel,
-            sta_airtime,
-            per_sta_downlink,
-        }
+        assert!(self.config.num_aps >= 1, "need at least one AP");
+        let _sim_span = self.obs.span("mac.sim_loop");
+        let mut domain = Domain::new(
+            self.config.clone(), // lint:allow(hot-alloc): one clone per run
+            ModelHandle::Borrowed(self.error_model.as_ref()),
+            self.obs.clone(), // lint:allow(hot-alloc): one handle clone per run
+            0,
+            0.0,
+        );
+        let duration = self.config.duration_s;
+        while domain.step(duration) {}
+        domain.finish()
     }
 }
 

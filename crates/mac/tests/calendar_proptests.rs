@@ -1,0 +1,100 @@
+//! Differential proof that the calendar queue dequeues in exactly the
+//! order the old comparison-based `Vec` scan produced: ascending tick,
+//! same-tick ties broken by insertion sequence. The reference model is
+//! a plain vector popped by linear minimum scan — the same semantics as
+//! the pre-engine `sort_by(total_cmp)` + front-drain arrival list.
+
+use carpool_mac::calendar::CalendarQueue;
+use proptest::prelude::*;
+
+/// Reference implementation: linear scan for the minimum
+/// `(tick, insertion sequence)` pair, mirroring the calendar's
+/// clamp-forward rule for pushes behind the monotone cursor.
+struct ReferenceQueue {
+    live: Vec<(u64, u64)>,
+    seq: u64,
+    cursor: u64,
+}
+
+impl ReferenceQueue {
+    fn new() -> ReferenceQueue {
+        ReferenceQueue {
+            live: Vec::new(),
+            seq: 0,
+            cursor: 0,
+        }
+    }
+
+    fn push(&mut self, tick: u64) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        // Events pushed into the past fire at the cursor, exactly as
+        // `CalendarQueue::push` clamps them.
+        self.live.push((tick.max(self.cursor), seq));
+        seq
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        let best = self
+            .live
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(tick, seq))| (tick, seq))
+            .map(|(k, _)| k)?;
+        let (tick, seq) = self.live.swap_remove(best);
+        self.cursor = tick;
+        Some((tick, seq))
+    }
+}
+
+/// One interleaving step: enqueue at `tick`, then attempt `pops`
+/// dequeues. Ticks span many laps of the smallest (1024-bucket) ring so
+/// the horizon-wraparound path is exercised constantly.
+fn steps() -> impl Strategy<Value = Vec<(u64, u8)>> {
+    prop::collection::vec((0u64..200_000, 0u8..3), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Interleaved pushes and pops agree with the reference at every
+    // single dequeue, including the final drain.
+    #[test]
+    fn calendar_matches_comparison_reference(ops in steps()) {
+        let mut calendar = CalendarQueue::with_capacity(8);
+        let mut reference = ReferenceQueue::new();
+        for (tick, pops) in ops {
+            let seq = calendar.push(tick, tick);
+            prop_assert_eq!(seq, reference.push(tick));
+            for _ in 0..pops {
+                let got = calendar.pop().map(|(t, s, _)| (t, s));
+                prop_assert_eq!(got, reference.pop());
+            }
+        }
+        while let Some((tick, seq, _)) = calendar.pop() {
+            prop_assert_eq!(Some((tick, seq)), reference.pop());
+        }
+        prop_assert_eq!(reference.pop(), None);
+        prop_assert!(calendar.is_empty());
+    }
+
+    // Pure batch mode — everything enqueued up front, then drained —
+    // is exactly the old sorted-`Vec` order. Duplicated ticks force
+    // tie-breaks and the narrow range forces bucket-chain collisions.
+    #[test]
+    fn batch_drain_is_stable_sort_order(ticks in prop::collection::vec(0u64..5_000, 1..200)) {
+        let mut calendar = CalendarQueue::with_capacity(ticks.len());
+        let mut expected: Vec<(u64, u64)> = ticks
+            .iter()
+            .enumerate()
+            .map(|(seq, &tick)| (tick, seq as u64))
+            .collect();
+        for &tick in &ticks {
+            calendar.push(tick, ());
+        }
+        expected.sort(); // stable on (tick, seq), seq unique
+        let drained: Vec<(u64, u64)> =
+            std::iter::from_fn(|| calendar.pop().map(|(t, s, ())| (t, s))).collect();
+        prop_assert_eq!(drained, expected);
+    }
+}

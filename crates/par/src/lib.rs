@@ -45,6 +45,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 use std::thread;
 
 /// Errors surfaced by the worker pool.
@@ -191,6 +192,191 @@ where
             Some(r) => out.push(r),
             // A slot can only stay empty if its owner died; the join
             // above reports that, so this is a defensive second net.
+            None => return Err(ParError::WorkerPanic),
+        }
+    }
+    Ok(out)
+}
+
+/// Runs `num_shards` stateful shards through `epochs` barrier-
+/// synchronized steps with deterministic cross-shard message exchange —
+/// the primitive behind the sharded MAC event engine.
+///
+/// Each shard `s` gets a state from `build(s)`. Every epoch, every
+/// shard receives the messages routed to it (`route(&msg) == s`) that
+/// were emitted in the *previous* epoch, steps via
+/// `step(&mut state, epoch, inbox, outbox)`, and publishes its outbox
+/// for the next epoch. Messages emitted in the final epoch are
+/// discarded. After the last epoch each state is converted by
+/// `finish`, and the results are returned in shard order.
+///
+/// # Determinism contract
+///
+/// The inbox a shard observes is assembled by scanning source shards in
+/// ascending index order, preserving each source's emission order — a
+/// pure function of `(build, step, route)`, independent of thread count
+/// and scheduling. Shards are distributed to workers by stride
+/// (worker `w` owns shards `w, w + W, ...`), and each worker steps its
+/// shards in ascending order, so per-shard trajectories never depend on
+/// the worker layout either. Messages cross shard boundaries *only*
+/// through the outbox; `step` must not share mutable state between
+/// shards through other channels.
+///
+/// Epoch 0's inbox is always empty.
+///
+/// # Errors
+///
+/// Returns [`ParError::WorkerPanic`] if `build`, `step`, `route`, or
+/// `finish` panics in any worker. Panics never hang the barrier: a
+/// failing worker keeps participating in the epoch barrier until every
+/// worker has observed the failure, then all exit together.
+pub fn run_sharded<S, M, R, B, T, Rt, Fi>(
+    num_shards: usize,
+    epochs: usize,
+    build: B,
+    step: T,
+    route: Rt,
+    finish: Fi,
+) -> Result<Vec<R>, ParError>
+where
+    S: Send,
+    M: Clone + Send,
+    R: Send,
+    B: Fn(usize) -> S + Sync,
+    T: Fn(&mut S, usize, &[M], &mut Vec<M>) + Sync,
+    Rt: Fn(&M) -> usize + Sync,
+    Fi: Fn(S) -> R + Sync,
+{
+    if num_shards == 0 {
+        return Ok(Vec::new()); // lint:allow(hot-alloc): empty Vec never allocates
+    }
+    let workers = thread_count().min(num_shards).max(1);
+
+    // Double-buffered per-source mailboxes: epoch `e` reads the buffer
+    // written during epoch `e - 1` and writes the other one, so one
+    // barrier per epoch is enough (reads and writes always touch
+    // disjoint buffers).
+    let mailboxes: Vec<Vec<Mutex<Vec<M>>>> = (0..2)
+        // lint:allow(hot-alloc): per-run pool plumbing, amortized over the scenario
+        .map(|_| (0..num_shards).map(|_| Mutex::new(Vec::new())).collect())
+        .collect(); // lint:allow(hot-alloc): per-run pool plumbing, amortized over the scenario
+    let barrier = Barrier::new(workers);
+    // Earliest epoch at which any worker failed (MAX = no failure).
+    // The tag matters: a fast worker that passed barrier `e` may panic
+    // in epoch `e + 1` *while a slow worker is still waking from
+    // barrier `e`* — an untagged flag would make the slow worker exit
+    // one epoch early and leave every later barrier one short
+    // (deadlock). Exiting only when `failed_at <= epoch` guarantees
+    // every worker participates in exactly the same set of barriers:
+    // all of 0..=failed_at.
+    let failed_at = AtomicUsize::new(usize::MAX);
+
+    let worker = |w: usize| -> Result<Vec<(usize, R)>, ParError> {
+        let built: Result<Vec<(usize, S, Vec<M>)>, ParError> =
+            catch_unwind(AssertUnwindSafe(|| {
+                (w..num_shards)
+                    .step_by(workers)
+                    // lint:allow(hot-alloc): per-run pool plumbing, amortized over the scenario
+                    .map(|s| (s, build(s), Vec::new()))
+                    .collect() // lint:allow(hot-alloc): per-run pool plumbing, amortized over the scenario
+            }))
+            .map_err(|_| ParError::WorkerPanic);
+        let mut local = match built {
+            Ok(local) => local,
+            Err(e) => {
+                // ordering: AcqRel — the failure tag must be visible to
+                // every peer once it passes the epoch barrier
+                failed_at.fetch_min(0, Ordering::AcqRel);
+                // Join the epoch-0 barrier once so no peer blocks on a
+                // missing worker; every worker observes the epoch-0
+                // failure right after that barrier and exits, so
+                // waiting further epochs would deadlock against
+                // already-gone peers.
+                if epochs > 0 {
+                    barrier.wait();
+                }
+                return Err(e);
+            }
+        };
+        let mut inbox: Vec<M> = Vec::new(); // lint:allow(hot-alloc): per-run pool plumbing, amortized over the scenario
+        for epoch in 0..epochs {
+            let read = &mailboxes[epoch % 2];
+            let write = &mailboxes[(epoch + 1) % 2];
+            let ok = catch_unwind(AssertUnwindSafe(|| {
+                for (s, state, out) in local.iter_mut() {
+                    inbox.clear();
+                    for src in read.iter() {
+                        let guard = src
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        for m in guard.iter() {
+                            if route(m) == *s {
+                                inbox.push(m.clone()); // lint:allow(hot-alloc): reused inbox, amortized over epochs
+                            }
+                        }
+                    }
+                    out.clear();
+                    step(state, epoch, &inbox, out);
+                    let mut slot = write[*s]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    slot.clear();
+                    slot.extend(out.iter().cloned()); // lint:allow(hot-alloc): reused mailbox, amortized over epochs
+                }
+            }))
+            .is_ok();
+            if !ok {
+                // ordering: AcqRel — the failure tag must be visible to
+                // every peer once it passes the epoch barrier
+                failed_at.fetch_min(epoch, Ordering::AcqRel);
+            }
+            barrier.wait();
+            // A failure tagged `epoch` was stored before its worker
+            // arrived at barrier `epoch`, so after that barrier it is
+            // visible to everyone; a failure tagged later than `epoch`
+            // must be ignored for now — the panicking worker still
+            // waits on the barriers in between.
+            // ordering: Acquire — pairs with the failing worker's
+            // AcqRel fetch_min; the barrier already orders it, Acquire
+            // keeps the edge explicit
+            if failed_at.load(Ordering::Acquire) <= epoch {
+                return Err(ParError::WorkerPanic);
+            }
+        }
+        catch_unwind(AssertUnwindSafe(|| {
+            local
+                .drain(..)
+                .map(|(s, state, _)| (s, finish(state)))
+                .collect() // lint:allow(hot-alloc): per-run pool plumbing, amortized over the scenario
+        }))
+        .map_err(|_| ParError::WorkerPanic)
+    };
+
+    let per_worker: Vec<Result<Vec<(usize, R)>, ParError>> = if workers == 1 {
+        vec![worker(0)] // lint:allow(hot-alloc): per-run pool plumbing, amortized over the scenario
+    } else {
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| scope.spawn(move || worker(w)))
+                .collect(); // lint:allow(hot-alloc): per-run pool plumbing, amortized over the scenario
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(Err(ParError::WorkerPanic)))
+                .collect() // lint:allow(hot-alloc): per-run pool plumbing, amortized over the scenario
+        })
+    };
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(num_shards); // lint:allow(hot-alloc): per-run pool plumbing, amortized over the scenario
+    slots.resize_with(num_shards, || None);
+    for worker_result in per_worker {
+        for (s, r) in worker_result? {
+            slots[s] = Some(r);
+        }
+    }
+    let mut out = Vec::with_capacity(num_shards); // lint:allow(hot-alloc): per-run pool plumbing, amortized over the scenario
+    for slot in slots {
+        match slot {
+            Some(r) => out.push(r),
             None => return Err(ParError::WorkerPanic),
         }
     }
@@ -406,6 +592,151 @@ mod tests {
             par_map_indexed(&items, |_, _| -> u8 { panic!("boom") }).unwrap_err()
         });
         assert_eq!(err, ParError::WorkerPanic);
+    }
+
+    /// Ring diffusion: each shard holds a value, sends it to both
+    /// neighbours each epoch, and accumulates a hash of what it hears —
+    /// order-sensitive on purpose, so any inbox-order wobble shows up.
+    fn diffuse(num_shards: usize, epochs: usize) -> Vec<u64> {
+        run_sharded(
+            num_shards,
+            epochs,
+            trial,
+            |state: &mut u64, _epoch, inbox: &[(usize, u64)], outbox| {
+                for &(_, v) in inbox {
+                    *state = state.rotate_left(7).wrapping_mul(31).wrapping_add(v);
+                }
+                let s = (*state % num_shards as u64) as usize;
+                outbox.push(((s + 1) % num_shards, *state));
+                outbox.push(((s + num_shards - 1) % num_shards, *state));
+            },
+            |m: &(usize, u64)| m.0,
+            |state| state,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_results_are_thread_count_invariant() {
+        let reference = with_threads(1, || diffuse(7, 5));
+        for threads in [2, 3, 4, 8, 16] {
+            let got = with_threads(threads, || diffuse(7, 5));
+            assert_eq!(reference, got, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_inbox_scans_sources_in_ascending_order() {
+        // Every shard messages shard 0 each epoch; shard 0 records the
+        // exact arrival order it observed.
+        for threads in [1, 4] {
+            let out = with_threads(threads, || {
+                run_sharded(
+                    5,
+                    2,
+                    |s| Vec::<usize>::new().tap_push(s),
+                    |state: &mut Vec<usize>, _epoch, inbox: &[(usize, usize)], outbox| {
+                        let me = state[0];
+                        if me == 0 {
+                            state.extend(inbox.iter().map(|m| m.1));
+                        }
+                        outbox.push((0, me));
+                    },
+                    |m: &(usize, usize)| m.0,
+                    |state| state,
+                )
+                .unwrap()
+            });
+            // Epoch 1's inbox at shard 0: sources 0..5 in ascending order.
+            assert_eq!(out[0], vec![0, 0, 1, 2, 3, 4], "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_epoch_zero_inbox_is_empty_and_last_outbox_is_dropped() {
+        let heard = with_threads(2, || {
+            run_sharded(
+                3,
+                1,
+                |_s| 0usize,
+                |state: &mut usize, _epoch, inbox: &[(usize, u8)], outbox| {
+                    *state += inbox.len();
+                    outbox.push(((*state + 1) % 3, 1));
+                },
+                |m: &(usize, u8)| m.0,
+                |state| state,
+            )
+            .unwrap()
+        });
+        assert_eq!(heard, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn sharded_worker_panic_is_reported_not_hung() {
+        for threads in [1, 4] {
+            let err = with_threads(threads, || {
+                run_sharded(
+                    6,
+                    4,
+                    |s| s,
+                    |state: &mut usize, epoch, _inbox: &[(usize, u8)], _outbox| {
+                        if *state == 3 && epoch == 2 {
+                            panic!("boom");
+                        }
+                    },
+                    |m: &(usize, u8)| m.0,
+                    |state| state,
+                )
+                .unwrap_err()
+            });
+            assert_eq!(err, ParError::WorkerPanic, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_build_panic_is_reported_not_hung() {
+        let err = with_threads(4, || {
+            run_sharded(
+                6,
+                3,
+                |s| {
+                    if s == 5 {
+                        panic!("boom");
+                    }
+                    s
+                },
+                |_state: &mut usize, _epoch, _inbox: &[(usize, u8)], _outbox| {},
+                |m: &(usize, u8)| m.0,
+                |state| state,
+            )
+            .unwrap_err()
+        });
+        assert_eq!(err, ParError::WorkerPanic);
+    }
+
+    #[test]
+    fn sharded_zero_shards_is_empty() {
+        let out: Vec<u8> = run_sharded(
+            0,
+            3,
+            |_s| 0u8,
+            |_state: &mut u8, _epoch, _inbox: &[(usize, u8)], _outbox| {},
+            |m: &(usize, u8)| m.0,
+            |state| state,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    trait TapPush {
+        fn tap_push(self, v: usize) -> Self;
+    }
+
+    impl TapPush for Vec<usize> {
+        fn tap_push(mut self, v: usize) -> Self {
+            self.push(v);
+            self
+        }
     }
 
     #[test]
