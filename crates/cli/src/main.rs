@@ -80,7 +80,7 @@ COMMANDS:
                lint-baseline.json
                [--json] [--write-baseline] [--force] [--root <dir>]
                [--explain <rule>] [--graph] [--budget-ms <n>]
-               [--strict-indexing] [--sarif <path>]
+               [--strict-indexing] [--sarif <path>] [--no-cache]
     help       Show this message
 
 OBSERVABILITY (accepted by every command):
@@ -521,6 +521,7 @@ fn cmd_lint(args: &Args) -> i32 {
         budget_ms,
         strict_indexing: args.flag("strict-indexing"),
         sarif: args.get("sarif").map(std::path::PathBuf::from),
+        no_cache: args.flag("no-cache"),
     };
     let code = carpool_lint::run(&opts);
     match code {

@@ -1,0 +1,477 @@
+//! Incremental scan cache for the lint driver (`.lint-cache.json`).
+//!
+//! The cache makes warm lint runs fast without ever changing what a
+//! run reports: reuse is keyed by content hashes, never timestamps,
+//! and any mismatch falls back to scanning. Two levels of reuse:
+//!
+//! 1. **Full-report fast path** — when the rule-set fingerprint and
+//!    every file hash match the cached run, the entire scan result
+//!    (diagnostics, analysis statistics, per-rule timings) is
+//!    reconstructed without parsing a single source file. This is what
+//!    keeps the warm gate sub-second as rules accumulate.
+//! 2. **Per-file line-rule reuse** — when only some files changed, the
+//!    line rules rerun on changed files only and unchanged files replay
+//!    their cached diagnostics. The interprocedural, flow, taint, and
+//!    shard-protocol passes always rerun: their results are global
+//!    functions of the whole workspace, not of any one file.
+//!
+//! Invalidation keys: the schema tag, the rule-set fingerprint
+//! ([`rules_fingerprint`]: every rule's id, waiver key, summary, and
+//! full explain text, plus the hot-path root specs), the per-file
+//! FNV-1a content hashes, and each crate's `Cargo.toml` hash (crate
+//! classification comes from the manifest, so a manifest edit drops
+//! reuse for that crate's files). `--strict-indexing` and `--graph`
+//! runs bypass the cache entirely — their mode-dependent output must
+//! never be replayed into a default run.
+//!
+//! Byte-identity contract (tested in `tests/analysis_fixtures.rs`): a
+//! warm run's human report and SARIF export are byte-identical to a
+//! cold `--no-cache` run's. Wall-clock fields (`elapsed_ms`, re-measured
+//! timings in the JSON report) are inherently per-run and excluded.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::baseline::{json_string, parse_json, JsonValue};
+use crate::interproc;
+use crate::rules::{Diagnostic, Rule};
+use crate::{AnalysisStats, ScanReport};
+
+/// Schema tag checked on load; bump on any layout change.
+pub const CACHE_SCHEMA: &str = "carpool-lint-cache/v1";
+
+/// Cache file name, resolved relative to the workspace root.
+pub const CACHE_FILE: &str = ".lint-cache.json";
+
+/// FNV-1a 64-bit hash — stable, dependency-free, fast enough that
+/// hashing the whole workspace is a rounding error next to one parse.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// [`fnv1a`] rendered as a fixed-width hex string (hashes must survive
+/// the JSON round trip exactly; f64 cannot carry 64 bits).
+pub fn hash_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a(bytes))
+}
+
+/// Fingerprint of the rule set itself. Any change to what a rule
+/// detects ships with a change to its documented contract (summary or
+/// explain text) or to the hot-path root table, so hashing those — plus
+/// the schema tag — invalidates the cache across linter upgrades.
+pub fn rules_fingerprint() -> String {
+    let mut acc = String::from(CACHE_SCHEMA);
+    for rule in Rule::ALL {
+        for part in [rule.id(), rule.waiver_key(), rule.summary(), rule.explain()] {
+            acc.push('\u{1f}');
+            acc.push_str(part);
+        }
+    }
+    for root in interproc::HOT_ROOTS {
+        acc.push('\u{1f}');
+        acc.push_str(root);
+    }
+    hash_hex(acc.as_bytes())
+}
+
+/// A cached scan result: everything needed to reconstruct the
+/// [`ScanReport`] of the run that wrote it (minus the graph dump, which
+/// only `--graph` runs build — and those bypass the cache).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CachedReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of crates scanned.
+    pub crates_scanned: usize,
+    /// Per-rule timings from the producing run (millisecond, 3 decimal
+    /// places — the precision every renderer uses).
+    pub rule_timings_ms: BTreeMap<String, f64>,
+    /// All diagnostics, in the report's deterministic order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Symbol-aware analysis statistics.
+    pub analysis: AnalysisStats,
+}
+
+impl CachedReport {
+    /// Snapshot of `report` for caching (drops the graph dump).
+    pub fn from_report(report: &ScanReport) -> CachedReport {
+        CachedReport {
+            files_scanned: report.files_scanned,
+            crates_scanned: report.crates_scanned,
+            rule_timings_ms: report.rule_timings_ms.clone(),
+            diagnostics: report.diagnostics.clone(),
+            analysis: AnalysisStats {
+                graph_dump: None,
+                ..report.analysis.clone()
+            },
+        }
+    }
+
+    /// Rebuilds the [`ScanReport`] this snapshot was taken from.
+    pub fn to_report(&self) -> ScanReport {
+        ScanReport {
+            diagnostics: self.diagnostics.clone(),
+            files_scanned: self.files_scanned,
+            crates_scanned: self.crates_scanned,
+            rule_timings_ms: self.rule_timings_ms.clone(),
+            analysis: self.analysis.clone(),
+        }
+    }
+}
+
+/// The on-disk cache: file hashes, per-file line-rule diagnostics, and
+/// the full result of the last complete scan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintCache {
+    /// [`rules_fingerprint`] of the linter that wrote the cache.
+    pub rules_hash: String,
+    /// Relative path → FNV-1a content hash (hex) for every scanned
+    /// `.rs` file *and* every crate `Cargo.toml`.
+    pub files: BTreeMap<String, String>,
+    /// Relative path → line-rule diagnostics for that file. Absence of
+    /// a hashed file here means it had none (zero is cached too).
+    pub line_diags: BTreeMap<String, Vec<Diagnostic>>,
+    /// Full result of the producing scan, for the warm fast path.
+    pub report: Option<CachedReport>,
+}
+
+impl LintCache {
+    /// Loads the cache at `path`. Any failure — missing file, malformed
+    /// JSON, wrong schema, unknown rule id — returns `None`: a cache is
+    /// an accelerator, never an error source.
+    pub fn load(path: &Path) -> Option<LintCache> {
+        let text = std::fs::read_to_string(path).ok()?;
+        LintCache::from_json(&text).ok()
+    }
+
+    /// Writes the cache best-effort; a failed write degrades the next
+    /// run to cold, nothing more.
+    pub fn store(&self, path: &Path) {
+        let _ = std::fs::write(path, self.to_json());
+    }
+
+    /// Serializes the cache as schema-tagged JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{\n  \"schema\": \"{CACHE_SCHEMA}\",");
+        let _ = writeln!(out, "  \"rules_hash\": \"{}\",", self.rules_hash);
+        out.push_str("  \"files\": {");
+        let mut first = true;
+        for (rel, hash) in &self.files {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    {}: \"{hash}\"", json_string(rel));
+        }
+        out.push_str("\n  },\n  \"line_diags\": {");
+        let mut first = true;
+        for (rel, diags) in &self.line_diags {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    {}: [", json_string(rel));
+            for (k, d) in diags.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      ");
+                write_diag(&mut out, d);
+            }
+            out.push_str("\n    ]");
+        }
+        out.push_str("\n  },\n  \"report\": ");
+        match &self.report {
+            None => out.push_str("null"),
+            Some(rep) => write_report(&mut out, rep),
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses cache JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem; callers
+    /// treat any error as "no cache".
+    pub fn from_json(text: &str) -> Result<LintCache, String> {
+        let value = parse_json(text)?;
+        let top = as_object(&value, "top level")?;
+        match get(top, "schema") {
+            Some(JsonValue::String(s)) if s == CACHE_SCHEMA => {}
+            _ => return Err("missing or wrong schema tag".into()),
+        }
+        let mut cache = LintCache::default();
+        match get(top, "rules_hash") {
+            Some(JsonValue::String(s)) => cache.rules_hash = s.clone(),
+            _ => return Err("missing rules_hash".into()),
+        }
+        for (rel, hash) in as_object(require(top, "files")?, "files")? {
+            let JsonValue::String(h) = hash else {
+                return Err(format!("files[{rel}] is not a string"));
+            };
+            cache.files.insert(rel.clone(), h.clone());
+        }
+        for (rel, diags) in as_object(require(top, "line_diags")?, "line_diags")? {
+            let JsonValue::Array(items) = diags else {
+                return Err(format!("line_diags[{rel}] is not an array"));
+            };
+            let parsed: Result<Vec<Diagnostic>, String> = items.iter().map(read_diag).collect();
+            cache.line_diags.insert(rel.clone(), parsed?);
+        }
+        cache.report = match require(top, "report")? {
+            JsonValue::Null => None,
+            v => Some(read_report(v)?),
+        };
+        Ok(cache)
+    }
+}
+
+fn write_diag(out: &mut String, d: &Diagnostic) {
+    let _ = write!(
+        out,
+        "{{\"rule\": \"{}\", \"file\": {}, \"line\": {}, \"message\": {}}}",
+        d.rule.id(),
+        json_string(&d.file),
+        d.line,
+        json_string(&d.message)
+    );
+}
+
+fn write_report(out: &mut String, rep: &CachedReport) {
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "    \"files_scanned\": {},\n    \"crates_scanned\": {},",
+        rep.files_scanned, rep.crates_scanned
+    );
+    out.push_str("    \"rule_timings_ms\": {");
+    let mut first = true;
+    for (rule, ms) in &rep.rule_timings_ms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n      {}: {ms:.3}", json_string(rule));
+    }
+    out.push_str("\n    },\n    \"diagnostics\": [");
+    for (k, d) in rep.diagnostics.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str("\n      ");
+        write_diag(out, d);
+    }
+    let a = &rep.analysis;
+    out.push_str("\n    ],\n    \"analysis\": {\n");
+    let _ = writeln!(
+        out,
+        "      \"functions\": {},\n      \"call_edges\": {},",
+        a.functions, a.call_edges
+    );
+    out.push_str("      \"hot_roots_matched\": [");
+    for (k, spec) in a.hot.roots_matched.iter().enumerate() {
+        if k > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_string(spec));
+    }
+    let _ = writeln!(
+        out,
+        "],\n      \"hot_root_fns\": {},\n      \"hot_reachable_fns\": {},\n      \
+         \"hot_indexing_sites\": {},",
+        a.hot.root_nodes, a.hot.reachable_fns, a.hot.indexing_sites
+    );
+    let f = &a.flow;
+    let _ = writeln!(
+        out,
+        "      \"alloc_sites\": {},\n      \"hot_alloc_sites\": {},\n      \
+         \"budget_fns\": {},\n      \"budget_ops_checked\": {},\n      \
+         \"f64_arith_lines\": {},\n      \"widening_ops\": {},\n      \
+         \"narrowing_casts\": {},\n      \"unit_params\": {},",
+        f.alloc_sites,
+        f.hot_alloc_sites,
+        f.budget_fns,
+        f.budget_ops_checked,
+        f.f64_arith_lines,
+        f.widening_ops,
+        f.narrowing_casts,
+        f.unit_params
+    );
+    let _ = writeln!(
+        out,
+        "      \"det_fns\": {},\n      \"det_reachable_fns\": {},\n      \
+         \"det_sources\": {},\n      \"shard_fns\": {}",
+        a.taint.det_fns, a.taint.det_reachable_fns, a.taint.det_sources, a.shard_fns
+    );
+    out.push_str("    }\n  }");
+}
+
+fn read_diag(v: &JsonValue) -> Result<Diagnostic, String> {
+    let o = as_object(v, "diagnostic")?;
+    let rule_id = read_str(o, "rule")?;
+    let rule = Rule::from_id(&rule_id).ok_or_else(|| format!("unknown rule '{rule_id}'"))?;
+    Ok(Diagnostic {
+        rule,
+        file: read_str(o, "file")?,
+        line: read_usize(o, "line")?,
+        message: read_str(o, "message")?,
+    })
+}
+
+fn read_report(v: &JsonValue) -> Result<CachedReport, String> {
+    let o = as_object(v, "report")?;
+    let mut rep = CachedReport {
+        files_scanned: read_usize(o, "files_scanned")?,
+        crates_scanned: read_usize(o, "crates_scanned")?,
+        ..CachedReport::default()
+    };
+    for (rule, ms) in as_object(require(o, "rule_timings_ms")?, "rule_timings_ms")? {
+        let JsonValue::Number(n) = ms else {
+            return Err(format!("rule_timings_ms[{rule}] is not a number"));
+        };
+        rep.rule_timings_ms.insert(rule.clone(), *n);
+    }
+    let JsonValue::Array(items) = require(o, "diagnostics")? else {
+        return Err("report.diagnostics is not an array".into());
+    };
+    rep.diagnostics = items.iter().map(read_diag).collect::<Result<_, _>>()?;
+
+    let a = as_object(require(o, "analysis")?, "analysis")?;
+    rep.analysis.functions = read_usize(a, "functions")?;
+    rep.analysis.call_edges = read_usize(a, "call_edges")?;
+    let JsonValue::Array(roots) = require(a, "hot_roots_matched")? else {
+        return Err("hot_roots_matched is not an array".into());
+    };
+    for spec in roots {
+        let JsonValue::String(s) = spec else {
+            return Err("hot_roots_matched entry is not a string".into());
+        };
+        rep.analysis.hot.roots_matched.push(s.clone());
+    }
+    rep.analysis.hot.root_nodes = read_usize(a, "hot_root_fns")?;
+    rep.analysis.hot.reachable_fns = read_usize(a, "hot_reachable_fns")?;
+    rep.analysis.hot.indexing_sites = read_usize(a, "hot_indexing_sites")?;
+    rep.analysis.flow.alloc_sites = read_usize(a, "alloc_sites")?;
+    rep.analysis.flow.hot_alloc_sites = read_usize(a, "hot_alloc_sites")?;
+    rep.analysis.flow.budget_fns = read_usize(a, "budget_fns")?;
+    rep.analysis.flow.budget_ops_checked = read_usize(a, "budget_ops_checked")?;
+    rep.analysis.flow.f64_arith_lines = read_usize(a, "f64_arith_lines")?;
+    rep.analysis.flow.widening_ops = read_usize(a, "widening_ops")?;
+    rep.analysis.flow.narrowing_casts = read_usize(a, "narrowing_casts")?;
+    rep.analysis.flow.unit_params = read_usize(a, "unit_params")?;
+    rep.analysis.taint.det_fns = read_usize(a, "det_fns")?;
+    rep.analysis.taint.det_reachable_fns = read_usize(a, "det_reachable_fns")?;
+    rep.analysis.taint.det_sources = read_usize(a, "det_sources")?;
+    rep.analysis.shard_fns = read_usize(a, "shard_fns")?;
+    Ok(rep)
+}
+
+fn as_object<'a>(v: &'a JsonValue, what: &str) -> Result<&'a [(String, JsonValue)], String> {
+    match v {
+        JsonValue::Object(entries) => Ok(entries),
+        _ => Err(format!("{what} is not an object")),
+    }
+}
+
+fn get<'a>(o: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    o.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn require<'a>(o: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
+    get(o, key).ok_or_else(|| format!("missing '{key}'"))
+}
+
+fn read_str(o: &[(String, JsonValue)], key: &str) -> Result<String, String> {
+    match require(o, key)? {
+        JsonValue::String(s) => Ok(s.clone()),
+        _ => Err(format!("'{key}' is not a string")),
+    }
+}
+
+fn read_usize(o: &[(String, JsonValue)], key: &str) -> Result<usize, String> {
+    match require(o, key)? {
+        JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 => {
+            Ok(*n as usize) // lint:allow(as-cast): checked non-negative integer from JSON
+        }
+        _ => Err(format!("'{key}' is not a non-negative integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+        assert_eq!(hash_hex(b"foobar"), "85944171f73967e8");
+    }
+
+    #[test]
+    fn cache_round_trips() {
+        let mut cache = LintCache {
+            rules_hash: rules_fingerprint(),
+            ..LintCache::default()
+        };
+        cache
+            .files
+            .insert("crates/phy/src/rx.rs".into(), hash_hex(b"fn main() {}"));
+        cache
+            .files
+            .insert("crates/phy/Cargo.toml".into(), hash_hex(b"[package]"));
+        let diag = Diagnostic {
+            rule: Rule::L004,
+            file: "crates/phy/src/rx.rs".into(),
+            line: 12,
+            message: "numeric `as` cast: `x as u8` — \"quoted\"".into(),
+        };
+        cache
+            .line_diags
+            .insert("crates/phy/src/rx.rs".into(), vec![diag.clone()]);
+        let mut rep = CachedReport {
+            files_scanned: 2,
+            crates_scanned: 1,
+            diagnostics: vec![diag],
+            ..CachedReport::default()
+        };
+        rep.rule_timings_ms.insert("L004".into(), 1.25);
+        rep.analysis.functions = 7;
+        rep.analysis
+            .hot
+            .roots_matched
+            .push("carpool_phy::rx".into());
+        rep.analysis.taint.det_sources = 2;
+        rep.analysis.shard_fns = 3;
+        cache.report = Some(rep);
+
+        let parsed = LintCache::from_json(&cache.to_json()).expect("round trip");
+        assert_eq!(parsed, cache);
+    }
+
+    #[test]
+    fn wrong_schema_and_unknown_rule_are_rejected() {
+        assert!(LintCache::from_json("{\"schema\": \"other/v1\"}").is_err());
+        let text = "{\"schema\": \"carpool-lint-cache/v1\", \"rules_hash\": \"x\", \
+                    \"files\": {}, \"line_diags\": {\"a.rs\": [{\"rule\": \"L099\", \
+                    \"file\": \"a.rs\", \"line\": 1, \"message\": \"m\"}]}, \"report\": null}";
+        assert!(LintCache::from_json(text).is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_within_a_build() {
+        assert_eq!(rules_fingerprint(), rules_fingerprint());
+        assert_eq!(rules_fingerprint().len(), 16);
+    }
+}

@@ -225,10 +225,12 @@ impl CallGraph {
         path.into_iter().flatten().collect()
     }
 
-    /// Deterministic text dump of every edge (`--graph`).
+    /// Deterministic text dump of every edge (`--graph`). Edges are
+    /// emitted sorted by (caller name, callee name, file, line) — not
+    /// node index, which depends on file discovery order — so the dump
+    /// is stable across scan strategies and diffs cleanly.
     pub fn render(&self, files: &[FileRecord]) -> String {
-        let mut out = String::new();
-        out.push_str("# carpool-lint call graph (caller -> callee @ file:line)\n");
+        let mut rows: Vec<(&str, &str, &str, usize)> = Vec::with_capacity(self.edge_count());
         for (&caller, callees) in &self.edges {
             for (&callee, &line) in callees {
                 let from = self.nodes.get(caller).map_or("?", |n| n.qualified.as_str());
@@ -238,15 +240,21 @@ impl CallGraph {
                     .get(caller)
                     .and_then(|n| files.get(n.file))
                     .map_or("?", |f| f.path.as_str());
-                out.push_str(from);
-                out.push_str(" -> ");
-                out.push_str(to);
-                out.push_str("  @ ");
-                out.push_str(file);
-                out.push(':');
-                out.push_str(&line.to_string());
-                out.push('\n');
+                rows.push((from, to, file, line));
             }
+        }
+        rows.sort_unstable();
+        let mut out = String::new();
+        out.push_str("# carpool-lint call graph (caller -> callee @ file:line)\n");
+        for (from, to, file, line) in rows {
+            out.push_str(from);
+            out.push_str(" -> ");
+            out.push_str(to);
+            out.push_str("  @ ");
+            out.push_str(file);
+            out.push(':');
+            out.push_str(&line.to_string());
+            out.push('\n');
         }
         out
     }

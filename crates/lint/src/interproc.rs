@@ -46,7 +46,7 @@ pub const HOT_ROOTS: [&str; 23] = [
 ];
 
 /// Call-graph statistics surfaced in reports.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HotPathStats {
     /// Root specs that matched at least one fn, in [`HOT_ROOTS`] order.
     pub roots_matched: Vec<String>,
@@ -272,7 +272,7 @@ pub fn check_l010(files: &[FileRecord]) -> Vec<Diagnostic> {
 }
 
 /// Flow-aware analysis statistics surfaced in reports.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlowStats {
     /// Allocation effects across all non-test library code.
     pub alloc_sites: usize,
@@ -676,6 +676,148 @@ fn unit_mismatched_args(
         i = end;
     }
     out
+}
+
+/// Tokens that discharge the scratch-overwrite obligation: the body
+/// either explicitly resets its scratch or hands it to a `*_into`
+/// writer (the workspace idiom for "fully overwrites the destination").
+const SCRATCH_RESET_TOKENS: [&str; 5] = [
+    ".clear(",
+    "mem::take",
+    ".fill(",
+    "copy_from_slice",
+    "_into(",
+];
+
+/// L015 shard-protocol discipline: structural obligations on worker
+/// pools and sharded exchanges, checked per non-test `src/` fn.
+/// Returns the diagnostics plus the number of fns that triggered at
+/// least one obligation.
+///
+/// 1. *absorb-order*: a fn in shard/mailbox context must not iterate
+///    with `.rev()` — absorbing source shards in descending order
+///    inverts the merge across thread counts.
+/// 2. *barrier-tag*: a fn that waits on a barrier and catches unwinds
+///    must tag the failing epoch with `fetch_min`.
+/// 3. *index-keyed*: a `thread::scope` pool must not publish results in
+///    arrival order (`.lock()` + `.push(` on one line); results belong
+///    in index-keyed slots.
+/// 4. *scratch-overwrite*: a `*_with_scratch` fn (or one taking a
+///    `scratch` parameter) must fully overwrite its scratch so results
+///    are history-independent. Setup fns (`new`/`with_*`/`from_*`) that
+///    merely store the scratch are exempt.
+pub fn check_l015(files: &[FileRecord]) -> (Vec<Diagnostic>, usize) {
+    let mut diags = Vec::new();
+    let mut fns_checked = 0usize;
+    for file in files {
+        if !matches!(file.section, Section::Src) {
+            continue;
+        }
+        for item in &file.items.fns {
+            if item.in_test || item.body_start == 0 {
+                continue;
+            }
+            let body: Vec<&crate::scanner::SourceLine> = file
+                .lines
+                .iter()
+                .filter(|l| l.number >= item.decl_line && l.number <= item.body_end && !l.in_test)
+                .collect();
+            let has = |token: &str| body.iter().any(|l| l.code.contains(token));
+
+            let shard_context = item.name.contains("shard")
+                || item.name.contains("mailbox")
+                || body
+                    .iter()
+                    .any(|l| l.code.contains("mailbox") || l.code.contains("shard"));
+            let barrier_fn = has(".wait()") && has("catch_unwind");
+            let pool_fn = has("thread::scope");
+            let scratch_fn = !dataflow::is_setup_fn(&item.name)
+                && (item.name.contains("_with_scratch")
+                    || dataflow::param_names(file, item)
+                        .iter()
+                        .any(|group| group.iter().any(|n| n == "scratch")));
+            if shard_context || barrier_fn || pool_fn || scratch_fn {
+                fns_checked += 1;
+            }
+
+            let mut push = |line: usize, message: String| {
+                let idx = line.saturating_sub(1);
+                if !line_waived(&file.lines, idx, Rule::L015.waiver_key()) {
+                    diags.push(Diagnostic {
+                        rule: Rule::L015,
+                        file: file.path.clone(),
+                        line,
+                        message,
+                    });
+                }
+            };
+
+            if shard_context {
+                for l in &body {
+                    if l.code.contains(".rev()") {
+                        push(
+                            l.number,
+                            format!(
+                                "`.rev()` in shard/mailbox context (fn `{}`): absorbs \
+                                 must iterate source shards in ascending index order \
+                                 or the merge inverts across thread counts; iterate \
+                                 forward or waive with \
+                                 `// lint:allow(shard-protocol): <why order-free>` \
+                                 [absorb-order]",
+                                item.name
+                            ),
+                        );
+                    }
+                }
+            }
+            if barrier_fn && !has("fetch_min") {
+                push(
+                    item.decl_line,
+                    format!(
+                        "fn `{}` waits on a barrier and catches unwinds but never \
+                         tags the failing epoch with `fetch_min`; without the tag \
+                         the earliest failure is lost and recovery is \
+                         schedule-dependent — add a `fetch_min` panic tag or waive \
+                         with `// lint:allow(shard-protocol): <why>` [barrier-tag]",
+                        item.name
+                    ),
+                );
+            }
+            if pool_fn {
+                for l in &body {
+                    if l.code.contains(".lock()") && l.code.contains(".push(") {
+                        push(
+                            l.number,
+                            format!(
+                                "fn `{}` publishes worker results in arrival order \
+                                 (`.lock()` + `.push(` on one line); key results by \
+                                 item index before reduction so output is \
+                                 schedule-independent, or waive with \
+                                 `// lint:allow(shard-protocol): <why ordered>` \
+                                 [index-keyed]",
+                                item.name
+                            ),
+                        );
+                    }
+                }
+            }
+            if scratch_fn && !SCRATCH_RESET_TOKENS.iter().any(|t| has(t)) {
+                push(
+                    item.decl_line,
+                    format!(
+                        "fn `{}` takes a scratch buffer but never overwrites it \
+                         (no `.clear(`/`mem::take`/`.fill(`/`copy_from_slice`/\
+                         `*_into(`); stale contents make results depend on call \
+                         history — reset the scratch or waive with \
+                         `// lint:allow(shard-protocol): <why fully written>` \
+                         [scratch-overwrite]",
+                        item.name
+                    ),
+                );
+            }
+        }
+    }
+    (diags, fns_checked)
 }
 
 /// Collects word-bounded ASCII identifiers into `set`.

@@ -472,7 +472,10 @@ impl Parser {
                 }
                 i
             }
-            "impl" => {
+            // `impl` inside a fn signature is `impl Trait` in argument
+            // or return position, not a block header — starting a ctx
+            // there would swallow the fn body brace.
+            "impl" if self.pending_fn.is_none() => {
                 self.pending_ctx = Some(PendingCtx {
                     text: String::new(),
                     is_trait: false,
@@ -1002,6 +1005,40 @@ fn outer() {
         // `leaf()` belongs to inner, `inner()` to outer.
         assert!(inner.is_some_and(|f| f.calls.iter().any(|c| c.segments == ["leaf"])));
         assert!(outer.is_some_and(|f| f.calls.iter().any(|c| c.segments == ["inner"])));
+    }
+
+    #[test]
+    fn impl_trait_in_signature_is_not_a_block_header() {
+        // `impl FnOnce` in argument/return position must not open an
+        // impl ctx — that used to swallow the body brace and make the
+        // fn (and its calls) invisible to every interprocedural rule.
+        let src = "\
+struct S;
+impl S {
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        helper();
+        f()
+    }
+    fn after(&self) -> impl Iterator<Item = u8> {
+        leaf();
+        std::iter::empty()
+    }
+}
+";
+        let items = parse(src);
+        let time = items.fns.iter().find(|f| f.name == "time");
+        assert!(
+            time.is_some_and(|f| f.body_start == 3 && f.body_end == 6),
+            "impl-Trait arg swallowed the body: {time:?}"
+        );
+        assert!(time.is_some_and(|f| f.self_ty.as_deref() == Some("S")));
+        assert!(time.is_some_and(|f| f.calls.iter().any(|c| c.segments == ["helper"])));
+        let after = items.fns.iter().find(|f| f.name == "after");
+        assert!(
+            after.is_some_and(|f| f.body_start == 7 && f.body_end == 10),
+            "impl-Trait return swallowed the body: {after:?}"
+        );
+        assert!(after.is_some_and(|f| f.calls.iter().any(|c| c.segments == ["leaf"])));
     }
 
     #[test]

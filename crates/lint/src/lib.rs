@@ -22,16 +22,28 @@
 //! | L011 | no allocation reachable from the hot-path roots |
 //! | L012 | `lint:budget(i32: ±N)` fns provably cannot wrap i32 |
 //! | L013 | no arithmetic/calls mixing unit suffixes (`_s`, `_db`, …) |
+//! | L014 | no nondeterminism source reaches byte-identical outputs |
+//! | L015 | shard-protocol discipline in worker pools and scratch fns |
 //!
 //! L001–L006 and L009 are line rules over the comment/string-aware
-//! scanner; L007, L008 and L010–L013 are interprocedural: [`items`]
+//! scanner; L007, L008 and L010–L015 are interprocedural: [`items`]
 //! parses `fn`/`impl`/`use` items per file, [`callgraph`] resolves
 //! calls into a cross-crate graph, and [`interproc`] walks it. L011,
 //! L012 and L013 are additionally *flow-aware*: [`dataflow`] classifies
 //! statement effects and runs an interval abstract interpretation over
-//! the [`ranges`] lattice. `--explain <rule>` prints the full rationale
-//! for any rule; `--graph` dumps the call graph; `--sarif <path>`
-//! exports SARIF 2.1.0 for CI and editors.
+//! the [`ranges`] lattice. L014 is a determinism-*taint* pass
+//! ([`taint`]): it marks nondeterminism sources and walks the call
+//! graph to prove none is reachable from the byte-identical crates.
+//! L015 checks the shard-protocol obligations of `carpool-par`'s
+//! history-independence contract structurally. `--explain <rule>`
+//! prints the full rationale for any rule; `--graph` dumps the call
+//! graph; `--sarif <path>` exports SARIF 2.1.0 for CI and editors.
+//!
+//! The driver is incremental and parallel: file reading and parsing fan
+//! through `carpool-par::par_map_indexed`, and a schema-versioned
+//! content-hash cache ([`cache`], `.lint-cache.json`) replays unchanged
+//! results so warm runs stay sub-second — byte-identical to a cold
+//! `--no-cache` run by construction.
 //!
 //! Existing violations are recorded in a checked-in
 //! `lint-baseline.json` ratchet: new violations fail the gate, and
@@ -44,6 +56,7 @@
 //! analyzer error.
 
 pub mod baseline;
+pub mod cache;
 pub mod callgraph;
 pub mod dataflow;
 pub mod interproc;
@@ -53,6 +66,7 @@ pub mod ranges;
 pub mod rules;
 pub mod sarif;
 pub mod scanner;
+pub mod taint;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -108,7 +122,7 @@ pub struct AnalysisOptions {
 }
 
 /// Call-graph statistics from the symbol-aware pass.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AnalysisStats {
     /// Functions parsed across the workspace.
     pub functions: usize,
@@ -118,6 +132,10 @@ pub struct AnalysisStats {
     pub hot: HotPathStats,
     /// Flow-aware effect/interval statistics (L011–L013).
     pub flow: interproc::FlowStats,
+    /// Determinism-taint statistics (L014).
+    pub taint: taint::TaintStats,
+    /// Functions checked against the shard-protocol obligations (L015).
+    pub shard_fns: usize,
     /// Deterministic text dump of the graph, when requested.
     pub graph_dump: Option<String>,
 }
@@ -176,9 +194,63 @@ pub fn scan_workspace(root: &Path) -> Result<ScanReport, LintError> {
 /// Returns [`LintError`] when `root` is not the workspace or a source
 /// file cannot be read.
 pub fn scan_workspace_opts(root: &Path, aopts: &AnalysisOptions) -> Result<ScanReport, LintError> {
+    Ok(scan_workspace_cached(root, aopts, None, false)?.report)
+}
+
+/// [`ScanReport`] plus how much of it the cache supplied.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// The scan result (identical whichever path produced it).
+    pub report: ScanReport,
+    /// The whole report was reconstructed from the cache without
+    /// parsing (warm fast path).
+    pub warm: bool,
+    /// Source files whose line-rule diagnostics were replayed from the
+    /// cache instead of rescanned.
+    pub reused_files: usize,
+}
+
+/// A file queued for the parallel read/parse stages.
+struct PendingFile {
+    path: PathBuf,
+    rel: String,
+    crate_name: String,
+    manifest_rel: String,
+    section: Section,
+    class: rules::CrateClass,
+    is_root: bool,
+}
+
+/// [`scan_workspace_opts`] with the incremental cache: `cache_path`
+/// names the cache file (usually [`cache::CACHE_FILE`] under `root`;
+/// `None` disables caching entirely), `read_cache` permits reuse of an
+/// existing cache (`--no-cache` passes `false` to force a cold scan
+/// that still rewrites the cache).
+///
+/// Cached or not, the returned report is identical: reuse is keyed on
+/// the rule-set fingerprint and per-file content hashes, and
+/// `--strict-indexing`/`--graph` runs bypass the cache in both
+/// directions (their output is mode-dependent).
+///
+/// # Errors
+///
+/// Returns [`LintError`] when `root` is not the workspace or a source
+/// file cannot be read.
+pub fn scan_workspace_cached(
+    root: &Path,
+    aopts: &AnalysisOptions,
+    cache_path: Option<&Path>,
+    read_cache: bool,
+) -> Result<ScanOutcome, LintError> {
     if !root.join("Cargo.toml").is_file() || !root.join("crates").is_dir() {
         return Err(LintError::NotAWorkspace(root.to_path_buf()));
     }
+    let cache_path = cache_path.filter(|_| !aopts.strict_indexing && !aopts.collect_graph);
+    let cache = cache_path
+        .filter(|_| read_cache)
+        .and_then(cache::LintCache::load)
+        .filter(|c| c.rules_hash == cache::rules_fingerprint());
+
     let mut report = ScanReport::default();
 
     let mut crate_dirs: Vec<PathBuf> = vec![root.to_path_buf()];
@@ -186,22 +258,28 @@ pub fn scan_workspace_opts(root: &Path, aopts: &AnalysisOptions) -> Result<ScanR
     entries.retain(|p| p.join("Cargo.toml").is_file());
     crate_dirs.extend(entries);
 
-    // Parse every file once; line rules run over src records only,
-    // while the call graph and reference corpus span all sections.
-    let mut records: Vec<FileRecord> = Vec::new();
-    let mut is_root_flags: Vec<bool> = Vec::new();
-    let mut manifest_diags: Vec<Diagnostic> = Vec::new();
+    // Stage 1 (serial): manifests — classification, layering (L003),
+    // and the worklist of source files. Manifest hashes join the file
+    // map so a manifest edit invalidates its crate.
     let t_manifest = Instant::now();
+    let mut manifest_diags: Vec<Diagnostic> = Vec::new();
+    let mut pending: Vec<PendingFile> = Vec::new();
+    let mut file_hashes: BTreeMap<String, String> = BTreeMap::new();
     for dir in &crate_dirs {
         let manifest_path = dir.join("Cargo.toml");
         let manifest_text = read_file(&manifest_path)?;
+        let manifest_rel = relative(root, &manifest_path);
+        file_hashes.insert(
+            manifest_rel.clone(),
+            cache::hash_hex(manifest_text.as_bytes()),
+        );
         let manifest = manifest::parse_manifest(&manifest_text);
         let class = rules::classify(&manifest.name);
         report.crates_scanned += 1;
 
         manifest_diags.extend(rules::check_manifest_layering(
             class,
-            &relative(root, &manifest_path),
+            &manifest_rel,
             &manifest.dependencies,
         ));
 
@@ -221,42 +299,127 @@ pub fn scan_workspace_opts(root: &Path, aopts: &AnalysisOptions) -> Result<ScanR
                 _ => None,
             };
             for file in rs_files_under(&section_dir)? {
-                let text = read_file(&file)?;
                 let rel = relative(root, &file);
-                records.push(FileRecord::parse(
-                    &rel,
-                    &manifest.name,
+                pending.push(PendingFile {
+                    is_root: Some(file.as_path()) == crate_root_file.as_deref(),
+                    path: file,
+                    rel,
+                    crate_name: manifest.name.clone(),
+                    manifest_rel: manifest_rel.clone(),
                     section,
                     class,
-                    &text,
-                ));
-                is_root_flags.push(Some(file.as_path()) == crate_root_file.as_deref());
+                });
                 report.files_scanned += 1;
             }
         }
     }
+
+    // Stage 2 (parallel): read + hash every file, fanned through
+    // carpool-par. Index-keyed results keep everything downstream
+    // byte-identical at any thread count.
+    let read = carpool_par::par_map_indexed(&pending, |_, p| {
+        std::fs::read_to_string(&p.path)
+            .map(|text| {
+                let hash = cache::hash_hex(text.as_bytes());
+                (text, hash)
+            })
+            .map_err(|e| (p.path.clone(), e))
+    })
+    // lint:allow(panic): a worker panic is a linter bug; run() catches it and reports exit 2
+    .unwrap_or_else(|e| panic!("parallel file read failed: {e}"));
+    let mut texts: Vec<String> = Vec::with_capacity(read.len());
+    for (p, item) in pending.iter().zip(read) {
+        let (text, hash) = item.map_err(|(path, e)| LintError::Io(path, e))?;
+        file_hashes.insert(p.rel.clone(), hash);
+        texts.push(text);
+    }
     let manifest_ms = t_manifest.elapsed().as_secs_f64() * 1e3;
 
-    // Line rules, timed per rule. Manifest layering is part of L003.
+    // Warm fast path: same rule set, same bytes — the cached report is
+    // the report. No parsing, no analysis.
+    if let Some(c) = &cache {
+        if c.files == file_hashes {
+            if let Some(cached) = &c.report {
+                return Ok(ScanOutcome {
+                    report: cached.to_report(),
+                    warm: true,
+                    reused_files: pending.len(),
+                });
+            }
+        }
+    }
+
+    // Stage 3 (parallel): parse changed and unchanged files alike (the
+    // call graph is a whole-workspace artifact).
+    let inputs: Vec<(&PendingFile, &str)> = pending
+        .iter()
+        .zip(texts.iter().map(String::as_str))
+        .collect();
+    let records: Vec<FileRecord> = carpool_par::par_map_indexed(&inputs, |_, (p, text)| {
+        FileRecord::parse(&p.rel, &p.crate_name, p.section, p.class, text)
+    })
+    // lint:allow(panic): a worker panic is a linter bug; run() catches it and reports exit 2
+    .unwrap_or_else(|e| panic!("parallel parse failed: {e}"));
+
+    // A file's line-rule results can be replayed only when both its
+    // bytes and its crate's manifest (the classification source) are
+    // unchanged.
+    let reusable: Vec<bool> = pending
+        .iter()
+        .map(|p| {
+            cache.as_ref().is_some_and(|c| {
+                c.files.get(&p.rel) == file_hashes.get(&p.rel)
+                    && c.files.get(&p.manifest_rel) == file_hashes.get(&p.manifest_rel)
+            })
+        })
+        .collect();
+
+    // Line rules, timed per rule, over changed src files only; cached
+    // diagnostics replay for the rest. Manifest layering is part of
+    // L003. Grouping per file keeps tie order identical to a cold scan
+    // (the final sort is stable and keys on file first).
+    let mut line_diags_by_file: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    let mut reused_files = 0usize;
+    for (idx, rec) in records.iter().enumerate() {
+        if matches!(rec.section, Section::Src) && reusable[idx] {
+            reused_files += 1;
+            if let Some(diags) = cache.as_ref().and_then(|c| c.line_diags.get(&rec.path)) {
+                line_diags_by_file.insert(rec.path.clone(), diags.clone());
+            }
+        }
+    }
     for rule in Rule::ALL {
         if matches!(
             rule,
-            Rule::L007 | Rule::L008 | Rule::L010 | Rule::L011 | Rule::L012 | Rule::L013
+            Rule::L007
+                | Rule::L008
+                | Rule::L010
+                | Rule::L011
+                | Rule::L012
+                | Rule::L013
+                | Rule::L014
+                | Rule::L015
         ) {
             continue;
         }
         let t = Instant::now();
         for (idx, rec) in records.iter().enumerate() {
-            if !matches!(rec.section, Section::Src) {
+            if !matches!(rec.section, Section::Src) || reusable[idx] {
                 continue;
             }
-            report.diagnostics.extend(rules::check_line_rule(
+            let diags = rules::check_line_rule(
                 rule,
                 rec.class,
-                is_root_flags[idx],
+                pending[idx].is_root,
                 &rec.path,
                 &rec.lines,
-            ));
+            );
+            if !diags.is_empty() {
+                line_diags_by_file
+                    .entry(rec.path.clone())
+                    .or_default()
+                    .extend(diags);
+            }
         }
         let mut ms = t.elapsed().as_secs_f64() * 1e3;
         if rule == Rule::L003 {
@@ -264,6 +427,9 @@ pub fn scan_workspace_opts(root: &Path, aopts: &AnalysisOptions) -> Result<ScanR
             ms += manifest_ms;
         }
         report.rule_timings_ms.insert(rule.id().to_string(), ms);
+    }
+    for diags in line_diags_by_file.values() {
+        report.diagnostics.extend(diags.iter().cloned());
     }
 
     // Interprocedural pass: graph construction, then L007/L008/L010.
@@ -327,6 +493,25 @@ pub fn scan_workspace_opts(root: &Path, aopts: &AnalysisOptions) -> Result<ScanR
         .rule_timings_ms
         .insert(Rule::L013.id().to_string(), t.elapsed().as_secs_f64() * 1e3);
 
+    // Determinism-taint pass: nondeterminism sources vs the
+    // byte-identical crates' reachability cone.
+    let t = Instant::now();
+    let (d14, taint_stats) = taint::check_l014(&records, &graph);
+    report.diagnostics.extend(d14);
+    report.analysis.taint = taint_stats;
+    report
+        .rule_timings_ms
+        .insert(Rule::L014.id().to_string(), t.elapsed().as_secs_f64() * 1e3);
+
+    // Shard-protocol discipline over the worker-pool obligations.
+    let t = Instant::now();
+    let (d15, shard_fns) = interproc::check_l015(&records);
+    report.diagnostics.extend(d15);
+    report.analysis.shard_fns = shard_fns;
+    report
+        .rule_timings_ms
+        .insert(Rule::L015.id().to_string(), t.elapsed().as_secs_f64() * 1e3);
+
     if aopts.collect_graph {
         report.analysis.graph_dump = Some(graph.render(&records));
     }
@@ -334,7 +519,24 @@ pub fn scan_workspace_opts(root: &Path, aopts: &AnalysisOptions) -> Result<ScanR
     report
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
+
+    // Refresh the cache best-effort: current hashes, per-file line-rule
+    // results (fresh and replayed alike), and the full report for the
+    // next run's fast path.
+    if let Some(path) = cache_path {
+        cache::LintCache {
+            rules_hash: cache::rules_fingerprint(),
+            files: file_hashes,
+            line_diags: line_diags_by_file,
+            report: Some(cache::CachedReport::from_report(&report)),
+        }
+        .store(path);
+    }
+    Ok(ScanOutcome {
+        report,
+        warm: false,
+        reused_files,
+    })
 }
 
 /// The crate root file under `src/` (`lib.rs`, else `main.rs`).
@@ -493,7 +695,7 @@ pub fn render_json(
         "    \"flow\": {{\n      \"alloc_sites\": {},\n      \"hot_alloc_sites\": {},\n      \
          \"budget_fns\": {},\n      \"budget_ops_checked\": {},\n      \
          \"f64_arith_lines\": {},\n      \"widening_ops\": {},\n      \
-         \"narrowing_casts\": {},\n      \"unit_params\": {}\n    }}",
+         \"narrowing_casts\": {},\n      \"unit_params\": {}\n    }},",
         flow.alloc_sites,
         flow.hot_alloc_sites,
         flow.budget_fns,
@@ -502,6 +704,13 @@ pub fn render_json(
         flow.widening_ops,
         flow.narrowing_casts,
         flow.unit_params
+    );
+    let taint = &report.analysis.taint;
+    let _ = writeln!(
+        out,
+        "    \"taint\": {{\n      \"det_fns\": {},\n      \"det_reachable_fns\": {},\n      \
+         \"det_sources\": {}\n    }},\n    \"shard_fns\": {}",
+        taint.det_fns, taint.det_reachable_fns, taint.det_sources, report.analysis.shard_fns
     );
     out.push_str("  },\n");
     let _ = writeln!(out, "  \"elapsed_ms\": {:.3},", meta.elapsed_ms);
@@ -612,6 +821,13 @@ pub fn render_human(
         flow.budget_ops_checked,
         flow.unit_params
     );
+    let taint = &report.analysis.taint;
+    let _ = writeln!(
+        out,
+        "  taint: {} det-crate fns, {} fns in their cone, {} nondeterminism sources; \
+         shard protocol: {} fns checked",
+        taint.det_fns, taint.det_reachable_fns, taint.det_sources, report.analysis.shard_fns
+    );
     if meta.over_budget() {
         let _ = writeln!(
             out,
@@ -662,12 +878,15 @@ pub struct LintOptions {
     pub strict_indexing: bool,
     /// Also write a SARIF 2.1.0 report to this path.
     pub sarif: Option<PathBuf>,
+    /// Ignore the incremental cache (force a cold scan; the cache is
+    /// still rewritten afterwards).
+    pub no_cache: bool,
 }
 
 impl LintOptions {
     /// Parses `--json`, `--write-baseline`, `--force`, `--root <dir>`,
     /// `--explain <rule>`, `--graph`, `--budget-ms <n>`,
-    /// `--strict-indexing`, `--sarif <path>`.
+    /// `--strict-indexing`, `--sarif <path>`, `--no-cache`.
     ///
     /// # Errors
     ///
@@ -682,6 +901,7 @@ impl LintOptions {
                 "--force" => opts.force = true,
                 "--graph" => opts.graph = true,
                 "--strict-indexing" => opts.strict_indexing = true,
+                "--no-cache" => opts.no_cache = true,
                 "--root" => {
                     let dir = iter.next().ok_or("--root needs a directory")?;
                     opts.root = Some(PathBuf::from(dir));
@@ -706,7 +926,7 @@ impl LintOptions {
                         "unknown lint option '{other}' \
                          (expected --json, --write-baseline, --force, --root <dir>, \
                          --explain <rule>, --graph, --budget-ms <n>, --strict-indexing, \
-                         --sarif <path>)"
+                         --sarif <path>, --no-cache)"
                     ));
                 }
             }
@@ -752,7 +972,7 @@ pub fn run(opts: &LintOptions) -> i32 {
                 0
             }
             None => {
-                eprintln!("carpool-lint: unknown rule '{id}' (expected L001..L013)");
+                eprintln!("carpool-lint: unknown rule '{id}' (expected L001..L015)");
                 2
             }
         };
@@ -767,11 +987,12 @@ pub fn run(opts: &LintOptions) -> i32 {
         strict_indexing: opts.strict_indexing,
         collect_graph: opts.graph,
     };
+    let cache_file = root.join(cache::CACHE_FILE);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        scan_workspace_opts(&root, &aopts)
+        scan_workspace_cached(&root, &aopts, Some(&cache_file), !opts.no_cache)
     }));
     let report = match outcome {
-        Ok(Ok(r)) => r,
+        Ok(Ok(o)) => o.report,
         Ok(Err(e)) => {
             eprintln!("carpool-lint: {e}");
             return 2;

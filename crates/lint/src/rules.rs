@@ -49,11 +49,21 @@ pub enum Rule {
     /// differently-suffixed quantities (`_s`/`_us`/`_db`/...), and
     /// call arguments must match parameter unit suffixes.
     L013,
+    /// Determinism taint: a nondeterminism source (hash iteration,
+    /// clock read, thread identity, pointer address, unordered parallel
+    /// float reduction) whose value can reach the outputs of a
+    /// byte-identical crate (interprocedural, flow-aware).
+    L014,
+    /// Shard-protocol discipline: structural obligations on worker
+    /// pools and sharded exchanges (ascending mailbox absorb, barrier
+    /// epochs paired with a panic tag, index-keyed results, scratch
+    /// history-independence).
+    L015,
 }
 
 impl Rule {
     /// All rules, in order.
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 15] = [
         Rule::L001,
         Rule::L002,
         Rule::L003,
@@ -67,6 +77,8 @@ impl Rule {
         Rule::L011,
         Rule::L012,
         Rule::L013,
+        Rule::L014,
+        Rule::L015,
     ];
 
     /// Stable identifier, e.g. `"L001"`.
@@ -85,6 +97,8 @@ impl Rule {
             Rule::L011 => "L011",
             Rule::L012 => "L012",
             Rule::L013 => "L013",
+            Rule::L014 => "L014",
+            Rule::L015 => "L015",
         }
     }
 
@@ -115,6 +129,8 @@ impl Rule {
             Rule::L011 => "hot-alloc",
             Rule::L012 => "scaling-budget",
             Rule::L013 => "unit-mix",
+            Rule::L014 => "det",
+            Rule::L015 => "shard-protocol",
         }
     }
 
@@ -134,6 +150,8 @@ impl Rule {
             Rule::L011 => "allocation reachable from a hot-path root",
             Rule::L012 => "unprovable or wrapping i32 op under a declared scaling budget",
             Rule::L013 => "arithmetic or call mixing different units of measure",
+            Rule::L014 => "nondeterminism source reaching a byte-identical crate's outputs",
+            Rule::L015 => "shard-protocol violation in a worker pool or sharded exchange",
         }
     }
 
@@ -275,6 +293,46 @@ impl Rule {
                  convert units). Passing an argument whose suffix disagrees with\n\
                  the parameter name in the callee's signature is flagged too.\n\n\
                  Waive with `// lint:allow(unit-mix): <why the units agree>`."
+            }
+            Rule::L014 => {
+                "L014 · determinism taint (interprocedural)\n\n\
+                 The workspace contract is byte-identical figures and traces at\n\
+                 any thread or shard count. This pass marks nondeterminism\n\
+                 sources — iteration over `HashMap`/`HashSet`/`RandomState`\n\
+                 containers (including iteration over an identifier previously\n\
+                 bound to one, which L008's token scan misses), `Instant::now`\n\
+                 and `SystemTime` clock reads, `thread::current` identity,\n\
+                 pointer-to-address casts, and float accumulation under a lock\n\
+                 in thread-spawning functions — and walks the call graph\n\
+                 caller-ward: a source is flagged when its containing function\n\
+                 lives in, or is transitively called from, a crate whose\n\
+                 outputs must be byte-identical (`ordered_iteration` class).\n\
+                 The diagnostic prints the call chain that connects the source\n\
+                 to the deterministic crate.\n\n\
+                 Waive with `// lint:allow(det): <why the value never reaches\n\
+                 deterministic output>` — e.g. profiling-only span timers whose\n\
+                 durations are reported out-of-band."
+            }
+            Rule::L015 => {
+                "L015 · shard-protocol discipline (structural)\n\n\
+                 The sharded exchange in `carpool-par` keeps results\n\
+                 deterministic only if every implementation honors four\n\
+                 obligations, which this rule checks structurally:\n\n\
+                 1. absorb-order: mailbox/shard-result absorption must iterate\n\
+                    source shards in ascending index order — a `.rev()` over a\n\
+                    mailbox read inverts merge order across thread counts.\n\
+                 2. barrier-tag: a function that `.wait()`s on a barrier and\n\
+                    catches unwinds must tag the failing epoch with\n\
+                    `fetch_min`, so the earliest failure wins deterministically.\n\
+                 3. index-keyed: a `thread::scope` worker pool must not publish\n\
+                    results by arrival order (`.lock()` + `.push(..)` on one\n\
+                    line); results go into index-keyed slots before reduction.\n\
+                 4. scratch-overwrite: a `*_with_scratch` function (or any fn\n\
+                    taking a `scratch` parameter) must fully overwrite its\n\
+                    scratch — `.clear(`, `mem::take`, `.fill(`, or\n\
+                    `copy_from_slice` — so results are history-independent.\n\n\
+                 Waive with `// lint:allow(shard-protocol): <why the\n\
+                 obligation is met another way>`."
             }
         }
     }
@@ -578,7 +636,14 @@ pub fn check_line_rule(
             false
         }
         Rule::L009 => class.atomics_audited,
-        Rule::L007 | Rule::L008 | Rule::L010 | Rule::L011 | Rule::L012 | Rule::L013 => false,
+        Rule::L007
+        | Rule::L008
+        | Rule::L010
+        | Rule::L011
+        | Rule::L012
+        | Rule::L013
+        | Rule::L014
+        | Rule::L015 => false,
     };
     if applies {
         for (idx, line) in lines.iter().enumerate() {
@@ -1091,7 +1156,7 @@ mod tests {
         }
         assert_eq!(Rule::from_id("l008"), Some(Rule::L008));
         assert_eq!(Rule::from_id("7"), Some(Rule::L007));
-        assert_eq!(Rule::from_id("L014"), None);
+        assert_eq!(Rule::from_id("L016"), None);
         assert_eq!(Rule::from_id("nope"), None);
     }
 

@@ -1,0 +1,419 @@
+//! L014 determinism taint: nondeterminism sources that can reach the
+//! outputs of byte-identical crates.
+//!
+//! The workspace contract is figures and traces byte-identical at any
+//! thread/shard count (`CrateClass::ordered_iteration`). L008 already
+//! bans hash-container *tokens* in those crates, but its token scan is
+//! blind to two things this pass closes:
+//!
+//! 1. **Indirect hash iteration** — `for (k, v) in &self.map` carries
+//!    no `HashMap` token; the type lives on the field declaration. This
+//!    pass tracks, per file, every identifier bound to a
+//!    `HashMap`/`HashSet`/`RandomState` (struct fields, typed bindings,
+//!    `let x = HashMap::new()`), then flags iteration over any tracked
+//!    name.
+//! 2. **Taint entering from outside** — a clock read or hash iteration
+//!    in a *non*-byte-identical crate still breaks determinism when a
+//!    byte-identical crate transitively calls it. Sources are therefore
+//!    flagged when their containing fn either lives in an
+//!    `ordered_iteration` crate or is reachable (over the
+//!    [`CallGraph`]) from a non-test fn of one; the diagnostic prints
+//!    the connecting call chain.
+//!
+//! Source kinds beyond hash iteration: `Instant::now`/`SystemTime`
+//! clock reads, `thread::current`/`ThreadId` identity,
+//! pointer-to-address casts (`.as_ptr() as usize`, `as *const` +
+//! `as usize`, `addr_of!`), and float accumulation under a lock inside
+//! thread-spawning fns (unordered parallel reduction). Waive per site
+//! with `// lint:allow(det): <reason>`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::dataflow::idents_of;
+use crate::items::{FileRecord, Section};
+use crate::rules::{contains_token, line_waived, token_at, Diagnostic, Rule};
+
+/// Container types whose iteration order is randomized.
+const HASH_TYPES: [&str; 3] = ["HashMap", "HashSet", "RandomState"];
+
+/// Methods that observe a container's iteration order when called on a
+/// tracked identifier.
+const ITER_METHODS: [&str; 9] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+];
+
+/// Taint-pass statistics surfaced in reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TaintStats {
+    /// Non-test `src/` fns in byte-identical crates (the BFS roots).
+    pub det_fns: usize,
+    /// Fns reachable from those roots, roots included.
+    pub det_reachable_fns: usize,
+    /// Nondeterminism source sites found in scope (waived included).
+    pub det_sources: usize,
+}
+
+/// One detected nondeterminism source on a line.
+struct Source {
+    /// 0-based line index.
+    idx: usize,
+    /// Short kind tag (`hash-iter`, `clock`, ...).
+    kind: &'static str,
+    /// What was matched, for the message.
+    what: String,
+}
+
+/// L014 determinism taint over the parsed workspace and its call graph.
+pub fn check_l014(files: &[FileRecord], graph: &CallGraph) -> (Vec<Diagnostic>, TaintStats) {
+    let mut stats = TaintStats::default();
+
+    // Roots: every non-test src fn of a byte-identical crate.
+    let mut roots: Vec<usize> = Vec::new();
+    for (at, node) in graph.nodes.iter().enumerate() {
+        let Some(file) = files.get(node.file) else {
+            continue;
+        };
+        if file.class.ordered_iteration && matches!(file.section, Section::Src) && !node.in_test {
+            roots.push(at);
+        }
+    }
+    stats.det_fns = roots.len();
+    let parents = graph.reachable(&roots);
+    stats.det_reachable_fns = parents.len();
+
+    // (file, item) → node index, for chain lookups.
+    let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (at, node) in graph.nodes.iter().enumerate() {
+        node_of.insert((node.file, node.item), at);
+    }
+
+    let mut diags = Vec::new();
+    for (file_idx, file) in files.iter().enumerate() {
+        if !matches!(file.section, Section::Src) {
+            continue;
+        }
+        let tracked = tracked_hash_idents(file);
+        for (item_idx, item) in file.items.fns.iter().enumerate() {
+            if item.in_test || item.body_start == 0 {
+                continue;
+            }
+            // In scope when the fn is itself byte-identical code, or a
+            // byte-identical fn transitively calls it.
+            let node = node_of.get(&(file_idx, item_idx)).copied();
+            let context = if file.class.ordered_iteration {
+                format!("in byte-identical crate fn `{}`", item.name)
+            } else {
+                match node.filter(|n| parents.contains_key(n)) {
+                    Some(n) => format!(
+                        "reachable from byte-identical crate code (call chain: {})",
+                        graph.chain(n, &parents).join(" -> ")
+                    ),
+                    None => continue,
+                }
+            };
+            let spawning = fn_spawns_threads(file, item);
+            for source in fn_sources(file, item, &tracked, spawning) {
+                stats.det_sources += 1;
+                if line_waived(&file.lines, source.idx, Rule::L014.waiver_key()) {
+                    continue;
+                }
+                let Some(line) = file.lines.get(source.idx) else {
+                    continue;
+                };
+                diags.push(Diagnostic {
+                    rule: Rule::L014,
+                    file: file.path.clone(),
+                    line: line.number,
+                    message: format!(
+                        "{} {context}; outputs must stay byte-identical across \
+                         runs and thread counts — remove the source or waive with \
+                         `// lint:allow(det): <why the value never reaches output>` \
+                         [{}]",
+                        source.what, source.kind
+                    ),
+                });
+            }
+        }
+    }
+    (diags, stats)
+}
+
+/// Identifiers bound to a hash container anywhere in this file's
+/// non-test code: `let [mut] x = HashMap::new()`, typed bindings and
+/// struct fields (`x: HashMap<...>`).
+fn tracked_hash_idents(file: &FileRecord) -> BTreeSet<String> {
+    let mut tracked = BTreeSet::new();
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        if !HASH_TYPES.iter().any(|t| contains_token(code, t)) {
+            continue;
+        }
+        // `let [mut] name ... = ... HashMap ...`
+        if let Some(after) = strip_word(code.trim_start(), "let") {
+            let after = strip_word(after.trim_start(), "mut").unwrap_or(after);
+            if let Some(name) = idents_of(after).into_iter().next() {
+                tracked.insert(name);
+            }
+        }
+        // `name: HashMap<...>` (field declaration or typed binding):
+        // the identifier directly before a non-path `:` whose type side
+        // names a hash container.
+        let bytes = code.as_bytes();
+        for at in 1..bytes.len() {
+            if bytes[at] != b':'
+                || bytes[at - 1] == b':'
+                || bytes.get(at + 1) == Some(&b':')
+                || !HASH_TYPES.iter().any(|t| contains_token(&code[at..], t))
+            {
+                continue;
+            }
+            let before = code[..at].trim_end();
+            let name: String = before
+                .chars()
+                .rev()
+                .take_while(|&c| c.is_ascii_alphanumeric() || c == '_')
+                .collect::<Vec<char>>()
+                .into_iter()
+                .rev()
+                .collect();
+            if !name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                tracked.insert(name);
+            }
+        }
+    }
+    tracked
+}
+
+/// Whether the fn body spawns threads (precondition for `par-float`).
+fn fn_spawns_threads(file: &FileRecord, item: &crate::items::FnItem) -> bool {
+    body_lines(file, item)
+        .any(|line| line.code.contains("spawn(") || line.code.contains("thread::scope"))
+}
+
+/// Non-test body lines of one fn.
+fn body_lines<'f>(
+    file: &'f FileRecord,
+    item: &crate::items::FnItem,
+) -> impl Iterator<Item = &'f crate::scanner::SourceLine> {
+    let (from, to) = (item.decl_line, item.body_end);
+    file.lines
+        .iter()
+        .filter(move |l| l.number >= from && l.number <= to && !l.in_test)
+}
+
+/// Scans one fn body for nondeterminism sources.
+fn fn_sources(
+    file: &FileRecord,
+    item: &crate::items::FnItem,
+    tracked: &BTreeSet<String>,
+    spawning: bool,
+) -> Vec<Source> {
+    let mut out = Vec::new();
+    for line in body_lines(file, item) {
+        let idx = line.number - 1;
+        let code = line.code.as_str();
+        if let Some(name) = hash_iteration_over(code, tracked) {
+            out.push(Source {
+                idx,
+                kind: "hash-iter",
+                what: format!(
+                    "iteration over `{name}` (bound to a hash container in this \
+                     file) observes randomized hash order"
+                ),
+            });
+        }
+        for token in ["Instant::now", "SystemTime"] {
+            if code.contains(token) {
+                out.push(Source {
+                    idx,
+                    kind: "clock",
+                    what: format!("`{token}` reads the wall clock"),
+                });
+            }
+        }
+        if code.contains("thread::current") || contains_token(code, "ThreadId") {
+            out.push(Source {
+                idx,
+                kind: "thread-id",
+                what: "thread identity varies per run and schedule".to_string(),
+            });
+        }
+        if ptr_addr_observed(code) {
+            out.push(Source {
+                idx,
+                kind: "ptr-addr",
+                what: "a pointer address is observed as an integer (ASLR makes it \
+                       differ per run)"
+                    .to_string(),
+            });
+        }
+        if spawning && code.contains(".lock()") && code.contains("+=") {
+            out.push(Source {
+                idx,
+                kind: "par-float",
+                what: "accumulation under a lock in a thread-spawning fn depends \
+                       on arrival order (non-associative for floats)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// The tracked identifier this line iterates over, if any: the target
+/// of a `for ... in <expr>` naming a tracked ident, or a direct
+/// order-observing method call on one.
+fn hash_iteration_over(code: &str, tracked: &BTreeSet<String>) -> Option<String> {
+    if tracked.is_empty() {
+        return None;
+    }
+    if let Some(expr) = for_loop_expr(code) {
+        for name in idents_of(expr) {
+            if tracked.contains(&name) {
+                return Some(name);
+            }
+        }
+    }
+    for name in tracked {
+        let mut from = 0usize;
+        while let Some(at) = code[from..].find(name.as_str()) {
+            let at = from + at;
+            from = at + name.len();
+            if !token_at(code, at, name) {
+                continue;
+            }
+            let rest = &code[at + name.len()..];
+            if ITER_METHODS.iter().any(|m| rest.starts_with(m)) {
+                return Some(name.clone());
+            }
+        }
+    }
+    None
+}
+
+/// The iterated expression of a `for <pat> in <expr> {` line.
+fn for_loop_expr(code: &str) -> Option<&str> {
+    let for_at = find_word(code, "for")?;
+    let rest = &code[for_at + 3..];
+    let in_at = find_word(rest, "in")?;
+    let expr = &rest[in_at + 2..];
+    Some(expr.split('{').next().unwrap_or(expr))
+}
+
+/// Whether the line converts a pointer into an observable integer.
+fn ptr_addr_observed(code: &str) -> bool {
+    let to_usize = code.contains(" as usize");
+    let ptr_expr =
+        code.contains(".as_ptr()") || code.contains("as *const") || code.contains("as *mut");
+    (ptr_expr && to_usize) || code.contains("addr_of!")
+}
+
+/// First word-bounded occurrence of `word` in `text`.
+fn find_word(text: &str, word: &str) -> Option<usize> {
+    let mut from = 0usize;
+    while let Some(at) = text[from..].find(word) {
+        let at = from + at;
+        from = at + 1;
+        if token_at(text, at, word) {
+            return Some(at);
+        }
+    }
+    None
+}
+
+/// Strips a leading word-bounded keyword; `None` when absent.
+fn strip_word<'t>(text: &'t str, word: &str) -> Option<&'t str> {
+    let rest = text.strip_prefix(word)?;
+    if rest
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return None;
+    }
+    Some(rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::classify;
+
+    fn record(path: &str, crate_name: &str, src: &str) -> FileRecord {
+        FileRecord::parse(path, crate_name, Section::Src, classify(crate_name), src)
+    }
+
+    #[test]
+    fn field_bound_hash_iteration_is_caught() {
+        // The L008 gap: the iteration line carries no HashMap token.
+        let files = vec![record(
+            "crates/mac/src/sim.rs",
+            "carpool-mac",
+            "struct S { map: std::collections::HashMap<u8, u8> } \
+             // lint:allow(hash-iter): presence waived, iteration is the bug\n\
+             impl S {\n    fn f(&self) { for (k, v) in &self.map { let _ = (k, v); } }\n}\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let (diags, stats) = check_l014(&files, &graph);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("hash-iter"));
+        assert!(stats.det_sources >= 1);
+    }
+
+    #[test]
+    fn clock_read_reachable_from_det_crate_is_caught_with_chain() {
+        let files = vec![
+            record(
+                "crates/mac/src/sim.rs",
+                "carpool-mac",
+                "pub fn run() { carpool_cli::stamp(); }\n",
+            ),
+            record(
+                "crates/cli/src/lib.rs",
+                "carpool-cli",
+                "pub fn stamp() { let _ = std::time::Instant::now(); }\n",
+            ),
+        ];
+        let graph = CallGraph::build(&files);
+        let (diags, _) = check_l014(&files, &graph);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("call chain"));
+        assert!(diags[0].message.contains("run"));
+    }
+
+    #[test]
+    fn unreachable_and_waived_sources_pass() {
+        let files = vec![record(
+            "crates/cli/src/lib.rs",
+            "carpool-cli",
+            "pub fn stamp() { let _ = std::time::Instant::now(); }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let (diags, _) = check_l014(&files, &graph);
+        assert!(diags.is_empty(), "{diags:?}");
+
+        let waived = vec![record(
+            "crates/obs/src/span.rs",
+            "carpool-obs",
+            "fn t() { let _ = Instant::now(); } \
+             // lint:allow(det): span durations never enter figure payloads\n",
+        )];
+        let graph = CallGraph::build(&waived);
+        let (diags, stats) = check_l014(&waived, &graph);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(stats.det_sources, 1); // found, waived
+    }
+}

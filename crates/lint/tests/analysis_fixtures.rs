@@ -1,15 +1,17 @@
-//! Fixture tests for the interprocedural rules (L007–L013): one
+//! Fixture tests for the interprocedural rules (L007–L015): one
 //! positive (the rule fires) and one negative (compliant code passes)
 //! per rule, plus a disk-based end-to-end scan of a miniature
-//! workspace exercising the full `scan_workspace` pipeline.
+//! workspace exercising the full `scan_workspace` pipeline and the
+//! incremental cache's byte-identity contract.
 
 use carpool_lint::callgraph::CallGraph;
 use carpool_lint::interproc::{
-    check_l007, check_l008, check_l010, check_l011, check_l012, check_l013,
+    check_l007, check_l008, check_l010, check_l011, check_l012, check_l013, check_l015,
 };
 use carpool_lint::items::{FileRecord, Section};
 use carpool_lint::rules::{check_line_rule, classify, Rule};
 use carpool_lint::scanner::scan_source;
+use carpool_lint::taint::check_l014;
 
 fn record(path: &str, crate_name: &str, src: &str) -> FileRecord {
     FileRecord::parse(path, crate_name, Section::Src, classify(crate_name), src)
@@ -331,6 +333,187 @@ fn l013_flags_call_argument_unit_mismatch() {
     );
 }
 
+// ---------------------------------------------------------------- L014
+
+#[test]
+fn l014_fires_on_field_hash_iteration_l008_misses() {
+    // The iteration line carries no `HashMap` token, so L008's token
+    // scan cannot see it — only the taint pass's ident tracking can.
+    let files = vec![record(
+        "crates/mac/src/sim.rs",
+        "carpool-mac",
+        "struct Queues {\n\
+             // lint:allow(hash-iter): fixture waives the declaration; iteration is the bug\n\
+             by_station: std::collections::HashMap<u16, u32>,\n\
+         }\n\
+         impl Queues {\n\
+             fn drain_all(&mut self) -> u32 {\n\
+                 let mut total = 0;\n\
+                 for (_sta, n) in &self.by_station {\n\
+                     total += n;\n\
+                 }\n\
+                 total\n\
+             }\n\
+         }\n",
+    )];
+    let graph = CallGraph::build(&files);
+    assert!(
+        check_l008(&files).iter().all(|d| d.line != 8),
+        "precondition: L008 must NOT flag the iteration line itself"
+    );
+    let (diags, stats) = check_l014(&files, &graph);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 8);
+    assert!(
+        diags[0].message.contains("by_station") && diags[0].message.contains("hash-iter"),
+        "must name the tracked ident and the source kind: {}",
+        diags[0].message
+    );
+    assert!(stats.det_fns >= 1 && stats.det_sources >= 1);
+}
+
+#[test]
+fn l014_fires_on_clock_read_reached_from_det_crate() {
+    // The source lives in a crate with no byte-identical contract of
+    // its own; taint still flows because mac calls it.
+    let files = vec![
+        record(
+            "crates/mac/src/engine.rs",
+            "carpool-mac",
+            "pub fn run_epoch() { carpool_cli::stamp_now(); }\n",
+        ),
+        record(
+            "crates/cli/src/lib.rs",
+            "carpool-cli",
+            "pub fn stamp_now() -> u128 {\n\
+                 std::time::SystemTime::now().elapsed().unwrap_or_default().as_nanos()\n\
+             }\n",
+        ),
+    ];
+    let graph = CallGraph::build(&files);
+    let (diags, _) = check_l014(&files, &graph);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(
+        diags[0].message.contains("call chain") && diags[0].message.contains("run_epoch"),
+        "must print the connecting chain: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn l014_passes_unreachable_waived_and_ordered_iteration() {
+    let files = vec![
+        // Clock read in the CLI, called by nobody deterministic: fine.
+        record(
+            "crates/cli/src/util.rs",
+            "carpool-cli",
+            "pub fn stamp_now() { let _ = std::time::Instant::now(); }\n",
+        ),
+        // BTreeMap iteration in sim code: ordered, not a source.
+        record(
+            "crates/mac/src/sim.rs",
+            "carpool-mac",
+            "fn walk(m: &std::collections::BTreeMap<u8, u8>) -> usize { m.iter().count() }\n",
+        ),
+        // Waived source in a byte-identical crate.
+        record(
+            "crates/obs/src/probe.rs",
+            "carpool-obs",
+            "fn profile() {\n\
+                 // lint:allow(det): profiling duration, printed to stderr only\n\
+                 let _ = std::time::Instant::now();\n\
+             }\n",
+        ),
+    ];
+    let graph = CallGraph::build(&files);
+    let (diags, stats) = check_l014(&files, &graph);
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(stats.det_sources, 1, "the waived source still counts");
+}
+
+// ---------------------------------------------------------------- L015
+
+#[test]
+fn l015_fires_on_out_of_order_mailbox_absorb() {
+    // Deliberately absorbs source shards in *descending* order: the
+    // inbox assembly is no longer a pure function of shard indices.
+    let files = vec![record(
+        "crates/par/src/lib.rs",
+        "carpool-par",
+        "fn absorb_mailboxes(outboxes: &[Vec<u8>], inbox: &mut Vec<u8>) {\n\
+             for source in outboxes.iter().rev() {\n\
+                 inbox.extend_from_slice(source);\n\
+             }\n\
+         }\n",
+    )];
+    let (diags, checked) = check_l015(&files);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 2);
+    assert!(
+        diags[0].message.contains("absorb-order"),
+        "must carry the obligation tag: {}",
+        diags[0].message
+    );
+    assert_eq!(checked, 1);
+}
+
+#[test]
+fn l015_fires_on_barrier_without_panic_tag_and_unreset_scratch() {
+    let files = vec![record(
+        "crates/par/src/lib.rs",
+        "carpool-par",
+        // A barrier epoch loop that catches panics but never tags the
+        // failing epoch with fetch_min: peers cannot agree on where to
+        // stop deterministically.
+        "fn run_epochs(barrier: &std::sync::Barrier) {\n\
+             let _ = std::panic::catch_unwind(|| {\n\
+                 barrier.wait();\n\
+             });\n\
+         }\n\
+         fn decode_with_scratch(scratch: &mut Vec<u8>) -> usize {\n\
+             scratch.push(1);\n\
+             scratch.len()\n\
+         }\n",
+    )];
+    let (diags, checked) = check_l015(&files);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().any(|d| d.message.contains("barrier-tag")));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("scratch-overwrite")));
+    assert_eq!(checked, 2);
+}
+
+#[test]
+fn l015_passes_compliant_shard_protocol_code() {
+    let files = vec![record(
+        "crates/par/src/lib.rs",
+        "carpool-par",
+        // Ascending absorb; barrier paired with fetch_min; scratch
+        // fully taken over per the history-independence contract.
+        "fn absorb_mailboxes(outboxes: &[Vec<u8>], inbox: &mut Vec<u8>) {\n\
+             for source in outboxes.iter() {\n\
+                 inbox.extend_from_slice(source);\n\
+             }\n\
+         }\n\
+         fn run_epochs(barrier: &std::sync::Barrier, failed_at: &std::sync::atomic::AtomicUsize) {\n\
+             let r = std::panic::catch_unwind(|| {\n\
+                 barrier.wait();\n\
+             });\n\
+             if r.is_err() {\n\
+                 // ordering: panic-tag min over epochs, pairs with the post-join load\n\
+                 failed_at.fetch_min(0, std::sync::atomic::Ordering::AcqRel);\n\
+             }\n\
+         }\n\
+         fn decode_with_scratch(scratch: &mut Vec<u8>) -> Vec<u8> {\n\
+             std::mem::take(scratch)\n\
+         }\n",
+    )];
+    let (diags, checked) = check_l015(&files);
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(checked, 3);
+}
+
 // ------------------------------------------------------ end to end
 
 mod end_to_end {
@@ -398,6 +581,102 @@ mod end_to_end {
         assert!(report.analysis.functions >= 3);
         assert!(report.rule_timings_ms.contains_key("L007"));
         assert!(report.rule_timings_ms.contains_key("callgraph"));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    /// Renders the full user-visible output pair (human report + SARIF)
+    /// for a scan outcome — the byte-identity contract of the cache.
+    fn render_pair(report: &carpool_lint::ScanReport) -> (String, String) {
+        let baseline = carpool_lint::baseline::Baseline::default();
+        let verdict = carpool_lint::ratchet(report, &baseline);
+        let meta = carpool_lint::RunMeta {
+            elapsed_ms: 0.0,
+            budget_ms: None,
+        };
+        (
+            carpool_lint::render_human(report, &verdict, &baseline, &meta),
+            carpool_lint::sarif::render_sarif(report, &verdict),
+        )
+    }
+
+    #[test]
+    fn incremental_cache_is_byte_identical_and_reuses_unchanged_files() {
+        let root = scratch("cache");
+        write(&root.join("Cargo.toml"), "[workspace]\nmembers = []\n");
+        write(
+            &root.join("crates/kern/Cargo.toml"),
+            "[package]\nname = \"carpool-kern\"\n",
+        );
+        write(
+            &root.join("crates/kern/src/lib.rs"),
+            "//! Kernel fixture.\n\n\
+             /// Doc.\npub fn step() -> u8 { 0 }\n",
+        );
+        write(
+            &root.join("crates/mac/Cargo.toml"),
+            "[package]\nname = \"carpool-mac\"\n",
+        );
+        // One stable diagnostic (panic in a non-hot fn is still L001).
+        write(
+            &root.join("crates/mac/src/lib.rs"),
+            "//! Mac fixture.\n\n\
+             /// Doc.\npub fn poke() { panic!(\"boom\"); }\n",
+        );
+        let cache_path = root.join(".lint-cache.json");
+        let aopts = carpool_lint::AnalysisOptions::default();
+
+        let cold = carpool_lint::scan_workspace_cached(&root, &aopts, Some(&cache_path), true)
+            .expect("cold scan");
+        assert!(!cold.warm, "no cache file yet");
+        assert!(cache_path.is_file(), "scan must write the cache");
+
+        let warm = carpool_lint::scan_workspace_cached(&root, &aopts, Some(&cache_path), true)
+            .expect("warm scan");
+        assert!(warm.warm, "unchanged workspace must hit the fast path");
+        let (cold_human, cold_sarif) = render_pair(&cold.report);
+        let (warm_human, warm_sarif) = render_pair(&warm.report);
+        assert_eq!(
+            cold_human, warm_human,
+            "human report must be byte-identical"
+        );
+        assert_eq!(cold_sarif, warm_sarif, "SARIF must be byte-identical");
+
+        // `--no-cache` semantics: skip reading, still byte-identical.
+        let nocache = carpool_lint::scan_workspace_cached(&root, &aopts, Some(&cache_path), false)
+            .expect("no-cache scan");
+        assert!(!nocache.warm);
+        assert_eq!(render_pair(&nocache.report).0, cold_human);
+
+        // Touch one file: partial rerun must pick up the new finding
+        // while replaying the untouched file's cached diagnostic.
+        write(
+            &root.join("crates/kern/src/lib.rs"),
+            "//! Kernel fixture.\n\n\
+             /// Doc.\npub fn step() -> u8 { None::<u8>.unwrap() }\n",
+        );
+        let partial = carpool_lint::scan_workspace_cached(&root, &aopts, Some(&cache_path), true)
+            .expect("partial scan");
+        assert!(!partial.warm, "a changed file must defeat the fast path");
+        assert!(
+            partial.reused_files >= 1,
+            "the unchanged mac file must be replayed from cache ({})",
+            partial.reused_files
+        );
+        let has = |file: &str, rule: carpool_lint::rules::Rule| {
+            partial
+                .report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == rule && d.file.ends_with(file))
+        };
+        assert!(
+            has("crates/kern/src/lib.rs", carpool_lint::rules::Rule::L001),
+            "new unwrap in the edited file must be found"
+        );
+        assert!(
+            has("crates/mac/src/lib.rs", carpool_lint::rules::Rule::L001),
+            "cached diagnostic from the unchanged file must survive"
+        );
         fs::remove_dir_all(&root).ok();
     }
 }

@@ -1,6 +1,6 @@
 //! Golden-file test for the SARIF 2.1.0 export: the rendered log for a
 //! fixed scan must be byte-identical to the checked-in golden. This
-//! pins the schema URI, the full rule descriptor table (L001-L013),
+//! pins the schema URI, the full rule descriptor table (L001-L015),
 //! and the error/note level split, so any change to the export format
 //! is a deliberate, reviewed diff.
 //!

@@ -101,6 +101,7 @@ impl CodeRate {
 
     /// The rate as a float (e.g. 0.75 for [`CodeRate::ThreeQuarters`]).
     pub fn as_f64(&self) -> f64 {
+        // lint:allow(as-cast): single-digit rate terms, exact in f64
         self.numerator() as f64 / self.denominator() as f64
     }
 
@@ -125,6 +126,7 @@ impl std::fmt::Display for CodeRate {
 
 #[inline]
 const fn parity(x: u32) -> u8 {
+    // lint:allow(as-cast): masked to 0|1; TryFrom is unavailable in const fn
     (x.count_ones() & 1) as u8
 }
 
@@ -139,6 +141,7 @@ const fn build_expected() -> [[(u8, u8); 2]; NUM_STATES] {
     while state < NUM_STATES {
         let mut input = 0;
         while input < 2 {
+            // lint:allow(as-cast): state < NUM_STATES (64) and input < 2, both fit u32; const context
             let shift = ((state as u32) << 1) | input as u32;
             table[state][input] = (parity(shift & G0), parity(shift & G1));
             input += 1;
@@ -211,7 +214,7 @@ fn encode_mother(bits: &[u8]) -> Vec<(u8, u8)> {
     let mut out = Vec::with_capacity(bits.len()); // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length
     for &bit in bits {
         assert!(bit <= 1, "bit value {bit} out of range");
-        shift = ((shift << 1) | bit as u32) & ((1 << CONSTRAINT_LENGTH) - 1);
+        shift = ((shift << 1) | u32::from(bit)) & ((1 << CONSTRAINT_LENGTH) - 1);
         out.push((parity(shift & G0), parity(shift & G1)));
     }
     out
@@ -254,11 +257,14 @@ pub fn encode(bits: &[u8], rate: CodeRate) -> Vec<u8> {
 pub fn coded_len(message_len: usize, rate: CodeRate) -> usize {
     let total_in = message_len + CONSTRAINT_LENGTH - 1;
     let pattern = rate.puncture_pattern();
-    let per_period: usize = pattern.iter().map(|(a, b)| *a as usize + *b as usize).sum();
+    let per_period: usize = pattern
+        .iter()
+        .map(|(a, b)| usize::from(*a) + usize::from(*b))
+        .sum();
     let full = total_in / pattern.len();
     let mut n = full * per_period;
     for (a, b) in pattern.iter().take(total_in % pattern.len()) {
-        n += *a as usize + *b as usize;
+        n += usize::from(*a) + usize::from(*b);
     }
     n
 }
@@ -599,7 +605,7 @@ fn traceback(survivors: &[u64], message_len: usize, decoded: &mut Vec<u8>) {
     let mut state = 0usize;
     for t in (0..total_in).rev() {
         // lint:allow(as-cast): state & 1 is 0 or 1
-        decoded[t] = (state & 1) as u8;
+        decoded[t] = u8::from(state & 1 == 1);
         // lint:allow(as-cast): single decision bit
         let high = ((survivors[t] >> state) & 1) as usize;
         state = (state >> 1) | (high << (CONSTRAINT_LENGTH - 2));
@@ -707,6 +713,7 @@ pub fn decode_soft_with(
                 let cand = m + bit_cost(ea, la) + bit_cost(eb, lb);
                 if cand < next[ns] {
                     next[ns] = cand;
+                    // lint:allow(as-cast): state < NUM_STATES, shifted down to its top bit: 0 or 1
                     prev_choice[ns] = (state >> (CONSTRAINT_LENGTH - 2)) as u8;
                 }
             }
@@ -727,7 +734,7 @@ pub fn decode_soft_with(
     let mut decoded = vec![0u8; total_in];
     for t in (0..total_in).rev() {
         decoded[t] = (state & 1) as u8;
-        let old_bit = history[t][state] as usize;
+        let old_bit = usize::from(history[t][state]);
         state = (state >> 1) | (old_bit << (CONSTRAINT_LENGTH - 2));
     }
     decoded.truncate(message_len);
@@ -810,6 +817,7 @@ pub fn decode_levels_with(
 /// already scattered into [`ViterbiScratch::lattice_mut`] — the final
 /// stage of the fused demap→deinterleave→depuncture RX path, which
 /// skips the coded-order intermediate entirely.
+// lint:allow(shard-protocol): caller fully scatters the lattice via lattice_mut by documented contract; the forward pass then overwrites every metric column it reads
 pub(crate) fn decode_prepared(message_len: usize, scratch: &mut ViterbiScratch) -> Vec<u8> {
     if message_len == 0 {
         return Vec::new(); // lint:allow(hot-alloc): per-decode output buffer, pre-sized from input length

@@ -413,9 +413,9 @@ impl<'a> FrameDecoder<'a> {
         if self.obs.enabled() {
             self.obs.counter("phy.eq_reset", 1);
             self.obs.emit(
-                self.symbol_index as f64,
+                self.symbol_index as f64, // lint:allow(as-cast): symbol count to f64, exact below 2^53
                 Event::EqualizerReset {
-                    symbol: self.symbol_index as u64,
+                    symbol: self.symbol_index as u64, // lint:allow(as-cast): small index/count widens to u64
                 },
             );
         }
@@ -552,18 +552,19 @@ impl<'a> FrameDecoder<'a> {
                     let crc = sc.crc_for_group(group.indices.len());
                     let mut checksum = 0u64;
                     for (j, &v) in group.side_values.iter().enumerate() {
-                        checksum |= (v as u64) << (j * bits_per);
+                        checksum |= u64::from(v) << (j * bits_per);
                     }
                     // Mask to CRC width (a partial tail group carries a
                     // narrower checksum).
-                    let width = crc.width() as usize;
+                    let width = usize::from(crc.width());
+                    // lint:allow(as-cast): masked to the CRC width (at most 8 bits), fits u8
                     let checksum = (checksum & ((1u64 << width) - 1)) as u8;
                     let ok = crc.verify(&group.bits, checksum);
                     for _ in 0..group.indices.len() {
                         crc_ok.push(ok);
                     }
                     if obs.enabled() {
-                        let group_id = group.indices[0] as u64;
+                        let group_id = group.indices[0] as u64; // lint:allow(as-cast): small index/count widens to u64
                         obs.counter(
                             if ok {
                                 "phy.side_crc_ok"
@@ -573,7 +574,7 @@ impl<'a> FrameDecoder<'a> {
                             1,
                         );
                         obs.emit(
-                            idx as f64,
+                            idx as f64, // lint:allow(as-cast): symbol count to f64, exact below 2^53
                             Event::SideCrc {
                                 group: group_id,
                                 ok,
@@ -608,8 +609,8 @@ impl<'a> FrameDecoder<'a> {
                                         },
                                         1,
                                     );
-                                    let symbol = *sym_idx as u64;
-                                    obs.emit(*sym_idx as f64, Event::RteUpdate { symbol, applied });
+                                    let symbol = *sym_idx as u64; // lint:allow(as-cast): small index/count widens to u64
+                                    obs.emit(*sym_idx as f64, Event::RteUpdate { symbol, applied }); // lint:allow(as-cast): symbol count to f64, exact below 2^53
                                     obs.trace(
                                         TraceKind::RteRecal,
                                         symbol_time(*sym_idx),
@@ -626,10 +627,10 @@ impl<'a> FrameDecoder<'a> {
                         // in the group (paper Section 5 gating).
                         if estimator.rte_counters().is_some() {
                             for &sym_idx in &group.indices {
-                                let symbol = sym_idx as u64;
+                                let symbol = sym_idx as u64; // lint:allow(as-cast): small index/count widens to u64
                                 obs.counter("phy.rte_rejected", 1);
                                 obs.emit(
-                                    sym_idx as f64,
+                                    sym_idx as f64, // lint:allow(as-cast): symbol count to f64, exact below 2^53
                                     Event::RteUpdate {
                                         symbol,
                                         applied: false,
@@ -656,7 +657,7 @@ impl<'a> FrameDecoder<'a> {
             raw_symbol_bits.push(hard);
         }
         *symbol_index += num_symbols;
-        obs.counter("phy.symbols_decoded", num_symbols as u64);
+        obs.counter("phy.symbols_decoded", num_symbols as u64); // lint:allow(as-cast): small index/count widens to u64
         obs.counter("phy.sections_decoded", 1);
 
         // FEC decode and descramble.

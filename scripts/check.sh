@@ -32,26 +32,44 @@ stage_begin "cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 stage_end
 
-stage_begin "carpool-lint (line + flow + call-graph analysis)"
-# Fails on any new L001-L013 violation or a stale baseline entry (exit
-# 1), or on an internal analyzer error (exit 2). The JSON trend report
-# (per-rule counts and timings, hot-path and flow stats) lands next to
-# the bench baselines for tracking.
-cargo run --offline -q -p carpool-lint -- --budget-ms "$LINT_BUDGET_MS"
-cargo run --offline -q -p carpool-lint -- --json --budget-ms "$LINT_BUDGET_MS" \
-    > crates/bench/BENCH_lint.json
+stage_begin "carpool-lint (line + flow + call-graph + taint analysis)"
+# Fails on any new L001-L015 violation or a stale baseline entry (exit
+# 1), or on an internal analyzer error (exit 2). The cold run bypasses
+# the incremental cache (--no-cache): the analyzer budget below is a
+# promise about a from-scratch scan, and the cache must never be what
+# keeps it honest. The JSON trend report (per-rule counts and timings,
+# hot-path, flow and taint stats) lands next to the bench baselines for
+# tracking; the SARIF log is the CI/editor artifact.
+cargo run --offline -q -p carpool-lint -- --no-cache --budget-ms "$LINT_BUDGET_MS"
+cargo run --offline -q -p carpool-lint -- --no-cache --json --budget-ms "$LINT_BUDGET_MS" \
+    --sarif target/lint.sarif > crates/bench/BENCH_lint.json
+echo "SARIF artifact: target/lint.sarif"
 # The budget is fatal here: a static analyzer that creeps past its wall
 # budget stops being a pre-commit tool, so the gate rejects it.
-lint_elapsed=$(sed -n 's/.*"elapsed_ms": *\([0-9]*\).*/\1/p' crates/bench/BENCH_lint.json | head -n 1)
-if [ -z "$lint_elapsed" ]; then
+lint_cold_ms=$(sed -n 's/.*"elapsed_ms": *\([0-9]*\).*/\1/p' crates/bench/BENCH_lint.json | head -n 1)
+if [ -z "$lint_cold_ms" ]; then
     echo "FATAL: could not read elapsed_ms from crates/bench/BENCH_lint.json"
     exit 1
 fi
-if [ "$lint_elapsed" -gt "$LINT_BUDGET_MS" ]; then
-    echo "FATAL: carpool-lint took ${lint_elapsed} ms, over its ${LINT_BUDGET_MS} ms budget"
+if [ "$lint_cold_ms" -gt "$LINT_BUDGET_MS" ]; then
+    echo "FATAL: carpool-lint took ${lint_cold_ms} ms, over its ${LINT_BUDGET_MS} ms budget"
     exit 1
 fi
-echo "carpool-lint budget ok: ${lint_elapsed} ms of ${LINT_BUDGET_MS} ms"
+# Warm incremental re-run over the cache the cold run just wrote. Its
+# wall time rides along in the trend report next to the cold time so
+# cache regressions show up in CI history; the warm path is advisory
+# here (its byte-identity and <1 s contract are enforced by the lint
+# crate's own tests).
+warm_json=$(mktemp)
+cargo run --offline -q -p carpool-lint -- --json > "$warm_json"
+lint_warm_ms=$(sed -n 's/.*"elapsed_ms": *\([0-9]*\).*/\1/p' "$warm_json" | head -n 1)
+rm -f "$warm_json"
+lint_warm_ms=${lint_warm_ms:-0}
+# Append the cold/warm pair to the JSON report (valid JSON: a trailing
+# key-value pair spliced in before the closing brace).
+sed -i '$ s/^}$/  ,"lint_cold_ms": '"$lint_cold_ms"', "lint_warm_ms": '"$lint_warm_ms"'\n}/' \
+    crates/bench/BENCH_lint.json
+echo "carpool-lint budget ok: cold ${lint_cold_ms} ms of ${LINT_BUDGET_MS} ms (warm rescan: ${lint_warm_ms} ms)"
 stage_end
 
 stage_begin "perf snapshot (phy_micro throughput)"
